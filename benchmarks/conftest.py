@@ -1,0 +1,71 @@
+"""Benchmark harness plumbing.
+
+Benchmarks measure *simulated* time on the deterministic network
+simulator (the substitute for the paper's EC2/residential testbed), so
+each experiment runs once inside ``benchmark.pedantic`` and reports its
+paper-style table through the ``report`` fixture.  Tables are printed in
+the terminal summary and written to ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+_RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+_TABLES: list[tuple[str, str]] = []
+
+
+class Report:
+    """Collects one experiment's paper-style output table."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.lines: list[str] = []
+
+    def line(self, text: str = "") -> None:
+        self.lines.append(text)
+
+    def table(self, headers: list[str], rows: list[list]) -> None:
+        widths = [
+            max(len(str(headers[i])), *(len(str(row[i])) for row in rows))
+            for i in range(len(headers))
+        ]
+
+        def fmt(cells):
+            return "  ".join(
+                str(cell).rjust(widths[i]) if i else str(cell).ljust(widths[i])
+                for i, cell in enumerate(cells)
+            )
+
+        self.line(fmt(headers))
+        self.line(fmt(["-" * w for w in widths]))
+        for row in rows:
+            self.line(fmt(row))
+
+
+@pytest.fixture()
+def report(request):
+    """Per-test report; registered for terminal summary + results file."""
+    rep = Report(request.node.name)
+    yield rep
+    if rep.lines:
+        text = "\n".join(rep.lines)
+        _TABLES.append((rep.name, text))
+        os.makedirs(_RESULTS_DIR, exist_ok=True)
+        path = os.path.join(_RESULTS_DIR, rep.name + ".txt")
+        with open(path, "w") as fh:
+            fh.write(text + "\n")
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not _TABLES:
+        return
+    terminalreporter.section("experiment tables (paper reproduction)")
+    for name, text in _TABLES:
+        terminalreporter.write_line("")
+        terminalreporter.write_line(f"== {name} ==")
+        for line in text.splitlines():
+            terminalreporter.write_line(line)
+    _TABLES.clear()

@@ -1,0 +1,150 @@
+"""Ablation A3 (§VI-B): durability (ack) policy vs append latency and
+crash exposure.
+
+"In the simplest case, the writer receives a single acknowledgment from
+the closest DataCapsule-server ... such a mode results in a reduced
+performance at the cost of greater durability" [for the multi-ack mode].
+
+Two measurements on a 3-replica placement (one edge-local, two across
+the WAN):
+
+1. append latency per ack policy — ANY completes at edge RTT, QUORUM
+   and ALL pay the WAN round trip;
+2. the §VI-B hole window — appends under ANY followed by a fronting
+   server crash lose the unpropagated suffix; ALL loses nothing.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from repro.client import GdpClient, OwnerConsole
+from repro.crypto import SigningKey
+from repro.server import DataCapsuleServer
+from repro.sim import GBPS, SimNetwork
+from repro.routing import GdpRouter, RoutingDomain
+
+N_APPENDS = 8
+
+
+def build_world(seed: int = 0):
+    net = SimNetwork(seed=seed)
+    clock = lambda: net.sim.now  # noqa: E731
+    root = RoutingDomain("global", clock=clock)
+    edge = RoutingDomain("global.edge", root)
+    r_root = GdpRouter(net, "r_root", root)
+    r_far = GdpRouter(net, "r_far", root)
+    r_edge = GdpRouter(net, "r_edge", edge)
+    net.connect(r_edge, r_root, latency=0.030, bandwidth=GBPS)  # WAN
+    net.connect(r_far, r_root, latency=0.020, bandwidth=GBPS)
+    edge.attach_to_parent(r_edge, r_root)
+
+    servers = [
+        DataCapsuleServer(net, "s_edge"),
+        DataCapsuleServer(net, "s_mid"),
+        DataCapsuleServer(net, "s_far"),
+    ]
+    servers[0].attach(r_edge, latency=0.001)
+    servers[1].attach(r_root, latency=0.001)
+    servers[2].attach(r_far, latency=0.001)
+    client = GdpClient(net, "writer_client")
+    client.attach(r_edge, latency=0.001)
+    owner = SigningKey.from_seed(b"a3-owner")
+    writer_key = SigningKey.from_seed(b"a3-writer")
+    console = OwnerConsole(client, owner)
+    return net, servers, client, console, writer_key
+
+
+def measure_latency() -> dict:
+    results = {}
+    for policy in ["any", "quorum", "all"]:
+        net, servers, client, console, writer_key = build_world()
+
+        def scenario():
+            for endpoint in servers + [client]:
+                yield endpoint.advertise()
+            metadata = console.design_capsule(writer_key.public)
+            yield from console.place_capsule(
+                metadata, [s.metadata for s in servers]
+            )
+            yield 0.5
+            writer = client.open_writer(metadata, writer_key)
+            latencies = []
+            for i in range(N_APPENDS):
+                t0 = net.sim.now
+                yield from writer.append(b"r%d" % i, acks=policy)
+                latencies.append((net.sim.now - t0) * 1000)
+            return statistics.mean(latencies)
+
+        results[policy] = net.sim.run_process(scenario())
+    return results
+
+
+def measure_loss_window() -> dict:
+    results = {}
+    for policy in ["any", "all"]:
+        net, servers, client, console, writer_key = build_world(seed=7)
+        uplink = None
+        for link in net.links:
+            nodes = {link.a.node_id, link.b.node_id}
+            if nodes == {"r_edge", "r_root"}:
+                uplink = link
+        assert uplink is not None
+
+        def scenario():
+            for endpoint in servers + [client]:
+                yield endpoint.advertise()
+            metadata = console.design_capsule(writer_key.public)
+            yield from console.place_capsule(
+                metadata, [s.metadata for s in servers]
+            )
+            yield 0.5
+            writer = client.open_writer(metadata, writer_key)
+            yield from writer.append(b"safe", acks=policy)
+            yield 1.0
+            uplink.fail()  # propagation beyond the edge now fails
+            acknowledged = 1
+            for i in range(4):
+                try:
+                    yield from writer.append(b"risky-%d" % i, acks=policy)
+                    acknowledged += 1
+                except Exception:
+                    pass
+            yield 0.5
+            servers[0].crash()  # the only replica holding the suffix dies
+            uplink.recover()
+            survivor = servers[1].hosted[metadata.name].capsule
+            lost = acknowledged - survivor.last_seqno
+            return {"acked": acknowledged, "lost_acked": max(lost, 0)}
+
+        results[policy] = net.sim.run_process(scenario())
+    return results
+
+
+def test_a3_ack_latency(benchmark, report):
+    latency = benchmark.pedantic(measure_latency, rounds=1, iterations=1)
+    report.line(
+        f"Ablation A3a — append latency (ms, mean of {N_APPENDS}) vs ack "
+        "policy; 3 replicas: edge-local + 2 across a 20-30 ms WAN"
+    )
+    report.table(
+        ["policy", "append_ms"],
+        [[p, f"{latency[p]:.1f}"] for p in ["any", "quorum", "all"]],
+    )
+    # ANY completes at edge-local RTT; ALL pays the farthest replica.
+    assert latency["any"] < latency["quorum"] <= latency["all"] * 1.01
+    assert latency["all"] > latency["any"] * 3
+
+
+def test_a3_hole_window(benchmark, report):
+    loss = benchmark.pedantic(measure_loss_window, rounds=1, iterations=1)
+    report.line(
+        "Ablation A3b — acknowledged records lost when the fronting "
+        "replica crashes during a partition (the §VI-B hole window)"
+    )
+    report.table(
+        ["policy", "acked", "acked_but_lost"],
+        [[p, loss[p]["acked"], loss[p]["lost_acked"]] for p in ["any", "all"]],
+    )
+    assert loss["any"]["lost_acked"] > 0       # the fast path has a window
+    assert loss["all"]["lost_acked"] == 0      # the durable path closes it

@@ -1,0 +1,126 @@
+"""Figure 6: GDP-router forwarding rate and throughput vs PDU size.
+
+Paper setup (§VIII): one (unoptimized, Click-based) GDP-router on a
+4-core EC2 c5.xlarge; 32 client and 32 server processes on four 16-core
+c5.4xlarge instances, all attached to the single router; each client
+blasts fixed-size PDUs at its server.  Reported: "the PDU processing
+rate is 120k PDU/s even for very small sized PDUs" and "close to 1 Gbps
+throughput as PDU size reaches close to 10k bytes".
+
+Substitution: the router is our Python ``GdpRouter`` with the paper's two
+capacity parameters made explicit — per-PDU service time (1/120k s) and
+aggregate NIC egress (1 Gbps) — driven on the deterministic simulator.
+Expected shape: a flat ~120k PDU/s plateau for small PDUs, bending into
+a ~1 Gbps throughput ceiling as PDUs grow; absolute agreement is by
+construction of the capacity parameters, the *experiment* checks that
+the full forwarding path (advertisement, FIB, queueing) actually
+sustains them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.client import GdpClient
+from repro.routing.pdu import Pdu, T_DATA
+from repro.sim import GBPS, single_router
+
+PDU_SIZES = [64, 256, 1024, 4096, 10240, 16384]
+PAIRS = 16          # sender/receiver pairs (paper: 32; scaled for wall time)
+PDUS_PER_PAIR = 120
+
+
+def run_forwarding_experiment(payload_size: int) -> dict:
+    topo = single_router(seed=payload_size)
+    router = topo.router("r0")
+    router.egress_bandwidth = GBPS  # the paper router's ~1 Gbps NIC
+
+    received = {"count": 0}
+    senders, receivers = [], []
+    for i in range(PAIRS):
+        sender = GdpClient(topo.net, f"tx{i}", verify=False)
+        receiver = GdpClient(topo.net, f"rx{i}", verify=False)
+        # Fat, short attachment links: the router is the bottleneck.
+        sender.attach(router, latency=0.0001, bandwidth=10 * GBPS)
+        receiver.attach(router, latency=0.0001, bandwidth=10 * GBPS)
+
+        def sink(pdu, _received=received):
+            _received["count"] += 1
+            return None  # no response traffic
+
+        receiver.on_request = sink
+        senders.append(sender)
+        receivers.append(receiver)
+
+    def scenario():
+        for endpoint in senders + receivers:
+            yield endpoint.advertise()
+        start = topo.sim.now
+        payload = b"\x00" * payload_size
+        for sender, receiver in zip(senders, receivers):
+            for _ in range(PDUS_PER_PAIR):
+                sender.send_pdu(
+                    Pdu(sender.name, receiver.name, T_DATA, payload)
+                )
+        # Drain: measure until the last PDU is *delivered* (the egress
+        # NIC queue, not just the forwarding engine, must clear).
+        while received["count"] < PAIRS * PDUS_PER_PAIR:
+            yield 0.001
+        elapsed = topo.sim.now - start
+        delivered = received["count"]
+        return {
+            "pdu_size": payload_size,
+            "elapsed": elapsed,
+            "forwarded": delivered,
+            "rate_pdus": delivered / elapsed,
+            "throughput_gbps": delivered * (payload_size + 80) * 8
+            / elapsed / 1e9,
+        }
+
+    return topo.sim.run_process(scenario())
+
+
+@pytest.mark.parametrize("size", PDU_SIZES)
+def test_fig6_forwarding_point(benchmark, size):
+    result = benchmark.pedantic(
+        run_forwarding_experiment, args=(size,), rounds=1, iterations=1
+    )
+    assert result["forwarded"] == PAIRS * PDUS_PER_PAIR
+    benchmark.extra_info.update(result)
+
+
+def test_fig6_full_curve(benchmark, report):
+    """The complete Figure 6 sweep with shape assertions."""
+
+    def sweep():
+        return [run_forwarding_experiment(size) for size in PDU_SIZES]
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    report.line("Figure 6 — forwarding rate / throughput vs PDU size")
+    report.line(
+        f"(1 router, {PAIRS} sender/receiver pairs, "
+        f"{PDUS_PER_PAIR} PDUs each; paper: 120k PDU/s small-PDU plateau, "
+        "~1 Gbps at ~10 kB)"
+    )
+    report.table(
+        ["pdu_size_B", "rate_kPDU/s", "throughput_Gbps"],
+        [
+            [r["pdu_size"], f"{r['rate_pdus'] / 1e3:.1f}",
+             f"{r['throughput_gbps']:.3f}"]
+            for r in results
+        ],
+    )
+
+    by_size = {r["pdu_size"]: r for r in results}
+    # Small-PDU plateau at the service rate (~120k PDU/s).
+    assert by_size[64]["rate_pdus"] == pytest.approx(120_000, rel=0.15)
+    assert by_size[256]["rate_pdus"] == pytest.approx(120_000, rel=0.15)
+    # Large PDUs hit the ~1 Gbps NIC ceiling.
+    assert by_size[10240]["throughput_gbps"] == pytest.approx(1.0, rel=0.15)
+    assert by_size[16384]["throughput_gbps"] == pytest.approx(1.0, rel=0.15)
+    # And the rate has fallen well off the plateau by then.
+    assert by_size[16384]["rate_pdus"] < 15_000
+    # Throughput is monotone non-decreasing in PDU size.
+    throughputs = [r["throughput_gbps"] for r in results]
+    assert all(b >= a * 0.99 for a, b in zip(throughputs, throughputs[1:]))

@@ -1,0 +1,174 @@
+"""Figure 8: the robotics/ML case study — read/write times for a 28 MB
+and a 115 MB model across GDP (cloud & edge), S3, and SSHFS.
+
+Paper setup (§IX): client on a residential link (100/10 Mbps
+download/upload), S3 bucket and GDP/SSHFS infrastructure in the same
+EC2 region; then the same workload against on-premise edge resources;
+five-run averages.  Reported shape: "the GDP provides performance
+somewhere between that of SSHFS and S3 when using the cloud
+infrastructure. As expected, the performance when using edge resources
+is orders of magnitude better."
+
+Substitution (DESIGN.md §2): the exact topology is rebuilt on the
+simulator (same link numbers); the TensorFlow filesystem plugin is our
+filesystem CAAPI storing the model as chunked records; S3/SSHFS are the
+parameterized baseline models.  Model payloads are synthetic blobs of
+the paper's two sizes.  We assert the shape, not absolute seconds.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import (
+    ObjectStoreClient,
+    ObjectStoreServer,
+    SshfsClient,
+    SshfsServer,
+)
+from repro.caapi import CapsuleFileSystem
+from repro.client import GdpClient, OwnerConsole
+from repro.crypto import SigningKey
+from repro.server import DataCapsuleServer
+from repro.sim import blob, residential_edge_cloud
+
+RUNS = 5  # "averaged over 5 runs"
+CHUNK = 4 * 1024 * 1024
+
+# Scaled model sizes: the paper's 28 MB / 115 MB transferred at 10 Mbps
+# take 22 s / 92 s *simulated* (cheap) but the crypto per chunk is real
+# CPU; 1/4-scale keeps the benchmark minutes-scale while preserving every
+# ratio (all paths are bandwidth/latency dominated, which scales
+# linearly).  Set GDP_FIG8_FULL=1 in the environment for full sizes.
+import os
+
+_SCALE = 1 if os.environ.get("GDP_FIG8_FULL") else 4
+MODEL_SMALL = 28 * 1024 * 1024 // _SCALE
+MODEL_LARGE = 115 * 1024 * 1024 // _SCALE
+
+
+def run_case_study(model_size: int, seed: int) -> dict:
+    """One full Figure 8 column set for one model size; returns
+    read/write wall-clock (simulated seconds) per system."""
+    topo = residential_edge_cloud(seed=seed)
+    net = topo.net
+
+    gdp_cloud = DataCapsuleServer(net, "gdp_cloud")
+    gdp_cloud.attach(topo.router("r_cloud"))
+    gdp_edge = DataCapsuleServer(net, "gdp_edge")
+    gdp_edge.attach(topo.router("r_home"))
+    s3 = ObjectStoreServer(net, "s3")
+    s3.attach(topo.router("r_cloud"))
+    sshfs_cloud = SshfsServer(net, "sshfs_cloud")
+    sshfs_cloud.attach(topo.router("r_cloud"))
+    sshfs_edge = SshfsServer(net, "sshfs_edge")
+    sshfs_edge.attach(topo.router("r_home"))
+
+    client = GdpClient(net, "robot")
+    client.attach(topo.router("r_home"))
+    console = OwnerConsole(client, SigningKey.from_seed(b"fig8-owner"))
+    model = blob(model_size, seed=seed)
+    times: dict[str, float] = {}
+
+    def timed(label, gen):
+        t0 = net.sim.now
+        result = yield from gen
+        times[label] = net.sim.now - t0
+        return result
+
+    def scenario():
+        for endpoint in (gdp_cloud, gdp_edge, s3, sshfs_cloud, sshfs_edge, client):
+            yield endpoint.advertise()
+
+        # GDP, cloud replica only.
+        fs_cloud = CapsuleFileSystem(
+            client, console, [gdp_cloud.metadata], chunk_size=CHUNK
+        )
+        yield from fs_cloud.format()
+        yield from timed("gdp_cloud_write", fs_cloud.write_file("m.pb", model))
+        data = yield from timed("gdp_cloud_read", fs_cloud.read_file("m.pb"))
+        assert data == model
+
+        # GDP, on-premise edge replica.
+        fs_edge = CapsuleFileSystem(
+            client, console, [gdp_edge.metadata], chunk_size=CHUNK
+        )
+        yield from fs_edge.format()
+        yield from timed("gdp_edge_write", fs_edge.write_file("m.pb", model))
+        data = yield from timed("gdp_edge_read", fs_edge.read_file("m.pb"))
+        assert data == model
+
+        # S3.
+        store = ObjectStoreClient(client, s3.name)
+        yield from timed("s3_write", store.put("m.pb", model))
+        data = yield from timed("s3_read", store.get("m.pb"))
+        assert data == model
+
+        # SSHFS against the cloud host.
+        fs = SshfsClient(client, sshfs_cloud.name)
+        yield from timed("sshfs_cloud_write", fs.write_file("/m.pb", model))
+        data = yield from timed("sshfs_cloud_read", fs.read_file("/m.pb"))
+        assert data == model
+
+        # SSHFS against the edge host (the paper runs SSHFS both ways).
+        fs2 = SshfsClient(client, sshfs_edge.name)
+        yield from timed("sshfs_edge_write", fs2.write_file("/m.pb", model))
+        data = yield from timed("sshfs_edge_read", fs2.read_file("/m.pb"))
+        assert data == model
+        return times
+
+    return net.sim.run_process(scenario())
+
+
+def average_runs(model_size: int) -> dict:
+    totals: dict[str, float] = {}
+    for seed in range(RUNS):
+        for key, value in run_case_study(model_size, seed).items():
+            totals[key] = totals.get(key, 0.0) + value
+    return {key: value / RUNS for key, value in totals.items()}
+
+
+SYSTEMS = [
+    ("S3 (cloud)", "s3"),
+    ("SSHFS (cloud)", "sshfs_cloud"),
+    ("GDP (cloud)", "gdp_cloud"),
+    ("SSHFS (edge)", "sshfs_edge"),
+    ("GDP (edge)", "gdp_edge"),
+]
+
+
+def check_shape(times: dict) -> None:
+    # Edge is orders of magnitude better than any cloud option.
+    assert times["gdp_edge_write"] < times["gdp_cloud_write"] / 5
+    assert times["gdp_edge_read"] < times["gdp_cloud_read"] / 5
+    assert times["gdp_edge_write"] < times["s3_write"] / 5
+    # GDP cloud is comparable to the cloud baselines (within ~2x of S3).
+    assert times["gdp_cloud_write"] < times["s3_write"] * 2
+    assert times["gdp_cloud_read"] < times["s3_read"] * 2
+    # All cloud writes are uplink-bound: none beats the 10 Mbps floor.
+    floor = 0.8 * (times["s3_write"])
+    assert times["gdp_cloud_write"] >= floor * 0.5
+
+
+@pytest.mark.parametrize(
+    "label,size",
+    [("28MB", MODEL_SMALL), ("115MB", MODEL_LARGE)],
+    ids=["model28MB", "model115MB"],
+)
+def test_fig8_model(benchmark, report, label, size):
+    times = benchmark.pedantic(average_runs, args=(size,), rounds=1, iterations=1)
+    check_shape(times)
+    scale_note = "" if _SCALE == 1 else f" (payloads scaled 1/{_SCALE})"
+    report.line(
+        f"Figure 8 — {label} model read/write seconds, avg of {RUNS} runs"
+        + scale_note
+    )
+    report.line("(paper: GDP cloud between SSHFS and S3; edge >> cloud)")
+    report.table(
+        ["system", "write_s", "read_s"],
+        [
+            [name, f"{times[key + '_write']:.2f}", f"{times[key + '_read']:.2f}"]
+            for name, key in SYSTEMS
+        ],
+    )
+    benchmark.extra_info.update({k: round(v, 3) for k, v in times.items()})

@@ -1,0 +1,141 @@
+#!/usr/bin/env python3
+"""The §IX case study: machine learning for robotics at the edge (Fig. 7).
+
+"General purpose robots are trained in the cloud and refined at the
+edge. DataCapsules serve as the information containers for both models
+and episode history ... The GDP enables partitioning resources based on
+ownership, and allows reasoning about flow of information."
+
+This example builds the full scenario:
+
+1. A general-purpose model is published from the cloud (a capsule
+   filesystem on cloud servers, world-readable).
+2. A factory pulls it once, refines it locally, and stores the refined
+   model + the robots' episode history on the *factory floor's* edge
+   server, scoped so neither ever leaves the factory domain
+   ("it is desirable to keep the environment-specific information ...
+   restricted to the factory floor for privacy reasons").
+3. Robots on the floor load the refined model at LAN speed and stream
+   episodes; an outside analyst can read the public model but the
+   factory data is cryptographically and topologically out of reach.
+
+Run:  python examples/factory_robots.py
+"""
+
+from repro.caapi import CapsuleFileSystem, TimeSeriesLog
+from repro.client import GdpClient, OwnerConsole
+from repro.crypto import SigningKey
+from repro.errors import GdpError
+from repro.server import DataCapsuleServer
+from repro.sim import blob, residential_edge_cloud
+
+
+def main():
+    topo = residential_edge_cloud(seed=9)
+    net = topo.net
+
+    # The 'home' domain plays the factory floor.
+    cloud_server = DataCapsuleServer(net, "cloud_server")
+    cloud_server.attach(topo.router("r_cloud"))
+    floor_server = DataCapsuleServer(net, "floor_server")
+    floor_server.attach(topo.router("r_home"))
+
+    trainer = GdpClient(net, "cloud_trainer")
+    trainer.attach(topo.router("r_cloud"))
+    factory = GdpClient(net, "factory_controller")
+    factory.attach(topo.router("r_home"))
+    robot = GdpClient(net, "robot_07")
+    robot.attach(topo.router("r_home"))
+    outsider = GdpClient(net, "outside_analyst")
+    outsider.attach(topo.router("r_isp"))
+
+    vendor_console = OwnerConsole(trainer, SigningKey.from_seed(b"vendor"))
+    factory_console = OwnerConsole(factory, SigningKey.from_seed(b"factory"))
+
+    base_model = blob(2 * 1024 * 1024, seed=1)       # the cloud-trained model
+    refined_model = blob(2 * 1024 * 1024, seed=2)    # after local fine-tuning
+
+    def scenario():
+        for endpoint in (cloud_server, floor_server, trainer, factory,
+                         robot, outsider):
+            yield endpoint.advertise()
+
+        # 1. Vendor publishes the general-purpose model in the cloud.
+        vendor_fs = CapsuleFileSystem(
+            trainer, vendor_console, [cloud_server.metadata],
+            chunk_size=512 * 1024,
+        )
+        yield from vendor_fs.format()
+        t0 = net.sim.now
+        yield from vendor_fs.write_file("models/general-v3.pb", base_model)
+        print(f"[cloud]   vendor published general model "
+              f"({len(base_model) >> 20} MB) in {net.sim.now - t0:.2f}s")
+        catalog = vendor_fs.directory_name
+
+        # 2. The factory pulls it once over the WAN...
+        factory_view = CapsuleFileSystem(factory, factory_console, [])
+        yield from factory_view.mount(catalog)
+        t0 = net.sim.now
+        pulled = yield from factory_view.read_file("models/general-v3.pb")
+        print(f"[factory] pulled general model over WAN in "
+              f"{net.sim.now - t0:.2f}s")
+        assert pulled == base_model
+
+        # ...refines it, and stores the result FLOOR-SCOPED: the AdCert
+        # restricts the capsule to the global.home domain.
+        floor_fs = CapsuleFileSystem(
+            factory, factory_console, [floor_server.metadata],
+            chunk_size=512 * 1024, scopes=["global.home"],
+        )
+        yield from floor_fs.format()
+        yield from floor_fs.write_file("models/refined-v3.1.pb", refined_model)
+        print("[factory] refined model stored on the floor server "
+              "(scope: global.home)")
+
+        # Episode history: a floor-scoped time-series capsule.
+        episodes = TimeSeriesLog(
+            factory, factory_console, [floor_server.metadata],
+            scopes=["global.home"],
+        )
+        yield from episodes.create()
+
+        # 3. A robot loads the refined model at LAN speed...
+        robot_fs = CapsuleFileSystem(robot, factory_console, [])
+        yield from robot_fs.mount(floor_fs.directory_name)
+        t0 = net.sim.now
+        model = yield from robot_fs.read_file("models/refined-v3.1.pb")
+        print(f"[robot]   loaded refined model from the edge in "
+              f"{net.sim.now - t0:.2f}s (vs WAN pull above)")
+        assert model == refined_model
+
+        # ...and streams grasp episodes into the history log.
+        for i in range(6):
+            yield from episodes.record(float(i), 0.8 + 0.02 * i)
+        count, lo, hi, mean = yield from episodes.aggregate(0.0, 10.0)
+        print(f"[robot]   logged {count} episodes "
+              f"(success rate {lo:.2f}..{hi:.2f}, mean {mean:.2f})")
+
+        # 4. The outside analyst can read the PUBLIC model...
+        outsider_fs = CapsuleFileSystem(outsider, vendor_console, [])
+        yield from outsider_fs.mount(catalog)
+        public = yield from outsider_fs.read_file("models/general-v3.pb")
+        assert public == base_model
+        print("[outside] analyst read the public cloud model: OK")
+
+        # ...but the floor-scoped data is unroutable from outside.
+        try:
+            outsider_view = CapsuleFileSystem(outsider, factory_console, [])
+            yield from outsider_view.mount(floor_fs.directory_name)
+            yield from outsider_view.read_file("models/refined-v3.1.pb")
+            print("!! factory data leaked (this must not happen)")
+        except GdpError as exc:
+            print(f"[outside] factory data unreachable as intended "
+                  f"({type(exc).__name__})")
+        return True
+
+    net.sim.run_process(scenario())
+    print(f"done at simulated t={net.sim.now:.2f}s")
+
+
+if __name__ == "__main__":
+    main()

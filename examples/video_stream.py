@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Loss-tolerant multimedia streaming over a lossy edge path.
+
+"A DataCapsule representing a streaming video can tolerate a few missing
+frames" (§IV-A): the stream pointer strategy gives each record pointers
+to its last W predecessors, so live playback survives dropped pushes
+while every delivered frame stays integrity-verified; time-shifted
+replay from storage later recovers the complete stream.
+
+Run:  python examples/video_stream.py
+"""
+
+from repro.adversary import PathAttacker
+from repro.caapi import StreamPublisher, StreamSubscriber
+from repro.client import GdpClient, OwnerConsole
+from repro.crypto import SigningKey
+from repro.routing import GdpRouter, RoutingDomain
+from repro.routing.pdu import T_PUSH
+from repro.server import DataCapsuleServer
+from repro.sim import GBPS, SimNetwork, blob
+
+
+def main():
+    net = SimNetwork(seed=13)
+    clock = lambda: net.sim.now  # noqa: E731
+    root = RoutingDomain("global", clock=clock)
+    venue = RoutingDomain("global.venue", root)
+    r_root = GdpRouter(net, "r_root", root)
+    r_venue = GdpRouter(net, "r_venue", venue)
+    net.connect(r_venue, r_root, latency=0.025, bandwidth=GBPS)
+    venue.attach_to_parent(r_venue, r_root)
+
+    server = DataCapsuleServer(net, "stream_server")
+    server.attach(r_venue)
+    camera = GdpClient(net, "camera")
+    camera.attach(r_venue)
+    viewer = GdpClient(net, "remote_viewer")
+    viewer.attach(r_root)
+
+    console = OwnerConsole(camera, SigningKey.from_seed(b"venue-owner"))
+    publisher = StreamPublisher(
+        camera, console, [server.metadata], window=4, gop=6
+    )
+
+    # A flaky WAN: 30% of push PDUs vanish.
+    attacker = PathAttacker(net, seed=99)
+    attacker.match = lambda pdu: pdu.ptype == T_PUSH
+    attacker.drop_rate = 0.30
+
+    played: list[int] = []
+    gap_events: list[list[int]] = []
+
+    def scenario():
+        for endpoint in (server, camera, viewer):
+            yield endpoint.advertise()
+        name = yield from publisher.create()
+        print(f"stream capsule {name.human()} "
+              f"(stream:4 pointers, keyframe every 6)")
+
+        subscriber = StreamSubscriber(viewer, name)
+        yield from subscriber.play(
+            lambda frame: played.append(frame.index),
+            on_gap=lambda missing: gap_events.append(missing),
+        )
+
+        attacker.install()
+        for i in range(30):
+            yield from publisher.publish(blob(1200, seed=i))
+            yield 1 / 30  # 30 fps
+        yield 1.0
+        attacker.uninstall()
+
+        print(f"live playback: {len(played)}/30 frames delivered, "
+              f"{len(subscriber.gaps)} lost in transit "
+              f"({attacker.stats['dropped']} PDUs black-holed)")
+        print(f"gap events surfaced to the player: {gap_events[:4]}...")
+
+        # Time-shift: replay from storage recovers every frame — the
+        # server persisted them all; only the live pushes were lost.
+        frames, missing = yield from subscriber.replay(1, 30)
+        print(f"time-shifted replay: {len(frames)}/30 frames recovered, "
+              f"{len(missing)} permanently missing")
+        assert [f.index for f in frames] == list(range(30))
+
+        # Integrity held throughout: every delivered frame was verified
+        # against a writer heartbeat before reaching the player.
+        reader = viewer.readers[name]
+        print(f"viewer's verified frontier: seqno "
+              f"{reader.frontier.seqno}")
+        return True
+
+    net.sim.run_process(scenario())
+    print(f"done at simulated t={net.sim.now:.2f}s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,15 @@
+"""Adversarial fault injection exercising the paper's threat model."""
+
+from repro.adversary.injection import (
+    EquivocatingWriter,
+    PathAttacker,
+    StorageTamperer,
+    forge_record,
+)
+
+__all__ = [
+    "PathAttacker",
+    "StorageTamperer",
+    "EquivocatingWriter",
+    "forge_record",
+]

@@ -1,0 +1,219 @@
+"""Adversarial fault injection — exercising the threat model (§IV-C).
+
+"Any messages can be arbitrarily delayed, replayed at a later time,
+tampered with during transit, or sent to the wrong destination.
+Similarly, a DataCapsule-server can attempt to tamper with individual
+records or the order of records when stored on disk."
+
+Network-path attacks install as delivery hooks on the simulated network
+(:class:`PathAttacker`); storage attacks mutate a server's hosted state
+(:class:`StorageTamperer`); :class:`EquivocatingWriter` is a *malicious
+writer* signing two histories.  Tests use these to show each attack is
+*detected* (an integrity/security error at the verifier), never silently
+absorbed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable
+
+from repro.capsule.capsule import DataCapsule
+from repro.capsule.heartbeat import Heartbeat
+from repro.capsule.records import Record
+from repro.crypto.keys import SigningKey
+from repro.naming.names import GdpName
+from repro.routing.pdu import Pdu
+from repro.server.dcserver import DataCapsuleServer
+from repro.sim.net import Link, Node, SimNetwork
+
+__all__ = [
+    "PathAttacker",
+    "StorageTamperer",
+    "EquivocatingWriter",
+    "forge_record",
+]
+
+
+class PathAttacker:
+    """An on-path adversary manipulating PDUs in flight.
+
+    Enable attacks by setting the rates/flags, then :meth:`install`.
+    All randomness draws from a private seeded RNG so attacks are
+    reproducible.
+    """
+
+    def __init__(self, network: SimNetwork, *, seed: int = 1337):
+        self.network = network
+        self.rng = random.Random(seed)
+        self.drop_rate = 0.0
+        self.tamper_rate = 0.0
+        self.replay_rate = 0.0
+        self.delay_rate = 0.0
+        self.delay_seconds = 0.5
+        self.match: Callable[[Pdu], bool] = lambda pdu: True
+        self.stats = {"dropped": 0, "tampered": 0, "replayed": 0, "delayed": 0}
+        self._installed = False
+
+    def install(self) -> None:
+        """Activate the delivery hook on the network."""
+        if not self._installed:
+            self.network.add_delivery_hook(self._hook)
+            self._installed = True
+
+    def uninstall(self) -> None:
+        """Deactivate the delivery hook."""
+        if self._installed:
+            self.network.remove_delivery_hook(self._hook)
+            self._installed = False
+
+    def _hook(
+        self, link: Link, sender: Node, receiver: Node, message: Any, size: int
+    ) -> bool | None:
+        if not isinstance(message, Pdu) or not self.match(message):
+            return None
+        if self.drop_rate and self.rng.random() < self.drop_rate:
+            self.stats["dropped"] += 1
+            return False  # black-hole (§II "effectively creating a black-hole")
+        if self.tamper_rate and self.rng.random() < self.tamper_rate:
+            self._tamper(message)
+            self.stats["tampered"] += 1
+        if self.replay_rate and self.rng.random() < self.replay_rate:
+            # Deliver an extra copy later (replay attack).
+            copy = Pdu(
+                message.src, message.dst, message.ptype,
+                message.payload, corr_id=message.corr_id, ttl=message.ttl,
+            )
+            self.network.sim.schedule(
+                self.delay_seconds,
+                lambda: receiver.receive(copy, sender, link),
+            )
+            self.stats["replayed"] += 1
+        if self.delay_rate and self.rng.random() < self.delay_rate:
+            self.stats["delayed"] += 1
+            self.network.sim.schedule(
+                self.delay_seconds,
+                lambda: receiver.receive(message, sender, link),
+            )
+            return False  # suppress the on-time delivery
+        return None
+
+    def _tamper(self, pdu: Pdu) -> None:
+        """Flip bytes somewhere in the payload (recursively finds a
+        bytes field to corrupt)."""
+
+        def corrupt(value: Any) -> Any:
+            if isinstance(value, bytes) and value:
+                index = self.rng.randrange(len(value))
+                flipped = bytes(
+                    b ^ 0xFF if i == index else b for i, b in enumerate(value)
+                )
+                return flipped
+            if isinstance(value, dict):
+                for key in sorted(value):
+                    new = corrupt(value[key])
+                    if new is not value[key]:
+                        value[key] = new
+                        return value
+            if isinstance(value, list):
+                for i, item in enumerate(value):
+                    new = corrupt(item)
+                    if new is not item:
+                        value[i] = new
+                        return value
+            return value
+
+        pdu.payload = corrupt(pdu.payload)
+        pdu._size = None
+
+
+class StorageTamperer:
+    """A malicious DataCapsule-server mutating stored state."""
+
+    def __init__(self, server: DataCapsuleServer):
+        self.server = server
+
+    def corrupt_record(self, capsule_name: GdpName, seqno: int) -> None:
+        """Replace a stored record's payload (keeping its metadata) —
+        the digest no longer matches, so reads fail verification."""
+        hosted = self.server.hosted[capsule_name]
+        capsule = hosted.capsule
+        record = capsule.get(seqno)
+        forged = Record(
+            record.capsule,
+            record.seqno,
+            record.payload + b"!tampered!",
+            record.pointers,
+        )
+        # Reach into the store the way a hostile operator would: swap
+        # the bytes without updating any index.
+        capsule._by_digest.pop(record.digest)
+        capsule._by_digest[forged.digest] = forged
+        bucket = capsule._by_seqno[seqno]
+        bucket[bucket.index(record.digest)] = forged.digest
+
+    def rollback(self, capsule_name: GdpName, keep: int) -> None:
+        """Serve a stale prefix: drop every record/heartbeat after
+        *keep* (a freshness attack)."""
+        hosted = self.server.hosted[capsule_name]
+        capsule = hosted.capsule
+        for seqno in [s for s in capsule.seqnos() if s > keep]:
+            for digest in capsule._by_seqno.pop(seqno):
+                capsule._by_digest.pop(digest, None)
+        capsule._heartbeats = {
+            seqno: beats
+            for seqno, beats in capsule._heartbeats.items()
+            if seqno <= keep
+        }
+        capsule._latest_heartbeat = None
+        for beats in capsule._heartbeats.values():
+            for heartbeat in beats:
+                if (
+                    capsule._latest_heartbeat is None
+                    or heartbeat.seqno > capsule._latest_heartbeat.seqno
+                ):
+                    capsule._latest_heartbeat = heartbeat
+
+
+class EquivocatingWriter:
+    """A malicious single writer signing two divergent histories."""
+
+    def __init__(self, capsule: DataCapsule, writer_key: SigningKey):
+        self.capsule = capsule
+        self.key = writer_key
+
+    def fork_at(
+        self, base: Record, payload_a: bytes, payload_b: bytes
+    ) -> tuple[tuple[Record, Heartbeat], tuple[Record, Heartbeat]]:
+        """Two signed (record, heartbeat) pairs for the same seqno on
+        top of *base* — cryptographic proof of equivocation."""
+        from repro.crypto.hashing import HashPointer
+
+        seqno = base.seqno + 1
+        out = []
+        for payload in (payload_a, payload_b):
+            record = Record(
+                self.capsule.name,
+                seqno,
+                payload,
+                [HashPointer(base.seqno, base.digest)],
+            )
+            heartbeat = Heartbeat.create(
+                self.key, self.capsule.name, seqno, record.digest, seqno
+            )
+            out.append((record, heartbeat))
+        return out[0], out[1]
+
+
+def forge_record(
+    capsule_name: GdpName, seqno: int, payload: bytes
+) -> Record:
+    """A syntactically valid record with made-up pointers — what an
+    adversary without the writer key can best produce."""
+    from repro.crypto.hashing import HashPointer
+
+    fake_digest = bytes(32)
+    pointers = [HashPointer(max(seqno - 1, 0), fake_digest)] if seqno > 1 else [
+        HashPointer(0, fake_digest)
+    ]
+    return Record(capsule_name, seqno, payload, pointers)

@@ -1,0 +1,12 @@
+"""Baseline systems for the Figure 8 case study: a simulated cloud
+object store (S3) and a simulated SSHFS."""
+
+from repro.baselines.s3sim import ObjectStoreClient, ObjectStoreServer
+from repro.baselines.sshfs_sim import SshfsClient, SshfsServer
+
+__all__ = [
+    "ObjectStoreServer",
+    "ObjectStoreClient",
+    "SshfsServer",
+    "SshfsClient",
+]

@@ -1,0 +1,137 @@
+"""Simulated cloud object store (the Figure 8 "S3" baseline).
+
+What matters for the case study is the *transfer-time structure* of an
+object store reached over the client's residential link: a per-request
+service latency (request processing + time-to-first-byte) followed by a
+single-stream transfer of the whole object, bandwidth-bound by the
+narrowest link on the path (the 10 Mbps uplink for writes, 100 Mbps
+downlink for reads).
+
+The store is an ordinary endpoint on the simulated network — no flat
+names, no proofs, no delegations — so the comparison against GDP is
+infrastructure-for-infrastructure, exactly as in §IX ("given equivalent
+infrastructure, the GDP and DataCapsules provide comparable performance
+to existing cloud systems (S3)").
+
+Multipart transfer is modelled (``part_size``): real S3 clients upload
+large objects in parts; each part pays the per-request overhead.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.crypto.keys import SigningKey
+from repro.errors import RecordNotFoundError, TransportError
+from repro.naming.metadata import make_server_metadata
+from repro.routing.endpoint import Endpoint
+from repro.routing.pdu import Pdu
+from repro.sim.net import SimNetwork
+
+__all__ = ["ObjectStoreServer", "ObjectStoreClient"]
+
+#: per-request service latency (request parse + TTFB), roughly S3-like
+DEFAULT_REQUEST_LATENCY = 0.030
+
+
+class ObjectStoreServer(Endpoint):
+    """A flat PUT/GET blob server."""
+
+    def __init__(
+        self,
+        network: SimNetwork,
+        node_id: str,
+        *,
+        request_latency: float = DEFAULT_REQUEST_LATENCY,
+    ):
+        key = SigningKey.from_seed(b"s3:" + node_id.encode())
+        metadata = make_server_metadata(
+            key, key.public, extra={"node_id": node_id, "service": "s3sim"}
+        )
+        super().__init__(network, node_id, metadata, key)
+        self.request_latency = request_latency
+        self.objects: dict[str, bytes] = {}
+        self.stats_puts = 0
+        self.stats_gets = 0
+
+    def on_request(self, pdu: Pdu) -> Any:
+        """Serve one application request (see class docstring)."""
+        payload = pdu.payload
+        op = payload.get("op")
+        result = self.sim.future()
+
+        def serve() -> None:
+            if op == "put":
+                parts = self.objects.get(payload["key"], b"")
+                if payload.get("part", 0) == 0:
+                    parts = b""
+                self.objects[payload["key"]] = parts + payload["data"]
+                self.stats_puts += 1
+                result.resolve({"ok": True})
+            elif op == "get":
+                data = self.objects.get(payload["key"])
+                if data is None:
+                    result.resolve({"ok": False, "error": "NoSuchKey"})
+                    return
+                offset = payload.get("offset", 0)
+                length = payload.get("length", len(data) - offset)
+                self.stats_gets += 1
+                result.resolve({"ok": True, "data": data[offset : offset + length]})
+            else:
+                result.resolve({"ok": False, "error": f"unknown op {op!r}"})
+
+        self.sim.schedule(self.request_latency, serve)
+        return result
+
+
+class ObjectStoreClient:
+    """PUT/GET through any attached endpoint, multipart like a real SDK."""
+
+    def __init__(
+        self,
+        endpoint: Endpoint,
+        server_name,
+        *,
+        part_size: int = 8 * 1024 * 1024,
+    ):
+        self.endpoint = endpoint
+        self.server_name = server_name
+        self.part_size = part_size
+
+    def put(self, key: str, data: bytes) -> Generator:
+        """Upload an object (multipart for large blobs)."""
+        for part, offset in enumerate(range(0, max(len(data), 1), self.part_size)):
+            chunk = data[offset : offset + self.part_size]
+            reply = yield self.endpoint.rpc(
+                self.server_name,
+                {"op": "put", "key": key, "data": chunk, "part": part},
+                timeout=600.0,
+            )
+            if not reply.get("ok"):
+                raise TransportError(f"PUT failed: {reply.get('error')}")
+
+    def get(self, key: str) -> Generator:
+        """Download an object (ranged GETs of part_size)."""
+        data = b""
+        offset = 0
+        while True:
+            reply = yield self.endpoint.rpc(
+                self.server_name,
+                {
+                    "op": "get",
+                    "key": key,
+                    "offset": offset,
+                    "length": self.part_size,
+                },
+                timeout=600.0,
+            )
+            if not reply.get("ok"):
+                if offset == 0:
+                    raise RecordNotFoundError(f"GET failed: {reply.get('error')}")
+                break
+            chunk = reply["data"]
+            data += chunk
+            offset += len(chunk)
+            if len(chunk) < self.part_size:
+                break
+        return data

@@ -1,0 +1,34 @@
+"""Common Access APIs (CAAPIs): richer interfaces over DataCapsules
+(§V-B) — filesystem, key-value store, time-series, lossy streams,
+multi-writer commit service, and aggregation."""
+
+from repro.caapi.aggregation import AggregationService
+from repro.caapi.audit import AuditedLog, AuditProof
+from repro.caapi.commit_service import (
+    CommitService,
+    read_committed,
+    submit_update,
+)
+from repro.caapi.filesystem import CapsuleFileSystem
+from repro.caapi.gateway import GatewayService, LegacyHttpClient
+from repro.caapi.kvstore import CapsuleKVStore
+from repro.caapi.stream import Frame, StreamPublisher, StreamSubscriber
+from repro.caapi.timeseries import Sample, TimeSeriesLog
+
+__all__ = [
+    "CapsuleFileSystem",
+    "CapsuleKVStore",
+    "TimeSeriesLog",
+    "Sample",
+    "StreamPublisher",
+    "StreamSubscriber",
+    "Frame",
+    "CommitService",
+    "submit_update",
+    "read_committed",
+    "AggregationService",
+    "GatewayService",
+    "LegacyHttpClient",
+    "AuditedLog",
+    "AuditProof",
+]

@@ -1,0 +1,191 @@
+"""Multi-writer support: the distributed commit service (§V-A).
+
+"Multiple writers can be accommodated in two ways: (a) by using a
+distributed commit service that accepts updates from multiple writers,
+serializes them, and appends them to a DataCapsule ... In the first
+case, such a distributed commit service is the single writer, and
+represents a separation of write decisions from durability
+responsibilities."
+
+:class:`CommitService` is a GDP endpoint that *is* the capsule's single
+writer.  Clients submit updates (op ``submit``); the service authorizes
+them against an owner-maintained ACL, serializes in arrival order,
+appends through the normal writer path, and returns the assigned
+sequence number.  Each committed record wraps the submitter identity, so
+provenance survives the indirection.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Sequence
+
+from repro import encoding
+from repro.client.client import ClientWriter, GdpClient
+from repro.client.owner import OwnerConsole
+from repro.crypto.keys import SigningKey, VerifyingKey
+from repro.errors import AuthorizationError, CapsuleError
+from repro.naming.metadata import Metadata
+from repro.naming.names import GdpName
+from repro.routing.pdu import Pdu
+from repro.sim.engine import Future
+from repro.sim.net import SimNetwork
+
+__all__ = ["CommitService", "submit_update"]
+
+
+class CommitService(GdpClient):
+    """A serialization point turning a single-writer capsule into a
+    multi-writer repository."""
+
+    def __init__(
+        self,
+        network: SimNetwork,
+        node_id: str,
+        *,
+        key: SigningKey | None = None,
+        allowed_writers: Sequence[VerifyingKey] = (),
+    ):
+        super().__init__(network, node_id, key=key)
+        self.allowed_writers: set[bytes] = {
+            k.to_bytes() for k in allowed_writers
+        }
+        self._writer: ClientWriter | None = None
+        self._commit_chain: Future | None = None
+        self.stats_committed = 0
+        self.stats_rejected = 0
+
+    def allow_writer(self, key: VerifyingKey) -> None:
+        """Add a key to the write ACL."""
+        self.allowed_writers.add(key.to_bytes())
+
+    def create_capsule(
+        self,
+        console: OwnerConsole,
+        server_metadatas: Sequence[Metadata],
+        *,
+        scopes: Sequence[str] = (),
+        acks: str = "any",
+    ) -> Generator:
+        """Create the backing capsule with *this service* as the single
+        writer; returns its name."""
+        metadata = console.design_capsule(
+            self.key.public,
+            pointer_strategy="chain",
+            label="caapi.commit",
+            extra={"caapi": "commit"},
+        )
+        yield from console.place_capsule(
+            metadata, server_metadatas, scopes=scopes
+        )
+        self._writer = self.open_writer(metadata, self.key, acks=acks)
+        yield 0.2
+        return metadata.name
+
+    @property
+    def capsule_name(self) -> GdpName:
+        """The backing capsule's name."""
+        if self._writer is None:
+            raise CapsuleError("commit service has no capsule yet")
+        return self._writer.capsule_name
+
+    # -- the service side -----------------------------------------------------
+
+    def on_request(self, pdu: Pdu) -> Any:
+        """Serve one application request (see class docstring)."""
+        payload = pdu.payload
+        if not isinstance(payload, dict) or payload.get("op") != "submit":
+            return {"ok": False, "error": "unknown op"}
+        if self._writer is None:
+            return {"ok": False, "error": "service not ready"}
+        try:
+            self._authorize(payload)
+        except AuthorizationError as exc:
+            self.stats_rejected += 1
+            return {"ok": False, "error": str(exc)}
+        return self._serialize_and_commit(pdu, payload)
+
+    def _authorize(self, payload: dict) -> None:
+        """Check the submitter's signature over the update (write access
+        control at the commit point)."""
+        try:
+            submitter = VerifyingKey.from_bytes(payload["submitter"])
+            data = payload["data"]
+            signature = payload["signature"]
+        except (KeyError, TypeError) as exc:
+            raise AuthorizationError(f"malformed submission: {exc}") from exc
+        if self.allowed_writers and submitter.to_bytes() not in self.allowed_writers:
+            raise AuthorizationError("submitter is not on the write ACL")
+        preimage = b"gdp.commit.submit" + encoding.encode(
+            [self.capsule_name.raw, data]
+        )
+        if not submitter.verify(preimage, signature):
+            raise AuthorizationError("submission signature invalid")
+
+    def _serialize_and_commit(self, pdu: Pdu, payload: dict) -> Future:
+        """Append submissions strictly one at a time (the serialization
+        responsibility the writer carries, §V-A); concurrent arrivals
+        chain behind each other."""
+        result = self.sim.future()
+        previous = self._commit_chain
+        self._commit_chain = result
+
+        def run(_: Future | None = None) -> None:
+            wrapped = encoding.encode(
+                {"submitter": payload["submitter"], "data": payload["data"]}
+            )
+            process = self.sim.spawn(
+                self._writer.append(wrapped), name="commit.append"
+            )
+
+            def done(fut: Future) -> None:
+                try:
+                    record, acks = fut.result()
+                except Exception as exc:  # noqa: BLE001 — reported to client
+                    result.resolve({"ok": False, "error": str(exc)})
+                    return
+                self.stats_committed += 1
+                result.resolve(
+                    {"ok": True, "seqno": record.seqno, "acks": acks}
+                )
+
+            process.completion.add_callback(done)
+
+        if previous is None or previous.done:
+            run()
+        else:
+            previous.add_callback(run)
+        return result
+
+
+def submit_update(
+    client: GdpClient,
+    service_name: GdpName,
+    capsule_name: GdpName,
+    data: bytes,
+    *,
+    timeout: float = 30.0,
+) -> Generator:
+    """Client-side submission to a commit service; returns the assigned
+    seqno."""
+    preimage = b"gdp.commit.submit" + encoding.encode([capsule_name.raw, data])
+    reply = yield client.rpc(
+        service_name,
+        {
+            "op": "submit",
+            "submitter": client.key.public.to_bytes(),
+            "data": data,
+            "signature": client.key.sign(preimage),
+        },
+        timeout=timeout,
+    )
+    body = reply.get("body", reply) if isinstance(reply, dict) else reply
+    if not body.get("ok"):
+        raise CapsuleError(body.get("error", "commit rejected"))
+    return body["seqno"]
+
+
+def read_committed(record_payload: bytes) -> tuple[bytes, bytes]:
+    """Unwrap a committed record: ``(submitter key bytes, data)`` —
+    provenance through the commit indirection."""
+    entry = encoding.decode(record_payload)
+    return entry["submitter"], entry["data"]

@@ -1,0 +1,264 @@
+"""Filesystem CAAPI — the paper's TensorFlow-plugin design (§IX).
+
+"Internally, this CAAPI maintains a top-level directory in a single
+DataCapsule. Each filename is represented as its own DataCapsule; the
+top-level directory merely maps filenames to DataCapsule-names."
+
+- The **directory capsule** is a log of ``{path -> file-capsule name}``
+  bindings (and tombstones); its materialized view is rebuilt by verified
+  replay, so the whole namespace inherits capsule integrity.
+- Each **file capsule** (checkpoint pointer strategy) holds the file
+  content as fixed-size chunk records; a range read reassembles the file
+  with a single range proof.
+
+Every method is a generator coroutine (run inside a sim process); the
+filesystem is a *client-side* construct — servers see only ordinary
+capsules ("the infrastructure merely makes the information durable and
+available", §V-B).
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Sequence
+
+from repro import encoding
+from repro.capsule.sealed import ContentKey, ReadGrant, open_payload, seal_payload
+from repro.client.client import ClientWriter, GdpClient
+from repro.client.owner import OwnerConsole
+from repro.crypto.keys import SigningKey, VerifyingKey
+from repro.errors import CapsuleError, IntegrityError, RecordNotFoundError
+from repro.naming.metadata import Metadata
+from repro.naming.names import GdpName
+
+__all__ = ["CapsuleFileSystem", "DEFAULT_CHUNK"]
+
+DEFAULT_CHUNK = 1 * 1024 * 1024  # 1 MiB chunk records
+
+
+class CapsuleFileSystem:
+    """A mutable filesystem interface over immutable capsules."""
+
+    def __init__(
+        self,
+        client: GdpClient,
+        console: OwnerConsole,
+        server_metadatas: Sequence[Metadata],
+        *,
+        writer_key: SigningKey | None = None,
+        chunk_size: int = DEFAULT_CHUNK,
+        scopes: Sequence[str] = (),
+        acks: str = "any",
+        encrypt: bool = False,
+    ):
+        if chunk_size < 1:
+            raise CapsuleError("chunk_size must be >= 1")
+        self.client = client
+        self.console = console
+        self.servers = list(server_metadatas)
+        self.writer_key = writer_key or SigningKey.from_seed(
+            b"fswriter:" + client.node_id.encode()
+        )
+        self.chunk_size = chunk_size
+        self.scopes = tuple(scopes)
+        self.acks = acks
+        self.encrypt = encrypt
+        self._dir_writer: ClientWriter | None = None
+        self._dir_name: GdpName | None = None
+        self._file_seq = 0
+        #: per-file content keys (owner side, or unwrapped from grants)
+        self._content_keys: dict[GdpName, ContentKey] = {}
+
+    @property
+    def directory_name(self) -> GdpName:
+        """The top-level directory capsule's name."""
+        if self._dir_name is None:
+            raise CapsuleError("filesystem is not formatted yet")
+        return self._dir_name
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def format(self) -> Generator:
+        """Create the top-level directory capsule; returns its name."""
+        metadata = self.console.design_capsule(
+            self.writer_key.public,
+            pointer_strategy="chain",
+            label="caapi.fs.directory",
+            extra={"caapi": "filesystem"},
+        )
+        yield from self.console.place_capsule(
+            metadata, self.servers, scopes=self.scopes
+        )
+        self._dir_writer = self.client.open_writer(
+            metadata, self.writer_key, acks=self.acks
+        )
+        self._dir_name = metadata.name
+        yield 0.2  # allow server re-advertisements to land
+        return metadata.name
+
+    def mount(self, directory_name: GdpName) -> Generator:
+        """Read-only attach to an existing filesystem's directory."""
+        yield from self.client.fetch_metadata(directory_name)
+        self._dir_name = directory_name
+        return directory_name
+
+    # -- directory replay ------------------------------------------------------
+
+    def _directory_view(self) -> Generator:
+        """Replay the directory log into
+        ``{path: (capsule raw, size, encrypted)}``."""
+        assert self._dir_name is not None
+        latest = yield from self.client.read_latest(self._dir_name)
+        view: dict[str, tuple[bytes, int, bool]] = {}
+        if latest is None:
+            return view
+        records = yield from self.client.read_range(
+            self._dir_name, 1, latest.seqno
+        )
+        for record in records:
+            entry = encoding.decode(record.payload)
+            if entry.get("tombstone"):
+                view.pop(entry["path"], None)
+            else:
+                view[entry["path"]] = (
+                    entry["capsule"],
+                    entry["size"],
+                    bool(entry.get("encrypted")),
+                )
+        return view
+
+    def listdir(self) -> Generator:
+        """All live paths, sorted."""
+        view = yield from self._directory_view()
+        return sorted(view)
+
+    def stat(self, path: str) -> Generator:
+        """``(file capsule name, size)``; raises if absent."""
+        view = yield from self._directory_view()
+        if path not in view:
+            raise RecordNotFoundError(f"no such file: {path!r}")
+        raw, size, _encrypted = view[path]
+        return GdpName(raw), size
+
+    # -- file IO -----------------------------------------------------------------
+
+    def write_file(self, path: str, data: bytes) -> Generator:
+        """Create/replace *path* with *data*; returns the file capsule
+        name.  A replace writes a fresh capsule and re-binds the path —
+        old versions stay intact and addressable (multi-versioned, as
+        the paper's "secure, multi-versioned binaries" need)."""
+        if self._dir_writer is None:
+            raise CapsuleError("filesystem is read-only (mounted) or unformatted")
+        self._file_seq += 1
+        metadata = self.console.design_capsule(
+            self.writer_key.public,
+            pointer_strategy="checkpoint:16",
+            label=f"caapi.fs.file:{path}",
+            extra={"caapi": "filesystem.file", "fileseq": self._file_seq},
+        )
+        yield from self.console.place_capsule(
+            metadata, self.servers, scopes=self.scopes
+        )
+        yield 0.2  # advertisement settling
+        writer = self.client.open_writer(
+            metadata, self.writer_key, acks=self.acks
+        )
+        content_key: ContentKey | None = None
+        if self.encrypt:
+            # §V: "read access control is maintained by selective
+            # sharing of decryption keys" — one content key per file;
+            # the infrastructure stores only ciphertext.
+            content_key = ContentKey.generate(metadata.name)
+            self._content_keys[metadata.name] = content_key
+        chunks: list[bytes] = []
+        seqno = 0
+        for offset in range(0, len(data), self.chunk_size):
+            chunk = data[offset : offset + self.chunk_size]
+            seqno += 1
+            if content_key is not None:
+                chunk = seal_payload(content_key, seqno, chunk)
+            chunks.append(chunk)
+        if not data:
+            chunks.append(
+                seal_payload(content_key, 1, b"")
+                if content_key is not None
+                else b""
+            )
+        # Pipelined appends keep the uplink full instead of paying one
+        # round trip per chunk (the paper's event-driven client library).
+        yield from writer.append_stream(chunks)
+        entry = encoding.encode(
+            {
+                "path": path,
+                "capsule": metadata.name.raw,
+                "size": len(data),
+                "encrypted": self.encrypt,
+            }
+        )
+        yield from self._dir_writer.append(entry)
+        return metadata.name
+
+    def read_file(self, path: str) -> Generator:
+        """Read and reassemble *path* with verified range proofs;
+        encrypted files are decrypted with the held content key."""
+        view = yield from self._directory_view()
+        if path not in view:
+            raise RecordNotFoundError(f"no such file: {path!r}")
+        raw, size, encrypted = view[path]
+        file_name = GdpName(raw)
+        latest = yield from self.client.read_latest(file_name)
+        if latest is None:
+            raise RecordNotFoundError(f"file capsule for {path!r} is empty")
+        records = yield from self.client.read_range(
+            file_name, 1, latest.seqno
+        )
+        if encrypted:
+            content_key = self._content_keys.get(file_name)
+            if content_key is None:
+                raise IntegrityError(
+                    f"file {path!r} is encrypted and no content key/grant "
+                    "is held"
+                )
+            chunks = [
+                open_payload(content_key, record.seqno, record.payload)
+                for record in records
+            ]
+        else:
+            chunks = [record.payload for record in records]
+        data = b"".join(chunks)
+        if len(data) != size:
+            raise CapsuleError(
+                f"file {path!r}: directory says {size} bytes, "
+                f"capsule holds {len(data)}"
+            )
+        return data
+
+    # -- read access control (key sharing) ---------------------------------
+
+    def grant_read(self, path: str, reader_key: VerifyingKey) -> Generator:
+        """Wrap *path*'s content key to a reader's public key; returns
+        the :class:`ReadGrant` to hand over out of band (or store in a
+        capsule)."""
+        file_name, _size = yield from self.stat(path)
+        content_key = self._content_keys.get(file_name)
+        if content_key is None:
+            raise IntegrityError(
+                f"no content key held for {path!r} (not encrypted, or not "
+                "the owner)"
+            )
+        return ReadGrant.create(content_key, reader_key)
+
+    def accept_grant(self, grant: ReadGrant, reader_key: SigningKey) -> None:
+        """Unwrap a received grant so :meth:`read_file` can decrypt."""
+        content_key = grant.unwrap(reader_key)
+        self._content_keys[grant.capsule] = content_key
+
+    def delete(self, path: str) -> Generator:
+        """Unlink *path* (tombstone in the directory log; the file
+        capsule itself is immutable history)."""
+        if self._dir_writer is None:
+            raise CapsuleError("filesystem is read-only (mounted) or unformatted")
+        view = yield from self._directory_view()
+        if path not in view:
+            raise RecordNotFoundError(f"no such file: {path!r}")
+        entry = encoding.encode({"path": path, "tombstone": True})
+        yield from self._dir_writer.append(entry)

@@ -1,0 +1,174 @@
+"""Key-value store CAAPI.
+
+"It should come as no surprise that DataCapsules are sufficient to
+implement any convenient, mutable data storage repository" (§V-B).  This
+CAAPI materializes a mutable map from an append-only log of put/delete
+operations, with periodic *snapshot* records so late readers replay
+O(snapshot interval) records instead of the whole history.
+
+Snapshot records pair naturally with the ``checkpoint:K`` pointer
+strategy: a reader can hop checkpoint-to-checkpoint to the latest
+snapshot with O(n/K) proof work, then replay the tail.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Sequence
+
+from repro import encoding
+from repro.client.client import ClientWriter, GdpClient
+from repro.client.owner import OwnerConsole
+from repro.crypto.keys import SigningKey
+from repro.errors import CapsuleError, RecordNotFoundError
+from repro.naming.metadata import Metadata
+from repro.naming.names import GdpName
+
+__all__ = ["CapsuleKVStore"]
+
+_OP_PUT = "put"
+_OP_DELETE = "del"
+_OP_SNAPSHOT = "snap"
+
+
+class CapsuleKVStore:
+    """A mutable string-keyed map over one DataCapsule."""
+
+    def __init__(
+        self,
+        client: GdpClient,
+        console: OwnerConsole,
+        server_metadatas: Sequence[Metadata],
+        *,
+        writer_key: SigningKey | None = None,
+        snapshot_interval: int = 64,
+        scopes: Sequence[str] = (),
+        acks: str = "any",
+    ):
+        if snapshot_interval < 2:
+            raise CapsuleError("snapshot_interval must be >= 2")
+        self.client = client
+        self.console = console
+        self.servers = list(server_metadatas)
+        self.writer_key = writer_key or SigningKey.from_seed(
+            b"kvwriter:" + client.node_id.encode()
+        )
+        self.snapshot_interval = snapshot_interval
+        self.scopes = tuple(scopes)
+        self.acks = acks
+        self._writer: ClientWriter | None = None
+        self._name: GdpName | None = None
+        self._view: dict[str, Any] = {}  # writer-side materialized state
+        self._since_snapshot = 0
+
+    @property
+    def name(self) -> GdpName:
+        """The flat GDP name of this object."""
+        if self._name is None:
+            raise CapsuleError("store not created/mounted yet")
+        return self._name
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def create(self) -> Generator:
+        """Create the backing capsule; returns its name."""
+        metadata = self.console.design_capsule(
+            self.writer_key.public,
+            pointer_strategy=f"checkpoint:{self.snapshot_interval}",
+            label="caapi.kvstore",
+            extra={"caapi": "kvstore"},
+        )
+        yield from self.console.place_capsule(
+            metadata, self.servers, scopes=self.scopes
+        )
+        self._writer = self.client.open_writer(
+            metadata, self.writer_key, acks=self.acks
+        )
+        self._name = metadata.name
+        yield 0.2
+        return metadata.name
+
+    def mount(self, name: GdpName) -> Generator:
+        """Attach read-only to an existing store."""
+        yield from self.client.fetch_metadata(name)
+        self._name = name
+        return name
+
+    # -- mutation (writer side) ----------------------------------------------
+
+    def _log(self, entry: dict) -> Generator:
+        if self._writer is None:
+            raise CapsuleError("store is read-only (mounted) or not created")
+        yield from self._writer.append(encoding.encode(entry))
+        self._since_snapshot += 1
+        if self._since_snapshot >= self.snapshot_interval:
+            yield from self._snapshot()
+
+    def _snapshot(self) -> Generator:
+        assert self._writer is not None
+        snap = {"op": _OP_SNAPSHOT, "state": dict(self._view)}
+        yield from self._writer.append(encoding.encode(snap))
+        self._since_snapshot = 0
+
+    def put(self, key: str, value: Any) -> Generator:
+        """Bind *key* to *value* (any wire-encodable value)."""
+        self._view[key] = value
+        yield from self._log({"op": _OP_PUT, "key": key, "value": value})
+
+    def delete(self, key: str) -> Generator:
+        """Remove a key; raises if absent."""
+        if key not in self._view:
+            raise RecordNotFoundError(f"no such key {key!r}")
+        del self._view[key]
+        yield from self._log({"op": _OP_DELETE, "key": key})
+
+    # -- reads (any client) ------------------------------------------------------
+
+    def _replay(self) -> Generator:
+        """Verified rebuild of the map: find the latest snapshot, replay
+        the tail."""
+        name = self.name
+        latest = yield from self.client.read_latest(name)
+        if latest is None:
+            return {}
+        last = latest.seqno
+        # Walk backwards to the nearest snapshot (bounded by interval).
+        view: dict[str, Any] = {}
+        start = 1
+        for seqno in range(last, max(0, last - self.snapshot_interval), -1):
+            record = yield from self.client.read(name, seqno)
+            entry = encoding.decode(record.payload)
+            if entry["op"] == _OP_SNAPSHOT:
+                view = dict(entry["state"])
+                start = seqno + 1
+                break
+        else:
+            start = max(1, last - self.snapshot_interval + 1)
+            if start > 1:
+                # No snapshot in the window: fall back to full replay.
+                start = 1
+        if start <= last:
+            records = yield from self.client.read_range(name, start, last)
+            for record in records:
+                entry = encoding.decode(record.payload)
+                if entry["op"] == _OP_PUT:
+                    view[entry["key"]] = entry["value"]
+                elif entry["op"] == _OP_DELETE:
+                    view.pop(entry["key"], None)
+        return view
+
+    def get(self, key: str) -> Generator:
+        """Verified lookup of one key; raises if absent."""
+        view = yield from self._replay()
+        if key not in view:
+            raise RecordNotFoundError(f"no such key {key!r}")
+        return view[key]
+
+    def keys(self) -> Generator:
+        """Sorted live keys (verified replay)."""
+        view = yield from self._replay()
+        return sorted(view)
+
+    def items(self) -> Generator:
+        """The full verified map."""
+        view = yield from self._replay()
+        return dict(view)

@@ -1,0 +1,138 @@
+"""Branch analysis for quasi-single-writer capsules (§VI-C).
+
+"In QSW mode, there is a chance of branches in the DataCapsule ... a
+branch is a condition when two or more records have hash pointers that
+point to the same record. Such branches result in a partial order of
+records. In such a case, a reader can only expect strong eventual
+consistency."
+
+This module computes the history DAG over a capsule's records, finds
+branch points and tips, exposes the partial order, and provides the
+deterministic tie-break (the *resolution order*) that gives all replicas
+the same linearization of a branched history — the "strong eventual"
+part: replicas that have received the same records agree on the same
+resolved view without coordination.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.capsule.capsule import DataCapsule
+from repro.capsule.records import Record
+from repro.errors import BranchError
+
+__all__ = [
+    "branch_points",
+    "is_linear",
+    "partial_order",
+    "resolve_linearization",
+    "common_prefix_length",
+]
+
+
+def branch_points(capsule: DataCapsule) -> list[Record]:
+    """Records with two or more distinct successors (in-DAG fan-out).
+
+    The successor relation follows *predecessor* pointers only (the
+    highest-seqno pointer of each record): extra skip/checkpoint pointers
+    intentionally converge on old records and are not forks.
+    """
+    successor_count: dict[bytes, set[bytes]] = {}
+    for record in capsule.records():
+        prev = record.prev
+        if prev.seqno == 0:
+            continue
+        successor_count.setdefault(prev.digest, set()).add(record.digest)
+    return sorted(
+        (
+            capsule.get_by_digest(digest)
+            for digest, succs in successor_count.items()
+            if len(succs) > 1 and digest in capsule
+        ),
+        key=lambda r: (r.seqno, r.digest),
+    )
+
+
+def is_linear(capsule: DataCapsule) -> bool:
+    """True iff the history is a single chain (no branches, ≤1 tip)."""
+    return not capsule.is_branched() and len(capsule.tips()) <= 1
+
+
+def partial_order(capsule: DataCapsule) -> dict[bytes, set[bytes]]:
+    """The happens-before relation: digest -> set of digests it
+    (transitively, via any pointer) descends from."""
+    ancestors: dict[bytes, set[bytes]] = {}
+
+    def compute(record: Record) -> set[bytes]:
+        if record.digest in ancestors:
+            return ancestors[record.digest]
+        ancestors[record.digest] = set()  # break cycles defensively
+        result: set[bytes] = set()
+        for ptr in record.pointers:
+            if ptr.seqno == 0 or ptr.digest not in capsule:
+                continue
+            parent = capsule.get_by_digest(ptr.digest)
+            result.add(parent.digest)
+            result |= compute(parent)
+        ancestors[record.digest] = result
+        return result
+
+    for record in capsule.records():
+        compute(record)
+    return ancestors
+
+
+def concurrent(capsule: DataCapsule, a: Record, b: Record) -> bool:
+    """True iff neither record happens-before the other."""
+    order = partial_order(capsule)
+    return (
+        a.digest != b.digest
+        and b.digest not in order.get(a.digest, set())
+        and a.digest not in order.get(b.digest, set())
+    )
+
+
+def resolve_linearization(capsule: DataCapsule) -> list[Record]:
+    """Deterministic total order over a (possibly branched) history.
+
+    Topological sort of the happens-before DAG with ties broken by
+    ``(seqno, digest)``.  Every replica holding the same record set
+    computes the same list — the strong-eventual-consistency read view
+    for QSW capsules.  For a linear history this is exactly the seqno
+    order.
+    """
+    order = partial_order(capsule)
+    remaining = {record.digest: record for record in capsule.records()}
+    out: list[Record] = []
+    emitted: set[bytes] = set()
+    while remaining:
+        ready = [
+            record
+            for record in remaining.values()
+            if not (order[record.digest] & set(remaining))
+        ]
+        if not ready:
+            raise BranchError("cycle in history DAG (corrupt capsule)")
+        ready.sort(key=lambda r: (r.seqno, r.digest))
+        chosen = ready[0]
+        out.append(chosen)
+        emitted.add(chosen.digest)
+        del remaining[chosen.digest]
+    return out
+
+
+def common_prefix_length(capsules: Iterable[DataCapsule]) -> int:
+    """Length of the shared linearization prefix across replicas —
+    how much of the history every replica already agrees on."""
+    linearizations = [resolve_linearization(c) for c in capsules]
+    if not linearizations:
+        return 0
+    shortest = min(len(lin) for lin in linearizations)
+    prefix = 0
+    for i in range(shortest):
+        digests = {lin[i].digest for lin in linearizations}
+        if len(digests) != 1:
+            break
+        prefix += 1
+    return prefix

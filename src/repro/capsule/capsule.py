@@ -1,0 +1,396 @@
+"""The DataCapsule authenticated data structure (§IV-A, §V-A).
+
+A :class:`DataCapsule` is the in-memory representation of one capsule's
+state: its signed metadata, its records (keyed by digest — in QSW mode a
+sequence number can map to more than one record), and the writer
+heartbeats seen so far.  It performs the *generalized validation scheme*:
+every inserted record is checked against the capsule name, the declared
+pointer strategy's shape, and the digests of any already-known pointer
+targets; heartbeats are checked against the single writer's key from the
+metadata.
+
+The same class backs every role in the system — writers build onto it,
+DataCapsule-servers store it, and readers accumulate verified state into
+it.  Replica synchronization is the CRDT join :meth:`merge_from`
+(§V-A: "a DataCapsule meets the definition of a Conflict-Free Replicated
+Data Type"): record insertion is idempotent and order-independent, so
+"append operations ... can be easily forwarded as is to all the
+DataCapsule-servers in arbitrary order".
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.capsule.hashptr import PointerStrategy, get_strategy
+from repro.capsule.heartbeat import Heartbeat, detect_equivocation
+from repro.capsule.records import Record, metadata_anchor
+from repro.errors import (
+    BranchError,
+    HoleError,
+    IntegrityError,
+    RecordNotFoundError,
+)
+from repro.naming.metadata import (
+    KIND_CAPSULE,
+    MODE_SSW,
+    PROP_POINTER_STRATEGY,
+    PROP_WRITER_MODE,
+    Metadata,
+)
+from repro.naming.names import GdpName
+
+__all__ = ["DataCapsule"]
+
+
+class DataCapsule:
+    """One capsule's validated state (records + heartbeats)."""
+
+    def __init__(self, metadata: Metadata, *, verify_metadata: bool = True):
+        if metadata.kind != KIND_CAPSULE:
+            raise IntegrityError(
+                f"metadata kind {metadata.kind!r} is not a capsule"
+            )
+        if verify_metadata:
+            metadata.verify()
+        self.metadata = metadata
+        self.name: GdpName = metadata.name
+        self.strategy: PointerStrategy = get_strategy(
+            metadata.properties[PROP_POINTER_STRATEGY]
+        )
+        self.writer_mode: str = metadata.properties.get(
+            PROP_WRITER_MODE, MODE_SSW
+        )
+        self._writer_key = metadata.writer_key
+        self._anchor = metadata_anchor(self.name)
+        self._by_digest: dict[bytes, Record] = {}
+        self._by_seqno: dict[int, list[bytes]] = {}
+        self._heartbeats: dict[int, list[Heartbeat]] = {}
+        self._latest_heartbeat: Heartbeat | None = None
+
+    # -- introspection ------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._by_digest)
+
+    def __contains__(self, digest: bytes) -> bool:
+        return digest in self._by_digest
+
+    @property
+    def writer_key(self):
+        """The designated single writer's verifying key."""
+        return self._writer_key
+
+    @property
+    def last_seqno(self) -> int:
+        """Highest seqno of any stored record (0 if empty)."""
+        return max(self._by_seqno, default=0)
+
+    @property
+    def latest_heartbeat(self) -> Heartbeat | None:
+        """The newest stored heartbeat (or None)."""
+        return self._latest_heartbeat
+
+    def records(self) -> Iterator[Record]:
+        """All records in (seqno, digest) order."""
+        for seqno in sorted(self._by_seqno):
+            for digest in sorted(self._by_seqno[seqno]):
+                yield self._by_digest[digest]
+
+    def heartbeats(self) -> Iterator[Heartbeat]:
+        """All stored heartbeats in seqno order."""
+        for seqno in sorted(self._heartbeats):
+            yield from self._heartbeats[seqno]
+
+    def seqnos(self) -> list[int]:
+        """Sorted list of stored sequence numbers."""
+        return sorted(self._by_seqno)
+
+    def is_branched(self) -> bool:
+        """True if any seqno has more than one record (QSW branches)."""
+        return any(len(digests) > 1 for digests in self._by_seqno.values())
+
+    def holes(self) -> list[int]:
+        """Seqnos missing below :attr:`last_seqno` (§VI-B "holes")."""
+        if not self._by_seqno:
+            return []
+        return [
+            seqno
+            for seqno in range(1, self.last_seqno)
+            if seqno not in self._by_seqno
+        ]
+
+    def tips(self) -> list[Record]:
+        """Records not pointed to by any stored record — the heads of the
+        history DAG (exactly one in linear SSW state)."""
+        pointed: set[bytes] = set()
+        for record in self._by_digest.values():
+            for ptr in record.pointers:
+                pointed.add(ptr.digest)
+        return sorted(
+            (r for d, r in self._by_digest.items() if d not in pointed),
+            key=lambda r: (r.seqno, r.digest),
+        )
+
+    # -- reads ---------------------------------------------------------
+
+    def get(self, seqno: int) -> Record:
+        """The unique record at *seqno*; raises
+        :class:`RecordNotFoundError` if absent and :class:`BranchError`
+        if the capsule has diverging records there."""
+        digests = self._by_seqno.get(seqno)
+        if not digests:
+            raise RecordNotFoundError(
+                f"capsule {self.name.human()} has no record {seqno}"
+            )
+        if len(digests) > 1:
+            raise BranchError(
+                f"seqno {seqno} is branched ({len(digests)} records); "
+                "use get_all() / branches API"
+            )
+        return self._by_digest[digests[0]]
+
+    def get_all(self, seqno: int) -> list[Record]:
+        """All records at *seqno* (more than one only under QSW)."""
+        return [self._by_digest[d] for d in self._by_seqno.get(seqno, [])]
+
+    def get_by_digest(self, digest: bytes) -> Record:
+        """The record with *digest*; raises if absent."""
+        try:
+            return self._by_digest[digest]
+        except KeyError:
+            raise RecordNotFoundError(
+                f"no record with digest {digest.hex()[:12]}..."
+            ) from None
+
+    def read_range(self, first: int, last: int) -> list[Record]:
+        """Records ``first..last`` inclusive; raises :class:`HoleError`
+        naming the missing seqnos if the range is incomplete."""
+        if first < 1 or last < first:
+            raise RecordNotFoundError(f"bad range [{first}, {last}]")
+        missing = [s for s in range(first, last + 1) if s not in self._by_seqno]
+        if missing:
+            raise HoleError(
+                f"range [{first}, {last}] has holes at {missing}"
+            )
+        return [self.get(seqno) for seqno in range(first, last + 1)]
+
+    # -- writes ----------------------------------------------------------
+
+    def _check_shape(self, record: Record) -> None:
+        expected = self.strategy.targets(record.seqno)
+        actual = [ptr.seqno for ptr in record.pointers]
+        if actual != expected:
+            raise IntegrityError(
+                f"record {record.seqno} pointer targets {actual} do not "
+                f"match strategy {self.strategy.spec!r} (expected {expected})"
+            )
+
+    def _check_links(self, record: Record) -> None:
+        for ptr in record.pointers:
+            if ptr.seqno == 0:
+                if ptr != self._anchor:
+                    raise IntegrityError(
+                        f"record {record.seqno} anchor pointer does not "
+                        "match this capsule's metadata anchor"
+                    )
+                continue
+            known = self._by_digest.get(ptr.digest)
+            if known is not None and known.seqno != ptr.seqno:
+                raise IntegrityError(
+                    f"pointer from record {record.seqno} claims seqno "
+                    f"{ptr.seqno} but digest belongs to {known.seqno}"
+                )
+            # A pointer to an *unknown* digest is allowed: replication
+            # can deliver records out of order (§V-A).  A pointer whose
+            # target seqno exists here under a *different* digest is a
+            # fork: it is stored as a branch (surfaced via is_branched()
+            # and the branches API) rather than rejected, and the
+            # equivocation machinery assigns blame from heartbeats.
+
+    def insert(
+        self,
+        record: Record,
+        heartbeat: Heartbeat | None = None,
+        *,
+        enforce_strategy: bool = True,
+    ) -> bool:
+        """Validate and store *record* (idempotent).
+
+        Returns ``True`` if the record was new.  Raises
+        :class:`IntegrityError` on any validation failure; nothing is
+        stored in that case.
+        """
+        if record.capsule != self.name:
+            raise IntegrityError(
+                f"record for capsule {record.capsule.human()} inserted "
+                f"into {self.name.human()}"
+            )
+        if enforce_strategy:
+            self._check_shape(record)
+        self._check_links(record)
+        if heartbeat is not None:
+            self.add_heartbeat(heartbeat, matching_record=record)
+        if record.digest in self._by_digest:
+            return False
+        self._by_digest[record.digest] = record
+        self._by_seqno.setdefault(record.seqno, []).append(record.digest)
+        return True
+
+    def add_heartbeat(
+        self, heartbeat: Heartbeat, *, matching_record: Record | None = None
+    ) -> bool:
+        """Validate and store a heartbeat (idempotent); returns ``True``
+        if new.  Checks the writer signature, capsule binding, and —
+        when the record is available — digest agreement."""
+        if heartbeat.capsule != self.name:
+            raise IntegrityError("heartbeat is for a different capsule")
+        heartbeat.verify(self._writer_key)
+        if matching_record is not None and heartbeat.digest != matching_record.digest:
+            raise IntegrityError(
+                f"heartbeat digest does not match record {matching_record.seqno}"
+            )
+        existing = self._heartbeats.setdefault(heartbeat.seqno, [])
+        if heartbeat in existing:
+            return False
+        # Surface writer equivocation in SSW capsules: two valid
+        # heartbeats for one seqno with different digests.  QSW capsules
+        # declare up front that concurrent writers can (rarely) happen,
+        # so the same evidence is a branch there, not misbehaviour.
+        if self.writer_mode == MODE_SSW:
+            for other in existing:
+                detect_equivocation(other, heartbeat, self._writer_key)
+        existing.append(heartbeat)
+        if (
+            self._latest_heartbeat is None
+            or heartbeat.seqno > self._latest_heartbeat.seqno
+        ):
+            self._latest_heartbeat = heartbeat
+        return True
+
+    # -- whole-history verification & replication -------------------------
+
+    def verify_history(self, up_to: Heartbeat | None = None) -> int:
+        """Walk the hash-pointer graph from a heartbeat down to the
+        anchor, checking every link; returns the number of records
+        covered.  Raises :class:`HoleError` if the walk needs a missing
+        record (unless the strategy tolerates holes and a bridging
+        pointer exists), :class:`IntegrityError` on any digest mismatch.
+
+        This is the §V "verify the entire history of DataCapsule up to a
+        specific point in time against a specific heartbeat".
+        """
+        heartbeat = up_to or self._latest_heartbeat
+        if heartbeat is None:
+            return 0
+        heartbeat.verify(self._writer_key)
+        start = self._by_digest.get(heartbeat.digest)
+        if start is None:
+            raise HoleError(
+                f"record for heartbeat seqno {heartbeat.seqno} is missing"
+            )
+        covered: set[bytes] = set()
+        frontier = [start]
+        reached_anchor = False
+        while frontier:
+            record = frontier.pop()
+            if record.digest in covered:
+                continue
+            covered.add(record.digest)
+            for ptr in record.pointers:
+                if ptr.seqno == 0:
+                    if ptr != self._anchor:
+                        raise IntegrityError("bad metadata anchor pointer")
+                    reached_anchor = True
+                    continue
+                target = self._by_digest.get(ptr.digest)
+                if target is None:
+                    if self.strategy.tolerates_holes:
+                        continue
+                    raise HoleError(
+                        f"history has a hole: record {ptr.seqno} "
+                        f"(digest {ptr.digest.hex()[:12]}...) is missing"
+                    )
+                if target.seqno != ptr.seqno:
+                    raise IntegrityError("pointer seqno/digest mismatch")
+                frontier.append(target)
+        if not reached_anchor:
+            raise HoleError("history walk never reached the metadata anchor")
+        return len(covered)
+
+    def merge_from(self, other: "DataCapsule") -> int:
+        """CRDT join: absorb every record and heartbeat of *other*
+        (which must be a replica of the same capsule).  Returns the
+        number of new records absorbed.  Commutative, associative, and
+        idempotent — the substance of leaderless replication (§V-A).
+        """
+        if other.name != self.name:
+            raise IntegrityError("cannot merge replicas of different capsules")
+        added = 0
+        for record in other.records():
+            if self.insert(record, enforce_strategy=False):
+                added += 1
+        for heartbeat in other.heartbeats():
+            self.add_heartbeat(heartbeat)
+        return added
+
+    def clone(self) -> "DataCapsule":
+        """An independent replica with the same contents."""
+        replica = DataCapsule(self.metadata, verify_metadata=False)
+        replica.merge_from(self)
+        return replica
+
+    def state_summary(self) -> dict:
+        """Compact description for anti-entropy exchange: which seqnos
+        (and digests) this replica holds."""
+        return {
+            "last_seqno": self.last_seqno,
+            "digests": {
+                str(seqno): sorted(digests)
+                for seqno, digests in self._by_seqno.items()
+            },
+        }
+
+    def missing_from(self, summary: dict) -> list[bytes]:
+        """Digests present in *summary* but absent here (what to fetch)."""
+        wanted = []
+        for digests in summary.get("digests", {}).values():
+            for digest in digests:
+                if digest not in self._by_digest:
+                    wanted.append(digest)
+        return wanted
+
+    def __repr__(self) -> str:
+        return (
+            f"DataCapsule(name={self.name.human()}, records={len(self)}, "
+            f"last={self.last_seqno}, strategy={self.strategy.spec})"
+        )
+
+
+def build_record(
+    capsule: DataCapsule,
+    seqno: int,
+    payload: bytes,
+    digest_of: dict[int, bytes],
+) -> Record:
+    """Construct the unique strategy-conformant record for *seqno*.
+
+    ``digest_of`` must supply digests for every strategy target (the
+    metadata anchor is filled in automatically).  Used by writers and by
+    tests that need hand-built histories.
+    """
+    from repro.crypto.hashing import HashPointer
+
+    pointers = []
+    for target in capsule.strategy.targets(seqno):
+        if target == 0:
+            pointers.append(metadata_anchor(capsule.name))
+        else:
+            try:
+                pointers.append(HashPointer(target, digest_of[target]))
+            except KeyError:
+                raise HoleError(
+                    f"record {seqno} needs the digest of record {target}, "
+                    "which is not available"
+                ) from None
+    return Record(capsule.name, seqno, payload, pointers)

@@ -1,0 +1,181 @@
+"""Timeline entanglement: ordering across DataCapsules (§VI-C).
+
+"Note that updates across DataCapsules can be ordered using entanglement
+schemes described by [Maniatis & Baker, *Secure history preservation
+through timeline entanglement*]."
+
+An *entanglement record* in capsule B embeds a signed heartbeat of
+capsule A.  Because B's writer signs the record (via the ordinary append
+path) and the embedded heartbeat carries A's writer signature, the
+record is bilateral evidence that **A's state at seqno i existed no
+later than B's record j**: every record of A up to *i* happens-before
+every record of B from *j* on.
+
+Chains of entanglements compose transitively, giving a cross-capsule
+partial order without any shared clock or coordination — and they make
+*cross-capsule rollback* detectable: if A's served history disagrees
+with an entangled digest preserved in B, one of the two histories is
+forged, and the signatures say whose.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro import encoding
+from repro.capsule.capsule import DataCapsule
+from repro.capsule.heartbeat import Heartbeat
+from repro.capsule.records import Record
+from repro.capsule.writer import CapsuleWriter
+from repro.errors import GdpError, IntegrityError, RecordNotFoundError
+from repro.naming.names import GdpName
+
+__all__ = [
+    "ENTANGLEMENT_PREFIX",
+    "entangle",
+    "parse_entanglement",
+    "entanglements_in",
+    "cross_order",
+    "verify_entanglement",
+]
+
+ENTANGLEMENT_PREFIX = b"gdp.entangle\x00"
+
+
+def entangle(
+    writer: CapsuleWriter, peer_heartbeat: Heartbeat
+) -> tuple[Record, Heartbeat]:
+    """Append an entanglement record embedding *peer_heartbeat*.
+
+    The heartbeat travels verbatim (with its signature), so any reader
+    of the host capsule can independently re-verify it against the peer
+    capsule's writer key.
+    """
+    payload = ENTANGLEMENT_PREFIX + encoding.encode(
+        peer_heartbeat.to_wire()
+    )
+    return writer.append(payload)
+
+
+def parse_entanglement(record: Record) -> Heartbeat | None:
+    """The embedded peer heartbeat, or None if *record* is not an
+    entanglement record."""
+    if not record.payload.startswith(ENTANGLEMENT_PREFIX):
+        return None
+    try:
+        wire = encoding.decode(record.payload[len(ENTANGLEMENT_PREFIX):])
+        return Heartbeat.from_wire(wire)
+    except GdpError as exc:
+        raise IntegrityError(
+            f"malformed entanglement record {record.seqno}: {exc}"
+        ) from exc
+
+
+def entanglements_in(
+    capsule: DataCapsule,
+) -> list[tuple[int, Heartbeat]]:
+    """All (host seqno, embedded peer heartbeat) pairs in a capsule."""
+    out = []
+    for record in capsule.records():
+        heartbeat = parse_entanglement(record)
+        if heartbeat is not None:
+            out.append((record.seqno, heartbeat))
+    return out
+
+
+def verify_entanglement(
+    host: DataCapsule,
+    seqno: int,
+    peer: DataCapsule,
+) -> Heartbeat:
+    """Fully verify the entanglement at *seqno* of *host* against the
+    *peer* capsule's actual history.
+
+    Checks: the record exists and parses; the embedded heartbeat is for
+    the peer capsule and carries the peer writer's valid signature; and
+    — when the peer replica holds the referenced record — the digest
+    matches (cross-capsule rollback/fork detection).
+    """
+    record = host.get(seqno)
+    heartbeat = parse_entanglement(record)
+    if heartbeat is None:
+        raise IntegrityError(f"record {seqno} is not an entanglement")
+    if heartbeat.capsule != peer.name:
+        raise IntegrityError(
+            "entanglement references a different peer capsule"
+        )
+    heartbeat.verify(peer.writer_key)
+    try:
+        peer_record = peer.get(heartbeat.seqno)
+    except RecordNotFoundError:
+        return heartbeat  # peer replica is behind; signature still binds
+    if peer_record.digest != heartbeat.digest:
+        raise IntegrityError(
+            f"peer capsule {peer.name.human()} record {heartbeat.seqno} "
+            "disagrees with the entangled digest — forked or rolled-back "
+            "history"
+        )
+    return heartbeat
+
+
+def cross_order(
+    capsules: Iterable[DataCapsule],
+) -> dict[tuple[GdpName, int], set[tuple[GdpName, int]]]:
+    """The cross-capsule happens-before relation derived from
+    entanglements.
+
+    Returns ``after -> set of before`` over (capsule name, seqno) pairs:
+    for each entanglement (B, j) embedding A@i, ``(B, j)`` is after
+    ``(A, i)``.  Within one capsule, seqno order is implied and not
+    materialized here.  The relation is transitively closed across
+    capsules.
+    """
+    capsule_list = list(capsules)
+    # Direct edges from entanglement records.
+    edges: dict[tuple[GdpName, int], set[tuple[GdpName, int]]] = {}
+    for capsule in capsule_list:
+        for seqno, heartbeat in entanglements_in(capsule):
+            key = (capsule.name, seqno)
+            edges.setdefault(key, set()).add(
+                (heartbeat.capsule, heartbeat.seqno)
+            )
+    # Transitive closure across capsules: (B,j) > (A,i) and (C,k) > (B,j')
+    # with j' >= j composes to (C,k) > (A,i).
+    changed = True
+    while changed:
+        changed = False
+        for after, befores in list(edges.items()):
+            additions: set[tuple[GdpName, int]] = set()
+            for before_name, before_seqno in befores:
+                for other_after, other_befores in edges.items():
+                    if (
+                        other_after[0] == before_name
+                        and other_after[1] <= before_seqno
+                    ):
+                        additions |= other_befores
+            new = additions - befores
+            if new:
+                befores |= new
+                changed = True
+    return edges
+
+
+def happens_before(
+    order: dict[tuple[GdpName, int], set[tuple[GdpName, int]]],
+    before: tuple[GdpName, int],
+    after: tuple[GdpName, int],
+) -> bool:
+    """Does ``before`` (capsule, seqno) provably precede ``after`` under
+    the entanglement-derived order?  Within-capsule pairs use seqno
+    order; cross-capsule pairs consult the closure (an entanglement at
+    (B, j) referencing (A, i) orders every (A, i' <= i) before every
+    (B, j' >= j))."""
+    if before[0] == after[0]:
+        return before[1] < after[1]
+    for (after_name, after_seqno), befores in order.items():
+        if after_name != after[0] or after_seqno > after[1]:
+            continue
+        for before_name, before_seqno in befores:
+            if before_name == before[0] and before_seqno >= before[1]:
+                return True
+    return False

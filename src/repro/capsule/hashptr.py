@@ -1,0 +1,247 @@
+"""Hash-pointer strategies: the DataCapsule's configurability knob (§V).
+
+"Our ingenuity is in exposing the flexibility of which hash-pointers to
+include to the application. Regardless of the hash-pointers chosen by the
+writer, all invariants and proofs work with a generalized validation
+scheme."
+
+A strategy maps a sequence number to the set of *target* seqnos the new
+record must point at.  Every strategy must include the immediate
+predecessor (``seqno - 1``; for record 1 the metadata anchor at 0), which
+keeps range reads self-verifying, except for loss-tolerant *stream*
+capsules, which deliberately allow the predecessor to be absent.
+
+Built-in strategies (selected by the ``pointer_strategy`` metadata
+property, so readers can anticipate proof shapes):
+
+``chain``
+    Plain hash-list.  Cheapest appends; O(distance) proofs; range reads
+    are optimal (§V-A: "this simple linked-list design is very efficient
+    in range queries").
+``skiplist``
+    Deterministic skip-list: record *n* also points to ``n - 2**k`` for
+    every ``2**k`` dividing *n*.  O(log n) point proofs (§V: "an
+    authenticated skip-list that allows skipping over records").
+``checkpoint:K``
+    Every record points to the most recent checkpoint (multiple of *K*)
+    and checkpoints point to the previous checkpoint — the paper's
+    file-system example ("all records ... include a hash-pointer to a
+    checkpoint record").
+``stream:W``
+    Every record points to up to *W* most recent records, so a reader can
+    bridge up to ``W - 1`` consecutive missing records — the paper's
+    video example ("allow for records missing in transmission while
+    maintaining integrity").
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.errors import CapsuleError
+
+__all__ = [
+    "PointerStrategy",
+    "ChainStrategy",
+    "SkipListStrategy",
+    "CheckpointStrategy",
+    "StreamStrategy",
+    "get_strategy",
+]
+
+
+class PointerStrategy(ABC):
+    """Decides which past seqnos record *n* must hash-point to."""
+
+    #: spec string that round-trips through :func:`get_strategy`
+    spec: str
+
+    @abstractmethod
+    def targets(self, seqno: int) -> list[int]:
+        """Sorted-descending list of target seqnos for record *seqno*.
+
+        Targets may include 0, meaning the metadata anchor.
+        """
+
+    @property
+    def tolerates_holes(self) -> bool:
+        """Whether readers of this capsule accept a missing predecessor
+        (only loss-tolerant stream capsules do)."""
+        return False
+
+    def still_needed(self, target: int, last_seqno: int) -> bool:
+        """Whether the digest of record *target* can still be required
+        as a pointer target by any record after *last_seqno*.
+
+        Writers use this to bound their persistent local state (§V-A:
+        "keep some local state, which at the very least includes the
+        hash of the most recent record ... and any additional hashes the
+        writer might need in near future").  The default is conservative
+        (keep everything); strategies override with tight rules.
+        """
+        return True
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.spec!r})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PointerStrategy):
+            return NotImplemented
+        return self.spec == other.spec
+
+    def __hash__(self) -> int:
+        return hash(self.spec)
+
+
+class ChainStrategy(PointerStrategy):
+    """Plain hash-chain: each record points only to its predecessor."""
+
+    spec = "chain"
+
+    def targets(self, seqno: int) -> list[int]:
+        """Target seqnos for record *seqno* (see class docstring)."""
+        if seqno < 1:
+            raise CapsuleError(f"invalid seqno {seqno}")
+        return [seqno - 1]
+
+    def still_needed(self, target: int, last_seqno: int) -> bool:
+        """Retention rule (see PointerStrategy.still_needed)."""
+        return target == last_seqno
+
+
+class SkipListStrategy(PointerStrategy):
+    """Deterministic authenticated skip-list.
+
+    Record *n* points to ``n - 2**k`` for each ``k`` with
+    ``0 <= k <= max_level`` and ``n % 2**k == 0``.  Point proofs walk
+    at most ``2 * log2(n)`` pointers.
+    """
+
+    def __init__(self, max_level: int = 32):
+        if max_level < 1:
+            raise CapsuleError("skip-list max_level must be >= 1")
+        self.max_level = max_level
+        self.spec = (
+            "skiplist" if max_level == 32 else f"skiplist:{max_level}"
+        )
+
+    def targets(self, seqno: int) -> list[int]:
+        """Target seqnos for record *seqno* (see class docstring)."""
+        if seqno < 1:
+            raise CapsuleError(f"invalid seqno {seqno}")
+        out = []
+        for level in range(self.max_level + 1):
+            step = 1 << level
+            if seqno % step:
+                break
+            target = seqno - step
+            if target >= 0:
+                out.append(target)
+        if not out:  # seqno odd: only the predecessor
+            out.append(seqno - 1)
+        return sorted(set(out), reverse=True)
+
+    def still_needed(self, target: int, last_seqno: int) -> bool:
+        """Retention rule (see PointerStrategy.still_needed)."""
+        if target == last_seqno:
+            return True
+        if target <= 0:
+            return False
+        # Largest 2**k dividing target (capped at max_level): the
+        # furthest future record that points back at it is
+        # target + 2**k; keep while that is still ahead of us.
+        k = min((target & -target).bit_length() - 1, self.max_level)
+        return target + (1 << k) > last_seqno
+
+
+class CheckpointStrategy(PointerStrategy):
+    """Predecessor + latest-checkpoint pointers.
+
+    Records whose seqno is a multiple of *interval* are checkpoints;
+    non-checkpoint records point at the latest checkpoint (or the anchor
+    if none yet), checkpoints point at the previous checkpoint.  A reader
+    holding any checkpoint can verify membership of any record since that
+    checkpoint with at most ``interval`` hops, and can hop checkpoint to
+    checkpoint in O(n / interval).
+    """
+
+    def __init__(self, interval: int = 64):
+        if interval < 2:
+            raise CapsuleError("checkpoint interval must be >= 2")
+        self.interval = interval
+        self.spec = f"checkpoint:{interval}"
+
+    def is_checkpoint(self, seqno: int) -> bool:
+        """Whether *seqno* is a checkpoint multiple."""
+        return seqno % self.interval == 0
+
+    def targets(self, seqno: int) -> list[int]:
+        """Target seqnos for record *seqno* (see class docstring)."""
+        if seqno < 1:
+            raise CapsuleError(f"invalid seqno {seqno}")
+        targets = {seqno - 1}
+        if self.is_checkpoint(seqno):
+            targets.add(max(seqno - self.interval, 0))
+        else:
+            targets.add((seqno // self.interval) * self.interval)
+        return sorted(targets, reverse=True)
+
+    def still_needed(self, target: int, last_seqno: int) -> bool:
+        """Retention rule (see PointerStrategy.still_needed)."""
+        if target == last_seqno:
+            return True
+        # Checkpoints stay referenced until the next checkpoint exists.
+        return target % self.interval == 0 and target + self.interval > last_seqno
+
+
+class StreamStrategy(PointerStrategy):
+    """Loss-tolerant stream pointers.
+
+    Record *n* points to records ``n-1 .. n-window``; a reader missing up
+    to ``window - 1`` consecutive records can still link the next
+    received record to verified history.
+    """
+
+    def __init__(self, window: int = 4):
+        if window < 2:
+            raise CapsuleError("stream window must be >= 2")
+        self.window = window
+        self.spec = f"stream:{window}"
+
+    @property
+    def tolerates_holes(self) -> bool:
+        """Stream capsules tolerate missing predecessors."""
+        return True
+
+    def targets(self, seqno: int) -> list[int]:
+        """Target seqnos for record *seqno* (see class docstring)."""
+        if seqno < 1:
+            raise CapsuleError(f"invalid seqno {seqno}")
+        return list(range(seqno - 1, max(seqno - 1 - self.window, -1), -1))
+
+    def still_needed(self, target: int, last_seqno: int) -> bool:
+        """Retention rule (see PointerStrategy.still_needed)."""
+        return target > last_seqno - self.window
+
+
+def get_strategy(spec: str) -> PointerStrategy:
+    """Parse a strategy spec string from capsule metadata.
+
+    Accepted forms: ``chain``, ``skiplist``, ``skiplist:<max_level>``,
+    ``checkpoint:<interval>``, ``stream:<window>``.
+    """
+    name, _, arg = spec.partition(":")
+    try:
+        if name == "chain":
+            if arg:
+                raise CapsuleError("chain takes no argument")
+            return ChainStrategy()
+        if name == "skiplist":
+            return SkipListStrategy(int(arg)) if arg else SkipListStrategy()
+        if name == "checkpoint":
+            return CheckpointStrategy(int(arg)) if arg else CheckpointStrategy()
+        if name == "stream":
+            return StreamStrategy(int(arg)) if arg else StreamStrategy()
+    except ValueError as exc:
+        raise CapsuleError(f"bad strategy argument in {spec!r}: {exc}") from exc
+    raise CapsuleError(f"unknown pointer strategy {spec!r}")

@@ -1,0 +1,294 @@
+"""Integrity proofs for DataCapsule reads (§V-A).
+
+"Each read comes with a cryptographic proof of correctness created using
+signatures and hash-pointers."  Two proof forms:
+
+:class:`PositionProof`
+    Proves a single record is part of the history attested by a given
+    heartbeat: a writer-signed heartbeat plus the chain of record
+    *headers* (seqno, payload hash, pointers — no payloads) linking the
+    heartbeat's record down to the target.  With skip-list pointers the
+    chain is O(log n); with a plain chain it is O(distance) — the
+    trade-off ablated in benchmark A1.
+
+:class:`RangeProof`
+    Proves a contiguous run of records: a position proof for the *last*
+    record of the range plus the observation that each record's
+    predecessor pointer self-verifies the run ("a range of records in a
+    linked-list design is self-verifying with respect to the newest
+    record in the range", §V-A).
+
+Proofs are built against an untrusted replica's state and verified by
+clients holding nothing but the capsule metadata (hence the writer key)
+— trust is rooted in the capsule name.
+"""
+
+from __future__ import annotations
+
+from repro import encoding
+from repro.capsule.capsule import DataCapsule
+from repro.capsule.heartbeat import Heartbeat
+from repro.capsule.records import Record
+from repro.crypto.keys import VerifyingKey
+from repro.errors import HoleError, IntegrityError, RecordNotFoundError
+from repro.naming.names import GdpName
+
+__all__ = ["PositionProof", "RangeProof", "build_position_proof", "build_range_proof"]
+
+
+def _find_path(capsule: DataCapsule, start: Record, target_seqno: int) -> list[Record]:
+    """Greedy hash-pointer descent from *start* to *target_seqno*.
+
+    At each step, follow the pointer with the smallest target seqno that
+    is still >= the goal — the longest non-overshooting jump.  Works for
+    every built-in strategy; raises :class:`HoleError` if a needed record
+    is missing from this replica.
+    """
+    path = [start]
+    current = start
+    while current.seqno > target_seqno:
+        candidates = [
+            ptr for ptr in current.pointers if ptr.seqno >= target_seqno
+        ]
+        if not candidates:
+            raise HoleError(
+                f"no pointer path from {start.seqno} to {target_seqno}"
+            )
+        best = min(candidates, key=lambda p: p.seqno)
+        if best.seqno == 0:
+            raise HoleError(
+                f"pointer path from {start.seqno} dead-ends at the anchor"
+            )
+        try:
+            current = capsule.get_by_digest(best.digest)
+        except RecordNotFoundError:
+            raise HoleError(
+                f"replica is missing record {best.seqno} needed for the "
+                f"proof path to {target_seqno}"
+            ) from None
+        path.append(current)
+    return path
+
+
+class PositionProof:
+    """Wire-transportable proof that a record digest sits at a given
+    seqno of the history attested by ``heartbeat``."""
+
+    __slots__ = ("heartbeat", "headers")
+
+    def __init__(self, heartbeat: Heartbeat, headers: list[dict]):
+        self.heartbeat = heartbeat
+        self.headers = headers
+
+    @property
+    def target_seqno(self) -> int:
+        """The seqno this proof proves."""
+        return self.headers[-1]["seqno"]
+
+    @property
+    def target_digest(self) -> bytes:
+        """Digest of the proven record (valid only after
+        :meth:`verify`)."""
+        return self._header_digest(-1)
+
+    def _header_digest(self, index: int) -> bytes:
+        from repro.crypto.hashing import hash_value
+
+        header = self.headers[index]
+        return hash_value(
+            "gdp.record",
+            [
+                self.heartbeat.capsule.raw,
+                header["seqno"],
+                header["payload_hash"],
+                header["pointers"],
+            ],
+        )
+
+    def size_bytes(self) -> int:
+        """Encoded proof size (for the A1 ablation)."""
+        return len(encoding.encode(self.to_wire()))
+
+    def verify(
+        self,
+        capsule_name: GdpName,
+        writer_key: VerifyingKey,
+        *,
+        expected_seqno: int | None = None,
+    ) -> bytes:
+        """Verify the proof; returns the proven record's digest.
+
+        Checks: heartbeat signature and capsule binding; the first header
+        hashes to the heartbeat digest; each later header's digest is
+        referenced by a pointer of the previous header; seqnos strictly
+        descend to the target.
+        """
+        if self.heartbeat.capsule != capsule_name:
+            raise IntegrityError("proof heartbeat is for another capsule")
+        self.heartbeat.verify(writer_key)
+        if not self.headers:
+            raise IntegrityError("empty proof")
+        digest = self._header_digest(0)
+        if digest != self.heartbeat.digest:
+            raise IntegrityError("proof head does not match heartbeat")
+        if self.headers[0]["seqno"] != self.heartbeat.seqno:
+            raise IntegrityError("proof head seqno mismatch")
+        for i in range(1, len(self.headers)):
+            next_digest = self._header_digest(i)
+            next_seqno = self.headers[i]["seqno"]
+            if next_seqno >= self.headers[i - 1]["seqno"]:
+                raise IntegrityError("proof seqnos do not descend")
+            if [next_seqno, next_digest] not in self.headers[i - 1]["pointers"]:
+                raise IntegrityError(
+                    f"proof step {i}: header {next_seqno} is not referenced "
+                    f"by header {self.headers[i - 1]['seqno']}"
+                )
+        if expected_seqno is not None and self.target_seqno != expected_seqno:
+            raise IntegrityError(
+                f"proof proves seqno {self.target_seqno}, "
+                f"expected {expected_seqno}"
+            )
+        return self._header_digest(-1)
+
+    def verify_record(
+        self, record: Record, writer_key: VerifyingKey
+    ) -> None:
+        """Verify the proof *and* that *record* is the proven record."""
+        digest = self.verify(
+            record.capsule, writer_key, expected_seqno=record.seqno
+        )
+        if digest != record.digest:
+            raise IntegrityError(
+                f"record {record.seqno} does not match its proof"
+            )
+
+    def to_wire(self) -> dict:
+        """Wire-encodable representation."""
+        return {"heartbeat": self.heartbeat.to_wire(), "headers": self.headers}
+
+    @classmethod
+    def from_wire(cls, wire: dict) -> "PositionProof":
+        """Rebuild from a wire form; raises on malformed input."""
+        try:
+            return cls(Heartbeat.from_wire(wire["heartbeat"]), wire["headers"])
+        except (KeyError, TypeError) as exc:
+            raise IntegrityError(f"malformed proof: {exc}") from exc
+
+    def __repr__(self) -> str:
+        return (
+            f"PositionProof(target={self.target_seqno}, "
+            f"hops={len(self.headers)}, anchor_hb={self.heartbeat.seqno})"
+        )
+
+
+class RangeProof:
+    """Proof for a contiguous record range ``[first, last]``.
+
+    Carries a position proof for *last*; the range itself self-verifies
+    because each record's predecessor pointer must match the previous
+    record's digest.
+    """
+
+    __slots__ = ("position", "first", "last")
+
+    def __init__(self, position: PositionProof, first: int, last: int):
+        if first < 1 or last < first:
+            raise IntegrityError(f"bad proof range [{first}, {last}]")
+        self.position = position
+        self.first = first
+        self.last = last
+
+    def size_bytes(self) -> int:
+        """Encoded size in bytes."""
+        return len(encoding.encode(self.to_wire()))
+
+    def verify_records(
+        self, records: list[Record], writer_key: VerifyingKey
+    ) -> None:
+        """Verify that *records* is exactly the range ``[first, last]``
+        of the attested history."""
+        if len(records) != self.last - self.first + 1:
+            raise IntegrityError(
+                f"expected {self.last - self.first + 1} records, "
+                f"got {len(records)}"
+            )
+        for offset, record in enumerate(records):
+            if record.seqno != self.first + offset:
+                raise IntegrityError("range records out of order")
+        # The newest record must be the one the position proof pins.
+        self.position.verify_record(records[-1], writer_key)
+        # Walk backwards: each record's predecessor pointer must match.
+        for i in range(len(records) - 1, 0, -1):
+            expected = records[i].pointer_to(records[i - 1].seqno)
+            if expected is None:
+                raise IntegrityError(
+                    f"record {records[i].seqno} has no predecessor pointer"
+                )
+            if expected.digest != records[i - 1].digest:
+                raise IntegrityError(
+                    f"record {records[i - 1].seqno} does not match the "
+                    "predecessor pointer — tampered range"
+                )
+
+    def to_wire(self) -> dict:
+        """Wire-encodable representation."""
+        return {
+            "position": self.position.to_wire(),
+            "first": self.first,
+            "last": self.last,
+        }
+
+    @classmethod
+    def from_wire(cls, wire: dict) -> "RangeProof":
+        """Rebuild from a wire form; raises on malformed input."""
+        try:
+            return cls(
+                PositionProof.from_wire(wire["position"]),
+                wire["first"],
+                wire["last"],
+            )
+        except (KeyError, TypeError) as exc:
+            raise IntegrityError(f"malformed range proof: {exc}") from exc
+
+    def __repr__(self) -> str:
+        return f"RangeProof([{self.first}, {self.last}])"
+
+
+def build_position_proof(
+    capsule: DataCapsule,
+    seqno: int,
+    *,
+    against: Heartbeat | None = None,
+) -> PositionProof:
+    """Build a proof for record *seqno* against *against* (default: the
+    replica's latest heartbeat).  Raises :class:`HoleError` if the path
+    crosses missing records, :class:`RecordNotFoundError` if no heartbeat
+    or record is available."""
+    heartbeat = against or capsule.latest_heartbeat
+    if heartbeat is None:
+        raise RecordNotFoundError("no heartbeat to anchor the proof")
+    if seqno > heartbeat.seqno:
+        raise RecordNotFoundError(
+            f"record {seqno} is newer than heartbeat {heartbeat.seqno}"
+        )
+    try:
+        head = capsule.get_by_digest(heartbeat.digest)
+    except RecordNotFoundError:
+        raise HoleError(
+            f"replica is missing the heartbeat record {heartbeat.seqno}"
+        ) from None
+    path = _find_path(capsule, head, seqno)
+    return PositionProof(heartbeat, [r.header_wire() for r in path])
+
+
+def build_range_proof(
+    capsule: DataCapsule,
+    first: int,
+    last: int,
+    *,
+    against: Heartbeat | None = None,
+) -> RangeProof:
+    """Build a proof for the contiguous range ``[first, last]``."""
+    return RangeProof(
+        build_position_proof(capsule, last, against=against), first, last
+    )

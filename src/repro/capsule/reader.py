@@ -1,0 +1,122 @@
+"""The verifying reader: trust rooted in the capsule name (§V).
+
+A reader holds nothing but a capsule *name* (and optionally, decryption
+keys).  Everything else — metadata, records, heartbeats, proofs — arrives
+from untrusted infrastructure and is verified before acceptance:
+
+1. Presented metadata must hash to the name (self-certification).
+2. Heartbeats must carry the designated writer's signature.
+3. Records must be pinned by position/range proofs against a verified
+   heartbeat.
+4. Heartbeat sequence numbers must never regress below what this reader
+   has already seen (anti-rollback: a stale replica can lag, but a
+   *response* claiming an older history than the reader's own frontier
+   is rejected — this is the reader-side freshness policy).
+
+The reader accumulates verified records into a local
+:class:`~repro.capsule.capsule.DataCapsule`, so repeated reads get
+cheaper and offline re-verification (:meth:`verify_everything`) is
+possible.
+"""
+
+from __future__ import annotations
+
+from repro.capsule.capsule import DataCapsule
+from repro.capsule.heartbeat import Heartbeat, detect_equivocation
+from repro.capsule.proofs import PositionProof, RangeProof
+from repro.capsule.records import Record
+from repro.errors import IntegrityError, SecurityError
+from repro.naming.metadata import Metadata
+from repro.naming.names import GdpName
+
+__all__ = ["VerifyingReader"]
+
+
+class VerifyingReader:
+    """Verifies capsule data received from untrusted replicas."""
+
+    def __init__(self, name: GdpName):
+        self.name = name
+        self._capsule: DataCapsule | None = None
+        self._frontier: Heartbeat | None = None
+
+    @property
+    def capsule(self) -> DataCapsule:
+        """The capsule name this object is bound to."""
+        if self._capsule is None:
+            raise SecurityError(
+                "reader has not yet accepted metadata for this capsule"
+            )
+        return self._capsule
+
+    @property
+    def frontier(self) -> Heartbeat | None:
+        """The newest writer heartbeat this reader has verified."""
+        return self._frontier
+
+    def accept_metadata(self, metadata: Metadata) -> DataCapsule:
+        """Verify and adopt metadata as the capsule's trust anchor.
+
+        Raises if the metadata does not hash to this reader's name or
+        its owner signature is invalid — i.e. if the infrastructure sent
+        metadata for the wrong (or a forged) capsule.
+        """
+        metadata.verify(expected_name=self.name)
+        if self._capsule is None:
+            self._capsule = DataCapsule(metadata, verify_metadata=False)
+        elif self._capsule.metadata != metadata:
+            raise IntegrityError("conflicting metadata for the same name")
+        return self._capsule
+
+    def observe_heartbeat(self, heartbeat: Heartbeat) -> None:
+        """Verify and record a heartbeat; advances the freshness frontier.
+
+        Equivocation (two valid heartbeats, same seqno, different
+        digests) raises :class:`EquivocationError` for SSW capsules.
+        """
+        capsule = self.capsule
+        capsule.add_heartbeat(heartbeat)
+        if self._frontier is not None and capsule.writer_mode == "ssw":
+            detect_equivocation(self._frontier, heartbeat, capsule.writer_key)
+        if self._frontier is None or heartbeat.seqno > self._frontier.seqno:
+            self._frontier = heartbeat
+
+    def check_freshness(self, heartbeat: Heartbeat) -> None:
+        """Reject a response anchored on a heartbeat older than this
+        reader's frontier (§VI-C: readers "can simply discard stale
+        information")."""
+        if self._frontier is not None and heartbeat.seqno < self._frontier.seqno:
+            raise IntegrityError(
+                f"stale response: anchored at seqno {heartbeat.seqno} but "
+                f"reader has already verified seqno {self._frontier.seqno}"
+            )
+
+    def accept_record(self, record: Record, proof: PositionProof) -> Record:
+        """Verify a single record against its proof and absorb it."""
+        capsule = self.capsule
+        proof.verify_record(record, capsule.writer_key)
+        self.observe_heartbeat(proof.heartbeat)
+        capsule.insert(record, enforce_strategy=False)
+        return record
+
+    def accept_range(
+        self, records: list[Record], proof: RangeProof
+    ) -> list[Record]:
+        """Verify a contiguous range against its proof and absorb it."""
+        capsule = self.capsule
+        proof.verify_records(records, capsule.writer_key)
+        self.observe_heartbeat(proof.position.heartbeat)
+        for record in records:
+            capsule.insert(record, enforce_strategy=False)
+        return records
+
+    def accept_stream_record(self, record: Record, proof: PositionProof) -> Record:
+        """Like :meth:`accept_record` but also tolerated for
+        hole-tolerant capsules where intermediate records were lost in
+        transmission; the proof still pins the record exactly."""
+        return self.accept_record(record, proof)
+
+    def verify_everything(self) -> int:
+        """Offline re-verification of the full accumulated history
+        against the frontier heartbeat; returns records covered."""
+        return self.capsule.verify_history(self._frontier)

@@ -1,0 +1,181 @@
+"""DataCapsule records: immutable, variable-sized, hash-linked (§V-A).
+
+A record is identified by its *digest*, which commits to the capsule
+name, the record's sequence number, its payload, and every hash-pointer
+it carries.  Because pointers transitively cover their targets, any
+record digest attests the full history reachable from it; a signed
+heartbeat over the newest record therefore attests "the entire history
+of updates (both the content and the ordering)" (§V).
+
+Sequence numbers start at 1; the metadata record is conceptually
+sequence 0 and is referenced by the well-known metadata anchor pointer
+carried by record 1.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+from repro.crypto.hashing import HASH_LEN, HashPointer, hash_value, sha256
+from repro.errors import IntegrityError
+from repro.naming.names import GdpName
+
+__all__ = ["Record", "metadata_anchor"]
+
+
+def metadata_anchor(capsule_name: GdpName) -> HashPointer:
+    """The pointer from record 1 back to the metadata "record".
+
+    The metadata's digest *is* derived from the capsule name, so the
+    anchor binds the chain to the capsule identity: seqno 0 with a digest
+    of ``H("gdp.anchor", name)``.
+    """
+    return HashPointer(0, hash_value("gdp.anchor", capsule_name.raw))
+
+
+class Record:
+    """One immutable element of a DataCapsule's history."""
+
+    __slots__ = ("capsule", "seqno", "payload", "pointers", "_digest")
+
+    def __init__(
+        self,
+        capsule: GdpName,
+        seqno: int,
+        payload: bytes,
+        pointers: Sequence[HashPointer],
+    ):
+        if seqno < 1:
+            raise ValueError(f"record seqno must be >= 1, got {seqno}")
+        if not pointers:
+            raise ValueError("a record must carry at least one hash pointer")
+        ordered = sorted(pointers, key=lambda p: p.seqno, reverse=True)
+        for ptr in ordered:
+            if ptr.seqno >= seqno:
+                raise ValueError(
+                    f"pointer to seqno {ptr.seqno} from record {seqno} "
+                    "must reference the past"
+                )
+        seen = {ptr.seqno for ptr in ordered}
+        if len(seen) != len(ordered):
+            raise ValueError("duplicate pointer target seqnos")
+        object.__setattr__(self, "capsule", capsule)
+        object.__setattr__(self, "seqno", seqno)
+        object.__setattr__(self, "payload", bytes(payload))
+        object.__setattr__(self, "pointers", tuple(ordered))
+        object.__setattr__(self, "_digest", self._compute_digest())
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        raise AttributeError("Record is immutable")
+
+    def _compute_digest(self) -> bytes:
+        return hash_value(
+            "gdp.record",
+            [
+                self.capsule.raw,
+                self.seqno,
+                sha256(self.payload),
+                [ptr.to_wire() for ptr in self.pointers],
+            ],
+        )
+
+    @property
+    def digest(self) -> bytes:
+        """The record's identifying SHA-256 digest."""
+        return self._digest
+
+    @property
+    def payload_hash(self) -> bytes:
+        """SHA-256 of the payload alone."""
+        return sha256(self.payload)
+
+    @property
+    def prev(self) -> HashPointer:
+        """The pointer with the highest target seqno (the chain
+        predecessor in SSW mode)."""
+        return self.pointers[0]
+
+    def pointer_to(self, seqno: int) -> HashPointer | None:
+        """The pointer targeting *seqno*, if this record carries one."""
+        for ptr in self.pointers:
+            if ptr.seqno == seqno:
+                return ptr
+        return None
+
+    def header_wire(self) -> dict:
+        """The record minus its payload — what integrity proofs ship.
+
+        Proofs carry ``payload_hash`` instead of the payload so proving a
+        record's position never requires shipping megabytes of video.
+        """
+        return {
+            "seqno": self.seqno,
+            "payload_hash": sha256(self.payload),
+            "pointers": [ptr.to_wire() for ptr in self.pointers],
+        }
+
+    def to_wire(self) -> dict:
+        """Wire-encodable representation."""
+        return {
+            "seqno": self.seqno,
+            "payload": self.payload,
+            "pointers": [ptr.to_wire() for ptr in self.pointers],
+        }
+
+    @classmethod
+    def from_wire(cls, capsule: GdpName, wire: dict) -> "Record":
+        """Rebuild from a wire form; raises on malformed input."""
+        try:
+            pointers = [HashPointer.from_wire(p) for p in wire["pointers"]]
+            return cls(capsule, wire["seqno"], wire["payload"], pointers)
+        except (KeyError, TypeError, ValueError) as exc:
+            raise IntegrityError(f"malformed record wire form: {exc}") from exc
+
+    @staticmethod
+    def verify_header(
+        capsule: GdpName, header: dict, expected_digest: bytes
+    ) -> None:
+        """Check that a proof header hashes to *expected_digest*."""
+        try:
+            recomputed = hash_value(
+                "gdp.record",
+                [
+                    capsule.raw,
+                    header["seqno"],
+                    header["payload_hash"],
+                    header["pointers"],
+                ],
+            )
+        except (KeyError, TypeError) as exc:
+            raise IntegrityError(f"malformed record header: {exc}") from exc
+        if recomputed != expected_digest:
+            raise IntegrityError(
+                f"record header for seqno {header.get('seqno')} does not "
+                "match its claimed digest"
+            )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Record):
+            return NotImplemented
+        return self._digest == other._digest
+
+    def __hash__(self) -> int:
+        return hash(self._digest)
+
+    def __repr__(self) -> str:
+        return (
+            f"Record(seqno={self.seqno}, payload={len(self.payload)}B, "
+            f"ptrs={[p.seqno for p in self.pointers]}, "
+            f"digest={self._digest.hex()[:12]}...)"
+        )
+
+
+def link_digests(records: Iterable[Record]) -> dict[int, bytes]:
+    """Map seqno -> digest for a collection of records (helper for
+    strategies and tests); raises on duplicate seqnos."""
+    out: dict[int, bytes] = {}
+    for record in records:
+        if record.seqno in out:
+            raise IntegrityError(f"duplicate seqno {record.seqno}")
+        out[record.seqno] = record.digest
+    return out

@@ -1,0 +1,161 @@
+"""Confidentiality: sealed payloads and read-key sharing (§V).
+
+"Write access control is maintained by the writer's signature key, and
+read access control is maintained by selective sharing of decryption
+keys."  This module implements that read side:
+
+- A capsule has a symmetric *content key*; record payloads are sealed
+  (ChaCha20 + HMAC, encrypt-then-MAC) with per-record derived keys so a
+  leaked record key does not expose siblings.
+- The owner grants readers access by *wrapping* the content key to each
+  reader's public key (ephemeral ECDH + HKDF) — a :class:`ReadGrant`
+  that can be stored in the capsule itself or distributed out of band.
+- Sealing happens *above* the record layer: the infrastructure stores,
+  replicates and proves sealed bytes without ever holding keys —
+  "encryption provides the final level of defense in the case when the
+  entire infrastructure is compromised" (fn. 7).
+"""
+
+from __future__ import annotations
+
+import secrets
+
+from repro.crypto import chacha
+from repro.crypto import ec
+from repro.crypto.hmac_session import hkdf
+from repro.crypto.keys import SigningKey, VerifyingKey
+from repro.errors import IntegrityError
+from repro.naming.names import GdpName
+
+__all__ = ["ContentKey", "ReadGrant", "seal_payload", "open_payload"]
+
+
+class ContentKey:
+    """The capsule's symmetric content key plus derivation helpers."""
+
+    __slots__ = ("capsule", "_root")
+
+    def __init__(self, capsule: GdpName, root: bytes):
+        if len(root) != chacha.KEY_LEN:
+            raise ValueError(f"content key must be {chacha.KEY_LEN} bytes")
+        self.capsule = capsule
+        self._root = bytes(root)
+
+    @classmethod
+    def generate(cls, capsule: GdpName) -> "ContentKey":
+        """Generate a fresh random instance."""
+        return cls(capsule, secrets.token_bytes(chacha.KEY_LEN))
+
+    def record_key(self, seqno: int) -> bytes:
+        """Per-record key: HKDF(root, capsule || seqno)."""
+        return hkdf(
+            self._root,
+            self.capsule.raw,
+            b"gdp.record.key" + seqno.to_bytes(8, "big"),
+        )
+
+    def to_bytes(self) -> bytes:
+        """Serialized byte form."""
+        return self._root
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ContentKey):
+            return NotImplemented
+        return self.capsule == other.capsule and self._root == other._root
+
+    def __hash__(self) -> int:
+        return hash((self.capsule, self._root))
+
+
+def seal_payload(key: ContentKey, seqno: int, plaintext: bytes) -> bytes:
+    """Seal a record payload; the capsule name and seqno are bound as
+    associated data so a sealed payload cannot be replayed into a
+    different record slot."""
+    aad = b"gdp.sealed" + key.capsule.raw + seqno.to_bytes(8, "big")
+    return chacha.seal(key.record_key(seqno), plaintext, aad)
+
+
+def open_payload(key: ContentKey, seqno: int, sealed: bytes) -> bytes:
+    """Open a sealed payload; raises :class:`IntegrityError` on
+    tampering or slot mismatch."""
+    aad = b"gdp.sealed" + key.capsule.raw + seqno.to_bytes(8, "big")
+    return chacha.open_sealed(key.record_key(seqno), sealed, aad)
+
+
+class ReadGrant:
+    """The content key wrapped to one reader's public key.
+
+    Constructed by anyone holding the content key (normally the owner);
+    unwrapped with the reader's private key.  The grant binds the capsule
+    name, so a grant for one capsule cannot be replayed for another.
+    """
+
+    __slots__ = ("capsule", "reader", "ephemeral", "wrapped")
+
+    def __init__(
+        self, capsule: GdpName, reader: VerifyingKey, ephemeral: bytes, wrapped: bytes
+    ):
+        self.capsule = capsule
+        self.reader = reader
+        self.ephemeral = ephemeral
+        self.wrapped = wrapped
+
+    @classmethod
+    def create(
+        cls, key: ContentKey, reader: VerifyingKey
+    ) -> "ReadGrant":
+        """Construct and sign (see class docstring)."""
+        eph_secret = secrets.randbelow(ec.N - 1) + 1
+        eph_public = ec.scalar_mult(eph_secret, ec.GENERATOR)
+        shared = ec.scalar_mult(eph_secret, reader.point)
+        kek = hkdf(
+            shared.x.to_bytes(32, "big"),
+            key.capsule.raw,
+            b"gdp.grant" + reader.to_bytes(),
+        )
+        aad = b"gdp.grant" + key.capsule.raw + reader.to_bytes()
+        wrapped = chacha.seal(kek, key.to_bytes(), aad)
+        return cls(key.capsule, reader, ec.encode_point(eph_public), wrapped)
+
+    def unwrap(self, reader_key: SigningKey) -> ContentKey:
+        """Recover the content key with the reader's private key."""
+        if reader_key.public != self.reader:
+            raise IntegrityError("grant was issued to a different reader")
+        eph_point = ec.decode_point(self.ephemeral)
+        shared = ec.scalar_mult(
+            int.from_bytes(reader_key.to_bytes(), "big"), eph_point
+        )
+        kek = hkdf(
+            shared.x.to_bytes(32, "big"),
+            self.capsule.raw,
+            b"gdp.grant" + self.reader.to_bytes(),
+        )
+        aad = b"gdp.grant" + self.capsule.raw + self.reader.to_bytes()
+        root = chacha.open_sealed(kek, self.wrapped, aad)
+        return ContentKey(self.capsule, root)
+
+    def to_wire(self) -> dict:
+        """Wire-encodable representation."""
+        return {
+            "capsule": self.capsule.raw,
+            "reader": self.reader.to_bytes(),
+            "ephemeral": self.ephemeral,
+            "wrapped": self.wrapped,
+        }
+
+    @classmethod
+    def from_wire(cls, wire: dict) -> "ReadGrant":
+        """Rebuild from a wire form; raises on malformed input."""
+        from repro.errors import GdpError
+
+        try:
+            return cls(
+                GdpName(wire["capsule"]),
+                VerifyingKey.from_bytes(wire["reader"]),
+                wire["ephemeral"],
+                wire["wrapped"],
+            )
+        except IntegrityError:
+            raise
+        except (KeyError, TypeError, GdpError) as exc:
+            raise IntegrityError(f"malformed read grant: {exc}") from exc

@@ -1,0 +1,183 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``version``     print the library version
+``selfcheck``   run a miniature end-to-end scenario (place a capsule on
+                a two-domain GDP, append, verified read, tamper-detect)
+                and report PASS/FAIL — the 30-second smoke test for a
+                fresh install
+``results``     print the experiment tables from the last benchmark run
+``inventory``   list the implemented subsystems and their test counts
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+
+def cmd_version(_args: argparse.Namespace) -> int:
+    """The ``version`` command."""
+    import repro
+
+    print(f"repro {repro.__version__} — Global Data Plane reproduction "
+          "(Mor et al., ICDCS 2019)")
+    return 0
+
+
+def cmd_selfcheck(_args: argparse.Namespace) -> int:
+    """The ``selfcheck`` command: end-to-end smoke scenario."""
+    from repro.adversary import StorageTamperer
+    from repro.client import GdpClient, OwnerConsole
+    from repro.crypto import SigningKey
+    from repro.errors import GdpError
+    from repro.routing import GdpRouter, RoutingDomain
+    from repro.server import DataCapsuleServer
+    from repro.sim import GBPS, SimNetwork
+
+    net = SimNetwork(seed=123)
+    clock = lambda: net.sim.now  # noqa: E731
+    root = RoutingDomain("global", clock=clock)
+    edge = RoutingDomain("global.edge", root)
+    r_root = GdpRouter(net, "r_root", root)
+    r_edge = GdpRouter(net, "r_edge", edge)
+    net.connect(r_edge, r_root, latency=0.02, bandwidth=GBPS)
+    edge.attach_to_parent(r_edge, r_root)
+    server_a = DataCapsuleServer(net, "server_a")
+    server_a.attach(r_root)
+    server_b = DataCapsuleServer(net, "server_b")
+    server_b.attach(r_edge)
+    client = GdpClient(net, "client")
+    client.attach(r_edge)
+    reader = GdpClient(net, "reader")
+    reader.attach(r_root)
+    owner = SigningKey.generate()
+    writer_key = SigningKey.generate()
+    console = OwnerConsole(client, owner)
+    checks: list[tuple[str, bool]] = []
+
+    def scenario():
+        for endpoint in (server_a, server_b, client, reader):
+            yield endpoint.advertise()
+        metadata = console.design_capsule(
+            writer_key.public, pointer_strategy="skiplist"
+        )
+        yield from console.place_capsule(
+            metadata, [server_a.metadata, server_b.metadata]
+        )
+        yield 0.5
+        checks.append(("place capsule on 2 domains", True))
+        writer = client.open_writer(metadata, writer_key)
+        for i in range(5):
+            yield from writer.append(b"record-%d" % i)
+        record, acks = yield from writer.append(b"durable", acks="all")
+        checks.append(("append (incl. acks=all)", acks == 2))
+        yield 1.0
+        got = yield from reader.read(metadata.name, 3)
+        checks.append(("cross-domain verified read", got.payload == b"record-2"))
+        records = yield from reader.read_range(metadata.name, 1, 6)
+        checks.append(("verified range read", len(records) == 6))
+        StorageTamperer(server_a).corrupt_record(metadata.name, 2)
+        fresh = GdpClient(net, "fresh")
+        fresh.attach(r_root)
+        yield fresh.advertise()
+        try:
+            yield from fresh.read(metadata.name, 2)
+            checks.append(("tamper detection", False))
+        except GdpError:
+            checks.append(("tamper detection", True))
+        return True
+
+    try:
+        net.sim.run_process(scenario())
+    except Exception as exc:  # noqa: BLE001 — selfcheck reports, not crashes
+        print(f"selfcheck CRASHED: {type(exc).__name__}: {exc}")
+        return 2
+    ok = all(passed for _, passed in checks)
+    for name, passed in checks:
+        print(f"  [{'PASS' if passed else 'FAIL'}] {name}")
+    print("selfcheck:", "PASS" if ok else "FAIL")
+    return 0 if ok else 1
+
+
+def cmd_results(_args: argparse.Namespace) -> int:
+    """The ``results`` command: print benchmark tables."""
+    results_dir = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.dirname(__file__))),
+        "benchmarks",
+        "results",
+    )
+    if not os.path.isdir(results_dir):
+        print("no benchmark results yet — run: "
+              "pytest benchmarks/ --benchmark-only")
+        return 1
+    for filename in sorted(os.listdir(results_dir)):
+        if not filename.endswith(".txt"):
+            continue
+        print(f"== {filename[:-4]} ==")
+        with open(os.path.join(results_dir, filename)) as fh:
+            print(fh.read())
+    return 0
+
+
+def cmd_inventory(_args: argparse.Namespace) -> int:
+    """The ``inventory`` command: list subsystems."""
+    import repro.adversary
+    import repro.baselines
+    import repro.caapi
+    import repro.capsule
+    import repro.client
+    import repro.crypto
+    import repro.delegation
+    import repro.naming
+    import repro.routing
+    import repro.server
+    import repro.sim
+
+    packages = [
+        ("crypto", repro.crypto, "ECDSA P-256, ChaCha20, HKDF, Merkle"),
+        ("naming", repro.naming, "flat self-certifying names + metadata"),
+        ("capsule", repro.capsule, "the DataCapsule ADS + proofs + writers"),
+        ("delegation", repro.delegation, "AdCerts/RtCerts/memberships/SubGrants"),
+        ("routing", repro.routing, "routers, domains, GLookup, DHT, catalogs"),
+        ("server", repro.server, "DataCapsule-servers + replication"),
+        ("client", repro.client, "GDP client library + owner console"),
+        ("caapi", repro.caapi, "fs / kv / time-series / stream / multi-writer"),
+        ("baselines", repro.baselines, "simulated S3 + SSHFS"),
+        ("adversary", repro.adversary, "threat-model fault injection"),
+        ("sim", repro.sim, "discrete-event network simulator"),
+    ]
+    for name, module, blurb in packages:
+        exported = len(getattr(module, "__all__", []))
+        print(f"  repro.{name:<11} {exported:>3} public symbols  — {blurb}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Global Data Plane / DataCapsules reproduction CLI",
+    )
+    sub = parser.add_subparsers(dest="command")
+    sub.add_parser("version", help="print the version")
+    sub.add_parser("selfcheck", help="run the end-to-end smoke scenario")
+    sub.add_parser("results", help="print the last benchmark tables")
+    sub.add_parser("inventory", help="list implemented subsystems")
+    args = parser.parse_args(argv)
+    commands = {
+        "version": cmd_version,
+        "selfcheck": cmd_selfcheck,
+        "results": cmd_results,
+        "inventory": cmd_inventory,
+    }
+    if args.command is None:
+        parser.print_help()
+        return 0
+    return commands[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,14 @@
+"""GDP client library: verified capsule operations and owner tools."""
+
+from repro.client.client import ClientWriter, GdpClient
+from repro.client.owner import CapsulePlacement, OwnerConsole
+from repro.client.qos import ProviderStats, QosTracker
+
+__all__ = [
+    "GdpClient",
+    "ClientWriter",
+    "OwnerConsole",
+    "CapsulePlacement",
+    "QosTracker",
+    "ProviderStats",
+]

@@ -1,0 +1,477 @@
+"""The GDP client library (§VIII "GDP library").
+
+"The GDP library takes care of connecting to a GDP-router ... advertise
+the desired names, and provide the desired interface of a DataCapsule as
+an object that can be appended to, read from, or subscribed to."
+
+:class:`GdpClient` adds, on top of the raw :class:`Endpoint` RPC:
+
+- response verification (signature or HMAC secure responses, delegation
+  chains checked against the capsule name being asked about);
+- proof verification via a per-capsule :class:`VerifyingReader`;
+- the writer side (:class:`ClientWriter`), which serializes appends
+  locally and talks the durability (acks) protocol;
+- verified subscriptions with an application callback.
+
+All network-facing methods are *generator coroutines*: call them inside
+a simulation process with ``yield from`` (or via ``sim.run_process``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator
+
+from repro.capsule.capsule import DataCapsule
+from repro.capsule.heartbeat import Heartbeat
+from repro.capsule.proofs import PositionProof, RangeProof
+from repro.capsule.reader import VerifyingReader
+from repro.capsule.records import Record
+from repro.capsule.writer import CapsuleWriter, QuasiWriter
+from repro.crypto.hmac_session import Handshake, SessionKey
+from repro.crypto.keys import SigningKey
+from repro.errors import CapsuleError, DurabilityError, GdpError, IntegrityError
+from repro.naming.metadata import MODE_QSW, Metadata, make_client_metadata
+from repro.naming.names import GdpName
+from repro.routing.endpoint import Endpoint
+from repro.routing.pdu import Pdu
+from repro.server.secure import verify_mac_response, verify_signed_response
+from repro.sim.net import SimNetwork
+
+__all__ = ["GdpClient", "ClientWriter"]
+
+
+class GdpClient(Endpoint):
+    """A named GDP client endpoint with verified capsule operations."""
+
+    def __init__(
+        self,
+        network: SimNetwork,
+        node_id: str,
+        *,
+        key: SigningKey | None = None,
+        verify: bool = True,
+    ):
+        key = key or SigningKey.from_seed(b"client:" + node_id.encode())
+        metadata = make_client_metadata(key, extra={"node_id": node_id})
+        super().__init__(network, node_id, metadata, key)
+        self.verify = verify
+        #: optional QoS accountability tracker (see repro.client.qos)
+        self.qos = None
+        self.readers: dict[GdpName, VerifyingReader] = {}
+        self._sessions: dict[GdpName, SessionKey] = {}
+        self._subscriptions: dict[
+            GdpName, Callable[[Record, Heartbeat], None]
+        ] = {}
+
+    # -- request plumbing -------------------------------------------------
+
+    def request(
+        self,
+        dst: GdpName,
+        payload: Any,
+        *,
+        timeout: float | None = 30.0,
+    ) -> tuple[int, Any]:
+        """Send an op request; returns ``(corr_id, future)`` so the
+        caller can verify the secure response binding."""
+        request = Pdu(self.name, dst, "data", payload)
+        future = self.sim.future()
+        self._pending_rpcs[request.corr_id] = future
+        self.send_pdu(request)
+        if self.qos is not None:
+            self.qos.request_sent(request.corr_id)
+
+            def qos_watch(fut, corr_id=request.corr_id):
+                from repro.errors import TimeoutError_
+
+                if fut._error is not None and isinstance(
+                    fut._error, TimeoutError_
+                ):
+                    self.qos.request_timed_out(corr_id)
+
+        if timeout is not None:
+            future = self.sim.timeout(
+                future, timeout, f"op {payload.get('op')} to {dst.human()}"
+            )
+        if self.qos is not None:
+            future.add_callback(qos_watch)
+        return request.corr_id, future
+
+    def _unwrap(
+        self,
+        wrapped: Any,
+        *,
+        corr_id: int,
+        capsule: GdpName | None = None,
+        session_with: GdpName | None = None,
+    ) -> dict:
+        """Verify the secure-response envelope and the op-level result;
+        returns the body.  Raises on any verification or server-reported
+        failure."""
+        if not self.verify:
+            body = wrapped.get("body", wrapped)
+        elif (
+            session_with is not None
+            and session_with in self._sessions
+            and isinstance(wrapped, dict)
+            and wrapped.get("auth", {}).get("mode") == "hmac"
+        ):
+            body = verify_mac_response(
+                self._sessions[session_with],
+                wrapped,
+                client=self.name,
+                corr_id=corr_id,
+            )
+        else:
+            body = verify_signed_response(
+                wrapped,
+                client=self.name,
+                corr_id=corr_id,
+                capsule=capsule,
+                now=self.sim.now,
+            )
+        if self.qos is not None and isinstance(wrapped, dict):
+            auth = wrapped.get("auth", {})
+            if auth.get("mode") == "sig" and "server_metadata" in auth:
+                try:
+                    server = Metadata.from_wire(auth["server_metadata"]).name
+                    self.qos.response_attributed(
+                        corr_id, server, bool(body.get("ok"))
+                    )
+                except GdpError:
+                    pass
+        if not body.get("ok"):
+            raise CapsuleError(body.get("error", "server refused"))
+        return body
+
+    def _reader(self, capsule: GdpName) -> VerifyingReader:
+        if capsule not in self.readers:
+            self.readers[capsule] = VerifyingReader(capsule)
+        return self.readers[capsule]
+
+    # -- metadata bootstrap ------------------------------------------------
+
+    def fetch_metadata(self, capsule: GdpName) -> Generator:
+        """Fetch + verify capsule metadata (the reader's trust anchor);
+        returns the verified :class:`Metadata`."""
+        reader = self._reader(capsule)
+        if reader._capsule is not None:
+            return reader.capsule.metadata
+        corr_id, future = self.request(
+            capsule, {"op": "metadata", "capsule": capsule.raw}
+        )
+        wrapped = yield future
+        body = self._unwrap(wrapped, corr_id=corr_id, capsule=capsule)
+        metadata = Metadata.from_wire(body["metadata"])
+        reader.accept_metadata(metadata)
+        return metadata
+
+    # -- reads --------------------------------------------------------------
+
+    def read(self, capsule: GdpName, seqno: int) -> Generator:
+        """Read one record with proof verification; returns the
+        :class:`Record`."""
+        yield from self.fetch_metadata(capsule)
+        reader = self._reader(capsule)
+        corr_id, future = self.request(
+            capsule, {"op": "read", "capsule": capsule.raw, "seqno": seqno}
+        )
+        wrapped = yield future
+        body = self._unwrap(wrapped, corr_id=corr_id, capsule=capsule)
+        record = Record.from_wire(capsule, body["record"])
+        proof = PositionProof.from_wire(body["proof"])
+        if self.verify:
+            return reader.accept_record(record, proof)
+        return record
+
+    def read_range(
+        self, capsule: GdpName, first: int, last: int
+    ) -> Generator:
+        """Read a verified contiguous range; returns ``list[Record]``."""
+        yield from self.fetch_metadata(capsule)
+        reader = self._reader(capsule)
+        corr_id, future = self.request(
+            capsule,
+            {
+                "op": "read_range",
+                "capsule": capsule.raw,
+                "first": first,
+                "last": last,
+            },
+            timeout=120.0,
+        )
+        wrapped = yield future
+        body = self._unwrap(wrapped, corr_id=corr_id, capsule=capsule)
+        records = [Record.from_wire(capsule, w) for w in body["records"]]
+        proof = RangeProof.from_wire(body["proof"])
+        if self.verify:
+            return reader.accept_range(records, proof)
+        return records
+
+    def read_latest(self, capsule: GdpName) -> Generator:
+        """Read the newest record (or None for an empty capsule)."""
+        yield from self.fetch_metadata(capsule)
+        reader = self._reader(capsule)
+        corr_id, future = self.request(
+            capsule, {"op": "latest", "capsule": capsule.raw}
+        )
+        wrapped = yield future
+        body = self._unwrap(wrapped, corr_id=corr_id, capsule=capsule)
+        if body.get("empty"):
+            return None
+        record = Record.from_wire(capsule, body["record"])
+        proof = PositionProof.from_wire(body["proof"])
+        if self.verify:
+            reader.check_freshness(proof.heartbeat)
+            return reader.accept_record(record, proof)
+        return record
+
+    def read_latest_strict(
+        self, capsule: GdpName, servers: "list[GdpName]"
+    ) -> Generator:
+        """Strict-consistency read (§VI-C): query *every* replica by
+        server name, adopt the newest verified state.
+
+        "A reader interested in the most up-to-date state of a
+        DataCapsule can query all replicas ... and achieve read
+        semantics similar to that of strict consistency at the risk of
+        losing fault tolerance; such a reader must block if any single
+        replica is unavailable."  Accordingly this raises (rather than
+        degrading) if any listed replica does not answer.
+        """
+        if not servers:
+            raise CapsuleError("strict read needs the replica list")
+        yield from self.fetch_metadata(capsule)
+        reader = self._reader(capsule)
+        pending = []
+        for server in servers:
+            corr_id, future = self.request(
+                server,
+                {"op": "latest", "capsule": capsule.raw},
+                timeout=15.0,
+            )
+            pending.append((server, corr_id, future))
+        best: Record | None = None
+        best_proof: PositionProof | None = None
+        for server, corr_id, future in pending:
+            # Any failure here (timeout, no-route, refusal) propagates:
+            # strict mode must not silently drop a replica's answer.
+            wrapped = yield future
+            body = self._unwrap(wrapped, corr_id=corr_id, capsule=capsule)
+            if body.get("empty"):
+                continue
+            record = Record.from_wire(capsule, body["record"])
+            proof = PositionProof.from_wire(body["proof"])
+            if self.verify:
+                proof.verify_record(record, reader.capsule.writer_key)
+            if best is None or record.seqno > best.seqno:
+                best, best_proof = record, proof
+        if best is None:
+            return None
+        if self.verify and best_proof is not None:
+            reader.accept_record(best, best_proof)
+        return best
+
+    # -- writes ---------------------------------------------------------------
+
+    def open_writer(
+        self,
+        metadata: Metadata,
+        writer_key: SigningKey,
+        *,
+        acks: str = "any",
+        state_path: str | None = None,
+    ) -> "ClientWriter":
+        """Open the (strict or quasi, per metadata) single-writer handle
+        for a capsule this client holds the writer key of."""
+        capsule = DataCapsule(metadata)
+        if metadata.properties.get("writer_mode") == MODE_QSW:
+            writer: CapsuleWriter = QuasiWriter(
+                capsule, writer_key, state_path=state_path,
+                clock=lambda: int(self.sim.now * 1000),
+            )
+        else:
+            writer = CapsuleWriter(
+                capsule, writer_key, state_path=state_path,
+                clock=lambda: int(self.sim.now * 1000),
+            )
+        return ClientWriter(self, writer, acks=acks)
+
+    # -- subscriptions ----------------------------------------------------------
+
+    def subscribe(
+        self,
+        capsule: GdpName,
+        callback: Callable[[Record, Heartbeat], None],
+        *,
+        subgrant: "object | None" = None,
+    ) -> Generator:
+        """Register for future records; *callback* fires for each
+        verified pushed record.  Returns the first future seqno.
+
+        *subgrant* is the owner-issued subscription credential required
+        by capsules with ``restricted_subscribe`` metadata (§VII fn. 9).
+        """
+        yield from self.fetch_metadata(capsule)
+        self._subscriptions[capsule] = callback
+        payload: dict = {"op": "subscribe", "capsule": capsule.raw}
+        if subgrant is not None:
+            payload["subgrant"] = subgrant.to_wire()
+        corr_id, future = self.request(capsule, payload)
+        wrapped = yield future
+        body = self._unwrap(wrapped, corr_id=corr_id, capsule=capsule)
+        return body["from_seqno"]
+
+    def on_push(self, pdu: Pdu) -> None:
+        """Handle a verified server push."""
+        try:
+            capsule_name = GdpName(pdu.payload["capsule"])
+        except (KeyError, TypeError, GdpError):
+            return
+        callback = self._subscriptions.get(capsule_name)
+        if callback is None:
+            return
+        reader = self._reader(capsule_name)
+        try:
+            record = Record.from_wire(capsule_name, pdu.payload["record"])
+            heartbeat = Heartbeat.from_wire(pdu.payload["heartbeat"])
+            if self.verify:
+                # A push is its own one-hop proof: the heartbeat signs
+                # exactly this record.
+                proof = PositionProof(heartbeat, [record.header_wire()])
+                reader.accept_record(record, proof)
+            callback(record, heartbeat)
+        except GdpError:
+            # Forged or corrupt push from the network: drop, never
+            # surface unverified data to the application.
+            return
+
+    # -- HMAC session fast path ---------------------------------------------
+
+    def establish_session(self, server: GdpName) -> Generator:
+        """One-time authenticated handshake with a *specific server*
+        (sessions are per-server; capsule-name anycast keeps using
+        signatures since any replica may answer)."""
+        handshake = Handshake(self.key)
+        corr_id, future = self.request(
+            server,
+            {
+                "op": "session",
+                "client_key": self.key.public.to_bytes(),
+                "offer": handshake.offer(),
+            },
+        )
+        wrapped = yield future
+        body = self._unwrap(wrapped, corr_id=corr_id)
+        server_offer = body["offer"]
+        server_identity_wire = wrapped["auth"]["server_metadata"]
+        server_metadata = Metadata.from_wire(server_identity_wire)
+        session = handshake.finish(
+            server_offer, server_metadata.self_key, initiator=True
+        )
+        self._sessions[server] = session
+        return session
+
+    def session_request(
+        self, server: GdpName, payload: dict, *, timeout: float | None = 30.0
+    ) -> Generator:
+        """An op against a specific server over the established HMAC
+        session; returns the verified body."""
+        if server not in self._sessions:
+            raise IntegrityError(f"no session with {server.human()}")
+        corr_id, future = self.request(server, payload, timeout=timeout)
+        wrapped = yield future
+        return self._unwrap(
+            wrapped, corr_id=corr_id, session_with=server
+        )
+
+
+class ClientWriter:
+    """The writer-side handle: local serialization + networked appends."""
+
+    def __init__(self, client: GdpClient, writer: CapsuleWriter, *, acks: str):
+        self.client = client
+        self.writer = writer
+        self.acks = acks
+        self.capsule_name = writer.capsule.name
+
+    @property
+    def last_seqno(self) -> int:
+        """The last locally minted sequence number."""
+        return self.writer.last_seqno
+
+    def append(
+        self, payload: bytes, *, acks: str | None = None
+    ) -> Generator:
+        """Append one record; returns ``(record, ack_count)``.  Raises
+        :class:`DurabilityError` if the requested durability could not
+        be met (the paper's "writer must block and retry")."""
+        record, heartbeat = self.writer.append(payload)
+        corr_id, future = self.client.request(
+            self.capsule_name,
+            {
+                "op": "append",
+                "capsule": self.capsule_name.raw,
+                "record": record.to_wire(),
+                "heartbeat": heartbeat.to_wire(),
+                "acks": acks or self.acks,
+            },
+            timeout=60.0,
+        )
+        wrapped = yield future
+        try:
+            body = self.client._unwrap(
+                wrapped, corr_id=corr_id, capsule=self.capsule_name
+            )
+        except CapsuleError as exc:
+            if "durability" in str(exc):
+                raise DurabilityError(str(exc)) from exc
+            raise
+        return record, body.get("acks", 1)
+
+    def append_stream(
+        self,
+        payloads: "list[bytes]",
+        *,
+        acks: str | None = None,
+        window: int = 8,
+    ) -> Generator:
+        """Pipelined appends: mint all records locally (the writer is
+        still the single serialization point), then keep up to *window*
+        append RPCs in flight — the event-driven style of the paper's C
+        library, which keeps a fat link full instead of paying one RTT
+        per record.  Returns the list of records.  Raises on the first
+        failed acknowledgment (later records may still be in flight;
+        anti-entropy reconciles whatever landed)."""
+        if window < 1:
+            raise CapsuleError("window must be >= 1")
+        minted = [self.writer.append(payload) for payload in payloads]
+        inflight: list[tuple[int, object]] = []
+        index = 0
+        while index < len(minted) or inflight:
+            while index < len(minted) and len(inflight) < window:
+                record, heartbeat = minted[index]
+                corr_id, future = self.client.request(
+                    self.capsule_name,
+                    {
+                        "op": "append",
+                        "capsule": self.capsule_name.raw,
+                        "record": record.to_wire(),
+                        "heartbeat": heartbeat.to_wire(),
+                        "acks": acks or self.acks,
+                    },
+                    timeout=120.0,
+                )
+                inflight.append((corr_id, future))
+                index += 1
+            corr_id, future = inflight.pop(0)
+            wrapped = yield future
+            try:
+                self.client._unwrap(
+                    wrapped, corr_id=corr_id, capsule=self.capsule_name
+                )
+            except CapsuleError as exc:
+                if "durability" in str(exc):
+                    raise DurabilityError(str(exc)) from exc
+                raise
+        return [record for record, _ in minted]

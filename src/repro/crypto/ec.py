@@ -1,0 +1,206 @@
+"""Elliptic-curve group arithmetic over NIST P-256 (secp256r1).
+
+The paper's signatures are ECDSA ("because of smaller key sizes", §V);
+this module is the from-scratch substrate beneath :mod:`repro.crypto.ecdsa`.
+It implements constant-structure (not constant-time — this is a research
+reproduction, not a production TLS stack) point arithmetic using Jacobian
+projective coordinates for speed, with affine conversion only at the edges.
+
+Only the operations ECDSA needs are exposed: scalar multiplication,
+point addition, and point (de)serialization in SEC1 form.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = [
+    "P",
+    "N",
+    "Gx",
+    "Gy",
+    "Point",
+    "INFINITY",
+    "GENERATOR",
+    "point_add",
+    "scalar_mult",
+    "is_on_curve",
+    "encode_point",
+    "decode_point",
+]
+
+# NIST P-256 domain parameters (FIPS 186-4, D.1.2.3).
+P = 0xFFFFFFFF00000001000000000000000000000000FFFFFFFFFFFFFFFFFFFFFFFF
+A = P - 3
+B = 0x5AC635D8AA3A93E7B3EBBD55769886BC651D06B0CC53B0F63BCE3C3E27D2604B
+N = 0xFFFFFFFF00000000FFFFFFFFFFFFFFFFBCE6FAADA7179E84F3B9CAC2FC632551
+Gx = 0x6B17D1F2E12C4247F8BCE6E563A440F277037D812DEB33A0F4A13945D898C296
+Gy = 0x4FE342E2FE1A7F9B8EE7EB4A7C0F9E162BCE33576B315ECECBB6406837BF51F5
+
+
+class Point:
+    """An affine point on P-256, or the point at infinity (``x is None``)."""
+
+    __slots__ = ("x", "y")
+
+    def __init__(self, x: Optional[int], y: Optional[int]):
+        self.x = x
+        self.y = y
+
+    @property
+    def is_infinity(self) -> bool:
+        """Whether this is the point at infinity."""
+        return self.x is None
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Point):
+            return NotImplemented
+        return self.x == other.x and self.y == other.y
+
+    def __hash__(self) -> int:
+        return hash((self.x, self.y))
+
+    def __repr__(self) -> str:
+        if self.is_infinity:
+            return "Point(infinity)"
+        return f"Point(x={self.x:#x}, y={self.y:#x})"
+
+
+INFINITY = Point(None, None)
+GENERATOR = Point(Gx, Gy)
+
+
+def is_on_curve(point: Point) -> bool:
+    """True iff *point* satisfies y^2 = x^3 + ax + b (mod p) or is infinity."""
+    if point.is_infinity:
+        return True
+    x, y = point.x, point.y
+    if not (0 <= x < P and 0 <= y < P):
+        return False
+    return (y * y - (x * x * x + A * x + B)) % P == 0
+
+
+# -- Jacobian projective arithmetic ----------------------------------------
+# A Jacobian point (X, Y, Z) represents affine (X/Z^2, Y/Z^3); infinity has
+# Z == 0.  Formulas from Hankerson, Menezes & Vanstone, "Guide to Elliptic
+# Curve Cryptography", 3.2.2, specialized for a = -3.
+
+_JPoint = tuple[int, int, int]
+_JINF: _JPoint = (1, 1, 0)
+
+
+def _to_jacobian(point: Point) -> _JPoint:
+    if point.is_infinity:
+        return _JINF
+    return (point.x, point.y, 1)
+
+
+def _from_jacobian(jp: _JPoint) -> Point:
+    X, Y, Z = jp
+    if Z == 0:
+        return INFINITY
+    z_inv = pow(Z, P - 2, P)
+    z_inv2 = z_inv * z_inv % P
+    return Point(X * z_inv2 % P, Y * z_inv2 * z_inv % P)
+
+
+def _jdouble(jp: _JPoint) -> _JPoint:
+    X1, Y1, Z1 = jp
+    if Z1 == 0 or Y1 == 0:
+        return _JINF
+    # a = -3 optimization: M = 3(X1 - Z1^2)(X1 + Z1^2)
+    Z1_2 = Z1 * Z1 % P
+    M = 3 * (X1 - Z1_2) * (X1 + Z1_2) % P
+    Y1_2 = Y1 * Y1 % P
+    S = 4 * X1 * Y1_2 % P
+    X3 = (M * M - 2 * S) % P
+    Y3 = (M * (S - X3) - 8 * Y1_2 * Y1_2) % P
+    Z3 = 2 * Y1 * Z1 % P
+    return (X3, Y3, Z3)
+
+
+def _jadd(p1: _JPoint, p2: _JPoint) -> _JPoint:
+    X1, Y1, Z1 = p1
+    X2, Y2, Z2 = p2
+    if Z1 == 0:
+        return p2
+    if Z2 == 0:
+        return p1
+    Z1_2 = Z1 * Z1 % P
+    Z2_2 = Z2 * Z2 % P
+    U1 = X1 * Z2_2 % P
+    U2 = X2 * Z1_2 % P
+    S1 = Y1 * Z2_2 * Z2 % P
+    S2 = Y2 * Z1_2 * Z1 % P
+    if U1 == U2:
+        if S1 != S2:
+            return _JINF
+        return _jdouble(p1)
+    H = (U2 - U1) % P
+    R = (S2 - S1) % P
+    H2 = H * H % P
+    H3 = H2 * H % P
+    U1H2 = U1 * H2 % P
+    X3 = (R * R - H3 - 2 * U1H2) % P
+    Y3 = (R * (U1H2 - X3) - S1 * H3) % P
+    Z3 = H * Z1 * Z2 % P
+    return (X3, Y3, Z3)
+
+
+def point_add(p1: Point, p2: Point) -> Point:
+    """Affine point addition (handles infinity and doubling)."""
+    return _from_jacobian(_jadd(_to_jacobian(p1), _to_jacobian(p2)))
+
+
+def scalar_mult(k: int, point: Point) -> Point:
+    """Compute ``k * point`` via a 4-bit fixed-window method."""
+    k %= N
+    if k == 0 or point.is_infinity:
+        return INFINITY
+    base = _to_jacobian(point)
+    # Precompute 1..15 multiples of the base.
+    table: list[_JPoint] = [_JINF, base]
+    for i in range(2, 16):
+        table.append(_jadd(table[i - 1], base))
+    acc = _JINF
+    for shift in range(k.bit_length() + (4 - k.bit_length() % 4) % 4 - 4, -1, -4):
+        acc = _jdouble(_jdouble(_jdouble(_jdouble(acc))))
+        window = (k >> shift) & 0xF
+        if window:
+            acc = _jadd(acc, table[window])
+    return _from_jacobian(acc)
+
+
+def encode_point(point: Point) -> bytes:
+    """SEC1 compressed encoding (33 bytes); infinity encodes as ``b"\\x00"``."""
+    if point.is_infinity:
+        return b"\x00"
+    prefix = 0x03 if point.y & 1 else 0x02
+    return bytes([prefix]) + point.x.to_bytes(32, "big")
+
+
+def decode_point(data: bytes) -> Point:
+    """Decode a SEC1 compressed (or uncompressed) point; validates curve
+    membership."""
+    if data == b"\x00":
+        return INFINITY
+    if len(data) == 33 and data[0] in (0x02, 0x03):
+        x = int.from_bytes(data[1:], "big")
+        if x >= P:
+            raise ValueError("point x-coordinate out of range")
+        alpha = (pow(x, 3, P) + A * x + B) % P
+        # p ≡ 3 (mod 4) so sqrt is alpha^((p+1)/4).
+        y = pow(alpha, (P + 1) // 4, P)
+        if y * y % P != alpha:
+            raise ValueError("point is not on the curve")
+        if (y & 1) != (data[0] & 1):
+            y = P - y
+        return Point(x, y)
+    if len(data) == 65 and data[0] == 0x04:
+        x = int.from_bytes(data[1:33], "big")
+        y = int.from_bytes(data[33:], "big")
+        point = Point(x, y)
+        if not is_on_curve(point):
+            raise ValueError("point is not on the curve")
+        return point
+    raise ValueError(f"malformed point encoding ({len(data)} bytes)")

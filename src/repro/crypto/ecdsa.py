@@ -1,0 +1,106 @@
+"""ECDSA over P-256 with RFC 6979 deterministic nonces.
+
+Deterministic nonces make signing reproducible (important for tests and
+for replayable simulations) and eliminate the classic nonce-reuse key
+leak.  Signatures are encoded as fixed-width 64-byte ``r || s`` with the
+low-S normalization, so each message/key pair has exactly one valid
+encoding produced by this signer (verification accepts any valid ``s``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac as _hmac
+
+from repro.crypto import ec
+from repro.errors import SignatureError
+
+__all__ = ["sign", "verify", "SIGNATURE_LEN"]
+
+SIGNATURE_LEN = 64
+_ORDER_BYTES = 32
+
+
+def _bits2int(data: bytes) -> int:
+    """RFC 6979 bits2int for a 256-bit order."""
+    value = int.from_bytes(data, "big")
+    excess = len(data) * 8 - 256
+    if excess > 0:
+        value >>= excess
+    return value
+
+
+def _int2octets(value: int) -> bytes:
+    return value.to_bytes(_ORDER_BYTES, "big")
+
+
+def _bits2octets(data: bytes) -> bytes:
+    value = _bits2int(data) % ec.N
+    return _int2octets(value)
+
+
+def _rfc6979_nonce(private_key: int, digest: bytes) -> int:
+    """Deterministic nonce per RFC 6979 §3.2 with HMAC-SHA256."""
+    holder = b"\x01" * 32
+    key = b"\x00" * 32
+    seed = _int2octets(private_key) + _bits2octets(digest)
+    key = _hmac.new(key, holder + b"\x00" + seed, hashlib.sha256).digest()
+    holder = _hmac.new(key, holder, hashlib.sha256).digest()
+    key = _hmac.new(key, holder + b"\x01" + seed, hashlib.sha256).digest()
+    holder = _hmac.new(key, holder, hashlib.sha256).digest()
+    while True:
+        holder = _hmac.new(key, holder, hashlib.sha256).digest()
+        k = _bits2int(holder)
+        if 1 <= k < ec.N:
+            return k
+        key = _hmac.new(key, holder + b"\x00", hashlib.sha256).digest()
+        holder = _hmac.new(key, holder, hashlib.sha256).digest()
+
+
+def sign(private_key: int, message: bytes) -> bytes:
+    """Sign *message* (hashed internally with SHA-256); returns 64-byte
+    ``r || s`` with low-S normalization."""
+    if not 1 <= private_key < ec.N:
+        raise SignatureError("private key out of range")
+    digest = hashlib.sha256(message).digest()
+    z = _bits2int(digest)
+    while True:
+        k = _rfc6979_nonce(private_key, digest)
+        point = ec.scalar_mult(k, ec.GENERATOR)
+        r = point.x % ec.N
+        if r == 0:
+            digest = hashlib.sha256(digest).digest()
+            continue
+        k_inv = pow(k, ec.N - 2, ec.N)
+        s = k_inv * (z + r * private_key) % ec.N
+        if s == 0:
+            digest = hashlib.sha256(digest).digest()
+            continue
+        if s > ec.N // 2:
+            s = ec.N - s
+        return _int2octets(r) + _int2octets(s)
+
+
+def verify(public_key: ec.Point, message: bytes, signature: bytes) -> bool:
+    """Verify a 64-byte ``r || s`` signature; returns ``True``/``False``
+    (malformed inputs return ``False`` rather than raising, so callers can
+    treat garbage from the network uniformly)."""
+    if len(signature) != SIGNATURE_LEN:
+        return False
+    if public_key.is_infinity or not ec.is_on_curve(public_key):
+        return False
+    r = int.from_bytes(signature[:_ORDER_BYTES], "big")
+    s = int.from_bytes(signature[_ORDER_BYTES:], "big")
+    if not (1 <= r < ec.N and 1 <= s < ec.N):
+        return False
+    digest = hashlib.sha256(message).digest()
+    z = _bits2int(digest)
+    s_inv = pow(s, ec.N - 2, ec.N)
+    u1 = z * s_inv % ec.N
+    u2 = r * s_inv % ec.N
+    point = ec.point_add(
+        ec.scalar_mult(u1, ec.GENERATOR), ec.scalar_mult(u2, public_key)
+    )
+    if point.is_infinity:
+        return False
+    return point.x % ec.N == r

@@ -1,0 +1,93 @@
+"""SHA-256 hashing helpers and typed hash-pointers.
+
+Per the paper (§V), "unless otherwise specified, 'hash' refers to a SHA256
+hash function".  This module centralizes hashing so every subsystem uses
+the same domain-separated construction: each hash is computed over a
+domain tag plus the canonical encoding of the value, which prevents
+cross-protocol collisions (e.g. a record hash can never be confused with
+a metadata hash).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any
+
+from repro import encoding
+
+__all__ = [
+    "HASH_LEN",
+    "sha256",
+    "hash_value",
+    "HashPointer",
+]
+
+HASH_LEN = 32
+
+
+def sha256(data: bytes) -> bytes:
+    """Raw SHA-256 digest of *data*."""
+    return hashlib.sha256(data).digest()
+
+
+def hash_value(domain: str, value: Any) -> bytes:
+    """Domain-separated SHA-256 over the canonical encoding of *value*.
+
+    ``domain`` is a short ASCII label such as ``"gdp.record"``; it is
+    length-prefixed so that no choice of domains can collide.
+    """
+    tag = domain.encode("ascii")
+    preimage = bytes([len(tag)]) + tag + encoding.encode(value)
+    return hashlib.sha256(preimage).digest()
+
+
+class HashPointer:
+    """A hash-pointer: the (sequence number, digest) of a prior record.
+
+    The digest binds the pointed-to record's full content and *its* hash
+    pointers, so a chain of pointers transitively attests the entire
+    history (§V-A).  Instances are immutable and hashable so they can be
+    used in sets during proof verification.
+    """
+
+    __slots__ = ("seqno", "digest")
+
+    def __init__(self, seqno: int, digest: bytes):
+        if seqno < 0:
+            raise ValueError(f"seqno must be non-negative, got {seqno}")
+        if len(digest) != HASH_LEN:
+            raise ValueError(
+                f"digest must be {HASH_LEN} bytes, got {len(digest)}"
+            )
+        object.__setattr__(self, "seqno", seqno)
+        object.__setattr__(self, "digest", bytes(digest))
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        raise AttributeError("HashPointer is immutable")
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, HashPointer):
+            return NotImplemented
+        return self.seqno == other.seqno and self.digest == other.digest
+
+    def __hash__(self) -> int:
+        return hash((self.seqno, self.digest))
+
+    def __repr__(self) -> str:
+        return f"HashPointer(seqno={self.seqno}, digest={self.digest.hex()[:12]}...)"
+
+    def to_wire(self) -> list:
+        """Encodable representation for inclusion in signed structures."""
+        return [self.seqno, self.digest]
+
+    @classmethod
+    def from_wire(cls, wire: Any) -> "HashPointer":
+        """Rebuild from a wire form; raises on malformed input."""
+        if (
+            not isinstance(wire, list)
+            or len(wire) != 2
+            or not isinstance(wire[0], int)
+            or not isinstance(wire[1], bytes)
+        ):
+            raise ValueError(f"malformed hash pointer: {wire!r}")
+        return cls(wire[0], wire[1])

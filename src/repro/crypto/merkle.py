@@ -1,0 +1,160 @@
+"""Merkle hash trees with inclusion proofs.
+
+The paper's DataCapsule proofs are primarily hash-*chain* based, but §V
+notes that "a reader can also get cryptographic proofs for specific
+records ... in a similar way as the well-known Merkle hash trees".  The
+tree here backs checkpoint records (a checkpoint commits to a Merkle root
+over all records up to it, giving O(log n) inclusion proofs against a
+single signed point) and the naming catalogs used by secure
+advertisements.
+
+Leaves are domain-separated from interior nodes (0x00 / 0x01 prefixes) to
+prevent second-preimage splicing attacks.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable, Sequence
+
+from repro.errors import IntegrityError
+
+__all__ = ["leaf_hash", "node_hash", "MerkleTree", "InclusionProof"]
+
+_LEAF_PREFIX = b"\x00"
+_NODE_PREFIX = b"\x01"
+EMPTY_ROOT = hashlib.sha256(b"gdp.merkle.empty").digest()
+
+
+def leaf_hash(data: bytes) -> bytes:
+    """Domain-separated leaf hash."""
+    return hashlib.sha256(_LEAF_PREFIX + data).digest()
+
+
+def node_hash(left: bytes, right: bytes) -> bytes:
+    """Domain-separated interior-node hash."""
+    return hashlib.sha256(_NODE_PREFIX + left + right).digest()
+
+
+class InclusionProof:
+    """Audit path proving a leaf is in a tree with a known root."""
+
+    __slots__ = ("index", "tree_size", "path")
+
+    def __init__(self, index: int, tree_size: int, path: Sequence[bytes]):
+        self.index = index
+        self.tree_size = tree_size
+        self.path = list(path)
+
+    def to_wire(self) -> dict:
+        """Wire-encodable representation."""
+        return {
+            "index": self.index,
+            "tree_size": self.tree_size,
+            "path": list(self.path),
+        }
+
+    @classmethod
+    def from_wire(cls, wire: dict) -> "InclusionProof":
+        """Rebuild from a wire form; raises on malformed input."""
+        return cls(wire["index"], wire["tree_size"], wire["path"])
+
+    def verify(self, leaf_data: bytes, root: bytes) -> None:
+        """Raise :class:`IntegrityError` unless this path links
+        ``leaf_data`` at ``index`` to ``root`` in a tree of
+        ``tree_size`` leaves."""
+        if not 0 <= self.index < self.tree_size:
+            raise IntegrityError("inclusion proof index out of range")
+        expected_len = _audit_path_length(self.index, self.tree_size)
+        if len(self.path) != expected_len:
+            raise IntegrityError(
+                f"inclusion proof length {len(self.path)} != expected "
+                f"{expected_len}"
+            )
+        node = leaf_hash(leaf_data)
+        index, size = self.index, self.tree_size
+        consumed = 0
+        while size > 1:
+            if index % 2 == 1:
+                node = node_hash(self.path[consumed], node)
+                consumed += 1
+            elif index + 1 < size:
+                node = node_hash(node, self.path[consumed])
+                consumed += 1
+            # else: promoted right-spine node — rises a level with no
+            # sibling, so no path element is consumed.
+            index //= 2
+            size = (size + 1) // 2
+        if node != root:
+            raise IntegrityError("inclusion proof does not match root")
+
+
+def _audit_path_length(index: int, size: int) -> int:
+    """Number of siblings on the audit path for ``index`` in ``size``
+    leaves, where right-spine nodes are promoted (no padding leaves)."""
+    length = 0
+    while size > 1:
+        if index % 2 == 1 or index + 1 < size:
+            length += 1
+        index //= 2
+        size = (size + 1) // 2
+    return length
+
+
+class MerkleTree:
+    """An append-only Merkle tree over byte-string leaves.
+
+    Right-spine nodes are *promoted* rather than padded, matching RFC 6962
+    shape semantics: the root of ``n`` leaves is well-defined for any
+    ``n >= 0`` and appending never changes an existing leaf's hash.
+    """
+
+    def __init__(self, leaves: Iterable[bytes] = ()):
+        self._leaves: list[bytes] = [leaf_hash(leaf) for leaf in leaves]
+
+    def __len__(self) -> int:
+        return len(self._leaves)
+
+    def append(self, data: bytes) -> int:
+        """Append a leaf; returns its index."""
+        self._leaves.append(leaf_hash(data))
+        return len(self._leaves) - 1
+
+    def root(self, size: int | None = None) -> bytes:
+        """Root over the first *size* leaves (default: all)."""
+        size = len(self._leaves) if size is None else size
+        if not 0 <= size <= len(self._leaves):
+            raise ValueError(f"size {size} out of range")
+        if size == 0:
+            return EMPTY_ROOT
+        level = self._leaves[:size]
+        while len(level) > 1:
+            nxt = []
+            for i in range(0, len(level) - 1, 2):
+                nxt.append(node_hash(level[i], level[i + 1]))
+            if len(level) % 2 == 1:
+                nxt.append(level[-1])
+            level = nxt
+        return level[0]
+
+    def prove(self, index: int, size: int | None = None) -> InclusionProof:
+        """Inclusion proof for leaf *index* within the first *size* leaves."""
+        size = len(self._leaves) if size is None else size
+        if not 0 <= index < size <= len(self._leaves):
+            raise ValueError(f"index {index} / size {size} out of range")
+        path: list[bytes] = []
+        level = self._leaves[:size]
+        position = index
+        while len(level) > 1:
+            if position % 2 == 1:
+                path.append(level[position - 1])
+            elif position + 1 < len(level):
+                path.append(level[position + 1])
+            nxt = []
+            for i in range(0, len(level) - 1, 2):
+                nxt.append(node_hash(level[i], level[i + 1]))
+            if len(level) % 2 == 1:
+                nxt.append(level[-1])
+            level = nxt
+            position //= 2
+        return InclusionProof(index, size, path)

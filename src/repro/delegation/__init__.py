@@ -1,0 +1,19 @@
+"""Cryptographic delegations: AdCerts, RtCerts, organization
+memberships, and chain verification."""
+
+from repro.delegation.certs import AdCert, OrgMembership, RtCert, SubGrant
+from repro.delegation.chain import (
+    ServiceChain,
+    verify_routing_chain,
+    verify_service_chain,
+)
+
+__all__ = [
+    "AdCert",
+    "RtCert",
+    "OrgMembership",
+    "SubGrant",
+    "ServiceChain",
+    "verify_service_chain",
+    "verify_routing_chain",
+]

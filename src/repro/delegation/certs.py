@@ -1,0 +1,438 @@
+"""Cryptographic delegations: AdCerts and RtCerts (§V, §VII).
+
+Two certificate forms knit the federation together:
+
+**AdCert** — "a signed statement by the DataCapsule-owner that a certain
+DataCapsule-server is allowed to respond for the DataCapsule in
+question".  The delegate may be an individual server or a storage
+*organization* ("in practice, a DataCapsule-owner issues such delegations
+to storage organizations instead of individual DataCapsule-servers",
+fn. 8), in which case any server presenting a membership credential from
+that organization inherits the delegation.  AdCerts also carry the
+owner's *scope* policy: the set of routing domains the capsule may
+reside in or be routed through (§VII: "any restriction on where can a
+DataCapsule be routed through are specified by the DataCapsule-owner at
+the time of issuance of AdCert").
+
+**RtCert** — "a signed statement issued by a physical machine (e.g. a
+DataCapsule-server) to a GDP-router authorizing the GDP-router to
+send/receive messages on behalf of DataCapsule-server".
+
+Both are expiring statements over canonical encodings; verification
+needs only the issuer's public key, which is itself reachable from a
+flat name via self-certifying metadata — no PKI anywhere.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro import encoding
+from repro.crypto.keys import SigningKey, VerifyingKey
+from repro.errors import DelegationError
+from repro.naming.names import GdpName
+
+__all__ = ["AdCert", "RtCert", "OrgMembership", "SubGrant"]
+
+
+class _SignedStatement:
+    """Shared machinery: domain-tagged canonical signing and expiry."""
+
+    DOMAIN: bytes = b""
+
+    def _body(self) -> Any:
+        raise NotImplementedError
+
+    def signing_preimage(self) -> bytes:
+        """The exact bytes the signature covers."""
+        return self.DOMAIN + encoding.encode(self._body())
+
+    def check_expiry(self, now: float) -> None:
+        """Raise :class:`DelegationError` if expired at *now*."""
+        if self.expires_at is not None and now > self.expires_at:
+            raise DelegationError(
+                f"{type(self).__name__} expired at {self.expires_at} "
+                f"(now {now})"
+            )
+
+    def check_signature(self, issuer_key: VerifyingKey) -> None:
+        """Raise :class:`DelegationError` on a bad signature."""
+        if not issuer_key.verify(self.signing_preimage(), self.signature):
+            raise DelegationError(
+                f"{type(self).__name__} signature does not verify against "
+                "the issuer key"
+            )
+
+
+class AdCert(_SignedStatement):
+    """Owner-signed delegation: *delegate* may store / respond for
+    *capsule*, within *scopes* (empty = unrestricted)."""
+
+    DOMAIN = b"gdp.adcert"
+
+    __slots__ = ("capsule", "delegate", "scopes", "expires_at", "signature")
+
+    def __init__(
+        self,
+        capsule: GdpName,
+        delegate: GdpName,
+        scopes: Sequence[str],
+        expires_at: float | None,
+        signature: bytes,
+    ):
+        self.capsule = capsule
+        self.delegate = delegate
+        self.scopes = tuple(scopes)
+        self.expires_at = expires_at
+        self.signature = bytes(signature)
+
+    def _body(self) -> Any:
+        return [
+            "adcert",
+            self.capsule.raw,
+            self.delegate.raw,
+            list(self.scopes),
+            -1 if self.expires_at is None else int(self.expires_at * 1000),
+        ]
+
+    @classmethod
+    def issue(
+        cls,
+        owner: SigningKey,
+        capsule: GdpName,
+        delegate: GdpName,
+        *,
+        scopes: Sequence[str] = (),
+        expires_at: float | None = None,
+    ) -> "AdCert":
+        """Create and sign the statement."""
+        cert = cls(capsule, delegate, scopes, expires_at, b"")
+        return cls(
+            capsule, delegate, scopes, expires_at,
+            owner.sign(cert.signing_preimage()),
+        )
+
+    def verify(
+        self,
+        owner_key: VerifyingKey,
+        *,
+        now: float = 0.0,
+        capsule: GdpName | None = None,
+        delegate: GdpName | None = None,
+    ) -> None:
+        """Full check: signature by the capsule owner, not expired, and
+        (optionally) binding to expected capsule/delegate names."""
+        if capsule is not None and self.capsule != capsule:
+            raise DelegationError("AdCert is for a different capsule")
+        if delegate is not None and self.delegate != delegate:
+            raise DelegationError("AdCert delegates to a different principal")
+        self.check_expiry(now)
+        self.check_signature(owner_key)
+
+    def allows_domain(self, domain: str) -> bool:
+        """Scope policy: is the capsule allowed to be visible in
+        *domain*?  A scope entry matches the domain itself and its
+        entire subtree (dotted-suffix match, DNS style)."""
+        if not self.scopes:
+            return True
+        return any(
+            domain == scope or domain.startswith(scope + ".")
+            for scope in self.scopes
+        )
+
+    def to_wire(self) -> dict:
+        """Wire-encodable representation."""
+        return {
+            "capsule": self.capsule.raw,
+            "delegate": self.delegate.raw,
+            "scopes": list(self.scopes),
+            "expires_at": -1 if self.expires_at is None
+            else int(self.expires_at * 1000),
+            "signature": self.signature,
+        }
+
+    @classmethod
+    def from_wire(cls, wire: dict) -> "AdCert":
+        """Rebuild from a wire form; raises on malformed input."""
+        try:
+            raw_expiry = wire["expires_at"]
+            return cls(
+                GdpName(wire["capsule"]),
+                GdpName(wire["delegate"]),
+                [str(s) for s in wire["scopes"]],
+                None if raw_expiry == -1 else raw_expiry / 1000,
+                wire["signature"],
+            )
+        except (KeyError, TypeError) as exc:
+            raise DelegationError(f"malformed AdCert: {exc}") from exc
+
+    def __repr__(self) -> str:
+        return (
+            f"AdCert(capsule={self.capsule.human()}, "
+            f"delegate={self.delegate.human()}, scopes={list(self.scopes)})"
+        )
+
+
+class RtCert(_SignedStatement):
+    """Principal-signed routing delegation: *router* may send/receive on
+    behalf of *principal* (a server, client, or other endpoint)."""
+
+    DOMAIN = b"gdp.rtcert"
+
+    __slots__ = ("principal", "router", "expires_at", "signature")
+
+    def __init__(
+        self,
+        principal: GdpName,
+        router: GdpName,
+        expires_at: float | None,
+        signature: bytes,
+    ):
+        self.principal = principal
+        self.router = router
+        self.expires_at = expires_at
+        self.signature = bytes(signature)
+
+    def _body(self) -> Any:
+        return [
+            "rtcert",
+            self.principal.raw,
+            self.router.raw,
+            -1 if self.expires_at is None else int(self.expires_at * 1000),
+        ]
+
+    @classmethod
+    def issue(
+        cls,
+        principal_key: SigningKey,
+        principal: GdpName,
+        router: GdpName,
+        *,
+        expires_at: float | None = None,
+    ) -> "RtCert":
+        """Create and sign the statement."""
+        cert = cls(principal, router, expires_at, b"")
+        return cls(
+            principal, router, expires_at,
+            principal_key.sign(cert.signing_preimage()),
+        )
+
+    def verify(
+        self,
+        principal_key: VerifyingKey,
+        *,
+        now: float = 0.0,
+        router: GdpName | None = None,
+    ) -> None:
+        """Check signature, expiry, and the optional name bindings."""
+        if router is not None and self.router != router:
+            raise DelegationError("RtCert names a different router")
+        self.check_expiry(now)
+        self.check_signature(principal_key)
+
+    def to_wire(self) -> dict:
+        """Wire-encodable representation."""
+        return {
+            "principal": self.principal.raw,
+            "router": self.router.raw,
+            "expires_at": -1 if self.expires_at is None
+            else int(self.expires_at * 1000),
+            "signature": self.signature,
+        }
+
+    @classmethod
+    def from_wire(cls, wire: dict) -> "RtCert":
+        """Rebuild from a wire form; raises on malformed input."""
+        try:
+            raw_expiry = wire["expires_at"]
+            return cls(
+                GdpName(wire["principal"]),
+                GdpName(wire["router"]),
+                None if raw_expiry == -1 else raw_expiry / 1000,
+                wire["signature"],
+            )
+        except (KeyError, TypeError) as exc:
+            raise DelegationError(f"malformed RtCert: {exc}") from exc
+
+    def __repr__(self) -> str:
+        return (
+            f"RtCert(principal={self.principal.human()}, "
+            f"router={self.router.human()})"
+        )
+
+
+class OrgMembership(_SignedStatement):
+    """Organization-signed membership: *member* (a server) belongs to
+    *org* — the credential a server shows when an AdCert delegates to a
+    storage organization rather than to the server directly (§V fn. 8,
+    §VII "membership in a given organization")."""
+
+    DOMAIN = b"gdp.orgmember"
+
+    __slots__ = ("org", "member", "expires_at", "signature")
+
+    def __init__(
+        self,
+        org: GdpName,
+        member: GdpName,
+        expires_at: float | None,
+        signature: bytes,
+    ):
+        self.org = org
+        self.member = member
+        self.expires_at = expires_at
+        self.signature = bytes(signature)
+
+    def _body(self) -> Any:
+        return [
+            "orgmember",
+            self.org.raw,
+            self.member.raw,
+            -1 if self.expires_at is None else int(self.expires_at * 1000),
+        ]
+
+    @classmethod
+    def issue(
+        cls,
+        org_key: SigningKey,
+        org: GdpName,
+        member: GdpName,
+        *,
+        expires_at: float | None = None,
+    ) -> "OrgMembership":
+        """Create and sign the statement."""
+        cert = cls(org, member, expires_at, b"")
+        return cls(
+            org, member, expires_at, org_key.sign(cert.signing_preimage())
+        )
+
+    def verify(
+        self,
+        org_key: VerifyingKey,
+        *,
+        now: float = 0.0,
+        member: GdpName | None = None,
+    ) -> None:
+        """Check signature, expiry, and the optional name bindings."""
+        if member is not None and self.member != member:
+            raise DelegationError("membership names a different member")
+        self.check_expiry(now)
+        self.check_signature(org_key)
+
+    def to_wire(self) -> dict:
+        """Wire-encodable representation."""
+        return {
+            "org": self.org.raw,
+            "member": self.member.raw,
+            "expires_at": -1 if self.expires_at is None
+            else int(self.expires_at * 1000),
+            "signature": self.signature,
+        }
+
+    @classmethod
+    def from_wire(cls, wire: dict) -> "OrgMembership":
+        """Rebuild from a wire form; raises on malformed input."""
+        try:
+            raw_expiry = wire["expires_at"]
+            return cls(
+                GdpName(wire["org"]),
+                GdpName(wire["member"]),
+                None if raw_expiry == -1 else raw_expiry / 1000,
+                wire["signature"],
+            )
+        except (KeyError, TypeError) as exc:
+            raise DelegationError(f"malformed membership: {exc}") from exc
+
+
+class SubGrant(_SignedStatement):
+    """Owner-signed subscription credential (§VII fn. 9).
+
+    "Such credentials enable network-level routing restrictions, such as
+    restricting subscription to DataCapsule updates (i.e. who can join a
+    secure multicast tree associated with a given name) or to stop
+    denial of service attacks at the border of a trust domain."
+
+    A capsule whose metadata sets ``restricted_subscribe`` requires a
+    valid SubGrant naming the subscriber before a server will register
+    the subscription.
+    """
+
+    DOMAIN = b"gdp.subgrant"
+
+    __slots__ = ("capsule", "subscriber", "expires_at", "signature")
+
+    def __init__(
+        self,
+        capsule: GdpName,
+        subscriber: GdpName,
+        expires_at: float | None,
+        signature: bytes,
+    ):
+        self.capsule = capsule
+        self.subscriber = subscriber
+        self.expires_at = expires_at
+        self.signature = bytes(signature)
+
+    def _body(self) -> Any:
+        return [
+            "subgrant",
+            self.capsule.raw,
+            self.subscriber.raw,
+            -1 if self.expires_at is None else int(self.expires_at * 1000),
+        ]
+
+    @classmethod
+    def issue(
+        cls,
+        owner: SigningKey,
+        capsule: GdpName,
+        subscriber: GdpName,
+        *,
+        expires_at: float | None = None,
+    ) -> "SubGrant":
+        """Create and sign the statement."""
+        grant = cls(capsule, subscriber, expires_at, b"")
+        return cls(
+            capsule, subscriber, expires_at,
+            owner.sign(grant.signing_preimage()),
+        )
+
+    def verify(
+        self,
+        owner_key: VerifyingKey,
+        *,
+        now: float = 0.0,
+        capsule: GdpName | None = None,
+        subscriber: GdpName | None = None,
+    ) -> None:
+        """Check signature, expiry, and the optional name bindings."""
+        if capsule is not None and self.capsule != capsule:
+            raise DelegationError("SubGrant is for a different capsule")
+        if subscriber is not None and self.subscriber != subscriber:
+            raise DelegationError("SubGrant names a different subscriber")
+        self.check_expiry(now)
+        self.check_signature(owner_key)
+
+    def to_wire(self) -> dict:
+        """Wire-encodable representation."""
+        return {
+            "capsule": self.capsule.raw,
+            "subscriber": self.subscriber.raw,
+            "expires_at": -1 if self.expires_at is None
+            else int(self.expires_at * 1000),
+            "signature": self.signature,
+        }
+
+    @classmethod
+    def from_wire(cls, wire: dict) -> "SubGrant":
+        """Rebuild from a wire form; raises on malformed input."""
+        try:
+            raw_expiry = wire["expires_at"]
+            return cls(
+                GdpName(wire["capsule"]),
+                GdpName(wire["subscriber"]),
+                None if raw_expiry == -1 else raw_expiry / 1000,
+                wire["signature"],
+            )
+        except (KeyError, TypeError) as exc:
+            raise DelegationError(f"malformed SubGrant: {exc}") from exc

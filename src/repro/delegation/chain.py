@@ -1,0 +1,183 @@
+"""Delegation-chain verification (§VII "secure advertisements").
+
+A *service chain* answers: "may this server answer for this capsule?"
+    capsule metadata  ──owner key──▶  AdCert  ──▶  server
+                                       │ (or)
+                                       ▼
+                               storage organization
+                                       │ OrgMembership
+                                       ▼
+                                    server
+
+A *routing chain* extends it one hop: "may this router speak for that
+server?" via the server-issued RtCert.  Every element is independently
+verifiable from flat names alone — the verifier needs the capsule
+metadata (checked against the capsule name), the delegate's metadata
+(checked against its name), and the certificates; no trusted third
+party appears anywhere.
+"""
+
+from __future__ import annotations
+
+from repro.delegation.certs import AdCert, OrgMembership, RtCert
+from repro.errors import DelegationError
+from repro.naming.metadata import (
+    KIND_CAPSULE,
+    KIND_ORGANIZATION,
+    KIND_ROUTER,
+    KIND_SERVER,
+    Metadata,
+)
+from repro.naming.names import GdpName
+
+__all__ = ["ServiceChain", "verify_service_chain", "verify_routing_chain"]
+
+
+class ServiceChain:
+    """The bundle a server presents to prove it may serve a capsule.
+
+    ``membership`` (and ``org_metadata``) are present only when the
+    AdCert delegates to an organization instead of the server itself.
+    """
+
+    __slots__ = (
+        "capsule_metadata",
+        "adcert",
+        "server_metadata",
+        "org_metadata",
+        "membership",
+    )
+
+    def __init__(
+        self,
+        capsule_metadata: Metadata,
+        adcert: AdCert,
+        server_metadata: Metadata,
+        org_metadata: Metadata | None = None,
+        membership: OrgMembership | None = None,
+    ):
+        self.capsule_metadata = capsule_metadata
+        self.adcert = adcert
+        self.server_metadata = server_metadata
+        self.org_metadata = org_metadata
+        self.membership = membership
+
+    @property
+    def capsule(self) -> GdpName:
+        """The capsule name this object is bound to."""
+        return self.capsule_metadata.name
+
+    @property
+    def server(self) -> GdpName:
+        """The serving principal's name."""
+        return self.server_metadata.name
+
+    def verify(self, *, now: float = 0.0) -> None:
+        """Check signature, expiry, and the optional name bindings."""
+        verify_service_chain(self, now=now)
+
+    def allows_domain(self, domain: str) -> bool:
+        """Scope check delegated to the AdCert."""
+        return self.adcert.allows_domain(domain)
+
+    def to_wire(self) -> dict:
+        """Wire-encodable representation."""
+        wire = {
+            "capsule_metadata": self.capsule_metadata.to_wire(),
+            "adcert": self.adcert.to_wire(),
+            "server_metadata": self.server_metadata.to_wire(),
+        }
+        if self.org_metadata is not None:
+            wire["org_metadata"] = self.org_metadata.to_wire()
+        if self.membership is not None:
+            wire["membership"] = self.membership.to_wire()
+        return wire
+
+    @classmethod
+    def from_wire(cls, wire: dict) -> "ServiceChain":
+        """Rebuild from a wire form; raises on malformed input."""
+        try:
+            return cls(
+                Metadata.from_wire(wire["capsule_metadata"]),
+                AdCert.from_wire(wire["adcert"]),
+                Metadata.from_wire(wire["server_metadata"]),
+                Metadata.from_wire(wire["org_metadata"])
+                if "org_metadata" in wire
+                else None,
+                OrgMembership.from_wire(wire["membership"])
+                if "membership" in wire
+                else None,
+            )
+        except (KeyError, TypeError) as exc:
+            raise DelegationError(f"malformed service chain: {exc}") from exc
+
+    def __repr__(self) -> str:
+        via = (
+            f" via org {self.org_metadata.name.human()}"
+            if self.org_metadata is not None
+            else ""
+        )
+        return (
+            f"ServiceChain({self.server.human()} serves "
+            f"{self.capsule.human()}{via})"
+        )
+
+
+def verify_service_chain(chain: ServiceChain, *, now: float = 0.0) -> None:
+    """Verify every link of a service chain; raises
+    :class:`DelegationError` (or a more specific security error) on any
+    break."""
+    if chain.capsule_metadata.kind != KIND_CAPSULE:
+        raise DelegationError("chain root is not capsule metadata")
+    if chain.server_metadata.kind != KIND_SERVER:
+        raise DelegationError("chain leaf is not server metadata")
+    # 1. Self-certification of both endpoints.
+    chain.capsule_metadata.verify()
+    chain.server_metadata.verify()
+    owner_key = chain.capsule_metadata.owner_key
+    # 2. The AdCert must bind this capsule to the delegate.
+    chain.adcert.verify(owner_key, now=now, capsule=chain.capsule)
+    # 3. Direct delegation, or via an organization membership.
+    if chain.adcert.delegate == chain.server:
+        if chain.membership is not None or chain.org_metadata is not None:
+            raise DelegationError(
+                "direct delegation must not carry membership credentials"
+            )
+        return
+    if chain.org_metadata is None or chain.membership is None:
+        raise DelegationError(
+            "AdCert delegates to an organization but the chain lacks "
+            "membership credentials"
+        )
+    if chain.org_metadata.kind != KIND_ORGANIZATION:
+        raise DelegationError("delegation target is not an organization")
+    chain.org_metadata.verify()
+    if chain.adcert.delegate != chain.org_metadata.name:
+        raise DelegationError("AdCert delegates to a different organization")
+    chain.membership.verify(
+        chain.org_metadata.self_key, now=now, member=chain.server
+    )
+    if chain.membership.org != chain.org_metadata.name:
+        raise DelegationError("membership issued by a different organization")
+
+
+def verify_routing_chain(
+    chain: ServiceChain,
+    rtcert: RtCert,
+    router_metadata: Metadata,
+    *,
+    now: float = 0.0,
+) -> None:
+    """Verify a full routing chain: service chain + RtCert + router
+    identity — the check a GLookupService and a forwarding router run
+    before trusting a route (§VII: "verify the chain of trust created by
+    AdCerts and RtCerts")."""
+    verify_service_chain(chain, now=now)
+    if router_metadata.kind != KIND_ROUTER:
+        raise DelegationError("routing chain leaf is not router metadata")
+    router_metadata.verify()
+    if rtcert.principal != chain.server:
+        raise DelegationError("RtCert principal is not the chain's server")
+    rtcert.verify(
+        chain.server_metadata.self_key, now=now, router=router_metadata.name
+    )

@@ -1,0 +1,35 @@
+"""Flat naming: 256-bit self-certifying names and signed metadata."""
+
+from repro.naming.metadata import (
+    KIND_CAPSULE,
+    KIND_CLIENT,
+    KIND_ORGANIZATION,
+    KIND_ROUTER,
+    KIND_SERVER,
+    MODE_QSW,
+    MODE_SSW,
+    Metadata,
+    make_capsule_metadata,
+    make_client_metadata,
+    make_organization_metadata,
+    make_router_metadata,
+    make_server_metadata,
+)
+from repro.naming.names import GdpName
+
+__all__ = [
+    "GdpName",
+    "Metadata",
+    "KIND_CLIENT",
+    "MODE_SSW",
+    "MODE_QSW",
+    "make_client_metadata",
+    "KIND_CAPSULE",
+    "KIND_SERVER",
+    "KIND_ROUTER",
+    "KIND_ORGANIZATION",
+    "make_capsule_metadata",
+    "make_server_metadata",
+    "make_router_metadata",
+    "make_organization_metadata",
+]

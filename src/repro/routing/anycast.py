@@ -1,0 +1,68 @@
+"""Anycast replica selection (§VI, Table I "Locality").
+
+"For highly replicated DataCapsules, the underlying routing network
+ensures that the requests are automatically directed to the closest
+replica."  Selection runs at the router that resolved a name through its
+GLookupService and ranks candidate entries:
+
+1. entries attached to *this* router (distance 0);
+2. entries attached elsewhere in this domain, by router-hop distance;
+3. entries reachable via a child domain (one hop of hierarchy away);
+
+deterministic tie-break by principal name, so replicas see a stable
+choice and tests are reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.errors import RoutingError
+from repro.routing.glookup import RouteEntry
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.routing.router import GdpRouter
+
+__all__ = ["select_entry", "rank_entries"]
+
+
+def _distance(router: "GdpRouter", entry: RouteEntry) -> tuple[int, int]:
+    """(tier, hops) ranking key; lower is closer."""
+    if entry.via_child is not None:
+        return (2, 0)
+    if entry.router == router.name:
+        return (0, 0)
+    target = None
+    for candidate in router.domain.routers:
+        if candidate.name == entry.router:
+            target = candidate
+            break
+    if target is None:
+        # Attachment router unknown (left the domain): rank last.
+        return (3, 0)
+    try:
+        return (1, router.domain.hop_distance(router, target))
+    except RoutingError:
+        return (3, 0)
+
+
+def rank_entries(
+    router: "GdpRouter", entries: list[RouteEntry]
+) -> list[RouteEntry]:
+    """Candidates ordered closest-first."""
+    return sorted(
+        entries,
+        key=lambda e: (*_distance(router, e), e.principal.raw),
+    )
+
+
+def select_entry(
+    router: "GdpRouter", entries: list[RouteEntry]
+) -> RouteEntry | None:
+    """The closest usable entry, or None."""
+    ranked = rank_entries(router, entries)
+    for entry in ranked:
+        tier, _ = _distance(router, entry)
+        if tier < 3:
+            return entry
+    return None

@@ -1,0 +1,203 @@
+"""A Kademlia-style DHT as a scalable global GLookupService backend.
+
+§VII: "the GLookupService is essentially a key-value store and is not
+required to be trusted; existing technologies such as distributed hash
+tables (DHTs) can be used to implement a highly distributed and scalable
+GLookupService."
+
+This is a faithful, self-contained Kademlia over the 256-bit flat name
+space: k-buckets, XOR metric, iterative lookups with per-query message
+accounting (so tests/benches can check the O(log n) hop bound).  Because
+GLookup entries are *independently verifiable* (they carry delegation
+chains), the DHT nodes never need to be trusted — a node returning a
+forged entry fails the verifier exactly like a compromised
+GLookupService does.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Iterable
+
+from repro.naming.names import GdpName
+
+__all__ = ["DhtNode", "KademliaDht"]
+
+KEY_BITS = 256
+
+
+class DhtNode:
+    """One DHT participant: a routing table (k-buckets) + local store."""
+
+    def __init__(self, name: GdpName, k: int = 8):
+        self.name = name
+        self.k = k
+        self.buckets: list[list[GdpName]] = [[] for _ in range(KEY_BITS)]
+        self.store: dict[GdpName, list[Any]] = {}
+
+    def _bucket_index(self, other: GdpName) -> int:
+        distance = self.name.distance(other)
+        if distance == 0:
+            return 0
+        return distance.bit_length() - 1
+
+    def observe(self, other: GdpName) -> None:
+        """Insert/refresh a peer in its k-bucket (LRU eviction)."""
+        if other == self.name:
+            return
+        bucket = self.buckets[self._bucket_index(other)]
+        if other in bucket:
+            bucket.remove(other)
+        bucket.append(other)
+        if len(bucket) > self.k:
+            bucket.pop(0)
+
+    def closest(self, key: GdpName, count: int) -> list[GdpName]:
+        """The *count* known peers closest to *key* (including self)."""
+        candidates = {self.name}
+        for bucket in self.buckets:
+            candidates.update(bucket)
+        return heapq.nsmallest(
+            count, candidates, key=lambda n: n.distance(key)
+        )
+
+    def put_local(self, key: GdpName, value: Any) -> None:
+        """Store a value in this node's local bucket."""
+        bucket = self.store.setdefault(key, [])
+        if value not in bucket:
+            bucket.append(value)
+
+    def get_local(self, key: GdpName) -> list[Any]:
+        """Values stored locally under *key*."""
+        return list(self.store.get(key, []))
+
+
+class KademliaDht:
+    """The whole DHT (an in-process collective of :class:`DhtNode`).
+
+    ``alpha`` is the lookup parallelism; ``messages`` counts simulated
+    RPCs (FIND_NODE / STORE / FIND_VALUE) for complexity assertions.
+    """
+
+    def __init__(self, k: int = 8, alpha: int = 3):
+        self.k = k
+        self.alpha = alpha
+        self.nodes: dict[GdpName, DhtNode] = {}
+        self.messages = 0
+
+    #: how many top-end buckets a joining node refreshes (enough for
+    #: networks up to ~2**16 nodes; Kademlia's join-time bucket refresh)
+    JOIN_REFRESH_BUCKETS = 16
+
+    def join(self, name: GdpName) -> DhtNode:
+        """Add a node and integrate it: bootstrap contact, self-lookup,
+        and refresh of the distant buckets (without the refreshes, a
+        node's far half of the id space stays dark and lookups from
+        different entry points can converge on disjoint node sets)."""
+        node = DhtNode(name, self.k)
+        if self.nodes:
+            # Bootstrap: learn from an arbitrary (deterministic) contact.
+            seed = min(self.nodes)
+            node.observe(seed)
+            for peer in self._iterative_find(node, name):
+                node.observe(peer)
+        self.nodes[name] = node
+        # Bucket refresh: probe an id in each of the top buckets so the
+        # whole id space is reachable from this node.
+        if len(self.nodes) > 1:
+            node_int = name.as_int()
+            for bit in range(
+                KEY_BITS - self.JOIN_REFRESH_BUCKETS, KEY_BITS
+            ):
+                probe = GdpName((node_int ^ (1 << bit)).to_bytes(32, "big"))
+                for peer in self._iterative_find(node, probe):
+                    node.observe(peer)
+        # Existing nodes learn of the newcomer lazily through lookups;
+        # seed a few for liveness.
+        for peer_name in node.closest(name, self.k):
+            if peer_name in self.nodes:
+                self.nodes[peer_name].observe(name)
+        return node
+
+    def _iterative_find(self, origin: DhtNode, key: GdpName) -> list[GdpName]:
+        """Iterative FIND_NODE from *origin*; returns the k closest live
+        node names to *key*."""
+        shortlist = set(origin.closest(key, self.k))
+        shortlist.discard(origin.name)
+        if not shortlist:
+            return []
+        queried: set[GdpName] = set()
+        while True:
+            to_query = heapq.nsmallest(
+                self.alpha,
+                (n for n in shortlist if n not in queried and n in self.nodes),
+                key=lambda n: n.distance(key),
+            )
+            if not to_query:
+                break
+            progressed = False
+            for peer_name in to_query:
+                queried.add(peer_name)
+                self.messages += 1
+                peer = self.nodes[peer_name]
+                peer.observe(origin.name)
+                for learned in peer.closest(key, self.k):
+                    # Both sides learn: the origin refreshes its own
+                    # buckets from lookup traffic (without this, node
+                    # views drift apart and puts/gets from different
+                    # entry points can converge on disjoint node sets).
+                    origin.observe(learned)
+                    if learned not in shortlist and learned != origin.name:
+                        shortlist.add(learned)
+                        progressed = True
+            if not progressed:
+                break
+        return heapq.nsmallest(
+            self.k,
+            (n for n in shortlist if n in self.nodes),
+            key=lambda n: n.distance(key),
+        )
+
+    def put(self, via: GdpName, key: GdpName, value: Any) -> int:
+        """STORE *value* under *key*, entering the DHT at node *via*;
+        returns how many replicas stored it."""
+        origin = self.nodes[via]
+        targets = self._iterative_find(origin, key) or [via]
+        stored = 0
+        for target in targets:
+            self.messages += 1
+            self.nodes[target].put_local(key, value)
+            stored += 1
+        return stored
+
+    def get(self, via: GdpName, key: GdpName) -> list[Any]:
+        """FIND_VALUE for *key* starting at *via*.
+
+        Values are merged across the k closest replicas (a key can hold
+        several values — e.g. several RouteEntries for one capsule —
+        and an individual replica may have seen only a subset).
+        """
+        origin = self.nodes[via]
+        merged: list[Any] = []
+
+        def absorb(values: list[Any]) -> None:
+            for value in values:
+                if value not in merged:
+                    merged.append(value)
+
+        absorb(origin.get_local(key))
+        for target in self._iterative_find(origin, key):
+            self.messages += 1
+            absorb(self.nodes[target].get_local(key))
+        return merged
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+
+def build_dht(names: Iterable[GdpName], k: int = 8) -> KademliaDht:
+    """Convenience constructor joining every name in order."""
+    dht = KademliaDht(k=k)
+    for name in names:
+        dht.join(name)
+    return dht

@@ -1,0 +1,138 @@
+"""A DHT-backed global GLookupService tier (§VII).
+
+"Note that the GLookupService is essentially a key-value store and is
+not required to be trusted; existing technologies such as distributed
+hash tables (DHTs) can be used to implement a highly distributed and
+scalable GLookupService."
+
+:class:`DhtGLookupService` is a drop-in GLookupService whose entry
+storage is a Kademlia DHT instead of a local dict — suitable for the
+top-level (tier-1) lookup tier, where a single shared database would
+not scale.  Entries travel as wire forms; because every entry carries
+its delegation evidence, the DHT nodes stay untrusted: a node returning
+a forged entry fails the resolving router's re-verification exactly
+like a compromised centralized service.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.naming.names import GdpName
+from repro.routing.dht import KademliaDht
+from repro.routing.glookup import GLookupService, RouteEntry
+
+__all__ = ["DhtGLookupService"]
+
+
+class DhtGLookupService(GLookupService):
+    """GLookupService storing entries in a Kademlia DHT.
+
+    ``home`` is this service's access point into the DHT (the node it
+    issues put/get through — e.g. the tier-1 provider's own DHT node).
+    Hierarchy semantics (parent / scope propagation) are inherited
+    unchanged; only the storage substrate differs.
+    """
+
+    def __init__(
+        self,
+        domain_name: str,
+        dht: KademliaDht,
+        home: GdpName,
+        parent: "GLookupService | None" = None,
+        *,
+        verify_on_register: bool = True,
+        clock: Callable[[], float] | None = None,
+    ):
+        super().__init__(
+            domain_name,
+            parent,
+            verify_on_register=verify_on_register,
+            clock=clock,
+        )
+        if home not in dht.nodes:
+            dht.join(home)
+        self.dht = dht
+        self.home = home
+        # Local name index so names()/len() stay meaningful; contents
+        # live in the DHT.
+        self._names: set[GdpName] = set()
+
+    def register(self, entry: RouteEntry, *, propagate: bool = True) -> None:
+        """Verify (unless compromised) and store an entry."""
+        if self.verify_on_register:
+            entry.verify(now=self.now)
+            if not entry.allows_domain(self.domain_name):
+                from repro.errors import ScopeViolationError
+
+                raise ScopeViolationError(
+                    f"capsule {entry.name.human()} is not allowed in "
+                    f"domain {self.domain_name!r}"
+                )
+        # Replace any prior binding by the same principal: fetch, filter,
+        # re-store (the DHT keeps value lists per key).
+        existing = self.dht.get(self.home, entry.name)
+        fresh = [
+            wire
+            for wire in existing
+            if wire.get("principal") != entry.principal.raw
+        ]
+        fresh.append(entry.to_wire())
+        for node_name in list(self.dht.nodes):
+            # Clear stale copies so replacement is visible everywhere.
+            node = self.dht.nodes[node_name]
+            if entry.name in node.store:
+                node.store[entry.name] = []
+        for wire in fresh:
+            self.dht.put(self.home, entry.name, wire)
+        self._names.add(entry.name)
+        if propagate and self.parent is not None:
+            if entry.allows_domain(self.parent.domain_name):
+                self.parent.register(entry.child_copy(self.domain_name))
+
+    def unregister(self, name: GdpName, principal: GdpName) -> None:
+        """Remove the binding for (name, principal), recursively up."""
+        remaining = [
+            wire
+            for wire in self.dht.get(self.home, name)
+            if wire.get("principal") != principal.raw
+        ]
+        for node_name in list(self.dht.nodes):
+            node = self.dht.nodes[node_name]
+            if name in node.store:
+                node.store[name] = []
+        for wire in remaining:
+            self.dht.put(self.home, name, wire)
+        if not remaining:
+            self._names.discard(name)
+        if self.parent is not None:
+            self.parent.unregister(name, principal)
+
+    def lookup(self, name: GdpName) -> list[RouteEntry]:
+        """Live entries for *name* (expired ones culled)."""
+        self.stats_queries += 1
+        now = self.now
+        entries = []
+        for wire in self.dht.get(self.home, name):
+            try:
+                entry = RouteEntry.from_wire(wire)
+            except Exception:
+                continue  # garbage from an untrusted DHT node: skip
+            if not entry.is_expired(now):
+                entries.append(entry)
+        if not entries:
+            self.stats_misses += 1
+        return entries
+
+    def names(self):
+        """All names with live entries."""
+        return set(self._names)
+
+    def __len__(self) -> int:
+        return len(self._names)
+
+    def __repr__(self) -> str:
+        return (
+            f"DhtGLookupService(domain={self.domain_name!r}, "
+            f"dht_nodes={len(self.dht)})"
+        )

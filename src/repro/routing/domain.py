@@ -1,0 +1,194 @@
+"""Routing domains: the hierarchical trust/locality structure (§VII).
+
+"Routing domains are hierarchical in nature" — each domain owns a
+GLookupService, a set of GDP-routers (its intra-domain fabric), and an
+attachment point to its parent.  The hierarchy "mimics physical network
+topology" (Table I, Locality): resolution climbs only as far as needed,
+so a name served inside the client's own domain never leaves it.
+
+The domain computes intra-domain next hops by BFS over its router
+adjacency; results are cached and invalidated when links change.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Callable
+
+from repro.errors import RoutingError
+from repro.routing.glookup import GLookupService
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.routing.router import GdpRouter
+
+__all__ = ["RoutingDomain"]
+
+
+class RoutingDomain:
+    """One administrative routing domain in the hierarchy."""
+
+    def __init__(
+        self,
+        name: str,
+        parent: "RoutingDomain | None" = None,
+        *,
+        clock: Callable[[], float] | None = None,
+    ):
+        if parent is not None and not name.startswith(parent.name + "."):
+            raise RoutingError(
+                f"child domain {name!r} must be dot-nested under "
+                f"{parent.name!r}"
+            )
+        self.name = name
+        self.parent = parent
+        self.children: dict[str, "RoutingDomain"] = {}
+        self.glookup = GLookupService(
+            name,
+            parent.glookup if parent is not None else None,
+            clock=clock or (parent.glookup._clock if parent else None),
+        )
+        self.routers: list["GdpRouter"] = []
+        #: this domain's router holding the uplink to the parent domain
+        self.gateway: "GdpRouter | None" = None
+        #: router *in the parent domain* at the other end of the uplink
+        self.parent_attachment: "GdpRouter | None" = None
+        self._next_hop_cache: dict[tuple[str, str], "GdpRouter | None"] = {}
+        if parent is not None:
+            parent.children[name] = self
+
+    # -- construction ---------------------------------------------------
+
+    def add_router(self, router: "GdpRouter") -> None:
+        """Register a router as a member of this domain."""
+        self.routers.append(router)
+        self.invalidate_routes()
+
+    def attach_to_parent(
+        self, gateway: "GdpRouter", parent_attachment: "GdpRouter"
+    ) -> None:
+        """Declare the inter-domain uplink (the physical link itself must
+        already exist between the two routers)."""
+        if self.parent is None:
+            raise RoutingError(f"domain {self.name!r} has no parent")
+        if gateway.domain is not self:
+            raise RoutingError("gateway must be a router of this domain")
+        if parent_attachment.domain is not self.parent:
+            raise RoutingError(
+                "parent attachment must be a router of the parent domain"
+            )
+        if gateway.link_to(parent_attachment) is None:
+            raise RoutingError(
+                "no physical link between gateway and parent attachment"
+            )
+        self.gateway = gateway
+        self.parent_attachment = parent_attachment
+        self.invalidate_routes()
+        self.parent.invalidate_routes()
+
+    def invalidate_routes(self) -> None:
+        """Drop cached next-hop computations."""
+        self._next_hop_cache.clear()
+
+    # -- next-hop computation --------------------------------------------
+
+    def _bfs_next_hop(
+        self, src: "GdpRouter", dst: "GdpRouter"
+    ) -> "GdpRouter | None":
+        """First hop of a shortest router path src -> dst, both inside
+        this domain (inter-domain links are not traversed)."""
+        if src is dst:
+            return src
+        members = set(self.routers)
+        queue: deque["GdpRouter"] = deque([dst])
+        # BFS backwards from dst so each visited node learns its
+        # successor toward dst; stop when src is reached.
+        successor: dict["GdpRouter", "GdpRouter"] = {}
+        seen = {dst}
+        while queue:
+            node = queue.popleft()
+            for neighbor in node.neighbors():
+                if neighbor in seen or neighbor not in members:
+                    continue
+                seen.add(neighbor)
+                successor[neighbor] = node
+                if neighbor is src:
+                    return successor[src]
+                queue.append(neighbor)
+        return None
+
+    def next_hop_to_router(
+        self, src: "GdpRouter", dst: "GdpRouter"
+    ) -> "GdpRouter":
+        """Intra-domain next hop from *src* toward *dst* (may be *src*
+        itself when src is dst)."""
+        key = (src.node_id, dst.node_id)
+        if key not in self._next_hop_cache:
+            self._next_hop_cache[key] = self._bfs_next_hop(src, dst)
+        hop = self._next_hop_cache[key]
+        if hop is None:
+            raise RoutingError(
+                f"no intra-domain path {src.node_id} -> {dst.node_id} "
+                f"in {self.name!r}"
+            )
+        return hop
+
+    def hop_distance(self, src: "GdpRouter", dst: "GdpRouter") -> int:
+        """Router-hop count src -> dst inside this domain (for anycast
+        tie-breaking)."""
+        if src is dst:
+            return 0
+        members = set(self.routers)
+        queue = deque([(src, 0)])
+        seen = {src}
+        while queue:
+            node, dist = queue.popleft()
+            for neighbor in node.neighbors():
+                if neighbor in seen or neighbor not in members:
+                    continue
+                if neighbor is dst:
+                    return dist + 1
+                seen.add(neighbor)
+                queue.append((neighbor, dist + 1))
+        raise RoutingError(
+            f"no intra-domain path {src.node_id} -> {dst.node_id}"
+        )
+
+    def next_hop_upward(self, src: "GdpRouter") -> "GdpRouter":
+        """Next hop from *src* toward the parent domain: walk to our
+        gateway, then cross the uplink."""
+        if self.gateway is None or self.parent_attachment is None:
+            raise RoutingError(
+                f"domain {self.name!r} has no uplink to a parent"
+            )
+        if src is self.gateway:
+            return self.parent_attachment
+        return self.next_hop_to_router(src, self.gateway)
+
+    def next_hop_to_child(
+        self, src: "GdpRouter", child_name: str
+    ) -> "GdpRouter":
+        """Next hop from *src* (in this domain) toward child domain
+        *child_name*: walk to the child's attachment router here, then
+        cross into the child's gateway."""
+        child = self.children.get(child_name)
+        if child is None:
+            raise RoutingError(
+                f"{self.name!r} has no child domain {child_name!r}"
+            )
+        if child.parent_attachment is None or child.gateway is None:
+            raise RoutingError(f"child {child_name!r} is not attached")
+        if src is child.parent_attachment:
+            return child.gateway
+        return self.next_hop_to_router(src, child.parent_attachment)
+
+    def ancestry(self) -> list["RoutingDomain"]:
+        """This domain and all ancestors, closest first."""
+        chain = [self]
+        node = self
+        while node.parent is not None:
+            node = node.parent
+            chain.append(node)
+        return chain
+
+    def __repr__(self) -> str:
+        return f"RoutingDomain({self.name!r}, routers={len(self.routers)})"

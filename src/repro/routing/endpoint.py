@@ -1,0 +1,248 @@
+"""Endpoints: named principals attached to GDP-routers.
+
+Clients and DataCapsule-servers share this machinery: a flat name
+(self-certifying metadata + signing key), attachment to a router over a
+simulated link, the secure-advertisement handshake, and
+correlation-id-matched RPC on top of raw PDU forwarding.
+
+The RPC here is deliberately *connectionless* (§III-D): a request is a
+single routed PDU to a *name* (often a capsule name, resolved by
+anycast), the response is a single PDU back; there is no connection
+state in the network, so replicas can be swapped mid-conversation
+without breaking anything.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.errors import RoutingError, TransportError
+from repro.naming.metadata import Metadata
+from repro.naming.names import GdpName
+from repro.crypto.keys import SigningKey
+from repro.routing import pdu as pdutypes
+from repro.routing.pdu import Pdu
+from repro.routing.router import ADVERT_DOMAIN_TAG, GdpRouter
+from repro.sim.engine import Future
+from repro.sim.net import Link, Node, SimNetwork
+
+__all__ = ["Endpoint"]
+
+
+class Endpoint(Node):
+    """A named principal (client or server) with RPC plumbing."""
+
+    def __init__(
+        self,
+        network: SimNetwork,
+        node_id: str,
+        metadata: Metadata,
+        key: SigningKey,
+    ):
+        super().__init__(network, node_id)
+        self.metadata = metadata
+        self.key = key
+        self.name: GdpName = metadata.name
+        self.router: GdpRouter | None = None
+        self._pending_rpcs: dict[int, Future] = {}
+        self._pending_adv: Future | None = None
+        self._adv_catalog: list[dict] = []
+        self._adv_expires: float | None = None
+
+    # -- attachment & advertisement ----------------------------------------
+
+    def attach(
+        self,
+        router: GdpRouter,
+        *,
+        latency: float = 0.0005,
+        bandwidth: float = 125_000_000.0,
+        bandwidth_up: float | None = None,
+        loss: float = 0.0,
+    ) -> Link:
+        """Create the physical link to *router* (defaults: 0.5 ms LAN,
+        1 Gbps) and remember it as our attachment point."""
+        link = self.network.connect(
+            self,
+            router,
+            latency=latency,
+            bandwidth=bandwidth,
+            bandwidth_up=bandwidth_up,
+            loss=loss,
+        )
+        self.router = router
+        return link
+
+    def advertise(
+        self,
+        catalog: list[dict] | None = None,
+        *,
+        expires_at: float | None = None,
+    ) -> Future:
+        """Run the secure-advertisement handshake; the future resolves
+        with the list of accepted raw names.
+
+        *catalog* entries are ``{"chain": <ServiceChain wire>}`` dicts
+        for each capsule this endpoint serves (servers only).
+        """
+        if self.router is None:
+            raise RoutingError(f"{self.node_id} is not attached to a router")
+        if self._pending_adv is not None and not self._pending_adv.done:
+            raise RoutingError("advertisement already in progress")
+        self._adv_catalog = list(catalog or [])
+        self._adv_expires = expires_at
+        self._pending_adv = self.sim.future()
+        hello = Pdu(
+            self.name,
+            self.router.name,
+            pdutypes.T_ADV_HELLO,
+            {"metadata": self.metadata.to_wire()},
+        )
+        self.send_pdu(hello)
+        return self._pending_adv
+
+    def _on_challenge(self, pdu: Pdu) -> None:
+        from repro.delegation.certs import RtCert
+
+        nonce = pdu.payload["nonce"]
+        assert self.router is not None
+        signature = self.key.sign(
+            ADVERT_DOMAIN_TAG + nonce + self.router.name.raw
+        )
+        rtcert = RtCert.issue(
+            self.key,
+            self.name,
+            self.router.name,
+            expires_at=self._adv_expires,
+        )
+        response = Pdu(
+            self.name,
+            self.router.name,
+            pdutypes.T_ADV_RESPONSE,
+            {
+                "metadata": self.metadata.to_wire(),
+                "signature": signature,
+                "rtcert": rtcert.to_wire(),
+                "catalog": self._adv_catalog,
+                "expires_at": self._adv_expires,
+            },
+        )
+        self.send_pdu(response)
+
+    def _on_adv_ack(self, pdu: Pdu) -> None:
+        if self._pending_adv is None or self._pending_adv.done:
+            return
+        payload = pdu.payload
+        if payload.get("error"):
+            self._pending_adv.fail(
+                RoutingError(f"advertisement rejected: {payload['error']}")
+            )
+        else:
+            self._pending_adv.resolve(payload.get("accepted", []))
+
+    def withdraw(self, names: "list[GdpName]") -> None:
+        """Withdraw advertised names at our router (fire-and-forget;
+        authorization is the authenticated attachment link)."""
+        if self.router is None:
+            raise RoutingError(f"{self.node_id} is not attached")
+        self.send_pdu(
+            Pdu(
+                self.name,
+                self.router.name,
+                pdutypes.T_ADV_WITHDRAW,
+                {"names": [name.raw for name in names]},
+            )
+        )
+
+    # -- RPC ---------------------------------------------------------------
+
+    def send_pdu(self, pdu: Pdu) -> None:
+        """Transmit a PDU via the attachment router."""
+        if self.router is None:
+            raise RoutingError(f"{self.node_id} is not attached")
+        self.send(self.router, pdu, pdu.size_bytes)
+
+    def rpc(
+        self,
+        dst: GdpName,
+        payload: Any,
+        *,
+        timeout: float | None = 30.0,
+        ptype: str = pdutypes.T_DATA,
+    ) -> Future:
+        """Send a request PDU to a name; the future resolves with the
+        response payload (or fails on no-route / timeout)."""
+        request = Pdu(self.name, dst, ptype, payload)
+        future = self.sim.future()
+        self._pending_rpcs[request.corr_id] = future
+        self.send_pdu(request)
+        if timeout is not None:
+            return self.sim.timeout(
+                future, timeout, f"rpc to {dst.human()}"
+            )
+        return future
+
+    # -- inbound dispatch ----------------------------------------------------
+
+    def receive(self, message: Any, sender: Node, link: Link) -> None:
+        """Inbound message dispatch (overrides the base handler)."""
+        if not isinstance(message, Pdu):
+            raise TransportError(f"endpoint received non-PDU {message!r}")
+        pdu = message
+        if pdu.ptype == pdutypes.T_ADV_CHALLENGE:
+            self._on_challenge(pdu)
+        elif pdu.ptype == pdutypes.T_ADV_ACK:
+            self._on_adv_ack(pdu)
+        elif pdu.ptype == pdutypes.T_RESPONSE:
+            future = self._pending_rpcs.pop(pdu.corr_id, None)
+            if future is not None and not future.done:
+                future.resolve(pdu.payload)
+        elif pdu.ptype == pdutypes.T_NO_ROUTE:
+            future = self._pending_rpcs.pop(pdu.corr_id, None)
+            if future is not None and not future.done:
+                unreachable = GdpName(pdu.payload["unreachable"])
+                future.fail(
+                    RoutingError(f"no route to {unreachable.human()}")
+                )
+        elif pdu.ptype == pdutypes.T_DATA:
+            self._handle_request(pdu)
+        elif pdu.ptype == pdutypes.T_PUSH:
+            self.on_push(pdu)
+        elif pdu.ptype == pdutypes.T_SYNC:
+            self.on_sync(pdu)
+        # Unknown types dropped.
+
+    def _handle_request(self, pdu: Pdu) -> None:
+        try:
+            result = self.on_request(pdu)
+        except Exception as exc:  # noqa: BLE001 — surfaced to the caller
+            result = {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+        if result is None:
+            return
+
+        def reply(payload: Any) -> None:
+            self.send_pdu(pdu.response(pdutypes.T_RESPONSE, payload))
+
+        if isinstance(result, Future):
+            result.add_callback(
+                lambda fut: reply(
+                    fut.result()
+                    if fut._error is None
+                    else {"ok": False, "error": str(fut._error)}
+                )
+            )
+        else:
+            reply(result)
+
+    # -- overridable hooks --------------------------------------------------
+
+    def on_request(self, pdu: Pdu) -> Any:
+        """Handle an application request; return the response payload, a
+        Future of it, or None for fire-and-forget."""
+        return {"ok": False, "error": "endpoint does not serve requests"}
+
+    def on_push(self, pdu: Pdu) -> None:
+        """Handle a server push (subscriptions)."""
+
+    def on_sync(self, pdu: Pdu) -> None:
+        """Handle server-to-server anti-entropy traffic."""

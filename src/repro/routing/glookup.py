@@ -1,0 +1,290 @@
+"""GLookupService: independently verifiable routing state (§VII).
+
+"Within a routing domain, all routing information is kept in a shared
+database that we call a GLookupService ... The GLookupService is
+essentially a key-value store and is not required to be trusted."
+
+Entries map a flat name to the router it is reachable through (within
+this domain) or to the child domain it was learned from.  Every entry
+carries the delegation evidence (service chain + RtCert + principal
+metadata); the GLookupService verifies on registration, and — because it
+is *not trusted* — routers re-verify before installing FIB state.
+
+Hierarchy: a miss in the local service is retried at the parent, up to
+the global GLookupService (§VII: "this top-level GLookupService
+corresponds roughly to a tier-1 service provider").  Propagation upward
+enforces the owner's AdCert scope policy: an entry whose scope excludes
+the parent domain is kept local (§VII: "this is where any policies for
+the scope of a DataCapsule are adhered to").
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.delegation.certs import RtCert
+from repro.delegation.chain import ServiceChain, verify_routing_chain
+from repro.errors import AdvertisementError, ScopeViolationError
+from repro.naming.metadata import Metadata
+from repro.naming.names import GdpName
+
+__all__ = ["RouteEntry", "GLookupService"]
+
+
+class RouteEntry:
+    """One verified (name -> where) binding plus its evidence.
+
+    Exactly one of ``router`` / ``via_child`` describes reachability:
+    ``router`` for names attached inside this domain, ``via_child`` for
+    names learned from a child domain's propagation.
+    """
+
+    __slots__ = (
+        "name",
+        "router",
+        "via_child",
+        "principal",
+        "principal_metadata",
+        "rtcert",
+        "chain",
+        "router_metadata",
+        "expires_at",
+    )
+
+    def __init__(
+        self,
+        name: GdpName,
+        *,
+        router: GdpName | None = None,
+        via_child: str | None = None,
+        principal: GdpName,
+        principal_metadata: Metadata,
+        rtcert: RtCert | None,
+        chain: ServiceChain | None,
+        router_metadata: Metadata | None,
+        expires_at: float | None = None,
+    ):
+        if (router is None) == (via_child is None):
+            raise AdvertisementError(
+                "route entry must have exactly one of router / via_child"
+            )
+        self.name = name
+        self.router = router
+        self.via_child = via_child
+        self.principal = principal
+        self.principal_metadata = principal_metadata
+        self.rtcert = rtcert
+        self.chain = chain
+        self.router_metadata = router_metadata
+        self.expires_at = expires_at
+
+    def is_expired(self, now: float) -> bool:
+        """Whether the entry has passed its expiry at *now*."""
+        return self.expires_at is not None and now > self.expires_at
+
+    def allows_domain(self, domain: str) -> bool:
+        """Scope check for propagation (capsule entries only; endpoint
+        self-names are never scope-restricted)."""
+        if self.chain is None:
+            return True
+        return self.chain.allows_domain(domain)
+
+    def verify(self, *, now: float = 0.0) -> None:
+        """Re-verify all delegation evidence (what an untrusting router
+        runs before installing this entry into its FIB)."""
+        self.principal_metadata.verify()
+        if self.chain is not None:
+            if self.rtcert is not None and self.router_metadata is not None:
+                verify_routing_chain(
+                    self.chain, self.rtcert, self.router_metadata, now=now
+                )
+            else:
+                self.chain.verify(now=now)
+            if self.chain.capsule != self.name:
+                raise AdvertisementError(
+                    "service chain does not cover the advertised name"
+                )
+        else:
+            # Endpoint self-name: the name must hash from the presented
+            # metadata, and the RtCert (if routed) must be issued by it.
+            if self.principal_metadata.name != self.name:
+                raise AdvertisementError(
+                    "advertised self-name does not match metadata"
+                )
+            if self.rtcert is not None:
+                if self.rtcert.principal != self.name:
+                    raise AdvertisementError("RtCert principal mismatch")
+                self.rtcert.verify(self.principal_metadata.self_key, now=now)
+
+    def to_wire(self) -> dict:
+        """Wire form for storage in distributed backends (the DHT tier)."""
+        wire: dict = {
+            "name": self.name.raw,
+            "principal": self.principal.raw,
+            "principal_metadata": self.principal_metadata.to_wire(),
+            "expires_at": -1 if self.expires_at is None
+            else int(self.expires_at * 1000),
+        }
+        if self.router is not None:
+            wire["router"] = self.router.raw
+        if self.via_child is not None:
+            wire["via_child"] = self.via_child
+        if self.rtcert is not None:
+            wire["rtcert"] = self.rtcert.to_wire()
+        if self.chain is not None:
+            wire["chain"] = self.chain.to_wire()
+        if self.router_metadata is not None:
+            wire["router_metadata"] = self.router_metadata.to_wire()
+        return wire
+
+    @classmethod
+    def from_wire(cls, wire: dict) -> "RouteEntry":
+        """Rebuild from a wire form; raises on malformed input."""
+        try:
+            raw_expiry = wire["expires_at"]
+            return cls(
+                GdpName(wire["name"]),
+                router=GdpName(wire["router"]) if "router" in wire else None,
+                via_child=wire.get("via_child"),
+                principal=GdpName(wire["principal"]),
+                principal_metadata=Metadata.from_wire(
+                    wire["principal_metadata"]
+                ),
+                rtcert=RtCert.from_wire(wire["rtcert"])
+                if "rtcert" in wire
+                else None,
+                chain=ServiceChain.from_wire(wire["chain"])
+                if "chain" in wire
+                else None,
+                router_metadata=Metadata.from_wire(wire["router_metadata"])
+                if "router_metadata" in wire
+                else None,
+                expires_at=None if raw_expiry == -1 else raw_expiry / 1000,
+            )
+        except (KeyError, TypeError) as exc:
+            raise AdvertisementError(
+                f"malformed route entry wire form: {exc}"
+            ) from exc
+
+    def child_copy(self, child_domain: str) -> "RouteEntry":
+        """The derived entry a parent stores when this one propagates up."""
+        return RouteEntry(
+            self.name,
+            via_child=child_domain,
+            principal=self.principal,
+            principal_metadata=self.principal_metadata,
+            rtcert=self.rtcert,
+            chain=self.chain,
+            router_metadata=self.router_metadata,
+            expires_at=self.expires_at,
+        )
+
+    def __repr__(self) -> str:
+        where = (
+            f"router={self.router.human()}"
+            if self.router is not None
+            else f"via_child={self.via_child}"
+        )
+        return f"RouteEntry({self.name.human()}, {where})"
+
+
+class GLookupService:
+    """The per-domain verified route registry.
+
+    ``domain_name`` is the dotted domain label this service belongs to
+    (used for scope checks); ``parent`` links the hierarchy.  The
+    optional ``verify_on_register`` flag exists so adversarial tests can
+    model a *compromised* GLookupService that skips verification — and
+    demonstrate that routers catch the forgery anyway.
+    """
+
+    def __init__(
+        self,
+        domain_name: str,
+        parent: "GLookupService | None" = None,
+        *,
+        verify_on_register: bool = True,
+        clock: Callable[[], float] | None = None,
+    ):
+        self.domain_name = domain_name
+        self.parent = parent
+        self.verify_on_register = verify_on_register
+        self._clock = clock or (lambda: 0.0)
+        self._entries: dict[GdpName, list[RouteEntry]] = {}
+        self.stats_queries = 0
+        self.stats_misses = 0
+
+    @property
+    def now(self) -> float:
+        """Current (simulated) time."""
+        return self._clock()
+
+    def register(self, entry: RouteEntry, *, propagate: bool = True) -> None:
+        """Verify (unless compromised) and store an entry; propagate to
+        the parent when the scope policy allows."""
+        if self.verify_on_register:
+            entry.verify(now=self.now)
+            if not entry.allows_domain(self.domain_name):
+                raise ScopeViolationError(
+                    f"capsule {entry.name.human()} is not allowed in "
+                    f"domain {self.domain_name!r}"
+                )
+        bucket = self._entries.setdefault(entry.name, [])
+        # Replace a stale binding for the same principal.
+        bucket[:] = [e for e in bucket if e.principal != entry.principal]
+        bucket.append(entry)
+        if propagate and self.parent is not None:
+            if entry.allows_domain(self.parent.domain_name):
+                self.parent.register(entry.child_copy(self.domain_name))
+            # else: scope boundary — the name stays invisible above here.
+
+    def unregister(self, name: GdpName, principal: GdpName) -> None:
+        """Remove the binding for (name, principal), recursively up."""
+        bucket = self._entries.get(name, [])
+        bucket[:] = [e for e in bucket if e.principal != principal]
+        if not bucket:
+            self._entries.pop(name, None)
+        if self.parent is not None:
+            self.parent.unregister(name, principal)
+
+    def lookup(self, name: GdpName) -> list[RouteEntry]:
+        """Local (this domain only) lookup; expired entries are culled."""
+        self.stats_queries += 1
+        now = self.now
+        bucket = self._entries.get(name, [])
+        live = [e for e in bucket if not e.is_expired(now)]
+        if len(live) != len(bucket):
+            if live:
+                self._entries[name] = live
+            else:
+                self._entries.pop(name, None)
+        if not live:
+            self.stats_misses += 1
+        return list(live)
+
+    def lookup_recursive(
+        self, name: GdpName
+    ) -> tuple["GLookupService | None", list[RouteEntry]]:
+        """Walk up the hierarchy until some ancestor knows *name*;
+        returns (service that answered, entries) — (None, []) if even
+        the global service has never heard of it."""
+        service: GLookupService | None = self
+        while service is not None:
+            entries = service.lookup(name)
+            if entries:
+                return service, entries
+            service = service.parent
+        return None, []
+
+    def names(self) -> Iterable[GdpName]:
+        """All names with live entries."""
+        return self._entries.keys()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:
+        return (
+            f"GLookupService(domain={self.domain_name!r}, "
+            f"names={len(self._entries)})"
+        )

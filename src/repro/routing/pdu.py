@@ -1,0 +1,88 @@
+"""GDP protocol data units (PDUs).
+
+The GDP network forwards PDUs between flat names (§VIII: "GDP-routers
+route PDUs in the flat namespace network").  A PDU has a source and a
+destination name, a type, a correlation id (request/response matching),
+a TTL, and an arbitrary wire-encodable payload.
+
+``size_bytes`` approximates the on-the-wire size (fixed header = two
+32-byte names + type/ids/TTL ≈ 80 bytes, plus the canonical encoding of
+the payload); the network simulator charges link time from it, which is
+what makes Figure 6's PDU-size sweep meaningful.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any
+
+from repro import encoding
+from repro.naming.names import GdpName
+
+__all__ = ["Pdu", "HEADER_BYTES", "DEFAULT_TTL"]
+
+HEADER_BYTES = 80
+DEFAULT_TTL = 64
+
+# PDU types
+T_DATA = "data"            # application request (client -> capsule/server)
+T_RESPONSE = "resp"        # application response
+T_PUSH = "push"            # server-initiated publish (subscriptions)
+T_ADV_HELLO = "adv_hello"  # endpoint -> router: start secure advertisement
+T_ADV_CHALLENGE = "adv_chal"
+T_ADV_RESPONSE = "adv_resp"
+T_ADV_ACK = "adv_ack"
+T_ADV_WITHDRAW = "adv_withdraw"
+T_NO_ROUTE = "no_route"    # network error back to source
+T_SYNC = "sync"            # server <-> server anti-entropy
+
+_id_counter = itertools.count(1)
+
+
+class Pdu:
+    """One routable message in the flat namespace."""
+
+    __slots__ = ("src", "dst", "ptype", "corr_id", "ttl", "payload", "_size")
+
+    def __init__(
+        self,
+        src: GdpName,
+        dst: GdpName,
+        ptype: str,
+        payload: Any,
+        corr_id: int | None = None,
+        ttl: int = DEFAULT_TTL,
+    ):
+        self.src = src
+        self.dst = dst
+        self.ptype = ptype
+        self.payload = payload
+        self.corr_id = corr_id if corr_id is not None else next(_id_counter)
+        self.ttl = ttl
+        self._size: int | None = None
+
+    @property
+    def size_bytes(self) -> int:
+        """Encoded size in bytes."""
+        if self._size is None:
+            self._size = HEADER_BYTES + len(encoding.encode(self.payload))
+        return self._size
+
+    def response(self, ptype: str, payload: Any) -> "Pdu":
+        """Build the reply PDU (dst/src swapped, same correlation id)."""
+        return Pdu(self.dst, self.src, ptype, payload, corr_id=self.corr_id)
+
+    def decremented(self) -> "Pdu":
+        """A copy with TTL reduced by one (forwarding)."""
+        copy = Pdu(
+            self.src, self.dst, self.ptype, self.payload,
+            corr_id=self.corr_id, ttl=self.ttl - 1,
+        )
+        copy._size = self._size
+        return copy
+
+    def __repr__(self) -> str:
+        return (
+            f"Pdu({self.ptype} {self.src.human()}->{self.dst.human()} "
+            f"#{self.corr_id} ttl={self.ttl})"
+        )

@@ -1,0 +1,378 @@
+"""GDP-routers: flat-namespace forwarding with verified state (§VII, §VIII).
+
+A router belongs to one routing domain.  It keeps a local FIB (name ->
+next-hop node) populated from two sources: *secure advertisements* by
+directly attached endpoints (after a challenge-response proof of key
+possession), and on-demand lookups in the domain's GLookupService
+hierarchy, whose entries the router **re-verifies** before installing —
+the GLookupService "is not required to be trusted".
+
+Forwarding algorithm per PDU (destination name *N*):
+
+1. FIB hit -> forward to the cached next hop.
+2. Local-domain GLookup hit with ``router=R`` -> verify, install,
+   forward along the intra-domain path to *R* (anycast picks the
+   closest of several replicas).
+3. Local hit with ``via_child=C`` -> forward toward child domain *C*.
+4. Ancestor hit -> forward toward the parent domain (the PDU climbs
+   until step 2/3 applies).
+5. Nothing anywhere -> emit a ``no_route`` error back to the source.
+
+Processing cost is modelled as a single-server queue with a configurable
+per-PDU service time, which is what gives the Figure 6 forwarding-rate
+curve its small-PDU plateau; link bandwidth supplies the large-PDU
+throughput ceiling.
+"""
+
+from __future__ import annotations
+
+import secrets
+from typing import Any
+
+from repro.errors import AdvertisementError, RoutingError
+from repro.naming.metadata import Metadata, make_router_metadata
+from repro.naming.names import GdpName
+from repro.crypto.keys import SigningKey
+from repro.routing import pdu as pdutypes
+from repro.routing.domain import RoutingDomain
+from repro.routing.glookup import RouteEntry
+from repro.routing.pdu import Pdu
+from repro.sim.net import Link, Node, SimNetwork
+
+__all__ = ["GdpRouter", "ADVERT_DOMAIN_TAG"]
+
+ADVERT_DOMAIN_TAG = b"gdp.advertise"
+
+#: default per-PDU service time ~ the paper's 120k PDU/s plateau (Fig. 6)
+DEFAULT_SERVICE_TIME = 1.0 / 120_000.0
+
+
+class GdpRouter(Node):
+    """A flat-namespace router inside one routing domain."""
+
+    def __init__(
+        self,
+        network: SimNetwork,
+        node_id: str,
+        domain: RoutingDomain,
+        *,
+        owner: SigningKey | None = None,
+        service_time: float = DEFAULT_SERVICE_TIME,
+        egress_bandwidth: float | None = None,
+        fib_ttl: float = 3600.0,
+    ):
+        super().__init__(network, node_id)
+        self.domain = domain
+        self._key = SigningKey.from_seed(
+            b"router:" + node_id.encode()
+        ) if owner is None else owner
+        self.metadata: Metadata = make_router_metadata(
+            self._key, self._key.public, extra={"node_id": node_id}
+        )
+        self.name: GdpName = self.metadata.name
+        self.service_time = service_time
+        #: aggregate egress capacity in bytes/s (None = unlimited) —
+        #: models the router host's NIC; gives Fig. 6 its 1 Gbps ceiling
+        self.egress_bandwidth = egress_bandwidth
+        self.fib_ttl = fib_ttl
+        self._busy_until = 0.0
+        self._egress_busy_until = 0.0
+        #: directly attached endpoints (advertisement bindings); these
+        #: are ground truth, not cache, and survive FIB flushes
+        self.attached: dict[GdpName, Node] = {}
+        #: name -> (next-hop node, expiry sim-time) — the route *cache*
+        self.fib: dict[GdpName, tuple[Node, float]] = {}
+        self._pending_challenges: dict[GdpName, tuple[bytes, Node]] = {}
+        self.stats_forwarded = 0
+        self.stats_bytes = 0
+        self.stats_no_route = 0
+        self.stats_verified_installs = 0
+        domain.add_router(self)
+
+    # -- link layer -------------------------------------------------------
+
+    def receive(self, message: Any, sender: Node, link: Link) -> None:
+        """Inbound message dispatch (overrides the base handler)."""
+        if not isinstance(message, Pdu):
+            raise RoutingError(f"router received non-PDU {message!r}")
+        # Single-server processing queue: each PDU occupies the
+        # forwarding engine for service_time seconds.
+        start = max(self.sim.now, self._busy_until)
+        self._busy_until = start + self.service_time
+        delay = self._busy_until - self.sim.now
+        self.sim.schedule(delay, self._process, message, sender)
+
+    def _send_pdu(self, next_hop: Node, pdu: Pdu) -> None:
+        if self.egress_bandwidth is None:
+            self.send(next_hop, pdu, pdu.size_bytes)
+            return
+        # Shared-NIC egress queue: transmissions serialize across all
+        # output links at the aggregate line rate.
+        start = max(self.sim.now, self._egress_busy_until)
+        self._egress_busy_until = start + pdu.size_bytes / self.egress_bandwidth
+        delay = start - self.sim.now
+        if delay <= 0:
+            self.send(next_hop, pdu, pdu.size_bytes)
+        else:
+            self.sim.schedule(delay, self.send, next_hop, pdu, pdu.size_bytes)
+
+    # -- control plane: secure advertisement ------------------------------
+
+    def _process(self, pdu: Pdu, from_node: Node) -> None:
+        if pdu.dst == self.name:
+            self._handle_control(pdu, from_node)
+            return
+        self._forward(pdu, from_node)
+
+    def _handle_control(self, pdu: Pdu, from_node: Node) -> None:
+        if pdu.ptype == pdutypes.T_ADV_HELLO:
+            self._on_adv_hello(pdu, from_node)
+        elif pdu.ptype == pdutypes.T_ADV_RESPONSE:
+            self._on_adv_response(pdu, from_node)
+        elif pdu.ptype == pdutypes.T_ADV_WITHDRAW:
+            self._on_adv_withdraw(pdu, from_node)
+        # Unknown control PDUs are dropped silently (robustness principle).
+
+    def _on_adv_withdraw(self, pdu: Pdu, from_node: Node) -> None:
+        """Withdraw previously advertised names.  Authorization: the
+        request must arrive over the attachment link of the endpoint
+        whose self-name is the PDU source (the link was authenticated by
+        the original challenge-response), and only names advertised by
+        that principal are removable."""
+        owner_node = self.attached.get(pdu.src)
+        if owner_node is not from_node:
+            return  # not the authenticated attachment: ignore
+        for raw in pdu.payload.get("names", []):
+            try:
+                name = GdpName(raw)
+            except Exception:
+                continue
+            self.domain.glookup.unregister(name, pdu.src)
+            cached = self.fib.get(name)
+            if cached is not None and cached[0] is owner_node:
+                del self.fib[name]
+
+    def _on_adv_hello(self, pdu: Pdu, from_node: Node) -> None:
+        """Start challenge-response with an attaching endpoint (§VII:
+        "the DataCapsule-server engages in a challenge-response process
+        with the GDP-router to prove that it possesses the private
+        key")."""
+        try:
+            metadata = Metadata.from_wire(pdu.payload["metadata"])
+            metadata.verify()
+        except Exception:
+            return  # garbage hello: ignore
+        if metadata.name != pdu.src:
+            return
+        nonce = secrets.token_bytes(32)
+        self._pending_challenges[metadata.name] = (nonce, from_node)
+        reply = pdu.response(pdutypes.T_ADV_CHALLENGE, {"nonce": nonce})
+        self._send_pdu(from_node, reply)
+
+    def _on_adv_response(self, pdu: Pdu, from_node: Node) -> None:
+        pending = self._pending_challenges.pop(pdu.src, None)
+        if pending is None:
+            return
+        nonce, endpoint_node = pending
+        try:
+            accepted = self._verify_advertisement(pdu, nonce)
+        except AdvertisementError:
+            reply = pdu.response(
+                pdutypes.T_ADV_ACK, {"accepted": [], "error": "rejected"}
+            )
+            self._send_pdu(from_node, reply)
+            return
+        # The endpoint's own name is a direct-attachment binding (ground
+        # truth while the endpoint is connected); catalog names (capsules)
+        # go through the expiring FIB + GLookup so that failover to other
+        # replicas can age them out.
+        if accepted:
+            self.attached[accepted[0]] = endpoint_node
+        expiry = self.sim.now + self.fib_ttl
+        for name in accepted[1:]:
+            self.fib[name] = (endpoint_node, expiry)
+        reply = pdu.response(
+            pdutypes.T_ADV_ACK, {"accepted": [n.raw for n in accepted]}
+        )
+        self._send_pdu(from_node, reply)
+
+    def _verify_advertisement(self, pdu: Pdu, nonce: bytes) -> list[GdpName]:
+        """Verify the challenge signature and each catalog entry; returns
+        the accepted names after registering them in the GLookupService."""
+        payload = pdu.payload
+        try:
+            metadata = Metadata.from_wire(payload["metadata"])
+            metadata.verify()
+            signature = payload["signature"]
+        except Exception as exc:
+            raise AdvertisementError(f"malformed advertisement: {exc}") from exc
+        if metadata.name != pdu.src:
+            raise AdvertisementError("advertisement name mismatch")
+        challenge_preimage = ADVERT_DOMAIN_TAG + nonce + self.name.raw
+        if not metadata.self_key.verify(challenge_preimage, signature):
+            raise AdvertisementError("challenge-response signature invalid")
+        accepted: list[GdpName] = []
+        now = self.sim.now
+        # The endpoint's own name.
+        from repro.delegation.certs import RtCert
+
+        rtcert = (
+            RtCert.from_wire(payload["rtcert"])
+            if payload.get("rtcert") is not None
+            else None
+        )
+        self_entry = RouteEntry(
+            metadata.name,
+            router=self.name,
+            principal=metadata.name,
+            principal_metadata=metadata,
+            rtcert=rtcert,
+            chain=None,
+            router_metadata=self.metadata,
+            expires_at=payload.get("expires_at"),
+        )
+        self_entry.verify(now=now)
+        self.domain.glookup.register(self_entry)
+        accepted.append(metadata.name)
+        # Capsule catalog entries.
+        from repro.delegation.chain import ServiceChain
+
+        for raw_entry in payload.get("catalog", []):
+            try:
+                chain = ServiceChain.from_wire(raw_entry["chain"])
+                entry = RouteEntry(
+                    chain.capsule,
+                    router=self.name,
+                    principal=metadata.name,
+                    principal_metadata=metadata,
+                    rtcert=rtcert,
+                    chain=chain,
+                    router_metadata=self.metadata,
+                    expires_at=raw_entry.get("expires_at"),
+                )
+                entry.verify(now=now)
+                if chain.server != metadata.name:
+                    raise AdvertisementError(
+                        "catalog chain is for a different server"
+                    )
+                self.domain.glookup.register(entry)
+                accepted.append(chain.capsule)
+            except Exception:
+                # One bad catalog entry must not sink the rest; the
+                # endpoint learns from the accepted list what stuck.
+                continue
+        return accepted
+
+    # -- data plane: forwarding -------------------------------------------
+
+    def _forward(self, pdu: Pdu, from_node: Node) -> None:
+        if pdu.ttl <= 0:
+            self.stats_no_route += 1
+            return
+        next_hop = self._resolve_next_hop(pdu.dst)
+        if next_hop is None:
+            self.stats_no_route += 1
+            self._bounce_no_route(pdu, from_node)
+            return
+        self.stats_forwarded += 1
+        self.stats_bytes += pdu.size_bytes
+        self._send_pdu(next_hop, pdu.decremented())
+
+    def _bounce_no_route(self, pdu: Pdu, from_node: Node) -> None:
+        if pdu.ptype == pdutypes.T_NO_ROUTE:
+            return  # never bounce a bounce
+        error = Pdu(
+            self.name,
+            pdu.src,
+            pdutypes.T_NO_ROUTE,
+            {"unreachable": pdu.dst.raw, "corr_id": pdu.corr_id},
+            corr_id=pdu.corr_id,
+        )
+        back = self._resolve_next_hop(pdu.src)
+        if back is not None:
+            self._send_pdu(back, error)
+        elif from_node is not self:
+            self._send_pdu(from_node, error)
+
+    def _resolve_next_hop(self, dst: GdpName) -> Node | None:
+        # 0. Directly attached endpoint.
+        direct = self.attached.get(dst)
+        if direct is not None:
+            return direct
+        # 1. FIB cache.
+        cached = self.fib.get(dst)
+        if cached is not None:
+            node, expiry = cached
+            if self.sim.now <= expiry:
+                return node
+            del self.fib[dst]
+        # 2. Local domain GLookupService.
+        entries = self.domain.glookup.lookup(dst)
+        if entries:
+            return self._install_from_entries(dst, entries)
+        # 3. Ancestors ("when a specific name cannot be found in the
+        #    local GLookupService, such a name is queried in the
+        #    GLookupService of the parent routing domain, and so on").
+        if self.domain.parent is not None:
+            _, remote = self.domain.parent.glookup.lookup_recursive(dst)
+            if remote:
+                hop = self.domain.next_hop_upward(self)
+                self._install(dst, hop)
+                return hop
+        return None
+
+    def _install_from_entries(
+        self, dst: GdpName, entries: list[RouteEntry]
+    ) -> Node | None:
+        """Anycast selection + verification + FIB install for a
+        local-domain GLookup answer."""
+        from repro.routing.anycast import select_entry
+
+        choice = select_entry(self, entries)
+        if choice is None:
+            return None
+        # Routers do not trust the GLookupService: re-verify evidence.
+        try:
+            choice.verify(now=self.sim.now)
+            self.stats_verified_installs += 1
+        except Exception:
+            # Forged entry (compromised GLookupService): refuse, and try
+            # any other replica that does verify.
+            rest = [e for e in entries if e is not choice]
+            return self._install_from_entries(dst, rest) if rest else None
+        if choice.via_child is not None:
+            hop: Node = self.domain.next_hop_to_child(self, choice.via_child)
+        else:
+            attachment_router = self._router_by_name(choice.router)
+            if attachment_router is None:
+                return None
+            if attachment_router is self:
+                # The serving endpoint is attached *here*: deliver over
+                # its attachment link (recovered via the principal name,
+                # so a flushed route cache self-heals).
+                endpoint = self.attached.get(choice.principal)
+                if endpoint is None:
+                    # It really detached: stale entry, try other replicas.
+                    rest = [e for e in entries if e is not choice]
+                    return (
+                        self._install_from_entries(dst, rest) if rest else None
+                    )
+                self._install(dst, endpoint)
+                return endpoint
+            hop = self.domain.next_hop_to_router(self, attachment_router)
+        self._install(dst, hop)
+        return hop
+
+    def _router_by_name(self, name: GdpName | None) -> "GdpRouter | None":
+        for router in self.domain.routers:
+            if router.name == name:
+                return router
+        return None
+
+    def _install(self, dst: GdpName, hop: Node) -> None:
+        self.fib[dst] = (hop, self.sim.now + self.fib_ttl)
+
+    def flush_fib(self) -> None:
+        """Drop all *cached* routes; direct attachments stay (they are
+        advertisement ground truth, not cache)."""
+        self.fib.clear()

@@ -1,0 +1,31 @@
+"""DataCapsule-servers: storage, durability policies, secure responses,
+and leaderless anti-entropy replication."""
+
+from repro.server.dcserver import DataCapsuleServer, HostedCapsule
+from repro.server.durability import ALL, ANY, QUORUM, AckPolicy
+from repro.server.replication import AntiEntropyDaemon, sync_once
+from repro.server.secure import (
+    mac_response,
+    sign_response,
+    verify_mac_response,
+    verify_signed_response,
+)
+from repro.server.storage import FileStore, MemoryStore, StorageBackend
+
+__all__ = [
+    "DataCapsuleServer",
+    "HostedCapsule",
+    "AckPolicy",
+    "ANY",
+    "QUORUM",
+    "ALL",
+    "AntiEntropyDaemon",
+    "sync_once",
+    "StorageBackend",
+    "MemoryStore",
+    "FileStore",
+    "sign_response",
+    "verify_signed_response",
+    "mac_response",
+    "verify_mac_response",
+]

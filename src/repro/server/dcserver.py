@@ -1,0 +1,570 @@
+"""DataCapsule-servers: durable, available, *untrusted* storage (§IV, §VI).
+
+"The task of DataCapsule-servers is to make information durable and
+available to the appropriate readers while maintaining the integrity of
+data."  A server hosts capsule replicas it holds AdCerts for, answers
+reads with integrity proofs, collects durability acknowledgments from
+sibling replicas, pushes subscription updates, and participates in
+leaderless anti-entropy synchronization.
+
+The server *verifies what it stores* (writer signatures, pointer shape)
+— not because clients trust it, but because an honest provider protects
+itself: storing a forged record would make it serve failing proofs and
+look malicious ("it is important to ensure that an honest infrastructure
+provider can't be framed by an adversary", §III-D).
+
+Request ops (payload ``{"op": ..., ...}`` over T_DATA PDUs):
+
+=============  =========================================================
+``host``       begin hosting (metadata + service chain + sibling list)
+``append``     writer append; ``acks`` selects the durability policy
+``replicate``  sibling-to-sibling record propagation
+``read``       one record + position proof
+``read_range`` contiguous records + range proof
+``latest``     newest heartbeat + tip record
+``metadata``   capsule metadata + this server's delegation chain
+``subscribe``  register the requester for future pushes
+``unsubscribe``
+``session``    authenticated ECDH handshake -> HMAC fast path
+``sync_summary`` / ``sync_fetch``   anti-entropy (see replication.py)
+=============  =========================================================
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.capsule.capsule import DataCapsule
+from repro.capsule.heartbeat import Heartbeat
+from repro.capsule.proofs import build_position_proof, build_range_proof
+from repro.capsule.records import Record
+from repro.crypto.hmac_session import Handshake, SessionKey
+from repro.crypto.keys import SigningKey, VerifyingKey
+from repro.delegation.chain import ServiceChain
+from repro.errors import (
+    CapsuleError,
+    GdpError,
+    RecordNotFoundError,
+    StorageError,
+)
+from repro.naming.metadata import Metadata, make_server_metadata
+from repro.naming.names import GdpName
+from repro.routing import pdu as pdutypes
+from repro.routing.endpoint import Endpoint
+from repro.routing.pdu import Pdu
+from repro.server.durability import AckPolicy
+from repro.server.secure import mac_response, sign_response
+from repro.server.storage import MemoryStore, StorageBackend
+from repro.sim.engine import Future
+from repro.sim.net import SimNetwork
+
+__all__ = ["DataCapsuleServer", "HostedCapsule"]
+
+#: how long the fronting server waits for sibling durability acks
+REPLICATION_ACK_TIMEOUT = 10.0
+
+
+class HostedCapsule:
+    """A capsule replica this server is delegated for."""
+
+    __slots__ = ("capsule", "chain", "siblings", "subscribers")
+
+    def __init__(
+        self,
+        capsule: DataCapsule,
+        chain: ServiceChain,
+        siblings: list[GdpName],
+    ):
+        self.capsule = capsule
+        self.chain = chain
+        self.siblings = list(siblings)
+        self.subscribers: set[GdpName] = set()
+
+
+class DataCapsuleServer(Endpoint):
+    """One DataCapsule-server daemon."""
+
+    def __init__(
+        self,
+        network: SimNetwork,
+        node_id: str,
+        *,
+        key: SigningKey | None = None,
+        storage: StorageBackend | None = None,
+        sign_responses: bool = True,
+    ):
+        key = key or SigningKey.from_seed(b"server:" + node_id.encode())
+        metadata = make_server_metadata(
+            key, key.public, extra={"node_id": node_id}
+        )
+        super().__init__(network, node_id, metadata, key)
+        self.storage = storage if storage is not None else MemoryStore()
+        self.sign_responses = sign_responses
+        self.hosted: dict[GdpName, HostedCapsule] = {}
+        self._sessions: dict[GdpName, SessionKey] = {}
+        # (client, corr_id) pairs whose response must stay signed even
+        # though a session now exists (the session-establishment reply
+        # itself: the client has no keys until it reads it).
+        self._sign_anyway: set[tuple[GdpName, int]] = set()
+        self.crashed = False
+        self.stats = {
+            "appends": 0,
+            "replications": 0,
+            "reads": 0,
+            "pushes": 0,
+            "sync_rounds": 0,
+        }
+
+    # -- hosting lifecycle -------------------------------------------------
+
+    def host_capsule(
+        self,
+        metadata: Metadata,
+        chain: ServiceChain,
+        siblings: list[GdpName] | None = None,
+    ) -> HostedCapsule:
+        """Start hosting a capsule (local entry point; the ``host`` op
+        arrives here too).  Verifies the delegation before accepting."""
+        chain.verify(now=self.sim.now)
+        if chain.server != self.name:
+            raise CapsuleError("delegation chain is for a different server")
+        if chain.capsule != metadata.name:
+            raise CapsuleError("delegation chain is for a different capsule")
+        capsule = DataCapsule(metadata)
+        self.storage.store_metadata(metadata.name, metadata.to_wire())
+        hosted = HostedCapsule(capsule, chain, siblings or [])
+        self.hosted[metadata.name] = hosted
+        return hosted
+
+    def catalog_entries(self) -> list[dict]:
+        """The advertisement catalog for every hosted capsule (what goes
+        into the secure advertisement's naming catalog)."""
+        return [
+            {"chain": hosted.chain.to_wire()}
+            for hosted in self.hosted.values()
+        ]
+
+    def crash(self) -> None:
+        """Stop responding and lose all volatile state (the MemoryStore
+        contents die with the process; a FileStore survives)."""
+        self.crashed = True
+
+    def restart(self) -> None:
+        """Come back up and recover whatever the storage backend kept.
+
+        Hosted-capsule delegations (chains, siblings, subscribers) are
+        volatile in this model — the operator re-issues ``host`` — but
+        record data recovers from persistent storage.
+        """
+        self.crashed = False
+        for hosted in self.hosted.values():
+            hosted.subscribers.clear()
+        self.recover_from_storage()
+
+    def recover_from_storage(self) -> int:
+        """Reload records/heartbeats from the backend into any hosted
+        capsule; returns how many records were recovered."""
+        recovered = 0
+        for name, hosted in self.hosted.items():
+            capsule = hosted.capsule
+            for tag, wire in self.storage.load_entries(name):
+                try:
+                    if tag == "r":
+                        record = Record.from_wire(name, wire)
+                        if capsule.insert(record, enforce_strategy=False):
+                            recovered += 1
+                    elif tag == "h":
+                        capsule.add_heartbeat(Heartbeat.from_wire(wire))
+                except GdpError:
+                    continue  # corrupt frame: skip, do not crash recovery
+        return recovered
+
+    # -- request handling ----------------------------------------------------
+
+    def receive(self, message: Any, sender, link) -> None:
+        """Inbound message dispatch (overrides the base handler)."""
+        if self.crashed:
+            return  # a dead server is silence on the wire
+        super().receive(message, sender, link)
+
+    def on_request(self, pdu: Pdu) -> Any:
+        """Serve one application request (see class docstring)."""
+        payload = pdu.payload
+        op = payload.get("op") if isinstance(payload, dict) else None
+        handler = getattr(self, f"_op_{op}", None)
+        if handler is None:
+            return self._wrap(pdu, None, {"ok": False, "error": f"unknown op {op!r}"})
+        try:
+            result = handler(pdu, payload)
+        except GdpError as exc:
+            return self._wrap(
+                pdu, None, {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+            )
+        if isinstance(result, Future):
+            wrapped = self.sim.future()
+            capsule_name = self._capsule_of(payload)
+
+            def finish(fut: Future) -> None:
+                try:
+                    body = fut.result()
+                except GdpError as exc:
+                    body = {
+                        "ok": False,
+                        "error": f"{type(exc).__name__}: {exc}",
+                    }
+                wrapped.resolve(self._wrap(pdu, capsule_name, body))
+
+            result.add_callback(finish)
+            return wrapped
+        return self._wrap(pdu, self._capsule_of(payload), result)
+
+    @staticmethod
+    def _capsule_of(payload: Any) -> GdpName | None:
+        if isinstance(payload, dict) and isinstance(
+            payload.get("capsule"), bytes
+        ):
+            try:
+                return GdpName(payload["capsule"])
+            except GdpError:
+                return None
+        return None
+
+    def _wrap(self, pdu: Pdu, capsule: GdpName | None, body: Any) -> Any:
+        """Apply the secure-response envelope (HMAC if a session exists,
+        signature otherwise)."""
+        if not self.sign_responses:
+            return body
+        session = self._sessions.get(pdu.src)
+        if session is not None and (pdu.src, pdu.corr_id) not in self._sign_anyway:
+            return mac_response(session, pdu.src, pdu.corr_id, body)
+        self._sign_anyway.discard((pdu.src, pdu.corr_id))
+        chain = None
+        if capsule is not None and capsule in self.hosted:
+            chain = self.hosted[capsule].chain
+        return sign_response(
+            self.key, self.metadata, chain, pdu.src, pdu.corr_id, body
+        )
+
+    def _hosted(self, payload: dict) -> HostedCapsule:
+        name = GdpName(payload["capsule"])
+        hosted = self.hosted.get(name)
+        if hosted is None:
+            raise RecordNotFoundError(
+                f"capsule {name.human()} is not hosted on {self.node_id}"
+            )
+        return hosted
+
+    # -- ops -------------------------------------------------------------
+
+    def _op_host(self, pdu: Pdu, payload: dict) -> dict:
+        metadata = Metadata.from_wire(payload["metadata"])
+        chain = ServiceChain.from_wire(payload["chain"])
+        siblings = [GdpName(raw) for raw in payload.get("siblings", [])]
+        self.host_capsule(metadata, chain, siblings)
+        # The new capsule name must become routable: re-run the secure
+        # advertisement with the updated naming catalog.
+        self._schedule_readvertise()
+        return {"ok": True, "capsule": metadata.name.raw}
+
+    def _schedule_readvertise(self) -> None:
+        """Re-advertise the full catalog, retrying while a previous
+        handshake is still in flight."""
+        if self.router is None:
+            return
+        if self._pending_adv is not None and not self._pending_adv.done:
+            self.sim.schedule(0.05, self._schedule_readvertise)
+            return
+        self.advertise(self.catalog_entries())
+
+    def _persist(self, hosted: HostedCapsule, record: Record, heartbeat: Heartbeat) -> bool:
+        """Validate + store locally; returns True when the record is new."""
+        new = hosted.capsule.insert(record, heartbeat)
+        if new:
+            try:
+                self.storage.append_record(
+                    hosted.capsule.name, record.to_wire()
+                )
+                self.storage.append_heartbeat(
+                    hosted.capsule.name, heartbeat.to_wire()
+                )
+            except StorageError:
+                raise
+        return new
+
+    def _op_append(self, pdu: Pdu, payload: dict) -> Any:
+        hosted = self._hosted(payload)
+        record = Record.from_wire(hosted.capsule.name, payload["record"])
+        heartbeat = Heartbeat.from_wire(payload["heartbeat"])
+        new = self._persist(hosted, record, heartbeat)
+        self.stats["appends"] += 1
+        if new:
+            self._push_to_subscribers(hosted, record, heartbeat)
+        policy = AckPolicy(payload.get("acks", "any"))
+        replica_count = 1 + len(hosted.siblings)
+        required = policy.required_acks(replica_count)
+        if required <= 1 or not hosted.siblings:
+            # Fast path: ack now, propagate in the background (§VI-B).
+            self._propagate_background(hosted, record, heartbeat)
+            return {"ok": True, "seqno": record.seqno, "acks": 1}
+        return self._collect_acks(hosted, record, heartbeat, required)
+
+    def _replicate_payload(self, hosted: HostedCapsule, record: Record, heartbeat: Heartbeat) -> dict:
+        return {
+            "op": "replicate",
+            "capsule": hosted.capsule.name.raw,
+            "record": record.to_wire(),
+            "heartbeat": heartbeat.to_wire(),
+        }
+
+    def _propagate_background(
+        self, hosted: HostedCapsule, record: Record, heartbeat: Heartbeat
+    ) -> None:
+        payload = self._replicate_payload(hosted, record, heartbeat)
+        for sibling in hosted.siblings:
+            # Fire-and-forget; anti-entropy repairs anything lost here.
+            self.rpc(sibling, dict(payload), timeout=None)
+
+    def _collect_acks(
+        self,
+        hosted: HostedCapsule,
+        record: Record,
+        heartbeat: Heartbeat,
+        required: int,
+    ) -> Future:
+        """Durable path: wait until *required* replicas (including us)
+        have persisted the record, or report how far we got."""
+        result = self.sim.future()
+        state = {"acks": 1, "outstanding": len(hosted.siblings)}
+
+        def check_done() -> None:
+            if result.done:
+                return
+            if state["acks"] >= required:
+                result.resolve(
+                    {"ok": True, "seqno": record.seqno, "acks": state["acks"]}
+                )
+            elif state["outstanding"] == 0:
+                result.resolve(
+                    {
+                        "ok": False,
+                        "error": "insufficient durability acks",
+                        "seqno": record.seqno,
+                        "acks": state["acks"],
+                        "required": required,
+                    }
+                )
+
+        payload = self._replicate_payload(hosted, record, heartbeat)
+        for sibling in hosted.siblings:
+            future = self.rpc(
+                sibling, dict(payload), timeout=REPLICATION_ACK_TIMEOUT
+            )
+
+            def on_ack(fut: Future) -> None:
+                state["outstanding"] -= 1
+                try:
+                    reply = fut.result()
+                    body = reply.get("body", reply)
+                    if body.get("ok"):
+                        state["acks"] += 1
+                except GdpError:
+                    pass
+                except Exception:
+                    pass
+                check_done()
+
+            future.add_callback(on_ack)
+        check_done()
+        return result
+
+    def _op_replicate(self, pdu: Pdu, payload: dict) -> dict:
+        hosted = self._hosted(payload)
+        record = Record.from_wire(hosted.capsule.name, payload["record"])
+        heartbeat = Heartbeat.from_wire(payload["heartbeat"])
+        new = self._persist(hosted, record, heartbeat)
+        self.stats["replications"] += 1
+        if new:
+            self._push_to_subscribers(hosted, record, heartbeat)
+        return {"ok": True, "seqno": record.seqno}
+
+    def _op_read(self, pdu: Pdu, payload: dict) -> dict:
+        hosted = self._hosted(payload)
+        seqno = payload["seqno"]
+        record = hosted.capsule.get(seqno)
+        proof = build_position_proof(hosted.capsule, seqno)
+        self.stats["reads"] += 1
+        return {
+            "ok": True,
+            "record": record.to_wire(),
+            "proof": proof.to_wire(),
+        }
+
+    def _op_read_range(self, pdu: Pdu, payload: dict) -> dict:
+        hosted = self._hosted(payload)
+        first, last = payload["first"], payload["last"]
+        records = hosted.capsule.read_range(first, last)
+        proof = build_range_proof(hosted.capsule, first, last)
+        self.stats["reads"] += 1
+        return {
+            "ok": True,
+            "records": [r.to_wire() for r in records],
+            "proof": proof.to_wire(),
+        }
+
+    def _op_latest(self, pdu: Pdu, payload: dict) -> dict:
+        hosted = self._hosted(payload)
+        heartbeat = hosted.capsule.latest_heartbeat
+        if heartbeat is None:
+            return {"ok": True, "empty": True}
+        record = hosted.capsule.get_by_digest(heartbeat.digest)
+        proof = build_position_proof(hosted.capsule, record.seqno)
+        self.stats["reads"] += 1
+        return {
+            "ok": True,
+            "record": record.to_wire(),
+            "heartbeat": heartbeat.to_wire(),
+            "proof": proof.to_wire(),
+        }
+
+    def _op_metadata(self, pdu: Pdu, payload: dict) -> dict:
+        hosted = self._hosted(payload)
+        return {
+            "ok": True,
+            "metadata": hosted.capsule.metadata.to_wire(),
+            "chain": hosted.chain.to_wire(),
+        }
+
+    def _op_unhost(self, pdu: Pdu, payload: dict) -> dict:
+        """Stop hosting a capsule — owner-authorized replica retirement
+        (§VI: "Replicas can be migrated ... such placement decisions are
+        made by the owner of a DataCapsule").
+
+        Authorization: an owner signature over
+        ``("gdp.unhost", capsule, this server's name)`` so an unhost
+        request cannot be forged or replayed against another server.
+        """
+        from repro import encoding as _encoding
+
+        hosted = self._hosted(payload)
+        owner_key = hosted.capsule.metadata.owner_key
+        preimage = b"gdp.unhost" + _encoding.encode(
+            [hosted.capsule.name.raw, self.name.raw]
+        )
+        from repro.errors import AuthorizationError
+
+        signature = payload.get("auth")
+        if not isinstance(signature, bytes) or not owner_key.verify(
+            preimage, signature
+        ):
+            raise AuthorizationError(
+                "unhost requires a valid owner signature"
+            )
+        name = hosted.capsule.name
+        del self.hosted[name]
+        self.storage.delete_capsule(name)
+        # Withdraw the route so traffic stops landing here.
+        if self.router is not None:
+            self.withdraw([name])
+        return {"ok": True, "capsule": name.raw}
+
+    def _op_sync_now(self, pdu: Pdu, payload: dict) -> Any:
+        """Owner-triggered immediate anti-entropy pull from a named
+        sibling (used to warm a freshly placed replica during
+        migration)."""
+        from repro.server.replication import sync_once
+
+        hosted = self._hosted(payload)
+        sibling = GdpName(payload["from"])
+        result = self.sim.future()
+        process = self.sim.spawn(
+            sync_once(self, hosted.capsule.name, sibling),
+            name=f"sync_now:{self.node_id}",
+        )
+
+        def done(fut: Future) -> None:
+            try:
+                fetched = fut.result()
+            except Exception as exc:  # noqa: BLE001 — reported to caller
+                result.resolve({"ok": False, "error": str(exc)})
+                return
+            result.resolve({"ok": True, "fetched": fetched})
+
+        process.completion.add_callback(done)
+        return result
+
+    def _op_subscribe(self, pdu: Pdu, payload: dict) -> dict:
+        hosted = self._hosted(payload)
+        # Restricted capsules require an owner-signed subscription
+        # credential (§VII fn. 9: "restricting subscription to
+        # DataCapsule updates ... who can join a secure multicast tree").
+        if hosted.capsule.metadata.properties.get("restricted_subscribe"):
+            from repro.delegation.certs import SubGrant
+            from repro.errors import AuthorizationError
+
+            grant_wire = payload.get("subgrant")
+            if grant_wire is None:
+                raise AuthorizationError(
+                    "capsule requires a subscription credential"
+                )
+            grant = SubGrant.from_wire(grant_wire)
+            grant.verify(
+                hosted.capsule.metadata.owner_key,
+                now=self.sim.now,
+                capsule=hosted.capsule.name,
+                subscriber=pdu.src,
+            )
+        hosted.subscribers.add(pdu.src)
+        return {"ok": True, "from_seqno": hosted.capsule.last_seqno + 1}
+
+    def _op_unsubscribe(self, pdu: Pdu, payload: dict) -> dict:
+        hosted = self._hosted(payload)
+        hosted.subscribers.discard(pdu.src)
+        return {"ok": True}
+
+    def _op_session(self, pdu: Pdu, payload: dict) -> dict:
+        """Authenticated ECDH handshake (the client is the initiator)."""
+        client_identity = VerifyingKey.from_bytes(payload["client_key"])
+        handshake = Handshake(self.key)
+        session = handshake.finish(
+            payload["offer"], client_identity, initiator=False
+        )
+        self._sessions[pdu.src] = session
+        # This response itself is still signed (the session starts with
+        # the *next* message), so the client can authenticate the offer.
+        self._sign_anyway.add((pdu.src, pdu.corr_id))
+        return {"ok": True, "offer": handshake.offer()}
+
+    def _op_sync_summary(self, pdu: Pdu, payload: dict) -> dict:
+        hosted = self._hosted(payload)
+        self.stats["sync_rounds"] += 1
+        return {"ok": True, "summary": hosted.capsule.state_summary()}
+
+    def _op_sync_fetch(self, pdu: Pdu, payload: dict) -> dict:
+        hosted = self._hosted(payload)
+        records = []
+        for digest in payload["digests"]:
+            try:
+                records.append(hosted.capsule.get_by_digest(digest).to_wire())
+            except RecordNotFoundError:
+                continue
+        heartbeats = [h.to_wire() for h in hosted.capsule.heartbeats()]
+        return {"ok": True, "records": records, "heartbeats": heartbeats}
+
+    # -- subscriptions ------------------------------------------------------
+
+    def _push_to_subscribers(
+        self, hosted: HostedCapsule, record: Record, heartbeat: Heartbeat
+    ) -> None:
+        """Publish a fresh record to every subscriber (§V 'subscribe'
+        enables "an event-driven programming model")."""
+        if not hosted.subscribers:
+            return
+        payload = {
+            "capsule": hosted.capsule.name.raw,
+            "record": record.to_wire(),
+            "heartbeat": heartbeat.to_wire(),
+        }
+        for subscriber in sorted(hosted.subscribers, key=lambda n: n.raw):
+            push = Pdu(self.name, subscriber, pdutypes.T_PUSH, dict(payload))
+            self.send_pdu(push)
+            self.stats["pushes"] += 1

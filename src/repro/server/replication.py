@@ -1,0 +1,137 @@
+"""Leaderless anti-entropy replication (§V-A, §VI-B).
+
+"For any missing records, DataCapsule-servers can synchronize their
+state in the background. This effectively leads us to a leaderless
+replication design, which is much more efficient in presence of
+failures."
+
+The protocol is classic state-based CRDT anti-entropy: a server
+periodically picks a sibling replica, exchanges compact state summaries
+(seqno -> digests), fetches whatever it is missing, and inserts the
+records through the normal validation path.  Because capsule state is a
+join-semilattice (record-set union), rounds are idempotent and
+order-independent; transient *holes* left by the single-ack fast path
+heal as soon as any replica that holds the record is reachable.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.capsule.heartbeat import Heartbeat
+from repro.capsule.records import Record
+from repro.errors import GdpError
+from repro.naming.names import GdpName
+from repro.server.dcserver import DataCapsuleServer, HostedCapsule
+
+__all__ = ["AntiEntropyDaemon", "sync_once"]
+
+
+def sync_once(
+    server: DataCapsuleServer,
+    capsule_name: GdpName,
+    sibling: GdpName,
+    *,
+    timeout: float = 15.0,
+) -> Generator:
+    """One synchronization round with one sibling (a sim process body);
+    returns the number of records fetched."""
+    hosted = server.hosted[capsule_name]
+    try:
+        reply = yield server.rpc(
+            sibling,
+            {"op": "sync_summary", "capsule": capsule_name.raw},
+            timeout=timeout,
+        )
+    except GdpError:
+        return 0
+    body = reply.get("body", reply)
+    if not body.get("ok"):
+        return 0
+    missing = hosted.capsule.missing_from(body["summary"])
+    if not missing:
+        # Still absorb heartbeats we might lack (frontier can advance
+        # even when record sets match).
+        return 0
+    try:
+        reply = yield server.rpc(
+            sibling,
+            {
+                "op": "sync_fetch",
+                "capsule": capsule_name.raw,
+                "digests": missing,
+            },
+            timeout=2 * timeout,
+        )
+    except GdpError:
+        return 0
+    body = reply.get("body", reply)
+    if not body.get("ok"):
+        return 0
+    fetched = 0
+    for record_wire in body.get("records", []):
+        try:
+            record = Record.from_wire(capsule_name, record_wire)
+            if hosted.capsule.insert(record, enforce_strategy=False):
+                server.storage.append_record(capsule_name, record.to_wire())
+                fetched += 1
+        except GdpError:
+            continue  # a malicious sibling cannot poison us
+    for heartbeat_wire in body.get("heartbeats", []):
+        try:
+            heartbeat = Heartbeat.from_wire(heartbeat_wire)
+            if hosted.capsule.add_heartbeat(heartbeat):
+                server.storage.append_heartbeat(
+                    capsule_name, heartbeat.to_wire()
+                )
+        except GdpError:
+            continue
+    return fetched
+
+
+class AntiEntropyDaemon:
+    """Background process syncing every hosted capsule round-robin.
+
+    ``interval`` is the pause between rounds; each round syncs each
+    capsule with one sibling (rotating through siblings so full pairwise
+    coverage happens over successive rounds).
+    """
+
+    def __init__(self, server: DataCapsuleServer, interval: float = 5.0):
+        self.server = server
+        self.interval = interval
+        self.rounds = 0
+        self.records_fetched = 0
+        self._running = False
+
+    def start(self) -> None:
+        """Start the background process (idempotent)."""
+        if self._running:
+            return
+        self._running = True
+        self.server.sim.spawn(self._loop(), name=f"antientropy:{self.server.node_id}")
+
+    def stop(self) -> None:
+        """Stop after the current round."""
+        self._running = False
+
+    def _loop(self) -> Generator:
+        turn = 0
+        while self._running:
+            yield self.interval
+            if self.server.crashed:
+                continue
+            for capsule_name in list(self.server.hosted):
+                hosted: HostedCapsule = self.server.hosted[capsule_name]
+                if not hosted.siblings:
+                    continue
+                sibling = hosted.siblings[turn % len(hosted.siblings)]
+                # A gossip round must not outwait its own period, or a
+                # dead sibling head-of-line-blocks the daemon.
+                fetched = yield from sync_once(
+                    self.server, capsule_name, sibling,
+                    timeout=max(self.interval, 1.0),
+                )
+                self.records_fetched += fetched
+            self.rounds += 1
+            turn += 1

@@ -1,0 +1,151 @@
+"""Secure responses: connectionless trust from the capsule name (§V).
+
+"Our protocol starts the chain of trust from the name of the object
+itself and quickly translates to efficient HMAC based secure
+acknowledgments."
+
+A response body is wrapped with authentication evidence in one of two
+modes:
+
+``sig``
+    The server signs ``(client, corr_id, body)`` with its own key and
+    attaches its metadata + the AdCert service chain.  The client
+    verifies: chain links the *capsule name it asked about* to this
+    server, and the signature binds this exact response to this exact
+    request (corr_id) for this client — no replay, no substitution, and
+    an honest provider "can't be framed by an adversary" because only it
+    can produce the signature.
+
+``hmac``
+    After a one-time authenticated ECDH handshake, responses carry an
+    HMAC instead — the steady-state fast path with "byte overhead
+    roughly similar to TLS".
+
+The corr_id binding is what makes this safe *connectionless*: each
+request/response pair is independently verifiable, so anycast can move
+the conversation between replicas at any time (§III-D).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro import encoding
+from repro.crypto.hmac_session import SessionKey
+from repro.crypto.keys import SigningKey
+from repro.delegation.chain import ServiceChain
+from repro.errors import IntegrityError, SignatureError
+from repro.naming.metadata import Metadata
+from repro.naming.names import GdpName
+
+__all__ = [
+    "sign_response",
+    "verify_signed_response",
+    "mac_response",
+    "verify_mac_response",
+]
+
+_DOMAIN = b"gdp.response"
+
+
+def _preimage(client: GdpName, corr_id: int, body: Any) -> bytes:
+    return _DOMAIN + encoding.encode([client.raw, corr_id, body])
+
+
+def sign_response(
+    server_key: SigningKey,
+    server_metadata: Metadata,
+    chain: ServiceChain | None,
+    client: GdpName,
+    corr_id: int,
+    body: Any,
+) -> dict:
+    """Wrap *body* in a signed secure response."""
+    wrapped = {
+        "body": body,
+        "auth": {
+            "mode": "sig",
+            "server_metadata": server_metadata.to_wire(),
+            "signature": server_key.sign(_preimage(client, corr_id, body)),
+        },
+    }
+    if chain is not None:
+        wrapped["auth"]["chain"] = chain.to_wire()
+    return wrapped
+
+
+def verify_signed_response(
+    wrapped: dict,
+    *,
+    client: GdpName,
+    corr_id: int,
+    capsule: GdpName | None = None,
+    now: float = 0.0,
+) -> Any:
+    """Verify a signed secure response; returns the body.
+
+    When *capsule* is given, the attached service chain must prove the
+    responding server is delegated for that capsule — this is what stops
+    "an adversary that ... just happens to be in the path" (§III-D) from
+    answering in a real server's stead.
+    """
+    try:
+        auth = wrapped["auth"]
+        body = wrapped["body"]
+        if auth["mode"] != "sig":
+            raise IntegrityError(f"expected sig response, got {auth['mode']!r}")
+        server_metadata = Metadata.from_wire(auth["server_metadata"])
+        signature = auth["signature"]
+    except (KeyError, TypeError) as exc:
+        raise IntegrityError(f"malformed secure response: {exc}") from exc
+    server_metadata.verify()
+    if not server_metadata.self_key.verify(
+        _preimage(client, corr_id, body), signature
+    ):
+        raise SignatureError("secure response signature invalid")
+    if capsule is not None and body.get("ok"):
+        # Error bodies assert no capsule data, so they need no chain —
+        # a replica that does not (yet) hold a record must be able to
+        # say so; the signature still authenticates who said it.
+        if "chain" not in auth:
+            raise IntegrityError(
+                "response lacks the delegation chain for the capsule"
+            )
+        chain = ServiceChain.from_wire(auth["chain"])
+        chain.verify(now=now)
+        if chain.capsule != capsule:
+            raise IntegrityError("delegation chain is for another capsule")
+        if chain.server != server_metadata.name:
+            raise IntegrityError(
+                "delegation chain names a different server than the signer"
+            )
+    return body
+
+
+def mac_response(
+    session: SessionKey, client: GdpName, corr_id: int, body: Any
+) -> dict:
+    """Wrap *body* with the steady-state HMAC authenticator."""
+    return {
+        "body": body,
+        "auth": {
+            "mode": "hmac",
+            "mac": session.mac(_preimage(client, corr_id, body)),
+        },
+    }
+
+
+def verify_mac_response(
+    session: SessionKey, wrapped: dict, *, client: GdpName, corr_id: int
+) -> Any:
+    """Verify an HMAC secure response; returns the body."""
+    try:
+        auth = wrapped["auth"]
+        body = wrapped["body"]
+        if auth["mode"] != "hmac":
+            raise IntegrityError(f"expected hmac response, got {auth['mode']!r}")
+        mac = auth["mac"]
+    except (KeyError, TypeError) as exc:
+        raise IntegrityError(f"malformed secure response: {exc}") from exc
+    session.check(_preimage(client, corr_id, body), mac)
+    return body

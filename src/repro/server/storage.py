@@ -1,0 +1,201 @@
+"""Storage backends for DataCapsule-servers.
+
+The paper's server "uses SQLite for the back-end storage; each
+DataCapsule is stored in its own separate SQLite database" (§VIII) so
+random reads are efficient.  Here the same contract is met by two
+backends behind one interface:
+
+- :class:`MemoryStore` — dict-backed, for simulations and tests.
+- :class:`FileStore` — one append-only log file per capsule
+  (length-prefixed canonical-encoded entries) plus an in-memory index
+  rebuilt on open; crash-restart tests use it to show that a restarted
+  server recovers exactly the records it had acknowledged.
+
+Backends store *wire forms* (dicts of bytes/ints), not live objects —
+whatever comes back is re-validated by the capsule layer, so a corrupt
+disk shows up as an integrity error, not silent data loss.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from abc import ABC, abstractmethod
+from typing import Iterator
+
+from repro import encoding
+from repro.errors import StorageError
+from repro.naming.names import GdpName
+
+__all__ = ["StorageBackend", "MemoryStore", "FileStore"]
+
+_TAG_METADATA = "m"
+_TAG_RECORD = "r"
+_TAG_HEARTBEAT = "h"
+
+
+class StorageBackend(ABC):
+    """Per-server persistent storage for capsule wire data."""
+
+    @abstractmethod
+    def store_metadata(self, name: GdpName, metadata_wire: dict) -> None:
+        """Persist capsule metadata (idempotent)."""
+
+    @abstractmethod
+    def load_metadata(self, name: GdpName) -> dict | None:
+        """The stored metadata wire form, or None."""
+
+    @abstractmethod
+    def append_record(self, name: GdpName, record_wire: dict) -> None:
+        """Persist one record."""
+
+    @abstractmethod
+    def append_heartbeat(self, name: GdpName, heartbeat_wire: dict) -> None:
+        """Persist one heartbeat."""
+
+    @abstractmethod
+    def load_entries(self, name: GdpName) -> Iterator[tuple[str, dict]]:
+        """Yield ``(tag, wire)`` for every stored entry of a capsule, in
+        write order; tags are 'm'/'r'/'h'."""
+
+    @abstractmethod
+    def list_capsules(self) -> list[GdpName]:
+        """Names of all capsules with stored state."""
+
+    @abstractmethod
+    def delete_capsule(self, name: GdpName) -> None:
+        """Remove all state for a capsule."""
+
+
+class MemoryStore(StorageBackend):
+    """Volatile storage (lost on server crash — which is exactly what
+    the durability experiments need it to be)."""
+
+    def __init__(self):
+        self._data: dict[GdpName, list[tuple[str, dict]]] = {}
+
+    def store_metadata(self, name: GdpName, metadata_wire: dict) -> None:
+        """Persist capsule metadata (idempotent)."""
+        log = self._data.setdefault(name, [])
+        if not any(tag == _TAG_METADATA for tag, _ in log):
+            log.append((_TAG_METADATA, metadata_wire))
+
+    def load_metadata(self, name: GdpName) -> dict | None:
+        """The stored metadata wire form, or None."""
+        for tag, wire in self._data.get(name, []):
+            if tag == _TAG_METADATA:
+                return wire
+        return None
+
+    def append_record(self, name: GdpName, record_wire: dict) -> None:
+        """Persist one record wire form."""
+        self._require(name).append((_TAG_RECORD, record_wire))
+
+    def append_heartbeat(self, name: GdpName, heartbeat_wire: dict) -> None:
+        """Persist one heartbeat wire form."""
+        self._require(name).append((_TAG_HEARTBEAT, heartbeat_wire))
+
+    def _require(self, name: GdpName) -> list:
+        if name not in self._data:
+            raise StorageError(f"capsule {name.human()} is not hosted here")
+        return self._data[name]
+
+    def load_entries(self, name: GdpName) -> Iterator[tuple[str, dict]]:
+        """Yield (tag, wire) entries in write order."""
+        yield from self._data.get(name, [])
+
+    def list_capsules(self) -> list[GdpName]:
+        """Names of all capsules with stored state."""
+        return sorted(self._data)
+
+    def delete_capsule(self, name: GdpName) -> None:
+        """Remove all state for a capsule."""
+        self._data.pop(name, None)
+
+
+class FileStore(StorageBackend):
+    """One append-only log file per capsule under *root*.
+
+    Entry framing: 1 tag byte + u32 big-endian length + canonical
+    encoding.  A torn final entry (crash mid-write) is detected by the
+    length check and discarded on load.
+    """
+
+    def __init__(self, root: str):
+        self.root = root
+        os.makedirs(root, exist_ok=True)
+
+    def _path(self, name: GdpName) -> str:
+        return os.path.join(self.root, name.hex() + ".dclog")
+
+    def _append(self, name: GdpName, tag: str, wire: dict) -> None:
+        blob = encoding.encode(wire)
+        frame = tag.encode("ascii") + struct.pack(">I", len(blob)) + blob
+        try:
+            with open(self._path(name), "ab") as fh:
+                fh.write(frame)
+                fh.flush()
+                os.fsync(fh.fileno())
+        except OSError as exc:
+            raise StorageError(f"write failed: {exc}") from exc
+
+    def store_metadata(self, name: GdpName, metadata_wire: dict) -> None:
+        """Persist capsule metadata (idempotent)."""
+        if self.load_metadata(name) is None:
+            self._append(name, _TAG_METADATA, metadata_wire)
+
+    def load_metadata(self, name: GdpName) -> dict | None:
+        """The stored metadata wire form, or None."""
+        for tag, wire in self.load_entries(name):
+            if tag == _TAG_METADATA:
+                return wire
+        return None
+
+    def append_record(self, name: GdpName, record_wire: dict) -> None:
+        """Persist one record wire form."""
+        if not os.path.exists(self._path(name)):
+            raise StorageError(f"capsule {name.human()} is not hosted here")
+        self._append(name, _TAG_RECORD, record_wire)
+
+    def append_heartbeat(self, name: GdpName, heartbeat_wire: dict) -> None:
+        """Persist one heartbeat wire form."""
+        if not os.path.exists(self._path(name)):
+            raise StorageError(f"capsule {name.human()} is not hosted here")
+        self._append(name, _TAG_HEARTBEAT, heartbeat_wire)
+
+    def load_entries(self, name: GdpName) -> Iterator[tuple[str, dict]]:
+        """Yield (tag, wire) entries in write order."""
+        path = self._path(name)
+        if not os.path.exists(path):
+            return
+        try:
+            with open(path, "rb") as fh:
+                data = fh.read()
+        except OSError as exc:
+            raise StorageError(f"read failed: {exc}") from exc
+        offset = 0
+        while offset < len(data):
+            if offset + 5 > len(data):
+                break  # torn frame header
+            tag = chr(data[offset])
+            (length,) = struct.unpack(">I", data[offset + 1 : offset + 5])
+            end = offset + 5 + length
+            if end > len(data):
+                break  # torn payload: crash mid-write; drop it
+            yield tag, encoding.decode(data[offset + 5 : end])
+            offset = end
+
+    def list_capsules(self) -> list[GdpName]:
+        """Names of all capsules with stored state."""
+        names = []
+        for filename in sorted(os.listdir(self.root)):
+            if filename.endswith(".dclog"):
+                names.append(GdpName.from_hex(filename[: -len(".dclog")]))
+        return names
+
+    def delete_capsule(self, name: GdpName) -> None:
+        """Remove all state for a capsule."""
+        try:
+            os.unlink(self._path(name))
+        except FileNotFoundError:
+            pass

@@ -1,0 +1,219 @@
+"""Simulated network: nodes, duplex links, and PDU delivery.
+
+Links model the three quantities that drive the paper's numbers:
+propagation latency, serialization bandwidth, and loss.  Bandwidth is
+modelled per direction with a *busy-until* horizon: each transmitted
+message occupies the line for ``size / bandwidth`` seconds, so sustained
+throughput saturates exactly at the configured line rate — which is what
+lets Figure 6's rate-vs-PDU-size curve and Figure 8's
+residential-uplink-bound write times come out with the right shape.
+
+Nodes address each other by attachment; routing above this layer is the
+GDP's job (flat names), not the link layer's.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable
+
+from repro.sim.engine import Simulator
+
+__all__ = ["SimNetwork", "Node", "Link"]
+
+
+class Node:
+    """Base class for anything attached to the network.
+
+    Subclasses override :meth:`receive`.  ``node_id`` is a human label
+    (distinct from GDP names, which live at the routing layer).
+    """
+
+    def __init__(self, network: "SimNetwork", node_id: str):
+        self.network = network
+        self.node_id = node_id
+        self.links: list["Link"] = []
+        network._register(self)
+
+    @property
+    def sim(self) -> Simulator:
+        """The owning simulator."""
+        return self.network.sim
+
+    def link_to(self, other: "Node") -> "Link | None":
+        """The direct link to *other*, or None."""
+        for link in self.links:
+            if link.peer(self) is other:
+                return link
+        return None
+
+    def neighbors(self) -> list["Node"]:
+        """Directly linked peer nodes."""
+        return [link.peer(self) for link in self.links]
+
+    def send(self, target: "Node", message: Any, size: int) -> None:
+        """Send over the direct link to *target* (must be adjacent)."""
+        link = self.link_to(target)
+        if link is None:
+            raise ValueError(f"{self.node_id} has no link to {target.node_id}")
+        link.transmit(self, message, size)
+
+    def receive(self, message: Any, sender: "Node", link: "Link") -> None:
+        """Handle an arriving message; override in subclasses."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.node_id})"
+
+
+class Link:
+    """A duplex point-to-point link with asymmetric capacity.
+
+    ``bandwidth_ab`` carries traffic A->B, ``bandwidth_ba`` B->A (both in
+    bytes/second) — asymmetry models residential up/down links.  ``loss``
+    is an i.i.d. drop probability applied per message, drawn from the
+    network's seeded RNG.
+    """
+
+    def __init__(
+        self,
+        network: "SimNetwork",
+        a: Node,
+        b: Node,
+        latency: float,
+        bandwidth_ab: float,
+        bandwidth_ba: float | None = None,
+        loss: float = 0.0,
+    ):
+        if latency < 0:
+            raise ValueError("latency must be >= 0")
+        if bandwidth_ab <= 0:
+            raise ValueError("bandwidth must be > 0")
+        if not 0.0 <= loss < 1.0:
+            raise ValueError("loss must be in [0, 1)")
+        self.network = network
+        self.a = a
+        self.b = b
+        self.latency = latency
+        self.bandwidth = {
+            (a, b): bandwidth_ab,
+            (b, a): bandwidth_ba if bandwidth_ba is not None else bandwidth_ab,
+        }
+        self.loss = loss
+        self._busy_until = {(a, b): 0.0, (b, a): 0.0}
+        self.up = True
+        self.stats_sent = 0
+        self.stats_dropped = 0
+        self.stats_bytes = 0
+        a.links.append(self)
+        b.links.append(self)
+
+    def peer(self, node: Node) -> Node:
+        """The node on the other end of this link."""
+        if node is self.a:
+            return self.b
+        if node is self.b:
+            return self.a
+        raise ValueError(f"{node.node_id} is not on this link")
+
+    def transmit(self, sender: Node, message: Any, size: int) -> None:
+        """Queue *message* (of *size* bytes) for delivery to the peer."""
+        if size < 0:
+            raise ValueError("message size must be >= 0")
+        sim = self.network.sim
+        receiver = self.peer(sender)
+        direction = (sender, receiver)
+        self.stats_sent += 1
+        if not self.up:
+            self.stats_dropped += 1
+            return
+        if self.loss and self.network.rng.random() < self.loss:
+            self.stats_dropped += 1
+            return
+        self.stats_bytes += size
+        serialization = size / self.bandwidth[direction]
+        start = max(sim.now, self._busy_until[direction])
+        self._busy_until[direction] = start + serialization
+        arrival_delay = (start + serialization + self.latency) - sim.now
+        hooks = self.network._delivery_hooks
+        if hooks:
+            for hook in hooks:
+                verdict = hook(self, sender, receiver, message, size)
+                if verdict is False:
+                    self.stats_dropped += 1
+                    return
+        sim.schedule(
+            arrival_delay, self._deliver, receiver, message, sender
+        )
+
+    def _deliver(self, receiver: Node, message: Any, sender: Node) -> None:
+        if not self.up:
+            self.stats_dropped += 1
+            return
+        receiver.receive(message, sender, self)
+
+    def fail(self) -> None:
+        """Take the link down (partition); queued deliveries are dropped."""
+        self.up = False
+
+    def recover(self) -> None:
+        """Bring the link back up."""
+        self.up = True
+
+    def __repr__(self) -> str:
+        return (
+            f"Link({self.a.node_id}<->{self.b.node_id}, "
+            f"{self.latency * 1000:.1f}ms)"
+        )
+
+
+class SimNetwork:
+    """The network: a simulator plus nodes, links, and a seeded RNG.
+
+    ``add_delivery_hook`` installs an interception point used by the
+    adversary package (tamper / reorder / drop on path) — returning
+    ``False`` from a hook drops the message.
+    """
+
+    def __init__(self, seed: int = 0):
+        self.sim = Simulator()
+        self.rng = random.Random(seed)
+        self.nodes: dict[str, Node] = {}
+        self.links: list[Link] = []
+        self._delivery_hooks: list[
+            Callable[[Link, Node, Node, Any, int], bool | None]
+        ] = []
+
+    def _register(self, node: Node) -> None:
+        if node.node_id in self.nodes:
+            raise ValueError(f"duplicate node id {node.node_id!r}")
+        self.nodes[node.node_id] = node
+
+    def connect(
+        self,
+        a: Node,
+        b: Node,
+        *,
+        latency: float,
+        bandwidth: float,
+        bandwidth_up: float | None = None,
+        loss: float = 0.0,
+    ) -> Link:
+        """Create a duplex link; ``bandwidth`` is the A->B (download
+        from A's perspective is B->A) rate, ``bandwidth_up`` overrides
+        the reverse direction for asymmetric links."""
+        link = Link(
+            self, a, b, latency, bandwidth, bandwidth_up, loss
+        )
+        self.links.append(link)
+        return link
+
+    def add_delivery_hook(
+        self, hook: Callable[[Link, Node, Node, Any, int], bool | None]
+    ) -> None:
+        """Install a delivery interception hook."""
+        self._delivery_hooks.append(hook)
+
+    def remove_delivery_hook(self, hook: Callable) -> None:
+        """Remove a previously installed hook."""
+        self._delivery_hooks.remove(hook)

@@ -1,0 +1,103 @@
+"""Workload generators for benchmarks and examples.
+
+All generators are seeded and deterministic.  Blob payloads are built
+from cheap repeating pseudo-random blocks so a 115 MB "model" costs
+microseconds to materialize, while still being incompressible-ish and
+unique per (seed, size).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import random
+from typing import Iterator
+
+__all__ = [
+    "blob",
+    "record_sizes",
+    "poisson_arrivals",
+    "sensor_readings",
+    "MODEL_SMALL",
+    "MODEL_LARGE",
+]
+
+#: the two pre-trained model sizes of Figure 8
+MODEL_SMALL = 28 * 1024 * 1024   # "a 28 MB model"
+MODEL_LARGE = 115 * 1024 * 1024  # "a 115 MB model"
+
+_BLOCK = 65536
+
+
+def blob(size: int, seed: int = 0) -> bytes:
+    """*size* deterministic pseudo-random bytes (cheap: one hashed block
+    tiled, with a unique header so two blobs never collide)."""
+    if size < 0:
+        raise ValueError("size must be >= 0")
+    header = hashlib.sha256(f"blob:{seed}:{size}".encode()).digest()
+    block = hashlib.sha256(header).digest()
+    block = (block * (_BLOCK // len(block) + 1))[:_BLOCK]
+    reps = size // _BLOCK + 1
+    data = (header + block * reps)[:size]
+    return data
+
+
+def record_sizes(
+    count: int,
+    *,
+    mean: int = 512,
+    distribution: str = "lognormal",
+    seed: int = 0,
+) -> list[int]:
+    """Record payload sizes: 'fixed', 'uniform' (mean/2 .. 3*mean/2) or
+    'lognormal' (heavy-tailed, like real sensor/event payloads)."""
+    rng = random.Random(seed)
+    if distribution == "fixed":
+        return [mean] * count
+    if distribution == "uniform":
+        return [rng.randint(mean // 2, 3 * mean // 2) for _ in range(count)]
+    if distribution == "lognormal":
+        sigma = 0.75
+        mu = math.log(mean) - sigma * sigma / 2
+        return [max(1, int(rng.lognormvariate(mu, sigma))) for _ in range(count)]
+    raise ValueError(f"unknown distribution {distribution!r}")
+
+
+def poisson_arrivals(
+    count: int, rate: float, *, seed: int = 0
+) -> list[float]:
+    """*count* arrival times with exponential inter-arrivals at *rate*
+    events/second (a Poisson process)."""
+    if rate <= 0:
+        raise ValueError("rate must be > 0")
+    rng = random.Random(seed)
+    t = 0.0
+    out = []
+    for _ in range(count):
+        t += rng.expovariate(rate)
+        out.append(t)
+    return out
+
+
+def sensor_readings(
+    count: int,
+    *,
+    base: float = 21.0,
+    amplitude: float = 4.0,
+    noise: float = 0.3,
+    period: float = 86400.0,
+    interval: float = 60.0,
+    seed: int = 0,
+) -> Iterator[tuple[float, float]]:
+    """Synthetic ambient-temperature readings (the paper's canonical
+    time-series example): diurnal sinusoid + Gaussian noise, one sample
+    per *interval* seconds."""
+    rng = random.Random(seed)
+    for i in range(count):
+        t = i * interval
+        value = (
+            base
+            + amplitude * math.sin(2 * math.pi * t / period)
+            + rng.gauss(0.0, noise)
+        )
+        yield t, round(value, 3)

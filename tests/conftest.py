@@ -1,0 +1,138 @@
+"""Shared fixtures: deterministic keys, capsules, and mini-GDP networks.
+
+Key generation and signing are real (pure-Python ECDSA), so fixtures are
+cached at session scope wherever reuse is safe; tests that need isolation
+build their own.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.capsule import CapsuleWriter, DataCapsule
+from repro.client import GdpClient, OwnerConsole
+from repro.crypto import SigningKey
+from repro.naming import make_capsule_metadata, make_server_metadata
+from repro.routing import GdpRouter, RoutingDomain
+from repro.server import DataCapsuleServer
+from repro.sim import SimNetwork
+
+
+@pytest.fixture(scope="session")
+def owner_key() -> SigningKey:
+    return SigningKey.from_seed(b"test-owner")
+
+
+@pytest.fixture(scope="session")
+def writer_key() -> SigningKey:
+    return SigningKey.from_seed(b"test-writer")
+
+
+@pytest.fixture(scope="session")
+def other_key() -> SigningKey:
+    return SigningKey.from_seed(b"test-other")
+
+
+@pytest.fixture()
+def capsule_factory(owner_key, writer_key):
+    """Build a fresh, uniquely named capsule with the shared keys."""
+    counter = {"n": 0}
+
+    def build(strategy: str = "chain", mode: str = "ssw") -> DataCapsule:
+        counter["n"] += 1
+        metadata = make_capsule_metadata(
+            owner_key,
+            writer_key.public,
+            pointer_strategy=strategy,
+            writer_mode=mode,
+            extra={"test_nonce": counter["n"]},
+        )
+        return DataCapsule(metadata)
+
+    return build
+
+
+@pytest.fixture()
+def filled_capsule(capsule_factory, writer_key):
+    """A chain capsule with 12 appended records."""
+    capsule = capsule_factory("chain")
+    writer = CapsuleWriter(capsule, writer_key)
+    for i in range(12):
+        writer.append(b"record-%d" % i)
+    return capsule
+
+
+class MiniGdp:
+    """A ready-to-use two-domain GDP: root + edge, two servers, two
+    clients, everything advertised."""
+
+    def __init__(self, seed: int = 11):
+        self.net = SimNetwork(seed=seed)
+        clock = lambda: self.net.sim.now  # noqa: E731
+        self.root_domain = RoutingDomain("global", clock=clock)
+        self.edge_domain = RoutingDomain("global.edge", self.root_domain)
+        self.r_root = GdpRouter(self.net, "r_root", self.root_domain)
+        self.r_edge = GdpRouter(self.net, "r_edge", self.edge_domain)
+        self.net.connect(
+            self.r_edge, self.r_root, latency=0.02, bandwidth=1.25e8
+        )
+        self.edge_domain.attach_to_parent(self.r_edge, self.r_root)
+
+        self.server_root = DataCapsuleServer(self.net, "srv_root")
+        self.server_root.attach(self.r_root)
+        self.server_edge = DataCapsuleServer(self.net, "srv_edge")
+        self.server_edge.attach(self.r_edge)
+
+        self.writer_client = GdpClient(self.net, "writer_client")
+        self.writer_client.attach(self.r_edge)
+        self.reader_client = GdpClient(self.net, "reader_client")
+        self.reader_client.attach(self.r_root)
+
+        self.owner_key = SigningKey.from_seed(b"mini-owner")
+        self.writer_key = SigningKey.from_seed(b"mini-writer")
+        self.console = OwnerConsole(self.writer_client, self.owner_key)
+
+    def run(self, generator, name: str = "test"):
+        """Run a process to completion and return its result."""
+        return self.net.sim.run_process(generator, name)
+
+    def bootstrap(self):
+        """Advertise every endpoint (a process body; run() it or yield
+        from it)."""
+        yield self.server_root.advertise()
+        yield self.server_edge.advertise()
+        yield self.writer_client.advertise()
+        yield self.reader_client.advertise()
+
+    def place(self, strategy: str = "chain", servers=None, **kwargs):
+        """Process body: design + place a capsule; returns metadata."""
+        metadata = self.console.design_capsule(
+            self.writer_key.public, pointer_strategy=strategy, **kwargs
+        )
+        targets = servers or [
+            self.server_root.metadata,
+            self.server_edge.metadata,
+        ]
+        yield from self.console.place_capsule(metadata, targets)
+        yield 0.5  # let re-advertisements land
+        return metadata
+
+
+@pytest.fixture()
+def mini_gdp() -> MiniGdp:
+    return MiniGdp()
+
+
+@pytest.fixture()
+def server_metadata_factory():
+    """Standalone server metadata (for chain tests without a network)."""
+    counter = {"n": 0}
+
+    def build() -> tuple[SigningKey, "object"]:
+        counter["n"] += 1
+        key = SigningKey.from_seed(b"factory-server-%d" % counter["n"])
+        return key, make_server_metadata(
+            key, key.public, extra={"n": counter["n"]}
+        )
+
+    return build

@@ -1,0 +1,155 @@
+"""Secure advertisement: challenge-response, catalog verification."""
+
+import pytest
+
+from repro.client import GdpClient
+from repro.crypto import SigningKey
+from repro.naming import make_client_metadata
+from repro.routing import Endpoint
+from repro.routing.pdu import Pdu, T_ADV_HELLO, T_ADV_RESPONSE
+from repro.server import DataCapsuleServer
+
+
+class TestHonestAdvertisement:
+    def test_client_name_accepted(self, mini_gdp):
+        g = mini_gdp
+
+        def scenario():
+            accepted = yield g.writer_client.advertise()
+            return accepted
+
+        accepted = g.run(scenario())
+        assert accepted == [g.writer_client.name.raw]
+
+    def test_name_installed_in_fib_and_glookup(self, mini_gdp):
+        g = mini_gdp
+        g.run(g.bootstrap())
+        assert g.writer_client.name in g.r_edge.attached
+        assert g.edge_domain.glookup.lookup(g.writer_client.name)
+        # Propagated to the global tier too (no scope restriction).
+        assert g.root_domain.glookup.lookup(g.writer_client.name)
+
+    def test_server_capsule_catalog_accepted(self, mini_gdp):
+        g = mini_gdp
+
+        def scenario():
+            yield from g.bootstrap()
+            metadata = yield from g.place()
+            return metadata
+
+        metadata = g.run(scenario())
+        assert g.root_domain.glookup.lookup(metadata.name)
+
+    def test_readvertisement_extends_catalog(self, mini_gdp):
+        g = mini_gdp
+
+        def scenario():
+            yield from g.bootstrap()
+            first = yield from g.place(extra={"n": 1})
+            second = yield from g.place(extra={"n": 2})
+            return first, second
+
+        first, second = g.run(scenario())
+        for metadata in (first, second):
+            assert g.root_domain.glookup.lookup(metadata.name)
+
+
+class TestMaliciousAdvertisement:
+    def test_name_squatting_rejected(self, mini_gdp):
+        """An endpoint advertising a name whose metadata it can't
+        produce never even gets a challenge it can answer."""
+        g = mini_gdp
+        victim = g.writer_client
+        attacker_key = SigningKey.from_seed(b"attacker")
+        attacker_md = make_client_metadata(attacker_key, extra={"ad": 1})
+
+        class Squatter(Endpoint):
+            pass
+
+        squatter = Squatter(g.net, "squatter", attacker_md, attacker_key)
+        squatter.attach(g.r_root)
+
+        # Forge a hello claiming the victim's name as src with the
+        # attacker's metadata.
+        hello = Pdu(
+            victim.name,
+            g.r_root.name,
+            T_ADV_HELLO,
+            {"metadata": attacker_md.to_wire()},
+        )
+        squatter.send_pdu(hello)
+        g.net.sim.run(until=5.0)
+        # The router must not have installed the victim's name.
+        assert victim.name not in g.r_root.attached
+
+    def test_challenge_signature_required(self, mini_gdp):
+        """Replaying the hello without answering the challenge with the
+        right key installs nothing."""
+        g = mini_gdp
+        attacker_key = SigningKey.from_seed(b"attacker2")
+        attacker_md = make_client_metadata(attacker_key, extra={"ad": 2})
+        wrong_key = SigningKey.from_seed(b"not-attacker")
+
+        class BadSigner(Endpoint):
+            def _on_challenge(self, pdu):
+                from repro.routing.router import ADVERT_DOMAIN_TAG
+
+                nonce = pdu.payload["nonce"]
+                response = Pdu(
+                    self.name,
+                    self.router.name,
+                    T_ADV_RESPONSE,
+                    {
+                        "metadata": self.metadata.to_wire(),
+                        "signature": wrong_key.sign(
+                            ADVERT_DOMAIN_TAG + nonce + self.router.name.raw
+                        ),
+                        "rtcert": None,
+                        "catalog": [],
+                        "expires_at": None,
+                    },
+                )
+                self.send_pdu(response)
+
+        bad = BadSigner(g.net, "badsigner", attacker_md, attacker_key)
+        bad.attach(g.r_root)
+
+        def scenario():
+            try:
+                yield g.net.sim.timeout(bad.advertise(), 5.0, "adv")
+            except Exception:
+                pass
+
+        g.run(scenario())
+        assert attacker_md.name not in g.r_root.attached
+
+    def test_catalog_without_adcert_rejected(self, mini_gdp):
+        """A server advertising a capsule it holds no delegation for
+        gets that catalog entry dropped (its own name still works)."""
+        g = mini_gdp
+        rogue = DataCapsuleServer(g.net, "rogue")
+        rogue.attach(g.r_root)
+
+        def scenario():
+            yield from g.bootstrap()
+            metadata = yield from g.place(servers=[g.server_edge.metadata])
+            # Rogue claims to serve the capsule: it fabricates a chain
+            # naming itself, but the AdCert inside is owner-signed for
+            # the *real* server, so verification fails.
+            real_chain = g.server_edge.hosted[metadata.name].chain
+            forged = {
+                "chain": {
+                    "capsule_metadata": real_chain.capsule_metadata.to_wire(),
+                    "adcert": real_chain.adcert.to_wire(),
+                    "server_metadata": rogue.metadata.to_wire(),
+                }
+            }
+            accepted = yield rogue.advertise([forged])
+            return metadata, accepted
+
+        metadata, accepted = g.run(scenario())
+        assert metadata.name.raw not in accepted
+        assert rogue.name.raw in accepted
+        # GLookup has only the honest replica.
+        entries = g.root_domain.glookup.lookup(metadata.name)
+        assert all(e.principal == g.server_edge.name for e in entries)

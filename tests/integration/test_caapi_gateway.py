@@ -1,0 +1,170 @@
+"""Web gateway CAAPI: legacy HTTP-shaped access to capsules (§VIII)."""
+
+import pytest
+
+from repro.caapi.gateway import GatewayService, LegacyHttpClient
+
+
+@pytest.fixture()
+def gw(mini_gdp):
+    g = mini_gdp
+    gateway = GatewayService(g.net, "gateway")
+    gateway.attach(g.r_root)
+    browser = LegacyHttpClient(g.net, "browser")
+    browser.connect_to(gateway)
+    return g, gateway, browser
+
+
+class TestGatewayReads:
+    def test_get_record(self, gw):
+        g, gateway, browser = gw
+
+        def scenario():
+            yield from g.bootstrap()
+            yield gateway.advertise()
+            metadata = yield from g.place()
+            writer = g.writer_client.open_writer(metadata, g.writer_key)
+            yield from writer.append(b"hello web")
+            yield 1.0
+            reply = yield browser.request(
+                "GET", f"/capsule/{metadata.name.hex()}/record/1"
+            )
+            return reply
+
+        reply = g.run(scenario())
+        assert reply["status"] == 200
+        assert bytes.fromhex(reply["body"]["payload_hex"]) == b"hello web"
+
+    def test_get_latest_and_range(self, gw):
+        g, gateway, browser = gw
+
+        def scenario():
+            yield from g.bootstrap()
+            yield gateway.advertise()
+            metadata = yield from g.place()
+            writer = g.writer_client.open_writer(metadata, g.writer_key)
+            for i in range(4):
+                yield from writer.append(b"r%d" % i)
+            yield 1.0
+            latest = yield browser.request(
+                "GET", f"/capsule/{metadata.name.hex()}/latest"
+            )
+            rng = yield browser.request(
+                "GET", f"/capsule/{metadata.name.hex()}/range/2/4"
+            )
+            return latest, rng
+
+        latest, rng = g.run(scenario())
+        assert latest["body"]["seqno"] == 4
+        assert [r["seqno"] for r in rng["body"]["records"]] == [2, 3, 4]
+
+    def test_get_metadata(self, gw):
+        g, gateway, browser = gw
+
+        def scenario():
+            yield from g.bootstrap()
+            yield gateway.advertise()
+            metadata = yield from g.place()
+            reply = yield browser.request(
+                "GET", f"/capsule/{metadata.name.hex()}/metadata"
+            )
+            return reply
+
+        reply = g.run(scenario())
+        assert reply["status"] == 200
+        assert reply["body"]["kind"] == "gdp.capsule"
+
+    def test_missing_record_is_502(self, gw):
+        g, gateway, browser = gw
+
+        def scenario():
+            yield from g.bootstrap()
+            yield gateway.advertise()
+            metadata = yield from g.place()
+            reply = yield browser.request(
+                "GET", f"/capsule/{metadata.name.hex()}/record/42"
+            )
+            return reply
+
+        reply = g.run(scenario())
+        assert reply["status"] == 502
+
+    def test_unknown_route_is_404(self, gw):
+        g, gateway, browser = gw
+
+        def scenario():
+            yield from g.bootstrap()
+            yield gateway.advertise()
+            reply = yield browser.request("GET", "/not/a/route")
+            return reply
+
+        assert g.run(scenario())["status"] == 404
+
+    def test_gateway_blocks_tampered_data(self, gw):
+        """The gateway verifies proofs before relaying: tampered server
+        state becomes a 502, never a wrong body."""
+        from repro.adversary import StorageTamperer
+
+        g, gateway, browser = gw
+
+        def scenario():
+            yield from g.bootstrap()
+            yield gateway.advertise()
+            metadata = yield from g.place(servers=[g.server_root.metadata])
+            writer = g.writer_client.open_writer(metadata, g.writer_key)
+            yield from writer.append(b"true")
+            StorageTamperer(g.server_root).corrupt_record(metadata.name, 1)
+            reply = yield browser.request(
+                "GET", f"/capsule/{metadata.name.hex()}/record/1"
+            )
+            return reply
+
+        reply = g.run(scenario())
+        assert reply["status"] == 502
+
+
+class TestGatewayWebsocket:
+    def test_subscription_pushes_to_legacy_client(self, gw):
+        g, gateway, browser = gw
+
+        def scenario():
+            yield from g.bootstrap()
+            yield gateway.advertise()
+            metadata = yield from g.place()
+            reply = yield browser.request(
+                "WS", f"/capsule/{metadata.name.hex()}/subscribe"
+            )
+            assert reply["body"]["subscribed"]
+            writer = g.writer_client.open_writer(metadata, g.writer_key)
+            for i in range(3):
+                yield from writer.append(b"live-%d" % i)
+            yield 2.0
+            return True
+
+        g.run(scenario())
+        assert [e["seqno"] for e in browser.events] == [1, 2, 3]
+        assert bytes.fromhex(browser.events[0]["payload_hex"]) == b"live-0"
+
+    def test_two_legacy_clients_share_one_gdp_subscription(self, gw):
+        g, gateway, browser = gw
+        second = LegacyHttpClient(g.net, "browser2")
+        second.connect_to(gateway)
+
+        def scenario():
+            yield from g.bootstrap()
+            yield gateway.advertise()
+            metadata = yield from g.place()
+            yield browser.request(
+                "WS", f"/capsule/{metadata.name.hex()}/subscribe"
+            )
+            yield second.request(
+                "WS", f"/capsule/{metadata.name.hex()}/subscribe"
+            )
+            writer = g.writer_client.open_writer(metadata, g.writer_key)
+            yield from writer.append(b"fanout")
+            yield 2.0
+            return True
+
+        g.run(scenario())
+        assert len(browser.events) == 1
+        assert len(second.events) == 1

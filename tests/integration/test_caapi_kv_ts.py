@@ -1,0 +1,199 @@
+"""Key-value store and time-series CAAPIs."""
+
+import pytest
+
+from repro.caapi import CapsuleKVStore, TimeSeriesLog
+from repro.errors import RecordNotFoundError
+from repro.sim import sensor_readings
+
+
+class TestKVStore:
+    def make(self, g, snapshot_interval=8):
+        return CapsuleKVStore(
+            g.writer_client,
+            g.console,
+            [g.server_edge.metadata],
+            snapshot_interval=snapshot_interval,
+        )
+
+    def test_put_get(self, mini_gdp):
+        g = mini_gdp
+        kv = self.make(g)
+
+        def scenario():
+            yield from g.bootstrap()
+            yield from kv.create()
+            yield from kv.put("temp_limit", 45)
+            yield from kv.put("label", "floor-2")
+            value = yield from kv.get("temp_limit")
+            return value
+
+        assert g.run(scenario()) == 45
+
+    def test_overwrite(self, mini_gdp):
+        g = mini_gdp
+        kv = self.make(g)
+
+        def scenario():
+            yield from g.bootstrap()
+            yield from kv.create()
+            yield from kv.put("k", 1)
+            yield from kv.put("k", 2)
+            return (yield from kv.get("k"))
+
+        assert g.run(scenario()) == 2
+
+    def test_delete(self, mini_gdp):
+        g = mini_gdp
+        kv = self.make(g)
+
+        def scenario():
+            yield from g.bootstrap()
+            yield from kv.create()
+            yield from kv.put("k", 1)
+            yield from kv.delete("k")
+            with pytest.raises(RecordNotFoundError):
+                yield from kv.get("k")
+            return (yield from kv.keys())
+
+        assert g.run(scenario()) == []
+
+    def test_snapshot_and_replay(self, mini_gdp):
+        """Enough puts to cross the snapshot interval; a fresh reader
+        rebuilds from snapshot + tail, not full history."""
+        g = mini_gdp
+        kv = self.make(g, snapshot_interval=6)
+
+        def scenario():
+            yield from g.bootstrap()
+            name = yield from kv.create()
+            for i in range(15):
+                yield from kv.put("k%d" % (i % 5), i)
+            yield 1.0
+            # Fresh reader-side mount.
+            reader_kv = CapsuleKVStore(
+                g.reader_client, g.console, [], snapshot_interval=6
+            )
+            yield from reader_kv.mount(name)
+            view = yield from reader_kv.items()
+            return view
+
+        view = g.run(scenario())
+        assert view == {"k0": 10, "k1": 11, "k2": 12, "k3": 13, "k4": 14}
+
+    def test_items_consistent_with_writer_view(self, mini_gdp):
+        g = mini_gdp
+        kv = self.make(g)
+
+        def scenario():
+            yield from g.bootstrap()
+            yield from kv.create()
+            yield from kv.put("a", [1, 2])
+            yield from kv.put("b", {"nested": True})
+            yield from kv.delete("a")
+            return (yield from kv.items())
+
+        assert g.run(scenario()) == {"b": {"nested": True}}
+
+
+class TestTimeSeries:
+    def make(self, g):
+        return TimeSeriesLog(
+            g.writer_client, g.console, [g.server_edge.metadata]
+        )
+
+    def test_record_and_last(self, mini_gdp):
+        g = mini_gdp
+        ts = self.make(g)
+
+        def scenario():
+            yield from g.bootstrap()
+            yield from ts.create()
+            for t, v in sensor_readings(5, interval=60.0, seed=1):
+                yield from ts.record(t, v)
+            sample = yield from ts.last_sample()
+            return sample
+
+        sample = g.run(scenario())
+        assert sample.seqno == 5
+        assert sample.timestamp == pytest.approx(4 * 60.0)
+
+    def test_window_query(self, mini_gdp):
+        g = mini_gdp
+        ts = self.make(g)
+
+        def scenario():
+            yield from g.bootstrap()
+            yield from ts.create()
+            for i in range(12):
+                yield from ts.record(i * 10.0, 20.0 + i)
+            samples = yield from ts.window(35.0, 75.0)
+            return [(s.timestamp, s.value) for s in samples]
+
+        samples = g.run(scenario())
+        assert samples == [(40.0, 24.0), (50.0, 25.0), (60.0, 26.0), (70.0, 27.0)]
+
+    def test_window_outside_range_empty(self, mini_gdp):
+        g = mini_gdp
+        ts = self.make(g)
+
+        def scenario():
+            yield from g.bootstrap()
+            yield from ts.create()
+            yield from ts.record(10.0, 21.0)
+            return (yield from ts.window(100.0, 200.0))
+
+        assert g.run(scenario()) == []
+
+    def test_aggregate(self, mini_gdp):
+        g = mini_gdp
+        ts = self.make(g)
+
+        def scenario():
+            yield from g.bootstrap()
+            yield from ts.create()
+            for i in range(6):
+                yield from ts.record(float(i), float(i))
+            return (yield from ts.aggregate(1.0, 4.0))
+
+        count, vmin, vmax, mean = g.run(scenario())
+        assert (count, vmin, vmax) == (4, 1.0, 4.0)
+        assert mean == pytest.approx(2.5)
+
+    def test_tail_subscription(self, mini_gdp):
+        g = mini_gdp
+        ts = self.make(g)
+        live = []
+
+        def scenario():
+            yield from g.bootstrap()
+            name = yield from ts.create()
+            reader_ts = TimeSeriesLog(g.reader_client, g.console, [])
+            yield from reader_ts.mount(name)
+            yield from reader_ts.tail(lambda s: live.append(s.value))
+            for i in range(4):
+                yield from ts.record(float(i), 30.0 + i)
+            yield 2.0
+            return True
+
+        g.run(scenario())
+        assert live == [30.0, 31.0, 32.0, 33.0]
+
+    def test_time_shift_replay(self, mini_gdp):
+        """A reader that arrives later replays the full verified
+        history (the paper's time-shift property)."""
+        g = mini_gdp
+        ts = self.make(g)
+
+        def scenario():
+            yield from g.bootstrap()
+            name = yield from ts.create()
+            for i in range(6):
+                yield from ts.record(float(i), 20.0 + i)
+            yield 1.0
+            late = TimeSeriesLog(g.reader_client, g.console, [])
+            yield from late.mount(name)
+            samples = yield from late.window(0.0, 100.0)
+            return [s.value for s in samples]
+
+        assert g.run(scenario()) == [20.0, 21.0, 22.0, 23.0, 24.0, 25.0]

@@ -1,0 +1,25 @@
+"""The CLI: selfcheck, version, inventory."""
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_version(self, capsys):
+        assert main(["version"]) == 0
+        assert "repro 1.0.0" in capsys.readouterr().out
+
+    def test_selfcheck_passes(self, capsys):
+        assert main(["selfcheck"]) == 0
+        out = capsys.readouterr().out
+        assert "selfcheck: PASS" in out
+        assert "[FAIL]" not in out
+
+    def test_inventory(self, capsys):
+        assert main(["inventory"]) == 0
+        out = capsys.readouterr().out
+        assert "repro.capsule" in out
+        assert "repro.routing" in out
+
+    def test_no_command_prints_help(self, capsys):
+        assert main([]) == 0
+        assert "selfcheck" in capsys.readouterr().out

@@ -1,0 +1,161 @@
+"""GdpClient edge cases and rejection paths."""
+
+import pytest
+
+from repro.client import GdpClient
+from repro.errors import CapsuleError, GdpError, WriterStateError
+
+
+class TestClientRejections:
+    def test_open_writer_wrong_key(self, mini_gdp):
+        from repro.crypto import SigningKey
+
+        g = mini_gdp
+        metadata = g.console.design_capsule(g.writer_key.public)
+        with pytest.raises(WriterStateError):
+            g.writer_client.open_writer(
+                metadata, SigningKey.from_seed(b"not-the-writer")
+            )
+
+    def test_open_writer_qsw_mode_selected_by_metadata(self, mini_gdp):
+        from repro.capsule import QuasiWriter
+
+        g = mini_gdp
+        metadata = g.console.design_capsule(
+            g.writer_key.public, writer_mode="qsw"
+        )
+        handle = g.writer_client.open_writer(metadata, g.writer_key)
+        assert isinstance(handle.writer, QuasiWriter)
+
+    def test_writer_state_persists_across_client_restart(
+        self, mini_gdp, tmp_path
+    ):
+        g = mini_gdp
+        state_path = str(tmp_path / "writer.state")
+
+        def scenario():
+            yield from g.bootstrap()
+            metadata = yield from g.place()
+            writer = g.writer_client.open_writer(
+                metadata, g.writer_key, state_path=state_path
+            )
+            yield from writer.append(b"one")
+            yield from writer.append(b"two")
+            # 'Restart': a fresh handle loading the same state file.
+            reborn = g.writer_client.open_writer(
+                metadata, g.writer_key, state_path=state_path
+            )
+            record, _ = yield from reborn.append(b"three")
+            return record.seqno
+
+        assert g.run(scenario()) == 3
+
+    def test_metadata_for_wrong_name_rejected(self, mini_gdp):
+        """A server answering the metadata op with a *different*
+        capsule's metadata is caught by the reader's self-certification
+        check."""
+        g = mini_gdp
+
+        def scenario():
+            yield from g.bootstrap()
+            genuine = yield from g.place(extra={"which": "genuine"})
+            decoy = yield from g.place(extra={"which": "decoy"})
+            # Corrupt the edge server: make it claim the decoy's
+            # metadata under the genuine name.
+            hosted = g.server_edge.hosted[genuine.name]
+            hosted.capsule.metadata = decoy  # hostile swap
+            with pytest.raises(GdpError):
+                yield from g.writer_client.read_latest(genuine.name)
+            return True
+
+        assert g.run(scenario())
+
+    def test_two_capsules_do_not_cross_talk(self, mini_gdp):
+        g = mini_gdp
+
+        def scenario():
+            yield from g.bootstrap()
+            md_a = yield from g.place(extra={"t": "a"})
+            md_b = yield from g.place(extra={"t": "b"})
+            writer_a = g.writer_client.open_writer(md_a, g.writer_key)
+            writer_b = g.writer_client.open_writer(md_b, g.writer_key)
+            yield from writer_a.append(b"for-a")
+            yield from writer_b.append(b"for-b")
+            yield 1.0
+            rec_a = yield from g.reader_client.read(md_a.name, 1)
+            rec_b = yield from g.reader_client.read(md_b.name, 1)
+            return rec_a.payload, rec_b.payload
+
+        assert g.run(scenario()) == (b"for-a", b"for-b")
+
+    def test_reader_cache_avoids_refetching_metadata(self, mini_gdp):
+        g = mini_gdp
+
+        def scenario():
+            yield from g.bootstrap()
+            metadata = yield from g.place(servers=[g.server_edge.metadata])
+            writer = g.writer_client.open_writer(metadata, g.writer_key)
+            yield from writer.append(b"x")
+            yield from writer.append(b"y")
+            yield from g.reader_client.read(metadata.name, 1)
+            reads_after_first = g.server_edge.stats["reads"]
+            yield from g.reader_client.read(metadata.name, 2)
+            # Second read: exactly one more server read op (no second
+            # metadata fetch round-trip).
+            return g.server_edge.stats["reads"] - reads_after_first
+
+        assert g.run(scenario()) == 1
+
+
+class TestKvStoreEdgeCases:
+    def test_full_replay_fallback_without_snapshot(self, mini_gdp):
+        """Fewer writes than the snapshot interval: readers replay from
+        record 1 (the fallback path)."""
+        from repro.caapi import CapsuleKVStore
+
+        g = mini_gdp
+        kv = CapsuleKVStore(
+            g.writer_client, g.console, [g.server_edge.metadata],
+            snapshot_interval=64,
+        )
+
+        def scenario():
+            yield from g.bootstrap()
+            name = yield from kv.create()
+            yield from kv.put("a", 1)
+            yield from kv.put("b", 2)
+            yield 0.5
+            reader_kv = CapsuleKVStore(
+                g.reader_client, g.console, [], snapshot_interval=64
+            )
+            yield from reader_kv.mount(name)
+            return (yield from reader_kv.items())
+
+        assert g.run(scenario()) == {"a": 1, "b": 2}
+
+    def test_reads_before_create_rejected(self, mini_gdp):
+        from repro.caapi import CapsuleKVStore
+
+        g = mini_gdp
+        kv = CapsuleKVStore(g.writer_client, g.console, [])
+        with pytest.raises(CapsuleError):
+            kv.name  # noqa: B018 — the property raise is the assertion
+
+    def test_mounted_store_cannot_write(self, mini_gdp):
+        from repro.caapi import CapsuleKVStore
+
+        g = mini_gdp
+
+        def scenario():
+            yield from g.bootstrap()
+            kv = CapsuleKVStore(
+                g.writer_client, g.console, [g.server_edge.metadata]
+            )
+            name = yield from kv.create()
+            reader_kv = CapsuleKVStore(g.reader_client, g.console, [])
+            yield from reader_kv.mount(name)
+            with pytest.raises(CapsuleError):
+                yield from reader_kv.put("x", 1)
+            return True
+
+        assert g.run(scenario())

@@ -1,0 +1,143 @@
+"""The DHT-backed global GLookupService tier."""
+
+import pytest
+
+from repro.crypto import SigningKey
+from repro.naming import GdpName
+from repro.routing import GdpRouter, RoutingDomain
+from repro.routing.dht import KademliaDht
+from repro.routing.dht_glookup import DhtGLookupService
+from repro.server import DataCapsuleServer
+from repro.client import GdpClient, OwnerConsole
+from repro.sim import GBPS, SimNetwork
+
+
+def dht_name(i: int) -> GdpName:
+    return GdpName.derive("dhtgl.node", i)
+
+
+@pytest.fixture()
+def dht_world():
+    """A two-domain GDP whose *root* GLookupService is DHT-backed."""
+    net = SimNetwork(seed=31)
+    clock = lambda: net.sim.now  # noqa: E731
+    dht = KademliaDht(k=4)
+    for i in range(16):
+        dht.join(dht_name(i))
+
+    root = RoutingDomain("global", clock=clock)
+    # Swap the root's storage for the DHT-backed implementation.
+    root.glookup = DhtGLookupService(
+        "global", dht, dht_name(0), clock=clock
+    )
+    edge = RoutingDomain("global.edge", root)
+    r_root = GdpRouter(net, "r_root", root)
+    r_edge = GdpRouter(net, "r_edge", edge)
+    net.connect(r_edge, r_root, latency=0.02, bandwidth=GBPS)
+    edge.attach_to_parent(r_edge, r_root)
+
+    server = DataCapsuleServer(net, "srv_edge")
+    server.attach(r_edge)
+    writer_client = GdpClient(net, "writerc")
+    writer_client.attach(r_edge)
+    reader_client = GdpClient(net, "readerc")
+    reader_client.attach(r_root)
+    owner = SigningKey.from_seed(b"dht-owner")
+    writer_key = SigningKey.from_seed(b"dht-writer")
+    console = OwnerConsole(writer_client, owner)
+    return locals()
+
+
+class TestDhtBackedGlobalTier:
+    def test_advertisement_lands_in_dht(self, dht_world):
+        w = dht_world
+        net = w["net"]
+
+        def scenario():
+            for endpoint in (w["server"], w["writer_client"], w["reader_client"]):
+                yield endpoint.advertise()
+            return True
+
+        net.sim.run_process(scenario())
+        # Names attached in the edge domain propagated into the DHT tier.
+        entries = w["root"].glookup.lookup(w["server"].name)
+        assert len(entries) == 1
+        assert entries[0].via_child == "global.edge"
+        # And are spread across DHT nodes.
+        holders = sum(
+            1
+            for node in w["dht"].nodes.values()
+            if w["server"].name in node.store and node.store[w["server"].name]
+        )
+        assert holders >= 2
+
+    def test_cross_domain_read_through_dht_tier(self, dht_world):
+        w = dht_world
+        net = w["net"]
+
+        def scenario():
+            for endpoint in (w["server"], w["writer_client"], w["reader_client"]):
+                yield endpoint.advertise()
+            metadata = w["console"].design_capsule(w["writer_key"].public)
+            yield from w["console"].place_capsule(
+                metadata, [w["server"].metadata]
+            )
+            yield 0.5
+            writer = w["writer_client"].open_writer(metadata, w["writer_key"])
+            yield from writer.append(b"via-dht")
+            record = yield from w["reader_client"].read(metadata.name, 1)
+            return record.payload
+
+        assert net.sim.run_process(scenario()) == b"via-dht"
+
+    def test_forged_dht_value_skipped(self, dht_world):
+        """A malicious DHT node hands back garbage and a forged entry;
+        resolution skips both and the verified route still wins."""
+        w = dht_world
+        net = w["net"]
+
+        def scenario():
+            for endpoint in (w["server"], w["writer_client"], w["reader_client"]):
+                yield endpoint.advertise()
+            metadata = w["console"].design_capsule(w["writer_key"].public)
+            yield from w["console"].place_capsule(
+                metadata, [w["server"].metadata]
+            )
+            yield 0.5
+            writer = w["writer_client"].open_writer(metadata, w["writer_key"])
+            yield from writer.append(b"still-true")
+            # Poison every DHT replica holding the capsule key with junk.
+            for node in w["dht"].nodes.values():
+                if metadata.name in node.store:
+                    node.store[metadata.name].insert(0, {"garbage": True})
+            for router in (w["r_root"], w["r_edge"]):
+                router.flush_fib()
+            record = yield from w["reader_client"].read(metadata.name, 1)
+            return record.payload
+
+        assert net.sim.run_process(scenario()) == b"still-true"
+
+    def test_unregister_removes_from_dht(self, dht_world):
+        w = dht_world
+        net = w["net"]
+
+        def scenario():
+            yield w["server"].advertise()
+            return True
+
+        net.sim.run_process(scenario())
+        assert w["root"].glookup.lookup(w["server"].name)
+        w["root"].glookup.unregister(w["server"].name, w["server"].name)
+        assert w["root"].glookup.lookup(w["server"].name) == []
+
+    def test_wire_roundtrip_preserves_verification(self, dht_world):
+        w = dht_world
+        net = w["net"]
+
+        def scenario():
+            yield w["server"].advertise()
+            return True
+
+        net.sim.run_process(scenario())
+        for entry in w["root"].glookup.lookup(w["server"].name):
+            entry.verify(now=net.sim.now)  # survived the DHT round trip

@@ -1,0 +1,44 @@
+"""Every shipped example must run to completion (they double as
+end-to-end acceptance tests)."""
+
+import importlib.util
+import os
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(
+    os.path.dirname(__file__), os.pardir, os.pardir, "examples"
+)
+
+
+def run_example(filename: str) -> None:
+    path = os.path.abspath(os.path.join(EXAMPLES_DIR, filename))
+    spec = importlib.util.spec_from_file_location(
+        "example_" + filename.replace(".py", ""), path
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+        module.main()
+    finally:
+        sys.modules.pop(spec.name, None)
+
+
+@pytest.mark.parametrize(
+    "filename",
+    [
+        "quickstart.py",
+        "factory_robots.py",
+        "sensor_timeseries.py",
+        "video_stream.py",
+        "federated_network.py",
+        "shared_ledger.py",
+    ],
+)
+def test_example_runs(filename, capsys):
+    run_example(filename)
+    out = capsys.readouterr().out
+    assert "done at simulated t=" in out
+    assert "must not happen" not in out

@@ -1,0 +1,149 @@
+"""Quasi-single-writer recovery over the network (§VI-C).
+
+The unit tests cover QSW branch mechanics in isolation; these scenarios
+run the full stack: a writer crashes losing local state, recovers by
+fetching a tip from a *replica* (which may be stale), continues
+appending, and readers across the federation observe a branched-but-
+convergent capsule with strong-eventual semantics.
+"""
+
+import pytest
+
+from repro.capsule.branches import branch_points, resolve_linearization
+from repro.errors import EquivocationError, GdpError
+
+
+class TestNetworkedQswRecovery:
+    def test_recovery_from_fresh_replica_is_linear(self, mini_gdp):
+        """If the replica had everything, recovery produces no branch."""
+        g = mini_gdp
+
+        def scenario():
+            yield from g.bootstrap()
+            metadata = yield from g.place(
+                servers=[g.server_edge.metadata], writer_mode="qsw"
+            )
+            writer = g.writer_client.open_writer(metadata, g.writer_key)
+            for i in range(3):
+                yield from writer.append(b"pre-%d" % i)
+            yield 0.5
+            # Writer 'crashes'; a new handle with no state recovers by
+            # reading the replica's tip.
+            reborn = g.writer_client.open_writer(metadata, g.writer_key)
+            tip = yield from g.writer_client.read_latest(metadata.name)
+            reborn.writer.capsule.insert(tip, enforce_strategy=False)
+            reborn.writer.resume_from_tip(tip)
+            yield from reborn.append(b"post-recovery")
+            yield 0.5
+            return metadata
+
+        metadata = g.run(scenario())
+        capsule = g.server_edge.hosted[metadata.name].capsule
+        assert capsule.last_seqno == 4
+        assert not capsule.is_branched()
+        assert capsule.verify_history() == 4
+
+    def test_recovery_from_stale_replica_branches_and_converges(self, mini_gdp):
+        """Recovery from a replica missing the newest appends creates a
+        branch; every replica converges to the same branched state and
+        all replicas linearize it identically."""
+        g = mini_gdp
+        link = g.r_edge.link_to(g.r_root)
+
+        def scenario():
+            yield from g.bootstrap()
+            metadata = yield from g.place(writer_mode="qsw")
+            writer = g.writer_client.open_writer(metadata, g.writer_key)
+            yield from writer.append(b"shared-1")
+            yield 1.0  # both replicas have record 1
+            link.fail()
+            yield from writer.append(b"edge-only-2")  # never reaches root
+            yield 0.2
+            link.recover()
+            g.r_edge.flush_fib()
+            g.r_root.flush_fib()
+            # The writer crashes; the recovery client sits at the ROOT
+            # and resumes from the stale root replica (tip = record 1).
+            recovery = g.reader_client.open_writer(metadata, g.writer_key)
+            tip = yield from g.reader_client.read_latest(metadata.name)
+            assert tip.seqno == 1  # the stale view
+            recovery.writer.capsule.insert(tip, enforce_strategy=False)
+            recovery.writer.resume_from_tip(tip)
+            yield from recovery.append(b"root-branch-2")
+            yield 1.0
+            # Anti-entropy round both ways to converge.
+            from repro.server.replication import sync_once
+
+            yield from sync_once(
+                g.server_root, metadata.name, g.server_edge.name
+            )
+            yield from sync_once(
+                g.server_edge, metadata.name, g.server_root.name
+            )
+            return metadata
+
+        metadata = g.run(scenario())
+        edge_capsule = g.server_edge.hosted[metadata.name].capsule
+        root_capsule = g.server_root.hosted[metadata.name].capsule
+        # Converged record sets.
+        assert edge_capsule.state_summary() == root_capsule.state_summary()
+        # The branch is visible...
+        assert edge_capsule.is_branched()
+        assert len(branch_points(edge_capsule)) == 1
+        assert len(edge_capsule.get_all(2)) == 2
+        # ...and both replicas linearize identically (strong eventual).
+        lin_edge = [r.digest for r in resolve_linearization(edge_capsule)]
+        lin_root = [r.digest for r in resolve_linearization(root_capsule)]
+        assert lin_edge == lin_root
+
+    def test_same_scenario_on_ssw_capsule_is_equivocation(self, mini_gdp):
+        """The identical recovery on an SSW capsule is *rejected*: the
+        replica refuses the conflicting record as equivocation."""
+        g = mini_gdp
+        link = g.r_edge.link_to(g.r_root)
+
+        def scenario():
+            yield from g.bootstrap()
+            metadata = yield from g.place()  # default: ssw
+            writer = g.writer_client.open_writer(metadata, g.writer_key)
+            yield from writer.append(b"shared-1")
+            yield 1.0
+            link.fail()
+            yield from writer.append(b"edge-only-2")
+            yield 0.2
+            link.recover()
+            g.r_edge.flush_fib()
+            g.r_root.flush_fib()
+            # Rogue recovery writes a conflicting record 2 via the root.
+            from repro.capsule import QuasiWriter  # noqa: F401 (doc)
+
+            recovery = g.reader_client.open_writer(metadata, g.writer_key)
+            tip = yield from g.reader_client.read_latest(metadata.name)
+            recovery.writer.capsule.insert(tip, enforce_strategy=False)
+            # SSW writers have no resume API; emulate a writer that
+            # rebuilt state by hand and try to push the fork.
+            recovery.writer.state.last_seqno = tip.seqno
+            recovery.writer.state.digests = {tip.seqno: tip.digest}
+            record, heartbeat = recovery.writer.append(b"conflicting-2")
+            # Deliver it to the edge replica, which already holds the
+            # genuine record 2: the server must refuse.
+            reply = yield g.reader_client.rpc(
+                g.server_edge.name,
+                {
+                    "op": "append",
+                    "capsule": metadata.name.raw,
+                    "record": record.to_wire(),
+                    "heartbeat": heartbeat.to_wire(),
+                    "acks": "any",
+                },
+            )
+            body = reply.get("body", reply)
+            return metadata, body
+
+        metadata, body = g.run(scenario())
+        assert not body.get("ok")
+        assert "Equivocation" in body.get("error", "")
+        # The honest history is intact.
+        capsule = g.server_edge.hosted[metadata.name].capsule
+        assert not capsule.is_branched()
+        assert capsule.get(2).payload == b"edge-only-2"

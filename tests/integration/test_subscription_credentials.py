@@ -1,0 +1,135 @@
+"""Restricted subscriptions: SubGrant credentials (§VII fn. 9)."""
+
+import pytest
+
+from repro.delegation import SubGrant
+from repro.errors import CapsuleError
+
+
+class TestRestrictedSubscriptions:
+    def place_restricted(self, g):
+        metadata = g.console.design_capsule(
+            g.writer_key.public, extra={"restricted_subscribe": True}
+        )
+
+        def body():
+            yield from g.console.place_capsule(
+                metadata, [g.server_edge.metadata]
+            )
+            yield 0.5
+            return metadata
+
+        return body()
+
+    def test_unauthorized_subscribe_rejected(self, mini_gdp):
+        g = mini_gdp
+
+        def scenario():
+            yield from g.bootstrap()
+            metadata = yield from self.place_restricted(g)
+            with pytest.raises(CapsuleError):
+                yield from g.reader_client.subscribe(
+                    metadata.name, lambda r, h: None
+                )
+            return metadata
+
+        metadata = g.run(scenario())
+        assert g.server_edge.hosted[metadata.name].subscribers == set()
+
+    def test_granted_subscriber_receives_pushes(self, mini_gdp):
+        g = mini_gdp
+        received = []
+
+        def scenario():
+            yield from g.bootstrap()
+            metadata = yield from self.place_restricted(g)
+            grant = SubGrant.issue(
+                g.owner_key, metadata.name, g.reader_client.name
+            )
+            yield from g.reader_client.subscribe(
+                metadata.name,
+                lambda r, h: received.append(r.seqno),
+                subgrant=grant,
+            )
+            writer = g.writer_client.open_writer(metadata, g.writer_key)
+            yield from writer.append(b"restricted-data")
+            yield 2.0
+            return True
+
+        g.run(scenario())
+        assert received == [1]
+
+    def test_grant_for_other_subscriber_rejected(self, mini_gdp):
+        """A credential issued to someone else cannot be replayed."""
+        g = mini_gdp
+
+        def scenario():
+            yield from g.bootstrap()
+            metadata = yield from self.place_restricted(g)
+            grant = SubGrant.issue(
+                g.owner_key, metadata.name, g.writer_client.name  # not reader!
+            )
+            with pytest.raises(CapsuleError):
+                yield from g.reader_client.subscribe(
+                    metadata.name, lambda r, h: None, subgrant=grant
+                )
+            return True
+
+        assert g.run(scenario())
+
+    def test_expired_grant_rejected(self, mini_gdp):
+        g = mini_gdp
+
+        def scenario():
+            yield from g.bootstrap()
+            metadata = yield from self.place_restricted(g)
+            grant = SubGrant.issue(
+                g.owner_key, metadata.name, g.reader_client.name,
+                expires_at=g.net.sim.now - 1.0,
+            )
+            with pytest.raises(CapsuleError):
+                yield from g.reader_client.subscribe(
+                    metadata.name, lambda r, h: None, subgrant=grant
+                )
+            return True
+
+        assert g.run(scenario())
+
+    def test_forged_grant_rejected(self, mini_gdp):
+        """A grant signed by a non-owner is worthless."""
+        from repro.crypto import SigningKey
+
+        g = mini_gdp
+
+        def scenario():
+            yield from g.bootstrap()
+            metadata = yield from self.place_restricted(g)
+            mallory = SigningKey.from_seed(b"mallory-sub")
+            grant = SubGrant.issue(
+                mallory, metadata.name, g.reader_client.name
+            )
+            with pytest.raises(CapsuleError):
+                yield from g.reader_client.subscribe(
+                    metadata.name, lambda r, h: None, subgrant=grant
+                )
+            return True
+
+        assert g.run(scenario())
+
+    def test_unrestricted_capsules_unaffected(self, mini_gdp):
+        g = mini_gdp
+        received = []
+
+        def scenario():
+            yield from g.bootstrap()
+            metadata = yield from g.place()
+            yield from g.reader_client.subscribe(
+                metadata.name, lambda r, h: received.append(r.seqno)
+            )
+            writer = g.writer_client.open_writer(metadata, g.writer_key)
+            yield from writer.append(b"open")
+            yield 2.0
+            return True
+
+        g.run(scenario())
+        assert received == [1]

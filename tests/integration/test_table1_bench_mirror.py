@@ -1,0 +1,19 @@
+"""Mirror of the Table I bench inside the test suite, so `pytest tests/`
+alone exercises the full requirements matrix (the benchmark variant adds
+timing; this one is the pass/fail gate)."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(
+    0, str(Path(__file__).resolve().parents[2] / "benchmarks")
+)
+
+from test_table1_requirements import run_matrix  # noqa: E402
+
+
+def test_requirements_matrix_all_pass():
+    results = run_matrix()
+    failed = [req for req, _, ok in results if not ok]
+    assert not failed, f"requirements failed: {failed}"
+    assert len(results) == 8

@@ -1,0 +1,119 @@
+"""Property tests: the capsule replica state is a CRDT (§V-A), and
+linearization is deterministic."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.capsule import CapsuleWriter, DataCapsule
+from repro.capsule.branches import resolve_linearization
+from repro.crypto import SigningKey
+from repro.naming import make_capsule_metadata
+
+_OWNER = SigningKey.from_seed(b"crdt-owner")
+_WRITER = SigningKey.from_seed(b"crdt-writer")
+
+
+@pytest.fixture(scope="module")
+def history():
+    """A fixed 14-record history (records + heartbeats), built once —
+    hypothesis then permutes/subsets it."""
+    metadata = make_capsule_metadata(
+        _OWNER, _WRITER.public, extra={"crdt": "props"}
+    )
+    capsule = DataCapsule(metadata)
+    writer = CapsuleWriter(capsule, _WRITER)
+    pairs = [writer.append(b"rec-%d" % i) for i in range(14)]
+    return metadata, pairs
+
+
+def fresh(metadata) -> DataCapsule:
+    return DataCapsule(metadata, verify_metadata=False)
+
+
+def fill(metadata, pairs, indices) -> DataCapsule:
+    capsule = fresh(metadata)
+    for index in indices:
+        record, heartbeat = pairs[index]
+        capsule.insert(record, heartbeat, enforce_strategy=False)
+    return capsule
+
+
+class TestCrdtLaws:
+    @given(st.permutations(range(14)))
+    @settings(max_examples=40, deadline=None)
+    def test_insertion_order_irrelevant(self, history, order):
+        metadata, pairs = history
+        capsule = fill(metadata, pairs, order)
+        assert capsule.seqnos() == list(range(1, 15))
+        assert capsule.verify_history() == 14
+
+    @given(
+        st.sets(st.integers(0, 13), max_size=14),
+        st.sets(st.integers(0, 13), max_size=14),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_merge_commutative(self, history, idx_a, idx_b):
+        metadata, pairs = history
+        a1 = fill(metadata, pairs, sorted(idx_a))
+        b1 = fill(metadata, pairs, sorted(idx_b))
+        a2 = fill(metadata, pairs, sorted(idx_a))
+        b2 = fill(metadata, pairs, sorted(idx_b))
+        a1.merge_from(b1)
+        b2.merge_from(a2)
+        assert a1.state_summary() == b2.state_summary()
+
+    @given(
+        st.sets(st.integers(0, 13), max_size=14),
+        st.sets(st.integers(0, 13), max_size=14),
+        st.sets(st.integers(0, 13), max_size=14),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_merge_associative(self, history, idx_a, idx_b, idx_c):
+        metadata, pairs = history
+        # (a ⊔ b) ⊔ c
+        left = fill(metadata, pairs, sorted(idx_a))
+        ab = fill(metadata, pairs, sorted(idx_b))
+        left.merge_from(ab)
+        left.merge_from(fill(metadata, pairs, sorted(idx_c)))
+        # a ⊔ (b ⊔ c)
+        right = fill(metadata, pairs, sorted(idx_a))
+        bc = fill(metadata, pairs, sorted(idx_b))
+        bc.merge_from(fill(metadata, pairs, sorted(idx_c)))
+        right.merge_from(bc)
+        assert left.state_summary() == right.state_summary()
+
+    @given(st.sets(st.integers(0, 13), max_size=14))
+    @settings(max_examples=40, deadline=None)
+    def test_merge_idempotent(self, history, indices):
+        metadata, pairs = history
+        capsule = fill(metadata, pairs, sorted(indices))
+        before = capsule.state_summary()
+        assert capsule.merge_from(capsule.clone()) == 0
+        assert capsule.state_summary() == before
+
+    @given(
+        st.sets(st.integers(0, 13), max_size=14),
+        st.sets(st.integers(0, 13), max_size=14),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_merge_monotone(self, history, idx_a, idx_b):
+        """Merging never loses records (join moves up the lattice)."""
+        metadata, pairs = history
+        a = fill(metadata, pairs, sorted(idx_a))
+        before = set(a.seqnos())
+        a.merge_from(fill(metadata, pairs, sorted(idx_b)))
+        assert before <= set(a.seqnos())
+        assert set(a.seqnos()) == {i + 1 for i in idx_a | idx_b}
+
+
+class TestLinearizationDeterminism:
+    @given(st.permutations(range(14)))
+    @settings(max_examples=30, deadline=None)
+    def test_same_records_same_linearization(self, history, order):
+        metadata, pairs = history
+        reference = fill(metadata, pairs, range(14))
+        shuffled = fill(metadata, pairs, order)
+        ref_lin = [r.digest for r in resolve_linearization(reference)]
+        shuf_lin = [r.digest for r in resolve_linearization(shuffled)]
+        assert ref_lin == shuf_lin

@@ -1,0 +1,107 @@
+"""Property tests over the crypto substrate."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import MerkleTree, SigningKey, chacha
+from repro.crypto import ec
+
+
+# One fixed key pair: keygen is the expensive part, the properties are
+# about messages.
+_KEY = SigningKey.from_seed(b"prop-key")
+_OTHER = SigningKey.from_seed(b"prop-other")
+
+
+class TestEcdsaProperties:
+    @given(st.binary(max_size=256))
+    @settings(max_examples=20, deadline=None)
+    def test_sign_verify_roundtrip(self, message):
+        assert _KEY.public.verify(message, _KEY.sign(message))
+
+    @given(st.binary(min_size=1, max_size=64), st.integers(0, 63))
+    @settings(max_examples=20, deadline=None)
+    def test_any_bitflip_breaks_signature(self, message, byte_index):
+        signature = bytearray(_KEY.sign(message))
+        signature[byte_index % 64] ^= 0x01
+        assert not _KEY.public.verify(message, bytes(signature))
+
+    @given(st.binary(max_size=64))
+    @settings(max_examples=15, deadline=None)
+    def test_wrong_key_never_verifies(self, message):
+        assert not _OTHER.public.verify(message, _KEY.sign(message))
+
+
+class TestPointProperties:
+    @given(st.integers(min_value=1, max_value=ec.N - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_scalar_points_on_curve(self, k):
+        assert ec.is_on_curve(ec.scalar_mult(k, ec.GENERATOR))
+
+    @given(st.integers(min_value=1, max_value=ec.N - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_point_encoding_roundtrip(self, k):
+        point = ec.scalar_mult(k, ec.GENERATOR)
+        assert ec.decode_point(ec.encode_point(point)) == point
+
+
+class TestChaChaProperties:
+    @given(st.binary(max_size=2048), st.binary(min_size=32, max_size=32),
+           st.binary(min_size=12, max_size=12))
+    @settings(max_examples=50, deadline=None)
+    def test_xor_involution(self, data, key, nonce):
+        once = chacha.chacha20_xor(key, nonce, data)
+        assert chacha.chacha20_xor(key, nonce, once) == data
+        assert len(once) == len(data)
+
+    @given(st.binary(max_size=512), st.binary(min_size=32, max_size=32),
+           st.binary(max_size=32))
+    @settings(max_examples=50, deadline=None)
+    def test_seal_open_roundtrip(self, plaintext, key, aad):
+        assert chacha.open_sealed(key, chacha.seal(key, plaintext, aad), aad) == plaintext
+
+    @given(st.binary(max_size=128), st.binary(min_size=32, max_size=32),
+           st.integers(min_value=0, max_value=200))
+    @settings(max_examples=50, deadline=None)
+    def test_seal_tamper_always_detected(self, plaintext, key, position):
+        import pytest
+
+        from repro.errors import IntegrityError
+
+        sealed = bytearray(chacha.seal(key, plaintext))
+        sealed[position % len(sealed)] ^= 0x01
+        with pytest.raises(IntegrityError):
+            chacha.open_sealed(key, bytes(sealed))
+
+
+class TestMerkleProperties:
+    @given(st.lists(st.binary(max_size=16), min_size=1, max_size=40))
+    @settings(max_examples=60, deadline=None)
+    def test_every_leaf_provable(self, leaves):
+        tree = MerkleTree(leaves)
+        root = tree.root()
+        for index, leaf in enumerate(leaves):
+            tree.prove(index).verify(leaf, root)
+
+    @given(st.lists(st.binary(max_size=8), min_size=2, max_size=30),
+           st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_wrong_leaf_never_verifies(self, leaves, data):
+        import pytest
+
+        from repro.errors import IntegrityError
+
+        tree = MerkleTree(leaves)
+        index = data.draw(st.integers(0, len(leaves) - 1))
+        forged = leaves[index] + b"!"
+        with pytest.raises(IntegrityError):
+            tree.prove(index).verify(forged, tree.root())
+
+    @given(st.lists(st.binary(max_size=8), min_size=1, max_size=30))
+    @settings(max_examples=40, deadline=None)
+    def test_append_preserves_prefix_roots(self, leaves):
+        tree = MerkleTree(leaves)
+        roots = [tree.root(size) for size in range(len(leaves) + 1)]
+        tree.append(b"new")
+        for size, root in enumerate(roots):
+            assert tree.root(size) == root

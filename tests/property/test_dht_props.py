@@ -1,0 +1,44 @@
+"""Property tests: the DHT stores and finds everything, from anywhere."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.naming import GdpName
+from repro.routing.dht import build_dht
+
+
+def name(tag, i):
+    return GdpName.derive("prop.dht." + tag, i)
+
+
+@pytest.fixture(scope="module")
+def dht():
+    return build_dht([name("node", i) for i in range(48)], k=8)
+
+
+class TestDhtProperties:
+    @given(st.integers(0, 10_000), st.integers(0, 47), st.integers(0, 47))
+    @settings(max_examples=60, deadline=None)
+    def test_put_then_get_from_anywhere(self, dht, key_id, via_put, via_get):
+        key = name("key", key_id)
+        value = f"value-{key_id}"
+        dht.put(name("node", via_put), key, value)
+        assert value in dht.get(name("node", via_get), key)
+
+    @given(st.integers(100_000, 200_000), st.integers(0, 47))
+    @settings(max_examples=40, deadline=None)
+    def test_missing_keys_return_empty(self, dht, key_id, via):
+        # A key namespace nothing ever writes into.
+        key = name("never-stored", key_id)
+        assert dht.get(name("node", via), key) == []
+
+    @given(st.integers(0, 5_000))
+    @settings(max_examples=30, deadline=None)
+    def test_replication_spreads_values(self, dht, key_id):
+        key = name("rep", key_id)
+        stored = dht.put(name("node", key_id % 48), key, "replica")
+        holders = sum(
+            1 for node in dht.nodes.values() if key in node.store
+        )
+        assert holders == stored >= 2

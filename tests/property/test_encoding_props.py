@@ -1,0 +1,65 @@
+"""Property tests: the canonical encoding is a total injective
+round-trippable function on its value domain."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import encoding
+
+# The wire value domain: None/bool/int/bytes/str, lists, str-keyed dicts.
+wire_values = st.recursive(
+    st.none()
+    | st.booleans()
+    | st.integers(min_value=-(2**100), max_value=2**100)
+    | st.binary(max_size=64)
+    | st.text(max_size=32),
+    lambda children: st.lists(children, max_size=6)
+    | st.dictionaries(st.text(max_size=8), children, max_size=6),
+    max_leaves=25,
+)
+
+
+class TestEncodingProperties:
+    @given(wire_values)
+    @settings(max_examples=300)
+    def test_roundtrip(self, value):
+        assert encoding.decode(encoding.encode(value)) == value
+
+    @given(wire_values, wire_values)
+    @settings(max_examples=300)
+    def test_injective(self, a, b):
+        if encoding.encode(a) == encoding.encode(b):
+            assert a == b
+
+    @given(wire_values)
+    @settings(max_examples=200)
+    def test_deterministic(self, value):
+        assert encoding.encode(value) == encoding.encode(value)
+
+    @given(st.binary(max_size=80))
+    @settings(max_examples=300)
+    def test_decode_total(self, garbage):
+        """decode either returns a value that re-encodes to the exact
+        input, or raises EncodingError — never anything else."""
+        from repro.errors import EncodingError
+
+        try:
+            value = encoding.decode(garbage)
+        except EncodingError:
+            return
+        assert encoding.encode(value) == garbage
+
+    @given(st.integers(min_value=0, max_value=2**63 - 1))
+    @settings(max_examples=200)
+    def test_uvarint_roundtrip(self, value):
+        data = encoding.encode_uvarint(value)
+        decoded, end = encoding.decode_uvarint(data)
+        assert decoded == value and end == len(data)
+
+    @given(st.dictionaries(st.text(max_size=6), st.integers(), max_size=8))
+    @settings(max_examples=150)
+    def test_dict_insertion_order_irrelevant(self, mapping):
+        items = list(mapping.items())
+        forward = dict(items)
+        backward = dict(reversed(items))
+        assert encoding.encode(forward) == encoding.encode(backward)

@@ -1,0 +1,100 @@
+"""Property tests: pointer strategies obey their structural contract,
+and the writer's retention rule never drops a digest that is still
+needed."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.capsule.hashptr import (
+    ChainStrategy,
+    CheckpointStrategy,
+    SkipListStrategy,
+    StreamStrategy,
+    get_strategy,
+)
+
+strategies = st.one_of(
+    st.just(ChainStrategy()),
+    st.integers(1, 8).map(SkipListStrategy),
+    st.integers(2, 32).map(CheckpointStrategy),
+    st.integers(2, 8).map(StreamStrategy),
+)
+
+
+class TestStructuralContract:
+    @given(strategies, st.integers(1, 5000))
+    @settings(max_examples=300)
+    def test_targets_are_past_sorted_unique(self, strategy, seqno):
+        targets = strategy.targets(seqno)
+        assert targets, "every record points somewhere"
+        assert all(0 <= t < seqno for t in targets)
+        assert targets == sorted(set(targets), reverse=True)
+
+    @given(strategies, st.integers(1, 5000))
+    @settings(max_examples=300)
+    def test_predecessor_always_included(self, strategy, seqno):
+        assert seqno - 1 in strategy.targets(seqno)
+
+    @given(strategies, st.integers(1, 300))
+    @settings(max_examples=100)
+    def test_spec_roundtrips(self, strategy, seqno):
+        clone = get_strategy(strategy.spec)
+        assert clone.targets(seqno) == strategy.targets(seqno)
+
+
+class TestRetentionSoundness:
+    @given(strategies, st.integers(1, 400))
+    @settings(max_examples=150)
+    def test_retention_covers_future_targets(self, strategy, last):
+        """Everything any future record (within a horizon) will point to
+        must be retained at `last`."""
+        horizon = 80
+        needed = {
+            target
+            for future in range(last + 1, last + horizon)
+            for target in strategy.targets(future)
+            if 1 <= target <= last
+        }
+        kept = {
+            target
+            for target in range(1, last + 1)
+            if strategy.still_needed(target, last)
+        }
+        assert needed <= kept
+
+    @given(strategies, st.integers(1, 400))
+    @settings(max_examples=100)
+    def test_retention_bounded(self, strategy, last):
+        """Retention must not keep (almost) everything — the writer
+        state stays logarithmic/constant, not linear."""
+        kept = sum(
+            1 for target in range(1, last + 1)
+            if strategy.still_needed(target, last)
+        )
+        import math
+
+        bound = 2 * math.log2(last + 2) + 34  # generous constant
+        assert kept <= bound
+
+
+class TestConnectivity:
+    @given(strategies, st.integers(2, 400), st.integers(1, 399))
+    @settings(max_examples=150)
+    def test_greedy_descent_reaches_any_target(self, strategy, top, goal):
+        """From any record, greedily following the best pointer reaches
+        any earlier seqno — the invariant position proofs rely on."""
+        if goal >= top:
+            goal = top - 1
+        if goal < 1:
+            return
+        current = top
+        hops = 0
+        while current > goal:
+            candidates = [
+                t for t in strategy.targets(current) if t >= goal
+            ]
+            assert candidates, f"stuck at {current} aiming for {goal}"
+            current = min(candidates)
+            hops += 1
+            assert hops <= top, "descent must terminate"
+        assert current == goal

@@ -1,0 +1,86 @@
+"""Anycast replica ranking."""
+
+import pytest
+
+from repro.crypto import SigningKey
+from repro.naming import make_server_metadata
+from repro.routing import GdpRouter, RoutingDomain
+from repro.routing.anycast import rank_entries, select_entry
+from repro.routing.glookup import RouteEntry
+from repro.sim import SimNetwork
+
+
+@pytest.fixture()
+def fabric():
+    net = SimNetwork(seed=6)
+    clock = lambda: net.sim.now  # noqa: E731
+    domain = RoutingDomain("global", clock=clock)
+    r0 = GdpRouter(net, "r0", domain)
+    r1 = GdpRouter(net, "r1", domain)
+    r2 = GdpRouter(net, "r2", domain)
+    net.connect(r0, r1, latency=0.001, bandwidth=1e8)
+    net.connect(r1, r2, latency=0.001, bandwidth=1e8)
+    return domain, r0, r1, r2
+
+
+def make_entry(n: int, *, router=None, via_child=None) -> RouteEntry:
+    key = SigningKey.from_seed(b"anycast-%d" % n)
+    metadata = make_server_metadata(key, key.public, extra={"n": n})
+    return RouteEntry(
+        metadata.name,
+        router=router,
+        via_child=via_child,
+        principal=metadata.name,
+        principal_metadata=metadata,
+        rtcert=None,
+        chain=None,
+        router_metadata=None,
+    )
+
+
+class TestRanking:
+    def test_own_attachment_wins(self, fabric):
+        domain, r0, r1, r2 = fabric
+        local = make_entry(1, router=r0.name)
+        far = make_entry(2, router=r2.name)
+        assert select_entry(r0, [far, local]) is local
+
+    def test_nearest_router_wins(self, fabric):
+        domain, r0, r1, r2 = fabric
+        near = make_entry(1, router=r1.name)
+        far = make_entry(2, router=r2.name)
+        assert select_entry(r0, [far, near]) is near
+
+    def test_intra_domain_beats_child(self, fabric):
+        domain, r0, r1, r2 = fabric
+        RoutingDomain("global.sub", domain)
+        in_domain = make_entry(1, router=r2.name)
+        below = make_entry(2, via_child="global.sub")
+        assert select_entry(r0, [below, in_domain]) is in_domain
+
+    def test_child_entry_usable(self, fabric):
+        domain, r0, r1, r2 = fabric
+        below = make_entry(1, via_child="global.sub")
+        assert select_entry(r0, [below]) is below
+
+    def test_unknown_router_ranked_last(self, fabric):
+        domain, r0, r1, r2 = fabric
+        # An attachment router that is not (or no longer) in the domain.
+        departed_router_name = make_entry(99, router=r1.name).principal
+        ghost = make_entry(1, router=departed_router_name)
+        usable = make_entry(2, router=r1.name)
+        ranked = rank_entries(r0, [ghost, usable])
+        assert ranked[0] is usable
+        assert select_entry(r0, [ghost]) is None
+
+    def test_empty_entries(self, fabric):
+        domain, r0, *_ = fabric
+        assert select_entry(r0, []) is None
+
+    def test_deterministic_tiebreak(self, fabric):
+        domain, r0, r1, r2 = fabric
+        a = make_entry(1, router=r1.name)
+        b = make_entry(2, router=r1.name)
+        first = select_entry(r0, [a, b])
+        second = select_entry(r0, [b, a])
+        assert first is second or first.principal == second.principal

@@ -1,0 +1,56 @@
+"""AuditedLog seqno arithmetic and summary parsing (no network)."""
+
+import pytest
+
+from repro import encoding
+from repro.caapi.audit import AuditedLog, _SUMMARY_PREFIX, _parse_summary
+
+
+class TestSeqnoArithmetic:
+    @pytest.mark.parametrize(
+        "entry,interval,expected",
+        [
+            (1, 4, 1), (2, 4, 2), (4, 4, 4),
+            (5, 4, 6),   # after summary at capsule seqno 5
+            (8, 4, 9),
+            (9, 4, 11),  # after summaries at 5 and 10
+            (1, 16, 1), (16, 16, 16), (17, 16, 18),
+        ],
+    )
+    def test_data_seqno(self, entry, interval, expected):
+        assert AuditedLog.data_seqno(entry, interval) == expected
+
+    @pytest.mark.parametrize(
+        "summary,interval,expected",
+        [(1, 4, 5), (2, 4, 10), (1, 16, 17), (3, 2, 9)],
+    )
+    def test_summary_seqno(self, summary, interval, expected):
+        assert AuditedLog.summary_seqno(summary, interval) == expected
+
+    def test_layout_is_consistent(self):
+        """Data seqnos and summary seqnos interleave without collision
+        and cover exactly 1..N for any prefix."""
+        interval = 4
+        seqnos = set()
+        for entry in range(1, 21):
+            seqnos.add(AuditedLog.data_seqno(entry, interval))
+        for summary in range(1, 6):
+            seqnos.add(AuditedLog.summary_seqno(summary, interval))
+        assert seqnos == set(range(1, 26))
+
+
+class TestSummaryParsing:
+    def test_roundtrip(self):
+        payload = _SUMMARY_PREFIX + encoding.encode(
+            {"count": 8, "root": b"\x01" * 32}
+        )
+        summary = _parse_summary(payload)
+        assert summary == {"count": 8, "root": b"\x01" * 32}
+
+    def test_data_records_return_none(self):
+        assert _parse_summary(b"ordinary data") is None
+        assert _parse_summary(b"") is None
+
+    def test_prefix_collision_resistant(self):
+        # A data payload merely *containing* the prefix is not a summary.
+        assert _parse_summary(b"x" + _SUMMARY_PREFIX) is None

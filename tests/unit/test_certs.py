@@ -1,0 +1,141 @@
+"""AdCerts, RtCerts, organization memberships."""
+
+import pytest
+
+from repro.delegation import AdCert, OrgMembership, RtCert
+from repro.errors import DelegationError
+from repro.naming import GdpName
+
+CAPSULE = GdpName(b"\x01" * 32)
+SERVER = GdpName(b"\x02" * 32)
+ROUTER = GdpName(b"\x03" * 32)
+ORG = GdpName(b"\x04" * 32)
+
+
+class TestAdCert:
+    def test_issue_and_verify(self, owner_key):
+        cert = AdCert.issue(owner_key, CAPSULE, SERVER)
+        cert.verify(owner_key.public, capsule=CAPSULE, delegate=SERVER)
+
+    def test_wrong_issuer_rejected(self, owner_key, other_key):
+        cert = AdCert.issue(owner_key, CAPSULE, SERVER)
+        with pytest.raises(DelegationError):
+            cert.verify(other_key.public)
+
+    def test_wrong_capsule_binding_rejected(self, owner_key):
+        cert = AdCert.issue(owner_key, CAPSULE, SERVER)
+        with pytest.raises(DelegationError):
+            cert.verify(owner_key.public, capsule=SERVER)
+
+    def test_wrong_delegate_binding_rejected(self, owner_key):
+        cert = AdCert.issue(owner_key, CAPSULE, SERVER)
+        with pytest.raises(DelegationError):
+            cert.verify(owner_key.public, delegate=ROUTER)
+
+    def test_expiry_enforced(self, owner_key):
+        cert = AdCert.issue(owner_key, CAPSULE, SERVER, expires_at=100.0)
+        cert.verify(owner_key.public, now=99.0)
+        with pytest.raises(DelegationError):
+            cert.verify(owner_key.public, now=101.0)
+
+    def test_no_expiry_never_expires(self, owner_key):
+        cert = AdCert.issue(owner_key, CAPSULE, SERVER)
+        cert.verify(owner_key.public, now=1e12)
+
+    def test_tampered_scopes_rejected(self, owner_key):
+        cert = AdCert.issue(owner_key, CAPSULE, SERVER, scopes=["global.a"])
+        tampered = AdCert(
+            cert.capsule, cert.delegate, ["global.b"], cert.expires_at,
+            cert.signature,
+        )
+        with pytest.raises(DelegationError):
+            tampered.verify(owner_key.public)
+
+    def test_wire_roundtrip(self, owner_key):
+        cert = AdCert.issue(
+            owner_key, CAPSULE, SERVER, scopes=["global.x"], expires_at=500.0
+        )
+        restored = AdCert.from_wire(cert.to_wire())
+        restored.verify(owner_key.public, now=499.0)
+        assert restored.scopes == ("global.x",)
+
+    def test_malformed_wire_rejected(self):
+        with pytest.raises(DelegationError):
+            AdCert.from_wire({"capsule": b"short"})
+
+
+class TestScopePolicy:
+    def test_empty_scopes_allow_everything(self, owner_key):
+        cert = AdCert.issue(owner_key, CAPSULE, SERVER)
+        assert cert.allows_domain("global")
+        assert cert.allows_domain("anything.at.all")
+
+    def test_exact_match(self, owner_key):
+        cert = AdCert.issue(owner_key, CAPSULE, SERVER, scopes=["global.factory"])
+        assert cert.allows_domain("global.factory")
+
+    def test_subtree_match(self, owner_key):
+        cert = AdCert.issue(owner_key, CAPSULE, SERVER, scopes=["global.factory"])
+        assert cert.allows_domain("global.factory.floor2")
+
+    def test_outside_scope_denied(self, owner_key):
+        cert = AdCert.issue(owner_key, CAPSULE, SERVER, scopes=["global.factory"])
+        assert not cert.allows_domain("global")
+        assert not cert.allows_domain("global.cloud")
+
+    def test_no_prefix_confusion(self, owner_key):
+        cert = AdCert.issue(owner_key, CAPSULE, SERVER, scopes=["global.fac"])
+        assert not cert.allows_domain("global.factory")
+
+    def test_multiple_scopes(self, owner_key):
+        cert = AdCert.issue(
+            owner_key, CAPSULE, SERVER, scopes=["global.a", "global.b"]
+        )
+        assert cert.allows_domain("global.a")
+        assert cert.allows_domain("global.b.sub")
+        assert not cert.allows_domain("global.c")
+
+
+class TestRtCert:
+    def test_issue_and_verify(self, other_key):
+        cert = RtCert.issue(other_key, SERVER, ROUTER)
+        cert.verify(other_key.public, router=ROUTER)
+
+    def test_wrong_router_binding_rejected(self, other_key):
+        cert = RtCert.issue(other_key, SERVER, ROUTER)
+        with pytest.raises(DelegationError):
+            cert.verify(other_key.public, router=SERVER)
+
+    def test_wrong_key_rejected(self, other_key, writer_key):
+        cert = RtCert.issue(other_key, SERVER, ROUTER)
+        with pytest.raises(DelegationError):
+            cert.verify(writer_key.public)
+
+    def test_expiry(self, other_key):
+        cert = RtCert.issue(other_key, SERVER, ROUTER, expires_at=10.0)
+        with pytest.raises(DelegationError):
+            cert.verify(other_key.public, now=10.5)
+
+    def test_wire_roundtrip(self, other_key):
+        cert = RtCert.issue(other_key, SERVER, ROUTER, expires_at=10.0)
+        RtCert.from_wire(cert.to_wire()).verify(other_key.public, now=5.0)
+
+
+class TestOrgMembership:
+    def test_issue_and_verify(self, owner_key):
+        membership = OrgMembership.issue(owner_key, ORG, SERVER)
+        membership.verify(owner_key.public, member=SERVER)
+
+    def test_wrong_member_rejected(self, owner_key):
+        membership = OrgMembership.issue(owner_key, ORG, SERVER)
+        with pytest.raises(DelegationError):
+            membership.verify(owner_key.public, member=ROUTER)
+
+    def test_expiry(self, owner_key):
+        membership = OrgMembership.issue(owner_key, ORG, SERVER, expires_at=5.0)
+        with pytest.raises(DelegationError):
+            membership.verify(owner_key.public, now=6.0)
+
+    def test_wire_roundtrip(self, owner_key):
+        membership = OrgMembership.issue(owner_key, ORG, SERVER)
+        OrgMembership.from_wire(membership.to_wire()).verify(owner_key.public)

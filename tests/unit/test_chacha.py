@@ -1,0 +1,97 @@
+"""ChaCha20 + seal/open: RFC 7539 vector and tamper rejection."""
+
+import pytest
+
+from repro.crypto import chacha
+from repro.errors import IntegrityError
+
+
+class TestChaCha20:
+    def test_rfc7539_keystream_vector(self):
+        # RFC 7539 §2.4.2 test vector.
+        key = bytes(range(32))
+        nonce = bytes.fromhex("000000000000004a00000000")
+        plaintext = (
+            b"Ladies and Gentlemen of the class of '99: If I could offer you "
+            b"only one tip for the future, sunscreen would be it."
+        )
+        ciphertext = chacha.chacha20_xor(key, nonce, plaintext, counter=1)
+        assert ciphertext[:32] == bytes.fromhex(
+            "6e2e359a2568f98041ba0728dd0d6981"
+            "e97e7aec1d4360c20a27afccfd9fae0b"
+        )
+        assert ciphertext[-2:] == bytes.fromhex("874d")
+        assert len(ciphertext) == len(plaintext)
+
+    def test_xor_is_involution(self):
+        key, nonce = b"\x01" * 32, b"\x02" * 12
+        data = b"some payload" * 100
+        once = chacha.chacha20_xor(key, nonce, data)
+        assert chacha.chacha20_xor(key, nonce, once) == data
+
+    def test_different_nonce_different_stream(self):
+        key = b"\x01" * 32
+        a = chacha.chacha20_xor(key, b"\x00" * 12, b"\x00" * 64)
+        b = chacha.chacha20_xor(key, b"\x01" + b"\x00" * 11, b"\x00" * 64)
+        assert a != b
+
+    def test_different_key_different_stream(self):
+        nonce = b"\x00" * 12
+        a = chacha.chacha20_xor(b"\x01" * 32, nonce, b"\x00" * 64)
+        b = chacha.chacha20_xor(b"\x02" * 32, nonce, b"\x00" * 64)
+        assert a != b
+
+    def test_empty_input(self):
+        assert chacha.chacha20_xor(b"\x01" * 32, b"\x00" * 12, b"") == b""
+
+    def test_bad_key_length(self):
+        with pytest.raises(ValueError):
+            chacha.chacha20_xor(b"short", b"\x00" * 12, b"x")
+
+    def test_bad_nonce_length(self):
+        with pytest.raises(ValueError):
+            chacha.chacha20_xor(b"\x01" * 32, b"short", b"x")
+
+
+class TestSeal:
+    def test_roundtrip(self):
+        key = b"\x07" * 32
+        sealed = chacha.seal(key, b"secret data", b"context")
+        assert chacha.open_sealed(key, sealed, b"context") == b"secret data"
+
+    def test_fresh_nonce_per_seal(self):
+        key = b"\x07" * 32
+        assert chacha.seal(key, b"x") != chacha.seal(key, b"x")
+
+    def test_tampered_ciphertext_rejected(self):
+        key = b"\x07" * 32
+        sealed = bytearray(chacha.seal(key, b"secret"))
+        sealed[chacha.NONCE_LEN] ^= 0x01
+        with pytest.raises(IntegrityError):
+            chacha.open_sealed(key, bytes(sealed))
+
+    def test_tampered_mac_rejected(self):
+        key = b"\x07" * 32
+        sealed = bytearray(chacha.seal(key, b"secret"))
+        sealed[-1] ^= 0x01
+        with pytest.raises(IntegrityError):
+            chacha.open_sealed(key, bytes(sealed))
+
+    def test_wrong_associated_data_rejected(self):
+        key = b"\x07" * 32
+        sealed = chacha.seal(key, b"secret", b"slot-5")
+        with pytest.raises(IntegrityError):
+            chacha.open_sealed(key, sealed, b"slot-6")
+
+    def test_wrong_key_rejected(self):
+        sealed = chacha.seal(b"\x07" * 32, b"secret")
+        with pytest.raises(IntegrityError):
+            chacha.open_sealed(b"\x08" * 32, sealed)
+
+    def test_too_short_blob_rejected(self):
+        with pytest.raises(IntegrityError):
+            chacha.open_sealed(b"\x07" * 32, b"tiny")
+
+    def test_empty_plaintext(self):
+        key = b"\x07" * 32
+        assert chacha.open_sealed(key, chacha.seal(key, b"")) == b""

@@ -1,0 +1,202 @@
+"""Delegation-chain verification: direct, via organization, routing."""
+
+import pytest
+
+from repro.crypto import SigningKey
+from repro.delegation import (
+    AdCert,
+    OrgMembership,
+    RtCert,
+    ServiceChain,
+    verify_routing_chain,
+    verify_service_chain,
+)
+from repro.errors import DelegationError
+from repro.naming import (
+    make_capsule_metadata,
+    make_organization_metadata,
+    make_router_metadata,
+    make_server_metadata,
+)
+
+
+@pytest.fixture(scope="module")
+def world():
+    """Owner, writer, server, org, router identities + metadata."""
+    owner = SigningKey.from_seed(b"chain-owner")
+    writer = SigningKey.from_seed(b"chain-writer")
+    server = SigningKey.from_seed(b"chain-server")
+    org = SigningKey.from_seed(b"chain-org")
+    router = SigningKey.from_seed(b"chain-router")
+    return {
+        "owner": owner,
+        "writer": writer,
+        "server": server,
+        "org": org,
+        "router": router,
+        "capsule_md": make_capsule_metadata(owner, writer.public),
+        "server_md": make_server_metadata(server, server.public),
+        "org_md": make_organization_metadata(org),
+        "router_md": make_router_metadata(router, router.public),
+    }
+
+
+def direct_chain(world, **adcert_kwargs) -> ServiceChain:
+    adcert = AdCert.issue(
+        world["owner"],
+        world["capsule_md"].name,
+        world["server_md"].name,
+        **adcert_kwargs,
+    )
+    return ServiceChain(world["capsule_md"], adcert, world["server_md"])
+
+
+def org_chain(world) -> ServiceChain:
+    adcert = AdCert.issue(
+        world["owner"], world["capsule_md"].name, world["org_md"].name
+    )
+    membership = OrgMembership.issue(
+        world["org"], world["org_md"].name, world["server_md"].name
+    )
+    return ServiceChain(
+        world["capsule_md"], adcert, world["server_md"],
+        world["org_md"], membership,
+    )
+
+
+class TestDirectChain:
+    def test_valid(self, world):
+        verify_service_chain(direct_chain(world))
+
+    def test_wrong_server_rejected(self, world):
+        other_server = SigningKey.from_seed(b"imposter")
+        imposter_md = make_server_metadata(other_server, other_server.public)
+        adcert = AdCert.issue(
+            world["owner"], world["capsule_md"].name, world["server_md"].name
+        )
+        chain = ServiceChain(world["capsule_md"], adcert, imposter_md)
+        with pytest.raises(DelegationError):
+            verify_service_chain(chain)
+
+    def test_adcert_for_other_capsule_rejected(self, world):
+        other_md = make_capsule_metadata(
+            world["owner"], world["writer"].public, extra={"n": 2}
+        )
+        adcert = AdCert.issue(
+            world["owner"], other_md.name, world["server_md"].name
+        )
+        chain = ServiceChain(world["capsule_md"], adcert, world["server_md"])
+        with pytest.raises(DelegationError):
+            verify_service_chain(chain)
+
+    def test_adcert_not_from_owner_rejected(self, world):
+        impostor = SigningKey.from_seed(b"not-the-owner")
+        adcert = AdCert.issue(
+            impostor, world["capsule_md"].name, world["server_md"].name
+        )
+        chain = ServiceChain(world["capsule_md"], adcert, world["server_md"])
+        with pytest.raises(DelegationError):
+            verify_service_chain(chain)
+
+    def test_expired_rejected(self, world):
+        chain = direct_chain(world, expires_at=50.0)
+        verify_service_chain(chain, now=49.0)
+        with pytest.raises(DelegationError):
+            verify_service_chain(chain, now=51.0)
+
+    def test_spurious_membership_rejected(self, world):
+        chain = direct_chain(world)
+        chain.membership = OrgMembership.issue(
+            world["org"], world["org_md"].name, world["server_md"].name
+        )
+        with pytest.raises(DelegationError):
+            verify_service_chain(chain)
+
+    def test_wire_roundtrip(self, world):
+        chain = direct_chain(world)
+        restored = ServiceChain.from_wire(chain.to_wire())
+        verify_service_chain(restored)
+        assert restored.capsule == chain.capsule
+
+
+class TestOrgChain:
+    def test_valid(self, world):
+        verify_service_chain(org_chain(world))
+
+    def test_missing_membership_rejected(self, world):
+        chain = org_chain(world)
+        chain.membership = None
+        with pytest.raises(DelegationError):
+            verify_service_chain(chain)
+
+    def test_membership_from_wrong_org_rejected(self, world):
+        rogue_org = SigningKey.from_seed(b"rogue-org")
+        chain = org_chain(world)
+        chain.membership = OrgMembership.issue(
+            rogue_org, world["org_md"].name, world["server_md"].name
+        )
+        with pytest.raises(DelegationError):
+            verify_service_chain(chain)
+
+    def test_membership_for_other_server_rejected(self, world):
+        outsider = SigningKey.from_seed(b"outsider")
+        outsider_md = make_server_metadata(outsider, outsider.public)
+        adcert = AdCert.issue(
+            world["owner"], world["capsule_md"].name, world["org_md"].name
+        )
+        membership = OrgMembership.issue(
+            world["org"], world["org_md"].name, world["server_md"].name
+        )
+        chain = ServiceChain(
+            world["capsule_md"], adcert, outsider_md,
+            world["org_md"], membership,
+        )
+        with pytest.raises(DelegationError):
+            verify_service_chain(chain)
+
+    def test_org_wire_roundtrip(self, world):
+        restored = ServiceChain.from_wire(org_chain(world).to_wire())
+        verify_service_chain(restored)
+
+
+class TestRoutingChain:
+    def test_valid(self, world):
+        chain = direct_chain(world)
+        rtcert = RtCert.issue(
+            world["server"], world["server_md"].name, world["router_md"].name
+        )
+        verify_routing_chain(chain, rtcert, world["router_md"])
+
+    def test_rtcert_not_from_server_rejected(self, world):
+        chain = direct_chain(world)
+        rtcert = RtCert.issue(
+            world["owner"], world["server_md"].name, world["router_md"].name
+        )
+        with pytest.raises(DelegationError):
+            verify_routing_chain(chain, rtcert, world["router_md"])
+
+    def test_rtcert_for_other_principal_rejected(self, world):
+        chain = direct_chain(world)
+        rtcert = RtCert.issue(
+            world["server"], world["router_md"].name, world["router_md"].name
+        )
+        with pytest.raises(DelegationError):
+            verify_routing_chain(chain, rtcert, world["router_md"])
+
+    def test_wrong_router_metadata_rejected(self, world):
+        chain = direct_chain(world)
+        rtcert = RtCert.issue(
+            world["server"], world["server_md"].name, world["router_md"].name
+        )
+        other_router = SigningKey.from_seed(b"other-router")
+        other_md = make_router_metadata(other_router, other_router.public)
+        with pytest.raises(DelegationError):
+            verify_routing_chain(chain, rtcert, other_md)
+
+    def test_non_router_leaf_rejected(self, world):
+        chain = direct_chain(world)
+        rtcert = RtCert.issue(
+            world["server"], world["server_md"].name, world["server_md"].name
+        )
+        with pytest.raises(DelegationError):
+            verify_routing_chain(chain, rtcert, world["server_md"])

@@ -1,0 +1,113 @@
+"""Routing domains: hierarchy, intra-domain paths, inter-domain hops."""
+
+import pytest
+
+from repro.errors import RoutingError
+from repro.routing import GdpRouter, RoutingDomain
+from repro.sim import SimNetwork
+
+
+@pytest.fixture()
+def fabric():
+    """global(bb) <- site0(r0a - r0b - r0c chain), site1(r1a)."""
+    net = SimNetwork(seed=2)
+    clock = lambda: net.sim.now  # noqa: E731
+    root = RoutingDomain("global", clock=clock)
+    site0 = RoutingDomain("global.site0", root)
+    site1 = RoutingDomain("global.site1", root)
+    bb = GdpRouter(net, "bb", root)
+    r0a = GdpRouter(net, "r0a", site0)
+    r0b = GdpRouter(net, "r0b", site0)
+    r0c = GdpRouter(net, "r0c", site0)
+    r1a = GdpRouter(net, "r1a", site1)
+    net.connect(r0a, r0b, latency=0.001, bandwidth=1e8)
+    net.connect(r0b, r0c, latency=0.001, bandwidth=1e8)
+    net.connect(r0a, bb, latency=0.01, bandwidth=1e8)
+    net.connect(r1a, bb, latency=0.01, bandwidth=1e8)
+    site0.attach_to_parent(r0a, bb)
+    site1.attach_to_parent(r1a, bb)
+    return {
+        "net": net, "root": root, "site0": site0, "site1": site1,
+        "bb": bb, "r0a": r0a, "r0b": r0b, "r0c": r0c, "r1a": r1a,
+    }
+
+
+class TestHierarchyConstruction:
+    def test_child_must_nest_name(self, fabric):
+        with pytest.raises(RoutingError):
+            RoutingDomain("elsewhere", fabric["root"])
+
+    def test_children_registered(self, fabric):
+        assert set(fabric["root"].children) == {
+            "global.site0", "global.site1"
+        }
+
+    def test_glookup_parent_linked(self, fabric):
+        assert fabric["site0"].glookup.parent is fabric["root"].glookup
+
+    def test_attach_requires_physical_link(self, fabric):
+        net = fabric["net"]
+        orphan_domain = RoutingDomain("global.site2", fabric["root"])
+        orphan = GdpRouter(net, "orphan", orphan_domain)
+        with pytest.raises(RoutingError):
+            orphan_domain.attach_to_parent(orphan, fabric["bb"])
+
+    def test_attach_validates_membership(self, fabric):
+        with pytest.raises(RoutingError):
+            fabric["site0"].attach_to_parent(fabric["r1a"], fabric["bb"])
+
+    def test_ancestry(self, fabric):
+        chain = fabric["site0"].ancestry()
+        assert [d.name for d in chain] == ["global.site0", "global"]
+
+
+class TestIntraDomainPaths:
+    def test_direct_neighbor(self, fabric):
+        hop = fabric["site0"].next_hop_to_router(fabric["r0a"], fabric["r0b"])
+        assert hop is fabric["r0b"]
+
+    def test_multi_hop(self, fabric):
+        hop = fabric["site0"].next_hop_to_router(fabric["r0a"], fabric["r0c"])
+        assert hop is fabric["r0b"]
+
+    def test_self_path(self, fabric):
+        hop = fabric["site0"].next_hop_to_router(fabric["r0a"], fabric["r0a"])
+        assert hop is fabric["r0a"]
+
+    def test_does_not_cross_domains(self, fabric):
+        """Intra-domain BFS must not route through the backbone."""
+        with pytest.raises(RoutingError):
+            fabric["site0"].next_hop_to_router(fabric["r0a"], fabric["r1a"])
+
+    def test_hop_distance(self, fabric):
+        assert fabric["site0"].hop_distance(fabric["r0a"], fabric["r0c"]) == 2
+        assert fabric["site0"].hop_distance(fabric["r0b"], fabric["r0b"]) == 0
+
+    def test_cache_invalidation_on_new_link(self, fabric):
+        site0 = fabric["site0"]
+        assert site0.hop_distance(fabric["r0a"], fabric["r0c"]) == 2
+        fabric["net"].connect(
+            fabric["r0a"], fabric["r0c"], latency=0.001, bandwidth=1e8
+        )
+        site0.invalidate_routes()
+        assert site0.next_hop_to_router(fabric["r0a"], fabric["r0c"]) is fabric["r0c"]
+
+
+class TestInterDomainHops:
+    def test_upward_from_gateway(self, fabric):
+        assert fabric["site0"].next_hop_upward(fabric["r0a"]) is fabric["bb"]
+
+    def test_upward_from_interior(self, fabric):
+        assert fabric["site0"].next_hop_upward(fabric["r0c"]) is fabric["r0b"]
+
+    def test_upward_without_attachment_rejected(self, fabric):
+        with pytest.raises(RoutingError):
+            fabric["root"].next_hop_upward(fabric["bb"])
+
+    def test_downward_to_child(self, fabric):
+        hop = fabric["root"].next_hop_to_child(fabric["bb"], "global.site0")
+        assert hop is fabric["r0a"]
+
+    def test_downward_unknown_child_rejected(self, fabric):
+        with pytest.raises(RoutingError):
+            fabric["root"].next_hop_to_child(fabric["bb"], "global.nowhere")

@@ -1,0 +1,42 @@
+"""Ack policies (§VI-B)."""
+
+import pytest
+
+from repro.errors import DurabilityError
+from repro.server.durability import ALL, ANY, QUORUM, AckPolicy
+
+
+class TestAckPolicy:
+    def test_any(self):
+        assert ANY.required_acks(1) == 1
+        assert ANY.required_acks(5) == 1
+
+    @pytest.mark.parametrize(
+        "replicas,expected", [(1, 1), (2, 2), (3, 2), (4, 3), (5, 3), (7, 4)]
+    )
+    def test_quorum(self, replicas, expected):
+        assert QUORUM.required_acks(replicas) == expected
+
+    def test_all(self):
+        assert ALL.required_acks(1) == 1
+        assert ALL.required_acks(4) == 4
+
+    def test_numeric(self):
+        assert AckPolicy("2").required_acks(5) == 2
+        assert AckPolicy("2").required_acks(1) == 1  # capped at replicas
+
+    def test_unknown_spec_rejected(self):
+        with pytest.raises(DurabilityError):
+            AckPolicy("most")
+
+    def test_zero_numeric_rejected(self):
+        with pytest.raises(DurabilityError):
+            AckPolicy("0")
+
+    def test_no_replicas_rejected(self):
+        with pytest.raises(DurabilityError):
+            ANY.required_acks(0)
+
+    def test_equality(self):
+        assert AckPolicy("any") == ANY
+        assert AckPolicy("all") != ANY

@@ -1,0 +1,127 @@
+"""P-256 curve arithmetic: group laws, known vectors, encodings."""
+
+import pytest
+
+from repro.crypto import ec
+
+
+class TestCurveBasics:
+    def test_generator_on_curve(self):
+        assert ec.is_on_curve(ec.GENERATOR)
+
+    def test_infinity_on_curve(self):
+        assert ec.is_on_curve(ec.INFINITY)
+
+    def test_off_curve_point_detected(self):
+        assert not ec.is_on_curve(ec.Point(1, 1))
+
+    def test_out_of_range_coordinates_rejected(self):
+        assert not ec.is_on_curve(ec.Point(ec.P, 0))
+
+    def test_order_times_generator_is_infinity(self):
+        assert ec.scalar_mult(ec.N, ec.GENERATOR).is_infinity
+
+    def test_known_vector_2g(self):
+        # 2G for P-256 (public test vector).
+        point = ec.scalar_mult(2, ec.GENERATOR)
+        assert point.x == int(
+            "7CF27B188D034F7E8A52380304B51AC3C08969E277F21B35A60B48FC47669978", 16
+        )
+        assert point.y == int(
+            "07775510DB8ED040293D9AC69F7430DBBA7DADE63CE982299E04B79D227873D1", 16
+        )
+
+    def test_known_vector_3g(self):
+        point = ec.scalar_mult(3, ec.GENERATOR)
+        assert point.x == int(
+            "5ECBE4D1A6330A44C8F7EF951D4BF165E6C6B721EFADA985FB41661BC6E7FD6C", 16
+        )
+
+
+class TestGroupLaws:
+    def test_addition_commutes(self):
+        p = ec.scalar_mult(5, ec.GENERATOR)
+        q = ec.scalar_mult(9, ec.GENERATOR)
+        assert ec.point_add(p, q) == ec.point_add(q, p)
+
+    def test_addition_associates(self):
+        p = ec.scalar_mult(3, ec.GENERATOR)
+        q = ec.scalar_mult(7, ec.GENERATOR)
+        r = ec.scalar_mult(11, ec.GENERATOR)
+        assert ec.point_add(ec.point_add(p, q), r) == ec.point_add(
+            p, ec.point_add(q, r)
+        )
+
+    def test_identity_element(self):
+        p = ec.scalar_mult(42, ec.GENERATOR)
+        assert ec.point_add(p, ec.INFINITY) == p
+        assert ec.point_add(ec.INFINITY, p) == p
+
+    def test_inverse_element(self):
+        p = ec.scalar_mult(42, ec.GENERATOR)
+        neg = ec.Point(p.x, ec.P - p.y)
+        assert ec.point_add(p, neg).is_infinity
+
+    def test_doubling_matches_addition(self):
+        p = ec.scalar_mult(13, ec.GENERATOR)
+        assert ec.point_add(p, p) == ec.scalar_mult(26, ec.GENERATOR)
+
+    def test_scalar_mult_distributes(self):
+        a, b = 123456789, 987654321
+        left = ec.scalar_mult(a + b, ec.GENERATOR)
+        right = ec.point_add(
+            ec.scalar_mult(a, ec.GENERATOR), ec.scalar_mult(b, ec.GENERATOR)
+        )
+        assert left == right
+
+    def test_zero_scalar(self):
+        assert ec.scalar_mult(0, ec.GENERATOR).is_infinity
+
+    def test_scalar_reduced_mod_order(self):
+        assert ec.scalar_mult(ec.N + 5, ec.GENERATOR) == ec.scalar_mult(
+            5, ec.GENERATOR
+        )
+
+    def test_large_scalar(self):
+        k = ec.N - 1
+        point = ec.scalar_mult(k, ec.GENERATOR)
+        assert ec.is_on_curve(point)
+        # (N-1)G = -G
+        assert point.x == ec.GENERATOR.x
+        assert point.y == ec.P - ec.GENERATOR.y
+
+
+class TestEncoding:
+    @pytest.mark.parametrize("k", [1, 2, 3, 1000, 2**128 + 1])
+    def test_compressed_roundtrip(self, k):
+        point = ec.scalar_mult(k, ec.GENERATOR)
+        data = ec.encode_point(point)
+        assert len(data) == 33
+        assert ec.decode_point(data) == point
+
+    def test_infinity_roundtrip(self):
+        assert ec.decode_point(ec.encode_point(ec.INFINITY)).is_infinity
+
+    def test_uncompressed_accepted(self):
+        point = ec.scalar_mult(7, ec.GENERATOR)
+        data = b"\x04" + point.x.to_bytes(32, "big") + point.y.to_bytes(32, "big")
+        assert ec.decode_point(data) == point
+
+    def test_bad_length_rejected(self):
+        with pytest.raises(ValueError):
+            ec.decode_point(b"\x02" + b"\x00" * 10)
+
+    def test_not_on_curve_rejected(self):
+        bad = b"\x04" + (1).to_bytes(32, "big") + (1).to_bytes(32, "big")
+        with pytest.raises(ValueError):
+            ec.decode_point(bad)
+
+    def test_x_out_of_range_rejected(self):
+        data = b"\x02" + ec.P.to_bytes(32, "big")
+        with pytest.raises(ValueError):
+            ec.decode_point(data)
+
+    def test_compressed_parity_selects_y(self):
+        point = ec.scalar_mult(5, ec.GENERATOR)
+        flipped = ec.Point(point.x, ec.P - point.y)
+        assert ec.decode_point(ec.encode_point(flipped)) == flipped

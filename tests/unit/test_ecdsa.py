@@ -1,0 +1,120 @@
+"""ECDSA sign/verify: correctness, determinism, RFC 6979 vector, and
+rejection of every malleation."""
+
+import pytest
+
+from repro.crypto import ec, ecdsa
+from repro.errors import SignatureError
+
+
+@pytest.fixture(scope="module")
+def keypair():
+    secret = 0xC9AFA9D845BA75166B5C215767B1D6934E50C3DB36E89B127B8A622B120F6721
+    public = ec.scalar_mult(secret, ec.GENERATOR)
+    return secret, public
+
+
+class TestSignVerify:
+    def test_valid_signature_verifies(self, keypair):
+        secret, public = keypair
+        sig = ecdsa.sign(secret, b"sample")
+        assert ecdsa.verify(public, b"sample", sig)
+
+    def test_rfc6979_deterministic(self, keypair):
+        secret, _ = keypair
+        assert ecdsa.sign(secret, b"msg") == ecdsa.sign(secret, b"msg")
+
+    def test_different_messages_different_signatures(self, keypair):
+        secret, _ = keypair
+        assert ecdsa.sign(secret, b"a") != ecdsa.sign(secret, b"b")
+
+    def test_rfc6979_test_vector(self):
+        # RFC 6979 A.2.5, P-256 + SHA-256, message "sample".
+        secret = 0xC9AFA9D845BA75166B5C215767B1D6934E50C3DB36E89B127B8A622B120F6721
+        sig = ecdsa.sign(secret, b"sample")
+        r = int.from_bytes(sig[:32], "big")
+        expected_r = 0xEFD48B2AACB6A8FD1140DD9CD45E81D69D2C877B56AAF991C34D0EA84EAF3716
+        expected_s = 0xF7CB1C942D657C41D436C7A1B6E29F65F3E900DBB9AFF4064DC4AB2F843ACDA8
+        assert r == expected_r
+        s = int.from_bytes(sig[32:], "big")
+        # We emit low-S; the RFC vector's s is high, so ours is N - s.
+        assert s == ec.N - expected_s
+
+    def test_low_s_normalization(self, keypair):
+        secret, _ = keypair
+        for i in range(8):
+            sig = ecdsa.sign(secret, b"m%d" % i)
+            s = int.from_bytes(sig[32:], "big")
+            assert s <= ec.N // 2
+
+    def test_signature_length(self, keypair):
+        secret, _ = keypair
+        assert len(ecdsa.sign(secret, b"x")) == ecdsa.SIGNATURE_LEN
+
+    def test_empty_message(self, keypair):
+        secret, public = keypair
+        sig = ecdsa.sign(secret, b"")
+        assert ecdsa.verify(public, b"", sig)
+
+    def test_large_message(self, keypair):
+        secret, public = keypair
+        msg = b"\xab" * 1_000_000
+        assert ecdsa.verify(public, msg, ecdsa.sign(secret, msg))
+
+
+class TestRejections:
+    def test_wrong_message(self, keypair):
+        secret, public = keypair
+        sig = ecdsa.sign(secret, b"genuine")
+        assert not ecdsa.verify(public, b"forged", sig)
+
+    def test_wrong_key(self, keypair):
+        secret, _ = keypair
+        sig = ecdsa.sign(secret, b"msg")
+        other_public = ec.scalar_mult(12345, ec.GENERATOR)
+        assert not ecdsa.verify(other_public, b"msg", sig)
+
+    def test_bitflipped_signature(self, keypair):
+        secret, public = keypair
+        sig = bytearray(ecdsa.sign(secret, b"msg"))
+        sig[10] ^= 0x01
+        assert not ecdsa.verify(public, b"msg", bytes(sig))
+
+    def test_truncated_signature(self, keypair):
+        secret, public = keypair
+        sig = ecdsa.sign(secret, b"msg")
+        assert not ecdsa.verify(public, b"msg", sig[:-1])
+
+    def test_zero_signature(self, keypair):
+        _, public = keypair
+        assert not ecdsa.verify(public, b"msg", bytes(64))
+
+    def test_r_equal_order_rejected(self, keypair):
+        _, public = keypair
+        sig = ec.N.to_bytes(32, "big") + (1).to_bytes(32, "big")
+        assert not ecdsa.verify(public, b"msg", sig)
+
+    def test_infinity_public_key_rejected(self, keypair):
+        secret, _ = keypair
+        sig = ecdsa.sign(secret, b"msg")
+        assert not ecdsa.verify(ec.INFINITY, b"msg", sig)
+
+    def test_off_curve_public_key_rejected(self, keypair):
+        secret, _ = keypair
+        sig = ecdsa.sign(secret, b"msg")
+        assert not ecdsa.verify(ec.Point(1, 1), b"msg", sig)
+
+    def test_private_key_out_of_range(self):
+        with pytest.raises(SignatureError):
+            ecdsa.sign(0, b"msg")
+        with pytest.raises(SignatureError):
+            ecdsa.sign(ec.N, b"msg")
+
+    def test_high_s_variant_still_verifies(self, keypair):
+        # Verification accepts any valid s (only signing normalizes).
+        secret, public = keypair
+        sig = ecdsa.sign(secret, b"msg")
+        r = sig[:32]
+        s = int.from_bytes(sig[32:], "big")
+        high = r + (ec.N - s).to_bytes(32, "big")
+        assert ecdsa.verify(public, b"msg", high)

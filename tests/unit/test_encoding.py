@@ -1,0 +1,179 @@
+"""Canonical encoding: round-trips, canonicality, and rejection of
+malformed input."""
+
+import pytest
+
+from repro import encoding
+from repro.errors import EncodingError
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "value",
+        [
+            None,
+            True,
+            False,
+            0,
+            1,
+            -1,
+            127,
+            128,
+            255,
+            256,
+            -128,
+            -129,
+            2**64,
+            -(2**64),
+            b"",
+            b"\x00",
+            b"hello",
+            bytes(range(256)),
+            "",
+            "ascii",
+            "unicode é東\U0001f600",
+            [],
+            [1, 2, 3],
+            [None, True, b"x", "y", -5, [1, [2]]],
+            {},
+            {"a": 1},
+            {"nested": {"deep": [1, {"deeper": b"bytes"}]}},
+        ],
+    )
+    def test_roundtrip(self, value):
+        assert encoding.decode(encoding.encode(value)) == value
+
+    def test_tuple_encodes_as_list(self):
+        assert encoding.decode(encoding.encode((1, 2))) == [1, 2]
+
+    def test_bytearray_encodes_as_bytes(self):
+        assert encoding.decode(encoding.encode(bytearray(b"ab"))) == b"ab"
+
+    def test_large_structure(self):
+        value = {"k%d" % i: [i, b"x" * i] for i in range(200)}
+        assert encoding.decode(encoding.encode(value)) == value
+
+
+class TestCanonicality:
+    def test_dict_key_order_irrelevant(self):
+        a = encoding.encode({"a": 1, "b": 2})
+        b = encoding.encode({"b": 2, "a": 1})
+        assert a == b
+
+    def test_distinct_values_distinct_encodings(self):
+        values = [None, True, False, 0, 1, "", b"", "0", b"0", [], {}, [0], {"": 0}]
+        encoded = [encoding.encode(v) for v in values]
+        assert len(set(encoded)) == len(values)
+
+    def test_bool_is_not_int(self):
+        assert encoding.encode(True) != encoding.encode(1)
+        assert encoding.encode(False) != encoding.encode(0)
+
+    def test_str_is_not_bytes(self):
+        assert encoding.encode("ab") != encoding.encode(b"ab")
+
+    def test_zero_has_empty_payload(self):
+        assert encoding.encode(0) == b"I\x00"
+
+
+class TestRejections:
+    def test_unsupported_type(self):
+        with pytest.raises(EncodingError):
+            encoding.encode(1.5)
+
+    def test_unsupported_set(self):
+        with pytest.raises(EncodingError):
+            encoding.encode({1, 2})
+
+    def test_non_string_dict_key(self):
+        with pytest.raises(EncodingError):
+            encoding.encode({1: "x"})
+
+    def test_trailing_garbage(self):
+        data = encoding.encode(5) + b"\x00"
+        with pytest.raises(EncodingError):
+            encoding.decode(data)
+
+    def test_truncated(self):
+        data = encoding.encode(b"hello")[:-2]
+        with pytest.raises(EncodingError):
+            encoding.decode(data)
+
+    def test_empty_input(self):
+        with pytest.raises(EncodingError):
+            encoding.decode(b"")
+
+    def test_unknown_tag(self):
+        with pytest.raises(EncodingError):
+            encoding.decode(b"Z\x00")
+
+    def test_non_minimal_int_rejected(self):
+        # 1 encoded with a redundant leading zero byte.
+        with pytest.raises(EncodingError):
+            encoding.decode(b"I\x02\x00\x01")
+
+    def test_null_with_payload_rejected(self):
+        with pytest.raises(EncodingError):
+            encoding.decode(b"N\x01\x00")
+
+    def test_true_with_payload_rejected(self):
+        with pytest.raises(EncodingError):
+            encoding.decode(b"T\x01\x00")
+
+    def test_dict_out_of_order_rejected(self):
+        # Manually build a dict with keys in the wrong order.
+        key_b = encoding.encode("b")
+        val = encoding.encode(1)
+        key_a = encoding.encode("a")
+        body = key_b + val + key_a + val
+        data = b"D" + encoding.encode_uvarint(len(body)) + body
+        with pytest.raises(EncodingError):
+            encoding.decode(data)
+
+    def test_dict_duplicate_key_rejected_on_encode(self):
+        # Can't build via dict literal; simulate decode of duplicates.
+        key = encoding.encode("a")
+        val = encoding.encode(1)
+        body = key + val + key + val
+        data = b"D" + encoding.encode_uvarint(len(body)) + body
+        with pytest.raises(EncodingError):
+            encoding.decode(data)
+
+    def test_invalid_utf8_rejected(self):
+        data = b"S\x02\xff\xfe"
+        with pytest.raises(EncodingError):
+            encoding.decode(data)
+
+    def test_dict_non_string_key_rejected_on_decode(self):
+        key = encoding.encode(1)
+        val = encoding.encode(2)
+        body = key + val
+        data = b"D" + encoding.encode_uvarint(len(body)) + body
+        with pytest.raises(EncodingError):
+            encoding.decode(data)
+
+
+class TestUvarint:
+    @pytest.mark.parametrize("value", [0, 1, 127, 128, 255, 300, 2**32, 2**60])
+    def test_roundtrip(self, value):
+        data = encoding.encode_uvarint(value)
+        decoded, offset = encoding.decode_uvarint(data)
+        assert decoded == value
+        assert offset == len(data)
+
+    def test_negative_rejected(self):
+        with pytest.raises(EncodingError):
+            encoding.encode_uvarint(-1)
+
+    def test_truncated(self):
+        with pytest.raises(EncodingError):
+            encoding.decode_uvarint(b"\x80")
+
+    def test_non_minimal_rejected(self):
+        # 0 encoded as two bytes (0x80 0x00).
+        with pytest.raises(EncodingError):
+            encoding.decode_uvarint(b"\x80\x00")
+
+    def test_too_large_rejected(self):
+        with pytest.raises(EncodingError):
+            encoding.decode_uvarint(b"\xff" * 10 + b"\x01")

@@ -1,0 +1,229 @@
+"""Discrete-event engine: ordering, processes, futures, timeouts."""
+
+import pytest
+
+from repro.errors import TimeoutError_
+from repro.sim.engine import Simulator
+
+
+class TestScheduling:
+    def test_time_advances(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(2.0, lambda: seen.append(sim.now))
+        sim.schedule(1.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [1.0, 2.0]
+
+    def test_fifo_at_equal_times(self):
+        sim = Simulator()
+        seen = []
+        for i in range(5):
+            sim.schedule(1.0, seen.append, i)
+        sim.run()
+        assert seen == [0, 1, 2, 3, 4]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Simulator().schedule(-1.0, lambda: None)
+
+    def test_run_until(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.0, seen.append, "early")
+        sim.schedule(5.0, seen.append, "late")
+        sim.run(until=2.0)
+        assert seen == ["early"]
+        assert sim.now == 2.0
+        sim.run()
+        assert seen == ["early", "late"]
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        seen = []
+
+        def outer():
+            seen.append(("outer", sim.now))
+            sim.schedule(1.0, inner)
+
+        def inner():
+            seen.append(("inner", sim.now))
+
+        sim.schedule(1.0, outer)
+        sim.run()
+        assert seen == [("outer", 1.0), ("inner", 2.0)]
+
+    def test_livelock_guard(self):
+        sim = Simulator()
+
+        def forever():
+            sim.schedule(0.0, forever)
+
+        sim.schedule(0.0, forever)
+        with pytest.raises(RuntimeError):
+            sim.run(max_events=1000)
+
+
+class TestProcesses:
+    def test_sleep(self):
+        sim = Simulator()
+
+        def proc():
+            yield 1.5
+            yield 2.5
+            return sim.now
+
+        assert sim.run_process(proc()) == 4.0
+
+    def test_return_value(self):
+        sim = Simulator()
+
+        def proc():
+            yield 0.1
+            return "done"
+
+        assert sim.run_process(proc()) == "done"
+
+    def test_exception_propagates(self):
+        sim = Simulator()
+
+        def proc():
+            yield 0.1
+            raise ValueError("inside")
+
+        with pytest.raises(ValueError, match="inside"):
+            sim.run_process(proc())
+
+    def test_wait_future(self):
+        sim = Simulator()
+        future = sim.future()
+        sim.schedule(3.0, future.resolve, 42)
+
+        def proc():
+            value = yield future
+            return (value, sim.now)
+
+        assert sim.run_process(proc()) == (42, 3.0)
+
+    def test_future_failure_raises_in_process(self):
+        sim = Simulator()
+        future = sim.future()
+        sim.schedule(1.0, future.fail, RuntimeError("boom"))
+
+        def proc():
+            yield future
+
+        with pytest.raises(RuntimeError, match="boom"):
+            sim.run_process(proc())
+
+    def test_deadlock_detected(self):
+        sim = Simulator()
+
+        def proc():
+            yield sim.future()  # never resolves
+
+        with pytest.raises(RuntimeError, match="deadlock"):
+            sim.run_process(proc())
+
+    def test_subprocess_via_yield_from(self):
+        sim = Simulator()
+
+        def child():
+            yield 1.0
+            return "child-result"
+
+        def parent():
+            value = yield from child()
+            yield 1.0
+            return value
+
+        assert sim.run_process(parent()) == "child-result"
+        assert sim.now == 2.0
+
+    def test_yield_none_is_a_tick(self):
+        sim = Simulator()
+
+        def proc():
+            yield None
+            return sim.now
+
+        assert sim.run_process(proc()) == 0.0
+
+
+class TestFutures:
+    def test_resolve_once(self):
+        sim = Simulator()
+        future = sim.future()
+        future.resolve(1)
+        future.resolve(2)  # ignored
+        assert future.result() == 1
+
+    def test_result_before_done_raises(self):
+        sim = Simulator()
+        with pytest.raises(RuntimeError):
+            sim.future().result()
+
+    def test_callback_after_resolve_fires(self):
+        sim = Simulator()
+        future = sim.future()
+        future.resolve("x")
+        seen = []
+        future.add_callback(lambda f: seen.append(f.result()))
+        sim.run()
+        assert seen == ["x"]
+
+    def test_gather(self):
+        sim = Simulator()
+        futures = [sim.future() for _ in range(3)]
+        for i, future in enumerate(futures):
+            sim.schedule(float(3 - i), future.resolve, i)
+        combined = sim.gather(futures)
+
+        def proc():
+            return (yield combined)
+
+        assert sim.run_process(proc()) == [0, 1, 2]
+
+    def test_gather_empty(self):
+        sim = Simulator()
+
+        def proc():
+            return (yield sim.gather([]))
+
+        assert sim.run_process(proc()) == []
+
+    def test_gather_fails_fast(self):
+        sim = Simulator()
+        futures = [sim.future(), sim.future()]
+        sim.schedule(1.0, futures[0].fail, ValueError("first"))
+
+        def proc():
+            yield sim.gather(futures)
+
+        with pytest.raises(ValueError, match="first"):
+            sim.run_process(proc())
+
+
+class TestTimeout:
+    def test_timeout_fires(self):
+        sim = Simulator()
+        never = sim.future()
+        wrapped = sim.timeout(never, 2.0, "thing")
+
+        def proc():
+            yield wrapped
+
+        with pytest.raises(TimeoutError_, match="thing"):
+            sim.run_process(proc())
+        assert sim.now == 2.0
+
+    def test_timeout_passes_through_result(self):
+        sim = Simulator()
+        future = sim.future()
+        sim.schedule(1.0, future.resolve, "fast")
+        wrapped = sim.timeout(future, 5.0)
+
+        def proc():
+            return (yield wrapped)
+
+        assert sim.run_process(proc()) == "fast"

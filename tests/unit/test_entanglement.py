@@ -1,0 +1,165 @@
+"""Timeline entanglement: cross-capsule ordering and rollback detection."""
+
+import pytest
+
+from repro.capsule import CapsuleWriter, DataCapsule
+from repro.capsule.entanglement import (
+    cross_order,
+    entangle,
+    entanglements_in,
+    happens_before,
+    parse_entanglement,
+    verify_entanglement,
+)
+from repro.crypto import SigningKey
+from repro.errors import IntegrityError
+from repro.naming import make_capsule_metadata
+
+_OWNER = SigningKey.from_seed(b"ent-owner")
+_WRITER_A = SigningKey.from_seed(b"ent-writer-a")
+_WRITER_B = SigningKey.from_seed(b"ent-writer-b")
+_WRITER_C = SigningKey.from_seed(b"ent-writer-c")
+
+
+@pytest.fixture()
+def logs():
+    def make(writer_key, tag):
+        metadata = make_capsule_metadata(
+            _OWNER, writer_key.public, extra={"ent": tag}
+        )
+        capsule = DataCapsule(metadata)
+        return capsule, CapsuleWriter(capsule, writer_key)
+
+    cap_a, wr_a = make(_WRITER_A, "a")
+    cap_b, wr_b = make(_WRITER_B, "b")
+    cap_c, wr_c = make(_WRITER_C, "c")
+    return cap_a, wr_a, cap_b, wr_b, cap_c, wr_c
+
+
+class TestEntangleRecords:
+    def test_entangle_and_parse(self, logs):
+        cap_a, wr_a, cap_b, wr_b, *_ = logs
+        wr_a.append(b"a1")
+        _, hb_a = wr_a.append(b"a2")
+        record, _ = entangle(wr_b, hb_a)
+        parsed = parse_entanglement(record)
+        assert parsed == hb_a
+
+    def test_ordinary_records_not_entanglements(self, logs):
+        _, wr_a, *_ = logs
+        record, _ = wr_a.append(b"plain payload")
+        assert parse_entanglement(record) is None
+
+    def test_entanglements_in(self, logs):
+        cap_a, wr_a, cap_b, wr_b, *_ = logs
+        _, hb1 = wr_a.append(b"a1")
+        wr_b.append(b"b1")
+        entangle(wr_b, hb1)
+        _, hb2 = wr_a.append(b"a2")
+        entangle(wr_b, hb2)
+        found = entanglements_in(cap_b)
+        assert [(s, hb.seqno) for s, hb in found] == [(2, 1), (3, 2)]
+
+    def test_verify_valid_entanglement(self, logs):
+        cap_a, wr_a, cap_b, wr_b, *_ = logs
+        _, hb = wr_a.append(b"a1")
+        record, _ = entangle(wr_b, hb)
+        verified = verify_entanglement(cap_b, record.seqno, cap_a)
+        assert verified.seqno == 1
+
+    def test_wrong_peer_rejected(self, logs):
+        cap_a, wr_a, cap_b, wr_b, cap_c, wr_c = logs
+        _, hb = wr_a.append(b"a1")
+        record, _ = entangle(wr_b, hb)
+        with pytest.raises(IntegrityError):
+            verify_entanglement(cap_b, record.seqno, cap_c)
+
+    def test_rollback_of_peer_detected(self, logs):
+        """If A forks/rolls back after being entangled into B, the
+        preserved digest convicts it."""
+        cap_a, wr_a, cap_b, wr_b, *_ = logs
+        _, hb = wr_a.append(b"honest-a1")
+        record, _ = entangle(wr_b, hb)
+        # A's operator rewrites history: a fresh writer signs a
+        # different record 1 (the writer lost/ignored its state).
+        forked = DataCapsule(cap_a.metadata, verify_metadata=False)
+        CapsuleWriter(forked, _WRITER_A).append(b"rewritten-a1")
+        with pytest.raises(IntegrityError):
+            verify_entanglement(cap_b, record.seqno, forked)
+
+    def test_behind_replica_accepted(self, logs):
+        """A peer replica that hasn't caught up is fine — the signature
+        alone still binds (no false alarms)."""
+        cap_a, wr_a, cap_b, wr_b, *_ = logs
+        wr_a.append(b"a1")
+        _, hb = wr_a.append(b"a2")
+        record, _ = entangle(wr_b, hb)
+        empty_a = DataCapsule(cap_a.metadata, verify_metadata=False)
+        verified = verify_entanglement(cap_b, record.seqno, empty_a)
+        assert verified.seqno == 2
+
+    def test_malformed_entanglement_rejected(self, logs):
+        from repro.capsule.entanglement import ENTANGLEMENT_PREFIX
+
+        cap_a, wr_a, cap_b, wr_b, *_ = logs
+        record, _ = wr_b.append(ENTANGLEMENT_PREFIX + b"garbage")
+        with pytest.raises(IntegrityError):
+            parse_entanglement(record)
+
+
+class TestCrossOrder:
+    def test_direct_ordering(self, logs):
+        cap_a, wr_a, cap_b, wr_b, *_ = logs
+        wr_a.append(b"a1")
+        _, hb = wr_a.append(b"a2")
+        wr_b.append(b"b1")
+        record, _ = entangle(wr_b, hb)  # B@2 embeds A@2
+        order = cross_order([cap_a, cap_b])
+        # A@1 and A@2 happened before B@2 (and everything after).
+        assert happens_before(order, (cap_a.name, 1), (cap_b.name, 2))
+        assert happens_before(order, (cap_a.name, 2), (cap_b.name, 2))
+        wr_b.append(b"b3")
+        order = cross_order([cap_a, cap_b])
+        assert happens_before(order, (cap_a.name, 2), (cap_b.name, 3))
+
+    def test_no_false_ordering(self, logs):
+        cap_a, wr_a, cap_b, wr_b, *_ = logs
+        _, hb = wr_a.append(b"a1")
+        entangle(wr_b, hb)  # B@1 embeds A@1
+        order = cross_order([cap_a, cap_b])
+        # Nothing orders B before A.
+        assert not happens_before(order, (cap_b.name, 1), (cap_a.name, 1))
+        # A@2 (later than the entangled state) is not ordered vs B.
+        wr_a.append(b"a2")
+        order = cross_order([cap_a, cap_b])
+        assert not happens_before(order, (cap_a.name, 2), (cap_b.name, 1))
+
+    def test_transitive_ordering_through_three_capsules(self, logs):
+        cap_a, wr_a, cap_b, wr_b, cap_c, wr_c = logs
+        _, hb_a = wr_a.append(b"a1")
+        entangle(wr_b, hb_a)              # B@1 after A@1
+        _, hb_b = wr_b.append(b"b2")      # B@2
+        entangle(wr_c, hb_b)              # C@1 after B@2 (>= B@1)
+        order = cross_order([cap_a, cap_b, cap_c])
+        assert happens_before(order, (cap_a.name, 1), (cap_c.name, 1))
+
+    def test_mutual_entanglement(self, logs):
+        """A and B entangle each other alternately: interleaved order."""
+        cap_a, wr_a, cap_b, wr_b, *_ = logs
+        _, hb_a1 = wr_a.append(b"a1")
+        rec_b, _ = entangle(wr_b, hb_a1)          # B@1 after A@1
+        hb_b1 = cap_b.latest_heartbeat
+        rec_a, _ = entangle(wr_a, hb_b1)          # A@2 after B@1
+        order = cross_order([cap_a, cap_b])
+        assert happens_before(order, (cap_a.name, 1), (cap_b.name, 1))
+        assert happens_before(order, (cap_b.name, 1), (cap_a.name, 2))
+        # Transitively: A@1 < B@1 < A@2 — all provable.
+        assert happens_before(order, (cap_a.name, 1), (cap_a.name, 2))
+
+    def test_within_capsule_order_is_seqno(self, logs):
+        cap_a, wr_a, *_ = logs
+        wr_a.append(b"a1")
+        wr_a.append(b"a2")
+        order = cross_order([cap_a])
+        assert happens_before(order, (cap_a.name, 1), (cap_a.name, 2))
+        assert not happens_before(order, (cap_a.name, 2), (cap_a.name, 1))

@@ -1,0 +1,62 @@
+"""The exception hierarchy contract: what callers may catch."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_everything_is_gdp_error(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception):
+                assert issubclass(obj, errors.GdpError), name
+
+    @pytest.mark.parametrize(
+        "cls",
+        [
+            errors.SignatureError,
+            errors.IntegrityError,
+            errors.AuthorizationError,
+            errors.DelegationError,
+            errors.EquivocationError,
+            errors.AdvertisementError,
+            errors.ScopeViolationError,
+        ],
+    )
+    def test_security_failures_are_security_errors(self, cls):
+        assert issubclass(cls, errors.SecurityError)
+
+    @pytest.mark.parametrize(
+        "cls",
+        [
+            errors.RecordNotFoundError,
+            errors.HoleError,
+            errors.BranchError,
+            errors.WriterStateError,
+            errors.DurabilityError,
+        ],
+    )
+    def test_capsule_operational_errors(self, cls):
+        assert issubclass(cls, errors.CapsuleError)
+        # Operational errors must NOT read as security violations.
+        assert not issubclass(cls, errors.SecurityError)
+
+    @pytest.mark.parametrize(
+        "cls",
+        [errors.NoRouteError, errors.AdvertisementError,
+         errors.ScopeViolationError],
+    )
+    def test_routing_errors(self, cls):
+        assert issubclass(cls, errors.RoutingError)
+
+    def test_timeout_is_transport(self):
+        assert issubclass(errors.TimeoutError_, errors.TransportError)
+        assert not issubclass(errors.TimeoutError_, errors.SecurityError)
+
+    def test_catch_all_security(self):
+        """The documented pattern: one clause for the whole family."""
+        with pytest.raises(errors.SecurityError):
+            raise errors.EquivocationError("writer forked")
+        with pytest.raises(errors.GdpError):
+            raise errors.HoleError("missing record")

@@ -1,0 +1,67 @@
+"""Domain-separated hashing and hash-pointers."""
+
+import pytest
+
+from repro.crypto.hashing import HASH_LEN, HashPointer, hash_value, sha256
+
+
+class TestHashValue:
+    def test_deterministic(self):
+        assert hash_value("d", [1, b"x"]) == hash_value("d", [1, b"x"])
+
+    def test_domain_separation(self):
+        assert hash_value("a", b"payload") != hash_value("b", b"payload")
+
+    def test_domain_length_prefix_prevents_collisions(self):
+        # ("ab", "c...") vs ("a", "bc...") must differ.
+        assert hash_value("ab", "x") != hash_value("a", "bx")
+
+    def test_value_sensitivity(self):
+        assert hash_value("d", [1]) != hash_value("d", [2])
+
+    def test_output_length(self):
+        assert len(hash_value("d", "anything")) == HASH_LEN
+
+    def test_sha256_matches_stdlib(self):
+        import hashlib
+
+        assert sha256(b"abc") == hashlib.sha256(b"abc").digest()
+
+
+class TestHashPointer:
+    def test_construction(self):
+        ptr = HashPointer(5, b"\x01" * 32)
+        assert ptr.seqno == 5
+        assert ptr.digest == b"\x01" * 32
+
+    def test_immutable(self):
+        ptr = HashPointer(5, b"\x01" * 32)
+        with pytest.raises(AttributeError):
+            ptr.seqno = 6
+
+    def test_negative_seqno_rejected(self):
+        with pytest.raises(ValueError):
+            HashPointer(-1, b"\x01" * 32)
+
+    def test_wrong_digest_length_rejected(self):
+        with pytest.raises(ValueError):
+            HashPointer(1, b"\x01" * 31)
+
+    def test_equality_and_hash(self):
+        a = HashPointer(3, b"\x02" * 32)
+        b = HashPointer(3, b"\x02" * 32)
+        c = HashPointer(4, b"\x02" * 32)
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+
+    def test_wire_roundtrip(self):
+        ptr = HashPointer(7, b"\x03" * 32)
+        assert HashPointer.from_wire(ptr.to_wire()) == ptr
+
+    def test_malformed_wire_rejected(self):
+        with pytest.raises(ValueError):
+            HashPointer.from_wire([1])
+        with pytest.raises(ValueError):
+            HashPointer.from_wire(["x", b"\x00" * 32])
+        with pytest.raises(ValueError):
+            HashPointer.from_wire(None)

@@ -1,0 +1,178 @@
+"""Hash-pointer strategies: targets, retention rules, parsing."""
+
+import pytest
+
+from repro.capsule.hashptr import (
+    ChainStrategy,
+    CheckpointStrategy,
+    SkipListStrategy,
+    StreamStrategy,
+    get_strategy,
+)
+from repro.errors import CapsuleError
+
+
+class TestChain:
+    def test_targets(self):
+        s = ChainStrategy()
+        assert s.targets(1) == [0]
+        assert s.targets(2) == [1]
+        assert s.targets(100) == [99]
+
+    def test_invalid_seqno(self):
+        with pytest.raises(CapsuleError):
+            ChainStrategy().targets(0)
+
+    def test_retention_only_last(self):
+        s = ChainStrategy()
+        assert s.still_needed(10, 10)
+        assert not s.still_needed(9, 10)
+
+    def test_no_hole_tolerance(self):
+        assert not ChainStrategy().tolerates_holes
+
+
+class TestSkipList:
+    def test_odd_seqno_only_predecessor(self):
+        s = SkipListStrategy()
+        assert s.targets(7) == [6]
+        assert s.targets(1) == [0]
+
+    def test_power_of_two_fans_out(self):
+        s = SkipListStrategy()
+        assert s.targets(8) == [7, 6, 4, 0]
+        assert s.targets(16) == [15, 14, 12, 8, 0]
+
+    def test_even_non_power(self):
+        s = SkipListStrategy()
+        assert s.targets(12) == [11, 10, 8]
+        assert s.targets(6) == [5, 4]
+
+    def test_always_includes_predecessor(self):
+        s = SkipListStrategy()
+        for n in range(1, 200):
+            assert n - 1 in s.targets(n)
+
+    def test_max_level_caps_fanout(self):
+        s = SkipListStrategy(max_level=2)
+        assert s.targets(8) == [7, 6, 4]  # no 2**3 jump
+
+    def test_retention(self):
+        s = SkipListStrategy()
+        # 8 is divisible by 8, needed until record 16 exists.
+        assert s.still_needed(8, 15)
+        assert not s.still_needed(8, 16)
+        # Odd records die immediately.
+        assert not s.still_needed(7, 8)
+
+    def test_retention_consistent_with_targets(self):
+        s = SkipListStrategy()
+        for last in range(1, 65):
+            needed = {
+                t
+                for future in range(last + 1, last + 66)
+                for t in s.targets(future)
+                if 1 <= t <= last
+            }
+            kept = {t for t in range(1, last + 1) if s.still_needed(t, last)}
+            assert needed <= kept, (last, needed - kept)
+
+    def test_bad_max_level(self):
+        with pytest.raises(CapsuleError):
+            SkipListStrategy(max_level=0)
+
+
+class TestCheckpoint:
+    def test_non_checkpoint_points_to_latest_checkpoint(self):
+        s = CheckpointStrategy(interval=8)
+        assert s.targets(11) == [10, 8]
+        assert s.targets(9) == [8]  # 8 is both prev and checkpoint
+
+    def test_checkpoint_points_to_previous_checkpoint(self):
+        s = CheckpointStrategy(interval=8)
+        assert s.targets(16) == [15, 8]
+        assert s.targets(8) == [7, 0]
+
+    def test_early_records_anchor(self):
+        s = CheckpointStrategy(interval=8)
+        assert s.targets(1) == [0]
+        assert s.targets(3) == [2, 0]
+
+    def test_is_checkpoint(self):
+        s = CheckpointStrategy(interval=8)
+        assert s.is_checkpoint(8) and s.is_checkpoint(16)
+        assert not s.is_checkpoint(9)
+
+    def test_retention(self):
+        s = CheckpointStrategy(interval=8)
+        assert s.still_needed(8, 15)
+        assert not s.still_needed(8, 16)
+        assert not s.still_needed(7, 9)
+
+    def test_retention_consistent_with_targets(self):
+        s = CheckpointStrategy(interval=4)
+        for last in range(1, 33):
+            needed = {
+                t
+                for future in range(last + 1, last + 10)
+                for t in s.targets(future)
+                if 1 <= t <= last
+            }
+            kept = {t for t in range(1, last + 1) if s.still_needed(t, last)}
+            assert needed <= kept
+
+    def test_bad_interval(self):
+        with pytest.raises(CapsuleError):
+            CheckpointStrategy(interval=1)
+
+
+class TestStream:
+    def test_window_of_predecessors(self):
+        s = StreamStrategy(window=3)
+        assert s.targets(10) == [9, 8, 7]
+        assert s.targets(2) == [1, 0]
+        assert s.targets(1) == [0]
+
+    def test_tolerates_holes(self):
+        assert StreamStrategy().tolerates_holes
+
+    def test_retention_window(self):
+        s = StreamStrategy(window=3)
+        assert s.still_needed(8, 10)
+        assert not s.still_needed(7, 10)
+
+    def test_bad_window(self):
+        with pytest.raises(CapsuleError):
+            StreamStrategy(window=1)
+
+
+class TestParsing:
+    @pytest.mark.parametrize(
+        "spec,cls",
+        [
+            ("chain", ChainStrategy),
+            ("skiplist", SkipListStrategy),
+            ("skiplist:5", SkipListStrategy),
+            ("checkpoint:16", CheckpointStrategy),
+            ("checkpoint", CheckpointStrategy),
+            ("stream:8", StreamStrategy),
+            ("stream", StreamStrategy),
+        ],
+    )
+    def test_valid_specs(self, spec, cls):
+        assert isinstance(get_strategy(spec), cls)
+
+    def test_spec_roundtrip(self):
+        for spec in ["chain", "skiplist:5", "checkpoint:16", "stream:8"]:
+            assert get_strategy(get_strategy(spec).spec).spec == get_strategy(spec).spec
+
+    @pytest.mark.parametrize(
+        "spec", ["", "unknown", "chain:2", "skiplist:x", "checkpoint:0", "stream:-1"]
+    )
+    def test_invalid_specs(self, spec):
+        with pytest.raises(CapsuleError):
+            get_strategy(spec)
+
+    def test_equality_by_spec(self):
+        assert get_strategy("checkpoint:8") == get_strategy("checkpoint:8")
+        assert get_strategy("checkpoint:8") != get_strategy("checkpoint:16")

@@ -1,0 +1,82 @@
+"""Heartbeats: signing, verification, equivocation evidence."""
+
+import pytest
+
+from repro.capsule.heartbeat import Heartbeat, detect_equivocation
+from repro.errors import EquivocationError, IntegrityError, SignatureError
+from repro.naming import GdpName
+
+NAME = GdpName(b"\x33" * 32)
+OTHER = GdpName(b"\x44" * 32)
+
+
+class TestHeartbeat:
+    def test_create_and_verify(self, writer_key):
+        hb = Heartbeat.create(writer_key, NAME, 1, b"\x01" * 32, 100)
+        hb.verify(writer_key.public)
+
+    def test_wrong_key_rejected(self, writer_key, other_key):
+        hb = Heartbeat.create(writer_key, NAME, 1, b"\x01" * 32, 100)
+        with pytest.raises(SignatureError):
+            hb.verify(other_key.public)
+
+    def test_signature_covers_all_fields(self, writer_key):
+        hb = Heartbeat.create(writer_key, NAME, 2, b"\x01" * 32, 100)
+        for forged in [
+            Heartbeat(NAME, 3, hb.digest, hb.timestamp, hb.signature),
+            Heartbeat(NAME, 2, b"\x02" * 32, hb.timestamp, hb.signature),
+            Heartbeat(NAME, 2, hb.digest, 101, hb.signature),
+            Heartbeat(OTHER, 2, hb.digest, hb.timestamp, hb.signature),
+        ]:
+            with pytest.raises(SignatureError):
+                forged.verify(writer_key.public)
+
+    def test_seqno_zero_rejected(self, writer_key):
+        with pytest.raises(IntegrityError):
+            Heartbeat(NAME, 0, b"\x01" * 32, 0, b"")
+
+    def test_immutable(self, writer_key):
+        hb = Heartbeat.create(writer_key, NAME, 1, b"\x01" * 32, 100)
+        with pytest.raises(AttributeError):
+            hb.seqno = 2
+
+    def test_wire_roundtrip(self, writer_key):
+        hb = Heartbeat.create(writer_key, NAME, 5, b"\x05" * 32, 777)
+        restored = Heartbeat.from_wire(hb.to_wire())
+        assert restored == hb
+        restored.verify(writer_key.public)
+
+    def test_malformed_wire_rejected(self):
+        with pytest.raises(IntegrityError):
+            Heartbeat.from_wire({"seqno": 1})
+
+
+class TestEquivocation:
+    def test_genuine_equivocation_detected(self, writer_key):
+        a = Heartbeat.create(writer_key, NAME, 3, b"\x0a" * 32, 1)
+        b = Heartbeat.create(writer_key, NAME, 3, b"\x0b" * 32, 2)
+        with pytest.raises(EquivocationError):
+            detect_equivocation(a, b, writer_key.public)
+
+    def test_same_digest_is_fine(self, writer_key):
+        a = Heartbeat.create(writer_key, NAME, 3, b"\x0a" * 32, 1)
+        b = Heartbeat.create(writer_key, NAME, 3, b"\x0a" * 32, 2)
+        detect_equivocation(a, b, writer_key.public)  # no raise
+
+    def test_different_seqnos_is_fine(self, writer_key):
+        a = Heartbeat.create(writer_key, NAME, 3, b"\x0a" * 32, 1)
+        b = Heartbeat.create(writer_key, NAME, 4, b"\x0b" * 32, 2)
+        detect_equivocation(a, b, writer_key.public)
+
+    def test_different_capsules_is_fine(self, writer_key):
+        a = Heartbeat.create(writer_key, NAME, 3, b"\x0a" * 32, 1)
+        b = Heartbeat.create(writer_key, OTHER, 3, b"\x0b" * 32, 2)
+        detect_equivocation(a, b, writer_key.public)
+
+    def test_forged_half_does_not_frame_writer(self, writer_key, other_key):
+        """A forgery paired with a genuine heartbeat must not count as
+        writer equivocation (the 'can't be framed' requirement)."""
+        genuine = Heartbeat.create(writer_key, NAME, 3, b"\x0a" * 32, 1)
+        forged = Heartbeat.create(other_key, NAME, 3, b"\x0b" * 32, 2)
+        with pytest.raises(SignatureError):
+            detect_equivocation(genuine, forged, writer_key.public)

@@ -1,0 +1,110 @@
+"""HKDF, session keys, and the authenticated ECDH handshake."""
+
+import pytest
+
+from repro.crypto.hmac_session import Handshake, SessionKey, hkdf
+from repro.crypto.keys import SigningKey
+from repro.errors import IntegrityError, SignatureError
+
+
+class TestHkdf:
+    def test_rfc5869_case_1(self):
+        # RFC 5869 A.1 (SHA-256).
+        ikm = bytes.fromhex("0b" * 22)
+        salt = bytes.fromhex("000102030405060708090a0b0c")
+        info = bytes.fromhex("f0f1f2f3f4f5f6f7f8f9")
+        okm = hkdf(ikm, salt, info, 42)
+        assert okm == bytes.fromhex(
+            "3cb25f25faacd57a90434f64d0362f2a"
+            "2d2d0a90cf1a5a4c5db02d56ecc4c5bf"
+            "34007208d5b887185865"
+        )
+
+    def test_deterministic(self):
+        assert hkdf(b"ikm", b"salt", b"info") == hkdf(b"ikm", b"salt", b"info")
+
+    def test_info_separates(self):
+        assert hkdf(b"ikm", b"salt", b"a") != hkdf(b"ikm", b"salt", b"b")
+
+    def test_length_parameter(self):
+        assert len(hkdf(b"i", b"s", b"x", 64)) == 64
+
+
+class TestSessionKey:
+    def test_mac_and_check(self):
+        key = SessionKey(b"\x01" * 32, b"\x01" * 32)
+        tag = key.mac(b"payload")
+        key.check(b"payload", tag)
+
+    def test_wrong_message_rejected(self):
+        key = SessionKey(b"\x01" * 32, b"\x01" * 32)
+        tag = key.mac(b"payload")
+        with pytest.raises(IntegrityError):
+            key.check(b"other", tag)
+
+    def test_wrong_tag_rejected(self):
+        key = SessionKey(b"\x01" * 32, b"\x01" * 32)
+        with pytest.raises(IntegrityError):
+            key.check(b"payload", b"\x00" * 32)
+
+    def test_directional_keys(self):
+        key = SessionKey(b"\x01" * 32, b"\x02" * 32)
+        tag = key.mac(b"m")
+        with pytest.raises(IntegrityError):
+            key.check(b"m", tag)  # own send key != recv key
+
+
+class TestHandshake:
+    def test_both_sides_derive_same_keys(self):
+        a, b = SigningKey.from_seed(b"a"), SigningKey.from_seed(b"b")
+        ha, hb = Handshake(a), Handshake(b)
+        sa = ha.finish(hb.offer(), b.public, initiator=True)
+        sb = hb.finish(ha.offer(), a.public, initiator=False)
+        sb.check(b"ping", sa.mac(b"ping"))
+        sa.check(b"pong", sb.mac(b"pong"))
+
+    def test_direction_separation(self):
+        a, b = SigningKey.from_seed(b"a"), SigningKey.from_seed(b"b")
+        ha, hb = Handshake(a), Handshake(b)
+        sa = ha.finish(hb.offer(), b.public, initiator=True)
+        sb = hb.finish(ha.offer(), a.public, initiator=False)
+        tag = sa.mac(b"m")
+        with pytest.raises(IntegrityError):
+            sa.check(b"m", tag)  # initiator cannot verify its own sends
+
+    def test_identity_mismatch_rejected(self):
+        a, b, c = (SigningKey.from_seed(s) for s in (b"a", b"b", b"c"))
+        ha, hb = Handshake(a), Handshake(b)
+        with pytest.raises(SignatureError):
+            ha.finish(hb.offer(), c.public, initiator=True)
+
+    def test_forged_offer_signature_rejected(self):
+        a, b = SigningKey.from_seed(b"a"), SigningKey.from_seed(b"b")
+        ha, hb = Handshake(a), Handshake(b)
+        offer = hb.offer()
+        offer["signature"] = bytes(64)
+        with pytest.raises(SignatureError):
+            ha.finish(offer, b.public, initiator=True)
+
+    def test_swapped_ephemeral_rejected(self):
+        # MITM swapping the ephemeral point breaks the signature.
+        a, b = SigningKey.from_seed(b"a"), SigningKey.from_seed(b"b")
+        ha, hb = Handshake(a), Handshake(b)
+        mitm = Handshake(SigningKey.from_seed(b"mitm"))
+        offer = hb.offer()
+        offer["ephemeral"] = mitm.offer()["ephemeral"]
+        with pytest.raises(SignatureError):
+            ha.finish(offer, b.public, initiator=True)
+
+    def test_garbage_ephemeral_rejected(self):
+        a, b = SigningKey.from_seed(b"a"), SigningKey.from_seed(b"b")
+        hb = Handshake(b)
+        offer = hb.offer()
+        offer["ephemeral"] = b"\xff" * 33
+        # Signature check fails first (it covers the ephemeral bytes).
+        with pytest.raises(SignatureError):
+            Handshake(a).finish(offer, b.public, initiator=True)
+
+    def test_fresh_ephemeral_per_handshake(self):
+        a = SigningKey.from_seed(b"a")
+        assert Handshake(a).offer()["ephemeral"] != Handshake(a).offer()["ephemeral"]

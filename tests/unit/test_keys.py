@@ -1,0 +1,69 @@
+"""SigningKey / VerifyingKey objects and serialization."""
+
+import pytest
+
+from repro.crypto import SigningKey, VerifyingKey
+from repro.errors import SignatureError
+
+
+class TestSigningKey:
+    def test_generate_unique(self):
+        assert SigningKey.generate().to_bytes() != SigningKey.generate().to_bytes()
+
+    def test_from_seed_deterministic(self):
+        a = SigningKey.from_seed(b"seed")
+        b = SigningKey.from_seed(b"seed")
+        assert a.to_bytes() == b.to_bytes()
+
+    def test_from_seed_distinct_seeds(self):
+        assert (
+            SigningKey.from_seed(b"a").to_bytes()
+            != SigningKey.from_seed(b"b").to_bytes()
+        )
+
+    def test_sign_verify(self):
+        key = SigningKey.from_seed(b"k")
+        sig = key.sign(b"message")
+        assert key.public.verify(b"message", sig)
+
+    def test_serialization_roundtrip(self):
+        key = SigningKey.from_seed(b"k")
+        restored = SigningKey.from_bytes(key.to_bytes())
+        assert restored.public == key.public
+
+    def test_bad_length_rejected(self):
+        with pytest.raises(SignatureError):
+            SigningKey.from_bytes(b"\x01" * 31)
+
+    def test_zero_scalar_rejected(self):
+        with pytest.raises(SignatureError):
+            SigningKey(0)
+
+
+class TestVerifyingKey:
+    def test_serialization_roundtrip(self):
+        key = SigningKey.from_seed(b"k").public
+        assert VerifyingKey.from_bytes(key.to_bytes()) == key
+
+    def test_compressed_length(self):
+        assert len(SigningKey.from_seed(b"k").public.to_bytes()) == 33
+
+    def test_equality_and_hash(self):
+        a = SigningKey.from_seed(b"k").public
+        b = VerifyingKey.from_bytes(a.to_bytes())
+        c = SigningKey.from_seed(b"other").public
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+
+    def test_garbage_rejected(self):
+        with pytest.raises(SignatureError):
+            VerifyingKey.from_bytes(b"\x02" + b"\xff" * 32)
+
+    def test_verify_false_on_wrong_key(self):
+        signer = SigningKey.from_seed(b"signer")
+        other = SigningKey.from_seed(b"other").public
+        assert not other.verify(b"m", signer.sign(b"m"))
+
+    def test_keys_usable_as_dict_keys(self):
+        keys = {SigningKey.from_seed(bytes([i])).public: i for i in range(5)}
+        assert len(keys) == 5

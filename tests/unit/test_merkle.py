@@ -1,0 +1,116 @@
+"""Merkle trees: roots, inclusion proofs, and attack resistance."""
+
+import pytest
+
+from repro.crypto.merkle import EMPTY_ROOT, InclusionProof, MerkleTree, leaf_hash, node_hash
+from repro.errors import IntegrityError
+
+
+class TestTreeShape:
+    def test_empty_root(self):
+        assert MerkleTree().root() == EMPTY_ROOT
+
+    def test_single_leaf_root(self):
+        tree = MerkleTree([b"only"])
+        assert tree.root() == leaf_hash(b"only")
+
+    def test_two_leaf_root(self):
+        tree = MerkleTree([b"a", b"b"])
+        assert tree.root() == node_hash(leaf_hash(b"a"), leaf_hash(b"b"))
+
+    def test_append_returns_index(self):
+        tree = MerkleTree()
+        assert tree.append(b"x") == 0
+        assert tree.append(b"y") == 1
+
+    def test_root_changes_on_append(self):
+        tree = MerkleTree([b"a"])
+        before = tree.root()
+        tree.append(b"b")
+        assert tree.root() != before
+
+    def test_prefix_roots_stable(self):
+        tree = MerkleTree([b"l%d" % i for i in range(10)])
+        prefix_root = tree.root(4)
+        tree.append(b"more")
+        assert tree.root(4) == prefix_root
+
+    def test_leaf_order_matters(self):
+        assert MerkleTree([b"a", b"b"]).root() != MerkleTree([b"b", b"a"]).root()
+
+    def test_root_size_bounds(self):
+        tree = MerkleTree([b"a"])
+        with pytest.raises(ValueError):
+            tree.root(2)
+        with pytest.raises(ValueError):
+            tree.root(-1)
+
+
+class TestInclusionProofs:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 5, 6, 7, 8, 9, 15, 16, 17, 33])
+    def test_all_leaves_provable(self, n):
+        tree = MerkleTree([b"leaf%d" % i for i in range(n)])
+        root = tree.root()
+        for i in range(n):
+            tree.prove(i).verify(b"leaf%d" % i, root)
+
+    def test_wrong_leaf_rejected(self):
+        tree = MerkleTree([b"l%d" % i for i in range(9)])
+        with pytest.raises(IntegrityError):
+            tree.prove(3).verify(b"l4", tree.root())
+
+    def test_wrong_root_rejected(self):
+        tree = MerkleTree([b"l%d" % i for i in range(9)])
+        with pytest.raises(IntegrityError):
+            tree.prove(3).verify(b"l3", b"\x00" * 32)
+
+    def test_wrong_index_rejected(self):
+        tree = MerkleTree([b"l%d" % i for i in range(9)])
+        proof = tree.prove(3)
+        mangled = InclusionProof(4, proof.tree_size, proof.path)
+        with pytest.raises(IntegrityError):
+            mangled.verify(b"l3", tree.root())
+
+    def test_truncated_path_rejected(self):
+        tree = MerkleTree([b"l%d" % i for i in range(9)])
+        proof = tree.prove(3)
+        mangled = InclusionProof(3, proof.tree_size, proof.path[:-1])
+        with pytest.raises(IntegrityError):
+            mangled.verify(b"l3", tree.root())
+
+    def test_index_out_of_range_rejected(self):
+        proof = InclusionProof(5, 4, [])
+        with pytest.raises(IntegrityError):
+            proof.verify(b"x", b"\x00" * 32)
+
+    def test_prefix_proof(self):
+        tree = MerkleTree([b"l%d" % i for i in range(10)])
+        tree.prove(2, size=5).verify(b"l2", tree.root(5))
+
+    def test_prove_bounds(self):
+        tree = MerkleTree([b"a", b"b"])
+        with pytest.raises(ValueError):
+            tree.prove(2)
+        with pytest.raises(ValueError):
+            tree.prove(0, size=3)
+
+    def test_wire_roundtrip(self):
+        tree = MerkleTree([b"l%d" % i for i in range(7)])
+        proof = tree.prove(4)
+        restored = InclusionProof.from_wire(proof.to_wire())
+        restored.verify(b"l4", tree.root())
+
+
+class TestSecondPreimageResistance:
+    def test_leaf_and_node_domains_differ(self):
+        # A leaf whose content equals a node's children concatenation
+        # must not hash to the node.
+        left, right = leaf_hash(b"a"), leaf_hash(b"b")
+        assert leaf_hash(left + right) != node_hash(left, right)
+
+    def test_interior_node_cannot_be_presented_as_leaf(self):
+        tree = MerkleTree([b"a", b"b", b"c", b"d"])
+        interior = node_hash(leaf_hash(b"a"), leaf_hash(b"b"))
+        # Trying to prove the interior node as a leaf of a 2-leaf tree.
+        fake_tree = MerkleTree([interior, node_hash(leaf_hash(b"c"), leaf_hash(b"d"))])
+        assert fake_tree.root() != tree.root()

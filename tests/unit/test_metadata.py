@@ -1,0 +1,128 @@
+"""Signed metadata: self-certification and name binding."""
+
+import pytest
+
+from repro.errors import NameError_, SignatureError
+from repro.naming import (
+    KIND_CAPSULE,
+    KIND_CLIENT,
+    KIND_ORGANIZATION,
+    KIND_ROUTER,
+    KIND_SERVER,
+    Metadata,
+    make_capsule_metadata,
+    make_client_metadata,
+    make_organization_metadata,
+    make_router_metadata,
+    make_server_metadata,
+)
+from repro.naming.metadata import MODE_QSW
+
+
+class TestCapsuleMetadata:
+    def test_name_is_deterministic(self, owner_key, writer_key):
+        a = make_capsule_metadata(owner_key, writer_key.public)
+        b = make_capsule_metadata(owner_key, writer_key.public)
+        assert a.name == b.name
+
+    def test_extra_properties_change_name(self, owner_key, writer_key):
+        a = make_capsule_metadata(owner_key, writer_key.public)
+        b = make_capsule_metadata(
+            owner_key, writer_key.public, extra={"nonce": 1}
+        )
+        assert a.name != b.name
+
+    def test_verify_succeeds(self, owner_key, writer_key):
+        md = make_capsule_metadata(owner_key, writer_key.public)
+        md.verify()
+        md.verify(expected_name=md.name)
+
+    def test_verify_rejects_wrong_name(self, owner_key, writer_key):
+        a = make_capsule_metadata(owner_key, writer_key.public)
+        b = make_capsule_metadata(
+            owner_key, writer_key.public, extra={"nonce": 2}
+        )
+        with pytest.raises(NameError_):
+            a.verify(expected_name=b.name)
+
+    def test_forged_signature_rejected(self, owner_key, writer_key):
+        md = make_capsule_metadata(owner_key, writer_key.public)
+        forged = Metadata(md.kind, md.properties, bytes(64))
+        with pytest.raises(SignatureError):
+            forged.verify()
+
+    def test_tampered_properties_change_name(self, owner_key, writer_key):
+        md = make_capsule_metadata(owner_key, writer_key.public)
+        props = dict(md.properties)
+        props["pointer_strategy"] = "skiplist"
+        tampered = Metadata(md.kind, props, md.signature)
+        # Tampering moves the name, so checking against the original
+        # name fails before the signature is even consulted.
+        with pytest.raises(NameError_):
+            tampered.verify(expected_name=md.name)
+
+    def test_writer_key_accessor(self, owner_key, writer_key):
+        md = make_capsule_metadata(owner_key, writer_key.public)
+        assert md.writer_key == writer_key.public
+        assert md.owner_key == owner_key.public
+
+    def test_writer_mode_property(self, owner_key, writer_key):
+        md = make_capsule_metadata(
+            owner_key, writer_key.public, writer_mode=MODE_QSW
+        )
+        assert md.properties["writer_mode"] == "qsw"
+
+    def test_invalid_writer_mode_rejected(self, owner_key, writer_key):
+        with pytest.raises(NameError_):
+            make_capsule_metadata(
+                owner_key, writer_key.public, writer_mode="chaos"
+            )
+
+    def test_wire_roundtrip(self, owner_key, writer_key):
+        md = make_capsule_metadata(owner_key, writer_key.public)
+        restored = Metadata.from_wire(md.to_wire())
+        assert restored == md
+        assert restored.name == md.name
+        restored.verify()
+
+
+class TestOtherKinds:
+    def test_server_metadata(self, owner_key, other_key):
+        md = make_server_metadata(owner_key, other_key.public)
+        assert md.kind == KIND_SERVER
+        assert md.self_key == other_key.public
+        md.verify()
+
+    def test_router_metadata(self, owner_key, other_key):
+        md = make_router_metadata(owner_key, other_key.public)
+        assert md.kind == KIND_ROUTER
+        md.verify()
+
+    def test_client_metadata_defaults_self_key(self, owner_key):
+        md = make_client_metadata(owner_key)
+        assert md.kind == KIND_CLIENT
+        assert md.self_key == owner_key.public
+
+    def test_organization_metadata(self, owner_key):
+        md = make_organization_metadata(owner_key)
+        assert md.kind == KIND_ORGANIZATION
+        md.verify()
+
+    def test_kinds_namespace_names(self, owner_key, other_key):
+        # Same key material, different kinds -> different names.
+        server = make_server_metadata(owner_key, other_key.public)
+        router = make_router_metadata(owner_key, other_key.public)
+        assert server.name != router.name
+
+    def test_unknown_kind_rejected(self, owner_key):
+        with pytest.raises(NameError_):
+            Metadata("gdp.unknown", {"owner_pub": owner_key.public.to_bytes()}, b"")
+
+    def test_missing_owner_key_rejected(self):
+        with pytest.raises(NameError_):
+            Metadata(KIND_CAPSULE, {"writer_pub": b"x"}, b"")
+
+    def test_writer_key_missing_raises(self, owner_key, other_key):
+        md = make_server_metadata(owner_key, other_key.public)
+        with pytest.raises(NameError_):
+            _ = md.writer_key

@@ -1,0 +1,63 @@
+"""Flat GDP names."""
+
+import pytest
+
+from repro.errors import NameError_
+from repro.naming import GdpName
+
+
+class TestGdpName:
+    def test_construction(self):
+        name = GdpName(b"\x01" * 32)
+        assert name.raw == b"\x01" * 32
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(NameError_):
+            GdpName(b"\x01" * 31)
+        with pytest.raises(NameError_):
+            GdpName(b"")
+
+    def test_immutable(self):
+        name = GdpName(b"\x01" * 32)
+        with pytest.raises(AttributeError):
+            name._raw = b"\x02" * 32
+
+    def test_derive_deterministic(self):
+        assert GdpName.derive("d", [1, 2]) == GdpName.derive("d", [1, 2])
+
+    def test_derive_domain_separated(self):
+        assert GdpName.derive("a", [1]) != GdpName.derive("b", [1])
+
+    def test_equality_hash_ordering(self):
+        a = GdpName(b"\x01" * 32)
+        b = GdpName(b"\x01" * 32)
+        c = GdpName(b"\x02" * 32)
+        assert a == b and hash(a) == hash(b)
+        assert a < c and a <= b
+
+    def test_hex_roundtrip(self):
+        name = GdpName.derive("d", "x")
+        assert GdpName.from_hex(name.hex()) == name
+
+    def test_from_hex_rejects_garbage(self):
+        with pytest.raises(NameError_):
+            GdpName.from_hex("zz")
+
+    def test_distance_xor_metric(self):
+        a = GdpName(b"\x00" * 32)
+        b = GdpName(b"\x00" * 31 + b"\x05")
+        assert a.distance(b) == 5
+        assert a.distance(a) == 0
+        assert a.distance(b) == b.distance(a)
+
+    def test_as_int(self):
+        assert GdpName(b"\x00" * 31 + b"\x07").as_int() == 7
+
+    def test_human_short_and_stable(self):
+        name = GdpName.derive("d", "x")
+        assert len(name.human()) == 10
+        assert name.human() == name.human()
+
+    def test_bytes_conversion(self):
+        name = GdpName(b"\x03" * 32)
+        assert bytes(name) == b"\x03" * 32

@@ -1,0 +1,44 @@
+"""PDU framing and size accounting."""
+
+from repro.naming import GdpName
+from repro.routing.pdu import DEFAULT_TTL, HEADER_BYTES, Pdu
+
+SRC = GdpName(b"\x01" * 32)
+DST = GdpName(b"\x02" * 32)
+
+
+class TestPdu:
+    def test_construction(self):
+        pdu = Pdu(SRC, DST, "data", {"op": "read"})
+        assert pdu.src == SRC and pdu.dst == DST
+        assert pdu.ttl == DEFAULT_TTL
+
+    def test_corr_ids_unique(self):
+        a = Pdu(SRC, DST, "data", {})
+        b = Pdu(SRC, DST, "data", {})
+        assert a.corr_id != b.corr_id
+
+    def test_response_swaps_and_correlates(self):
+        request = Pdu(SRC, DST, "data", {"op": "read"})
+        response = request.response("resp", {"ok": True})
+        assert response.src == DST and response.dst == SRC
+        assert response.corr_id == request.corr_id
+
+    def test_size_includes_header_and_payload(self):
+        small = Pdu(SRC, DST, "data", b"")
+        large = Pdu(SRC, DST, "data", b"\x00" * 1000)
+        assert small.size_bytes >= HEADER_BYTES
+        assert large.size_bytes >= HEADER_BYTES + 1000
+        assert large.size_bytes > small.size_bytes
+
+    def test_size_cached(self):
+        pdu = Pdu(SRC, DST, "data", b"x" * 100)
+        assert pdu.size_bytes == pdu.size_bytes
+
+    def test_decremented_preserves_identity(self):
+        pdu = Pdu(SRC, DST, "data", {"op": "read"})
+        hopped = pdu.decremented()
+        assert hopped.ttl == pdu.ttl - 1
+        assert hopped.corr_id == pdu.corr_id
+        assert hopped.payload == pdu.payload
+        assert hopped.size_bytes == pdu.size_bytes

@@ -1,0 +1,98 @@
+"""QosTracker mechanics (no network)."""
+
+from repro.client.qos import ProviderStats, QosTracker
+from repro.naming import GdpName
+
+S1 = GdpName(b"\x01" * 32)
+S2 = GdpName(b"\x02" * 32)
+
+
+def make_tracker():
+    clock = {"now": 0.0}
+    tracker = QosTracker(clock=lambda: clock["now"])
+    return tracker, clock
+
+
+class TestTracking:
+    def test_latency_measured(self):
+        tracker, clock = make_tracker()
+        tracker.request_sent(1)
+        clock["now"] = 0.25
+        tracker.response_attributed(1, S1, ok=True)
+        stats = tracker.report()[S1]
+        assert stats.latencies == [0.25]
+        assert stats.mean_latency == 0.25
+
+    def test_multiple_providers_separate(self):
+        tracker, clock = make_tracker()
+        tracker.request_sent(1)
+        tracker.response_attributed(1, S1, ok=True)
+        tracker.request_sent(2)
+        tracker.response_attributed(2, S2, ok=False)
+        report = tracker.report()
+        assert report[S1].ok_count == 1 and report[S1].error_count == 0
+        assert report[S2].ok_count == 0 and report[S2].error_count == 1
+
+    def test_unmatched_response_still_counts(self):
+        tracker, clock = make_tracker()
+        tracker.response_attributed(99, S1, ok=True)  # no request_sent
+        stats = tracker.report()[S1]
+        assert stats.ok_count == 1
+        assert stats.latencies == []
+        assert stats.mean_latency is None
+
+    def test_timeout_counted(self):
+        tracker, clock = make_tracker()
+        tracker.request_sent(1)
+        tracker.request_timed_out(1)
+        assert tracker.timeouts == 1
+        assert tracker.report() == {}
+
+    def test_p95(self):
+        tracker, clock = make_tracker()
+        for i in range(100):
+            tracker.request_sent(i)
+            clock["now"] += 0.001 * (i + 1)
+            tracker.response_attributed(i, S1, ok=True)
+            clock["now"] = 0.0
+        stats = tracker.report()[S1]
+        assert stats.p95_latency >= sorted(stats.latencies)[94]
+
+
+class TestViolators:
+    def fill(self, tracker, clock, server, latency, ok_pattern):
+        for i, ok in enumerate(ok_pattern):
+            corr = hash((server, i)) % 10**9
+            clock["now"] = 0.0
+            tracker.request_sent(corr)
+            clock["now"] = latency
+            tracker.response_attributed(corr, server, ok=ok)
+
+    def test_latency_violation(self):
+        tracker, clock = make_tracker()
+        self.fill(tracker, clock, S1, 0.5, [True] * 4)
+        self.fill(tracker, clock, S2, 0.01, [True] * 4)
+        violators = tracker.violators(max_mean_latency=0.1)
+        assert [v.server for v in violators] == [S1]
+
+    def test_error_rate_violation(self):
+        tracker, clock = make_tracker()
+        self.fill(tracker, clock, S1, 0.01, [True, False, False, False])
+        self.fill(tracker, clock, S2, 0.01, [True, True, True, True])
+        violators = tracker.violators(max_error_rate=0.5)
+        assert [v.server for v in violators] == [S1]
+
+    def test_min_requests_filters_noise(self):
+        tracker, clock = make_tracker()
+        self.fill(tracker, clock, S1, 0.5, [True])
+        assert tracker.violators(max_mean_latency=0.1, min_requests=2) == []
+
+    def test_no_thresholds_no_violators(self):
+        tracker, clock = make_tracker()
+        self.fill(tracker, clock, S1, 0.5, [False] * 3)
+        assert tracker.violators() == []
+
+    def test_error_rate_zero_when_empty(self):
+        stats = ProviderStats(S1)
+        assert stats.error_rate == 0.0
+        assert stats.mean_latency is None

@@ -1,0 +1,160 @@
+"""The verifying reader: trust bootstrapping and rejection paths."""
+
+import pytest
+
+from repro.capsule import (
+    CapsuleWriter,
+    DataCapsule,
+    VerifyingReader,
+    build_position_proof,
+    build_range_proof,
+)
+from repro.errors import (
+    EquivocationError,
+    IntegrityError,
+    SecurityError,
+)
+from repro.naming import Metadata
+
+
+@pytest.fixture()
+def setup(capsule_factory, writer_key):
+    capsule = capsule_factory("skiplist")
+    writer = CapsuleWriter(capsule, writer_key)
+    for i in range(15):
+        writer.append(b"data-%d" % i)
+    reader = VerifyingReader(capsule.name)
+    return capsule, writer, reader
+
+
+class TestMetadataBootstrap:
+    def test_accept_genuine(self, setup):
+        capsule, _, reader = setup
+        reader.accept_metadata(capsule.metadata)
+        assert reader.capsule.name == capsule.name
+
+    def test_reject_wrong_name(self, setup, capsule_factory):
+        _, _, reader = setup
+        other = capsule_factory()
+        with pytest.raises(Exception):
+            reader.accept_metadata(other.metadata)
+
+    def test_reject_forged_signature(self, setup):
+        capsule, _, reader = setup
+        forged = Metadata(
+            capsule.metadata.kind, capsule.metadata.properties, bytes(64)
+        )
+        with pytest.raises(Exception):
+            reader.accept_metadata(forged)
+
+    def test_capsule_before_metadata_raises(self, setup):
+        _, _, reader = setup
+        with pytest.raises(SecurityError):
+            _ = reader.capsule
+
+
+class TestRecordAcceptance:
+    def test_accept_valid(self, setup, writer_key):
+        capsule, _, reader = setup
+        reader.accept_metadata(capsule.metadata)
+        proof = build_position_proof(capsule, 7)
+        record = reader.accept_record(capsule.get(7), proof)
+        assert record.payload == b"data-6"
+        assert reader.frontier.seqno == 15
+
+    def test_reject_tampered_record(self, setup):
+        capsule, _, reader = setup
+        reader.accept_metadata(capsule.metadata)
+        proof = build_position_proof(capsule, 7)
+        from repro.capsule.records import Record
+
+        forged = Record(
+            capsule.name, 7, b"EVIL", capsule.get(7).pointers
+        )
+        with pytest.raises(IntegrityError):
+            reader.accept_record(forged, proof)
+
+    def test_accept_range(self, setup):
+        capsule, _, reader = setup
+        reader.accept_metadata(capsule.metadata)
+        proof = build_range_proof(capsule, 3, 9)
+        records = reader.accept_range(capsule.read_range(3, 9), proof)
+        assert len(records) == 7
+
+    def test_accumulates_into_local_capsule(self, setup):
+        capsule, _, reader = setup
+        reader.accept_metadata(capsule.metadata)
+        reader.accept_range(
+            capsule.read_range(1, 15), build_range_proof(capsule, 1, 15)
+        )
+        assert reader.verify_everything() >= 15
+
+
+class TestFreshness:
+    def test_stale_response_detected(self, setup):
+        capsule, _, reader = setup
+        reader.accept_metadata(capsule.metadata)
+        # Reader sees the latest state first.
+        reader.accept_record(
+            capsule.get(15), build_position_proof(capsule, 15)
+        )
+        # A stale replica answers anchored at heartbeat 10.
+        old_hb = next(hb for hb in capsule.heartbeats() if hb.seqno == 10)
+        with pytest.raises(IntegrityError):
+            reader.check_freshness(old_hb)
+
+    def test_equal_frontier_accepted(self, setup):
+        capsule, _, reader = setup
+        reader.accept_metadata(capsule.metadata)
+        proof = build_position_proof(capsule, 15)
+        reader.accept_record(capsule.get(15), proof)
+        reader.check_freshness(proof.heartbeat)  # same seqno: fine
+
+    def test_frontier_advances_monotonically(self, setup, writer_key):
+        capsule, writer, reader = setup
+        reader.accept_metadata(capsule.metadata)
+        reader.accept_record(capsule.get(5), build_position_proof(capsule, 5))
+        first_frontier = reader.frontier.seqno
+        writer.append(b"new")
+        reader.accept_record(
+            capsule.get(16), build_position_proof(capsule, 16)
+        )
+        assert reader.frontier.seqno == 16 > first_frontier
+
+
+class TestEquivocationAtReader:
+    def test_forked_writer_detected(self, capsule_factory, writer_key):
+        capsule = capsule_factory("chain")
+        writer = CapsuleWriter(capsule, writer_key)
+        for i in range(3):
+            writer.append(b"%d" % i)
+        # A second history from a writer that lost state.
+        fork = DataCapsule(capsule.metadata, verify_metadata=False)
+        fork_writer = CapsuleWriter(fork, writer_key)
+        fork_writer.append(b"0")
+        fork_writer.append(b"1")
+        fork_writer.append(b"DIVERGED")
+        reader = VerifyingReader(capsule.name)
+        reader.accept_metadata(capsule.metadata)
+        reader.accept_record(capsule.get(3), build_position_proof(capsule, 3))
+        with pytest.raises(EquivocationError):
+            reader.accept_record(
+                fork.get(3), build_position_proof(fork, 3)
+            )
+
+    def test_qsw_fork_tolerated(self, capsule_factory, writer_key):
+        capsule = capsule_factory("chain", mode="qsw")
+        writer = CapsuleWriter(capsule, writer_key)
+        for i in range(3):
+            writer.append(b"%d" % i)
+        fork = DataCapsule(capsule.metadata, verify_metadata=False)
+        fork_writer = CapsuleWriter(fork, writer_key)
+        fork_writer.append(b"0")
+        fork_writer.append(b"1")
+        fork_writer.append(b"DIVERGED")
+        reader = VerifyingReader(capsule.name)
+        reader.accept_metadata(capsule.metadata)
+        reader.accept_record(capsule.get(3), build_position_proof(capsule, 3))
+        # Same evidence, declared-QSW capsule: branch, not equivocation.
+        reader.accept_record(fork.get(3), build_position_proof(fork, 3))
+        assert reader.capsule.is_branched()

@@ -1,0 +1,137 @@
+"""DataCapsule records: digests, pointers, wire forms."""
+
+import pytest
+
+from repro.capsule.records import Record, metadata_anchor
+from repro.crypto.hashing import HashPointer, sha256
+from repro.errors import IntegrityError
+from repro.naming import GdpName
+
+NAME = GdpName(b"\x11" * 32)
+OTHER = GdpName(b"\x22" * 32)
+PTR = HashPointer(0, metadata_anchor(NAME).digest)
+
+
+def make(seqno=1, payload=b"data", pointers=None, name=NAME):
+    if pointers is None:
+        pointers = [metadata_anchor(name)] if seqno == 1 else [
+            HashPointer(seqno - 1, b"\x05" * 32)
+        ]
+    return Record(name, seqno, payload, pointers)
+
+
+class TestRecordConstruction:
+    def test_basic(self):
+        record = make()
+        assert record.seqno == 1
+        assert record.payload == b"data"
+        assert len(record.digest) == 32
+
+    def test_immutable(self):
+        record = make()
+        with pytest.raises(AttributeError):
+            record.payload = b"other"
+
+    def test_seqno_zero_rejected(self):
+        with pytest.raises(ValueError):
+            Record(NAME, 0, b"x", [metadata_anchor(NAME)])
+
+    def test_no_pointers_rejected(self):
+        with pytest.raises(ValueError):
+            Record(NAME, 1, b"x", [])
+
+    def test_forward_pointer_rejected(self):
+        with pytest.raises(ValueError):
+            Record(NAME, 2, b"x", [HashPointer(2, b"\x05" * 32)])
+        with pytest.raises(ValueError):
+            Record(NAME, 2, b"x", [HashPointer(5, b"\x05" * 32)])
+
+    def test_duplicate_pointer_targets_rejected(self):
+        with pytest.raises(ValueError):
+            Record(
+                NAME, 3, b"x",
+                [HashPointer(1, b"\x05" * 32), HashPointer(1, b"\x06" * 32)],
+            )
+
+    def test_pointers_sorted_descending(self):
+        record = Record(
+            NAME, 5, b"x",
+            [HashPointer(1, b"\x01" * 32), HashPointer(4, b"\x04" * 32)],
+        )
+        assert [p.seqno for p in record.pointers] == [4, 1]
+        assert record.prev.seqno == 4
+
+    def test_empty_payload_allowed(self):
+        assert make(payload=b"").payload == b""
+
+
+class TestDigests:
+    def test_digest_deterministic(self):
+        assert make().digest == make().digest
+
+    def test_digest_covers_payload(self):
+        assert make(payload=b"a").digest != make(payload=b"b").digest
+
+    def test_digest_covers_seqno(self):
+        a = make(seqno=2)
+        b = make(seqno=3, pointers=[HashPointer(2, b"\x05" * 32)])
+        assert a.digest != b.digest
+
+    def test_digest_covers_capsule_name(self):
+        assert make(name=NAME).digest != make(
+            name=OTHER,
+            pointers=[metadata_anchor(OTHER)],
+        ).digest
+
+    def test_digest_covers_pointers(self):
+        a = make(seqno=2, pointers=[HashPointer(1, b"\x05" * 32)])
+        b = make(seqno=2, pointers=[HashPointer(1, b"\x06" * 32)])
+        assert a.digest != b.digest
+
+    def test_payload_hash(self):
+        assert make(payload=b"xyz").payload_hash == sha256(b"xyz")
+
+
+class TestWireForms:
+    def test_roundtrip(self):
+        record = make(seqno=3, pointers=[HashPointer(2, b"\x07" * 32)])
+        restored = Record.from_wire(NAME, record.to_wire())
+        assert restored == record
+        assert restored.digest == record.digest
+
+    def test_malformed_wire_rejected(self):
+        with pytest.raises(IntegrityError):
+            Record.from_wire(NAME, {"seqno": 1})
+        with pytest.raises(IntegrityError):
+            Record.from_wire(NAME, {"seqno": 0, "payload": b"", "pointers": []})
+
+    def test_header_verification(self):
+        record = make()
+        Record.verify_header(NAME, record.header_wire(), record.digest)
+
+    def test_header_tamper_detected(self):
+        record = make()
+        header = record.header_wire()
+        header["payload_hash"] = sha256(b"forged")
+        with pytest.raises(IntegrityError):
+            Record.verify_header(NAME, header, record.digest)
+
+    def test_header_has_no_payload(self):
+        record = make(payload=b"big" * 1000)
+        assert "payload" not in record.header_wire()
+
+    def test_pointer_to(self):
+        record = Record(
+            NAME, 5, b"x",
+            [HashPointer(4, b"\x04" * 32), HashPointer(1, b"\x01" * 32)],
+        )
+        assert record.pointer_to(4).digest == b"\x04" * 32
+        assert record.pointer_to(3) is None
+
+
+class TestAnchor:
+    def test_anchor_is_per_capsule(self):
+        assert metadata_anchor(NAME) != metadata_anchor(OTHER)
+
+    def test_anchor_seqno_zero(self):
+        assert metadata_anchor(NAME).seqno == 0

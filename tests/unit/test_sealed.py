@@ -1,0 +1,106 @@
+"""Sealed payloads and read-grant key sharing."""
+
+import pytest
+
+from repro.capsule.sealed import ContentKey, ReadGrant, open_payload, seal_payload
+from repro.errors import IntegrityError
+from repro.naming import GdpName
+
+NAME = GdpName(b"\x55" * 32)
+OTHER = GdpName(b"\x66" * 32)
+
+
+class TestContentKey:
+    def test_generate_unique(self):
+        assert ContentKey.generate(NAME).to_bytes() != ContentKey.generate(NAME).to_bytes()
+
+    def test_record_keys_differ_per_seqno(self):
+        key = ContentKey.generate(NAME)
+        assert key.record_key(1) != key.record_key(2)
+
+    def test_record_keys_deterministic(self):
+        key = ContentKey(NAME, b"\x01" * 32)
+        same = ContentKey(NAME, b"\x01" * 32)
+        assert key.record_key(5) == same.record_key(5)
+
+    def test_capsule_binds_key_derivation(self):
+        a = ContentKey(NAME, b"\x01" * 32)
+        b = ContentKey(OTHER, b"\x01" * 32)
+        assert a.record_key(1) != b.record_key(1)
+
+    def test_bad_length_rejected(self):
+        with pytest.raises(ValueError):
+            ContentKey(NAME, b"short")
+
+
+class TestSealOpen:
+    def test_roundtrip(self):
+        key = ContentKey.generate(NAME)
+        sealed = seal_payload(key, 3, b"plaintext")
+        assert open_payload(key, 3, sealed) == b"plaintext"
+
+    def test_wrong_slot_rejected(self):
+        """Replaying a sealed record into a different slot fails (the
+        AAD binds capsule + seqno)."""
+        key = ContentKey.generate(NAME)
+        sealed = seal_payload(key, 3, b"plaintext")
+        with pytest.raises(IntegrityError):
+            open_payload(key, 4, sealed)
+
+    def test_wrong_key_rejected(self):
+        sealed = seal_payload(ContentKey.generate(NAME), 1, b"x")
+        with pytest.raises(IntegrityError):
+            open_payload(ContentKey.generate(NAME), 1, sealed)
+
+    def test_tamper_rejected(self):
+        key = ContentKey.generate(NAME)
+        sealed = bytearray(seal_payload(key, 1, b"x"))
+        sealed[-1] ^= 1
+        with pytest.raises(IntegrityError):
+            open_payload(key, 1, bytes(sealed))
+
+    def test_infrastructure_never_sees_plaintext(self):
+        key = ContentKey.generate(NAME)
+        secret = b"the secret measurement"
+        sealed = seal_payload(key, 1, secret)
+        assert secret not in sealed
+
+
+class TestReadGrant:
+    def test_grant_unwraps(self, other_key):
+        key = ContentKey.generate(NAME)
+        grant = ReadGrant.create(key, other_key.public)
+        recovered = grant.unwrap(other_key)
+        assert recovered.to_bytes() == key.to_bytes()
+        assert recovered.capsule == NAME
+
+    def test_wrong_reader_rejected(self, other_key, writer_key):
+        key = ContentKey.generate(NAME)
+        grant = ReadGrant.create(key, other_key.public)
+        with pytest.raises(IntegrityError):
+            grant.unwrap(writer_key)
+
+    def test_grant_gives_working_record_keys(self, other_key):
+        key = ContentKey.generate(NAME)
+        sealed = seal_payload(key, 9, b"for your eyes")
+        grant = ReadGrant.create(key, other_key.public)
+        recovered = grant.unwrap(other_key)
+        assert open_payload(recovered, 9, sealed) == b"for your eyes"
+
+    def test_wire_roundtrip(self, other_key):
+        key = ContentKey.generate(NAME)
+        grant = ReadGrant.create(key, other_key.public)
+        restored = ReadGrant.from_wire(grant.to_wire())
+        assert restored.unwrap(other_key).to_bytes() == key.to_bytes()
+
+    def test_tampered_grant_rejected(self, other_key):
+        key = ContentKey.generate(NAME)
+        grant = ReadGrant.create(key, other_key.public)
+        wire = grant.to_wire()
+        wire["wrapped"] = bytes(len(wire["wrapped"]))
+        with pytest.raises(IntegrityError):
+            ReadGrant.from_wire(wire).unwrap(other_key)
+
+    def test_malformed_wire_rejected(self):
+        with pytest.raises(IntegrityError):
+            ReadGrant.from_wire({"capsule": b"short"})

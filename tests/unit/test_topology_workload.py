@@ -1,0 +1,107 @@
+"""Topology builders and workload generators."""
+
+import pytest
+
+from repro.sim import (
+    MBPS,
+    blob,
+    federated_campus,
+    poisson_arrivals,
+    record_sizes,
+    residential_edge_cloud,
+    sensor_readings,
+    single_router,
+)
+
+
+class TestTopologies:
+    def test_single_router(self):
+        topo = single_router()
+        assert "r0" in topo.routers
+        assert topo.router("r0").domain is topo.domain("global")
+
+    def test_residential_edge_cloud_shape(self):
+        topo = residential_edge_cloud()
+        assert set(topo.domains) == {"global", "global.cloud", "global.home"}
+        home = topo.domain("global.home")
+        assert home.parent is topo.domain("global")
+        assert home.gateway is topo.router("r_home")
+
+    def test_residential_uplink_asymmetric(self):
+        topo = residential_edge_cloud()
+        r_home, r_isp = topo.router("r_home"), topo.router("r_isp")
+        link = r_home.link_to(r_isp)
+        assert link.bandwidth[(r_home, r_isp)] == 10 * MBPS
+        assert link.bandwidth[(r_isp, r_home)] == 100 * MBPS
+
+    def test_federated_campus(self):
+        topo = federated_campus(n_domains=4, routers_per_domain=3)
+        assert len(topo.domains) == 5  # root + 4 sites
+        assert len(topo.routers) == 1 + 4 * 3
+        for d in range(4):
+            domain = topo.domain(f"global.site{d}")
+            assert domain.gateway is not None
+            assert domain.parent_attachment is topo.router("bb0")
+
+    def test_deterministic_by_seed(self):
+        a = residential_edge_cloud(seed=5)
+        b = residential_edge_cloud(seed=5)
+        assert sorted(a.routers) == sorted(b.routers)
+
+
+class TestWorkloads:
+    def test_blob_deterministic(self):
+        assert blob(1000, seed=1) == blob(1000, seed=1)
+
+    def test_blob_seed_varies(self):
+        assert blob(1000, seed=1) != blob(1000, seed=2)
+
+    def test_blob_size_exact(self):
+        for size in [0, 1, 100, 65536, 65537, 200_000]:
+            assert len(blob(size)) == size
+
+    def test_blob_negative_rejected(self):
+        with pytest.raises(ValueError):
+            blob(-1)
+
+    def test_record_sizes_distributions(self):
+        for dist in ["fixed", "uniform", "lognormal"]:
+            sizes = record_sizes(500, mean=512, distribution=dist, seed=3)
+            assert len(sizes) == 500
+            assert all(s >= 1 for s in sizes)
+        fixed = record_sizes(10, mean=100, distribution="fixed")
+        assert fixed == [100] * 10
+
+    def test_record_sizes_unknown_distribution(self):
+        with pytest.raises(ValueError):
+            record_sizes(10, distribution="zipf")
+
+    def test_lognormal_mean_roughly_right(self):
+        sizes = record_sizes(5000, mean=512, distribution="lognormal", seed=7)
+        assert 350 < sum(sizes) / len(sizes) < 750
+
+    def test_poisson_arrivals_monotone(self):
+        times = poisson_arrivals(100, rate=10.0, seed=4)
+        assert len(times) == 100
+        assert all(b > a for a, b in zip(times, times[1:]))
+
+    def test_poisson_rate_roughly_right(self):
+        times = poisson_arrivals(2000, rate=50.0, seed=5)
+        assert 30 < 2000 / times[-1] < 75
+
+    def test_poisson_bad_rate(self):
+        with pytest.raises(ValueError):
+            poisson_arrivals(10, rate=0)
+
+    def test_sensor_readings(self):
+        samples = list(sensor_readings(100, seed=6))
+        assert len(samples) == 100
+        times = [t for t, _ in samples]
+        assert times == sorted(times)
+        values = [v for _, v in samples]
+        assert all(10 < v < 32 for v in values)
+
+    def test_sensor_readings_deterministic(self):
+        assert list(sensor_readings(10, seed=1)) == list(
+            sensor_readings(10, seed=1)
+        )

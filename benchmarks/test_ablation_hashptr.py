@@ -13,7 +13,6 @@ from __future__ import annotations
 
 import statistics
 
-import pytest
 
 from repro.capsule import (
     CapsuleWriter,

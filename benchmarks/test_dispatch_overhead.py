@@ -1,0 +1,121 @@
+"""Runtime-layer overhead guard: dispatch + middleware on the Figure 6 loop.
+
+PR 1 moved every node onto ``repro.runtime`` — typed op dispatch, the
+per-node middleware pipeline, and the metrics/trace plane.  This
+micro-benchmark runs the Figure 6 forwarding loop (single router, fat
+access links, fixed-size data PDUs) in three configurations and guards
+the *wall-clock* cost of the new plumbing:
+
+* ``plain``    — default world: pipelines exist but are empty, the
+  metrics registry is enabled but only the always-on counters
+  (``router.forwarded``, ``net.bytes``, …) tick.
+* ``disabled`` — ``SimNetwork(metrics_enabled=False)``: every counter is
+  the shared no-op ``NULL`` instrument; this must cost ~nothing.
+* ``full``     — ``enable_node_metrics()`` + ``enable_tracing()``: a
+  two-middleware pipeline runs on every inbound/outbound PDU at every
+  node and each crossing emits a trace event.
+
+Rounds are interleaved across configurations and each configuration is
+scored by its best (minimum) round, which suppresses scheduler noise.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.client import GdpClient
+from repro.routing.pdu import Pdu, T_DATA
+from repro.sim import GBPS, SimNetwork, single_router
+
+PAIRS = 8
+PDUS_PER_PAIR = 150
+PAYLOAD = b"\x00" * 256
+ROUNDS = 5
+
+
+def run_forwarding_loop(mode: str) -> float:
+    """One Figure 6-style forwarding run; returns wall-clock seconds."""
+    topo = single_router(seed=7)
+    net: SimNetwork = topo.net
+    if mode == "disabled":
+        net.metrics.enabled = False
+    elif mode == "full":
+        net.enable_node_metrics()
+        net.enable_tracing()
+    router = topo.router("r0")
+    router.egress_bandwidth = GBPS
+
+    received = {"count": 0}
+    senders, receivers = [], []
+    for i in range(PAIRS):
+        sender = GdpClient(net, f"tx{i}", verify=False)
+        receiver = GdpClient(net, f"rx{i}", verify=False)
+        sender.attach(router, latency=0.0001, bandwidth=10 * GBPS)
+        receiver.attach(router, latency=0.0001, bandwidth=10 * GBPS)
+
+        def sink(pdu, _received=received):
+            _received["count"] += 1
+            return None  # no response traffic
+
+        receiver.on_request = sink
+        senders.append(sender)
+        receivers.append(receiver)
+
+    def scenario():
+        for endpoint in senders + receivers:
+            yield endpoint.advertise()
+        for sender, receiver in zip(senders, receivers):
+            for _ in range(PDUS_PER_PAIR):
+                sender.send_pdu(
+                    Pdu(sender.name, receiver.name, T_DATA, PAYLOAD)
+                )
+        while received["count"] < PAIRS * PDUS_PER_PAIR:
+            yield 0.001
+        return True
+
+    start = time.perf_counter()
+    topo.sim.run_process(scenario())
+    elapsed = time.perf_counter() - start
+    assert received["count"] == PAIRS * PDUS_PER_PAIR
+    return elapsed
+
+
+def test_dispatch_and_middleware_overhead(report):
+    modes = ("plain", "disabled", "full")
+    times: dict[str, list[float]] = {mode: [] for mode in modes}
+    # Warm-up round (imports, code caches), then interleaved scoring
+    # rounds so drift hits every configuration equally.
+    for mode in modes:
+        run_forwarding_loop(mode)
+    for _ in range(ROUNDS):
+        for mode in modes:
+            times[mode].append(run_forwarding_loop(mode))
+
+    best = {mode: min(times[mode]) for mode in modes}
+    ratio = {mode: best[mode] / best["plain"] for mode in modes}
+
+    report.line("Runtime-layer overhead — Figure 6 forwarding loop")
+    report.line(
+        f"({PAIRS} pairs x {PDUS_PER_PAIR} PDUs, best of {ROUNDS} "
+        "interleaved rounds)"
+    )
+    report.table(
+        ["config", "best_ms", "vs_plain"],
+        [
+            [mode, f"{best[mode] * 1e3:.1f}", f"{ratio[mode] - 1:+.1%}"]
+            for mode in modes
+        ],
+    )
+
+    # Disabled registry: NULL counters and empty pipelines must be free
+    # (threshold absorbs timer noise, not real work).
+    assert ratio["disabled"] < 1.05, (
+        f"metrics_enabled=False costs {ratio['disabled'] - 1:.1%} "
+        "over the plain loop — the NULL instrument path regressed"
+    )
+    # Full plane: two middlewares + a trace emit per PDU per node must
+    # stay under the 10% budget from the runtime-layer refactor.
+    assert ratio["full"] < 1.10, (
+        f"metrics+tracing costs {ratio['full'] - 1:.1%} "
+        "over the plain loop — exceeds the 10% overhead budget"
+    )

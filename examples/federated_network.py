@@ -13,7 +13,6 @@ Run:  python examples/federated_network.py
 from repro.client import GdpClient, OwnerConsole
 from repro.crypto import SigningKey
 from repro.delegation import AdCert, OrgMembership, ServiceChain
-from repro.errors import GdpError
 from repro.naming import make_organization_metadata
 from repro.routing import GdpRouter, RoutingDomain  # noqa: F401 (doc import)
 from repro.routing.glookup import RouteEntry

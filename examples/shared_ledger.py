@@ -18,7 +18,7 @@ Run:  python examples/shared_ledger.py
 
 from repro.caapi import CommitService, read_committed, submit_update
 from repro.client import GdpClient, OwnerConsole
-from repro.crypto import SigningKey, VerifyingKey
+from repro.crypto import SigningKey
 from repro.routing import GdpRouter, RoutingDomain
 from repro.server import DataCapsuleServer
 from repro.sim import GBPS, SimNetwork

@@ -5,18 +5,20 @@ tampered with during transit, or sent to the wrong destination.
 Similarly, a DataCapsule-server can attempt to tamper with individual
 records or the order of records when stored on disk."
 
-Network-path attacks install as delivery hooks on the simulated network
-(:class:`PathAttacker`); storage attacks mutate a server's hosted state
-(:class:`StorageTamperer`); :class:`EquivocatingWriter` is a *malicious
-writer* signing two histories.  Tests use these to show each attack is
-*detected* (an integrity/security error at the verifier), never silently
-absorbed.
+Network-path attacks are declared as delivery middlewares (see
+:mod:`repro.runtime.faults`); :class:`PathAttacker` composes the four
+fault kinds over one shared seeded RNG and installs them on the
+network's delivery pipeline.  Storage attacks mutate a server's hosted
+state (:class:`StorageTamperer`); :class:`EquivocatingWriter` is a
+*malicious writer* signing two histories.  Tests use these to show each
+attack is *detected* (an integrity/security error at the verifier),
+never silently absorbed.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Any, Callable
+from typing import Callable
 
 from repro.capsule.capsule import DataCapsule
 from repro.capsule.heartbeat import Heartbeat
@@ -24,8 +26,14 @@ from repro.capsule.records import Record
 from repro.crypto.keys import SigningKey
 from repro.naming.names import GdpName
 from repro.routing.pdu import Pdu
+from repro.runtime.faults import (
+    DelayFaults,
+    DropFaults,
+    ReplayFaults,
+    TamperFaults,
+)
 from repro.server.dcserver import DataCapsuleServer
-from repro.sim.net import Link, Node, SimNetwork
+from repro.sim.net import SimNetwork
 
 __all__ = [
     "PathAttacker",
@@ -39,92 +47,102 @@ class PathAttacker:
     """An on-path adversary manipulating PDUs in flight.
 
     Enable attacks by setting the rates/flags, then :meth:`install`.
-    All randomness draws from a private seeded RNG so attacks are
-    reproducible.
+    The attacker is a thin composition of the declarative fault
+    middlewares in :mod:`repro.runtime.faults`, chained in the fixed
+    order drop -> tamper -> replay -> delay over **one** shared seeded
+    RNG, so a given seed reproduces the exact historical attack
+    schedule.
     """
 
     def __init__(self, network: SimNetwork, *, seed: int = 1337):
         self.network = network
         self.rng = random.Random(seed)
-        self.drop_rate = 0.0
-        self.tamper_rate = 0.0
-        self.replay_rate = 0.0
-        self.delay_rate = 0.0
+        # The current match predicate is read through a level of
+        # indirection so tests can swap self.match after construction.
+        matcher = lambda pdu: self.match(pdu)  # noqa: E731
+        common = {"rng": self.rng, "match": matcher}
+        self._drop = DropFaults(network, **common)
+        self._tamper = TamperFaults(network, **common)
+        self._replay = ReplayFaults(network, **common)
+        self._delay = DelayFaults(network, **common)
+        self._faults = (self._drop, self._tamper, self._replay, self._delay)
         self.delay_seconds = 0.5
         self.match: Callable[[Pdu], bool] = lambda pdu: True
-        self.stats = {"dropped": 0, "tampered": 0, "replayed": 0, "delayed": 0}
         self._installed = False
 
+    # -- knobs proxied onto the underlying fault middlewares ----------------
+
+    @property
+    def drop_rate(self) -> float:
+        """Probability a matching PDU is black-holed."""
+        return self._drop.rate
+
+    @drop_rate.setter
+    def drop_rate(self, value: float) -> None:
+        self._drop.rate = value
+
+    @property
+    def tamper_rate(self) -> float:
+        """Probability a matching PDU is corrupted in flight."""
+        return self._tamper.rate
+
+    @tamper_rate.setter
+    def tamper_rate(self, value: float) -> None:
+        self._tamper.rate = value
+
+    @property
+    def replay_rate(self) -> float:
+        """Probability a matching PDU is re-delivered later."""
+        return self._replay.rate
+
+    @replay_rate.setter
+    def replay_rate(self, value: float) -> None:
+        self._replay.rate = value
+
+    @property
+    def delay_rate(self) -> float:
+        """Probability a matching PDU is delayed by ``delay_seconds``."""
+        return self._delay.rate
+
+    @delay_rate.setter
+    def delay_rate(self, value: float) -> None:
+        self._delay.rate = value
+
+    @property
+    def delay_seconds(self) -> float:
+        """How far replayed/delayed PDUs are pushed into the future."""
+        return self._delay.seconds
+
+    @delay_seconds.setter
+    def delay_seconds(self, value: float) -> None:
+        self._replay.seconds = value
+        self._delay.seconds = value
+
+    @property
+    def stats(self) -> dict:
+        """Attack-hit counters, keyed by the historical short names."""
+        return {
+            "dropped": self._drop.count,
+            "tampered": self._tamper.count,
+            "replayed": self._replay.count,
+            "delayed": self._delay.count,
+        }
+
     def install(self) -> None:
-        """Activate the delivery hook on the network."""
+        """Activate the fault middlewares on the network's delivery
+        pipeline (in the fixed drop -> tamper -> replay -> delay
+        order)."""
         if not self._installed:
-            self.network.add_delivery_hook(self._hook)
+            for fault in self._faults:
+                fault.install()
             self._installed = True
 
     def uninstall(self) -> None:
-        """Deactivate the delivery hook."""
+        """Deactivate the fault middlewares."""
         if self._installed:
-            self.network.remove_delivery_hook(self._hook)
+            for fault in self._faults:
+                fault.uninstall()
             self._installed = False
-
-    def _hook(
-        self, link: Link, sender: Node, receiver: Node, message: Any, size: int
-    ) -> bool | None:
-        if not isinstance(message, Pdu) or not self.match(message):
-            return None
-        if self.drop_rate and self.rng.random() < self.drop_rate:
-            self.stats["dropped"] += 1
-            return False  # black-hole (§II "effectively creating a black-hole")
-        if self.tamper_rate and self.rng.random() < self.tamper_rate:
-            self._tamper(message)
-            self.stats["tampered"] += 1
-        if self.replay_rate and self.rng.random() < self.replay_rate:
-            # Deliver an extra copy later (replay attack).
-            copy = Pdu(
-                message.src, message.dst, message.ptype,
-                message.payload, corr_id=message.corr_id, ttl=message.ttl,
-            )
-            self.network.sim.schedule(
-                self.delay_seconds,
-                lambda: receiver.receive(copy, sender, link),
-            )
-            self.stats["replayed"] += 1
-        if self.delay_rate and self.rng.random() < self.delay_rate:
-            self.stats["delayed"] += 1
-            self.network.sim.schedule(
-                self.delay_seconds,
-                lambda: receiver.receive(message, sender, link),
-            )
-            return False  # suppress the on-time delivery
-        return None
-
-    def _tamper(self, pdu: Pdu) -> None:
-        """Flip bytes somewhere in the payload (recursively finds a
-        bytes field to corrupt)."""
-
-        def corrupt(value: Any) -> Any:
-            if isinstance(value, bytes) and value:
-                index = self.rng.randrange(len(value))
-                flipped = bytes(
-                    b ^ 0xFF if i == index else b for i, b in enumerate(value)
-                )
-                return flipped
-            if isinstance(value, dict):
-                for key in sorted(value):
-                    new = corrupt(value[key])
-                    if new is not value[key]:
-                        value[key] = new
-                        return value
-            if isinstance(value, list):
-                for i, item in enumerate(value):
-                    new = corrupt(item)
-                    if new is not item:
-                        value[i] = new
-                        return value
-            return value
-
-        pdu.payload = corrupt(pdu.payload)
-        pdu._size = None
 
 
 class StorageTamperer:

@@ -26,6 +26,7 @@ from repro.errors import RecordNotFoundError, TransportError
 from repro.naming.metadata import make_server_metadata
 from repro.routing.endpoint import Endpoint
 from repro.routing.pdu import Pdu
+from repro.runtime.dispatch import dispatch_op, op, opt
 from repro.sim.net import SimNetwork
 
 __all__ = ["ObjectStoreServer", "ObjectStoreClient"]
@@ -51,37 +52,48 @@ class ObjectStoreServer(Endpoint):
         super().__init__(network, node_id, metadata, key)
         self.request_latency = request_latency
         self.objects: dict[str, bytes] = {}
-        self.stats_puts = 0
-        self.stats_gets = 0
+        metrics = network.metrics.node(node_id)
+        self._c_puts = metrics.counter("s3.puts")
+        self._c_gets = metrics.counter("s3.gets")
+
+    @property
+    def stats_puts(self) -> int:
+        """PUT requests served (registry: ``s3.puts``)."""
+        return self._c_puts.value
+
+    @property
+    def stats_gets(self) -> int:
+        """GET requests served (registry: ``s3.gets``)."""
+        return self._c_gets.value
 
     def on_request(self, pdu: Pdu) -> Any:
-        """Serve one application request (see class docstring)."""
-        payload = pdu.payload
-        op = payload.get("op")
+        """Serve one application request (see class docstring) after
+        the per-request service latency, through typed op dispatch."""
         result = self.sim.future()
-
-        def serve() -> None:
-            if op == "put":
-                parts = self.objects.get(payload["key"], b"")
-                if payload.get("part", 0) == 0:
-                    parts = b""
-                self.objects[payload["key"]] = parts + payload["data"]
-                self.stats_puts += 1
-                result.resolve({"ok": True})
-            elif op == "get":
-                data = self.objects.get(payload["key"])
-                if data is None:
-                    result.resolve({"ok": False, "error": "NoSuchKey"})
-                    return
-                offset = payload.get("offset", 0)
-                length = payload.get("length", len(data) - offset)
-                self.stats_gets += 1
-                result.resolve({"ok": True, "data": data[offset : offset + length]})
-            else:
-                result.resolve({"ok": False, "error": f"unknown op {op!r}"})
-
-        self.sim.schedule(self.request_latency, serve)
+        self.sim.schedule(
+            self.request_latency,
+            lambda: result.resolve(dispatch_op(self, pdu, pdu.payload)),
+        )
         return result
+
+    @op("put", key=str, data=bytes, part=opt(int))
+    def _op_put(self, pdu: Pdu, payload: dict) -> dict:
+        parts = self.objects.get(payload["key"], b"")
+        if payload.get("part", 0) == 0:
+            parts = b""
+        self.objects[payload["key"]] = parts + payload["data"]
+        self._c_puts.inc()
+        return {"ok": True}
+
+    @op("get", key=str, offset=opt(int), length=opt(int))
+    def _op_get(self, pdu: Pdu, payload: dict) -> dict:
+        data = self.objects.get(payload["key"])
+        if data is None:
+            return {"ok": False, "error": "NoSuchKey"}
+        offset = payload.get("offset", 0)
+        length = payload.get("length", len(data) - offset)
+        self._c_gets.inc()
+        return {"ok": True, "data": data[offset : offset + length]}
 
 
 class ObjectStoreClient:

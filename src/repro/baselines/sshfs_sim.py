@@ -23,6 +23,7 @@ from repro.errors import RecordNotFoundError, TransportError
 from repro.naming.metadata import make_server_metadata
 from repro.routing.endpoint import Endpoint
 from repro.routing.pdu import Pdu
+from repro.runtime.dispatch import dispatch_op, op
 from repro.sim.engine import Future
 from repro.sim.net import SimNetwork
 
@@ -46,47 +47,57 @@ class SshfsServer(Endpoint):
         super().__init__(network, node_id, metadata, key)
         self.request_latency = request_latency
         self.files: dict[str, bytearray] = {}
-        self.stats_reads = 0
-        self.stats_writes = 0
+        metrics = network.metrics.node(node_id)
+        self._c_reads = metrics.counter("sshfs.reads")
+        self._c_writes = metrics.counter("sshfs.writes")
+
+    @property
+    def stats_reads(self) -> int:
+        """Block reads served (registry: ``sshfs.reads``)."""
+        return self._c_reads.value
+
+    @property
+    def stats_writes(self) -> int:
+        """Block writes served (registry: ``sshfs.writes``)."""
+        return self._c_writes.value
 
     def on_request(self, pdu: Pdu) -> Any:
-        """Serve one application request (see class docstring)."""
-        payload = pdu.payload
-        op = payload.get("op")
+        """Serve one application request (see class docstring) after
+        the per-request service latency, through typed op dispatch."""
         result = self.sim.future()
-
-        def serve() -> None:
-            if op == "write_block":
-                buf = self.files.setdefault(payload["path"], bytearray())
-                offset = payload["offset"]
-                data = payload["data"]
-                if len(buf) < offset:
-                    buf.extend(b"\x00" * (offset - len(buf)))
-                buf[offset : offset + len(data)] = data
-                self.stats_writes += 1
-                result.resolve({"ok": True})
-            elif op == "read_block":
-                buf = self.files.get(payload["path"])
-                if buf is None:
-                    result.resolve({"ok": False, "error": "ENOENT"})
-                    return
-                offset = payload["offset"]
-                length = payload["length"]
-                self.stats_reads += 1
-                result.resolve(
-                    {"ok": True, "data": bytes(buf[offset : offset + length])}
-                )
-            elif op == "stat":
-                buf = self.files.get(payload["path"])
-                if buf is None:
-                    result.resolve({"ok": False, "error": "ENOENT"})
-                else:
-                    result.resolve({"ok": True, "size": len(buf)})
-            else:
-                result.resolve({"ok": False, "error": f"unknown op {op!r}"})
-
-        self.sim.schedule(self.request_latency, serve)
+        self.sim.schedule(
+            self.request_latency,
+            lambda: result.resolve(dispatch_op(self, pdu, pdu.payload)),
+        )
         return result
+
+    @op("write_block", path=str, offset=int, data=bytes)
+    def _op_write_block(self, pdu: Pdu, payload: dict) -> dict:
+        buf = self.files.setdefault(payload["path"], bytearray())
+        offset = payload["offset"]
+        data = payload["data"]
+        if len(buf) < offset:
+            buf.extend(b"\x00" * (offset - len(buf)))
+        buf[offset : offset + len(data)] = data
+        self._c_writes.inc()
+        return {"ok": True}
+
+    @op("read_block", path=str, offset=int, length=int)
+    def _op_read_block(self, pdu: Pdu, payload: dict) -> dict:
+        buf = self.files.get(payload["path"])
+        if buf is None:
+            return {"ok": False, "error": "ENOENT"}
+        offset = payload["offset"]
+        length = payload["length"]
+        self._c_reads.inc()
+        return {"ok": True, "data": bytes(buf[offset : offset + length])}
+
+    @op("stat", path=str)
+    def _op_stat(self, pdu: Pdu, payload: dict) -> dict:
+        buf = self.files.get(payload["path"])
+        if buf is None:
+            return {"ok": False, "error": "ENOENT"}
+        return {"ok": True, "size": len(buf)}
 
 
 class SshfsClient:

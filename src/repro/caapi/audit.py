@@ -30,7 +30,7 @@ from repro.capsule.proofs import PositionProof
 from repro.client.client import ClientWriter, GdpClient
 from repro.client.owner import OwnerConsole
 from repro.crypto.keys import SigningKey
-from repro.crypto.merkle import InclusionProof, MerkleTree
+from repro.crypto.merkle import MerkleTree
 from repro.errors import CapsuleError, IntegrityError
 from repro.naming.metadata import Metadata
 from repro.naming.names import GdpName

@@ -33,6 +33,7 @@ from typing import Any, Generator
 from repro.client.client import GdpClient
 from repro.errors import GdpError
 from repro.naming.names import GdpName
+from repro.runtime.dispatch import find_handler, handles
 from repro.sim.net import Link, Node, SimNetwork
 
 __all__ = ["GatewayService", "LegacyHttpClient"]
@@ -50,7 +51,20 @@ class GatewayService(GdpClient):
     def __init__(self, network: SimNetwork, node_id: str, **kwargs):
         super().__init__(network, node_id, **kwargs)
         self._ws_subscribers: dict[GdpName, list[Node]] = {}
-        self.stats_http = {"ok": 0, "errors": 0, "pushes": 0}
+        metrics = network.metrics.node(node_id)
+        self._c_http_ok = metrics.counter("gateway.http_ok")
+        self._c_http_errors = metrics.counter("gateway.http_errors")
+        self._c_pushes = metrics.counter("gateway.pushes")
+
+    @property
+    def stats_http(self) -> dict:
+        """Counter snapshot, keyed by the historical short names
+        (registry names: ``gateway.http_ok`` etc.)."""
+        return {
+            "ok": self._c_http_ok.value,
+            "errors": self._c_http_errors.value,
+            "pushes": self._c_pushes.value,
+        }
 
     # -- legacy-side transport ------------------------------------------------
 
@@ -71,36 +85,32 @@ class GatewayService(GdpClient):
             "body": body,
         }
         if status == 200:
-            self.stats_http["ok"] += 1
+            self._c_http_ok.inc()
         else:
-            self.stats_http["errors"] += 1
+            self._c_http_errors.inc()
         self.send(client, response, 200 + len(repr(body)))
 
     # -- request routing --------------------------------------------------------
 
     def _serve_http(self, request: dict, client: Node) -> Generator:
+        """Route an HTTP-shaped request through the ``"http"`` dispatch
+        space: routes are keyed ``"<METHOD> <leaf>"`` and declare their
+        expected path arity in route metadata; trailing path segments
+        become integer arguments."""
         method = request.get("method", "GET")
         parts = [p for p in str(request.get("path", "")).split("/") if p]
         try:
             if len(parts) >= 2 and parts[0] == "capsule":
                 name = GdpName.from_hex(parts[1])
                 rest = parts[2:]
-                if method == "GET" and rest[:1] == ["record"] and len(rest) == 2:
-                    yield from self._get_record(client, request, name, int(rest[1]))
-                    return
-                if method == "GET" and rest == ["latest"]:
-                    yield from self._get_latest(client, request, name)
-                    return
-                if method == "GET" and rest[:1] == ["range"] and len(rest) == 3:
-                    yield from self._get_range(
-                        client, request, name, int(rest[1]), int(rest[2])
-                    )
-                    return
-                if method == "GET" and rest == ["metadata"]:
-                    yield from self._get_metadata(client, request, name)
-                    return
-                if method == "WS" and rest == ["subscribe"]:
-                    yield from self._subscribe(client, request, name)
+                handler = (
+                    find_handler(self, f"{method} {rest[0]}", space="http")
+                    if rest
+                    else None
+                )
+                if handler is not None and len(rest) == handler.spec.meta["arity"]:
+                    extra = [int(p) for p in rest[1:]]
+                    yield from handler(client, request, name, *extra)
                     return
             self._reply(client, request, 404, {"error": "no such route"})
         except (GdpError, ValueError) as exc:
@@ -119,10 +129,12 @@ class GatewayService(GdpClient):
             "digest_hex": record.digest.hex(),
         }
 
+    @handles("http", "GET record", meta={"arity": 2})
     def _get_record(self, client, request, name, seqno) -> Generator:
         record = yield from self.read(name, seqno)
         self._reply(client, request, 200, self._record_json(record))
 
+    @handles("http", "GET latest", meta={"arity": 1})
     def _get_latest(self, client, request, name) -> Generator:
         record = yield from self.read_latest(name)
         if record is None:
@@ -130,6 +142,7 @@ class GatewayService(GdpClient):
         else:
             self._reply(client, request, 200, self._record_json(record))
 
+    @handles("http", "GET range", meta={"arity": 3})
     def _get_range(self, client, request, name, first, last) -> Generator:
         records = yield from self.read_range(name, first, last)
         self._reply(
@@ -137,6 +150,7 @@ class GatewayService(GdpClient):
             {"records": [self._record_json(r) for r in records]},
         )
 
+    @handles("http", "GET metadata", meta={"arity": 1})
     def _get_metadata(self, client, request, name) -> Generator:
         metadata = yield from self.fetch_metadata(name)
         properties = {
@@ -148,6 +162,7 @@ class GatewayService(GdpClient):
             {"kind": metadata.kind, "properties": properties},
         )
 
+    @handles("http", "WS subscribe", meta={"arity": 1})
     def _subscribe(self, client, request, name) -> Generator:
         subscribers = self._ws_subscribers.setdefault(name, [])
         first_for_capsule = not subscribers
@@ -156,7 +171,7 @@ class GatewayService(GdpClient):
             def fan_out(record, heartbeat, _name=name):
                 frame = {"event": "record", **self._record_json(record)}
                 for legacy in self._ws_subscribers.get(_name, []):
-                    self.stats_http["pushes"] += 1
+                    self._c_pushes.inc()
                     self.send(legacy, dict(frame), 200 + len(record.payload) * 2)
 
             yield from super().subscribe(name, fan_out)

@@ -21,7 +21,7 @@ from repro.capsule.records import Record
 from repro.client.client import ClientWriter, GdpClient
 from repro.client.owner import OwnerConsole
 from repro.crypto.keys import SigningKey
-from repro.errors import CapsuleError, RecordNotFoundError
+from repro.errors import CapsuleError
 from repro.naming.metadata import Metadata
 from repro.naming.names import GdpName
 

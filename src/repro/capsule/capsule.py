@@ -20,7 +20,7 @@ DataCapsule-servers in arbitrary order".
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator
+from typing import Iterator
 
 from repro.capsule.hashptr import PointerStrategy, get_strategy
 from repro.capsule.heartbeat import Heartbeat, detect_equivocation

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from typing import Any, Iterable, Sequence
 
-from repro.crypto.hashing import HASH_LEN, HashPointer, hash_value, sha256
+from repro.crypto.hashing import HashPointer, hash_value, sha256
 from repro.errors import IntegrityError
 from repro.naming.names import GdpName
 

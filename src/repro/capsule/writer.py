@@ -28,7 +28,6 @@ from repro.capsule.records import Record, metadata_anchor
 from repro.crypto.hashing import HashPointer
 from repro.crypto.keys import SigningKey
 from repro.errors import EncodingError, WriterStateError
-from repro.naming.metadata import Metadata
 from repro.naming.names import GdpName
 
 __all__ = ["WriterState", "CapsuleWriter", "QuasiWriter"]

@@ -7,6 +7,9 @@ Commands
                 a two-domain GDP, append, verified read, tamper-detect)
                 and report PASS/FAIL — the 30-second smoke test for a
                 fresh install
+``stats``       run the same scenario with the metrics/trace plane on
+                and print the per-node counter table (``--trace N``
+                also dumps the first N deterministic trace events)
 ``results``     print the experiment tables from the last benchmark run
 ``inventory``   list the implemented subsystems and their test counts
 """
@@ -27,8 +30,13 @@ def cmd_version(_args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_selfcheck(_args: argparse.Namespace) -> int:
-    """The ``selfcheck`` command: end-to-end smoke scenario."""
+def _build_selfcheck_world():
+    """The shared two-domain smoke-scenario world: returns
+    ``(net, checks, scenario)`` where *scenario* is a generator function
+    ready for ``net.sim.run_process`` and *checks* fills with
+    ``(name, passed)`` tuples as it runs."""
+    import random
+
     from repro.adversary import StorageTamperer
     from repro.client import GdpClient, OwnerConsole
     from repro.crypto import SigningKey
@@ -53,8 +61,9 @@ def cmd_selfcheck(_args: argparse.Namespace) -> int:
     client.attach(r_edge)
     reader = GdpClient(net, "reader")
     reader.attach(r_root)
-    owner = SigningKey.generate()
-    writer_key = SigningKey.generate()
+    key_rng = random.Random(123)  # seeded keys keep the run reproducible
+    owner = SigningKey.generate(key_rng)
+    writer_key = SigningKey.generate(key_rng)
     console = OwnerConsole(client, owner)
     checks: list[tuple[str, bool]] = []
 
@@ -90,6 +99,12 @@ def cmd_selfcheck(_args: argparse.Namespace) -> int:
             checks.append(("tamper detection", True))
         return True
 
+    return net, checks, scenario
+
+
+def cmd_selfcheck(_args: argparse.Namespace) -> int:
+    """The ``selfcheck`` command: end-to-end smoke scenario."""
+    net, checks, scenario = _build_selfcheck_world()
     try:
         net.sim.run_process(scenario())
     except Exception as exc:  # noqa: BLE001 — selfcheck reports, not crashes
@@ -100,6 +115,33 @@ def cmd_selfcheck(_args: argparse.Namespace) -> int:
         print(f"  [{'PASS' if passed else 'FAIL'}] {name}")
     print("selfcheck:", "PASS" if ok else "FAIL")
     return 0 if ok else 1
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    """The ``stats`` command: selfcheck scenario + metrics table."""
+    net, _checks, scenario = _build_selfcheck_world()
+    net.enable_node_metrics()
+    tracer = net.enable_tracing()
+    try:
+        net.sim.run_process(scenario())
+    except Exception as exc:  # noqa: BLE001 — reported, not crashed
+        print(f"stats scenario CRASHED: {type(exc).__name__}: {exc}")
+        return 2
+    print(f"{'scope':<22} {'counter':<26} {'value':>12}")
+    print("-" * 62)
+    for scope, counters in net.metrics.snapshot().items():
+        for name, value in counters.items():
+            if isinstance(value, dict):  # histogram summary
+                value = value.get("count", 0)
+            if value:
+                print(f"{scope:<22} {name:<26} {value:>12}")
+    print(f"\ntrace events recorded: {len(tracer)} "
+          f"(sim time {net.sim.now:.3f}s)")
+    if args.trace:
+        print()
+        for line in tracer.lines()[: args.trace]:
+            print(line)
+    return 0
 
 
 def cmd_results(_args: argparse.Namespace) -> int:
@@ -164,12 +206,23 @@ def main(argv: list[str] | None = None) -> int:
     sub = parser.add_subparsers(dest="command")
     sub.add_parser("version", help="print the version")
     sub.add_parser("selfcheck", help="run the end-to-end smoke scenario")
+    stats = sub.add_parser(
+        "stats", help="run the smoke scenario and print per-node metrics"
+    )
+    stats.add_argument(
+        "--trace",
+        type=int,
+        default=0,
+        metavar="N",
+        help="also print the first N deterministic trace events",
+    )
     sub.add_parser("results", help="print the last benchmark tables")
     sub.add_parser("inventory", help="list implemented subsystems")
     args = parser.parse_args(argv)
     commands = {
         "version": cmd_version,
         "selfcheck": cmd_selfcheck,
+        "stats": cmd_stats,
         "results": cmd_results,
         "inventory": cmd_inventory,
     }

@@ -19,7 +19,6 @@ re-placing the capsule (see ``OwnerConsole.migrate_replica``).
 from __future__ import annotations
 
 import statistics
-from typing import Any
 
 from repro.naming.names import GdpName
 

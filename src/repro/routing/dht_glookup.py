@@ -43,12 +43,14 @@ class DhtGLookupService(GLookupService):
         *,
         verify_on_register: bool = True,
         clock: Callable[[], float] | None = None,
+        metrics=None,
     ):
         super().__init__(
             domain_name,
             parent,
             verify_on_register=verify_on_register,
             clock=clock,
+            metrics=metrics,
         )
         if home not in dht.nodes:
             dht.join(home)
@@ -110,7 +112,7 @@ class DhtGLookupService(GLookupService):
 
     def lookup(self, name: GdpName) -> list[RouteEntry]:
         """Live entries for *name* (expired ones culled)."""
-        self.stats_queries += 1
+        self._c_queries.inc()
         now = self.now
         entries = []
         for wire in self.dht.get(self.home, name):
@@ -121,7 +123,7 @@ class DhtGLookupService(GLookupService):
             if not entry.is_expired(now):
                 entries.append(entry)
         if not entries:
-            self.stats_misses += 1
+            self._c_misses.inc()
         return entries
 
     def names(self):

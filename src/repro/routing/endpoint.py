@@ -14,7 +14,7 @@ without breaking anything.
 
 from __future__ import annotations
 
-from typing import Any, Callable
+from typing import Any
 
 from repro.errors import RoutingError, TransportError
 from repro.naming.metadata import Metadata
@@ -23,6 +23,7 @@ from repro.crypto.keys import SigningKey
 from repro.routing import pdu as pdutypes
 from repro.routing.pdu import Pdu
 from repro.routing.router import ADVERT_DOMAIN_TAG, GdpRouter
+from repro.runtime.dispatch import find_handler, on_ptype
 from repro.sim.engine import Future
 from repro.sim.net import Link, Node, SimNetwork
 
@@ -43,6 +44,7 @@ class Endpoint(Node):
         self.metadata = metadata
         self.key = key
         self.name: GdpName = metadata.name
+        self.pipeline = network.node_pipeline()
         self.router: GdpRouter | None = None
         self._pending_rpcs: dict[int, Future] = {}
         self._pending_adv: Future | None = None
@@ -101,6 +103,7 @@ class Endpoint(Node):
         self.send_pdu(hello)
         return self._pending_adv
 
+    @on_ptype(pdutypes.T_ADV_CHALLENGE)
     def _on_challenge(self, pdu: Pdu) -> None:
         from repro.delegation.certs import RtCert
 
@@ -129,6 +132,7 @@ class Endpoint(Node):
         )
         self.send_pdu(response)
 
+    @on_ptype(pdutypes.T_ADV_ACK)
     def _on_adv_ack(self, pdu: Pdu) -> None:
         if self._pending_adv is None or self._pending_adv.done:
             return
@@ -157,9 +161,15 @@ class Endpoint(Node):
     # -- RPC ---------------------------------------------------------------
 
     def send_pdu(self, pdu: Pdu) -> None:
-        """Transmit a PDU via the attachment router."""
+        """Transmit a PDU via the attachment router (runs the outbound
+        middleware chain first)."""
         if self.router is None:
             raise RoutingError(f"{self.node_id} is not attached")
+        if self.pipeline:
+            out = self.pipeline.run_outbound(self, pdu)
+            if out is None:
+                return
+            pdu = out
         self.send(self.router, pdu, pdu.size_bytes)
 
     def rpc(
@@ -185,33 +195,37 @@ class Endpoint(Node):
     # -- inbound dispatch ----------------------------------------------------
 
     def receive(self, message: Any, sender: Node, link: Link) -> None:
-        """Inbound message dispatch (overrides the base handler)."""
+        """Inbound message dispatch (overrides the base handler).
+
+        PDU types map to handlers through the typed ``"ptype"`` dispatch
+        registry (see :mod:`repro.runtime.dispatch`); unknown types are
+        dropped.
+        """
         if not isinstance(message, Pdu):
             raise TransportError(f"endpoint received non-PDU {message!r}")
         pdu = message
-        if pdu.ptype == pdutypes.T_ADV_CHALLENGE:
-            self._on_challenge(pdu)
-        elif pdu.ptype == pdutypes.T_ADV_ACK:
-            self._on_adv_ack(pdu)
-        elif pdu.ptype == pdutypes.T_RESPONSE:
-            future = self._pending_rpcs.pop(pdu.corr_id, None)
-            if future is not None and not future.done:
-                future.resolve(pdu.payload)
-        elif pdu.ptype == pdutypes.T_NO_ROUTE:
-            future = self._pending_rpcs.pop(pdu.corr_id, None)
-            if future is not None and not future.done:
-                unreachable = GdpName(pdu.payload["unreachable"])
-                future.fail(
-                    RoutingError(f"no route to {unreachable.human()}")
-                )
-        elif pdu.ptype == pdutypes.T_DATA:
-            self._handle_request(pdu)
-        elif pdu.ptype == pdutypes.T_PUSH:
-            self.on_push(pdu)
-        elif pdu.ptype == pdutypes.T_SYNC:
-            self.on_sync(pdu)
-        # Unknown types dropped.
+        if self.pipeline:
+            pdu = self.pipeline.run_inbound(self, pdu, sender)
+            if pdu is None:
+                return
+        handler = find_handler(self, pdu.ptype, space="ptype")
+        if handler is not None:
+            handler(pdu)
 
+    @on_ptype(pdutypes.T_RESPONSE)
+    def _on_response(self, pdu: Pdu) -> None:
+        future = self._pending_rpcs.pop(pdu.corr_id, None)
+        if future is not None and not future.done:
+            future.resolve(pdu.payload)
+
+    @on_ptype(pdutypes.T_NO_ROUTE)
+    def _on_no_route(self, pdu: Pdu) -> None:
+        future = self._pending_rpcs.pop(pdu.corr_id, None)
+        if future is not None and not future.done:
+            unreachable = GdpName(pdu.payload["unreachable"])
+            future.fail(RoutingError(f"no route to {unreachable.human()}"))
+
+    @on_ptype(pdutypes.T_DATA)
     def _handle_request(self, pdu: Pdu) -> None:
         try:
             result = self.on_request(pdu)
@@ -241,8 +255,10 @@ class Endpoint(Node):
         Future of it, or None for fire-and-forget."""
         return {"ok": False, "error": "endpoint does not serve requests"}
 
+    @on_ptype(pdutypes.T_PUSH)
     def on_push(self, pdu: Pdu) -> None:
         """Handle a server push (subscriptions)."""
 
+    @on_ptype(pdutypes.T_SYNC)
     def on_sync(self, pdu: Pdu) -> None:
         """Handle server-to-server anti-entropy traffic."""

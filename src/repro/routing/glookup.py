@@ -27,6 +27,7 @@ from repro.delegation.chain import ServiceChain, verify_routing_chain
 from repro.errors import AdvertisementError, ScopeViolationError
 from repro.naming.metadata import Metadata
 from repro.naming.names import GdpName
+from repro.runtime.metrics import MetricsRegistry
 
 __all__ = ["RouteEntry", "GLookupService"]
 
@@ -205,14 +206,30 @@ class GLookupService:
         *,
         verify_on_register: bool = True,
         clock: Callable[[], float] | None = None,
+        metrics: "MetricsRegistry | None" = None,
     ):
         self.domain_name = domain_name
         self.parent = parent
         self.verify_on_register = verify_on_register
         self._clock = clock or (lambda: 0.0)
         self._entries: dict[GdpName, list[RouteEntry]] = {}
-        self.stats_queries = 0
-        self.stats_misses = 0
+        # Counters live in the supplied registry (scope
+        # ``glookup:<domain>``) or a private one; ``stats_*`` stay as
+        # read-only views.
+        registry = metrics if metrics is not None else MetricsRegistry()
+        scoped = registry.node(f"glookup:{domain_name}")
+        self._c_queries = scoped.counter("glookup.queries")
+        self._c_misses = scoped.counter("glookup.misses")
+
+    @property
+    def stats_queries(self) -> int:
+        """Lookups served (registry: ``glookup.queries``)."""
+        return self._c_queries.value
+
+    @property
+    def stats_misses(self) -> int:
+        """Lookups with no live entry (registry: ``glookup.misses``)."""
+        return self._c_misses.value
 
     @property
     def now(self) -> float:
@@ -249,7 +266,7 @@ class GLookupService:
 
     def lookup(self, name: GdpName) -> list[RouteEntry]:
         """Local (this domain only) lookup; expired entries are culled."""
-        self.stats_queries += 1
+        self._c_queries.inc()
         now = self.now
         bucket = self._entries.get(name, [])
         live = [e for e in bucket if not e.is_expired(now)]
@@ -259,7 +276,7 @@ class GLookupService:
             else:
                 self._entries.pop(name, None)
         if not live:
-            self.stats_misses += 1
+            self._c_misses.inc()
         return list(live)
 
     def lookup_recursive(

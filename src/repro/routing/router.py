@@ -37,6 +37,7 @@ from repro.routing import pdu as pdutypes
 from repro.routing.domain import RoutingDomain
 from repro.routing.glookup import RouteEntry
 from repro.routing.pdu import Pdu
+from repro.runtime.dispatch import find_handler, on_ptype
 from repro.sim.net import Link, Node, SimNetwork
 
 __all__ = ["GdpRouter", "ADVERT_DOMAIN_TAG"]
@@ -83,11 +84,35 @@ class GdpRouter(Node):
         #: name -> (next-hop node, expiry sim-time) — the route *cache*
         self.fib: dict[GdpName, tuple[Node, float]] = {}
         self._pending_challenges: dict[GdpName, tuple[bytes, Node]] = {}
-        self.stats_forwarded = 0
-        self.stats_bytes = 0
-        self.stats_no_route = 0
-        self.stats_verified_installs = 0
+        self.pipeline = network.node_pipeline()
+        metrics = network.metrics.node(node_id)
+        self._c_forwarded = metrics.counter("router.forwarded")
+        self._c_bytes = metrics.counter("router.bytes")
+        self._c_no_route = metrics.counter("router.no_route")
+        self._c_verified_installs = metrics.counter("router.verified_installs")
         domain.add_router(self)
+
+    # -- backwards-compatible counter views --------------------------------
+
+    @property
+    def stats_forwarded(self) -> int:
+        """Data PDUs forwarded (registry: ``router.forwarded``)."""
+        return self._c_forwarded.value
+
+    @property
+    def stats_bytes(self) -> int:
+        """Data bytes forwarded (registry: ``router.bytes``)."""
+        return self._c_bytes.value
+
+    @property
+    def stats_no_route(self) -> int:
+        """PDUs with no resolvable route (registry: ``router.no_route``)."""
+        return self._c_no_route.value
+
+    @property
+    def stats_verified_installs(self) -> int:
+        """Verified GLookup installs (registry: ``router.verified_installs``)."""
+        return self._c_verified_installs.value
 
     # -- link layer -------------------------------------------------------
 
@@ -95,6 +120,10 @@ class GdpRouter(Node):
         """Inbound message dispatch (overrides the base handler)."""
         if not isinstance(message, Pdu):
             raise RoutingError(f"router received non-PDU {message!r}")
+        if self.pipeline:
+            message = self.pipeline.run_inbound(self, message, sender)
+            if message is None:
+                return
         # Single-server processing queue: each PDU occupies the
         # forwarding engine for service_time seconds.
         start = max(self.sim.now, self._busy_until)
@@ -103,6 +132,11 @@ class GdpRouter(Node):
         self.sim.schedule(delay, self._process, message, sender)
 
     def _send_pdu(self, next_hop: Node, pdu: Pdu) -> None:
+        if self.pipeline:
+            out = self.pipeline.run_outbound(self, pdu)
+            if out is None:
+                return
+            pdu = out
         if self.egress_bandwidth is None:
             self.send(next_hop, pdu, pdu.size_bytes)
             return
@@ -125,14 +159,14 @@ class GdpRouter(Node):
         self._forward(pdu, from_node)
 
     def _handle_control(self, pdu: Pdu, from_node: Node) -> None:
-        if pdu.ptype == pdutypes.T_ADV_HELLO:
-            self._on_adv_hello(pdu, from_node)
-        elif pdu.ptype == pdutypes.T_ADV_RESPONSE:
-            self._on_adv_response(pdu, from_node)
-        elif pdu.ptype == pdutypes.T_ADV_WITHDRAW:
-            self._on_adv_withdraw(pdu, from_node)
-        # Unknown control PDUs are dropped silently (robustness principle).
+        """Control-plane dispatch through the ``"ptype"`` registry;
+        unknown control PDUs are dropped silently (robustness
+        principle)."""
+        handler = find_handler(self, pdu.ptype, space="ptype")
+        if handler is not None:
+            handler(pdu, from_node)
 
+    @on_ptype(pdutypes.T_ADV_WITHDRAW)
     def _on_adv_withdraw(self, pdu: Pdu, from_node: Node) -> None:
         """Withdraw previously advertised names.  Authorization: the
         request must arrive over the attachment link of the endpoint
@@ -152,6 +186,7 @@ class GdpRouter(Node):
             if cached is not None and cached[0] is owner_node:
                 del self.fib[name]
 
+    @on_ptype(pdutypes.T_ADV_HELLO)
     def _on_adv_hello(self, pdu: Pdu, from_node: Node) -> None:
         """Start challenge-response with an attaching endpoint (§VII:
         "the DataCapsule-server engages in a challenge-response process
@@ -169,6 +204,7 @@ class GdpRouter(Node):
         reply = pdu.response(pdutypes.T_ADV_CHALLENGE, {"nonce": nonce})
         self._send_pdu(from_node, reply)
 
+    @on_ptype(pdutypes.T_ADV_RESPONSE)
     def _on_adv_response(self, pdu: Pdu, from_node: Node) -> None:
         pending = self._pending_challenges.pop(pdu.src, None)
         if pending is None:
@@ -267,15 +303,15 @@ class GdpRouter(Node):
 
     def _forward(self, pdu: Pdu, from_node: Node) -> None:
         if pdu.ttl <= 0:
-            self.stats_no_route += 1
+            self._c_no_route.inc()
             return
         next_hop = self._resolve_next_hop(pdu.dst)
         if next_hop is None:
-            self.stats_no_route += 1
+            self._c_no_route.inc()
             self._bounce_no_route(pdu, from_node)
             return
-        self.stats_forwarded += 1
-        self.stats_bytes += pdu.size_bytes
+        self._c_forwarded.inc()
+        self._c_bytes.inc(pdu.size_bytes)
         self._send_pdu(next_hop, pdu.decremented())
 
     def _bounce_no_route(self, pdu: Pdu, from_node: Node) -> None:
@@ -334,7 +370,7 @@ class GdpRouter(Node):
         # Routers do not trust the GLookupService: re-verify evidence.
         try:
             choice.verify(now=self.sim.now)
-            self.stats_verified_installs += 1
+            self._c_verified_installs.inc()
         except Exception:
             # Forged entry (compromised GLookupService): refuse, and try
             # any other replica that does verify.

@@ -1,0 +1,119 @@
+"""The trace plane: a deterministic stream of sim-time-stamped events.
+
+Benchmarks and the CLI can record every PDU crossing every node as a
+canonical text line.  The stream is *replayable evidence*: because the
+simulator is deterministic (seeded RNG, stable event ordering, RFC 6979
+signatures), two identically-seeded runs must produce **byte-identical**
+streams — a regression guard for the determinism that makes every
+benchmark in this reproduction trustworthy.
+
+Correlation ids are globally monotonic across a whole process, so raw
+ids would differ between two runs; the stream normalizes each one to a
+small per-stream span index at first sight, keeping request/response
+pairing visible without breaking byte-identity.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.runtime.middleware import NodeMiddleware
+
+__all__ = ["TraceStream", "TraceMiddleware"]
+
+
+def _render(value: Any) -> str:
+    """Canonical text form for one event field value."""
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, bytes):
+        return value.hex()[:16]
+    if isinstance(value, float):
+        return f"{value:.9f}"
+    return str(value)
+
+
+class TraceStream:
+    """An append-only, canonically formatted event stream."""
+
+    __slots__ = ("clock", "events", "_seq", "_spans")
+
+    def __init__(self, clock: Callable[[], float]):
+        self.clock = clock
+        self.events: list[tuple[float, int, str, str, tuple]] = []
+        self._seq = 0
+        self._spans: dict[int, int] = {}
+
+    def emit(self, scope: str, event: str, **fields: Any) -> None:
+        """Record one event at the current sim time."""
+        self._seq += 1
+        self.events.append(
+            (self.clock(), self._seq, scope, event, tuple(sorted(fields.items())))
+        )
+
+    def span(self, corr_id: int) -> int:
+        """The stream-local span index for a correlation id (assigned
+        sequentially at first sight, so it is run-independent)."""
+        span = self._spans.get(corr_id)
+        if span is None:
+            span = self._spans[corr_id] = len(self._spans) + 1
+        return span
+
+    def lines(self) -> list[str]:
+        """The canonical text form, one line per event."""
+        out = []
+        for when, seq, scope, event, fields in self.events:
+            parts = [f"t={when:.9f}", f"seq={seq}", f"node={scope}",
+                     f"event={event}"]
+            parts.extend(f"{key}={_render(value)}" for key, value in fields)
+            out.append(" ".join(parts))
+        return out
+
+    def to_bytes(self) -> bytes:
+        """The whole stream as bytes (for byte-identity comparison)."""
+        return "\n".join(self.lines()).encode()
+
+    def clear(self) -> None:
+        """Drop all recorded events and span assignments."""
+        self.events.clear()
+        self._spans.clear()
+        self._seq = 0
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __repr__(self) -> str:
+        return f"TraceStream(events={len(self.events)})"
+
+
+class TraceMiddleware(NodeMiddleware):
+    """Emits a ``pdu_in``/``pdu_out`` span event per PDU per node."""
+
+    __slots__ = ("stream",)
+
+    def __init__(self, stream: TraceStream):
+        self.stream = stream
+
+    def inbound(self, node, pdu, sender):
+        self.stream.emit(
+            node.node_id,
+            "pdu_in",
+            ptype=pdu.ptype,
+            src=pdu.src.human(),
+            dst=pdu.dst.human(),
+            span=self.stream.span(pdu.corr_id),
+            size=pdu.size_bytes,
+        )
+        return None
+
+    def outbound(self, node, pdu):
+        self.stream.emit(
+            node.node_id,
+            "pdu_out",
+            ptype=pdu.ptype,
+            src=pdu.src.human(),
+            dst=pdu.dst.human(),
+            span=self.stream.span(pdu.corr_id),
+            size=pdu.size_bytes,
+        )
+        return None

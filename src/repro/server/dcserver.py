@@ -52,6 +52,7 @@ from repro.naming.names import GdpName
 from repro.routing import pdu as pdutypes
 from repro.routing.endpoint import Endpoint
 from repro.routing.pdu import Pdu
+from repro.runtime.dispatch import dispatch_op, op, opt
 from repro.server.durability import AckPolicy
 from repro.server.secure import mac_response, sign_response
 from repro.server.storage import MemoryStore, StorageBackend
@@ -107,12 +108,23 @@ class DataCapsuleServer(Endpoint):
         # itself: the client has no keys until it reads it).
         self._sign_anyway: set[tuple[GdpName, int]] = set()
         self.crashed = False
-        self.stats = {
-            "appends": 0,
-            "replications": 0,
-            "reads": 0,
-            "pushes": 0,
-            "sync_rounds": 0,
+        metrics = network.metrics.node(node_id)
+        self._c_appends = metrics.counter("server.appends")
+        self._c_replications = metrics.counter("server.replications")
+        self._c_reads = metrics.counter("server.reads")
+        self._c_pushes = metrics.counter("server.pushes")
+        self._c_sync_rounds = metrics.counter("server.sync_rounds")
+
+    @property
+    def stats(self) -> dict:
+        """Counter snapshot, keyed by the historical short names
+        (registry names: ``server.appends`` etc.)."""
+        return {
+            "appends": self._c_appends.value,
+            "replications": self._c_replications.value,
+            "reads": self._c_reads.value,
+            "pushes": self._c_pushes.value,
+            "sync_rounds": self._c_sync_rounds.value,
         }
 
     # -- hosting lifecycle -------------------------------------------------
@@ -188,18 +200,18 @@ class DataCapsuleServer(Endpoint):
         super().receive(message, sender, link)
 
     def on_request(self, pdu: Pdu) -> Any:
-        """Serve one application request (see class docstring)."""
+        """Serve one application request (see class docstring).
+
+        Ops resolve through the typed dispatch registry
+        (:func:`repro.runtime.dispatch.dispatch_op`): unknown ops,
+        payloads failing their declared field types, and handlers
+        raising :class:`GdpError` all come back as structured error
+        envelopes, which are then secure-wrapped like any response.
+        """
         payload = pdu.payload
-        op = payload.get("op") if isinstance(payload, dict) else None
-        handler = getattr(self, f"_op_{op}", None)
-        if handler is None:
-            return self._wrap(pdu, None, {"ok": False, "error": f"unknown op {op!r}"})
-        try:
-            result = handler(pdu, payload)
-        except GdpError as exc:
-            return self._wrap(
-                pdu, None, {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
-            )
+        result = dispatch_op(self, pdu, payload)
+        if isinstance(result, dict) and result.get("error_kind"):
+            return self._wrap(pdu, None, result)
         if isinstance(result, Future):
             wrapped = self.sim.future()
             capsule_name = self._capsule_of(payload)
@@ -256,6 +268,7 @@ class DataCapsuleServer(Endpoint):
 
     # -- ops -------------------------------------------------------------
 
+    @op("host", metadata=dict, chain=dict, siblings=opt(list))
     def _op_host(self, pdu: Pdu, payload: dict) -> dict:
         metadata = Metadata.from_wire(payload["metadata"])
         chain = ServiceChain.from_wire(payload["chain"])
@@ -291,12 +304,13 @@ class DataCapsuleServer(Endpoint):
                 raise
         return new
 
+    @op("append", capsule=bytes, record=dict, heartbeat=dict, acks=opt(str))
     def _op_append(self, pdu: Pdu, payload: dict) -> Any:
         hosted = self._hosted(payload)
         record = Record.from_wire(hosted.capsule.name, payload["record"])
         heartbeat = Heartbeat.from_wire(payload["heartbeat"])
         new = self._persist(hosted, record, heartbeat)
-        self.stats["appends"] += 1
+        self._c_appends.inc()
         if new:
             self._push_to_subscribers(hosted, record, heartbeat)
         policy = AckPolicy(payload.get("acks", "any"))
@@ -377,40 +391,44 @@ class DataCapsuleServer(Endpoint):
         check_done()
         return result
 
+    @op("replicate", capsule=bytes, record=dict, heartbeat=dict)
     def _op_replicate(self, pdu: Pdu, payload: dict) -> dict:
         hosted = self._hosted(payload)
         record = Record.from_wire(hosted.capsule.name, payload["record"])
         heartbeat = Heartbeat.from_wire(payload["heartbeat"])
         new = self._persist(hosted, record, heartbeat)
-        self.stats["replications"] += 1
+        self._c_replications.inc()
         if new:
             self._push_to_subscribers(hosted, record, heartbeat)
         return {"ok": True, "seqno": record.seqno}
 
+    @op("read", capsule=bytes, seqno=int)
     def _op_read(self, pdu: Pdu, payload: dict) -> dict:
         hosted = self._hosted(payload)
         seqno = payload["seqno"]
         record = hosted.capsule.get(seqno)
         proof = build_position_proof(hosted.capsule, seqno)
-        self.stats["reads"] += 1
+        self._c_reads.inc()
         return {
             "ok": True,
             "record": record.to_wire(),
             "proof": proof.to_wire(),
         }
 
+    @op("read_range", capsule=bytes, first=int, last=int)
     def _op_read_range(self, pdu: Pdu, payload: dict) -> dict:
         hosted = self._hosted(payload)
         first, last = payload["first"], payload["last"]
         records = hosted.capsule.read_range(first, last)
         proof = build_range_proof(hosted.capsule, first, last)
-        self.stats["reads"] += 1
+        self._c_reads.inc()
         return {
             "ok": True,
             "records": [r.to_wire() for r in records],
             "proof": proof.to_wire(),
         }
 
+    @op("latest", capsule=bytes)
     def _op_latest(self, pdu: Pdu, payload: dict) -> dict:
         hosted = self._hosted(payload)
         heartbeat = hosted.capsule.latest_heartbeat
@@ -418,7 +436,7 @@ class DataCapsuleServer(Endpoint):
             return {"ok": True, "empty": True}
         record = hosted.capsule.get_by_digest(heartbeat.digest)
         proof = build_position_proof(hosted.capsule, record.seqno)
-        self.stats["reads"] += 1
+        self._c_reads.inc()
         return {
             "ok": True,
             "record": record.to_wire(),
@@ -426,6 +444,7 @@ class DataCapsuleServer(Endpoint):
             "proof": proof.to_wire(),
         }
 
+    @op("metadata", capsule=bytes)
     def _op_metadata(self, pdu: Pdu, payload: dict) -> dict:
         hosted = self._hosted(payload)
         return {
@@ -434,6 +453,7 @@ class DataCapsuleServer(Endpoint):
             "chain": hosted.chain.to_wire(),
         }
 
+    @op("unhost", capsule=bytes, auth=opt(object))
     def _op_unhost(self, pdu: Pdu, payload: dict) -> dict:
         """Stop hosting a capsule — owner-authorized replica retirement
         (§VI: "Replicas can be migrated ... such placement decisions are
@@ -467,6 +487,7 @@ class DataCapsuleServer(Endpoint):
             self.withdraw([name])
         return {"ok": True, "capsule": name.raw}
 
+    @op("sync_now", capsule=bytes, **{"from": bytes})
     def _op_sync_now(self, pdu: Pdu, payload: dict) -> Any:
         """Owner-triggered immediate anti-entropy pull from a named
         sibling (used to warm a freshly placed replica during
@@ -492,6 +513,7 @@ class DataCapsuleServer(Endpoint):
         process.completion.add_callback(done)
         return result
 
+    @op("subscribe", capsule=bytes, subgrant=opt(object))
     def _op_subscribe(self, pdu: Pdu, payload: dict) -> dict:
         hosted = self._hosted(payload)
         # Restricted capsules require an owner-signed subscription
@@ -516,11 +538,13 @@ class DataCapsuleServer(Endpoint):
         hosted.subscribers.add(pdu.src)
         return {"ok": True, "from_seqno": hosted.capsule.last_seqno + 1}
 
+    @op("unsubscribe", capsule=bytes)
     def _op_unsubscribe(self, pdu: Pdu, payload: dict) -> dict:
         hosted = self._hosted(payload)
         hosted.subscribers.discard(pdu.src)
         return {"ok": True}
 
+    @op("session", client_key=bytes, offer=object)
     def _op_session(self, pdu: Pdu, payload: dict) -> dict:
         """Authenticated ECDH handshake (the client is the initiator)."""
         client_identity = VerifyingKey.from_bytes(payload["client_key"])
@@ -534,11 +558,13 @@ class DataCapsuleServer(Endpoint):
         self._sign_anyway.add((pdu.src, pdu.corr_id))
         return {"ok": True, "offer": handshake.offer()}
 
+    @op("sync_summary", capsule=bytes)
     def _op_sync_summary(self, pdu: Pdu, payload: dict) -> dict:
         hosted = self._hosted(payload)
-        self.stats["sync_rounds"] += 1
+        self._c_sync_rounds.inc()
         return {"ok": True, "summary": hosted.capsule.state_summary()}
 
+    @op("sync_fetch", capsule=bytes, digests=list)
     def _op_sync_fetch(self, pdu: Pdu, payload: dict) -> dict:
         hosted = self._hosted(payload)
         records = []
@@ -567,4 +593,4 @@ class DataCapsuleServer(Endpoint):
         for subscriber in sorted(hosted.subscribers, key=lambda n: n.raw):
             push = Pdu(self.name, subscriber, pdutypes.T_PUSH, dict(payload))
             self.send_pdu(push)
-            self.stats["pushes"] += 1
+            self._c_pushes.inc()

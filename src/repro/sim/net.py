@@ -10,6 +10,12 @@ residential-uplink-bound write times come out with the right shape.
 
 Nodes address each other by attachment; routing above this layer is the
 GDP's job (flat names), not the link layer's.
+
+The network also owns the shared runtime plane (see
+:mod:`repro.runtime`): a :class:`~repro.runtime.metrics.MetricsRegistry`
+every node scopes its counters into, a delivery middleware pipeline that
+every link runs (fault injection installs here), and the optional
+deterministic trace stream.
 """
 
 from __future__ import annotations
@@ -17,6 +23,14 @@ from __future__ import annotations
 import random
 from typing import Any, Callable
 
+from repro.runtime.metrics import MetricsRegistry
+from repro.runtime.middleware import (
+    DeliveryPipeline,
+    MetricsMiddleware,
+    NodeMiddleware,
+    NodePipeline,
+)
+from repro.runtime.trace import TraceMiddleware, TraceStream
 from repro.sim.engine import Simulator
 
 __all__ = ["SimNetwork", "Node", "Link"]
@@ -73,6 +87,11 @@ class Link:
     bytes/second) — asymmetry models residential up/down links.  ``loss``
     is an i.i.d. drop probability applied per message, drawn from the
     network's seeded RNG.
+
+    Per-link counters live in the network metrics registry under the
+    scope ``link:<a>~<b>`` (names ``net.sent`` / ``net.dropped`` /
+    ``net.bytes``); the historical ``stats_*`` attributes remain as
+    read-only views.
     """
 
     def __init__(
@@ -102,11 +121,29 @@ class Link:
         self.loss = loss
         self._busy_until = {(a, b): 0.0, (b, a): 0.0}
         self.up = True
-        self.stats_sent = 0
-        self.stats_dropped = 0
-        self.stats_bytes = 0
+        metrics = network.metrics.node(f"link:{a.node_id}~{b.node_id}")
+        self._c_sent = metrics.counter("net.sent")
+        self._c_dropped = metrics.counter("net.dropped")
+        self._c_bytes = metrics.counter("net.bytes")
         a.links.append(self)
         b.links.append(self)
+
+    # -- backwards-compatible counter views --------------------------------
+
+    @property
+    def stats_sent(self) -> int:
+        """Messages offered to the link (registry: ``net.sent``)."""
+        return self._c_sent.value
+
+    @property
+    def stats_dropped(self) -> int:
+        """Messages lost or suppressed (registry: ``net.dropped``)."""
+        return self._c_dropped.value
+
+    @property
+    def stats_bytes(self) -> int:
+        """Bytes serialized onto the line (registry: ``net.bytes``)."""
+        return self._c_bytes.value
 
     def peer(self, node: Node) -> Node:
         """The node on the other end of this link."""
@@ -123,32 +160,33 @@ class Link:
         sim = self.network.sim
         receiver = self.peer(sender)
         direction = (sender, receiver)
-        self.stats_sent += 1
+        self._c_sent.inc()
         if not self.up:
-            self.stats_dropped += 1
+            self._c_dropped.inc()
             return
         if self.loss and self.network.rng.random() < self.loss:
-            self.stats_dropped += 1
+            self._c_dropped.inc()
             return
-        self.stats_bytes += size
+        self._c_bytes.inc(size)
         serialization = size / self.bandwidth[direction]
         start = max(sim.now, self._busy_until[direction])
         self._busy_until[direction] = start + serialization
         arrival_delay = (start + serialization + self.latency) - sim.now
-        hooks = self.network._delivery_hooks
-        if hooks:
-            for hook in hooks:
-                verdict = hook(self, sender, receiver, message, size)
-                if verdict is False:
-                    self.stats_dropped += 1
-                    return
+        pipeline = self.network.delivery
+        if pipeline:
+            processed = pipeline.run(self, sender, receiver, message, size)
+            if processed is None:
+                self._c_dropped.inc()
+                return
+            message, extra_delay = processed
+            arrival_delay += extra_delay
         sim.schedule(
             arrival_delay, self._deliver, receiver, message, sender
         )
 
     def _deliver(self, receiver: Node, message: Any, sender: Node) -> None:
         if not self.up:
-            self.stats_dropped += 1
+            self._c_dropped.inc()
             return
         receiver.receive(message, sender, self)
 
@@ -170,19 +208,28 @@ class Link:
 class SimNetwork:
     """The network: a simulator plus nodes, links, and a seeded RNG.
 
-    ``add_delivery_hook`` installs an interception point used by the
-    adversary package (tamper / reorder / drop on path) — returning
-    ``False`` from a hook drops the message.
+    The network owns the shared runtime plane:
+
+    - ``metrics`` — the :class:`MetricsRegistry` every node and link
+      scopes its named counters into (``metrics_enabled=False`` makes
+      all instruments no-ops for zero-overhead hot loops);
+    - ``delivery`` — the link-level middleware pipeline (fault
+      injection; ``add_delivery_hook`` remains as a thin legacy shim);
+    - node middlewares — installed with :meth:`install_node_middleware`,
+      seeded into every node pipeline created via :meth:`node_pipeline`
+      (tracing via :meth:`enable_tracing`, generic PDU counting via
+      :meth:`enable_node_metrics`).
     """
 
-    def __init__(self, seed: int = 0):
+    def __init__(self, seed: int = 0, *, metrics_enabled: bool = True):
         self.sim = Simulator()
         self.rng = random.Random(seed)
         self.nodes: dict[str, Node] = {}
         self.links: list[Link] = []
-        self._delivery_hooks: list[
-            Callable[[Link, Node, Node, Any, int], bool | None]
-        ] = []
+        self.metrics = MetricsRegistry(enabled=metrics_enabled)
+        self.delivery = DeliveryPipeline()
+        self.tracer: TraceStream | None = None
+        self._node_middlewares: list[NodeMiddleware] = []
 
     def _register(self, node: Node) -> None:
         if node.node_id in self.nodes:
@@ -208,12 +255,56 @@ class SimNetwork:
         self.links.append(link)
         return link
 
+    # -- the node middleware plane -----------------------------------------
+
+    def node_pipeline(self) -> NodePipeline:
+        """A fresh per-node pipeline pre-seeded with the network-wide
+        node middlewares (called by endpoint/router constructors)."""
+        return NodePipeline(self._node_middlewares)
+
+    def install_node_middleware(self, middleware: NodeMiddleware) -> NodeMiddleware:
+        """Install *middleware* on every existing node pipeline and on
+        every pipeline created afterwards."""
+        self._node_middlewares.append(middleware)
+        for node in self.nodes.values():
+            pipeline = getattr(node, "pipeline", None)
+            if pipeline is not None:
+                pipeline.use(middleware)
+        return middleware
+
+    def remove_node_middleware(self, middleware: NodeMiddleware) -> None:
+        """Undo :meth:`install_node_middleware`."""
+        self._node_middlewares.remove(middleware)
+        for node in self.nodes.values():
+            pipeline = getattr(node, "pipeline", None)
+            if pipeline is not None and middleware in pipeline:
+                pipeline.remove(middleware)
+
+    def enable_tracing(self) -> TraceStream:
+        """Turn on the deterministic trace stream (idempotent); every
+        PDU through every node pipeline becomes a span event."""
+        if self.tracer is None:
+            self.tracer = TraceStream(clock=lambda: self.sim.now)
+            self.install_node_middleware(TraceMiddleware(self.tracer))
+        return self.tracer
+
+    def enable_node_metrics(self) -> None:
+        """Count PDUs/bytes through every node pipeline into the
+        registry (``node.pdus_in`` etc.; idempotent)."""
+        for middleware in self._node_middlewares:
+            if isinstance(middleware, MetricsMiddleware):
+                return
+        self.install_node_middleware(MetricsMiddleware(self.metrics))
+
+    # -- legacy delivery hooks ----------------------------------------------
+
     def add_delivery_hook(
         self, hook: Callable[[Link, Node, Node, Any, int], bool | None]
     ) -> None:
-        """Install a delivery interception hook."""
-        self._delivery_hooks.append(hook)
+        """Install a delivery interception hook (legacy shim over the
+        delivery middleware pipeline)."""
+        self.delivery.use_hook(hook)
 
     def remove_delivery_hook(self, hook: Callable) -> None:
         """Remove a previously installed hook."""
-        self._delivery_hooks.remove(hook)
+        self.delivery.remove_hook(hook)

@@ -10,10 +10,8 @@ from repro.adversary import (
 )
 from repro.capsule import CapsuleWriter
 from repro.errors import (
-    CapsuleError,
     EquivocationError,
     GdpError,
-    IntegrityError,
     TimeoutError_,
 )
 from repro.routing.pdu import T_DATA, T_RESPONSE

@@ -1,8 +1,6 @@
 """Secure advertisement: challenge-response, catalog verification."""
 
-import pytest
 
-from repro.client import GdpClient
 from repro.crypto import SigningKey
 from repro.naming import make_client_metadata
 from repro.routing import Endpoint

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.caapi import CapsuleFileSystem
-from repro.client import GdpClient, OwnerConsole
+from repro.client import OwnerConsole
 from repro.errors import CapsuleError, RecordNotFoundError
 from repro.sim import blob
 

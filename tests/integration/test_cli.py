@@ -1,4 +1,4 @@
-"""The CLI: selfcheck, version, inventory."""
+"""The CLI: selfcheck, stats, version, inventory."""
 
 from repro.cli import main
 
@@ -13,6 +13,20 @@ class TestCli:
         out = capsys.readouterr().out
         assert "selfcheck: PASS" in out
         assert "[FAIL]" not in out
+
+    def test_stats_prints_metrics_table(self, capsys):
+        assert main(["stats"]) == 0
+        out = capsys.readouterr().out
+        assert "router.forwarded" in out
+        assert "server.appends" in out
+        assert "net.bytes" in out
+        assert "trace events recorded:" in out
+
+    def test_stats_trace_dumps_events(self, capsys):
+        assert main(["stats", "--trace", "3"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("event=pdu_") == 3
+        assert "seq=1" in out
 
     def test_inventory(self, capsys):
         assert main(["inventory"]) == 0

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import CapsuleError, GdpError, RoutingError, TimeoutError_
+from repro.errors import CapsuleError, RoutingError, TimeoutError_
 
 
 class TestBasicFlow:

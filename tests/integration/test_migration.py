@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import CapsuleError, GdpError
+from repro.errors import CapsuleError
 from repro.server import DataCapsuleServer
 
 

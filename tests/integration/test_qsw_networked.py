@@ -7,10 +7,8 @@ appending, and readers across the federation observe a branched-but-
 convergent capsule with strong-eventual semantics.
 """
 
-import pytest
 
 from repro.capsule.branches import branch_points, resolve_linearization
-from repro.errors import EquivocationError, GdpError
 
 
 class TestNetworkedQswRecovery:

@@ -16,7 +16,7 @@ scripted scenario against its enabling feature.
 import pytest
 
 from repro.caapi import CapsuleKVStore, StreamPublisher, TimeSeriesLog
-from repro.errors import GdpError, RoutingError, TimeoutError_
+from repro.errors import GdpError
 
 
 class TestTableI:

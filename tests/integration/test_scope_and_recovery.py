@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.client import GdpClient
 from repro.errors import GdpError, RoutingError, TimeoutError_
 from repro.server import DataCapsuleServer, FileStore
 

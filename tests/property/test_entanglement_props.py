@@ -1,7 +1,6 @@
 """Property tests: the entanglement-derived order is a sane partial
 order on randomly generated entanglement topologies."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

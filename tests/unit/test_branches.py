@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.capsule import CapsuleWriter, DataCapsule, QuasiWriter
+from repro.capsule import DataCapsule, QuasiWriter
 from repro.capsule.branches import (
     branch_points,
     common_prefix_length,

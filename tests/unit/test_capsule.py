@@ -6,7 +6,6 @@ from repro.capsule import CapsuleWriter, DataCapsule, build_record
 from repro.capsule.records import Record
 from repro.crypto.hashing import HashPointer
 from repro.errors import (
-    BranchError,
     HoleError,
     IntegrityError,
     RecordNotFoundError,

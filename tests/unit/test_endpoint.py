@@ -6,7 +6,7 @@ from repro.crypto import SigningKey
 from repro.errors import RoutingError, TimeoutError_
 from repro.naming import GdpName, make_client_metadata
 from repro.routing import Endpoint, GdpRouter, RoutingDomain
-from repro.routing.pdu import Pdu, T_DATA, T_PUSH, T_RESPONSE
+from repro.routing.pdu import Pdu, T_PUSH, T_RESPONSE
 from repro.sim import SimNetwork
 
 

@@ -10,7 +10,7 @@ from repro.capsule import (
     build_position_proof,
     build_range_proof,
 )
-from repro.errors import HoleError, IntegrityError, RecordNotFoundError
+from repro.errors import IntegrityError, RecordNotFoundError
 
 
 @pytest.fixture(

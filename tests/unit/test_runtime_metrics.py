@@ -1,0 +1,78 @@
+"""The metrics registry: counters, histograms, snapshot/reset, NULL."""
+
+from repro.runtime.metrics import (
+    NULL,
+    Counter,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_inc_and_reset(self):
+        counter = Counter("x")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+        counter.reset()
+        assert counter.value == 0
+
+
+class TestHistogram:
+    def test_observe_and_summary(self):
+        histogram = Histogram("lat")
+        for value in (1.0, 3.0, 2.0):
+            histogram.observe(value)
+        summary = histogram.summary()
+        assert summary["count"] == 3
+        assert summary["min"] == 1.0
+        assert summary["max"] == 3.0
+        assert histogram.mean == 2.0
+
+    def test_empty_histogram(self):
+        assert Histogram("lat").summary()["count"] == 0
+
+
+class TestRegistry:
+    def test_instruments_are_cached_per_scope_and_name(self):
+        registry = MetricsRegistry()
+        a = registry.counter("node1", "router.forwarded")
+        b = registry.counter("node1", "router.forwarded")
+        assert a is b
+        assert registry.counter("node2", "router.forwarded") is not a
+
+    def test_node_view(self):
+        registry = MetricsRegistry()
+        metrics = registry.node("server_a")
+        metrics.counter("server.appends").inc(3)
+        assert registry.counter("server_a", "server.appends").value == 3
+
+    def test_snapshot_is_sorted_and_complete(self):
+        registry = MetricsRegistry()
+        registry.counter("b_node", "net.sent").inc(2)
+        registry.counter("a_node", "net.bytes").inc(100)
+        registry.histogram("a_node", "rpc.latency").observe(0.5)
+        snapshot = registry.snapshot()
+        assert list(snapshot) == ["a_node", "b_node"]
+        assert snapshot["b_node"]["net.sent"] == 2
+        assert snapshot["a_node"]["net.bytes"] == 100
+        assert snapshot["a_node"]["rpc.latency"]["count"] == 1
+
+    def test_reset_zeroes_everything(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("n", "c")
+        counter.inc(9)
+        registry.histogram("n", "h").observe(1.0)
+        registry.reset()
+        assert counter.value == 0
+        assert registry.snapshot()["n"]["h"]["count"] == 0
+
+    def test_disabled_registry_hands_out_null(self):
+        registry = MetricsRegistry(enabled=False)
+        counter = registry.counter("n", "c")
+        assert counter is NULL
+        counter.inc(100)  # no-op, no error
+        assert counter.value == 0
+        histogram = registry.histogram("n", "h")
+        histogram.observe(1.0)
+        assert registry.snapshot() == {}

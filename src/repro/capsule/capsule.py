@@ -289,6 +289,13 @@ class DataCapsule:
             raise HoleError(
                 f"record for heartbeat seqno {heartbeat.seqno} is missing"
             )
+        if start.digest != heartbeat.digest:
+            # A record filed under the heartbeat's digest whose contents
+            # hash elsewhere: in-place storage tampering.
+            raise IntegrityError(
+                f"record {start.seqno} does not hash to its "
+                "heartbeat digest"
+            )
         covered: set[bytes] = set()
         frontier = [start]
         reached_anchor = False
@@ -313,6 +320,11 @@ class DataCapsule:
                     )
                 if target.seqno != ptr.seqno:
                     raise IntegrityError("pointer seqno/digest mismatch")
+                if target.digest != ptr.digest:
+                    raise IntegrityError(
+                        f"record {target.seqno} does not hash to the "
+                        "pointer that reaches it"
+                    )
                 frontier.append(target)
         if not reached_anchor:
             raise HoleError("history walk never reached the metadata anchor")

@@ -12,6 +12,10 @@ Commands
                 also dumps the first N deterministic trace events)
 ``results``     print the experiment tables from the last benchmark run
 ``inventory``   list the implemented subsystems and their test counts
+``simtest``     run seeded chaos episodes against the invariant oracles
+                (``--seed N --episodes K``); every failure prints a
+                one-line repro command, ``--shrink`` minimizes the
+                fault schedule of each failing episode
 """
 
 from __future__ import annotations
@@ -197,6 +201,35 @@ def cmd_inventory(_args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_simtest(args: argparse.Namespace) -> int:
+    """The ``simtest`` command: seeded chaos episodes + oracles."""
+    from repro.simtest import run_episode, shrink_episode
+
+    failures = 0
+    for i in range(args.episodes):
+        seed = args.seed + i
+        result = run_episode(seed)
+        if result.ok:
+            print(
+                f"episode seed={seed}: PASS "
+                f"({len(result.plan.faults)} faults, "
+                f"{len(result.op_log)} ops, "
+                f"trace sha256={result.trace_sha256[:16]})"
+            )
+            continue
+        failures += 1
+        print(result.report())
+        if args.shrink:
+            shrunk = shrink_episode(seed)
+            for line in shrunk.describe():
+                print(line)
+    print(
+        f"simtest: {args.episodes - failures}/{args.episodes} "
+        f"episodes passed"
+    )
+    return 0 if failures == 0 else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
     parser = argparse.ArgumentParser(
@@ -218,6 +251,22 @@ def main(argv: list[str] | None = None) -> int:
     )
     sub.add_parser("results", help="print the last benchmark tables")
     sub.add_parser("inventory", help="list implemented subsystems")
+    simtest = sub.add_parser(
+        "simtest",
+        help="run seeded chaos episodes against the invariant oracles",
+    )
+    simtest.add_argument(
+        "--seed", type=int, default=1, metavar="N",
+        help="first episode seed (default 1)",
+    )
+    simtest.add_argument(
+        "--episodes", type=int, default=1, metavar="K",
+        help="how many consecutive seeds to run (default 1)",
+    )
+    simtest.add_argument(
+        "--shrink", action="store_true",
+        help="greedily minimize the fault schedule of failing episodes",
+    )
     args = parser.parse_args(argv)
     commands = {
         "version": cmd_version,
@@ -225,6 +274,7 @@ def main(argv: list[str] | None = None) -> int:
         "stats": cmd_stats,
         "results": cmd_results,
         "inventory": cmd_inventory,
+        "simtest": cmd_simtest,
     }
     if args.command is None:
         parser.print_help()

@@ -89,6 +89,22 @@ class _Fault(DeliveryMiddleware):
         """Remove this fault from the delivery pipeline."""
         self.network.delivery.remove(self)
 
+    def arm(self, rate: float) -> None:
+        """Open a fault window: start firing at *rate*.
+
+        Installed-but-disarmed faults draw nothing from the RNG, so a
+        schedule of arm/disarm windows perturbs the random stream only
+        while a window is open — which keeps seeded episodes replayable
+        when the windows move (see :mod:`repro.simtest`).
+        """
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError("rate must be in [0, 1]")
+        self.rate = rate
+
+    def disarm(self) -> None:
+        """Close the fault window (the middleware stays installed)."""
+        self.rate = 0.0
+
     def __repr__(self) -> str:
         return f"{type(self).__name__}(rate={self.rate})"
 

@@ -157,19 +157,36 @@ class DataCapsuleServer(Endpoint):
         ]
 
     def crash(self) -> None:
-        """Stop responding and lose all volatile state (the MemoryStore
-        contents die with the process; a FileStore survives)."""
+        """Kill the process: stop responding and drop all in-memory
+        session state (HMAC sessions, pending RPCs, subscriber lists
+        survive only until :meth:`restart` wipes them).
+
+        The storage backend is the durable medium and survives — it
+        models the disk, not the process.  Crash is distinct from a
+        network partition: a partitioned server keeps its sessions and
+        resumes mid-conversation; a crashed one comes back amnesiac.
+        """
         self.crashed = True
+        self._sessions.clear()
+        self._sign_anyway.clear()
+        self._pending_rpcs.clear()
 
     def restart(self) -> None:
-        """Come back up and recover whatever the storage backend kept.
+        """Come back up with exactly what the storage backend kept.
 
-        Hosted-capsule delegations (chains, siblings, subscribers) are
-        volatile in this model — the operator re-issues ``host`` — but
-        record data recovers from persistent storage.
+        Hosted-capsule operator state (delegation chains, sibling
+        lists) persists — the operator configured it — but each
+        replica's in-memory :class:`DataCapsule` is rebuilt from scratch
+        by replaying the storage log, and subscriber sets are dropped
+        (subscribers re-subscribe; §V's subscriptions are soft state).
+        Anything acknowledged pre-crash was persisted by
+        :meth:`_persist` or anti-entropy, so nothing durable is lost.
         """
         self.crashed = False
+        self._sessions.clear()
+        self._sign_anyway.clear()
         for hosted in self.hosted.values():
+            hosted.capsule = DataCapsule(hosted.capsule.metadata)
             hosted.subscribers.clear()
         self.recover_from_storage()
 

@@ -68,8 +68,14 @@ class StorageBackend(ABC):
 
 
 class MemoryStore(StorageBackend):
-    """Volatile storage (lost on server crash — which is exactly what
-    the durability experiments need it to be)."""
+    """Dict-backed storage for simulations and tests.
+
+    Like every :class:`StorageBackend` it models the server's *durable*
+    medium: :meth:`DataCapsuleServer.crash` wipes the in-memory capsule
+    and session state but leaves the backend intact, and ``restart``
+    replays it.  (Simulated crash-restart therefore behaves the same
+    over MemoryStore and FileStore; FileStore additionally survives
+    real process death, which the FileStore tests exercise.)"""
 
     def __init__(self):
         self._data: dict[GdpName, list[tuple[str, dict]]] = {}

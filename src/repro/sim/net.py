@@ -125,6 +125,7 @@ class Link:
         self._c_sent = metrics.counter("net.sent")
         self._c_dropped = metrics.counter("net.dropped")
         self._c_bytes = metrics.counter("net.bytes")
+        self._c_delivered = metrics.counter("net.delivered")
         a.links.append(self)
         b.links.append(self)
 
@@ -144,6 +145,18 @@ class Link:
     def stats_bytes(self) -> int:
         """Bytes serialized onto the line (registry: ``net.bytes``)."""
         return self._c_bytes.value
+
+    @property
+    def stats_delivered(self) -> int:
+        """Messages handed to the receiver (registry: ``net.delivered``).
+
+        Conservation invariant (checked by the simtest ``conservation``
+        oracle): at quiesce, ``net.sent == net.dropped + net.delivered``
+        on every link — a message offered to a link is either dropped
+        (link down, loss, fault middleware) or delivered, never lost
+        silently.
+        """
+        return self._c_delivered.value
 
     def peer(self, node: Node) -> Node:
         """The node on the other end of this link."""
@@ -188,6 +201,7 @@ class Link:
         if not self.up:
             self._c_dropped.inc()
             return
+        self._c_delivered.inc()
         receiver.receive(message, sender, self)
 
     def fail(self) -> None:

@@ -13,6 +13,7 @@ resources."
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
@@ -27,6 +28,7 @@ __all__ = [
     "single_router",
     "residential_edge_cloud",
     "federated_campus",
+    "random_topology",
     "MBPS",
     "GBPS",
 ]
@@ -162,3 +164,25 @@ def federated_campus(
         net.connect(gateway, backbone, latency=backbone_latency, bandwidth=GBPS)
         domain.attach_to_parent(gateway, backbone)
     return Topology(net, domains, routers)
+
+
+def random_topology(seed: int, rng: random.Random) -> Topology:
+    """A randomly shaped small federation for simulation-test episodes.
+
+    Structural choices (domain count, routers per domain, latencies) are
+    drawn from *rng*; *seed* seeds the network's own RNG (link loss,
+    anycast tie-breaks).  Two calls with equal *seed* and an identically
+    seeded *rng* build identical topologies — the foundation of episode
+    replay (see :mod:`repro.simtest`).
+    """
+    n_domains = rng.randint(1, 3)
+    routers_per_domain = rng.randint(1, 2)
+    intra_latency = rng.choice([0.001, 0.002, 0.005])
+    backbone_latency = rng.choice([0.010, 0.015, 0.030])
+    return federated_campus(
+        n_domains,
+        seed=seed,
+        intra_latency=intra_latency,
+        backbone_latency=backbone_latency,
+        routers_per_domain=routers_per_domain,
+    )

@@ -16,6 +16,7 @@ from typing import Iterator
 __all__ = [
     "blob",
     "record_sizes",
+    "op_schedule",
     "poisson_arrivals",
     "sensor_readings",
     "MODEL_SMALL",
@@ -61,6 +62,31 @@ def record_sizes(
         mu = math.log(mean) - sigma * sigma / 2
         return [max(1, int(rng.lognormvariate(mu, sigma))) for _ in range(count)]
     raise ValueError(f"unknown distribution {distribution!r}")
+
+
+def op_schedule(
+    count: int,
+    *,
+    mix: dict[str, float] | None = None,
+    seed: int = 0,
+) -> list[str]:
+    """A deterministic operation schedule drawn from a weighted *mix*
+    (default: append-heavy with occasional reads, the shape of the
+    paper's sensor/actuator workloads).  Keys are iterated in sorted
+    order so the draw sequence is independent of dict insertion order."""
+    if count < 0:
+        raise ValueError("count must be >= 0")
+    mix = mix if mix is not None else {
+        "append": 0.6,
+        "read_latest": 0.2,
+        "read": 0.2,
+    }
+    if not mix:
+        raise ValueError("mix must not be empty")
+    rng = random.Random(seed)
+    names = sorted(mix)
+    weights = [mix[name] for name in names]
+    return rng.choices(names, weights=weights, k=count)
 
 
 def poisson_arrivals(

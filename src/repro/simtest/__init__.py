@@ -1,0 +1,36 @@
+"""Deterministic simulation testing (FoundationDB-style) for the GDP.
+
+One seed determines an entire chaos episode — random topology, random
+workload, random fault schedule — and a registry of invariant oracles
+checks the world at quiesce.  Failures replay exactly
+(``repro simtest --seed N``) and shrink greedily to a minimal fault
+schedule.  See ``docs/TESTING.md`` for the workflow.
+"""
+
+from repro.simtest.episode import EpisodeResult, run_episode
+from repro.simtest.oracles import ORACLES, Violation, oracle, run_oracles
+from repro.simtest.plan import (
+    FAULT_KINDS,
+    EpisodePlan,
+    FaultEvent,
+    build_plan,
+)
+from repro.simtest.shrink import ShrinkResult, shrink_episode
+from repro.simtest.world import EpisodeWorld, build_world
+
+__all__ = [
+    "EpisodePlan",
+    "EpisodeResult",
+    "EpisodeWorld",
+    "FAULT_KINDS",
+    "FaultEvent",
+    "ORACLES",
+    "ShrinkResult",
+    "Violation",
+    "build_plan",
+    "build_world",
+    "oracle",
+    "run_episode",
+    "run_oracles",
+    "shrink_episode",
+]

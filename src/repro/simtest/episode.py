@@ -1,0 +1,258 @@
+"""The episode runner: one seeded chaos episode, checked at quiesce.
+
+An episode is four phases on a simulated clock:
+
+1. **setup** (clean network): advertise everyone, place one capsule on
+   every server, start the anti-entropy daemons, open the single
+   writer, maybe subscribe;
+2. **workload under faults**: the planned op sequence (appends with
+   random durability, verified reads, latest-reads) runs while one sim
+   process per :class:`FaultEvent` opens and closes its fault window;
+3. **heal**: every window closed, links recovered, crashed servers
+   restarted, FIBs flushed, then a convergence poll until all live
+   replicas agree (or a deadline passes — divergence is the
+   ``convergence`` oracle's call, not a crash);
+4. **quiesce**: daemons stopped, the event queue drained, and every
+   registered oracle run over the cold world.
+
+Everything is a pure function of the seed: the failure report and the
+trace stream are byte-identical across runs, and every failing report
+carries its own one-line repro command.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from repro.errors import GdpError
+from repro.sim.workload import blob
+from repro.simtest.oracles import Violation, run_oracles
+from repro.simtest.plan import EpisodePlan, FaultEvent, build_plan
+from repro.simtest.world import EpisodeWorld, build_world
+
+__all__ = ["EpisodeResult", "run_episode"]
+
+#: how long the convergence poll waits after the heal before giving up
+CONVERGENCE_DEADLINE = 120.0
+
+#: bounded post-scenario drain (timeouts, daemon tails, replay echoes)
+DRAIN_HORIZON = 600.0
+
+
+@dataclass
+class EpisodeResult:
+    """Everything one episode produced, reportable deterministically."""
+
+    seed: int
+    plan: EpisodePlan
+    violations: list[Violation]
+    sim_time: float
+    trace_bytes: bytes = b""
+    op_log: list[str] = field(default_factory=list)
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        """Whether the episode passed every oracle without crashing."""
+        return not self.violations and self.error is None
+
+    @property
+    def repro_command(self) -> str:
+        """The one-liner that replays this exact episode."""
+        return f"repro simtest --seed {self.seed}"
+
+    @property
+    def trace_sha256(self) -> str:
+        """Digest of the deterministic trace stream."""
+        return hashlib.sha256(self.trace_bytes).hexdigest()
+
+    def report(self) -> str:
+        """The deterministic multi-line report (byte-identical across
+        replays of the same seed)."""
+        lines = [f"episode seed={self.seed}: {'PASS' if self.ok else 'FAIL'}"]
+        lines.extend(f"  {line}" for line in self.plan.describe())
+        lines.append(
+            f"  trace: {len(self.trace_bytes)} bytes "
+            f"sha256={self.trace_sha256[:16]}"
+        )
+        if self.error is not None:
+            lines.append(f"  error: {self.error}")
+        for violation in self.violations:
+            lines.append(f"  violation: {violation}")
+        if not self.ok:
+            lines.append(f"  repro: {self.repro_command}")
+        return "\n".join(lines)
+
+
+def _apply_fault(world: EpisodeWorld, event: FaultEvent):
+    """Open one fault window; returns the closer callback."""
+    if event.kind == "partition":
+        link = world.backbone_links[event.target % len(world.backbone_links)]
+        was_up = link.up
+        if was_up:
+            link.fail()
+
+        def close() -> None:
+            if not link.up:
+                link.recover()
+                for router in world.routers:
+                    router.flush_fib()
+
+        return close if was_up else (lambda: None)
+    if event.kind == "crash":
+        server = world.servers[event.target % len(world.servers)]
+        # Never kill the last live server: an all-dead fleet makes every
+        # op fail vacuously and teaches the episode nothing.
+        if server.crashed or len(world.live_servers()) <= 1:
+            return lambda: None
+        server.crash()
+
+        def close() -> None:
+            if server.crashed:
+                server.restart()
+
+        return close
+    fault = world.faults[event.kind]
+    fault.arm(event.rate)
+    return fault.disarm
+
+
+def _fault_window(world: EpisodeWorld, event: FaultEvent):
+    """A sim process running one fault window."""
+    yield event.start
+    close = _apply_fault(world, event)
+    yield event.duration
+    close()
+
+
+def _scenario(world: EpisodeWorld):
+    """The episode's main sim process (see module docstring)."""
+    plan = world.plan
+    net = world.net
+    # -- phase 1: setup on a clean network ------------------------------
+    for endpoint in world.servers + [world.client]:
+        yield endpoint.advertise()
+    metadata = world.console.design_capsule(world.writer_key.public)
+    world.metadata = metadata
+    world.placement = yield from world.console.place_capsule(
+        metadata, [server.metadata for server in world.servers]
+    )
+    yield 0.5  # let the capsule re-advertisements land
+    for daemon in world.daemons:
+        daemon.start()
+    writer = world.client.open_writer(metadata, world.writer_key)
+    world.writer = writer
+    if plan.use_subscriber:
+        try:
+            yield from world.client.subscribe(
+                metadata.name,
+                lambda record, heartbeat: world.pushes.append(record.seqno),
+            )
+        except GdpError as exc:
+            world.op_log.append(f"subscribe failed: {type(exc).__name__}")
+    # -- phase 2: workload under the fault schedule ---------------------
+    workload_start = net.sim.now
+    for event in plan.faults:
+        net.sim.spawn(
+            _fault_window(world, event), name=f"fault:{event.kind}"
+        )
+    for i, op in enumerate(plan.ops):
+        try:
+            if op == "append":
+                policy = plan.ack_policies[i]
+                record, acks = yield from writer.append(
+                    blob(plan.payload_sizes[i], seed=plan.seed * 1009 + i),
+                    acks=policy,
+                )
+                if policy == "all" and acks >= plan.n_servers:
+                    world.durable_seqnos.append(record.seqno)
+                world.op_log.append(
+                    f"op{i} append seq={record.seqno} {policy} acks={acks}"
+                )
+            elif op == "read_latest":
+                yield from world.client.read_latest(metadata.name)
+                world.op_log.append(f"op{i} read_latest ok")
+            else:  # "read"
+                tip = writer.last_seqno
+                if tip == 0:
+                    world.op_log.append(f"op{i} read skipped (empty)")
+                else:
+                    seqno = min(tip, 1 + int(plan.read_fracs[i] * tip))
+                    yield from world.client.read(metadata.name, seqno)
+                    world.op_log.append(f"op{i} read seq={seqno} ok")
+        except GdpError as exc:
+            world.op_log.append(f"op{i} {op} failed: {type(exc).__name__}")
+        yield plan.gaps[i]
+    # -- phase 3: heal --------------------------------------------------
+    # Outwait any fault window still open (workload ops can finish early
+    # when gaps are short and faults were drawn near the span's tail).
+    remaining = (workload_start + plan.fault_horizon) - net.sim.now
+    if remaining > 0:
+        yield remaining + 0.1
+    for fault in world.faults.values():
+        fault.disarm()
+    for link in net.links:
+        if not link.up:
+            link.recover()
+    for server in world.servers:
+        if server.crashed:
+            server.restart()
+    for router in world.routers:
+        router.flush_fib()
+    deadline = net.sim.now + CONVERGENCE_DEADLINE
+    while net.sim.now < deadline:
+        summaries = {
+            tuple(sorted(
+                (int(seqno), tuple(digests))
+                for seqno, digests in server.hosted[metadata.name]
+                .capsule.state_summary()["digests"].items()
+            ))
+            for server in world.servers
+            if metadata.name in server.hosted
+        }
+        if len(summaries) <= 1:
+            break
+        yield 2.0
+    for daemon in world.daemons:
+        daemon.stop()
+
+
+def run_episode(
+    seed: int,
+    *,
+    faults_override: list[FaultEvent] | None = None,
+    trace: bool = True,
+) -> EpisodeResult:
+    """Run one complete episode; never raises for in-episode failures —
+    scenario crashes and oracle violations both land in the result."""
+    plan = build_plan(seed, faults_override=faults_override)
+    world = build_world(plan)
+    tracer = world.net.enable_tracing() if trace else None
+    error = None
+    try:
+        world.net.sim.run_process(_scenario(world))
+    except Exception as exc:  # noqa: BLE001 — the report carries it
+        error = f"{type(exc).__name__}: {exc}"
+    finally:
+        for daemon in world.daemons:
+            daemon.stop()
+        for fault in world.faults.values():
+            fault.disarm()
+    # Bounded drain: in-flight timeouts, daemon tails, delayed echoes.
+    world.net.sim.run(until=world.net.sim.now + DRAIN_HORIZON)
+    if world.metadata is not None:
+        violations = run_oracles(world)
+    else:
+        violations = []
+        if error is None:
+            error = "episode ended before a capsule was placed"
+    return EpisodeResult(
+        seed=seed,
+        plan=plan,
+        violations=violations,
+        sim_time=world.net.sim.now,
+        trace_bytes=tracer.to_bytes() if tracer is not None else b"",
+        op_log=list(world.op_log),
+        error=error,
+    )

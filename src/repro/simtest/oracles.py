@@ -1,0 +1,264 @@
+"""Invariant oracles: what must hold at quiesce, no matter the faults.
+
+Every oracle checks a **safety** property — "nothing wrong survived" —
+never liveness.  Records can be lost forever (a PDU dropped before any
+server stored it leaves a permanent hole); that is an availability loss
+the paper's threat model explicitly tolerates, so oracles *skip* holes
+(:class:`HoleError`) and empty replicas.  What they must never see is
+wrong data surviving verification, live replicas that disagree after a
+full heal, unverifiable routing state, or a message the network cannot
+account for.
+
+Oracles register themselves in :data:`ORACLES` via the :func:`oracle`
+decorator; :func:`run_oracles` runs them in sorted-name order (so
+reports are deterministic) and returns the collected
+:class:`Violation`\\ s.  An oracle takes the finished
+:class:`~repro.simtest.world.EpisodeWorld` and returns a list of
+violations — every diagnostic it emits must be a pure function of the
+episode seed (node ids, seqnos, digests: yes; raw correlation ids or
+wall-clock times: never), so a failing seed reproduces its report
+byte-for-byte.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from repro.capsule.proofs import build_position_proof
+from repro.errors import GdpError, HoleError, RecordNotFoundError
+
+__all__ = ["Violation", "ORACLES", "oracle", "run_oracles"]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One invariant violation with a deterministic diagnostic."""
+
+    oracle: str
+    subject: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"{self.oracle}: {self.subject}: {self.detail}"
+
+
+#: the oracle registry: name -> check function (world -> violations)
+ORACLES: dict[str, Callable] = {}
+
+
+def oracle(name: str) -> Callable:
+    """Register a check function under *name* (decorator)."""
+
+    def register(fn: Callable) -> Callable:
+        ORACLES[name] = fn
+        return fn
+
+    return register
+
+
+def run_oracles(world, *, names: Iterable[str] | None = None) -> list[Violation]:
+    """Run the selected oracles (default: all, in sorted-name order)."""
+    selected = sorted(ORACLES) if names is None else list(names)
+    violations: list[Violation] = []
+    for name in selected:
+        violations.extend(ORACLES[name](world))
+    return violations
+
+
+def _hosted_capsules(world):
+    """Yield ``(server, capsule)`` for every replica of the episode's
+    capsule, flagging replicas that lost their hosting state."""
+    for server in world.servers:
+        hosted = server.hosted.get(world.metadata.name)
+        if hosted is not None:
+            yield server, hosted.capsule
+
+
+@oracle("hash_chain")
+def check_hash_chain(world) -> list[Violation]:
+    """Hash-chain + heartbeat integrity per replica (§IV, §V-A).
+
+    Every stored heartbeat must carry a valid writer signature, and a
+    hole-free replica's full history must verify end-to-end.  Holes are
+    availability loss and are skipped; a signature or chain failure
+    means tampered data survived server-side validation — never
+    acceptable.
+    """
+    violations = []
+    for server, capsule in _hosted_capsules(world):
+        for heartbeat in capsule.heartbeats():
+            try:
+                heartbeat.verify(capsule.writer_key)
+            except GdpError as exc:
+                violations.append(Violation(
+                    "hash_chain",
+                    f"{server.node_id}/hb{heartbeat.seqno}",
+                    f"stored heartbeat fails verification: {exc}",
+                ))
+        if capsule.latest_heartbeat is None or capsule.holes():
+            continue  # empty or holed replica: nothing to chain-walk
+        try:
+            capsule.verify_history()
+        except (HoleError, RecordNotFoundError):
+            continue  # tip record itself missing: availability loss
+        except GdpError as exc:
+            violations.append(Violation(
+                "hash_chain",
+                server.node_id,
+                f"history fails verification: {type(exc).__name__}: {exc}",
+            ))
+    return violations
+
+
+@oracle("read_proof")
+def check_read_proof(world) -> list[Violation]:
+    """Read-proof verifiability: every record a replica would serve must
+    come with a position proof that verifies against the writer key
+    (§V: readers trust proofs, not servers)."""
+    violations = []
+    for server, capsule in _hosted_capsules(world):
+        for seqno in capsule.seqnos():
+            try:
+                proof = build_position_proof(capsule, seqno)
+                proof.verify_record(capsule.get(seqno), capsule.writer_key)
+            except (HoleError, RecordNotFoundError):
+                continue  # proof path crosses a hole: cannot serve, ok
+            except GdpError as exc:
+                violations.append(Violation(
+                    "read_proof",
+                    f"{server.node_id}/record{seqno}",
+                    f"unverifiable proof: {type(exc).__name__}: {exc}",
+                ))
+    return violations
+
+
+def _canonical_summary(capsule) -> tuple:
+    summary = capsule.state_summary()
+    return tuple(sorted(
+        (int(seqno), tuple(digests))
+        for seqno, digests in summary["digests"].items()
+    ))
+
+
+@oracle("convergence")
+def check_convergence(world) -> list[Violation]:
+    """Anti-entropy convergence + durability (§V-A, §VI-B).
+
+    After the heal phase every live replica must hold the same record
+    set, and every record acknowledged under ``acks=all`` must be on
+    every live replica.
+    """
+    violations = []
+    live = [
+        (server, capsule)
+        for server, capsule in _hosted_capsules(world)
+        if not server.crashed
+    ]
+    if not live:
+        return [Violation(
+            "convergence", "episode", "no live replica survived the heal"
+        )]
+    reference_server, reference = live[0]
+    reference_summary = _canonical_summary(reference)
+    for server, capsule in live[1:]:
+        summary = _canonical_summary(capsule)
+        if summary != reference_summary:
+            violations.append(Violation(
+                "convergence",
+                f"{reference_server.node_id}~{server.node_id}",
+                f"replicas diverged after heal: "
+                f"{len(reference_summary)} vs {len(summary)} seqnos, "
+                f"tips {reference.last_seqno} vs {capsule.last_seqno}",
+            ))
+    for seqno in world.durable_seqnos:
+        for server, capsule in live:
+            if seqno not in capsule.seqnos():
+                violations.append(Violation(
+                    "convergence",
+                    f"{server.node_id}/record{seqno}",
+                    "record acknowledged with acks=all is missing",
+                ))
+    return violations
+
+
+@oracle("fib_glookup")
+def check_fib_glookup(world) -> list[Violation]:
+    """FIB / GLookupService consistency (§VII).
+
+    FIB next hops and attachment bindings must point at adjacent nodes
+    (a router can only forward over its own links), and every live
+    GLookupService entry must still carry verifiable delegation
+    evidence — a forged or corrupted entry surviving in routing state is
+    a safety violation even if no PDU happened to use it.
+    """
+    violations = []
+    now = world.net.sim.now
+    for router in world.routers:
+        adjacent = {id(node) for node in router.neighbors()}
+        for name, node in sorted(
+            router.attached.items(), key=lambda item: item[0].raw
+        ):
+            if id(node) not in adjacent:
+                violations.append(Violation(
+                    "fib_glookup",
+                    f"{router.node_id}/attached/{name.human()}",
+                    f"attachment binding points at non-adjacent "
+                    f"node {node.node_id}",
+                ))
+        for name, (node, expiry) in sorted(
+            router.fib.items(), key=lambda item: item[0].raw
+        ):
+            if expiry < now:
+                continue  # expired cache entry: culled on next use
+            if id(node) not in adjacent:
+                violations.append(Violation(
+                    "fib_glookup",
+                    f"{router.node_id}/fib/{name.human()}",
+                    f"FIB next hop {node.node_id} is not adjacent",
+                ))
+    for domain_name in sorted(world.topo.domains):
+        glookup = world.topo.domains[domain_name].glookup
+        for name in sorted(glookup.names(), key=lambda n: n.raw):
+            for entry in glookup._entries.get(name, []):
+                if entry.is_expired(now):
+                    continue
+                if entry.name != name:
+                    violations.append(Violation(
+                        "fib_glookup",
+                        f"glookup:{domain_name}/{name.human()}",
+                        f"entry filed under the wrong name "
+                        f"({entry.name.human()})",
+                    ))
+                    continue
+                try:
+                    entry.verify(now=now)
+                except Exception as exc:  # noqa: BLE001 — any failure counts
+                    violations.append(Violation(
+                        "fib_glookup",
+                        f"glookup:{domain_name}/{name.human()}",
+                        f"unverifiable route entry: "
+                        f"{type(exc).__name__}: {exc}",
+                    ))
+    return violations
+
+
+@oracle("conservation")
+def check_conservation(world) -> list[Violation]:
+    """Metrics conservation: on every link, at quiesce,
+    ``sent == dropped + delivered`` — each message offered to a link was
+    either dropped (link down, loss, fault middleware) or handed to the
+    receiver; nothing vanishes unaccounted."""
+    violations = []
+    for link in world.net.links:
+        sent = link.stats_sent
+        dropped = link.stats_dropped
+        delivered = link.stats_delivered
+        if sent != dropped + delivered:
+            violations.append(Violation(
+                "conservation",
+                f"link:{link.a.node_id}~{link.b.node_id}",
+                f"sent {sent} != dropped {dropped} "
+                f"+ delivered {delivered}",
+            ))
+    return violations

@@ -1,0 +1,181 @@
+"""Episode plans: everything a simulation-test episode will do, drawn
+up front from one seed.
+
+FoundationDB-style simulation testing needs the *entire* episode —
+topology shape, workload mix, payload sizes, fault schedule — to be a
+pure function of the seed, so a failing seed replays exactly and a
+shrinker can re-run the same episode with a reduced fault schedule.
+:func:`build_plan` is that function: it consumes a seeded RNG in a fixed
+order and returns a fully materialized :class:`EpisodePlan`.  Passing
+``faults_override`` swaps the fault schedule *after* all draws, so the
+workload and topology stay byte-for-byte identical — the property the
+greedy shrinker in :mod:`repro.simtest.shrink` relies on.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+
+from repro.sim.workload import op_schedule, record_sizes
+
+__all__ = ["FaultEvent", "EpisodePlan", "build_plan", "FAULT_KINDS"]
+
+#: every fault kind an episode can schedule; "partition" targets a
+#: backbone link, "crash" targets a server process, the rest arm a
+#: network-wide delivery-fault middleware (see repro.runtime.faults)
+FAULT_KINDS = ("partition", "crash", "drop", "tamper", "delay", "replay")
+
+_MIDDLEWARE_KINDS = frozenset({"drop", "tamper", "delay", "replay"})
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault window, relative to workload start."""
+
+    kind: str
+    target: int      # link index (partition), server index (crash), -1
+    start: float     # seconds after the workload begins
+    duration: float  # how long the window stays open
+    rate: float      # per-PDU firing rate for middleware kinds
+
+    @property
+    def end(self) -> float:
+        """Window close time (relative to workload start)."""
+        return self.start + self.duration
+
+    def describe(self) -> str:
+        """One-line deterministic description (used in failure reports)."""
+        where = "" if self.target < 0 else f" target={self.target}"
+        rate = "" if not self.rate else f" rate={self.rate:.2f}"
+        return (
+            f"{self.kind}{where} t={self.start:.2f}s"
+            f"+{self.duration:.2f}s{rate}"
+        )
+
+
+@dataclass
+class EpisodePlan:
+    """A fully materialized episode: pure data, no live objects."""
+
+    seed: int
+    # topology shape (drives sim.topology.federated_campus)
+    n_domains: int
+    routers_per_domain: int
+    intra_latency: float
+    backbone_latency: float
+    # derived world sizing
+    n_links: int
+    n_servers: int
+    # workload
+    ops: list[str]
+    payload_sizes: list[int]
+    ack_policies: list[str]
+    gaps: list[float]
+    read_fracs: list[float]
+    use_subscriber: bool
+    # fault schedule
+    faults: list[FaultEvent] = field(default_factory=list)
+
+    @property
+    def workload_span(self) -> float:
+        """Nominal workload duration (sum of inter-op gaps)."""
+        return sum(self.gaps)
+
+    @property
+    def fault_horizon(self) -> float:
+        """When the last fault window closes (relative to workload
+        start); 0.0 for a fault-free episode."""
+        return max((event.end for event in self.faults), default=0.0)
+
+    def describe(self) -> list[str]:
+        """Deterministic summary lines for reports."""
+        lines = [
+            f"topology: domains={self.n_domains} "
+            f"routers/domain={self.routers_per_domain} "
+            f"servers={self.n_servers}",
+            f"workload: ops={len(self.ops)} "
+            f"appends={sum(1 for op in self.ops if op == 'append')} "
+            f"subscriber={'yes' if self.use_subscriber else 'no'}",
+            f"faults: {len(self.faults)}",
+        ]
+        lines.extend(f"  - {event.describe()}" for event in self.faults)
+        return lines
+
+
+def _draw_faults(
+    rng: random.Random, span: float, n_links: int, n_servers: int
+) -> list[FaultEvent]:
+    """The random fault schedule: 2-6 windows inside the workload phase.
+
+    At most one window per middleware kind, so arm/disarm windows never
+    fight over one middleware's rate.
+    """
+    events: list[FaultEvent] = []
+    used_middleware: set[str] = set()
+    for _ in range(rng.randint(2, 6)):
+        kind = rng.choice(FAULT_KINDS)
+        start = rng.uniform(0.3, max(1.0, span * 0.7))
+        duration = rng.uniform(0.5, max(1.0, span * 0.5))
+        if kind == "partition":
+            target, rate = rng.randrange(n_links), 0.0
+        elif kind == "crash":
+            target, rate = rng.randrange(n_servers), 0.0
+        else:
+            target, rate = -1, rng.uniform(0.05, 0.25)
+            if kind in used_middleware:
+                continue  # keep one window per middleware kind
+            used_middleware.add(kind)
+        events.append(FaultEvent(kind, target, start, duration, rate))
+    return events
+
+
+def build_plan(
+    seed: int, *, faults_override: list[FaultEvent] | None = None
+) -> EpisodePlan:
+    """The pure seed -> plan function (see module docstring).
+
+    ``faults_override`` replaces the fault schedule after every random
+    draw has been made, leaving topology and workload untouched.
+    """
+    rng = random.Random(seed)
+    n_domains = rng.randint(1, 3)
+    routers_per_domain = rng.randint(1, 2)
+    intra_latency = rng.choice([0.001, 0.002, 0.005])
+    backbone_latency = rng.choice([0.010, 0.015, 0.030])
+    # federated_campus creates routers_per_domain links per domain (the
+    # intra-domain chain plus the gateway's backbone uplink).
+    n_site_routers = n_domains * routers_per_domain
+    n_links = n_site_routers
+    n_servers = min(3, max(2, n_site_routers))
+
+    n_ops = rng.randint(10, 16)
+    ops = op_schedule(n_ops, seed=seed * 977 + 1)
+    payload_sizes = record_sizes(n_ops, mean=96, seed=seed * 977 + 2)
+    ack_policies = [
+        rng.choice(["any", "any", "quorum", "all"]) for _ in range(n_ops)
+    ]
+    gaps = [rng.uniform(0.2, 0.8) for _ in range(n_ops)]
+    read_fracs = [rng.random() for _ in range(n_ops)]
+    use_subscriber = rng.random() < 0.5
+
+    faults = _draw_faults(rng, sum(gaps), n_links, n_servers)
+    plan = EpisodePlan(
+        seed=seed,
+        n_domains=n_domains,
+        routers_per_domain=routers_per_domain,
+        intra_latency=intra_latency,
+        backbone_latency=backbone_latency,
+        n_links=n_links,
+        n_servers=n_servers,
+        ops=ops,
+        payload_sizes=payload_sizes,
+        ack_policies=ack_policies,
+        gaps=gaps,
+        read_fracs=read_fracs,
+        use_subscriber=use_subscriber,
+        faults=faults,
+    )
+    if faults_override is not None:
+        plan.faults = [replace(event) for event in faults_override]
+    return plan

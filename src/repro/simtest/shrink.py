@@ -1,0 +1,74 @@
+"""Greedy fault-schedule shrinking for failing episodes.
+
+A failing seed usually fails because of one or two of its scheduled
+faults; the rest are noise that makes the trace hard to read.  The
+shrinker re-runs the episode with each fault removed in turn (one
+greedy pass): if the episode still fails without a fault, that fault is
+permanently dropped; if removing it makes the episode pass, it is
+load-bearing and stays.  Because :func:`repro.simtest.plan.build_plan`
+draws the workload before the faults and ``faults_override`` replaces
+the schedule after all draws, every shrink re-run exercises the exact
+same topology and workload — only the fault schedule varies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.simtest.episode import EpisodeResult, run_episode
+from repro.simtest.plan import FaultEvent
+
+__all__ = ["ShrinkResult", "shrink_episode"]
+
+
+@dataclass
+class ShrinkResult:
+    """The outcome of a shrink pass."""
+
+    original: EpisodeResult
+    final: EpisodeResult
+    removed: list[FaultEvent] = field(default_factory=list)
+
+    @property
+    def minimized(self) -> list[FaultEvent]:
+        """The load-bearing fault schedule that still fails."""
+        return list(self.final.plan.faults)
+
+    def describe(self) -> list[str]:
+        """Deterministic summary lines."""
+        lines = [
+            f"shrink: {len(self.original.plan.faults)} -> "
+            f"{len(self.minimized)} faults "
+            f"({len(self.removed)} removed)"
+        ]
+        lines.extend(f"  kept: {event.describe()}" for event in self.minimized)
+        return lines
+
+
+def shrink_episode(
+    seed: int, *, run: Callable[..., EpisodeResult] = run_episode
+) -> ShrinkResult:
+    """One greedy pass over the fault schedule (see module docstring).
+
+    *run* is injectable for tests; it must accept
+    ``run(seed, faults_override=...)`` and return an
+    :class:`EpisodeResult`-alike with ``.ok`` and ``.plan.faults``.
+    """
+    original = run(seed)
+    if original.ok:
+        return ShrinkResult(original, original)
+    faults = list(original.plan.faults)
+    removed: list[FaultEvent] = []
+    current = original
+    index = 0
+    while index < len(faults):
+        candidate = faults[:index] + faults[index + 1:]
+        result = run(seed, faults_override=candidate)
+        if not result.ok:
+            removed.append(faults[index])
+            faults = candidate
+            current = result
+        else:
+            index += 1  # load-bearing: keep it, try the next
+    return ShrinkResult(original, current, removed)

@@ -1,0 +1,132 @@
+"""Episode worlds: a live GDP built from an :class:`EpisodePlan`.
+
+The world is the bridge between the pure plan and the running
+simulation: a randomly shaped federation (via :mod:`repro.sim.topology`),
+DataCapsule-servers with anti-entropy daemons, one writer client, and
+the four delivery-fault middlewares installed *disarmed* so fault
+windows can arm them without perturbing the RNG streams outside their
+windows.
+
+It also carries the episode's ground truth for the oracles: the
+writer's local capsule (every record ever minted), the seqnos that were
+acknowledged under ``acks=all`` (must survive on every replica), and
+the deterministic operation log.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.client import GdpClient, OwnerConsole
+from repro.crypto import SigningKey
+from repro.runtime.faults import (
+    DelayFaults,
+    DropFaults,
+    ReplayFaults,
+    TamperFaults,
+)
+from repro.server import AntiEntropyDaemon, DataCapsuleServer
+from repro.sim.net import Link, SimNetwork
+from repro.sim.topology import Topology, federated_campus
+from repro.simtest.plan import EpisodePlan
+
+__all__ = ["EpisodeWorld", "build_world"]
+
+#: anti-entropy gossip period inside episodes (short: episodes are
+#: seconds long and must converge inside the quiesce deadline)
+SYNC_INTERVAL = 2.0
+
+
+@dataclass
+class EpisodeWorld:
+    """Live handles plus ground truth for one episode."""
+
+    plan: EpisodePlan
+    topo: Topology
+    backbone_links: list[Link]
+    servers: list[DataCapsuleServer]
+    daemons: list[AntiEntropyDaemon]
+    client: GdpClient
+    console: OwnerConsole
+    writer_key: SigningKey
+    faults: dict  # kind -> installed (disarmed) fault middleware
+    # filled in as the episode runs
+    metadata: object | None = None
+    placement: object | None = None
+    writer: object | None = None
+    durable_seqnos: list[int] = field(default_factory=list)
+    op_log: list[str] = field(default_factory=list)
+    pushes: list[int] = field(default_factory=list)
+
+    @property
+    def net(self) -> SimNetwork:
+        """The owning network."""
+        return self.topo.net
+
+    @property
+    def routers(self) -> list:
+        """All routers (backbone + site), in creation order."""
+        return list(self.topo.routers.values())
+
+    def live_servers(self) -> list[DataCapsuleServer]:
+        """Servers whose process is currently up."""
+        return [server for server in self.servers if not server.crashed]
+
+
+def build_world(plan: EpisodePlan) -> EpisodeWorld:
+    """Materialize the plan: topology, servers, client, disarmed faults.
+
+    Identical plans build identical worlds — node ids, key seeds, and
+    fault RNG seeds are all derived from ``plan.seed``.
+    """
+    topo = federated_campus(
+        plan.n_domains,
+        seed=plan.seed,
+        intra_latency=plan.intra_latency,
+        backbone_latency=plan.backbone_latency,
+        routers_per_domain=plan.routers_per_domain,
+    )
+    net = topo.net
+    # The inter-router fabric built so far is the partition target set;
+    # endpoint attachment links created below stay out of it.
+    backbone_links = list(net.links)
+    site_routers = [
+        router
+        for node_id, router in topo.routers.items()
+        if node_id != "bb0"
+    ]
+    servers: list[DataCapsuleServer] = []
+    daemons: list[AntiEntropyDaemon] = []
+    for i in range(plan.n_servers):
+        server = DataCapsuleServer(net, f"s{i}")
+        server.attach(site_routers[i % len(site_routers)], latency=0.001)
+        servers.append(server)
+        daemons.append(AntiEntropyDaemon(server, interval=SYNC_INTERVAL))
+    client = GdpClient(net, "ep_client")
+    client.attach(site_routers[0], latency=0.001)
+    owner_key = SigningKey.from_seed(b"simtest-owner-%d" % plan.seed)
+    writer_key = SigningKey.from_seed(b"simtest-writer-%d" % plan.seed)
+    console = OwnerConsole(client, owner_key)
+    base = plan.seed * 31
+    faults = {
+        "drop": DropFaults(net, rng=random.Random(base + 1)).install(),
+        "tamper": TamperFaults(net, rng=random.Random(base + 2)).install(),
+        "delay": DelayFaults(
+            net, seconds=0.4, rng=random.Random(base + 3)
+        ).install(),
+        "replay": ReplayFaults(
+            net, seconds=0.3, rng=random.Random(base + 4)
+        ).install(),
+    }
+    return EpisodeWorld(
+        plan=plan,
+        topo=topo,
+        backbone_links=backbone_links,
+        servers=servers,
+        daemons=daemons,
+        client=client,
+        console=console,
+        writer_key=writer_key,
+        faults=faults,
+    )

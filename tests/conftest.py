@@ -7,6 +7,9 @@ build their own.
 
 from __future__ import annotations
 
+import random
+from dataclasses import dataclass, field
+
 import pytest
 
 from repro.capsule import CapsuleWriter, DataCapsule
@@ -14,8 +17,8 @@ from repro.client import GdpClient, OwnerConsole
 from repro.crypto import SigningKey
 from repro.naming import make_capsule_metadata, make_server_metadata
 from repro.routing import GdpRouter, RoutingDomain
-from repro.server import DataCapsuleServer
-from repro.sim import SimNetwork
+from repro.server import AntiEntropyDaemon, DataCapsuleServer
+from repro.sim import GBPS, SimNetwork
 
 
 @pytest.fixture(scope="session")
@@ -121,6 +124,102 @@ class MiniGdp:
 @pytest.fixture()
 def mini_gdp() -> MiniGdp:
     return MiniGdp()
+
+
+class KeyRing:
+    """Deterministic signing keys by label, cached for the session.
+
+    ``ring(b"mallory")`` always returns the same key object for the
+    same label (and therefore the same GdpName everywhere), replacing
+    the ``SigningKey.from_seed(b"...")`` one-liners that used to be
+    scattered across the integration tests.
+    """
+
+    def __init__(self, owner: SigningKey, writer: SigningKey):
+        self.owner = owner
+        self.writer = writer
+        self._cache: dict[bytes, SigningKey] = {}
+
+    def __call__(self, label: bytes | str) -> SigningKey:
+        seed = label.encode() if isinstance(label, str) else label
+        key = self._cache.get(seed)
+        if key is None:
+            key = self._cache[seed] = SigningKey.from_seed(seed)
+        return key
+
+
+@pytest.fixture(scope="session")
+def owner_keys(owner_key, writer_key) -> KeyRing:
+    """The shared key ring: ``owner_keys.owner`` / ``owner_keys.writer``
+    plus ``owner_keys(b"label")`` for any deterministic extra key."""
+    return KeyRing(owner_key, writer_key)
+
+
+@pytest.fixture()
+def seeded_rng():
+    """Factory for deterministic ``random.Random`` instances:
+    ``rng = seeded_rng(7919)``."""
+
+    def build(seed: int) -> random.Random:
+        return random.Random(seed)
+
+    return build
+
+
+@dataclass
+class SmallNet:
+    """A hub-and-spoke replica fleet for chaos-style tests: one hub
+    router, *n* spoke routers each carrying one DataCapsule-server (with
+    an idle anti-entropy daemon), and one client on the first spoke."""
+
+    seed: int
+    net: SimNetwork
+    hub: GdpRouter
+    routers: list[GdpRouter] = field(default_factory=list)
+    links: list = field(default_factory=list)
+    servers: list[DataCapsuleServer] = field(default_factory=list)
+    daemons: list[AntiEntropyDaemon] = field(default_factory=list)
+    client: GdpClient = None
+    console: OwnerConsole = None
+    writer_key: SigningKey = None
+
+    def run(self, generator, name: str = "test"):
+        """Run a process to completion and return its result."""
+        return self.net.sim.run_process(generator, name)
+
+
+@pytest.fixture()
+def small_net():
+    """Factory fixture: ``world = small_net(seed)`` builds a fresh
+    :class:`SmallNet` (keys are derived from the seed, so distinct
+    seeds give distinct capsule names)."""
+
+    def build(seed: int, n_servers: int = 3,
+              sync_interval: float = 2.0) -> SmallNet:
+        net = SimNetwork(seed=seed)
+        clock = lambda: net.sim.now  # noqa: E731
+        root = RoutingDomain("global", clock=clock)
+        hub = GdpRouter(net, "hub", root)
+        world = SmallNet(seed=seed, net=net, hub=hub)
+        for i in range(n_servers):
+            router = GdpRouter(net, f"r{i}", root)
+            link = net.connect(router, hub, latency=0.01, bandwidth=GBPS)
+            server = DataCapsuleServer(net, f"s{i}")
+            server.attach(router, latency=0.001)
+            world.routers.append(router)
+            world.links.append(link)
+            world.servers.append(server)
+            world.daemons.append(
+                AntiEntropyDaemon(server, interval=sync_interval)
+            )
+        world.client = GdpClient(net, "chaos_client")
+        world.client.attach(world.routers[0], latency=0.001)
+        owner = SigningKey.from_seed(b"chaos-owner-%d" % seed)
+        world.writer_key = SigningKey.from_seed(b"chaos-writer-%d" % seed)
+        world.console = OwnerConsole(world.client, owner)
+        return world
+
+    return build
 
 
 @pytest.fixture()

@@ -157,7 +157,7 @@ class TestMaliciousServer:
 
         assert g.run(scenario())
 
-    def test_forged_record_rejected_by_server(self, mini_gdp):
+    def test_forged_record_rejected_by_server(self, mini_gdp, owner_keys):
         """A server refuses to store a record without a valid writer
         heartbeat (protecting itself from being framed)."""
         g = mini_gdp
@@ -167,9 +167,8 @@ class TestMaliciousServer:
             metadata = yield from g.place(servers=[g.server_root.metadata])
             fake = forge_record(metadata.name, 1, b"injected")
             from repro.capsule import Heartbeat
-            from repro.crypto import SigningKey
 
-            mallory = SigningKey.from_seed(b"mallory")
+            mallory = owner_keys(b"mallory")
             fake_hb = Heartbeat.create(
                 mallory, metadata.name, 1, fake.digest, 1
             )
@@ -195,10 +194,9 @@ class TestMaliciousServer:
 
 
 class TestCompromisedGLookup:
-    def test_router_rejects_forged_entries(self, mini_gdp):
+    def test_router_rejects_forged_entries(self, mini_gdp, owner_keys):
         """A compromised GLookupService hands out a forged entry; the
         router re-verifies and refuses to install it."""
-        from repro.crypto import SigningKey
         from repro.delegation import AdCert, ServiceChain
         from repro.naming import make_server_metadata
         from repro.routing.glookup import RouteEntry
@@ -213,7 +211,7 @@ class TestCompromisedGLookup:
             yield from writer.append(b"true-data")
             # Forge: a rogue server claims the capsule via a self-issued
             # AdCert and plants it in the (compromised) root GLookup.
-            rogue = SigningKey.from_seed(b"rogue-gl")
+            rogue = owner_keys(b"rogue-gl")
             rogue_md = make_server_metadata(rogue, rogue.public)
             forged_adcert = AdCert.issue(rogue, metadata.name, rogue_md.name)
             forged_chain = ServiceChain(metadata, forged_adcert, rogue_md)

@@ -10,7 +10,6 @@ from repro.caapi import (
     submit_update,
 )
 from repro.client import GdpClient
-from repro.crypto import SigningKey
 from repro.routing.pdu import T_PUSH
 from repro.sim import blob
 
@@ -121,12 +120,12 @@ class TestStream:
 
 
 class TestCommitService:
-    def test_serializes_multiple_writers(self, mini_gdp):
+    def test_serializes_multiple_writers(self, mini_gdp, owner_keys):
         g = mini_gdp
         service = CommitService(g.net, "commit_svc")
         service.attach(g.r_root)
-        alice = GdpClient(g.net, "alice", key=SigningKey.from_seed(b"alice"))
-        bob = GdpClient(g.net, "bob", key=SigningKey.from_seed(b"bob"))
+        alice = GdpClient(g.net, "alice", key=owner_keys(b"alice"))
+        bob = GdpClient(g.net, "bob", key=owner_keys(b"bob"))
         alice.attach(g.r_edge)
         bob.attach(g.r_root)
         service.allow_writer(alice.key.public)
@@ -156,13 +155,13 @@ class TestCommitService:
             alice.key.public.to_bytes(),
         ]
 
-    def test_acl_rejects_unauthorized_writer(self, mini_gdp):
+    def test_acl_rejects_unauthorized_writer(self, mini_gdp, owner_keys):
         g = mini_gdp
         service = CommitService(g.net, "commit_acl")
         service.attach(g.r_root)
-        outsider = GdpClient(g.net, "outsider", key=SigningKey.from_seed(b"out"))
+        outsider = GdpClient(g.net, "outsider", key=owner_keys(b"out"))
         outsider.attach(g.r_root)
-        insider = GdpClient(g.net, "insider", key=SigningKey.from_seed(b"in"))
+        insider = GdpClient(g.net, "insider", key=owner_keys(b"in"))
         insider.attach(g.r_root)
         service.allow_writer(insider.key.public)
 
@@ -190,13 +189,13 @@ class TestCommitService:
         seqno, rejected = g.run(scenario())
         assert seqno == 1 and rejected == 1
 
-    def test_forged_submission_signature_rejected(self, mini_gdp):
+    def test_forged_submission_signature_rejected(self, mini_gdp, owner_keys):
         g = mini_gdp
         service = CommitService(g.net, "commit_sig")
         service.attach(g.r_root)
-        mallory = GdpClient(g.net, "mallory", key=SigningKey.from_seed(b"mal"))
+        mallory = GdpClient(g.net, "mallory", key=owner_keys(b"mal"))
         mallory.attach(g.r_root)
-        victim_key = SigningKey.from_seed(b"victim")
+        victim_key = owner_keys(b"victim")
         service.allow_writer(victim_key.public)
 
         def scenario():
@@ -224,11 +223,11 @@ class TestCommitService:
 
 
 class TestAggregation:
-    def test_fan_in(self, mini_gdp):
+    def test_fan_in(self, mini_gdp, owner_keys):
         g = mini_gdp
         aggregator = AggregationService(g.net, "aggregator")
         aggregator.attach(g.r_root)
-        sensor_a = GdpClient(g.net, "sensor_a", key=SigningKey.from_seed(b"sa"))
+        sensor_a = GdpClient(g.net, "sensor_a", key=owner_keys(b"sa"))
         sensor_a.attach(g.r_edge)
 
         def scenario():

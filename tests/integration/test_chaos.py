@@ -13,49 +13,20 @@ invariants must hold:
 Randomness is deterministic per seed, so failures replay exactly.
 """
 
-import random
-
 import pytest
 
-from repro.client import GdpClient, OwnerConsole
-from repro.crypto import SigningKey
 from repro.errors import GdpError
-from repro.routing import GdpRouter, RoutingDomain
-from repro.server import AntiEntropyDaemon, DataCapsuleServer
-from repro.sim import GBPS, SimNetwork
 
 N_OPERATIONS = 40
 
 
-def build_world(seed: int):
-    net = SimNetwork(seed=seed)
-    clock = lambda: net.sim.now  # noqa: E731
-    root = RoutingDomain("global", clock=clock)
-    hub = GdpRouter(net, "hub", root)
-    routers, links, servers, daemons = [], [], [], []
-    for i in range(3):
-        router = GdpRouter(net, f"r{i}", root)
-        link = net.connect(router, hub, latency=0.01, bandwidth=GBPS)
-        server = DataCapsuleServer(net, f"s{i}")
-        server.attach(router, latency=0.001)
-        daemon = AntiEntropyDaemon(server, interval=2.0)
-        routers.append(router)
-        links.append(link)
-        servers.append(server)
-        daemons.append(daemon)
-    client = GdpClient(net, "chaos_client")
-    client.attach(routers[0], latency=0.001)
-    owner = SigningKey.from_seed(b"chaos-owner-%d" % seed)
-    writer_key = SigningKey.from_seed(b"chaos-writer-%d" % seed)
-    console = OwnerConsole(client, owner)
-    return net, hub, routers, links, servers, daemons, client, console, writer_key
-
-
 @pytest.mark.parametrize("seed", [1, 2, 3, 4])
-def test_chaos_convergence(seed):
-    (net, hub, routers, links, servers, daemons,
-     client, console, writer_key) = build_world(seed)
-    rng = random.Random(seed * 7919)
+def test_chaos_convergence(seed, small_net, seeded_rng):
+    world = small_net(seed)
+    net, hub, routers, links = world.net, world.hub, world.routers, world.links
+    servers, daemons = world.servers, world.daemons
+    client, console, writer_key = world.client, world.console, world.writer_key
+    rng = seeded_rng(seed * 7919)
     durable_seqnos: list[int] = []
     log: list[str] = []
 

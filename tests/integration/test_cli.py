@@ -1,4 +1,6 @@
-"""The CLI: selfcheck, stats, version, inventory."""
+"""The CLI: selfcheck, stats, version, inventory, simtest."""
+
+import contextlib
 
 from repro.cli import main
 
@@ -37,3 +39,61 @@ class TestCli:
     def test_no_command_prints_help(self, capsys):
         assert main([]) == 0
         assert "selfcheck" in capsys.readouterr().out
+
+
+@contextlib.contextmanager
+def always_failing_oracle():
+    """Temporarily register an oracle that fails every episode — the
+    cheap deterministic way to exercise the CLI's failure paths."""
+    from repro.simtest import ORACLES, Violation
+
+    def tripwire(world):
+        return [Violation("zz_tripwire", "episode", "synthetic failure")]
+
+    ORACLES["zz_tripwire"] = tripwire
+    try:
+        yield
+    finally:
+        ORACLES.pop("zz_tripwire", None)
+
+
+class TestSimtestCommand:
+    def test_single_episode_passes(self, capsys):
+        assert main(["simtest", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "episode seed=3: PASS" in out
+        assert "simtest: 1/1 episodes passed" in out
+
+    def test_episodes_sweep_consecutive_seeds(self, capsys):
+        assert main(["simtest", "--seed", "3", "--episodes", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "episode seed=3: PASS" in out
+        assert "episode seed=4: PASS" in out
+        assert "simtest: 2/2 episodes passed" in out
+
+    def test_failing_seed_prints_repro_line_that_round_trips(self, capsys):
+        with always_failing_oracle():
+            assert main(["simtest", "--seed", "3"]) == 1
+            first = capsys.readouterr().out
+            assert "episode seed=3: FAIL" in first
+            assert "violation: zz_tripwire: episode: synthetic failure" in first
+            repro_lines = [
+                line.strip() for line in first.splitlines()
+                if line.strip().startswith("repro: ")
+            ]
+            assert repro_lines == ["repro: repro simtest --seed 3"]
+            # Round-trip: run exactly what the repro line says and get a
+            # byte-identical failure report.
+            argv = repro_lines[0].removeprefix("repro: repro ").split()
+            assert main(argv) == 1
+            second = capsys.readouterr().out
+            assert second == first
+
+    def test_shrink_flag_minimizes_failing_episode(self, capsys):
+        with always_failing_oracle():
+            assert main(["simtest", "--seed", "3", "--shrink"]) == 1
+            out = capsys.readouterr().out
+        # The tripwire fails regardless of faults, so the greedy pass
+        # strips the schedule to nothing.
+        assert "shrink: 2 -> 0 faults (2 removed)" in out
+        assert "simtest: 0/1 episodes passed" in out

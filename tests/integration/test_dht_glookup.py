@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.crypto import SigningKey
 from repro.naming import GdpName
 from repro.routing import GdpRouter, RoutingDomain
 from repro.routing.dht import KademliaDht
@@ -17,7 +16,7 @@ def dht_name(i: int) -> GdpName:
 
 
 @pytest.fixture()
-def dht_world():
+def dht_world(owner_keys):
     """A two-domain GDP whose *root* GLookupService is DHT-backed."""
     net = SimNetwork(seed=31)
     clock = lambda: net.sim.now  # noqa: E731
@@ -42,8 +41,8 @@ def dht_world():
     writer_client.attach(r_edge)
     reader_client = GdpClient(net, "readerc")
     reader_client.attach(r_root)
-    owner = SigningKey.from_seed(b"dht-owner")
-    writer_key = SigningKey.from_seed(b"dht-writer")
+    owner = owner_keys(b"dht-owner")
+    writer_key = owner_keys(b"dht-writer")
     console = OwnerConsole(writer_client, owner)
     return locals()
 

@@ -115,13 +115,12 @@ class TestHoleReads:
 
 
 class TestOrgDelegationViaConsole:
-    def test_console_delegates_through_organization(self, mini_gdp):
-        from repro.crypto import SigningKey
+    def test_console_delegates_through_organization(self, mini_gdp, owner_keys):
         from repro.delegation import OrgMembership
         from repro.naming import make_organization_metadata
 
         g = mini_gdp
-        org_key = SigningKey.from_seed(b"console-org")
+        org_key = owner_keys(b"console-org")
         org_md = make_organization_metadata(org_key)
         membership = OrgMembership.issue(
             org_key, org_md.name, g.server_edge.name

@@ -95,16 +95,14 @@ class TestRestrictedSubscriptions:
 
         assert g.run(scenario())
 
-    def test_forged_grant_rejected(self, mini_gdp):
+    def test_forged_grant_rejected(self, mini_gdp, owner_keys):
         """A grant signed by a non-owner is worthless."""
-        from repro.crypto import SigningKey
-
         g = mini_gdp
 
         def scenario():
             yield from g.bootstrap()
             metadata = yield from self.place_restricted(g)
-            mallory = SigningKey.from_seed(b"mallory-sub")
+            mallory = owner_keys(b"mallory-sub")
             grant = SubGrant.issue(
                 mallory, metadata.name, g.reader_client.name
             )

@@ -1,0 +1,84 @@
+"""Seed replay: one seed is one episode, byte for byte.
+
+The entire value of the simulation-testing subsystem hangs on this
+property — a failing seed that does not replay identically cannot be
+debugged or shrunk.  These tests pin it at every layer: the plan, the
+fault schedule, the report text, and the raw trace stream.
+"""
+
+from dataclasses import replace
+
+from repro.simtest import FAULT_KINDS, build_plan, run_episode
+
+
+class TestPlanDeterminism:
+    def test_same_seed_same_plan(self):
+        assert build_plan(42) == build_plan(42)
+
+    def test_different_seeds_differ(self):
+        assert build_plan(42) != build_plan(43)
+
+    def test_plan_is_well_formed(self):
+        for seed in range(1, 8):
+            plan = build_plan(seed)
+            assert len(plan.ops) == len(plan.gaps)
+            assert len(plan.ops) == len(plan.payload_sizes)
+            assert 2 <= plan.n_servers <= 3
+            for event in plan.faults:
+                assert event.kind in FAULT_KINDS
+                assert event.start > 0 and event.duration > 0
+
+    def test_faults_override_leaves_workload_untouched(self):
+        """The shrinker's contract: replacing the fault schedule must
+        not shift a single workload draw."""
+        full = build_plan(42)
+        emptied = build_plan(42, faults_override=[])
+        assert emptied.faults == []
+        assert emptied.ops == full.ops
+        assert emptied.gaps == full.gaps
+        assert emptied.payload_sizes == full.payload_sizes
+        assert emptied.ack_policies == full.ack_policies
+        assert emptied.use_subscriber == full.use_subscriber
+
+    def test_faults_override_copies_events(self):
+        full = build_plan(42)
+        again = build_plan(42, faults_override=full.faults)
+        assert again.faults == full.faults
+        assert again.faults is not full.faults
+
+    def test_describe_is_deterministic(self):
+        assert build_plan(42).describe() == build_plan(42).describe()
+
+
+class TestEpisodeReplay:
+    def test_report_and_trace_are_byte_identical(self):
+        first = run_episode(5)
+        second = run_episode(5)
+        assert first.report() == second.report()
+        assert first.trace_bytes == second.trace_bytes
+        assert first.trace_sha256 == second.trace_sha256
+        assert first.op_log == second.op_log
+
+    def test_repro_command_names_the_seed(self):
+        result = run_episode(5)
+        assert result.repro_command == "repro simtest --seed 5"
+
+    def test_failing_report_carries_repro_line(self):
+        # Cook a failure without re-running: the report path must append
+        # the repro line exactly when the episode is not ok.
+        broken = replace(run_episode(5), error="synthetic")
+        report = broken.report()
+        assert not broken.ok
+        assert report.splitlines()[0].endswith("FAIL")
+        assert "  error: synthetic" in report
+        assert report.splitlines()[-1] == "  repro: repro simtest --seed 5"
+
+    def test_trace_is_nonempty_and_disablable(self):
+        traced = run_episode(6)
+        untraced = run_episode(6, trace=False)
+        assert len(traced.trace_bytes) > 0
+        assert untraced.trace_bytes == b""
+        # Tracing itself must not perturb the episode's outcome.
+        assert traced.ok == untraced.ok
+        assert traced.op_log == untraced.op_log
+        assert traced.sim_time == untraced.sim_time

@@ -1,0 +1,53 @@
+"""Episode runner smoke (tier-1) and the nightly soak sweep.
+
+Tier-1 runs a handful of seeds end to end — enough to catch a broken
+runner or oracle immediately.  The ``soak`` marker (excluded by
+default, selected nightly with ``pytest -m soak``) sweeps a wide seed
+range; ``SIMTEST_EPISODES`` / ``SIMTEST_BASE_SEED`` size the sweep so
+CI can scale it without code changes.
+"""
+
+import os
+
+import pytest
+
+from repro.simtest import run_episode
+
+#: nightly defaults; tier-1 never sees these
+SOAK_EPISODES = int(os.environ.get("SIMTEST_EPISODES", "25"))
+SOAK_BASE_SEED = int(os.environ.get("SIMTEST_BASE_SEED", "1000"))
+
+
+@pytest.mark.tier1
+@pytest.mark.parametrize("seed", [1, 2, 7])
+def test_episode_passes(seed):
+    result = run_episode(seed)
+    assert result.ok, result.report()
+    assert result.op_log, "episode ran no operations"
+    assert result.trace_bytes
+
+
+@pytest.mark.tier1
+def test_episode_survives_heavy_fault_schedule():
+    """Arming every middleware plus a crash and a partition at once must
+    not crash the runner — violations, if any, go through the report."""
+    from repro.simtest import FaultEvent
+
+    schedule = [
+        FaultEvent("drop", 0, 0.5, 2.0, 0.4),
+        FaultEvent("tamper", 0, 0.7, 2.0, 0.3),
+        FaultEvent("delay", 0, 0.9, 2.0, 0.3),
+        FaultEvent("replay", 0, 1.1, 2.0, 0.3),
+        FaultEvent("crash", 0, 1.3, 2.0, 0.0),
+        FaultEvent("partition", 0, 1.5, 2.0, 0.0),
+    ]
+    result = run_episode(2, faults_override=schedule)
+    assert result.error is None, result.report()
+    assert result.ok, result.report()
+
+
+@pytest.mark.soak
+@pytest.mark.parametrize("seed", range(SOAK_BASE_SEED, SOAK_BASE_SEED + SOAK_EPISODES))
+def test_soak_episode(seed):
+    result = run_episode(seed)
+    assert result.ok, result.report()

@@ -1,0 +1,86 @@
+"""The greedy fault-schedule shrinker.
+
+The fast tests drive :func:`shrink_episode` with a scripted ``run``
+function (its injectable seam), so every greedy decision is pinned
+without paying for real episodes; one slower test exercises the real
+episode runner end to end on a passing seed.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.simtest import FaultEvent, build_plan, shrink_episode
+
+
+def event(kind: str, target: int = 0, start: float = 1.0) -> FaultEvent:
+    return FaultEvent(
+        kind=kind, target=target, start=start, duration=1.0, rate=0.1
+    )
+
+
+@dataclass
+class FakeResult:
+    """Duck-typed EpisodeResult: just .ok and .plan.faults."""
+
+    ok: bool
+    faults: list = field(default_factory=list)
+
+    @property
+    def plan(self):
+        return self
+
+
+class ScriptedRunner:
+    """A fake ``run``: fails iff the candidate schedule still contains
+    every fault in *culprits*."""
+
+    def __init__(self, schedule, culprits):
+        self.schedule = list(schedule)
+        self.culprits = set(culprits)
+        self.calls = 0
+
+    def __call__(self, seed, *, faults_override=None):
+        self.calls += 1
+        faults = self.schedule if faults_override is None else faults_override
+        fails = self.culprits <= {f.kind for f in faults}
+        return FakeResult(ok=not fails, faults=list(faults))
+
+
+class TestGreedyShrink:
+    def test_removes_every_noise_fault(self):
+        schedule = [
+            event("drop"), event("crash"), event("delay"),
+            event("partition"), event("tamper"),
+        ]
+        runner = ScriptedRunner(schedule, culprits={"crash"})
+        result = shrink_episode(99, run=runner)
+        assert [f.kind for f in result.minimized] == ["crash"]
+        assert len(result.removed) == 4
+        assert not result.final.ok
+
+    def test_keeps_conjunction_of_culprits(self):
+        """Two faults that only fail together must both survive."""
+        schedule = [event("drop"), event("crash"), event("partition")]
+        runner = ScriptedRunner(schedule, culprits={"crash", "partition"})
+        result = shrink_episode(99, run=runner)
+        assert [f.kind for f in result.minimized] == ["crash", "partition"]
+        assert [f.kind for f in result.removed] == ["drop"]
+
+    def test_passing_episode_short_circuits(self):
+        runner = ScriptedRunner([], culprits={"crash"})
+        result = shrink_episode(99, run=runner)
+        assert runner.calls == 1  # no shrink attempts on a green episode
+        assert result.minimized == []
+        assert result.removed == []
+
+    def test_describe_counts_removed_and_kept(self):
+        schedule = [event("drop"), event("crash")]
+        runner = ScriptedRunner(schedule, culprits={"crash"})
+        lines = shrink_episode(99, run=runner).describe()
+        assert lines[0] == "shrink: 2 -> 1 faults (1 removed)"
+        assert lines[1].startswith("  kept: crash")
+
+    def test_real_passing_seed_needs_no_shrinking(self):
+        result = shrink_episode(5)
+        assert result.original.ok
+        assert result.minimized == list(build_plan(5).faults)
+        assert result.removed == []

@@ -1,0 +1,162 @@
+"""DataCapsule-server crash/restart lifecycle.
+
+Crash models a process death: the server goes silent on the wire and
+every piece of in-memory soft state (HMAC sessions, pending RPCs,
+subscriber sets) is gone.  Restart rebuilds each hosted replica by
+replaying the storage backend — the durable medium — so everything the
+server ever acknowledged survives, and nothing else does.  Crash is
+deliberately distinct from a partition, which keeps sessions alive.
+"""
+
+import pytest
+
+from repro.errors import GdpError
+
+
+def place_and_fill(g, n_records: int = 4):
+    """Place a capsule on both MiniGdp servers and append records."""
+
+    def scenario():
+        yield from g.bootstrap()
+        metadata = yield from g.place()
+        writer = g.writer_client.open_writer(metadata, g.writer_key)
+        for i in range(n_records):
+            yield from writer.append(b"rec-%d" % i, acks="all")
+        return metadata
+
+    return g.run(scenario())
+
+
+class TestCrash:
+    def test_crash_goes_silent_until_restart(self, mini_gdp):
+        g = mini_gdp
+        metadata = place_and_fill(g)
+        g.server_root.crash()
+        g.server_edge.crash()
+        assert g.server_root.crashed
+
+        def blocked_read():
+            with pytest.raises(GdpError):
+                yield from g.reader_client.read(metadata.name, 1)
+            return True
+
+        assert g.run(blocked_read())
+
+        g.server_root.restart()
+        g.server_edge.restart()
+
+        def read_again():
+            record = yield from g.reader_client.read(metadata.name, 1)
+            return record.payload
+
+        assert g.run(read_again()) == b"rec-0"
+
+    def test_crash_drops_sessions_and_pending_rpcs(self, mini_gdp):
+        g = mini_gdp
+        place_and_fill(g)
+        server = g.server_edge
+
+        def handshake():
+            yield from g.writer_client.establish_session(server.name)
+            return True
+
+        assert g.run(handshake())
+        assert server._sessions, "handshake should have minted a session"
+
+        server._pending_rpcs[("probe", 1)] = object()
+        server.crash()
+        assert server._sessions == {}
+        assert server._pending_rpcs == {}
+        assert server._sign_anyway == set()
+
+    def test_partition_by_contrast_keeps_sessions(self, mini_gdp):
+        """The semantic line between crash and partition: only the
+        crash is amnesiac."""
+        g = mini_gdp
+        place_and_fill(g)
+        server = g.server_edge
+
+        def handshake():
+            yield from g.writer_client.establish_session(server.name)
+            return True
+
+        assert g.run(handshake())
+        before = dict(server._sessions)
+        assert before
+        # A partition touches links, never server memory.
+        for link in g.net.links:
+            link.fail()
+            link.recover()
+        assert server._sessions == before
+
+
+class TestRestart:
+    def test_restart_replays_acknowledged_records(self, mini_gdp):
+        g = mini_gdp
+        metadata = place_and_fill(g, n_records=5)
+        server = g.server_root
+        before = server.hosted[metadata.name].capsule
+        assert before.last_seqno == 5
+        server.crash()
+        server.restart()
+        after = server.hosted[metadata.name].capsule
+        assert after is not before, "restart must rebuild, not reuse"
+        assert sorted(after.seqnos()) == [1, 2, 3, 4, 5]
+        assert after.latest_heartbeat is not None
+        assert after.verify_history() == 5
+
+    def test_restart_loses_records_that_never_hit_storage(self, mini_gdp):
+        """A record slipped into the in-memory replica behind the
+        storage layer's back does not survive — storage is the only
+        durable medium."""
+        g = mini_gdp
+        metadata = place_and_fill(g, n_records=2)
+        server = g.server_root
+        capsule = g.server_edge.hosted[metadata.name].capsule
+        phantom = capsule.get(2)
+        # Drop seqno 2 from root's *storage* only, then restart: the
+        # in-memory replica had it, the disk never did.
+        server.storage._data[metadata.name] = [
+            (tag, wire)
+            for tag, wire in server.storage._data[metadata.name]
+            if wire.get("seqno") != 2
+        ]
+        assert 2 in server.hosted[metadata.name].capsule.seqnos()
+        server.crash()
+        server.restart()
+        assert 2 not in server.hosted[metadata.name].capsule.seqnos()
+        assert phantom.seqno == 2  # the record still exists elsewhere
+
+    def test_restart_drops_subscribers(self, mini_gdp):
+        g = mini_gdp
+        metadata = place_and_fill(g)
+        received = []
+
+        def subscribe():
+            yield from g.reader_client.subscribe(
+                metadata.name, lambda record, heartbeat: received.append(record.seqno)
+            )
+            return True
+
+        assert g.run(subscribe())
+        subscribed = [
+            server for server in (g.server_root, g.server_edge)
+            if server.hosted[metadata.name].subscribers
+        ]
+        assert subscribed, "subscription landed nowhere"
+        for server in subscribed:
+            server.crash()
+            server.restart()
+            assert server.hosted[metadata.name].subscribers == set()
+
+    def test_recover_from_storage_counts_records(self, mini_gdp):
+        g = mini_gdp
+        metadata = place_and_fill(g, n_records=3)
+        server = g.server_root
+        server.crash()
+        server.hosted[metadata.name].capsule = type(
+            server.hosted[metadata.name].capsule
+        )(server.hosted[metadata.name].capsule.metadata)
+        assert server.recover_from_storage() == 3
+        server.crashed = False
+        assert server.hosted[metadata.name].capsule.last_seqno == 3

@@ -1,0 +1,74 @@
+"""Crypto hot-path microbenchmarks: the acceleration-layer speedups.
+
+Measures sign, verify (cold ladder / warm memo), capsule append, and
+full-history verification with the accelerated paths against the naive
+double-and-add reference, using the paired-trial harness from
+:mod:`repro.bench` (accel/naive trials interleave so machine noise
+cancels out of the ratios).  The same engine backs ``repro bench`` and
+the CI perf gate; this file is the human-readable lens on it.
+
+Acceptance floors (ISSUE 3): >=5x on cold verify, >=2x on sign.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import bench
+
+
+@pytest.fixture(scope="module")
+def results():
+    return bench.run_bench(skip_fig8=True)
+
+
+def test_crypto_hotpath_table(benchmark, report, results):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    accel = results["ops_per_sec"]
+    naive = results["naive_ops_per_sec"]
+    speedup = results["speedup"]
+    report.line("Crypto hot-path op/s — accelerated vs naive reference")
+    report.line("(fixed-base combs + Shamir verify + signature/digest memo)")
+    report.table(
+        ["operation", "accel_ops", "naive_ops", "speedup"],
+        [
+            ["sign", f"{accel['sign']:,.0f}", f"{naive['sign']:,.0f}",
+             f"{speedup['sign']:.2f}x"],
+            ["verify (cold)", f"{accel['verify_cold']:,.0f}",
+             f"{naive['verify_cold']:,.0f}", f"{speedup['verify']:.2f}x"],
+            ["verify (warm)", f"{accel['verify_warm']:,.0f}",
+             f"{naive['verify_warm']:,.0f}",
+             f"{speedup['verify_warm']:.2f}x"],
+            ["append", f"{accel['append']:,.0f}", f"{naive['append']:,.0f}",
+             f"{speedup['append']:.2f}x"],
+            ["verify_history (rec/s)", f"{accel['verify_history']:,.0f}",
+             f"{naive['verify_history']:,.0f}",
+             f"{speedup['verify_history']:.2f}x"],
+        ],
+    )
+    benchmark.extra_info.update(
+        {f"speedup_{k}": round(v, 2) for k, v in speedup.items()}
+    )
+
+
+def test_verify_speedup_floor(results):
+    assert results["speedup"]["verify"] >= 5.0, (
+        "cold ECDSA verify must be >=5x the naive ladder "
+        f"(got {results['speedup']['verify']:.2f}x)"
+    )
+
+
+def test_sign_speedup_floor(results):
+    assert results["speedup"]["sign"] >= 2.0, (
+        "ECDSA sign must be >=2x the naive ladder "
+        f"(got {results['speedup']['sign']:.2f}x)"
+    )
+
+
+def test_warm_verify_beats_cold(results):
+    # The memo hit path must be at least an order of magnitude above a
+    # real ladder — it is a dict lookup.
+    assert (
+        results["ops_per_sec"]["verify_warm"]
+        >= 10 * results["ops_per_sec"]["verify_cold"]
+    )

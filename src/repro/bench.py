@@ -1,0 +1,301 @@
+"""Crypto hot-path benchmark: the engine behind ``repro bench``.
+
+Measures op/s for the operations the acceleration layer targets — sign,
+verify (cold ladder / warm memo), capsule append, full-history
+verification — plus the Figure-8 end-to-end case study, each in
+accelerated and naive mode, and emits the machine-readable
+``BENCH_crypto.json`` consumed by the CI perf gate.
+
+The CI gate compares **speedup ratios** (accelerated vs naive *on the
+same machine and run*), not absolute op/s: absolute throughput varies
+several-fold across runner hardware, while the ratio isolates exactly
+what this layer is responsible for.  A >30% drop in any gated ratio
+fails the build (see ``check_regression``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+__all__ = ["run_bench", "check_regression", "GATED_SPEEDUPS"]
+
+#: speedup keys the CI gate enforces, with the floor each must beat
+#: even before regression comparison (the ISSUE's acceptance criteria).
+GATED_SPEEDUPS = {"verify": 5.0, "sign": 2.0, "fig8_e2e": 2.0}
+
+_REGRESSION_TOLERANCE = 0.30
+
+
+_TRIALS = 3
+
+
+def _trial(fn, seconds: float) -> float:
+    """One timed burst of *fn*; returns op/s."""
+    iters = 0
+    start = time.perf_counter()
+    while True:
+        fn()
+        iters += 1
+        elapsed = time.perf_counter() - start
+        if elapsed >= seconds and iters >= 2:
+            return iters / elapsed
+
+
+def _paired(fn, *, seconds: float = 0.1) -> tuple[float, float]:
+    """Best-of-N op/s for *fn* under accelerated and naive crypto.
+
+    The two modes alternate within the same measurement window
+    (A/N/A/N/...), so slow machine phases — scheduler contention, a
+    co-tenant burst, thermal throttling — hit both sides equally and
+    cancel out of the speedup ratio.  Best-of-N then discards the
+    trials that measured the machine instead of the code.
+    """
+    from repro.crypto import cache
+
+    best = {True: 0.0, False: 0.0}
+    try:
+        for _ in range(_TRIALS):
+            for mode in (True, False):
+                cache.set_accel_enabled(mode)
+                fn()  # warm-up under this mode (tables, cache priming)
+                best[mode] = max(best[mode], _trial(fn, seconds))
+    finally:
+        cache.set_accel_enabled(True)
+    return best[True], best[False]
+
+
+def _build_capsule(n_records: int):
+    from repro.capsule import CapsuleWriter, DataCapsule
+    from repro.crypto import SigningKey
+    from repro.naming import make_capsule_metadata
+
+    owner = SigningKey.from_seed(b"bench-owner")
+    writer_key = SigningKey.from_seed(b"bench-writer")
+    metadata = make_capsule_metadata(
+        owner, writer_key.public, pointer_strategy="skiplist"
+    )
+    capsule = DataCapsule(metadata)
+    writer = CapsuleWriter(capsule, writer_key)
+    for i in range(n_records):
+        writer.append(b"bench-record-%d" % i)
+    return capsule, writer
+
+
+def _rebuilt_copy(capsule):
+    """A fresh DataCapsule holding the same history, repopulated from
+    wire forms — the state a replica has after anti-entropy."""
+    from repro.capsule import DataCapsule
+    from repro.capsule.heartbeat import Heartbeat
+    from repro.capsule.records import Record
+
+    clone = DataCapsule(capsule.metadata)
+    for seqno in sorted(capsule.seqnos()):
+        record = Record.from_wire(
+            capsule.name, capsule.get(seqno).to_wire()
+        )
+        clone.insert(record, enforce_strategy=False)
+    for heartbeat in capsule.heartbeats():
+        clone.add_heartbeat(Heartbeat.from_wire(heartbeat.to_wire()))
+    return clone
+
+
+def _bench_primitives(accel: dict, naive: dict, note) -> None:
+    from repro.crypto import SigningKey, cache
+
+    key = SigningKey.from_seed(b"bench-prim")
+    public = key.public
+    messages = [b"bench-msg-%d" % i for i in range(4096)]
+    signatures = {m: key.sign(m) for m in messages[:512]}
+    counter = {"n": 0}
+
+    def sign_once():
+        counter["n"] += 1
+        key.sign(messages[counter["n"] % len(messages)])
+
+    note("sign")
+    accel["sign"], naive["sign"] = _paired(sign_once)
+
+    # Cold verify: clear the memo each call so the ladder actually runs.
+    def verify_cold():
+        cache.reset()
+        message = messages[counter["n"] % 512]
+        counter["n"] += 1
+        assert public.verify(message, signatures[message])
+
+    note("verify (cold)")
+    accel["verify_cold"], naive["verify_cold"] = _paired(verify_cold)
+
+    # Warm verify: the same triple every call — memoized under accel, a
+    # full ladder under naive.
+    warm_msg, warm_sig = messages[0], signatures[messages[0]]
+
+    def verify_warm():
+        assert public.verify(warm_msg, warm_sig)
+
+    note("verify (warm)")
+    accel["verify_warm"], naive["verify_warm"] = _paired(
+        verify_warm, seconds=0.05
+    )
+
+
+def _bench_capsule_ops(accel: dict, naive: dict, note) -> None:
+    from repro.crypto import cache
+
+    _, writer = _build_capsule(64)
+    counter = {"n": 0}
+
+    def append_once():
+        counter["n"] += 1
+        writer.append(b"bench-extra-%d" % counter["n"])
+
+    note("append")
+    accel["append"], naive["append"] = _paired(append_once)
+
+    history, _ = _build_capsule(128)
+    replica = _rebuilt_copy(history)
+
+    def verify_history_cold():
+        cache.reset()
+        replica.verify_history()
+
+    note("verify_history")
+    walks_accel, walks_naive = _paired(verify_history_cold, seconds=0.15)
+    # Normalize to records verified per second (walks cover 128 records).
+    accel["verify_history"] = 128 * walks_accel
+    naive["verify_history"] = 128 * walks_naive
+
+
+def _fig8_seconds() -> float | None:
+    """One Figure-8 case-study run (wall-clock seconds of real CPU —
+    simulated network time is free, crypto is not), or ``None`` when the
+    benchmarks directory is not on disk (installed-package case)."""
+    root = os.path.dirname(os.path.dirname(os.path.dirname(__file__)))
+    path = os.path.join(root, "benchmarks", "test_fig8_case_study.py")
+    if not os.path.exists(path):
+        return None
+    import importlib.util
+
+    spec = importlib.util.spec_from_file_location("_fig8_bench", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    start = time.perf_counter()
+    module.run_case_study(module.MODEL_SMALL, seed=0)
+    return time.perf_counter() - start
+
+
+def run_bench(*, skip_fig8: bool = False, progress=None) -> dict:
+    """Run every benchmark in accelerated and naive mode; returns the
+    BENCH_crypto.json document (dict)."""
+    from repro.crypto import cache, ec
+
+    def note(message: str) -> None:
+        if progress is not None:
+            progress(message)
+
+    accel: dict[str, float] = {}
+    naive: dict[str, float] = {}
+
+    cache.set_accel_enabled(True)
+    ec.clear_point_tables()
+    _bench_primitives(accel, naive, note)
+    _bench_capsule_ops(accel, naive, note)
+
+    accel_fig8 = naive_fig8 = None
+    if not skip_fig8:
+        # Back-to-back runs so ambient machine load hits both modes.
+        note("fig8 e2e (accelerated)")
+        accel_fig8 = _fig8_seconds()
+        if accel_fig8 is not None:
+            cache.set_accel_enabled(False)
+            try:
+                note("fig8 e2e (naive)")
+                naive_fig8 = _fig8_seconds()
+            finally:
+                cache.set_accel_enabled(True)
+
+    speedup = {
+        "sign": accel["sign"] / naive["sign"],
+        "verify": accel["verify_cold"] / naive["verify_cold"],
+        "verify_warm": accel["verify_warm"] / naive["verify_warm"],
+        "append": accel["append"] / naive["append"],
+        "verify_history": accel["verify_history"] / naive["verify_history"],
+    }
+    doc: dict = {
+        "schema": "gdp-bench-crypto/1",
+        "ops_per_sec": {k: round(v, 1) for k, v in accel.items()},
+        "naive_ops_per_sec": {k: round(v, 1) for k, v in naive.items()},
+        "speedup": {},
+    }
+    if accel_fig8 is not None and naive_fig8 is not None:
+        doc["fig8_e2e_seconds"] = {
+            "accel": round(accel_fig8, 3),
+            "naive": round(naive_fig8, 3),
+        }
+        speedup["fig8_e2e"] = naive_fig8 / accel_fig8
+    doc["speedup"] = {k: round(v, 2) for k, v in sorted(speedup.items())}
+    return doc
+
+
+def check_regression(current: dict, baseline: dict) -> list[str]:
+    """Compare a fresh run against the checked-in baseline; returns a
+    list of failure strings (empty = gate passes).
+
+    Gated: every key in :data:`GATED_SPEEDUPS` must (a) be present, (b)
+    beat its absolute floor, and (c) be within 30% of the baseline's
+    ratio.  Absolute op/s are informational only — they track runner
+    hardware, not this codebase.
+    """
+    failures = []
+    cur = current.get("speedup", {})
+    base = baseline.get("speedup", {})
+    for key, floor in GATED_SPEEDUPS.items():
+        if key not in cur:
+            failures.append(f"speedup.{key}: missing from current run")
+            continue
+        if cur[key] < floor:
+            failures.append(
+                f"speedup.{key}: {cur[key]:.2f}x is below the "
+                f"{floor:.1f}x acceptance floor"
+            )
+        if key in base and cur[key] < base[key] * (1 - _REGRESSION_TOLERANCE):
+            failures.append(
+                f"speedup.{key}: {cur[key]:.2f}x regressed >30% from "
+                f"baseline {base[key]:.2f}x"
+            )
+    return failures
+
+
+def format_table(doc: dict) -> str:
+    """Human-readable summary of a benchmark document."""
+    lines = ["operation            accel op/s      naive op/s    speedup",
+             "-" * 58]
+    naive = doc.get("naive_ops_per_sec", {})
+    speedup = doc.get("speedup", {})
+    row_keys = [
+        ("sign", "sign", "sign"),
+        ("verify (cold)", "verify_cold", "verify"),
+        ("verify (warm)", "verify_warm", "verify_warm"),
+        ("append", "append", "append"),
+        ("verify_history r/s", "verify_history", "verify_history"),
+    ]
+    for label, ops_key, speed_key in row_keys:
+        lines.append(
+            f"{label:<18} {doc['ops_per_sec'][ops_key]:>12,.0f} "
+            f"{naive.get(ops_key, 0):>15,.0f} "
+            f"{speedup.get(speed_key, 0):>9.2f}x"
+        )
+    fig8 = doc.get("fig8_e2e_seconds")
+    if fig8:
+        lines.append(
+            f"{'fig8 e2e (s)':<18} {fig8['accel']:>12.3f} "
+            f"{fig8['naive']:>15.3f} {speedup.get('fig8_e2e', 0):>9.2f}x"
+        )
+    return "\n".join(lines)
+
+
+def load_baseline(path: str) -> dict:
+    """Read a BENCH_crypto.json document from *path*."""
+    with open(path) as fh:
+        return json.load(fh)

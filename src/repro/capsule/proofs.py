@@ -74,11 +74,14 @@ class PositionProof:
     """Wire-transportable proof that a record digest sits at a given
     seqno of the history attested by ``heartbeat``."""
 
-    __slots__ = ("heartbeat", "headers")
+    __slots__ = ("heartbeat", "headers", "_digests")
 
     def __init__(self, heartbeat: Heartbeat, headers: list[dict]):
         self.heartbeat = heartbeat
         self.headers = headers
+        # per-index digest memo; chain walks (verify + target_digest +
+        # verify_record) ask for the same header digests repeatedly.
+        self._digests: dict[int, bytes] = {}
 
     @property
     def target_seqno(self) -> int:
@@ -92,18 +95,22 @@ class PositionProof:
         return self._header_digest(-1)
 
     def _header_digest(self, index: int) -> bytes:
-        from repro.crypto.hashing import hash_value
+        from repro.crypto import cache as crypto_cache
 
+        if index < 0:
+            index += len(self.headers)
+        cached = self._digests.get(index)
+        if cached is not None:
+            return cached
         header = self.headers[index]
-        return hash_value(
-            "gdp.record",
-            [
-                self.heartbeat.capsule.raw,
-                header["seqno"],
-                header["payload_hash"],
-                header["pointers"],
-            ],
+        digest = crypto_cache.record_digest(
+            self.heartbeat.capsule.raw,
+            header["seqno"],
+            header["payload_hash"],
+            header["pointers"],
         )
+        self._digests[index] = digest
+        return digest
 
     def size_bytes(self) -> int:
         """Encoded proof size (for the A1 ablation)."""

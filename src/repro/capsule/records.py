@@ -34,9 +34,24 @@ def metadata_anchor(capsule_name: GdpName) -> HashPointer:
 
 
 class Record:
-    """One immutable element of a DataCapsule's history."""
+    """One immutable element of a DataCapsule's history.
 
-    __slots__ = ("capsule", "seqno", "payload", "pointers", "_digest")
+    Immutability makes every derived value cacheable: the payload hash,
+    the pointer wire forms, and the header digest are each computed once
+    at construction (invalidation is impossible by construction), so
+    replication merges, proof builds, and storage replay never re-encode
+    or re-hash the same record.
+    """
+
+    __slots__ = (
+        "capsule",
+        "seqno",
+        "payload",
+        "pointers",
+        "_digest",
+        "_payload_hash",
+        "_pointers_wire",
+    )
 
     def __init__(
         self,
@@ -63,20 +78,25 @@ class Record:
         object.__setattr__(self, "seqno", seqno)
         object.__setattr__(self, "payload", bytes(payload))
         object.__setattr__(self, "pointers", tuple(ordered))
+        object.__setattr__(self, "_payload_hash", sha256(self.payload))
+        object.__setattr__(
+            self,
+            "_pointers_wire",
+            tuple(tuple(ptr.to_wire()) for ptr in self.pointers),
+        )
         object.__setattr__(self, "_digest", self._compute_digest())
 
     def __setattr__(self, name: str, value: Any) -> None:
         raise AttributeError("Record is immutable")
 
     def _compute_digest(self) -> bytes:
-        return hash_value(
-            "gdp.record",
-            [
-                self.capsule.raw,
-                self.seqno,
-                sha256(self.payload),
-                [ptr.to_wire() for ptr in self.pointers],
-            ],
+        from repro.crypto import cache as crypto_cache
+
+        return crypto_cache.record_digest(
+            self.capsule.raw,
+            self.seqno,
+            self._payload_hash,
+            [list(w) for w in self._pointers_wire],
         )
 
     @property
@@ -86,8 +106,8 @@ class Record:
 
     @property
     def payload_hash(self) -> bytes:
-        """SHA-256 of the payload alone."""
-        return sha256(self.payload)
+        """SHA-256 of the payload alone (cached at construction)."""
+        return self._payload_hash
 
     @property
     def prev(self) -> HashPointer:
@@ -110,16 +130,21 @@ class Record:
         """
         return {
             "seqno": self.seqno,
-            "payload_hash": sha256(self.payload),
-            "pointers": [ptr.to_wire() for ptr in self.pointers],
+            "payload_hash": self._payload_hash,
+            "pointers": [list(w) for w in self._pointers_wire],
         }
 
     def to_wire(self) -> dict:
-        """Wire-encodable representation."""
+        """Wire-encodable representation.
+
+        Fresh outer dict and pointer lists every call (callers — tests,
+        tamperers — may mutate them), but built from the cached wire
+        tuples, so no pointer re-encoding happens.
+        """
         return {
             "seqno": self.seqno,
             "payload": self.payload,
-            "pointers": [ptr.to_wire() for ptr in self.pointers],
+            "pointers": [list(w) for w in self._pointers_wire],
         }
 
     @classmethod
@@ -136,15 +161,14 @@ class Record:
         capsule: GdpName, header: dict, expected_digest: bytes
     ) -> None:
         """Check that a proof header hashes to *expected_digest*."""
+        from repro.crypto import cache as crypto_cache
+
         try:
-            recomputed = hash_value(
-                "gdp.record",
-                [
-                    capsule.raw,
-                    header["seqno"],
-                    header["payload_hash"],
-                    header["pointers"],
-                ],
+            recomputed = crypto_cache.record_digest(
+                capsule.raw,
+                header["seqno"],
+                header["payload_hash"],
+                header["pointers"],
             )
         except (KeyError, TypeError) as exc:
             raise IntegrityError(f"malformed record header: {exc}") from exc

@@ -16,6 +16,11 @@ Commands
                 (``--seed N --episodes K``); every failure prints a
                 one-line repro command, ``--shrink`` minimizes the
                 fault schedule of each failing episode
+``bench``       run the crypto hot-path benchmark (sign, verify
+                cold/warm, append, verify_history, fig8 e2e) in
+                accelerated and naive mode; ``--json PATH`` writes the
+                BENCH_crypto.json document, ``--check BASELINE`` exits
+                non-zero on a >30% speedup regression (the CI perf gate)
 """
 
 from __future__ import annotations
@@ -230,6 +235,39 @@ def cmd_simtest(args: argparse.Namespace) -> int:
     return 0 if failures == 0 else 1
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    """The ``bench`` command: crypto hot-path op/s + speedups."""
+    import json
+
+    from repro import bench
+
+    doc = bench.run_bench(
+        skip_fig8=args.quick,
+        progress=lambda msg: print(f"  ... {msg}", flush=True),
+    )
+    print()
+    print(bench.format_table(doc))
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"\nwrote {args.json}")
+    if args.check:
+        try:
+            baseline = bench.load_baseline(args.check)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"\nperf gate: cannot read baseline {args.check}: {exc}")
+            return 2
+        failures = bench.check_regression(doc, baseline)
+        if failures:
+            print(f"\nperf gate FAILED vs {args.check}:")
+            for failure in failures:
+                print(f"  - {failure}")
+            return 1
+        print(f"\nperf gate PASS vs {args.check}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
     parser = argparse.ArgumentParser(
@@ -267,6 +305,21 @@ def main(argv: list[str] | None = None) -> int:
         "--shrink", action="store_true",
         help="greedily minimize the fault schedule of failing episodes",
     )
+    bench_cmd = sub.add_parser(
+        "bench", help="run the crypto hot-path benchmark"
+    )
+    bench_cmd.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="write the BENCH_crypto.json document to PATH",
+    )
+    bench_cmd.add_argument(
+        "--check", metavar="BASELINE", default=None,
+        help="exit non-zero on >30% speedup regression vs BASELINE",
+    )
+    bench_cmd.add_argument(
+        "--quick", action="store_true",
+        help="skip the fig8 end-to-end run (primitives only)",
+    )
     args = parser.parse_args(argv)
     commands = {
         "version": cmd_version,
@@ -275,6 +328,7 @@ def main(argv: list[str] | None = None) -> int:
         "results": cmd_results,
         "inventory": cmd_inventory,
         "simtest": cmd_simtest,
+        "bench": cmd_bench,
     }
     if args.command is None:
         parser.print_help()

@@ -7,12 +7,40 @@ reproduction, not a production TLS stack) point arithmetic using Jacobian
 projective coordinates for speed, with affine conversion only at the edges.
 
 Only the operations ECDSA needs are exposed: scalar multiplication,
-point addition, and point (de)serialization in SEC1 form.
+double-scalar multiplication (for verification), point addition, and
+point (de)serialization in SEC1 form.
+
+Acceleration layer
+------------------
+Profiling shows ``scalar_mult`` dominating end-to-end wall-clock (every
+append heartbeat, read proof, advertisement, and delegation check bottoms
+out here), so three precomputation strategies sit behind the public
+entry points:
+
+- a process-wide *fixed-base comb* for the generator (built lazily on
+  first use): with width ``w`` the table holds ``m * 2^(w*i) * G`` for
+  every window ``i`` and digit ``m``, turning a 256-doubling ladder into
+  ``ceil(256/w)`` mixed additions with no doublings at all;
+- bounded per-point comb tables for *hot* public keys (writer keys,
+  router identities verify thousands of times) — built once a point has
+  been used :data:`PROMOTE_AFTER` times, evicted LRU;
+- Shamir/Strauss simultaneous multiplication for ``u1*G + u2*Q`` (the
+  ECDSA verify shape) interleaving both scalars over one shared doubling
+  ladder when ``Q`` has no table yet.
+
+All accelerated paths are bit-identical to the reference ladder
+(:func:`scalar_mult_naive`), which is kept both as the fallback for cold
+points and as the cross-check oracle for property tests.  Set the
+environment variable ``GDP_CRYPTO_ACCEL=0`` (or call
+:func:`repro.crypto.cache.set_accel_enabled`) to force the naive paths.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Optional
+
+from repro.crypto import cache as _cache
 
 __all__ = [
     "P",
@@ -24,6 +52,8 @@ __all__ = [
     "GENERATOR",
     "point_add",
     "scalar_mult",
+    "scalar_mult_naive",
+    "double_scalar_base_mult",
     "is_on_curve",
     "encode_point",
     "decode_point",
@@ -99,7 +129,9 @@ def _from_jacobian(jp: _JPoint) -> Point:
     X, Y, Z = jp
     if Z == 0:
         return INFINITY
-    z_inv = pow(Z, P - 2, P)
+    # pow(Z, -1, P) (extended gcd) is ~10x faster than the Fermat
+    # exponentiation pow(Z, P-2, P) on CPython.
+    z_inv = pow(Z, -1, P)
     z_inv2 = z_inv * z_inv % P
     return Point(X * z_inv2 % P, Y * z_inv2 * z_inv % P)
 
@@ -147,13 +179,72 @@ def _jadd(p1: _JPoint, p2: _JPoint) -> _JPoint:
     return (X3, Y3, Z3)
 
 
+def _jmadd(jp: _JPoint, ax: int, ay: int) -> _JPoint:
+    """Mixed addition: Jacobian *jp* + affine ``(ax, ay)`` (i.e. Z2 = 1).
+
+    Saves ~5 field multiplications over the general :func:`_jadd`; the
+    comb and Strauss ladders below keep their tables in affine form
+    precisely so every addition takes this path.
+    """
+    X1, Y1, Z1 = jp
+    if Z1 == 0:
+        return (ax, ay, 1)
+    Z1_2 = Z1 * Z1 % P
+    U2 = ax * Z1_2 % P
+    S2 = ay * Z1_2 * Z1 % P
+    if U2 == X1:
+        if S2 != Y1:
+            return _JINF
+        return _jdouble(jp)
+    H = (U2 - X1) % P
+    R = (S2 - Y1) % P
+    H2 = H * H % P
+    H3 = H2 * H % P
+    U1H2 = X1 * H2 % P
+    X3 = (R * R - H3 - 2 * U1H2) % P
+    Y3 = (R * (U1H2 - X3) - Y1 * H3) % P
+    Z3 = H * Z1 % P
+    return (X3, Y3, Z3)
+
+
+def _batch_affine(jpoints: list[_JPoint]) -> list[tuple[int, int]]:
+    """Normalize many Jacobian points to affine ``(x, y)`` pairs with a
+    single field inversion (Montgomery's batch-inversion trick).
+
+    All inputs must be finite (comb tables never contain infinity: the
+    curve group has prime order, so no small multiple of a valid base
+    point is the identity).
+    """
+    n = len(jpoints)
+    prefix = [1] * n
+    acc = 1
+    for i in range(n):
+        prefix[i] = acc
+        acc = acc * jpoints[i][2] % P
+    inv = pow(acc, -1, P)
+    out: list[tuple[int, int]] = [(0, 0)] * n
+    for i in range(n - 1, -1, -1):
+        X, Y, Z = jpoints[i]
+        z_inv = prefix[i] * inv % P
+        inv = inv * Z % P
+        z_inv2 = z_inv * z_inv % P
+        out[i] = (X * z_inv2 % P, Y * z_inv2 * z_inv % P)
+    return out
+
+
 def point_add(p1: Point, p2: Point) -> Point:
     """Affine point addition (handles infinity and doubling)."""
     return _from_jacobian(_jadd(_to_jacobian(p1), _to_jacobian(p2)))
 
 
-def scalar_mult(k: int, point: Point) -> Point:
-    """Compute ``k * point`` via a 4-bit fixed-window method."""
+def scalar_mult_naive(k: int, point: Point) -> Point:
+    """Compute ``k * point`` via a 4-bit fixed-window method.
+
+    The reference implementation: no shared state, no precomputation
+    beyond the per-call window table.  Kept as the fallback for cold
+    points and as the oracle the accelerated paths are property-tested
+    against.
+    """
     k %= N
     if k == 0 or point.is_infinity:
         return INFINITY
@@ -169,6 +260,164 @@ def scalar_mult(k: int, point: Point) -> Point:
         if window:
             acc = _jadd(acc, table[window])
     return _from_jacobian(acc)
+
+
+# -- comb precomputation ----------------------------------------------------
+# A width-w comb table for base B stores, for every window index i and
+# digit m in 1..2^w-1, the affine point m * 2^(w*i) * B.  k*B is then the
+# sum over windows of table[i][digit_i(k)] — pure mixed additions, zero
+# doublings, at the cost of building (and keeping) the table.
+
+COMB_WIDTH_BASE = 8  #: comb width for the generator (one table per process)
+COMB_WIDTH_POINT = 5  #: comb width for cached hot points (cheaper build)
+POINT_TABLE_MAX = 32  #: LRU bound on per-point comb tables
+PROMOTE_AFTER = 2  #: uses of a point before its comb table is built
+
+_CombTable = list  # list[window] of list[digit-1] of (x, y)
+
+
+def _build_comb(point: Point, width: int) -> _CombTable:
+    """Build the comb table for *point* (see comment above)."""
+    windows = -(-256 // width)  # ceil: scalars are < N < 2^256
+    size = (1 << width) - 1
+    flat: list[_JPoint] = []
+    current = _to_jacobian(point)
+    for i in range(windows):
+        row = [current]
+        for _ in range(size - 1):
+            row.append(_jadd(row[-1], current))
+        flat.extend(row)
+        if i + 1 < windows:
+            for _ in range(width):
+                current = _jdouble(current)
+    affine = _batch_affine(flat)
+    return [affine[i * size : (i + 1) * size] for i in range(windows)]
+
+
+def _comb_mult(k: int, table: _CombTable, width: int, acc: _JPoint = _JINF) -> _JPoint:
+    """``acc + k * base`` where *table* is the comb for ``base``; *k*
+    must already be reduced mod N."""
+    mask = (1 << width) - 1
+    i = 0
+    while k:
+        digit = k & mask
+        if digit:
+            ax, ay = table[i][digit - 1]
+            acc = _jmadd(acc, ax, ay)
+        k >>= width
+        i += 1
+    return acc
+
+
+_BASE_COMB: _CombTable | None = None
+
+#: per-point comb tables, LRU-bounded, keyed by affine coordinates
+_POINT_COMBS: OrderedDict[tuple[int, int], _CombTable] = OrderedDict()
+#: use counters for not-yet-promoted points (bounded alongside the combs)
+_POINT_HEAT: OrderedDict[tuple[int, int], int] = OrderedDict()
+
+
+def _base_comb() -> _CombTable:
+    global _BASE_COMB
+    if _BASE_COMB is None:
+        _BASE_COMB = _build_comb(GENERATOR, COMB_WIDTH_BASE)
+    return _BASE_COMB
+
+
+def _point_comb(point: Point) -> _CombTable | None:
+    """The cached comb for *point*, building it once the point is hot;
+    ``None`` while the point is still cold."""
+    key = (point.x, point.y)
+    table = _POINT_COMBS.get(key)
+    if table is not None:
+        _POINT_COMBS.move_to_end(key)
+        return table
+    heat = _POINT_HEAT.get(key, 0) + 1
+    if heat < PROMOTE_AFTER:
+        _POINT_HEAT[key] = heat
+        _POINT_HEAT.move_to_end(key)
+        while len(_POINT_HEAT) > 4 * POINT_TABLE_MAX:
+            _POINT_HEAT.popitem(last=False)
+        return None
+    _POINT_HEAT.pop(key, None)
+    table = _build_comb(point, COMB_WIDTH_POINT)
+    _POINT_COMBS[key] = table
+    while len(_POINT_COMBS) > POINT_TABLE_MAX:
+        _POINT_COMBS.popitem(last=False)
+    return table
+
+
+def clear_point_tables() -> None:
+    """Drop all cached per-point comb tables and heat counters (tests)."""
+    _POINT_COMBS.clear()
+    _POINT_HEAT.clear()
+
+
+def scalar_mult(k: int, point: Point) -> Point:
+    """Compute ``k * point``.
+
+    Dispatches to the fixed-base comb for the generator, a cached comb
+    for hot points, or the reference ladder for cold points; all three
+    produce bit-identical results.
+    """
+    k %= N
+    if k == 0 or point.is_infinity:
+        return INFINITY
+    if _cache.accel_enabled():
+        if point.x == Gx and point.y == Gy:
+            return _from_jacobian(_comb_mult(k, _base_comb(), COMB_WIDTH_BASE))
+        table = _point_comb(point)
+        if table is not None:
+            return _from_jacobian(_comb_mult(k, table, COMB_WIDTH_POINT))
+    return scalar_mult_naive(k, point)
+
+
+def _double_scalar_jacobian(u1: int, u2: int, point: Point) -> _JPoint:
+    """``u1*G + u2*point`` in Jacobian form — the ECDSA verify shape.
+
+    With a comb table available for *point* both halves are pure mixed
+    additions; otherwise Strauss interleaving shares one doubling ladder
+    between the two scalars (half the doublings of two separate mults).
+    """
+    u1 %= N
+    u2 %= N
+    if not _cache.accel_enabled():
+        return _to_jacobian(
+            point_add(
+                scalar_mult_naive(u1, GENERATOR), scalar_mult_naive(u2, point)
+            )
+        )
+    if u2 == 0 or point.is_infinity:
+        return _comb_mult(u1, _base_comb(), COMB_WIDTH_BASE)
+    table = _point_comb(point)
+    if table is not None:
+        acc = _comb_mult(u1, _base_comb(), COMB_WIDTH_BASE)
+        return _comb_mult(u2, table, COMB_WIDTH_POINT, acc)
+    # Strauss/Shamir: 4-bit windows of both scalars over one ladder.
+    # G's small multiples come straight from the first window of the
+    # base comb (entries 1..15 of window 0 are 1..15 * G).
+    g_table = _base_comb()[0]
+    q_flat: list[_JPoint] = [_to_jacobian(point)]
+    for _ in range(14):
+        q_flat.append(_jadd(q_flat[-1], q_flat[0]))
+    q_table = _batch_affine(q_flat)
+    acc = _JINF
+    top = max(u1.bit_length(), u2.bit_length())
+    top += (4 - top % 4) % 4
+    for shift in range(top - 4, -1, -4):
+        acc = _jdouble(_jdouble(_jdouble(_jdouble(acc))))
+        w1 = (u1 >> shift) & 0xF
+        if w1:
+            acc = _jmadd(acc, *g_table[w1 - 1])
+        w2 = (u2 >> shift) & 0xF
+        if w2:
+            acc = _jmadd(acc, *q_table[w2 - 1])
+    return acc
+
+
+def double_scalar_base_mult(u1: int, u2: int, point: Point) -> Point:
+    """``u1*G + u2*point`` as an affine :class:`Point`."""
+    return _from_jacobian(_double_scalar_jacobian(u1, u2, point))
 
 
 def encode_point(point: Point) -> bytes:

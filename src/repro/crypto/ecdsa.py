@@ -4,7 +4,16 @@ Deterministic nonces make signing reproducible (important for tests and
 for replayable simulations) and eliminate the classic nonce-reuse key
 leak.  Signatures are encoded as fixed-width 64-byte ``r || s`` with the
 low-S normalization, so each message/key pair has exactly one valid
-encoding produced by this signer (verification accepts any valid ``s``).
+encoding produced by this signer.  Verification accepts any valid ``s``
+by default; passing ``require_low_s=True`` additionally rejects the
+high-S malleation (strict mode — used by the simtest oracles, where any
+signature *we* did not produce in canonical form is suspect).
+
+Hot-path notes: signing uses the fixed-base comb behind
+:func:`ec.scalar_mult`; verification computes ``u1*G + u2*Q`` in one
+Shamir/Strauss pass (:func:`ec._double_scalar_jacobian`) and compares
+``r`` against the Jacobian result directly, avoiding the final field
+inversion entirely.
 """
 
 from __future__ import annotations
@@ -15,7 +24,7 @@ import hmac as _hmac
 from repro.crypto import ec
 from repro.errors import SignatureError
 
-__all__ = ["sign", "verify", "SIGNATURE_LEN"]
+__all__ = ["sign", "verify", "verify_prehashed", "is_low_s", "SIGNATURE_LEN"]
 
 SIGNATURE_LEN = 64
 _ORDER_BYTES = 32
@@ -71,7 +80,7 @@ def sign(private_key: int, message: bytes) -> bytes:
         if r == 0:
             digest = hashlib.sha256(digest).digest()
             continue
-        k_inv = pow(k, ec.N - 2, ec.N)
+        k_inv = pow(k, -1, ec.N)
         s = k_inv * (z + r * private_key) % ec.N
         if s == 0:
             digest = hashlib.sha256(digest).digest()
@@ -81,10 +90,25 @@ def sign(private_key: int, message: bytes) -> bytes:
         return _int2octets(r) + _int2octets(s)
 
 
-def verify(public_key: ec.Point, message: bytes, signature: bytes) -> bool:
-    """Verify a 64-byte ``r || s`` signature; returns ``True``/``False``
-    (malformed inputs return ``False`` rather than raising, so callers can
-    treat garbage from the network uniformly)."""
+def is_low_s(signature: bytes) -> bool:
+    """Whether a 64-byte signature's ``s`` half is in canonical low-S
+    form (what :func:`sign` emits)."""
+    if len(signature) != SIGNATURE_LEN:
+        return False
+    s = int.from_bytes(signature[_ORDER_BYTES:], "big")
+    return 1 <= s <= ec.N // 2
+
+
+def verify_prehashed(
+    public_key: ec.Point,
+    digest: bytes,
+    signature: bytes,
+    *,
+    require_low_s: bool = False,
+) -> bool:
+    """Verify against an already-computed SHA-256 *digest* (the caching
+    layer hashes the message once for its cache key; this entry point
+    lets it avoid hashing twice)."""
     if len(signature) != SIGNATURE_LEN:
         return False
     if public_key.is_infinity or not ec.is_on_curve(public_key):
@@ -93,14 +117,36 @@ def verify(public_key: ec.Point, message: bytes, signature: bytes) -> bool:
     s = int.from_bytes(signature[_ORDER_BYTES:], "big")
     if not (1 <= r < ec.N and 1 <= s < ec.N):
         return False
-    digest = hashlib.sha256(message).digest()
+    if require_low_s and s > ec.N // 2:
+        return False
     z = _bits2int(digest)
-    s_inv = pow(s, ec.N - 2, ec.N)
+    s_inv = pow(s, -1, ec.N)
     u1 = z * s_inv % ec.N
     u2 = r * s_inv % ec.N
-    point = ec.point_add(
-        ec.scalar_mult(u1, ec.GENERATOR), ec.scalar_mult(u2, public_key)
-    )
-    if point.is_infinity:
+    X, Y, Z = ec._double_scalar_jacobian(u1, u2, public_key)
+    if Z == 0:
         return False
-    return point.x % ec.N == r
+    # r == x(R) mod N without converting R to affine: the affine x is
+    # X/Z^2 mod P, and since P < 2N the only candidates for x are r and
+    # r + N.  Cross-multiplying avoids the field inversion.
+    Z2 = Z * Z % ec.P
+    if (r * Z2 - X) % ec.P == 0:
+        return True
+    return r + ec.N < ec.P and ((r + ec.N) * Z2 - X) % ec.P == 0
+
+
+def verify(
+    public_key: ec.Point,
+    message: bytes,
+    signature: bytes,
+    *,
+    require_low_s: bool = False,
+) -> bool:
+    """Verify a 64-byte ``r || s`` signature; returns ``True``/``False``
+    (malformed inputs return ``False`` rather than raising, so callers can
+    treat garbage from the network uniformly).  ``require_low_s`` enables
+    strict mode: only the canonical low-S encoding is accepted."""
+    digest = hashlib.sha256(message).digest()
+    return verify_prehashed(
+        public_key, digest, signature, require_low_s=require_low_s
+    )

@@ -8,9 +8,11 @@ form, which is the representation hashed into flat GDP names.
 
 from __future__ import annotations
 
+import hashlib
 import secrets
 from typing import Optional
 
+from repro.crypto import cache as _cache
 from repro.crypto import ec, ecdsa
 from repro.errors import SignatureError
 
@@ -45,9 +47,29 @@ class VerifyingKey:
         except ValueError as exc:
             raise SignatureError(f"malformed public key: {exc}") from exc
 
-    def verify(self, message: bytes, signature: bytes) -> bool:
-        """True iff *signature* is a valid ECDSA signature on *message*."""
-        return ecdsa.verify(self._point, message, signature)
+    def verify(
+        self, message: bytes, signature: bytes, *, require_low_s: bool = False
+    ) -> bool:
+        """True iff *signature* is a valid ECDSA signature on *message*.
+
+        Successful verifications are memoized process-wide on the exact
+        ``(key, digest, signature)`` triple (see
+        :mod:`repro.crypto.cache`), so anti-entropy merges and repeated
+        proof checks never re-ladder a signature already proven good.
+        ``require_low_s`` (strict mode) is checked *before* the cache:
+        a high-S signature is rejected here even if its triple verified
+        under the permissive mode.
+        """
+        if require_low_s and not ecdsa.is_low_s(signature):
+            return False
+        digest = hashlib.sha256(message).digest()
+        if _cache.verify_cache_hit(self._encoded, digest, signature):
+            return True
+        _cache.count_verify()
+        ok = ecdsa.verify_prehashed(self._point, digest, signature)
+        if ok:
+            _cache.remember_verified(self._encoded, digest, signature)
+        return ok
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, VerifyingKey):
@@ -103,7 +125,15 @@ class SigningKey:
 
     def sign(self, message: bytes) -> bytes:
         """Sign *message*; returns the 64-byte ``r || s`` signature."""
-        return ecdsa.sign(self._secret, message)
+        _cache.count_sign()
+        signature = ecdsa.sign(self._secret, message)
+        # Our own signatures are valid by construction: prime the verify
+        # cache so the local round-trip (sign, then validate on insert)
+        # costs one ladder, not two.
+        _cache.remember_verified(
+            self._public.to_bytes(), hashlib.sha256(message).digest(), signature
+        )
+        return signature
 
     def to_bytes(self) -> bytes:
         """Raw 32-byte big-endian secret scalar."""

@@ -304,7 +304,14 @@ class SimNetwork:
 
     def enable_node_metrics(self) -> None:
         """Count PDUs/bytes through every node pipeline into the
-        registry (``node.pdus_in`` etc.; idempotent)."""
+        registry (``node.pdus_in`` etc.; idempotent).  Also mirrors the
+        process-wide crypto cache counters (``crypto.sign``,
+        ``crypto.verify``, ``crypto.verify_cached``, ...) into this
+        registry's ``crypto`` scope — last network to enable wins, which
+        is fine for the single-threaded simulator."""
+        from repro.crypto import cache as crypto_cache
+
+        crypto_cache.bind_metrics(self.metrics.node("crypto"))
         for middleware in self._node_middlewares:
             if isinstance(middleware, MetricsMiddleware):
                 return

@@ -89,7 +89,10 @@ def check_hash_chain(world) -> list[Violation]:
     for server, capsule in _hosted_capsules(world):
         for heartbeat in capsule.heartbeats():
             try:
-                heartbeat.verify(capsule.writer_key)
+                # Strict mode: our writers only emit canonical low-S
+                # signatures, so a surviving high-S variant means
+                # something malleated a stored heartbeat in flight.
+                heartbeat.verify(capsule.writer_key, require_low_s=True)
             except GdpError as exc:
                 violations.append(Violation(
                     "hash_chain",

@@ -1,0 +1,244 @@
+"""The crypto memoization layer: LRU semantics, signature-cache safety
+("a cache must never turn a forged signature into a hit"), the
+record-digest cache, counter wiring, and the one-encode-per-record
+regression guard."""
+
+import hashlib
+
+import pytest
+
+from repro.capsule.records import Record, metadata_anchor
+from repro.crypto import cache, ec, ecdsa
+from repro.crypto.keys import SigningKey
+from repro.naming import GdpName
+
+NAME = GdpName(b"\x33" * 32)
+
+
+@pytest.fixture(autouse=True)
+def clean_cache():
+    cache.reset()
+    yield
+    cache.reset()
+
+
+class TestLruCache:
+    def test_put_get(self):
+        lru = cache.LruCache(4)
+        lru.put("a", 1)
+        assert lru.get("a") == 1
+        assert lru.get("missing") is None
+
+    def test_eviction_order(self):
+        lru = cache.LruCache(2)
+        lru.put("a", 1)
+        lru.put("b", 2)
+        lru.put("c", 3)  # evicts "a", the oldest
+        assert lru.get("a") is None
+        assert lru.get("b") == 2
+        assert lru.get("c") == 3
+
+    def test_get_refreshes_recency(self):
+        lru = cache.LruCache(2)
+        lru.put("a", 1)
+        lru.put("b", 2)
+        lru.get("a")  # "a" is now most recent
+        lru.put("c", 3)  # evicts "b"
+        assert lru.get("a") == 1
+        assert lru.get("b") is None
+
+    def test_bounded(self):
+        lru = cache.LruCache(8)
+        for i in range(100):
+            lru.put(i, i)
+        assert len(lru) == 8
+
+    def test_overwrite_same_key(self):
+        lru = cache.LruCache(2)
+        lru.put("a", 1)
+        lru.put("a", 2)
+        assert lru.get("a") == 2
+        assert len(lru) == 1
+
+
+class TestSignatureCache:
+    def test_sign_primes_cache(self):
+        key = SigningKey.from_seed(b"cache-prime")
+        sig = key.sign(b"hello")
+        before = cache.counters()
+        assert key.public.verify(b"hello", sig)
+        after = cache.counters()
+        # The verify hit the cache primed by sign — no real ladder ran.
+        assert after["crypto.verify_cached"] == before["crypto.verify_cached"] + 1
+        assert after["crypto.verify"] == before["crypto.verify"]
+
+    def test_repeat_verification_cached(self):
+        key = SigningKey.from_seed(b"cache-repeat")
+        sig = key.sign(b"msg")
+        cache.reset()  # drop the sign-time priming
+        assert key.public.verify(b"msg", sig)
+        assert cache.counters()["crypto.verify"] == 1
+        for _ in range(5):
+            assert key.public.verify(b"msg", sig)
+        after = cache.counters()
+        assert after["crypto.verify"] == 1
+        assert after["crypto.verify_cached"] == 5
+
+    def test_forged_signature_never_hits(self):
+        key = SigningKey.from_seed(b"cache-forge")
+        sig = bytearray(key.sign(b"msg"))
+        sig[5] ^= 0x01
+        forged = bytes(sig)
+        cache.reset()
+        for _ in range(3):
+            assert not key.public.verify(b"msg", forged)
+        after = cache.counters()
+        # Every attempt ran the real ladder: failures are never cached.
+        assert after["crypto.verify"] == 3
+        assert after["crypto.verify_cached"] == 0
+
+    def test_tampered_message_never_hits(self):
+        key = SigningKey.from_seed(b"cache-tamper")
+        sig = key.sign(b"genuine")
+        assert key.public.verify(b"genuine", sig)  # cached success
+        assert not key.public.verify(b"forged!", sig)
+        assert not key.public.verify(b"forged!", sig)
+        assert cache.counters()["crypto.verify"] == 2
+
+    def test_strict_mode_not_bypassed_by_cached_success(self):
+        # A high-S signature that verified (and was cached) in permissive
+        # mode must STILL be rejected by require_low_s: the strictness
+        # check runs before the cache lookup.
+        key = SigningKey.from_seed(b"cache-strict")
+        sig = key.sign(b"msg")
+        s = int.from_bytes(sig[32:], "big")
+        high = sig[:32] + (ec.N - s).to_bytes(32, "big")
+        assert key.public.verify(b"msg", high)  # permissive: ok, cached
+        assert not key.public.verify(b"msg", high, require_low_s=True)
+
+    def test_cache_keyed_on_public_key(self):
+        key_a = SigningKey.from_seed(b"cache-key-a")
+        key_b = SigningKey.from_seed(b"cache-key-b")
+        sig = key_a.sign(b"msg")
+        assert key_a.public.verify(b"msg", sig)
+        assert not key_b.public.verify(b"msg", sig)
+
+    def test_disabled_accel_bypasses_cache(self):
+        key = SigningKey.from_seed(b"cache-disabled")
+        cache.set_accel_enabled(False)
+        try:
+            sig = key.sign(b"msg")
+            cache.reset()
+            assert key.public.verify(b"msg", sig)
+            assert key.public.verify(b"msg", sig)
+            after = cache.counters()
+            assert after["crypto.verify"] == 2
+            assert after["crypto.verify_cached"] == 0
+        finally:
+            cache.set_accel_enabled(True)
+
+    def test_raw_cache_api_semantics(self):
+        pub, digest, sig = b"\x02" + b"\x01" * 32, b"\x0a" * 32, b"\x0b" * 64
+        assert not cache.verify_cache_hit(pub, digest, sig)
+        cache.remember_verified(pub, digest, sig)
+        assert cache.verify_cache_hit(pub, digest, sig)
+        # Any component changing the triple misses.
+        assert not cache.verify_cache_hit(pub, digest, b"\x0c" * 64)
+        assert not cache.verify_cache_hit(pub, b"\x0d" * 32, sig)
+
+
+class TestRecordDigestCache:
+    def test_one_encode_per_record(self):
+        # Regression guard (counter-based): constructing a record encodes
+        # its header exactly once; every later digest consumer — header
+        # verification, proof walks, replica merges — must hit the cache.
+        record = Record(NAME, 1, b"payload", [metadata_anchor(NAME)])
+        baseline = cache.counters()["crypto.encode"]
+        assert record.digest  # cached at construction
+        Record.verify_header(NAME, record.header_wire(), record.digest)
+        rebuilt = Record.from_wire(NAME, record.to_wire())
+        assert rebuilt.digest == record.digest
+        after = cache.counters()
+        assert after["crypto.encode"] == baseline
+        assert after["crypto.encode_cached"] >= 2
+
+    def test_proof_walks_reuse_record_encodes(self):
+        # Chain walks (build + verify + re-verify of a position proof)
+        # must not re-encode records that were already digested at
+        # construction — the whole point of routing _header_digest
+        # through the content-keyed cache.
+        from repro.capsule import CapsuleWriter, DataCapsule
+        from repro.capsule.proofs import build_position_proof
+        from repro.naming import make_capsule_metadata
+
+        owner = SigningKey.from_seed(b"proof-owner")
+        writer_key = SigningKey.from_seed(b"proof-writer")
+        metadata = make_capsule_metadata(
+            owner, writer_key.public, pointer_strategy="chain"
+        )
+        capsule = DataCapsule(metadata)
+        writer = CapsuleWriter(capsule, writer_key)
+        for i in range(8):
+            writer.append(b"r%d" % i)
+        encodes = cache.counters()["crypto.encode"]
+        proof = build_position_proof(capsule, 2)
+        proof.verify(capsule.name, writer_key.public, expected_seqno=2)
+        proof.verify(capsule.name, writer_key.public, expected_seqno=2)
+        assert cache.counters()["crypto.encode"] == encodes
+
+    def test_distinct_records_distinct_encodes(self):
+        before = cache.counters()["crypto.encode"]
+        Record(NAME, 1, b"a", [metadata_anchor(NAME)])
+        Record(NAME, 1, b"b", [metadata_anchor(NAME)])
+        assert cache.counters()["crypto.encode"] == before + 2
+
+    def test_tampered_header_never_inherits_digest(self):
+        record = Record(NAME, 1, b"payload", [metadata_anchor(NAME)])
+        header = record.header_wire()
+        header["payload_hash"] = hashlib.sha256(b"evil").digest()
+        from repro.errors import IntegrityError
+
+        with pytest.raises(IntegrityError):
+            Record.verify_header(NAME, header, record.digest)
+
+    def test_unhashable_pointers_bypass_cache(self):
+        # _freeze refuses anything not hashable-by-content; the digest is
+        # still computed (uncached) rather than raising.
+        digest = cache.record_digest(
+            NAME.raw, 1, b"\x00" * 32, [[1, bytearray(b"x")]]
+        )
+        assert len(digest) == 32
+
+
+class TestCounterWiring:
+    def test_sign_counted(self):
+        key = SigningKey.from_seed(b"counter-sign")
+        before = cache.counters()["crypto.sign"]
+        key.sign(b"one")
+        key.sign(b"two")
+        assert cache.counters()["crypto.sign"] == before + 2
+
+    def test_metrics_sink_mirroring(self):
+        from repro.runtime.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        cache.bind_metrics(registry.node("crypto"))
+        try:
+            key = SigningKey.from_seed(b"counter-sink")
+            sig = key.sign(b"msg")
+            key.public.verify(b"msg", sig)
+            snapshot = registry.snapshot()["crypto"]
+            assert snapshot["crypto.sign"] == 1
+            assert snapshot["crypto.verify_cached"] == 1
+        finally:
+            cache.bind_metrics(None)
+
+    def test_ecdsa_module_verify_not_double_counted(self):
+        # Direct ecdsa.verify (below the key layer) is uncounted; only
+        # the key layer counts, so subsystem totals stay meaningful.
+        key = SigningKey.from_seed(b"counter-raw")
+        sig = key.sign(b"msg")
+        cache.reset()
+        pub = ec.decode_point(key.public.to_bytes())
+        assert ecdsa.verify(pub, b"msg", sig)
+        assert cache.counters()["crypto.verify"] == 0

@@ -91,6 +91,109 @@ class TestGroupLaws:
         assert point.y == ec.P - ec.GENERATOR.y
 
 
+class TestInfinityEdges:
+    def test_add_infinity_to_infinity(self):
+        assert ec.point_add(ec.INFINITY, ec.INFINITY).is_infinity
+
+    def test_scalar_mult_of_infinity(self):
+        assert ec.scalar_mult(5, ec.INFINITY).is_infinity
+        assert ec.scalar_mult_naive(5, ec.INFINITY).is_infinity
+
+    def test_zero_scalar_on_arbitrary_point(self):
+        p = ec.scalar_mult(77, ec.GENERATOR)
+        assert ec.scalar_mult(0, p).is_infinity
+
+    def test_double_scalar_both_zero(self):
+        p = ec.scalar_mult(7, ec.GENERATOR)
+        assert ec.double_scalar_base_mult(0, 0, p).is_infinity
+
+
+class TestScalarsNearOrder:
+    @pytest.mark.parametrize("k", [ec.N - 2, ec.N - 1, ec.N, ec.N + 1, 2 * ec.N + 3])
+    def test_base_mult_reduces_mod_order(self, k):
+        assert ec.scalar_mult(k, ec.GENERATOR) == ec.scalar_mult_naive(
+            k, ec.GENERATOR
+        )
+
+    @pytest.mark.parametrize("k", [ec.N - 1, ec.N, ec.N + 1])
+    def test_point_mult_reduces_mod_order(self, k):
+        p = ec.scalar_mult(987654321, ec.GENERATOR)
+        assert ec.scalar_mult(k, p) == ec.scalar_mult_naive(k, p)
+
+    def test_order_minus_one_is_negation(self):
+        p = ec.scalar_mult(1234, ec.GENERATOR)
+        neg = ec.scalar_mult(ec.N - 1, p)
+        assert neg == ec.Point(p.x, ec.P - p.y)
+
+
+class TestAcceleratedPaths:
+    """The comb/Shamir fast paths must be bit-identical to the naive
+    double-and-add reference on every input shape."""
+
+    def test_base_comb_matches_naive(self):
+        for k in [1, 2, 3, 255, 256, 257, 2**64 - 1, 2**255 + 12345]:
+            assert ec.scalar_mult(k, ec.GENERATOR) == ec.scalar_mult_naive(
+                k, ec.GENERATOR
+            )
+
+    def test_point_comb_promotion_matches_naive(self):
+        ec.clear_point_tables()
+        p = ec.scalar_mult(31337, ec.GENERATOR)
+        # Repeated use promotes the point to a cached comb table; every
+        # use before, during, and after promotion must agree with naive.
+        for k in [5, 17, 2**100 + 3, ec.N - 7, 11, 13]:
+            assert ec.scalar_mult(k, p) == ec.scalar_mult_naive(k, p)
+
+    def test_point_table_lru_bound(self):
+        ec.clear_point_tables()
+        points = [
+            ec.scalar_mult(1000 + i, ec.GENERATOR)
+            for i in range(ec.POINT_TABLE_MAX + 8)
+        ]
+        for p in points:
+            for _ in range(ec.PROMOTE_AFTER + 1):
+                ec.scalar_mult(3, p)
+        assert len(ec._POINT_COMBS) <= ec.POINT_TABLE_MAX
+
+    def test_double_scalar_matches_composition(self):
+        q = ec.scalar_mult(424242, ec.GENERATOR)
+        cases = [(1, 1), (0, 5), (5, 0), (ec.N - 1, ec.N - 1),
+                 (2**200 + 9, 2**130 + 7)]
+        for u1, u2 in cases:
+            expected = ec.point_add(
+                ec.scalar_mult_naive(u1, ec.GENERATOR),
+                ec.scalar_mult_naive(u2, q),
+            )
+            assert ec.double_scalar_base_mult(u1, u2, q) == expected
+
+    def test_double_scalar_with_hot_point(self):
+        ec.clear_point_tables()
+        q = ec.scalar_mult(555, ec.GENERATOR)
+        for _ in range(ec.PROMOTE_AFTER + 1):
+            ec.scalar_mult(9, q)  # promote q to a comb table
+        expected = ec.point_add(
+            ec.scalar_mult_naive(321, ec.GENERATOR),
+            ec.scalar_mult_naive(654, q),
+        )
+        assert ec.double_scalar_base_mult(321, 654, q) == expected
+
+    def test_accel_disabled_still_correct(self):
+        from repro.crypto import cache
+
+        q = ec.scalar_mult(777, ec.GENERATOR)
+        fast = ec.double_scalar_base_mult(12, 34, q)
+        cache.set_accel_enabled(False)
+        try:
+            slow = ec.double_scalar_base_mult(12, 34, q)
+        finally:
+            cache.set_accel_enabled(True)
+        assert fast == slow
+        assert fast == ec.point_add(
+            ec.scalar_mult_naive(12, ec.GENERATOR),
+            ec.scalar_mult_naive(34, q),
+        )
+
+
 class TestEncoding:
     @pytest.mark.parametrize("k", [1, 2, 3, 1000, 2**128 + 1])
     def test_compressed_roundtrip(self, k):

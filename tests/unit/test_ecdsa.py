@@ -118,3 +118,53 @@ class TestRejections:
         s = int.from_bytes(sig[32:], "big")
         high = r + (ec.N - s).to_bytes(32, "big")
         assert ecdsa.verify(public, b"msg", high)
+
+
+def _high_s_variant(sig: bytes) -> bytes:
+    s = int.from_bytes(sig[32:], "big")
+    return sig[:32] + (ec.N - s).to_bytes(32, "big")
+
+
+class TestLowSMode:
+    """``require_low_s`` strict mode: reject the malleated twin, accept
+    everything we ourselves emit."""
+
+    def test_sign_always_emits_low_s(self, keypair):
+        secret, _ = keypair
+        for i in range(16):
+            assert ecdsa.is_low_s(ecdsa.sign(secret, b"lowS-%d" % i))
+
+    def test_strict_accepts_canonical(self, keypair):
+        secret, public = keypair
+        sig = ecdsa.sign(secret, b"msg")
+        assert ecdsa.verify(public, b"msg", sig, require_low_s=True)
+
+    def test_strict_rejects_high_s(self, keypair):
+        secret, public = keypair
+        high = _high_s_variant(ecdsa.sign(secret, b"msg"))
+        assert ecdsa.verify(public, b"msg", high)  # permissive: fine
+        assert not ecdsa.verify(public, b"msg", high, require_low_s=True)
+
+    def test_permissive_accepts_both_variants(self, keypair):
+        secret, public = keypair
+        sig = ecdsa.sign(secret, b"both")
+        assert ecdsa.verify(public, b"both", sig)
+        assert ecdsa.verify(public, b"both", _high_s_variant(sig))
+
+    def test_is_low_s_boundary(self):
+        half = ec.N // 2
+        r = (1).to_bytes(32, "big")
+        assert ecdsa.is_low_s(r + half.to_bytes(32, "big"))
+        assert not ecdsa.is_low_s(r + (half + 1).to_bytes(32, "big"))
+        assert not ecdsa.is_low_s(r + (0).to_bytes(32, "big"))
+        assert not ecdsa.is_low_s(r)  # wrong length
+
+    def test_strict_mode_through_key_layer(self, keypair):
+        from repro.crypto.keys import SigningKey
+
+        key = SigningKey.from_seed(b"strict-mode-test")
+        sig = key.sign(b"payload")
+        assert key.public.verify(b"payload", sig, require_low_s=True)
+        high = _high_s_variant(sig)
+        assert key.public.verify(b"payload", high)
+        assert not key.public.verify(b"payload", high, require_low_s=True)

@@ -116,3 +116,53 @@ class TestFileStoreSpecifics:
 
     def test_empty_directory(self, tmp_path):
         assert FileStore(str(tmp_path / "empty")).list_capsules() == []
+
+    def test_buffered_appends_visible_to_reader(self, tmp_path, capsule_with_data):
+        # With fsync off, frames may sit in the pooled handle's buffer;
+        # load_entries must still observe every acknowledged append.
+        capsule, pairs = capsule_with_data
+        store = FileStore(str(tmp_path / "buffered"), fsync=False)
+        store.store_metadata(capsule.name, capsule.metadata.to_wire())
+        for record, _ in pairs:
+            store.append_record(capsule.name, record.to_wire())
+        tags = [tag for tag, _ in store.load_entries(capsule.name)]
+        assert tags == ["m"] + ["r"] * 5
+        store.close()
+
+    def test_handle_pool_bounded(self, tmp_path, capsule_factory):
+        store = FileStore(str(tmp_path / "pool"))
+        capsules = [capsule_factory() for _ in range(store._MAX_HANDLES + 5)]
+        for capsule in capsules:
+            store.store_metadata(capsule.name, capsule.metadata.to_wire())
+        assert len(store._handles) <= store._MAX_HANDLES
+        # Evicted-handle capsules are still readable and appendable.
+        first = capsules[0]
+        assert store.load_metadata(first.name) is not None
+        store.close()
+
+    def test_delete_releases_handle_and_recreate(self, tmp_path, capsule_with_data):
+        capsule, pairs = capsule_with_data
+        store = FileStore(str(tmp_path / "recreate"))
+        store.store_metadata(capsule.name, capsule.metadata.to_wire())
+        store.append_record(capsule.name, pairs[0][0].to_wire())
+        store.delete_capsule(capsule.name)
+        assert store.load_metadata(capsule.name) is None
+        with pytest.raises(StorageError):
+            store.append_record(capsule.name, pairs[0][0].to_wire())
+        # A deleted capsule can be hosted afresh with an empty log.
+        store.store_metadata(capsule.name, capsule.metadata.to_wire())
+        tags = [tag for tag, _ in store.load_entries(capsule.name)]
+        assert tags == ["m"]
+        store.close()
+
+    def test_close_flushes_and_survives_reopen(self, tmp_path, capsule_with_data):
+        capsule, pairs = capsule_with_data
+        root = str(tmp_path / "flushclose")
+        store = FileStore(root, fsync=False)
+        store.store_metadata(capsule.name, capsule.metadata.to_wire())
+        for record, _ in pairs:
+            store.append_record(capsule.name, record.to_wire())
+        store.close()
+        reopened = FileStore(root)
+        tags = [tag for tag, _ in reopened.load_entries(capsule.name)]
+        assert tags == ["m"] + ["r"] * 5

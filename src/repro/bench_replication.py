@@ -1,0 +1,358 @@
+"""Replication-plane benchmark: the engine behind
+``repro bench --suite replication``.
+
+Two paired scenarios, both run inside the deterministic network
+simulator (so every number is a function of the protocol, not of runner
+hardware — the emitted document is byte-stable across machines):
+
+**Anti-entropy sync.**  A 5 000-record capsule replicated on two
+servers, with 1% divergence (the lagging replica is missing every 100th
+record).  The same divergence is healed once with the original
+full-scan protocol (:func:`~repro.server.replication.full_sync_once`:
+complete seqno->digest summary + every heartbeat, O(capsule length)
+bytes per round) and once with the Merkle-delta protocol
+(:func:`~repro.server.replication.sync_once`: root exchange, O(log n)
+bisection, size-capped batched fetch).  Measured: bytes on the wire and
+simulated seconds, each as a full/delta ratio.
+
+**Append pipeline.**  The same record stream written through the
+one-PDU-per-append path (sequential ``append`` calls — one record, one
+heartbeat, one round trip each) and through the batched/windowed
+``append_stream`` (multi-record PDUs under a single tip heartbeat,
+``window`` PDUs in flight).  Measured: records per simulated second.
+
+The CI gate (``--check BENCH_replication.json``) enforces the ISSUE's
+acceptance floors — >=10x fewer sync bytes, >=5x faster sync, >=5x
+append throughput — plus a 30% no-regression band against the committed
+baseline.
+"""
+
+from __future__ import annotations
+
+import json
+
+__all__ = ["run_bench", "check_regression", "GATED_RATIOS"]
+
+#: ratio keys the CI gate enforces, with the floor each must beat even
+#: before regression comparison (the ISSUE's acceptance criteria).
+GATED_RATIOS = {
+    "sync_bytes_ratio": 10.0,
+    "sync_time_ratio": 5.0,
+    "append_speedup": 5.0,
+}
+
+_REGRESSION_TOLERANCE = 0.30
+
+#: sync scenario shape (5k records, 1% divergence)
+SYNC_RECORDS = 5_000
+SYNC_DIVERGENCE_STRIDE = 100
+#: append scenario shape
+APPEND_RECORDS = 300
+APPEND_PAYLOAD = 120
+APPEND_BATCH = 64
+APPEND_WINDOW = 8
+
+#: the constrained inter-site link both scenarios cross (10 Mbit/s,
+#: 1 ms propagation — an edge uplink, where batching actually matters)
+_LINK_BANDWIDTH = 1_250_000.0
+_LINK_LATENCY = 0.001
+
+
+def _mint_history():
+    """Mint the shared 5k-record history once (the only wall-clock-
+    expensive step; both sync worlds reuse the same Record/Heartbeat
+    objects, so signature verification is memoized on the second
+    populate)."""
+    from repro.capsule import CapsuleWriter, DataCapsule
+    from repro.crypto import SigningKey
+    from repro.naming import make_capsule_metadata
+
+    owner = SigningKey.from_seed(b"bench-repl-owner")
+    writer_key = SigningKey.from_seed(b"bench-repl-writer")
+    metadata = make_capsule_metadata(
+        owner, writer_key.public, pointer_strategy="chain"
+    )
+    capsule = DataCapsule(metadata)
+    writer = CapsuleWriter(capsule, writer_key)
+    minted = []
+    for i in range(SYNC_RECORDS):
+        minted.append(writer.append(b"sync-record-%06d" % i))
+    return owner, metadata, minted
+
+
+def _build_sync_world(owner, metadata, minted):
+    """Two servers across the constrained link, capsule placed on both,
+    then the divergence injected directly: server ``a`` holds the full
+    history, server ``b`` is missing every ``SYNC_DIVERGENCE_STRIDE``-th
+    record (and its heartbeat)."""
+    from repro.client import GdpClient, OwnerConsole
+    from repro.routing import GdpRouter, RoutingDomain
+    from repro.server import DataCapsuleServer
+    from repro.sim import SimNetwork
+
+    net = SimNetwork(seed=1009)
+    clock = lambda: net.sim.now  # noqa: E731
+    domain = RoutingDomain("global", clock=clock)
+    r0 = GdpRouter(net, "r0", domain)
+    r1 = GdpRouter(net, "r1", domain)
+    net.connect(
+        r0, r1, latency=_LINK_LATENCY, bandwidth=_LINK_BANDWIDTH
+    )
+    server_a = DataCapsuleServer(net, "a")
+    server_a.attach(r0, latency=0.0001)
+    server_b = DataCapsuleServer(net, "b")
+    server_b.attach(r1, latency=0.0001)
+    client = GdpClient(net, "bench_client")
+    client.attach(r0, latency=0.0001)
+    console = OwnerConsole(client, owner)
+
+    def setup():
+        yield server_a.advertise()
+        yield server_b.advertise()
+        yield client.advertise()
+        yield from console.place_capsule(
+            metadata, [server_a.metadata, server_b.metadata]
+        )
+        yield 0.5
+
+    net.sim.run_process(setup(), "bench-sync-setup")
+    capsule_a = server_a.hosted[metadata.name].capsule
+    capsule_b = server_b.hosted[metadata.name].capsule
+    for record, heartbeat in minted:
+        capsule_a.insert(record, enforce_strategy=False)
+        capsule_a.add_heartbeat(heartbeat)
+        if record.seqno % SYNC_DIVERGENCE_STRIDE:
+            capsule_b.insert(record, enforce_strategy=False)
+            capsule_b.add_heartbeat(heartbeat)
+    return net, server_a, server_b
+
+
+def _run_sync(owner, metadata, minted, protocol) -> dict:
+    """Heal the divergence once with *protocol* (a ``sync_once``-shaped
+    generator function); returns bytes/seconds/records measurements."""
+    net, server_a, server_b = _build_sync_world(owner, metadata, minted)
+    bytes_before = net.bytes_on_wire()
+    time_before = net.sim.now
+    fetched = net.sim.run_process(
+        protocol(server_b, metadata.name, server_a.name, timeout=120.0),
+        "bench-sync",
+    )
+    measured = {
+        "bytes": net.bytes_on_wire() - bytes_before,
+        "seconds": round(net.sim.now - time_before, 6),
+        "fetched": fetched,
+    }
+    expected = SYNC_RECORDS // SYNC_DIVERGENCE_STRIDE
+    if fetched != expected:
+        raise RuntimeError(
+            f"sync benchmark healed {fetched} records, expected {expected}"
+        )
+    if (server_a.hosted[metadata.name].capsule.canonical_summary()
+            != server_b.hosted[metadata.name].capsule.canonical_summary()):
+        raise RuntimeError("sync benchmark did not converge the replicas")
+    return measured
+
+
+def _run_append(batched: bool) -> dict:
+    """Write APPEND_RECORDS records over the constrained link, either
+    one PDU per append (sequential) or batched/windowed; returns the
+    records-per-simulated-second measurement."""
+    from repro.client import GdpClient, OwnerConsole
+    from repro.crypto import SigningKey
+    from repro.routing import GdpRouter, RoutingDomain
+    from repro.server import DataCapsuleServer
+    from repro.sim import SimNetwork
+
+    net = SimNetwork(seed=2003)
+    clock = lambda: net.sim.now  # noqa: E731
+    domain = RoutingDomain("global", clock=clock)
+    r0 = GdpRouter(net, "r0", domain)
+    r1 = GdpRouter(net, "r1", domain)
+    net.connect(
+        r0, r1, latency=_LINK_LATENCY, bandwidth=_LINK_BANDWIDTH
+    )
+    server = DataCapsuleServer(net, "srv")
+    server.attach(r0, latency=0.0001)
+    client = GdpClient(net, "bench_writer")
+    client.attach(r1, latency=0.0001)
+    owner = SigningKey.from_seed(b"bench-append-owner")
+    writer_key = SigningKey.from_seed(b"bench-append-writer")
+    console = OwnerConsole(client, owner)
+    payloads = [
+        b"%06d:" % i + b"x" * (APPEND_PAYLOAD - 7)
+        for i in range(APPEND_RECORDS)
+    ]
+    elapsed = {}
+
+    def scenario():
+        yield server.advertise()
+        yield client.advertise()
+        metadata = console.design_capsule(
+            writer_key.public, pointer_strategy="chain"
+        )
+        yield from console.place_capsule(metadata, [server.metadata])
+        yield 0.5
+        writer = client.open_writer(metadata, writer_key)
+        start = net.sim.now
+        if batched:
+            yield from writer.append_stream(
+                payloads,
+                window=APPEND_WINDOW,
+                batch_records=APPEND_BATCH,
+            )
+        else:
+            for payload in payloads:
+                yield from writer.append(payload)
+        elapsed["seconds"] = net.sim.now - start
+        tip = server.hosted[metadata.name].capsule.last_seqno
+        if tip != APPEND_RECORDS:
+            raise RuntimeError(
+                f"append benchmark landed {tip} records, "
+                f"expected {APPEND_RECORDS}"
+            )
+
+    net.sim.run_process(scenario(), "bench-append")
+    return {
+        "seconds": round(elapsed["seconds"], 6),
+        "records_per_sec": round(APPEND_RECORDS / elapsed["seconds"], 1),
+    }
+
+
+def run_bench(*, progress=None) -> dict:
+    """Run both paired scenarios; returns the BENCH_replication.json
+    document (dict).  Deterministic: simulated time and simulated bytes
+    only, so the document is identical on every machine."""
+    from repro.server.replication import full_sync_once, sync_once
+
+    def note(message: str) -> None:
+        if progress is not None:
+            progress(message)
+
+    note(f"minting {SYNC_RECORDS}-record history")
+    owner, metadata, minted = _mint_history()
+    note("sync: full-scan baseline")
+    full = _run_sync(owner, metadata, minted, full_sync_once)
+    note("sync: merkle-delta")
+    delta = _run_sync(owner, metadata, minted, sync_once)
+    note("append: one PDU per append")
+    sequential = _run_append(batched=False)
+    note("append: batched/windowed stream")
+    batched = _run_append(batched=True)
+
+    ratios = {
+        "sync_bytes_ratio": round(full["bytes"] / delta["bytes"], 2),
+        "sync_time_ratio": round(full["seconds"] / delta["seconds"], 2),
+        "append_speedup": round(
+            batched["records_per_sec"] / sequential["records_per_sec"], 2
+        ),
+    }
+    return {
+        "schema": "gdp-bench-replication/1",
+        "sync": {
+            "capsule_records": SYNC_RECORDS,
+            "divergent_records": SYNC_RECORDS // SYNC_DIVERGENCE_STRIDE,
+            "full_scan": full,
+            "merkle_delta": delta,
+            "bytes_per_synced_record": round(
+                delta["bytes"] / delta["fetched"], 1
+            ),
+        },
+        "append": {
+            "records": APPEND_RECORDS,
+            "payload_bytes": APPEND_PAYLOAD,
+            "batch_records": APPEND_BATCH,
+            "window": APPEND_WINDOW,
+            "per_record": sequential,
+            "batched": batched,
+        },
+        "ratios": ratios,
+    }
+
+
+def check_regression(current: dict, baseline: dict) -> list[str]:
+    """Compare a fresh run against the checked-in baseline; returns a
+    list of failure strings (empty = gate passes).
+
+    Gated: every ratio in :data:`GATED_RATIOS` must (a) be present, (b)
+    beat its absolute floor, and (c) be within 30% of the baseline;
+    additionally bytes-per-synced-record must not grow >30% and batched
+    records/sec must not drop >30%.  The simulator is deterministic, so
+    these comparisons are machine-independent.
+    """
+    failures = []
+    cur = current.get("ratios", {})
+    base = baseline.get("ratios", {})
+    for key, floor in GATED_RATIOS.items():
+        if key not in cur:
+            failures.append(f"ratios.{key}: missing from current run")
+            continue
+        if cur[key] < floor:
+            failures.append(
+                f"ratios.{key}: {cur[key]:.2f}x is below the "
+                f"{floor:.1f}x acceptance floor"
+            )
+        if key in base and cur[key] < base[key] * (1 - _REGRESSION_TOLERANCE):
+            failures.append(
+                f"ratios.{key}: {cur[key]:.2f}x regressed >30% from "
+                f"baseline {base[key]:.2f}x"
+            )
+    cur_bpr = current.get("sync", {}).get("bytes_per_synced_record")
+    base_bpr = baseline.get("sync", {}).get("bytes_per_synced_record")
+    if cur_bpr is None:
+        failures.append("sync.bytes_per_synced_record: missing")
+    elif base_bpr and cur_bpr > base_bpr * (1 + _REGRESSION_TOLERANCE):
+        failures.append(
+            f"sync.bytes_per_synced_record: {cur_bpr:.0f} grew >30% "
+            f"from baseline {base_bpr:.0f}"
+        )
+    cur_rps = (
+        current.get("append", {}).get("batched", {}).get("records_per_sec")
+    )
+    base_rps = (
+        baseline.get("append", {}).get("batched", {}).get("records_per_sec")
+    )
+    if cur_rps is None:
+        failures.append("append.batched.records_per_sec: missing")
+    elif base_rps and cur_rps < base_rps * (1 - _REGRESSION_TOLERANCE):
+        failures.append(
+            f"append.batched.records_per_sec: {cur_rps:.0f} dropped >30% "
+            f"from baseline {base_rps:.0f}"
+        )
+    return failures
+
+
+def format_table(doc: dict) -> str:
+    """Human-readable summary of a benchmark document."""
+    sync = doc["sync"]
+    append = doc["append"]
+    ratios = doc["ratios"]
+    lines = [
+        f"sync: {sync['capsule_records']} records, "
+        f"{sync['divergent_records']} divergent",
+        "protocol          bytes on wire     sim seconds",
+        "-" * 48,
+        f"{'full scan':<16} {sync['full_scan']['bytes']:>13,} "
+        f"{sync['full_scan']['seconds']:>15.4f}",
+        f"{'merkle delta':<16} {sync['merkle_delta']['bytes']:>13,} "
+        f"{sync['merkle_delta']['seconds']:>15.4f}",
+        f"{'ratio':<16} {ratios['sync_bytes_ratio']:>12.2f}x "
+        f"{ratios['sync_time_ratio']:>14.2f}x",
+        f"bytes per synced record: {sync['bytes_per_synced_record']:,.0f}",
+        "",
+        f"append: {append['records']} x {append['payload_bytes']}B records "
+        f"(batch={append['batch_records']}, window={append['window']})",
+        "pipeline            records/sec     sim seconds",
+        "-" * 48,
+        f"{'one PDU each':<16} {append['per_record']['records_per_sec']:>13,.0f} "
+        f"{append['per_record']['seconds']:>15.4f}",
+        f"{'batched stream':<16} {append['batched']['records_per_sec']:>13,.0f} "
+        f"{append['batched']['seconds']:>15.4f}",
+        f"{'speedup':<16} {ratios['append_speedup']:>12.2f}x",
+    ]
+    return "\n".join(lines)
+
+
+def load_baseline(path: str) -> dict:
+    """Read a BENCH_replication.json document from *path*."""
+    with open(path) as fh:
+        return json.load(fh)

@@ -27,6 +27,7 @@ from repro.errors import AuthorizationError, CapsuleError
 from repro.naming.metadata import Metadata
 from repro.naming.names import GdpName
 from repro.routing.pdu import Pdu
+from repro.runtime.dispatch import dispatch_op, op
 from repro.sim.engine import Future
 from repro.sim.net import SimNetwork
 
@@ -91,10 +92,12 @@ class CommitService(GdpClient):
     # -- the service side -----------------------------------------------------
 
     def on_request(self, pdu: Pdu) -> Any:
-        """Serve one application request (see class docstring)."""
-        payload = pdu.payload
-        if not isinstance(payload, dict) or payload.get("op") != "submit":
-            return {"ok": False, "error": "unknown op"}
+        """Serve one application request through the shared op registry
+        (same typed-payload validation as every other GDP node role)."""
+        return dispatch_op(self, pdu, pdu.payload)
+
+    @op("submit", submitter=bytes, data=bytes, signature=object)
+    def _op_submit(self, pdu: Pdu, payload: dict) -> Any:
         if self._writer is None:
             return {"ok": False, "error": "service not ready"}
         try:
@@ -139,13 +142,13 @@ class CommitService(GdpClient):
 
             def done(fut: Future) -> None:
                 try:
-                    record, acks = fut.result()
+                    receipt = fut.result()
                 except Exception as exc:  # noqa: BLE001 — reported to client
                     result.resolve({"ok": False, "error": str(exc)})
                     return
                 self.stats_committed += 1
                 result.resolve(
-                    {"ok": True, "seqno": record.seqno, "acks": acks}
+                    {"ok": True, "seqno": receipt.seqno, "acks": receipt.acks}
                 )
 
             process.completion.add_callback(done)

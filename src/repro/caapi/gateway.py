@@ -33,7 +33,7 @@ from typing import Any, Generator
 from repro.client.client import GdpClient
 from repro.errors import GdpError
 from repro.naming.names import GdpName
-from repro.runtime.dispatch import find_handler, handles
+from repro.runtime.dispatch import handles, resolve_route
 from repro.sim.net import Link, Node, SimNetwork
 
 __all__ = ["GatewayService", "LegacyHttpClient"]
@@ -102,14 +102,9 @@ class GatewayService(GdpClient):
         try:
             if len(parts) >= 2 and parts[0] == "capsule":
                 name = GdpName.from_hex(parts[1])
-                rest = parts[2:]
-                handler = (
-                    find_handler(self, f"{method} {rest[0]}", space="http")
-                    if rest
-                    else None
-                )
-                if handler is not None and len(rest) == handler.spec.meta["arity"]:
-                    extra = [int(p) for p in rest[1:]]
+                route = resolve_route(self, method, parts[2:])
+                if route is not None:
+                    handler, extra = route
                     yield from handler(client, request, name, *extra)
                     return
             self._reply(client, request, 404, {"error": "no such route"})
@@ -131,23 +126,23 @@ class GatewayService(GdpClient):
 
     @handles("http", "GET record", meta={"arity": 2})
     def _get_record(self, client, request, name, seqno) -> Generator:
-        record = yield from self.read(name, seqno)
-        self._reply(client, request, 200, self._record_json(record))
+        result = yield from self.read(name, seqno)
+        self._reply(client, request, 200, self._record_json(result.record))
 
     @handles("http", "GET latest", meta={"arity": 1})
     def _get_latest(self, client, request, name) -> Generator:
-        record = yield from self.read_latest(name)
-        if record is None:
+        result = yield from self.read_latest(name)
+        if result is None:
             self._reply(client, request, 200, {"empty": True})
         else:
-            self._reply(client, request, 200, self._record_json(record))
+            self._reply(client, request, 200, self._record_json(result.record))
 
     @handles("http", "GET range", meta={"arity": 3})
     def _get_range(self, client, request, name, first, last) -> Generator:
-        records = yield from self.read_range(name, first, last)
+        result = yield from self.read_range(name, first, last)
         self._reply(
             client, request, 200,
-            {"records": [self._record_json(r) for r in records]},
+            {"records": [self._record_json(r) for r in result.records]},
         )
 
     @handles("http", "GET metadata", meta={"arity": 1})

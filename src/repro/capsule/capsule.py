@@ -23,6 +23,7 @@ from __future__ import annotations
 from typing import Iterator
 
 from repro.capsule.hashptr import PointerStrategy, get_strategy
+from repro.crypto.merkle import MerkleTree
 from repro.capsule.heartbeat import Heartbeat, detect_equivocation
 from repro.capsule.records import Record, metadata_anchor
 from repro.errors import (
@@ -41,6 +42,10 @@ from repro.naming.metadata import (
 from repro.naming.names import GdpName
 
 __all__ = ["DataCapsule"]
+
+#: sync-index leaf for a seqno this replica has no record at — holes must
+#: hash identically on both sides so anti-entropy never "diverges" on them
+_SYNC_HOLE_LEAF = b"\x00gdp.sync.hole"
 
 
 class DataCapsule:
@@ -67,6 +72,9 @@ class DataCapsule:
         self._by_seqno: dict[int, list[bytes]] = {}
         self._heartbeats: dict[int, list[Heartbeat]] = {}
         self._latest_heartbeat: Heartbeat | None = None
+        # Merkle sync-index caches (see sync_leaf / range_root).
+        self._sync_leaf_cache: dict[int, bytes] = {}
+        self._range_root_cache: dict[tuple[int, int], bytes] = {}
 
     # -- introspection ------------------------------------------------
 
@@ -101,6 +109,10 @@ class DataCapsule:
         """All stored heartbeats in seqno order."""
         for seqno in sorted(self._heartbeats):
             yield from self._heartbeats[seqno]
+
+    def heartbeats_at(self, seqno: int) -> list[Heartbeat]:
+        """The stored heartbeats for one seqno (empty list if none)."""
+        return list(self._heartbeats.get(seqno, []))
 
     def seqnos(self) -> list[int]:
         """Sorted list of stored sequence numbers."""
@@ -235,6 +247,8 @@ class DataCapsule:
             return False
         self._by_digest[record.digest] = record
         self._by_seqno.setdefault(record.seqno, []).append(record.digest)
+        self._sync_leaf_cache.pop(record.seqno, None)
+        self._range_root_cache.clear()
         return True
 
     def add_heartbeat(
@@ -371,6 +385,47 @@ class DataCapsule:
                 if digest not in self._by_digest:
                     wanted.append(digest)
         return wanted
+
+    def canonical_summary(self) -> tuple:
+        """Hashable, order-canonical record-set summary — two replicas
+        hold the same record set iff their canonical summaries are equal
+        (used by the convergence oracle and the episode heal poll)."""
+        return tuple(
+            (seqno, tuple(sorted(self._by_seqno[seqno])))
+            for seqno in sorted(self._by_seqno)
+        )
+
+    # -- Merkle sync index (delta anti-entropy, §V-A at scale) -------------
+
+    def sync_leaf(self, seqno: int) -> bytes:
+        """The sync-index leaf for *seqno*: the concatenation of the
+        sorted record digests stored there, or a fixed hole marker.
+
+        Leaves feed :meth:`range_root`; holes hash identically on every
+        replica, so two replicas missing the *same* records agree and
+        anti-entropy transfers nothing for them.
+        """
+        cached = self._sync_leaf_cache.get(seqno)
+        if cached is None:
+            digests = self._by_seqno.get(seqno)
+            cached = b"".join(sorted(digests)) if digests else _SYNC_HOLE_LEAF
+            self._sync_leaf_cache[seqno] = cached
+        return cached
+
+    def range_root(self, lo: int, hi: int) -> bytes:
+        """Merkle root over the sync leaves of seqnos ``lo..hi``
+        (inclusive).  O(span) to build, cached until the next insert —
+        anti-entropy peers compare these instead of full seqno->digest
+        maps, and bisect on mismatch (O(log n) round trips)."""
+        if lo < 1 or hi < lo:
+            raise IntegrityError(f"bad sync range [{lo}, {hi}]")
+        key = (lo, hi)
+        cached = self._range_root_cache.get(key)
+        if cached is None:
+            tree = MerkleTree(self.sync_leaf(s) for s in range(lo, hi + 1))
+            cached = tree.root()
+            self._range_root_cache[key] = cached
+        return cached
 
     def __repr__(self) -> str:
         return (

@@ -110,6 +110,28 @@ class VerifyingReader:
             capsule.insert(record, enforce_strategy=False)
         return records
 
+    def accept_pushed(
+        self,
+        record: Record,
+        heartbeat: Heartbeat,
+        proof_wire: "dict | None" = None,
+    ) -> Record:
+        """Verify a subscription push and absorb it.
+
+        Batched appends sign one heartbeat per batch, so a pushed record
+        is not necessarily the one its heartbeat pins; such pushes carry
+        an explicit position proof (*proof_wire*).  Legacy pushes omit it
+        and the heartbeat itself is the one-hop proof.
+        """
+        if proof_wire is not None:
+            proof = PositionProof.from_wire(proof_wire)
+        else:
+            proof = PositionProof(heartbeat, [record.header_wire()])
+        self.accept_record(record, proof)
+        if heartbeat is not proof.heartbeat:
+            self.observe_heartbeat(heartbeat)
+        return record
+
     def accept_stream_record(self, record: Record, proof: PositionProof) -> Record:
         """Like :meth:`accept_record` but also tolerated for
         hole-tolerant capsules where intermediate records were lost in

@@ -166,26 +166,55 @@ class CapsuleWriter:
             if strategy.still_needed(seqno, last_seqno)
         }
 
-    def append(self, payload: bytes) -> tuple[Record, Heartbeat]:
-        """Create, sign, and locally apply the next record."""
+    def _mint(self, payload: bytes) -> Record:
+        """Create and locally apply the next record (no heartbeat yet)."""
         seqno = self.state.last_seqno + 1
         record = Record(
             self.capsule.name, seqno, payload, self._build_pointers(seqno)
         )
-        heartbeat = Heartbeat.create(
-            self._key,
-            self.capsule.name,
-            seqno,
-            record.digest,
-            self._next_timestamp(),
-        )
-        self.capsule.insert(record, heartbeat)
+        self.capsule.insert(record)
         self.state.last_seqno = seqno
         self.state.digests[seqno] = record.digest
         self._retire_stale_digests(seqno)
+        return record
+
+    def _sign_heartbeat(self, record: Record) -> Heartbeat:
+        heartbeat = Heartbeat.create(
+            self._key,
+            self.capsule.name,
+            record.seqno,
+            record.digest,
+            self._next_timestamp(),
+        )
+        self.capsule.add_heartbeat(heartbeat, matching_record=record)
+        return heartbeat
+
+    def append(self, payload: bytes) -> tuple[Record, Heartbeat]:
+        """Create, sign, and locally apply the next record."""
+        record = self._mint(payload)
+        heartbeat = self._sign_heartbeat(record)
         if self._state_path is not None:
             self.state.save(self._state_path)
         return record, heartbeat
+
+    def append_batch(
+        self, payloads: list[bytes]
+    ) -> tuple[list[Record], Heartbeat | None]:
+        """Mint a run of records under ONE signed heartbeat at the tip.
+
+        The paper requires a heartbeat per *signed point*, not per
+        record: a tip heartbeat pins the whole batch through the hash
+        pointers, so a batch costs one signature (and one state save)
+        instead of ``len(payloads)`` — the crypto half of the batched
+        append path's speedup.
+        """
+        if not payloads:
+            return [], None
+        records = [self._mint(payload) for payload in payloads]
+        heartbeat = self._sign_heartbeat(records[-1])
+        if self._state_path is not None:
+            self.state.save(self._state_path)
+        return records, heartbeat
 
     def append_many(self, payloads: list[bytes]) -> list[tuple[Record, Heartbeat]]:
         """Append several payloads; returns (record, heartbeat) pairs."""

@@ -16,11 +16,14 @@ Commands
                 (``--seed N --episodes K``); every failure prints a
                 one-line repro command, ``--shrink`` minimizes the
                 fault schedule of each failing episode
-``bench``       run the crypto hot-path benchmark (sign, verify
-                cold/warm, append, verify_history, fig8 e2e) in
-                accelerated and naive mode; ``--json PATH`` writes the
-                BENCH_crypto.json document, ``--check BASELINE`` exits
-                non-zero on a >30% speedup regression (the CI perf gate)
+``bench``       run a hot-path benchmark suite: ``--suite crypto``
+                (default: sign, verify cold/warm, append,
+                verify_history, fig8 e2e, accelerated vs naive) or
+                ``--suite replication`` (Merkle-delta anti-entropy vs
+                full-scan, batched vs per-record append pipeline);
+                ``--json PATH`` writes the BENCH_<suite>.json document,
+                ``--check BASELINE`` exits non-zero on a >30%
+                regression (the CI perf gate)
 """
 
 from __future__ import annotations
@@ -88,15 +91,18 @@ def _build_selfcheck_world():
         yield 0.5
         checks.append(("place capsule on 2 domains", True))
         writer = client.open_writer(metadata, writer_key)
-        for i in range(5):
-            yield from writer.append(b"record-%d" % i)
-        record, acks = yield from writer.append(b"durable", acks="all")
-        checks.append(("append (incl. acks=all)", acks == 2))
+        yield from writer.append_stream(
+            [b"record-%d" % i for i in range(5)]
+        )
+        receipt = yield from writer.append(b"durable", acks="all")
+        checks.append(("append (incl. acks=all)", receipt.acks == 2))
         yield 1.0
         got = yield from reader.read(metadata.name, 3)
-        checks.append(("cross-domain verified read", got.payload == b"record-2"))
-        records = yield from reader.read_range(metadata.name, 1, 6)
-        checks.append(("verified range read", len(records) == 6))
+        checks.append(
+            ("cross-domain verified read", got.record.payload == b"record-2")
+        )
+        result = yield from reader.read_range(metadata.name, 1, 6)
+        checks.append(("verified range read", len(result.records) == 6))
         StorageTamperer(server_a).corrupt_record(metadata.name, 2)
         fresh = GdpClient(net, "fresh")
         fresh.attach(r_root)
@@ -236,15 +242,23 @@ def cmd_simtest(args: argparse.Namespace) -> int:
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
-    """The ``bench`` command: crypto hot-path op/s + speedups."""
+    """The ``bench`` command: hot-path op/s + speedups for the selected
+    suite (``crypto`` primitives or the ``replication`` plane)."""
     import json
 
-    from repro import bench
+    if args.suite == "replication":
+        from repro import bench_replication as bench
 
-    doc = bench.run_bench(
-        skip_fig8=args.quick,
-        progress=lambda msg: print(f"  ... {msg}", flush=True),
-    )
+        doc = bench.run_bench(
+            progress=lambda msg: print(f"  ... {msg}", flush=True),
+        )
+    else:
+        from repro import bench
+
+        doc = bench.run_bench(
+            skip_fig8=args.quick,
+            progress=lambda msg: print(f"  ... {msg}", flush=True),
+        )
     print()
     print(bench.format_table(doc))
     if args.json:
@@ -306,11 +320,15 @@ def main(argv: list[str] | None = None) -> int:
         help="greedily minimize the fault schedule of failing episodes",
     )
     bench_cmd = sub.add_parser(
-        "bench", help="run the crypto hot-path benchmark"
+        "bench", help="run a hot-path benchmark suite"
+    )
+    bench_cmd.add_argument(
+        "--suite", choices=("crypto", "replication"), default="crypto",
+        help="which benchmark suite to run (default: crypto)",
     )
     bench_cmd.add_argument(
         "--json", metavar="PATH", default=None,
-        help="write the BENCH_crypto.json document to PATH",
+        help="write the BENCH_<suite>.json document to PATH",
     )
     bench_cmd.add_argument(
         "--check", metavar="BASELINE", default=None,

@@ -3,10 +3,13 @@
 from repro.client.client import ClientWriter, GdpClient
 from repro.client.owner import CapsulePlacement, OwnerConsole
 from repro.client.qos import ProviderStats, QosTracker
+from repro.client.results import AppendReceipt, ReadResult
 
 __all__ = [
     "GdpClient",
     "ClientWriter",
+    "ReadResult",
+    "AppendReceipt",
     "OwnerConsole",
     "CapsulePlacement",
     "QosTracker",

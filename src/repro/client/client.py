@@ -13,12 +13,23 @@ an object that can be appended to, read from, or subscribed to."
   locally and talks the durability (acks) protocol;
 - verified subscriptions with an application callback.
 
+Every read returns a :class:`~repro.client.results.ReadResult` and every
+append a :class:`~repro.client.results.AppendReceipt` — uniform
+envelopes carrying the verified records plus the proof, the answering
+server, and the observed round-trip latency.  The pre-envelope shapes
+(bare records, ``(record, acks)`` tuples, record lists) still work
+through deprecation shims on the envelopes; see ``docs/CLIENT_API.md``
+for the migration table and removal timeline.  All network-facing
+methods take a consistent ``timeout=`` keyword and writers a
+consistent ``acks=`` override.
+
 All network-facing methods are *generator coroutines*: call them inside
 a simulation process with ``yield from`` (or via ``sim.run_process``).
 """
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Any, Callable, Generator
 
 from repro.capsule.capsule import DataCapsule
@@ -27,6 +38,7 @@ from repro.capsule.proofs import PositionProof, RangeProof
 from repro.capsule.reader import VerifyingReader
 from repro.capsule.records import Record
 from repro.capsule.writer import CapsuleWriter, QuasiWriter
+from repro.client.results import AppendReceipt, ReadResult
 from repro.crypto.hmac_session import Handshake, SessionKey
 from repro.crypto.keys import SigningKey
 from repro.errors import CapsuleError, DurabilityError, GdpError, IntegrityError
@@ -37,7 +49,7 @@ from repro.routing.pdu import Pdu
 from repro.server.secure import verify_mac_response, verify_signed_response
 from repro.sim.net import SimNetwork
 
-__all__ = ["GdpClient", "ClientWriter"]
+__all__ = ["GdpClient", "ClientWriter", "ReadResult", "AppendReceipt"]
 
 
 class GdpClient(Endpoint):
@@ -144,6 +156,19 @@ class GdpClient(Endpoint):
             raise CapsuleError(body.get("error", "server refused"))
         return body
 
+    def _server_of(self, wrapped: Any) -> GdpName | None:
+        """The verified identity of the answering server (for result
+        envelopes), when the secure response carries one."""
+        if not isinstance(wrapped, dict):
+            return None
+        auth = wrapped.get("auth", {})
+        if "server_metadata" not in auth:
+            return None
+        try:
+            return Metadata.from_wire(auth["server_metadata"]).name
+        except GdpError:
+            return None
+
     def _reader(self, capsule: GdpName) -> VerifyingReader:
         if capsule not in self.readers:
             self.readers[capsule] = VerifyingReader(capsule)
@@ -168,26 +193,43 @@ class GdpClient(Endpoint):
 
     # -- reads --------------------------------------------------------------
 
-    def read(self, capsule: GdpName, seqno: int) -> Generator:
-        """Read one record with proof verification; returns the
-        :class:`Record`."""
+    def read(
+        self, capsule: GdpName, seqno: int, *, timeout: float | None = 30.0
+    ) -> Generator:
+        """Read one record with proof verification; returns a
+        :class:`ReadResult` (``.record`` is the verified record)."""
+        start = self.sim.now
         yield from self.fetch_metadata(capsule)
         reader = self._reader(capsule)
         corr_id, future = self.request(
-            capsule, {"op": "read", "capsule": capsule.raw, "seqno": seqno}
+            capsule,
+            {"op": "read", "capsule": capsule.raw, "seqno": seqno},
+            timeout=timeout,
         )
         wrapped = yield future
         body = self._unwrap(wrapped, corr_id=corr_id, capsule=capsule)
         record = Record.from_wire(capsule, body["record"])
         proof = PositionProof.from_wire(body["proof"])
         if self.verify:
-            return reader.accept_record(record, proof)
-        return record
+            record = reader.accept_record(record, proof)
+        return ReadResult(
+            [record],
+            proof=proof,
+            server=self._server_of(wrapped),
+            rtt=self.sim.now - start,
+        )
 
     def read_range(
-        self, capsule: GdpName, first: int, last: int
+        self,
+        capsule: GdpName,
+        first: int,
+        last: int,
+        *,
+        timeout: float | None = 120.0,
     ) -> Generator:
-        """Read a verified contiguous range; returns ``list[Record]``."""
+        """Read a verified contiguous range; returns a
+        :class:`ReadResult` whose ``.records`` covers the range."""
+        start = self.sim.now
         yield from self.fetch_metadata(capsule)
         reader = self._reader(capsule)
         corr_id, future = self.request(
@@ -198,22 +240,31 @@ class GdpClient(Endpoint):
                 "first": first,
                 "last": last,
             },
-            timeout=120.0,
+            timeout=timeout,
         )
         wrapped = yield future
         body = self._unwrap(wrapped, corr_id=corr_id, capsule=capsule)
         records = [Record.from_wire(capsule, w) for w in body["records"]]
         proof = RangeProof.from_wire(body["proof"])
         if self.verify:
-            return reader.accept_range(records, proof)
-        return records
+            records = reader.accept_range(records, proof)
+        return ReadResult(
+            records,
+            proof=proof,
+            server=self._server_of(wrapped),
+            rtt=self.sim.now - start,
+        )
 
-    def read_latest(self, capsule: GdpName) -> Generator:
-        """Read the newest record (or None for an empty capsule)."""
+    def read_latest(
+        self, capsule: GdpName, *, timeout: float | None = 30.0
+    ) -> Generator:
+        """Read the newest record; returns a :class:`ReadResult` (or
+        None for an empty capsule)."""
+        start = self.sim.now
         yield from self.fetch_metadata(capsule)
         reader = self._reader(capsule)
         corr_id, future = self.request(
-            capsule, {"op": "latest", "capsule": capsule.raw}
+            capsule, {"op": "latest", "capsule": capsule.raw}, timeout=timeout
         )
         wrapped = yield future
         body = self._unwrap(wrapped, corr_id=corr_id, capsule=capsule)
@@ -223,11 +274,20 @@ class GdpClient(Endpoint):
         proof = PositionProof.from_wire(body["proof"])
         if self.verify:
             reader.check_freshness(proof.heartbeat)
-            return reader.accept_record(record, proof)
-        return record
+            record = reader.accept_record(record, proof)
+        return ReadResult(
+            [record],
+            proof=proof,
+            server=self._server_of(wrapped),
+            rtt=self.sim.now - start,
+        )
 
     def read_latest_strict(
-        self, capsule: GdpName, servers: "list[GdpName]"
+        self,
+        capsule: GdpName,
+        servers: "list[GdpName]",
+        *,
+        timeout: float | None = 15.0,
     ) -> Generator:
         """Strict-consistency read (§VI-C): query *every* replica by
         server name, adopt the newest verified state.
@@ -237,10 +297,14 @@ class GdpClient(Endpoint):
         semantics similar to that of strict consistency at the risk of
         losing fault tolerance; such a reader must block if any single
         replica is unavailable."  Accordingly this raises (rather than
-        degrading) if any listed replica does not answer.
+        degrading) if any listed replica does not answer within the
+        per-replica *timeout*.  Returns a :class:`ReadResult` (the
+        ``server`` field names the replica whose answer won) or None
+        when every replica reports an empty capsule.
         """
         if not servers:
             raise CapsuleError("strict read needs the replica list")
+        start = self.sim.now
         yield from self.fetch_metadata(capsule)
         reader = self._reader(capsule)
         pending = []
@@ -248,11 +312,12 @@ class GdpClient(Endpoint):
             corr_id, future = self.request(
                 server,
                 {"op": "latest", "capsule": capsule.raw},
-                timeout=15.0,
+                timeout=timeout,
             )
             pending.append((server, corr_id, future))
         best: Record | None = None
         best_proof: PositionProof | None = None
+        best_server: GdpName | None = None
         for server, corr_id, future in pending:
             # Any failure here (timeout, no-route, refusal) propagates:
             # strict mode must not silently drop a replica's answer.
@@ -266,11 +331,17 @@ class GdpClient(Endpoint):
                 proof.verify_record(record, reader.capsule.writer_key)
             if best is None or record.seqno > best.seqno:
                 best, best_proof = record, proof
+                best_server = self._server_of(wrapped) or server
         if best is None:
             return None
         if self.verify and best_proof is not None:
             reader.accept_record(best, best_proof)
-        return best
+        return ReadResult(
+            [best],
+            proof=best_proof,
+            server=best_server,
+            rtt=self.sim.now - start,
+        )
 
     # -- writes ---------------------------------------------------------------
 
@@ -305,6 +376,7 @@ class GdpClient(Endpoint):
         callback: Callable[[Record, Heartbeat], None],
         *,
         subgrant: "object | None" = None,
+        timeout: float | None = 30.0,
     ) -> Generator:
         """Register for future records; *callback* fires for each
         verified pushed record.  Returns the first future seqno.
@@ -317,7 +389,7 @@ class GdpClient(Endpoint):
         payload: dict = {"op": "subscribe", "capsule": capsule.raw}
         if subgrant is not None:
             payload["subgrant"] = subgrant.to_wire()
-        corr_id, future = self.request(capsule, payload)
+        corr_id, future = self.request(capsule, payload, timeout=timeout)
         wrapped = yield future
         body = self._unwrap(wrapped, corr_id=corr_id, capsule=capsule)
         return body["from_seqno"]
@@ -336,10 +408,13 @@ class GdpClient(Endpoint):
             record = Record.from_wire(capsule_name, pdu.payload["record"])
             heartbeat = Heartbeat.from_wire(pdu.payload["heartbeat"])
             if self.verify:
-                # A push is its own one-hop proof: the heartbeat signs
-                # exactly this record.
-                proof = PositionProof(heartbeat, [record.header_wire()])
-                reader.accept_record(record, proof)
+                # The server attaches a position proof when the
+                # heartbeat does not directly sign the pushed record
+                # (batched appends sign only the batch tip); without
+                # one, the push is its own one-hop proof.
+                reader.accept_pushed(
+                    record, heartbeat, pdu.payload.get("proof")
+                )
             callback(record, heartbeat)
         except GdpError:
             # Forged or corrupt push from the network: drop, never
@@ -400,12 +475,30 @@ class ClientWriter:
         """The last locally minted sequence number."""
         return self.writer.last_seqno
 
+    def _unwrap_append(self, wrapped: Any, corr_id: int) -> dict:
+        try:
+            return self.client._unwrap(
+                wrapped, corr_id=corr_id, capsule=self.capsule_name
+            )
+        except CapsuleError as exc:
+            if "durability" in str(exc):
+                raise DurabilityError(str(exc)) from exc
+            raise
+
     def append(
-        self, payload: bytes, *, acks: str | None = None
+        self,
+        payload: bytes,
+        *,
+        acks: str | None = None,
+        timeout: float | None = 60.0,
     ) -> Generator:
-        """Append one record; returns ``(record, ack_count)``.  Raises
-        :class:`DurabilityError` if the requested durability could not
-        be met (the paper's "writer must block and retry")."""
+        """Append one record; returns an :class:`AppendReceipt` (its
+        ``.record``/``.acks``/``.server``/``.rtt`` fields; the old
+        ``(record, acks)`` tuple shape still unpacks through the
+        deprecation shim).  Raises :class:`DurabilityError` if the
+        requested durability could not be met (the paper's "writer must
+        block and retry")."""
+        start = self.client.sim.now
         record, heartbeat = self.writer.append(payload)
         corr_id, future = self.client.request(
             self.capsule_name,
@@ -416,18 +509,18 @@ class ClientWriter:
                 "heartbeat": heartbeat.to_wire(),
                 "acks": acks or self.acks,
             },
-            timeout=60.0,
+            timeout=timeout,
         )
         wrapped = yield future
-        try:
-            body = self.client._unwrap(
-                wrapped, corr_id=corr_id, capsule=self.capsule_name
-            )
-        except CapsuleError as exc:
-            if "durability" in str(exc):
-                raise DurabilityError(str(exc)) from exc
-            raise
-        return record, body.get("acks", 1)
+        body = self._unwrap_append(wrapped, corr_id)
+        return AppendReceipt(
+            [record],
+            acks=body.get("acks", 1),
+            server=self.client._server_of(wrapped),
+            rtt=self.client.sim.now - start,
+            batches=1,
+            legacy_shape="pair",
+        )
 
     def append_stream(
         self,
@@ -435,43 +528,106 @@ class ClientWriter:
         *,
         acks: str | None = None,
         window: int = 8,
+        batch_records: int = 32,
+        batch_bytes: int = 64 * 1024,
+        timeout: float | None = 120.0,
     ) -> Generator:
-        """Pipelined appends: mint all records locally (the writer is
-        still the single serialization point), then keep up to *window*
-        append RPCs in flight — the event-driven style of the paper's C
-        library, which keeps a fat link full instead of paying one RTT
-        per record.  Returns the list of records.  Raises on the first
-        failed acknowledgment (later records may still be in flight;
-        anti-entropy reconciles whatever landed)."""
+        """Batched, pipelined appends: records are minted locally in
+        batches of up to *batch_records* records / *batch_bytes* payload
+        bytes, each batch travels as one multi-record ``append_batch``
+        PDU signed by a single tip heartbeat, and up to *window* batch
+        PDUs stay in flight with out-of-order acknowledgment tracking —
+        the event-driven style of the paper's C library, which keeps a
+        fat link full instead of paying one RTT (and one signature) per
+        record.
+
+        Returns an :class:`AppendReceipt` covering every record
+        (``.acks`` is the minimum acknowledgment count over the
+        batches; the old bare-list shape still iterates through the
+        deprecation shim).  Raises on the first failed batch (later
+        batches may still be in flight; anti-entropy reconciles
+        whatever landed)."""
         if window < 1:
             raise CapsuleError("window must be >= 1")
-        minted = [self.writer.append(payload) for payload in payloads]
-        inflight: list[tuple[int, object]] = []
+        if batch_records < 1:
+            raise CapsuleError("batch_records must be >= 1")
+        start = self.client.sim.now
+        if not payloads:
+            return AppendReceipt(
+                [], acks=0, batches=0, legacy_shape="list"
+            )
+        chunks: list[list[bytes]] = []
+        current: list[bytes] = []
+        current_bytes = 0
+        for payload in payloads:
+            current.append(payload)
+            current_bytes += len(payload)
+            if len(current) >= batch_records or current_bytes >= batch_bytes:
+                chunks.append(current)
+                current, current_bytes = [], 0
+        if current:
+            chunks.append(current)
+        # The writer is still the single serialization point: every
+        # record is minted (and locally inserted) before dispatch.
+        minted = [self.writer.append_batch(chunk) for chunk in chunks]
+        all_records: list[Record] = []
+        for records, _ in minted:
+            all_records.extend(records)
+
+        completed: deque = deque()
+        state: dict = {"waiter": None}
+
+        def _on_done(fut, corr_id):
+            completed.append((corr_id, fut))
+            waiter = state["waiter"]
+            if waiter is not None and not waiter.done:
+                state["waiter"] = None
+                waiter.resolve(None)
+
         index = 0
+        inflight = 0
+        min_acks: int | None = None
+        last_server: GdpName | None = None
         while index < len(minted) or inflight:
-            while index < len(minted) and len(inflight) < window:
-                record, heartbeat = minted[index]
+            while index < len(minted) and inflight < window:
+                records, heartbeat = minted[index]
                 corr_id, future = self.client.request(
                     self.capsule_name,
                     {
-                        "op": "append",
+                        "op": "append_batch",
                         "capsule": self.capsule_name.raw,
-                        "record": record.to_wire(),
+                        "records": [r.to_wire() for r in records],
                         "heartbeat": heartbeat.to_wire(),
                         "acks": acks or self.acks,
                     },
-                    timeout=120.0,
+                    timeout=timeout,
                 )
-                inflight.append((corr_id, future))
+                future.add_callback(
+                    lambda fut, corr_id=corr_id: _on_done(fut, corr_id)
+                )
+                inflight += 1
                 index += 1
-            corr_id, future = inflight.pop(0)
-            wrapped = yield future
-            try:
-                self.client._unwrap(
-                    wrapped, corr_id=corr_id, capsule=self.capsule_name
-                )
-            except CapsuleError as exc:
-                if "durability" in str(exc):
-                    raise DurabilityError(str(exc)) from exc
-                raise
-        return [record for record, _ in minted]
+            if not completed:
+                waiter = self.client.sim.future()
+                state["waiter"] = waiter
+                yield waiter
+                continue
+            corr_id, fut = completed.popleft()
+            inflight -= 1
+            wrapped = fut.result()  # re-raises timeout / transport errors
+            body = self._unwrap_append(wrapped, corr_id)
+            batch_acks = body.get("acks", 1)
+            min_acks = (
+                batch_acks if min_acks is None else min(min_acks, batch_acks)
+            )
+            server = self.client._server_of(wrapped)
+            if server is not None:
+                last_server = server
+        return AppendReceipt(
+            all_records,
+            acks=min_acks if min_acks is not None else 0,
+            server=last_server,
+            rtt=self.client.sim.now - start,
+            batches=len(minted),
+            legacy_shape="list",
+        )

@@ -1,0 +1,198 @@
+"""Uniform client result envelopes: :class:`ReadResult` and
+:class:`AppendReceipt`.
+
+Three PRs of organic growth left ``GdpClient`` with one return shape per
+method: ``read`` returned a bare :class:`Record`, ``read_range`` a list,
+``append`` a ``(record, acks)`` tuple, ``append_stream`` a record list.
+Every call now returns one of the two envelopes here, each carrying the
+same cross-cutting context — the verified proof, which server answered,
+and the observed round-trip latency — so batched and single-shot paths
+present identical semantics to callers.
+
+The old shapes keep working through deprecation shims (attribute and
+tuple/list protocols that emit :class:`DeprecationWarning`); they are
+scheduled for removal in the next PR (see ``docs/CLIENT_API.md``).
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Any, Iterator
+
+__all__ = ["ReadResult", "AppendReceipt"]
+
+
+def _warn(old: str, new: str) -> None:
+    warnings.warn(
+        f"{old} is deprecated; use {new} (removal scheduled for the "
+        "next release)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+class ReadResult:
+    """What a verified read produced.
+
+    Attributes:
+        records: every verified record returned (one for point reads).
+        proof: the position/range proof the records verified against
+            (``None`` when the client runs with ``verify=False``).
+        server: the :class:`~repro.naming.names.GdpName` of the replica
+            that answered (``None`` for unsigned/HMAC-less responses).
+        rtt: observed request round-trip time in simulated seconds.
+    """
+
+    __slots__ = ("records", "proof", "server", "rtt")
+
+    def __init__(self, records, *, proof=None, server=None, rtt=0.0):
+        self.records = list(records)
+        self.proof = proof
+        self.server = server
+        self.rtt = rtt
+
+    @property
+    def record(self):
+        """The (single or last) record — the point-read result."""
+        if not self.records:
+            return None
+        return self.records[-1]
+
+    # -- deprecation shims: the pre-envelope shapes ---------------------
+
+    def __getattr__(self, name: str) -> Any:
+        # Old callers treated the result as the Record itself
+        # (``result.payload``, ``result.seqno``, ``result.digest``...).
+        if name.startswith("_") or not self.records:
+            raise AttributeError(name)
+        record = self.records[-1]
+        if not hasattr(record, name):
+            raise AttributeError(name)
+        _warn(f"ReadResult.{name}", f"ReadResult.record.{name}")
+        return getattr(record, name)
+
+    def __len__(self) -> int:
+        _warn("len(ReadResult)", "len(ReadResult.records)")
+        return len(self.records)
+
+    def __iter__(self) -> Iterator:
+        _warn("iterating a ReadResult", "ReadResult.records")
+        return iter(self.records)
+
+    def __getitem__(self, index):
+        _warn("indexing a ReadResult", "ReadResult.records[i]")
+        return self.records[index]
+
+    def __eq__(self, other: Any) -> bool:
+        if isinstance(other, ReadResult):
+            return self.records == other.records
+        if isinstance(other, list):
+            _warn("comparing a ReadResult to a list", "ReadResult.records")
+            return self.records == other
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return (
+            f"ReadResult(records={len(self.records)}, "
+            f"server={self.server.human() if self.server else None}, "
+            f"rtt={self.rtt:.4f})"
+        )
+
+
+class AppendReceipt:
+    """What an acknowledged append (or append stream) produced.
+
+    Attributes:
+        records: every record covered by this receipt, in seqno order.
+        acks: replica acknowledgments collected — for a multi-batch
+            stream, the *minimum* across batches (the weakest durability
+            any record in the stream actually got).
+        server: the replica that acknowledged (the last one, for
+            streams).
+        rtt: simulated seconds from first send to last acknowledgment.
+        batches: how many multi-record PDUs carried the stream (1 for a
+            single append).
+    """
+
+    __slots__ = ("records", "acks", "server", "rtt", "batches", "_legacy")
+
+    def __init__(
+        self,
+        records,
+        *,
+        acks=1,
+        server=None,
+        rtt=0.0,
+        batches=1,
+        legacy_shape="pair",
+    ):
+        self.records = list(records)
+        self.acks = acks
+        self.server = server
+        self.rtt = rtt
+        self.batches = batches
+        self._legacy = legacy_shape  # "pair" (append) | "list" (stream)
+
+    @property
+    def record(self):
+        """The (single or last) appended record."""
+        if not self.records:
+            return None
+        return self.records[-1]
+
+    @property
+    def seqno(self) -> int:
+        """The highest sequence number this receipt covers (0 if none)."""
+        if not self.records:
+            return 0
+        return self.records[-1].seqno
+
+    # -- deprecation shims: the pre-envelope shapes ---------------------
+    # append() used to return ``(record, acks)``; append_stream() used to
+    # return ``list[Record]``.  Both unpack styles keep working.
+
+    def _legacy_items(self) -> list:
+        if self._legacy == "pair":
+            return [self.record, self.acks]
+        return self.records
+
+    def __iter__(self) -> Iterator:
+        if self._legacy == "pair":
+            _warn(
+                "unpacking AppendReceipt as (record, acks)",
+                "AppendReceipt.record / .acks",
+            )
+        else:
+            _warn(
+                "iterating an AppendReceipt as a record list",
+                "AppendReceipt.records",
+            )
+        return iter(self._legacy_items())
+
+    def __len__(self) -> int:
+        _warn("len(AppendReceipt)", "len(AppendReceipt.records)")
+        return len(self._legacy_items())
+
+    def __getitem__(self, index):
+        _warn("indexing an AppendReceipt", "AppendReceipt.records[i]")
+        return self._legacy_items()[index]
+
+    def __eq__(self, other: Any) -> bool:
+        if isinstance(other, AppendReceipt):
+            return (
+                self.records == other.records and self.acks == other.acks
+            )
+        if isinstance(other, (list, tuple)):
+            _warn(
+                "comparing an AppendReceipt to a sequence",
+                "AppendReceipt.records",
+            )
+            return self._legacy_items() == list(other)
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return (
+            f"AppendReceipt(records={len(self.records)}, "
+            f"seqno={self.seqno}, acks={self.acks}, "
+            f"batches={self.batches}, rtt={self.rtt:.4f})"
+        )

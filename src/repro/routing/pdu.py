@@ -19,10 +19,19 @@ from typing import Any
 from repro import encoding
 from repro.naming.names import GdpName
 
-__all__ = ["Pdu", "HEADER_BYTES", "DEFAULT_TTL"]
+__all__ = ["Pdu", "HEADER_BYTES", "DEFAULT_TTL", "payload_size"]
 
 HEADER_BYTES = 80
 DEFAULT_TTL = 64
+
+
+def payload_size(payload: Any) -> int:
+    """Encoded size of a payload in bytes (no PDU header).
+
+    The client-side batcher and the server-side sync fetch use this to
+    cap batch PDUs at a byte budget before building them.
+    """
+    return len(encoding.encode(payload))
 
 # PDU types
 T_DATA = "data"            # application request (client -> capsule/server)
@@ -65,7 +74,7 @@ class Pdu:
     def size_bytes(self) -> int:
         """Encoded size in bytes."""
         if self._size is None:
-            self._size = HEADER_BYTES + len(encoding.encode(self.payload))
+            self._size = HEADER_BYTES + payload_size(self.payload)
         return self._size
 
     def response(self, ptype: str, payload: Any) -> "Pdu":

@@ -40,6 +40,7 @@ __all__ = [
     "OpSpec",
     "BoundOp",
     "find_handler",
+    "resolve_route",
     "op_names",
     "dispatch_op",
     "unknown_op",
@@ -196,6 +197,32 @@ def find_handler(obj: Any, name: Any, space: str = "op") -> BoundOp | None:
         return None
     attr_name, spec = entry
     return BoundOp(getattr(obj, attr_name), spec)
+
+
+def resolve_route(
+    obj: Any, method: str, segments: "list[str]", space: str = "http"
+) -> "tuple[BoundOp, list[int]] | None":
+    """Resolve an HTTP-shaped route against the registry.
+
+    Routes are keyed ``"<METHOD> <leaf>"`` in the given space and
+    declare their expected path arity in route metadata (``meta``);
+    trailing segments become integer arguments.  Returns ``(handler,
+    extra_args)``, or None when no route matches (unknown leaf or wrong
+    arity).  A non-integer trailing segment raises ``ValueError`` —
+    route declarations only admit integer parameters, so the caller maps
+    it to a bad-request response.
+
+    This is the single source of route schemas: gateways do not keep a
+    hand-rolled copy of the route table or its arities.
+    """
+    if not segments:
+        return None
+    bound = find_handler(obj, f"{method} {segments[0]}", space)
+    if bound is None:
+        return None
+    if len(segments) != bound.spec.meta.get("arity", len(segments)):
+        return None
+    return bound, [int(p) for p in segments[1:]]
 
 
 def op_names(obj_or_cls: Any, space: str = "op") -> list[str]:

@@ -3,7 +3,13 @@ and leaderless anti-entropy replication."""
 
 from repro.server.dcserver import DataCapsuleServer, HostedCapsule
 from repro.server.durability import ALL, ANY, QUORUM, AckPolicy
-from repro.server.replication import AntiEntropyDaemon, sync_once
+from repro.server.replication import (
+    AntiEntropyDaemon,
+    SyncConfig,
+    SyncSession,
+    full_sync_once,
+    sync_once,
+)
 from repro.server.secure import (
     mac_response,
     sign_response,
@@ -20,7 +26,10 @@ __all__ = [
     "QUORUM",
     "ALL",
     "AntiEntropyDaemon",
+    "SyncConfig",
+    "SyncSession",
     "sync_once",
+    "full_sync_once",
     "StorageBackend",
     "MemoryStore",
     "FileStore",

@@ -18,7 +18,9 @@ Request ops (payload ``{"op": ..., ...}`` over T_DATA PDUs):
 =============  =========================================================
 ``host``       begin hosting (metadata + service chain + sibling list)
 ``append``     writer append; ``acks`` selects the durability policy
+``append_batch``  multi-record append under one tip heartbeat
 ``replicate``  sibling-to-sibling record propagation
+``replicate_batch``  sibling-to-sibling batch propagation
 ``read``       one record + position proof
 ``read_range`` contiguous records + range proof
 ``latest``     newest heartbeat + tip record
@@ -26,7 +28,9 @@ Request ops (payload ``{"op": ..., ...}`` over T_DATA PDUs):
 ``subscribe``  register the requester for future pushes
 ``unsubscribe``
 ``session``    authenticated ECDH handshake -> HMAC fast path
-``sync_summary`` / ``sync_fetch``   anti-entropy (see replication.py)
+``sync_summary`` / ``sync_fetch``   full-scan anti-entropy (legacy)
+``sync_root`` / ``sync_nodes`` / ``sync_fetch_batch``
+               Merkle-delta anti-entropy (see replication.py)
 =============  =========================================================
 """
 
@@ -36,7 +40,11 @@ from typing import Any
 
 from repro.capsule.capsule import DataCapsule
 from repro.capsule.heartbeat import Heartbeat
-from repro.capsule.proofs import build_position_proof, build_range_proof
+from repro.capsule.proofs import (
+    PositionProof,
+    build_position_proof,
+    build_range_proof,
+)
 from repro.capsule.records import Record
 from repro.crypto.hmac_session import Handshake, SessionKey
 from repro.crypto.keys import SigningKey, VerifyingKey
@@ -63,6 +71,12 @@ __all__ = ["DataCapsuleServer", "HostedCapsule"]
 
 #: how long the fronting server waits for sibling durability acks
 REPLICATION_ACK_TIMEOUT = 10.0
+
+#: bisection probes per sync_nodes request (bounds per-PDU work)
+MAX_SYNC_RANGES = 64
+
+#: default reply budget for sync_fetch_batch (bytes of records+heartbeats)
+DEFAULT_SYNC_BATCH_BYTES = 64 * 1024
 
 
 class HostedCapsule:
@@ -321,6 +335,34 @@ class DataCapsuleServer(Endpoint):
                 raise
         return new
 
+    def _persist_batch(
+        self,
+        hosted: HostedCapsule,
+        records: list[Record],
+        heartbeat: Heartbeat,
+    ) -> list[Record]:
+        """Validate + store a record run pinned by one tip heartbeat;
+        returns the records that were new."""
+        tip = records[-1]
+        if heartbeat.seqno != tip.seqno or heartbeat.digest != tip.digest:
+            from repro.errors import IntegrityError
+
+            raise IntegrityError(
+                "batch heartbeat does not sign the batch tip"
+            )
+        new_records = []
+        for record in records:
+            if hosted.capsule.insert(record):
+                self.storage.append_record(
+                    hosted.capsule.name, record.to_wire()
+                )
+                new_records.append(record)
+        if hosted.capsule.add_heartbeat(heartbeat, matching_record=tip):
+            self.storage.append_heartbeat(
+                hosted.capsule.name, heartbeat.to_wire()
+            )
+        return new_records
+
     @op("append", capsule=bytes, record=dict, heartbeat=dict, acks=opt(str))
     def _op_append(self, pdu: Pdu, payload: dict) -> Any:
         hosted = self._hosted(payload)
@@ -331,13 +373,42 @@ class DataCapsuleServer(Endpoint):
         if new:
             self._push_to_subscribers(hosted, record, heartbeat)
         policy = AckPolicy(payload.get("acks", "any"))
-        replica_count = 1 + len(hosted.siblings)
-        required = policy.required_acks(replica_count)
-        if required <= 1 or not hosted.siblings:
-            # Fast path: ack now, propagate in the background (§VI-B).
-            self._propagate_background(hosted, record, heartbeat)
-            return {"ok": True, "seqno": record.seqno, "acks": 1}
-        return self._collect_acks(hosted, record, heartbeat, required)
+        replicate = self._replicate_payload(hosted, record, heartbeat)
+        return self._ack_or_propagate(hosted, policy, record.seqno, replicate)
+
+    @op(
+        "append_batch",
+        capsule=bytes,
+        records=list,
+        heartbeat=dict,
+        acks=opt(str),
+    )
+    def _op_append_batch(self, pdu: Pdu, payload: dict) -> Any:
+        """Multi-record append: a run of records under one tip heartbeat
+        (the batched write path; see ClientWriter.append_stream)."""
+        hosted = self._hosted(payload)
+        if not payload["records"]:
+            raise CapsuleError("append_batch needs at least one record")
+        records = [
+            Record.from_wire(hosted.capsule.name, wire)
+            for wire in payload["records"]
+        ]
+        heartbeat = Heartbeat.from_wire(payload["heartbeat"])
+        new_records = self._persist_batch(hosted, records, heartbeat)
+        self._c_appends.inc(len(records))
+        for record in new_records:
+            self._push_to_subscribers(hosted, record, heartbeat)
+        policy = AckPolicy(payload.get("acks", "any"))
+        replicate = {
+            "op": "replicate_batch",
+            "capsule": hosted.capsule.name.raw,
+            "records": [r.to_wire() for r in records],
+            "heartbeat": heartbeat.to_wire(),
+        }
+        return self._ack_or_propagate(
+            hosted, policy, records[-1].seqno, replicate,
+            extra={"count": len(records)},
+        )
 
     def _replicate_payload(self, hosted: HostedCapsule, record: Record, heartbeat: Heartbeat) -> dict:
         return {
@@ -347,23 +418,37 @@ class DataCapsuleServer(Endpoint):
             "heartbeat": heartbeat.to_wire(),
         }
 
-    def _propagate_background(
-        self, hosted: HostedCapsule, record: Record, heartbeat: Heartbeat
-    ) -> None:
-        payload = self._replicate_payload(hosted, record, heartbeat)
-        for sibling in hosted.siblings:
-            # Fire-and-forget; anti-entropy repairs anything lost here.
-            self.rpc(sibling, dict(payload), timeout=None)
+    def _ack_or_propagate(
+        self,
+        hosted: HostedCapsule,
+        policy: AckPolicy,
+        seqno: int,
+        replicate: dict,
+        *,
+        extra: dict | None = None,
+    ) -> Any:
+        """Shared durability tail of the append ops: fast-path ack with
+        background propagation, or synchronous ack collection."""
+        replica_count = 1 + len(hosted.siblings)
+        if policy.is_fast_path(replica_count) or not hosted.siblings:
+            # Fast path: ack now, propagate in the background (§VI-B).
+            for sibling in hosted.siblings:
+                # Fire-and-forget; anti-entropy repairs anything lost.
+                self.rpc(sibling, dict(replicate), timeout=None)
+            return {"ok": True, "seqno": seqno, "acks": 1, **(extra or {})}
+        required = policy.required_acks(replica_count)
+        return self._collect_acks(hosted, replicate, seqno, required, extra)
 
     def _collect_acks(
         self,
         hosted: HostedCapsule,
-        record: Record,
-        heartbeat: Heartbeat,
+        replicate: dict,
+        seqno: int,
         required: int,
+        extra: dict | None = None,
     ) -> Future:
         """Durable path: wait until *required* replicas (including us)
-        have persisted the record, or report how far we got."""
+        have persisted the record(s), or report how far we got."""
         result = self.sim.future()
         state = {"acks": 1, "outstanding": len(hosted.siblings)}
 
@@ -372,23 +457,27 @@ class DataCapsuleServer(Endpoint):
                 return
             if state["acks"] >= required:
                 result.resolve(
-                    {"ok": True, "seqno": record.seqno, "acks": state["acks"]}
+                    {
+                        "ok": True,
+                        "seqno": seqno,
+                        "acks": state["acks"],
+                        **(extra or {}),
+                    }
                 )
             elif state["outstanding"] == 0:
                 result.resolve(
                     {
                         "ok": False,
                         "error": "insufficient durability acks",
-                        "seqno": record.seqno,
+                        "seqno": seqno,
                         "acks": state["acks"],
                         "required": required,
                     }
                 )
 
-        payload = self._replicate_payload(hosted, record, heartbeat)
         for sibling in hosted.siblings:
             future = self.rpc(
-                sibling, dict(payload), timeout=REPLICATION_ACK_TIMEOUT
+                sibling, dict(replicate), timeout=REPLICATION_ACK_TIMEOUT
             )
 
             def on_ack(fut: Future) -> None:
@@ -418,6 +507,27 @@ class DataCapsuleServer(Endpoint):
         if new:
             self._push_to_subscribers(hosted, record, heartbeat)
         return {"ok": True, "seqno": record.seqno}
+
+    @op("replicate_batch", capsule=bytes, records=list, heartbeat=dict)
+    def _op_replicate_batch(self, pdu: Pdu, payload: dict) -> dict:
+        """Sibling-to-sibling propagation of a whole append batch."""
+        hosted = self._hosted(payload)
+        if not payload["records"]:
+            raise CapsuleError("replicate_batch needs at least one record")
+        records = [
+            Record.from_wire(hosted.capsule.name, wire)
+            for wire in payload["records"]
+        ]
+        heartbeat = Heartbeat.from_wire(payload["heartbeat"])
+        new_records = self._persist_batch(hosted, records, heartbeat)
+        self._c_replications.inc(len(records))
+        for record in new_records:
+            self._push_to_subscribers(hosted, record, heartbeat)
+        return {
+            "ok": True,
+            "seqno": records[-1].seqno,
+            "count": len(records),
+        }
 
     @op("read", capsule=bytes, seqno=int)
     def _op_read(self, pdu: Pdu, payload: dict) -> dict:
@@ -593,7 +703,95 @@ class DataCapsuleServer(Endpoint):
         heartbeats = [h.to_wire() for h in hosted.capsule.heartbeats()]
         return {"ok": True, "records": records, "heartbeats": heartbeats}
 
+    # -- Merkle-delta anti-entropy (see server/replication.py) ------------
+
+    @op("sync_root", capsule=bytes)
+    def _op_sync_root(self, pdu: Pdu, payload: dict) -> dict:
+        """Round opener: O(1) reply — tip seqno, record count, the
+        Merkle root over the whole sync index, and the tip heartbeat
+        (so the peer's frontier advances even when record sets match)."""
+        hosted = self._hosted(payload)
+        capsule = hosted.capsule
+        self._c_sync_rounds.inc()
+        last = capsule.last_seqno
+        body: dict = {
+            "ok": True,
+            "last_seqno": last,
+            "count": len(capsule),
+            "root": capsule.range_root(1, last) if last else b"",
+        }
+        heartbeat = capsule.latest_heartbeat
+        if heartbeat is not None:
+            body["heartbeat"] = heartbeat.to_wire()
+        return body
+
+    @op("sync_nodes", capsule=bytes, ranges=list)
+    def _op_sync_nodes(self, pdu: Pdu, payload: dict) -> dict:
+        """Bisection probe: Merkle roots for the requested seqno ranges
+        (``[[lo, hi], ...]``, at most ``MAX_SYNC_RANGES`` per request)."""
+        hosted = self._hosted(payload)
+        ranges = payload["ranges"]
+        if len(ranges) > MAX_SYNC_RANGES:
+            raise CapsuleError(
+                f"sync_nodes accepts at most {MAX_SYNC_RANGES} ranges"
+            )
+        hashes = []
+        for entry in ranges:
+            lo, hi = int(entry[0]), int(entry[1])
+            hashes.append(hosted.capsule.range_root(lo, hi))
+        return {"ok": True, "hashes": hashes}
+
+    @op("sync_fetch_batch", capsule=bytes, seqnos=list, max_bytes=opt(int))
+    def _op_sync_fetch_batch(self, pdu: Pdu, payload: dict) -> dict:
+        """Size-capped record transfer: records + their heartbeats for
+        the requested seqnos, in request order, stopping once the reply
+        would exceed ``max_bytes`` (always serving at least one seqno so
+        the requester makes progress).  ``served`` lists the seqnos
+        actually processed; the requester re-queues the rest."""
+        from repro.routing.pdu import payload_size
+
+        hosted = self._hosted(payload)
+        max_bytes = payload.get("max_bytes") or DEFAULT_SYNC_BATCH_BYTES
+        records, heartbeats, served = [], [], []
+        budget = max_bytes
+        for seqno in payload["seqnos"]:
+            seqno = int(seqno)
+            entry_records = [
+                r.to_wire() for r in hosted.capsule.get_all(seqno)
+            ]
+            entry_heartbeats = [
+                h.to_wire() for h in hosted.capsule.heartbeats_at(seqno)
+            ]
+            cost = payload_size([entry_records, entry_heartbeats])
+            if served and cost > budget:
+                break
+            budget -= cost
+            records.extend(entry_records)
+            heartbeats.extend(entry_heartbeats)
+            served.append(seqno)
+        return {
+            "ok": True,
+            "records": records,
+            "heartbeats": heartbeats,
+            "served": served,
+        }
+
     # -- subscriptions ------------------------------------------------------
+
+    def _push_proof(
+        self, hosted: HostedCapsule, record: Record, heartbeat: Heartbeat
+    ):
+        """The position proof accompanying a push.  Batched appends sign
+        only the batch tip, so a non-tip record needs a real path proof;
+        when the heartbeat pins the record directly the one-hop form
+        suffices.  Returns None when no verifiable proof exists yet (the
+        push is withheld — subscribers only ever see provable data)."""
+        try:
+            return build_position_proof(hosted.capsule, record.seqno)
+        except GdpError:
+            if heartbeat.digest == record.digest:
+                return PositionProof(heartbeat, [record.header_wire()])
+            return None
 
     def _push_to_subscribers(
         self, hosted: HostedCapsule, record: Record, heartbeat: Heartbeat
@@ -602,10 +800,14 @@ class DataCapsuleServer(Endpoint):
         enables "an event-driven programming model")."""
         if not hosted.subscribers:
             return
+        proof = self._push_proof(hosted, record, heartbeat)
+        if proof is None:
+            return
         payload = {
             "capsule": hosted.capsule.name.raw,
             "record": record.to_wire(),
             "heartbeat": heartbeat.to_wire(),
+            "proof": proof.to_wire(),
         }
         for subscriber in sorted(hosted.subscribers, key=lambda n: n.raw):
             push = Pdu(self.name, subscriber, pdutypes.T_PUSH, dict(payload))

@@ -44,6 +44,12 @@ class AckPolicy:
             return replica_count
         return min(int(self.spec), replica_count)
 
+    def is_fast_path(self, replica_count: int) -> bool:
+        """True when the local persist alone satisfies the policy —
+        the §VI-B fast path (ack immediately, propagate in the
+        background), shared by the single and batched append ops."""
+        return self.required_acks(replica_count) <= 1
+
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, AckPolicy):
             return NotImplemented

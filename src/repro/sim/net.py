@@ -269,6 +269,12 @@ class SimNetwork:
         self.links.append(link)
         return link
 
+    def bytes_on_wire(self) -> int:
+        """Total bytes serialized onto every link so far — the
+        bandwidth-weighted transfer cost the replication bench and the
+        O(missing)-bytes property test measure."""
+        return sum(link.stats_bytes for link in self.links)
+
     # -- the node middleware plane -----------------------------------------
 
     def node_pipeline(self) -> NodePipeline:

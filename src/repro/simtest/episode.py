@@ -161,14 +161,15 @@ def _scenario(world: EpisodeWorld):
         try:
             if op == "append":
                 policy = plan.ack_policies[i]
-                record, acks = yield from writer.append(
+                receipt = yield from writer.append(
                     blob(plan.payload_sizes[i], seed=plan.seed * 1009 + i),
                     acks=policy,
                 )
-                if policy == "all" and acks >= plan.n_servers:
-                    world.durable_seqnos.append(record.seqno)
+                if policy == "all" and receipt.acks >= plan.n_servers:
+                    world.durable_seqnos.append(receipt.seqno)
                 world.op_log.append(
-                    f"op{i} append seq={record.seqno} {policy} acks={acks}"
+                    f"op{i} append seq={receipt.seqno} "
+                    f"{policy} acks={receipt.acks}"
                 )
             elif op == "read_latest":
                 yield from world.client.read_latest(metadata.name)
@@ -203,11 +204,7 @@ def _scenario(world: EpisodeWorld):
     deadline = net.sim.now + CONVERGENCE_DEADLINE
     while net.sim.now < deadline:
         summaries = {
-            tuple(sorted(
-                (int(seqno), tuple(digests))
-                for seqno, digests in server.hosted[metadata.name]
-                .capsule.state_summary()["digests"].items()
-            ))
+            server.hosted[metadata.name].capsule.canonical_summary()
             for server in world.servers
             if metadata.name in server.hosted
         }

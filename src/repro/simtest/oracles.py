@@ -136,14 +136,6 @@ def check_read_proof(world) -> list[Violation]:
     return violations
 
 
-def _canonical_summary(capsule) -> tuple:
-    summary = capsule.state_summary()
-    return tuple(sorted(
-        (int(seqno), tuple(digests))
-        for seqno, digests in summary["digests"].items()
-    ))
-
-
 @oracle("convergence")
 def check_convergence(world) -> list[Violation]:
     """Anti-entropy convergence + durability (§V-A, §VI-B).
@@ -163,9 +155,9 @@ def check_convergence(world) -> list[Violation]:
             "convergence", "episode", "no live replica survived the heal"
         )]
     reference_server, reference = live[0]
-    reference_summary = _canonical_summary(reference)
+    reference_summary = reference.canonical_summary()
     for server, capsule in live[1:]:
-        summary = _canonical_summary(capsule)
+        summary = capsule.canonical_summary()
         if summary != reference_summary:
             violations.append(Violation(
                 "convergence",

@@ -102,7 +102,13 @@ def build_world(plan: EpisodePlan) -> EpisodeWorld:
         server = DataCapsuleServer(net, f"s{i}")
         server.attach(site_routers[i % len(site_routers)], latency=0.001)
         servers.append(server)
-        daemons.append(AntiEntropyDaemon(server, interval=SYNC_INTERVAL))
+        # Seeded jitter desynchronizes the fleet (no sync storms) while
+        # keeping same-seed replays byte-identical.
+        daemons.append(AntiEntropyDaemon(
+            server,
+            interval=SYNC_INTERVAL,
+            rng=random.Random(f"{plan.seed}:antientropy:{i}"),
+        ))
     client = GdpClient(net, "ep_client")
     client.attach(site_routers[0], latency=0.001)
     owner_key = SigningKey.from_seed(b"simtest-owner-%d" % plan.seed)

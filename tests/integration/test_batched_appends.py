@@ -1,0 +1,173 @@
+"""The batched/windowed append pipeline: multi-record PDUs under one
+tip heartbeat, windowed dispatch, durability, and receipt semantics."""
+
+import pytest
+
+from repro.client import AppendReceipt
+from repro.errors import CapsuleError, DurabilityError
+
+
+def _total_sent(net) -> int:
+    return sum(link.stats_sent for link in net.links)
+
+
+class TestAppendStream:
+    def test_stream_reduces_pdus(self, mini_gdp):
+        """24 records as a batched stream must cross the network in far
+        fewer PDUs than 24 one-record appends (requests, responses, and
+        replica pushes all batch)."""
+        g = mini_gdp
+        payloads = [b"pdu-count-%d" % i for i in range(24)]
+
+        def scenario():
+            yield from g.bootstrap()
+            meta_seq = yield from g.place()
+            meta_batch = yield from g.place()
+            writer_seq = g.writer_client.open_writer(meta_seq, g.writer_key)
+            writer_batch = g.writer_client.open_writer(
+                meta_batch, g.writer_key
+            )
+            before = _total_sent(g.net)
+            for payload in payloads:
+                yield from writer_seq.append(payload)
+            yield 1.0  # let replica pushes drain
+            sequential = _total_sent(g.net) - before
+            before = _total_sent(g.net)
+            yield from writer_batch.append_stream(
+                payloads, batch_records=8, window=4
+            )
+            yield 1.0
+            batched = _total_sent(g.net) - before
+            return sequential, batched
+
+        sequential, batched = g.run(scenario())
+        assert batched * 3 < sequential
+
+    def test_stream_with_all_acks_is_durable_everywhere(self, mini_gdp):
+        g = mini_gdp
+
+        def scenario():
+            yield from g.bootstrap()
+            metadata = yield from g.place()
+            writer = g.writer_client.open_writer(metadata, g.writer_key)
+            receipt = yield from writer.append_stream(
+                [b"durable-%d" % i for i in range(24)],
+                acks="all", batch_records=8,
+            )
+            return metadata, receipt
+
+        metadata, receipt = g.run(scenario())
+        assert receipt.acks == 2
+        for server in (g.server_root, g.server_edge):
+            capsule = server.hosted[metadata.name].capsule
+            assert capsule.last_seqno == 24
+            assert capsule.holes() == []
+            assert capsule.verify_history() == 24
+
+    def test_receipt_covers_every_record(self, mini_gdp):
+        g = mini_gdp
+
+        def scenario():
+            yield from g.bootstrap()
+            metadata = yield from g.place()
+            writer = g.writer_client.open_writer(metadata, g.writer_key)
+            receipt = yield from writer.append_stream(
+                [b"r-%d" % i for i in range(20)], batch_records=8
+            )
+            return receipt
+
+        receipt = g.run(scenario())
+        assert isinstance(receipt, AppendReceipt)
+        assert receipt.batches == 3  # 8 + 8 + 4
+        assert [r.seqno for r in receipt.records] == list(range(1, 21))
+        assert receipt.seqno == 20
+        assert receipt.record.payload == b"r-19"
+        assert receipt.acks >= 1
+        assert receipt.server is not None
+        assert receipt.rtt > 0
+
+    def test_empty_stream_is_a_no_op(self, mini_gdp):
+        g = mini_gdp
+
+        def scenario():
+            yield from g.bootstrap()
+            metadata = yield from g.place()
+            writer = g.writer_client.open_writer(metadata, g.writer_key)
+            before = _total_sent(g.net)
+            receipt = yield from writer.append_stream([])
+            return receipt, _total_sent(g.net) - before
+
+        receipt, sent = g.run(scenario())
+        assert receipt.records == []
+        assert receipt.batches == 0
+        assert receipt.acks == 0
+        assert sent == 0
+
+    def test_rejects_degenerate_window_and_batch(self, mini_gdp):
+        g = mini_gdp
+        metadata = g.console.design_capsule(
+            g.writer_key.public, pointer_strategy="chain"
+        )
+        writer = g.writer_client.open_writer(metadata, g.writer_key)
+        with pytest.raises(CapsuleError):
+            next(writer.append_stream([b"x"], window=0))
+        with pytest.raises(CapsuleError):
+            next(writer.append_stream([b"x"], batch_records=0))
+
+    def test_durability_error_when_replica_unreachable(self, mini_gdp):
+        """``acks="all"`` with a crashed sibling must surface as a
+        DurabilityError, exactly like the single-append path."""
+        g = mini_gdp
+
+        def scenario():
+            yield from g.bootstrap()
+            metadata = yield from g.place()
+            writer = g.writer_client.open_writer(metadata, g.writer_key)
+            g.server_root.crash()
+            try:
+                yield from writer.append_stream(
+                    [b"doomed-%d" % i for i in range(6)],
+                    acks="all", batch_records=3, timeout=30.0,
+                )
+            except DurabilityError:
+                return True
+            return False
+
+        assert g.run(scenario()) is True
+
+
+class TestAppendBatchOp:
+    def test_batch_heartbeat_must_sign_the_tip(self, mini_gdp):
+        """A multi-record batch whose heartbeat signs a non-tip record
+        is rejected wholesale — no partial state lands."""
+        g = mini_gdp
+
+        def scenario():
+            yield from g.bootstrap()
+            metadata = yield from g.place()
+            writer = g.writer_client.open_writer(metadata, g.writer_key)
+            record_1, heartbeat_1 = writer.writer.append(b"first")
+            record_2, _ = writer.writer.append(b"second")
+            corr_id, future = g.writer_client.request(
+                metadata.name,
+                {
+                    "op": "append_batch",
+                    "capsule": metadata.name.raw,
+                    "records": [record_1.to_wire(), record_2.to_wire()],
+                    "heartbeat": heartbeat_1.to_wire(),  # not the tip
+                    "acks": "any",
+                },
+            )
+            wrapped = yield future
+            try:
+                g.writer_client._unwrap(
+                    wrapped, corr_id=corr_id, capsule=metadata.name
+                )
+            except CapsuleError:
+                return metadata, True
+            return metadata, False
+
+        metadata, rejected = g.run(scenario())
+        assert rejected
+        for server in (g.server_root, g.server_edge):
+            assert server.hosted[metadata.name].capsule.last_seqno == 0

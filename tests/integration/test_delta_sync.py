@@ -1,0 +1,321 @@
+"""Merkle-delta anti-entropy edge cases: bootstrap, point divergence,
+checkpoint boundaries, mid-batch partitions, and the O(missing)-bytes
+property the protocol exists to provide."""
+
+import random
+
+from repro.capsule import CapsuleWriter, DataCapsule
+from repro.client import GdpClient, OwnerConsole
+from repro.crypto import SigningKey
+from repro.naming import make_capsule_metadata
+from repro.routing import GdpRouter, RoutingDomain
+from repro.server import (
+    AntiEntropyDaemon,
+    DataCapsuleServer,
+    SyncConfig,
+    SyncSession,
+    full_sync_once,
+    sync_once,
+)
+from repro.sim import SimNetwork
+
+
+class TestDeltaSyncEdgeCases:
+    def test_empty_replica_bootstrap(self, mini_gdp):
+        """A replica that missed the entire history (placed, then
+        partitioned before the first append) pulls everything in one
+        round."""
+        g = mini_gdp
+        link = g.r_edge.link_to(g.r_root)
+
+        def scenario():
+            yield from g.bootstrap()
+            metadata = yield from g.place()
+            link.fail()
+            writer = g.writer_client.open_writer(metadata, g.writer_key)
+            for i in range(20):
+                yield from writer.append(b"boot-%d" % i)
+            yield 0.5
+            link.recover()
+            g.r_edge.flush_fib()
+            g.r_root.flush_fib()
+            fetched = yield from sync_once(
+                g.server_root, metadata.name, g.server_edge.name
+            )
+            return metadata, fetched
+
+        metadata, fetched = g.run(scenario())
+        assert fetched == 20
+        capsule = g.server_root.hosted[metadata.name].capsule
+        assert capsule.last_seqno == 20
+        assert capsule.holes() == []
+        assert capsule.verify_history() == 20
+
+    def test_single_record_divergence_mid_history(self, mini_gdp):
+        """One record lost in the middle of a long shared prefix is
+        found by bisection and fetched alone — not the whole prefix."""
+        g = mini_gdp
+        link = g.r_edge.link_to(g.r_root)
+        session = SyncSession(
+            capsule=None, peer=None  # filled by assertion reads only
+        )
+
+        def scenario():
+            yield from g.bootstrap()
+            metadata = yield from g.place()
+            writer = g.writer_client.open_writer(metadata, g.writer_key)
+            for i in range(8):
+                yield from writer.append(b"pre-%d" % i)
+            yield 0.5
+            link.fail()
+            yield from writer.append(b"lost")  # seqno 9, root never sees it
+            link.recover()
+            g.r_edge.flush_fib()
+            g.r_root.flush_fib()
+            for i in range(7):
+                yield from writer.append(b"post-%d" % i)
+            yield 0.5
+            fetched = yield from sync_once(
+                g.server_root, metadata.name, g.server_edge.name,
+                session=session,
+            )
+            return metadata, fetched
+
+        metadata, fetched = g.run(scenario())
+        assert fetched == 1
+        assert session.records_fetched == 1
+        assert session.rounds == 1
+        assert session.batches == 1
+        root = g.server_root.hosted[metadata.name].capsule
+        edge = g.server_edge.hosted[metadata.name].capsule
+        assert root.get(9).payload == b"lost"
+        assert root.canonical_summary() == edge.canonical_summary()
+        assert root.verify_history() == 16
+
+    def test_divergence_at_checkpoint_boundary(self, mini_gdp):
+        """Losing exactly a checkpoint record (seqno a multiple of K
+        under the ``checkpoint:K`` strategy) heals like any other seqno,
+        and the healed history chain-walks through the checkpoint."""
+        g = mini_gdp
+        link = g.r_edge.link_to(g.r_root)
+
+        def scenario():
+            yield from g.bootstrap()
+            metadata = yield from g.place(strategy="checkpoint:8")
+            writer = g.writer_client.open_writer(metadata, g.writer_key)
+            for i in range(7):
+                yield from writer.append(b"pre-%d" % i)
+            yield 0.5
+            link.fail()
+            yield from writer.append(b"checkpoint-8")  # the checkpoint itself
+            link.recover()
+            g.r_edge.flush_fib()
+            g.r_root.flush_fib()
+            for i in range(8):
+                yield from writer.append(b"post-%d" % i)
+            yield 0.5
+            fetched = yield from sync_once(
+                g.server_root, metadata.name, g.server_edge.name
+            )
+            return metadata, fetched
+
+        metadata, fetched = g.run(scenario())
+        assert fetched == 1
+        capsule = g.server_root.hosted[metadata.name].capsule
+        assert capsule.get(8).payload == b"checkpoint-8"
+        assert capsule.holes() == []
+        assert capsule.verify_history() == 16
+
+    def test_partition_heal_mid_batch(self, mini_gdp):
+        """Fetch batches dropped mid-transfer are retried with backoff;
+        the round still converges and the session records the retries."""
+        g = mini_gdp
+        link = g.r_edge.link_to(g.r_root)
+        dropped = {"n": 0}
+
+        def drop_first_batches(link_, sender, receiver, message, size):
+            payload = getattr(message, "payload", None)
+            if (
+                isinstance(payload, dict)
+                and payload.get("op") == "sync_fetch_batch"
+                and dropped["n"] < 2
+            ):
+                dropped["n"] += 1
+                return False
+            return None
+
+        config = SyncConfig(
+            batch_records=4, window=2,
+            max_retries=3, backoff_base=0.05, backoff_max=0.2,
+        )
+        session = SyncSession(capsule=None, peer=None)
+
+        def scenario():
+            yield from g.bootstrap()
+            metadata = yield from g.place()
+            writer = g.writer_client.open_writer(metadata, g.writer_key)
+            for i in range(4):
+                yield from writer.append(b"pre-%d" % i)
+            yield 0.5
+            link.fail()
+            for i in range(12):
+                yield from writer.append(b"during-%d" % i)
+            link.recover()
+            g.r_edge.flush_fib()
+            g.r_root.flush_fib()
+            g.net.add_delivery_hook(drop_first_batches)
+            fetched = yield from sync_once(
+                g.server_root, metadata.name, g.server_edge.name,
+                timeout=1.0, config=config, session=session,
+            )
+            g.net.remove_delivery_hook(drop_first_batches)
+            return metadata, fetched
+
+        metadata, fetched = g.run(scenario())
+        assert dropped["n"] == 2
+        assert fetched == 12
+        assert session.retries == 2
+        assert session.failures == 0
+        root = g.server_root.hosted[metadata.name].capsule
+        edge = g.server_edge.hosted[metadata.name].capsule
+        assert root.canonical_summary() == edge.canonical_summary()
+
+
+# -- the O(missing records) bytes property --------------------------------
+
+
+def _build_divergent_world(n_records: int, missing: set, *, seed: int):
+    """Two servers over a constrained link hosting the same capsule;
+    ``a`` holds all *n_records*, ``b`` is missing the *missing* seqnos
+    (records and heartbeats both, injected directly — no network cost)."""
+    owner = SigningKey.from_seed(b"delta-owner-%d" % seed)
+    writer_key = SigningKey.from_seed(b"delta-writer-%d" % seed)
+    metadata = make_capsule_metadata(
+        owner, writer_key.public, pointer_strategy="chain",
+        extra={"n": n_records, "seed": seed},
+    )
+    capsule = DataCapsule(metadata)
+    writer = CapsuleWriter(capsule, writer_key)
+    minted = [writer.append(b"rec-%05d" % i) for i in range(n_records)]
+
+    net = SimNetwork(seed=seed)
+    clock = lambda: net.sim.now  # noqa: E731
+    domain = RoutingDomain("global", clock=clock)
+    r0 = GdpRouter(net, "r0", domain)
+    r1 = GdpRouter(net, "r1", domain)
+    net.connect(r0, r1, latency=0.001, bandwidth=1.25e6)
+    server_a = DataCapsuleServer(net, "a")
+    server_a.attach(r0, latency=0.0001)
+    server_b = DataCapsuleServer(net, "b")
+    server_b.attach(r1, latency=0.0001)
+    client = GdpClient(net, "seeder")
+    client.attach(r0, latency=0.0001)
+    console = OwnerConsole(client, owner)
+
+    def setup():
+        yield server_a.advertise()
+        yield server_b.advertise()
+        yield client.advertise()
+        yield from console.place_capsule(
+            metadata, [server_a.metadata, server_b.metadata]
+        )
+        yield 0.5
+
+    net.sim.run_process(setup(), "divergent-setup")
+    capsule_a = server_a.hosted[metadata.name].capsule
+    capsule_b = server_b.hosted[metadata.name].capsule
+    for record, heartbeat in minted:
+        capsule_a.insert(record, enforce_strategy=False)
+        capsule_a.add_heartbeat(heartbeat)
+        if record.seqno not in missing:
+            capsule_b.insert(record, enforce_strategy=False)
+            capsule_b.add_heartbeat(heartbeat)
+    return net, server_a, server_b, metadata
+
+
+def _measure_sync(protocol, n_records: int, missing: set, *, seed: int):
+    """Heal one divergence with *protocol*; returns (fetched, bytes)."""
+    net, server_a, server_b, metadata = _build_divergent_world(
+        n_records, missing, seed=seed
+    )
+    before = net.bytes_on_wire()
+    fetched = net.sim.run_process(
+        protocol(server_b, metadata.name, server_a.name, timeout=60.0),
+        "measured-sync",
+    )
+    assert (
+        server_a.hosted[metadata.name].capsule.canonical_summary()
+        == server_b.hosted[metadata.name].capsule.canonical_summary()
+    )
+    return fetched, net.bytes_on_wire() - before
+
+
+class TestBytesProportionalToDivergence:
+    """Delta-sync wire cost must track the number of *missing* records
+    (plus an O(log n) bisection term), not the capsule length.  The
+    full-scan baseline, measured on the same divergence, grows linearly
+    — that gap is the protocol's whole reason to exist."""
+
+    MISSING = {40, 80, 120, 160, 199}
+
+    def test_delta_bytes_scale_with_missing_not_length(self):
+        fetched_small, delta_small = _measure_sync(
+            sync_once, 200, self.MISSING, seed=31
+        )
+        fetched_large, delta_large = _measure_sync(
+            sync_once, 800, self.MISSING, seed=37
+        )
+        assert fetched_small == len(self.MISSING)
+        assert fetched_large == len(self.MISSING)
+        # 4x the records must cost far less than 4x the bytes: only the
+        # bisection depth (log n) may grow, never the transfer itself.
+        assert delta_large < 2 * delta_small
+
+    def test_delta_beats_full_scan_on_same_divergence(self):
+        _, full_small = _measure_sync(
+            full_sync_once, 200, self.MISSING, seed=41
+        )
+        _, full_large = _measure_sync(
+            full_sync_once, 800, self.MISSING, seed=43
+        )
+        _, delta_large = _measure_sync(sync_once, 800, self.MISSING, seed=47)
+        # The baseline is O(capsule length)...
+        assert full_large > 3 * full_small
+        # ...and the delta protocol beats it by a wide margin.
+        assert full_large > 4 * delta_large
+
+
+class TestDaemonJitter:
+    """Satellite (c): anti-entropy pacing is jittered but seeded — the
+    fleet desynchronizes, replays stay byte-identical."""
+
+    def test_same_seed_same_delays(self, mini_gdp):
+        g = mini_gdp
+        d1 = AntiEntropyDaemon(
+            g.server_root, interval=2.0, rng=random.Random("sync-seed")
+        )
+        d2 = AntiEntropyDaemon(
+            g.server_edge, interval=2.0, rng=random.Random("sync-seed")
+        )
+        assert [d1._next_delay() for _ in range(16)] == [
+            d2._next_delay() for _ in range(16)
+        ]
+
+    def test_default_rngs_desynchronize_distinct_servers(self, mini_gdp):
+        g = mini_gdp
+        d1 = AntiEntropyDaemon(g.server_root, interval=2.0)
+        d2 = AntiEntropyDaemon(g.server_edge, interval=2.0)
+        assert [d1._next_delay() for _ in range(8)] != [
+            d2._next_delay() for _ in range(8)
+        ]
+
+    def test_delays_bounded_by_jitter(self, mini_gdp):
+        g = mini_gdp
+        daemon = AntiEntropyDaemon(g.server_root, interval=4.0, jitter=0.5)
+        delays = [daemon._next_delay() for _ in range(64)]
+        assert all(3.0 <= d <= 5.0 for d in delays)
+
+    def test_zero_jitter_is_exact(self, mini_gdp):
+        g = mini_gdp
+        daemon = AntiEntropyDaemon(g.server_root, interval=3.0, jitter=0.0)
+        assert daemon._next_delay() == 3.0

@@ -1,0 +1,137 @@
+"""The uniform client result envelopes and their deprecation shims."""
+
+import warnings
+from types import SimpleNamespace
+
+import pytest
+
+from repro.client import AppendReceipt, ReadResult
+
+
+def _record(seqno, payload=b"x"):
+    return SimpleNamespace(
+        seqno=seqno, payload=payload, digest=b"d%d" % seqno
+    )
+
+
+class TestReadResult:
+    def test_record_is_the_last_record(self):
+        records = [_record(1), _record(2)]
+        result = ReadResult(records)
+        assert result.record is records[-1]
+        assert result.records == records
+
+    def test_empty_result(self):
+        assert ReadResult([]).record is None
+
+    def test_envelope_fields_do_not_warn(self):
+        result = ReadResult(
+            [_record(3)], proof="proof", server="srv", rtt=0.25
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert result.proof == "proof"
+            assert result.server == "srv"
+            assert result.rtt == 0.25
+            assert result.record.seqno == 3
+
+    def test_attribute_delegation_warns(self):
+        result = ReadResult([_record(7, b"payload")])
+        with pytest.warns(DeprecationWarning):
+            assert result.payload == b"payload"
+        with pytest.warns(DeprecationWarning):
+            assert result.seqno == 7
+
+    def test_unknown_attribute_raises(self):
+        result = ReadResult([_record(1)])
+        with pytest.raises(AttributeError):
+            result.nonexistent
+        with pytest.raises(AttributeError):
+            ReadResult([]).payload
+
+    def test_sequence_shims_warn(self):
+        records = [_record(1), _record(2)]
+        result = ReadResult(records)
+        with pytest.warns(DeprecationWarning):
+            assert len(result) == 2
+        with pytest.warns(DeprecationWarning):
+            assert list(result) == records
+        with pytest.warns(DeprecationWarning):
+            assert result[0] is records[0]
+
+    def test_list_comparison_warns(self):
+        records = [_record(1)]
+        with pytest.warns(DeprecationWarning):
+            assert ReadResult(records) == records
+
+    def test_envelope_comparison_does_not_warn(self):
+        records = [_record(1)]
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert ReadResult(records) == ReadResult(records)
+            assert ReadResult(records) != ReadResult([_record(2)])
+
+
+class TestAppendReceipt:
+    def test_envelope_fields_do_not_warn(self):
+        receipt = AppendReceipt(
+            [_record(1), _record(2)],
+            acks=2, server="srv", rtt=0.5, batches=1,
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert receipt.record.seqno == 2
+            assert receipt.seqno == 2
+            assert receipt.acks == 2
+            assert receipt.batches == 1
+            assert receipt.server == "srv"
+
+    def test_empty_receipt(self):
+        receipt = AppendReceipt([], acks=0, batches=0)
+        assert receipt.record is None
+        assert receipt.seqno == 0
+
+    def test_pair_unpack_warns(self):
+        record = _record(4)
+        receipt = AppendReceipt([record], acks=2, legacy_shape="pair")
+        with pytest.warns(DeprecationWarning):
+            got_record, got_acks = receipt
+        assert got_record is record
+        assert got_acks == 2
+
+    def test_pair_indexing_warns(self):
+        record = _record(4)
+        receipt = AppendReceipt([record], acks=2, legacy_shape="pair")
+        with pytest.warns(DeprecationWarning):
+            assert receipt[0] is record
+        with pytest.warns(DeprecationWarning):
+            assert receipt[1] == 2
+
+    def test_list_shape_iterates_records(self):
+        records = [_record(1), _record(2), _record(3)]
+        receipt = AppendReceipt(records, legacy_shape="list")
+        with pytest.warns(DeprecationWarning):
+            assert list(receipt) == records
+        with pytest.warns(DeprecationWarning):
+            assert len(receipt) == 3
+
+    def test_sequence_comparison_warns(self):
+        record = _record(4)
+        pair = AppendReceipt([record], acks=2, legacy_shape="pair")
+        with pytest.warns(DeprecationWarning):
+            assert pair == (record, 2)
+        records = [_record(1), _record(2)]
+        stream = AppendReceipt(records, legacy_shape="list")
+        with pytest.warns(DeprecationWarning):
+            assert stream == records
+
+    def test_envelope_comparison_does_not_warn(self):
+        record = _record(4)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert AppendReceipt([record], acks=1) == AppendReceipt(
+                [record], acks=1
+            )
+            assert AppendReceipt([record], acks=1) != AppendReceipt(
+                [record], acks=2
+            )

@@ -38,10 +38,18 @@ from repro.capsule.proofs import PositionProof, RangeProof
 from repro.capsule.reader import VerifyingReader
 from repro.capsule.records import Record
 from repro.capsule.writer import CapsuleWriter, QuasiWriter
+from repro.client.failover import FailoverPolicy, Subscription
 from repro.client.results import AppendReceipt, ReadResult
 from repro.crypto.hmac_session import Handshake, SessionKey
 from repro.crypto.keys import SigningKey
-from repro.errors import CapsuleError, DurabilityError, GdpError, IntegrityError
+from repro.errors import (
+    CapsuleError,
+    DurabilityError,
+    GdpError,
+    IntegrityError,
+    RoutingError,
+    TimeoutError_,
+)
 from repro.naming.metadata import MODE_QSW, Metadata, make_client_metadata
 from repro.naming.names import GdpName
 from repro.routing.endpoint import Endpoint
@@ -49,7 +57,13 @@ from repro.routing.pdu import Pdu
 from repro.server.secure import verify_mac_response, verify_signed_response
 from repro.sim.net import SimNetwork
 
-__all__ = ["GdpClient", "ClientWriter", "ReadResult", "AppendReceipt"]
+__all__ = [
+    "GdpClient",
+    "ClientWriter",
+    "ReadResult",
+    "AppendReceipt",
+    "FailoverPolicy",
+]
 
 
 class GdpClient(Endpoint):
@@ -62,18 +76,22 @@ class GdpClient(Endpoint):
         *,
         key: SigningKey | None = None,
         verify: bool = True,
+        failover: FailoverPolicy | None = None,
     ):
         key = key or SigningKey.from_seed(b"client:" + node_id.encode())
         metadata = make_client_metadata(key, extra={"node_id": node_id})
         super().__init__(network, node_id, metadata, key)
         self.verify = verify
+        #: retry/backoff envelope for anycast ops hitting dead routes
+        self.failover = failover or FailoverPolicy()
         #: optional QoS accountability tracker (see repro.client.qos)
         self.qos = None
         self.readers: dict[GdpName, VerifyingReader] = {}
         self._sessions: dict[GdpName, SessionKey] = {}
-        self._subscriptions: dict[
-            GdpName, Callable[[Record, Heartbeat], None]
-        ] = {}
+        #: capsule -> replica that answered our last op (the client-side
+        #: resolution cache failover invalidates)
+        self._resolutions: dict[GdpName, GdpName] = {}
+        self._subscriptions: dict[GdpName, Subscription] = {}
 
     # -- request plumbing -------------------------------------------------
 
@@ -108,6 +126,46 @@ class GdpClient(Endpoint):
         if self.qos is not None:
             future.add_callback(qos_watch)
         return request.corr_id, future
+
+    def failover_request(
+        self,
+        capsule: GdpName,
+        payload: Any,
+        *,
+        timeout: float | None = 30.0,
+        policy: FailoverPolicy | None = None,
+    ) -> Generator:
+        """An anycast op with replica failover: a ``T_NO_ROUTE`` bounce
+        or RPC timeout invalidates the cached resolution (ours *and*
+        the router's, via ``T_ROUTE_INVALIDATE``), backs off, and
+        retries — the name re-resolves through the hierarchy and
+        anycast lands on the next replica.  Returns
+        ``(corr_id, wrapped)``; server refusals and verification
+        failures are never retried (a different replica would refuse
+        too, and hammering on an integrity failure helps an attacker).
+        """
+        policy = policy or self.failover
+        last_error: GdpError | None = None
+        for attempt in range(max(policy.attempts, 1)):
+            corr_id, future = self.request(
+                capsule, dict(payload), timeout=timeout
+            )
+            try:
+                wrapped = yield future
+            except (RoutingError, TimeoutError_) as exc:
+                last_error = exc
+                self.report_route_failure(
+                    capsule, self._resolutions.pop(capsule, None)
+                )
+                if attempt + 1 < max(policy.attempts, 1):
+                    yield policy.delay(attempt)
+                continue
+            server = self._server_of(wrapped)
+            if server is not None:
+                self._resolutions[capsule] = server
+            return corr_id, wrapped
+        assert last_error is not None
+        raise last_error
 
     def _unwrap(
         self,
@@ -182,10 +240,9 @@ class GdpClient(Endpoint):
         reader = self._reader(capsule)
         if reader._capsule is not None:
             return reader.capsule.metadata
-        corr_id, future = self.request(
+        corr_id, wrapped = yield from self.failover_request(
             capsule, {"op": "metadata", "capsule": capsule.raw}
         )
-        wrapped = yield future
         body = self._unwrap(wrapped, corr_id=corr_id, capsule=capsule)
         metadata = Metadata.from_wire(body["metadata"])
         reader.accept_metadata(metadata)
@@ -201,12 +258,11 @@ class GdpClient(Endpoint):
         start = self.sim.now
         yield from self.fetch_metadata(capsule)
         reader = self._reader(capsule)
-        corr_id, future = self.request(
+        corr_id, wrapped = yield from self.failover_request(
             capsule,
             {"op": "read", "capsule": capsule.raw, "seqno": seqno},
             timeout=timeout,
         )
-        wrapped = yield future
         body = self._unwrap(wrapped, corr_id=corr_id, capsule=capsule)
         record = Record.from_wire(capsule, body["record"])
         proof = PositionProof.from_wire(body["proof"])
@@ -232,7 +288,7 @@ class GdpClient(Endpoint):
         start = self.sim.now
         yield from self.fetch_metadata(capsule)
         reader = self._reader(capsule)
-        corr_id, future = self.request(
+        corr_id, wrapped = yield from self.failover_request(
             capsule,
             {
                 "op": "read_range",
@@ -242,7 +298,6 @@ class GdpClient(Endpoint):
             },
             timeout=timeout,
         )
-        wrapped = yield future
         body = self._unwrap(wrapped, corr_id=corr_id, capsule=capsule)
         records = [Record.from_wire(capsule, w) for w in body["records"]]
         proof = RangeProof.from_wire(body["proof"])
@@ -263,10 +318,9 @@ class GdpClient(Endpoint):
         start = self.sim.now
         yield from self.fetch_metadata(capsule)
         reader = self._reader(capsule)
-        corr_id, future = self.request(
+        corr_id, wrapped = yield from self.failover_request(
             capsule, {"op": "latest", "capsule": capsule.raw}, timeout=timeout
         )
-        wrapped = yield future
         body = self._unwrap(wrapped, corr_id=corr_id, capsule=capsule)
         if body.get("empty"):
             return None
@@ -385,23 +439,68 @@ class GdpClient(Endpoint):
         by capsules with ``restricted_subscribe`` metadata (§VII fn. 9).
         """
         yield from self.fetch_metadata(capsule)
-        self._subscriptions[capsule] = callback
+        sub = Subscription(capsule, callback, subgrant=subgrant)
+        self._subscriptions[capsule] = sub
+        return (yield from self._resubscribe(capsule, sub, timeout=timeout))
+
+    def _resubscribe(
+        self,
+        capsule: GdpName,
+        sub: Subscription,
+        *,
+        timeout: float | None = 30.0,
+    ) -> Generator:
+        """(Re-)run the subscribe handshake — anycast picks a live
+        replica — and backfill any records appended between what the old
+        replica delivered and where the new one's push stream starts
+        (duplicate suppression makes overlap harmless; gaps the fleet
+        lost entirely are skipped).  Returns the new ``from_seqno``."""
         payload: dict = {"op": "subscribe", "capsule": capsule.raw}
-        if subgrant is not None:
-            payload["subgrant"] = subgrant.to_wire()
-        corr_id, future = self.request(capsule, payload, timeout=timeout)
-        wrapped = yield future
+        if sub.subgrant is not None:
+            payload["subgrant"] = sub.subgrant.to_wire()
+        corr_id, wrapped = yield from self.failover_request(
+            capsule, payload, timeout=timeout
+        )
         body = self._unwrap(wrapped, corr_id=corr_id, capsule=capsule)
-        return body["from_seqno"]
+        from_seqno = body["from_seqno"]
+        sub.server = self._server_of(wrapped)
+        if sub.last_delivered is None:
+            # Initial subscribe: only *future* records are promised.
+            sub.last_delivered = from_seqno - 1
+            return from_seqno
+        sub.resubscribes += 1
+        for seqno in range(sub.last_delivered + 1, from_seqno):
+            try:
+                result = yield from self.read(capsule, seqno)
+            except GdpError:
+                continue  # a hole the fleet lost: tolerated, not fatal
+            record = result.record
+            if sub.deliver(record.seqno):
+                sub.callback(record, result.proof.heartbeat)
+        return from_seqno
+
+    def resync_subscriptions(self) -> Generator:
+        """Re-subscribe every active subscription (after a heal, or any
+        time the serving replicas are suspect); returns how many were
+        resynced.  Unreachable capsules are left registered — the
+        subscription monitor keeps retrying them."""
+        resynced = 0
+        for capsule, sub in list(self._subscriptions.items()):
+            try:
+                yield from self._resubscribe(capsule, sub)
+                resynced += 1
+            except GdpError:
+                continue
+        return resynced
 
     def on_push(self, pdu: Pdu) -> None:
-        """Handle a verified server push."""
+        """Handle a verified server push (duplicate-suppressed)."""
         try:
             capsule_name = GdpName(pdu.payload["capsule"])
         except (KeyError, TypeError, GdpError):
             return
-        callback = self._subscriptions.get(capsule_name)
-        if callback is None:
+        sub = self._subscriptions.get(capsule_name)
+        if sub is None:
             return
         reader = self._reader(capsule_name)
         try:
@@ -415,7 +514,12 @@ class GdpClient(Endpoint):
                 reader.accept_pushed(
                     record, heartbeat, pdu.payload.get("proof")
                 )
-            callback(record, heartbeat)
+            sub.server = pdu.src
+            # Re-subscribing to a second replica overlaps its push
+            # stream with the first's: suppress anything already
+            # delivered so the application sees each record once.
+            if sub.deliver(record.seqno):
+                sub.callback(record, heartbeat)
         except GdpError:
             # Forged or corrupt push from the network: drop, never
             # surface unverified data to the application.

@@ -36,7 +36,13 @@ __all__ = ["AdCert", "RtCert", "OrgMembership", "SubGrant"]
 
 
 class _SignedStatement:
-    """Shared machinery: domain-tagged canonical signing and expiry."""
+    """Shared machinery: domain-tagged canonical signing and expiry.
+
+    Signed bodies canonicalize ``expires_at`` to whole milliseconds
+    with ``round()`` — ``int()`` truncation is not idempotent across a
+    wire round-trip (``t/1000*1000`` can land just below the integer),
+    which would break the signature of any rebuilt certificate.
+    """
 
     DOMAIN: bytes = b""
 
@@ -92,7 +98,7 @@ class AdCert(_SignedStatement):
             self.capsule.raw,
             self.delegate.raw,
             list(self.scopes),
-            -1 if self.expires_at is None else int(self.expires_at * 1000),
+            -1 if self.expires_at is None else round(self.expires_at * 1000),
         ]
 
     @classmethod
@@ -147,7 +153,7 @@ class AdCert(_SignedStatement):
             "delegate": self.delegate.raw,
             "scopes": list(self.scopes),
             "expires_at": -1 if self.expires_at is None
-            else int(self.expires_at * 1000),
+            else round(self.expires_at * 1000),
             "signature": self.signature,
         }
 
@@ -198,7 +204,7 @@ class RtCert(_SignedStatement):
             "rtcert",
             self.principal.raw,
             self.router.raw,
-            -1 if self.expires_at is None else int(self.expires_at * 1000),
+            -1 if self.expires_at is None else round(self.expires_at * 1000),
         ]
 
     @classmethod
@@ -236,7 +242,7 @@ class RtCert(_SignedStatement):
             "principal": self.principal.raw,
             "router": self.router.raw,
             "expires_at": -1 if self.expires_at is None
-            else int(self.expires_at * 1000),
+            else round(self.expires_at * 1000),
             "signature": self.signature,
         }
 
@@ -288,7 +294,7 @@ class OrgMembership(_SignedStatement):
             "orgmember",
             self.org.raw,
             self.member.raw,
-            -1 if self.expires_at is None else int(self.expires_at * 1000),
+            -1 if self.expires_at is None else round(self.expires_at * 1000),
         ]
 
     @classmethod
@@ -325,7 +331,7 @@ class OrgMembership(_SignedStatement):
             "org": self.org.raw,
             "member": self.member.raw,
             "expires_at": -1 if self.expires_at is None
-            else int(self.expires_at * 1000),
+            else round(self.expires_at * 1000),
             "signature": self.signature,
         }
 
@@ -378,7 +384,7 @@ class SubGrant(_SignedStatement):
             "subgrant",
             self.capsule.raw,
             self.subscriber.raw,
-            -1 if self.expires_at is None else int(self.expires_at * 1000),
+            -1 if self.expires_at is None else round(self.expires_at * 1000),
         ]
 
     @classmethod
@@ -419,7 +425,7 @@ class SubGrant(_SignedStatement):
             "capsule": self.capsule.raw,
             "subscriber": self.subscriber.raw,
             "expires_at": -1 if self.expires_at is None
-            else int(self.expires_at * 1000),
+            else round(self.expires_at * 1000),
             "signature": self.signature,
         }
 

@@ -31,11 +31,19 @@ rules simple and unambiguous.
 
 from __future__ import annotations
 
+import struct as _struct
 from typing import Any
 
 from repro.errors import EncodingError
 
-__all__ = ["encode", "decode", "encode_uvarint", "decode_uvarint"]
+__all__ = [
+    "encode",
+    "decode",
+    "encode_uvarint",
+    "decode_uvarint",
+    "pack_float",
+    "unpack_float",
+]
 
 _TAG_NULL = ord("N")
 _TAG_FALSE = ord("F")
@@ -177,6 +185,27 @@ def encode(value: Any) -> bytes:
     out = bytearray()
     _encode_into(value, out)
     return bytes(out)
+
+
+def pack_float(value: float) -> bytes:
+    """Pack a float as its exact IEEE-754 big-endian bits.
+
+    The canonical TLV has no float tag (signed preimages stay
+    integer-only), so timestamps that must round-trip *exactly* through
+    wire forms — advertisement lease expiries crossing the DHT tier,
+    where a lossy round-trip would break byte-identical simtest
+    replays — travel as an 8-byte ``bytes`` value instead.
+    """
+    return _struct.pack(">d", value)
+
+
+def unpack_float(raw: bytes) -> float:
+    """Inverse of :func:`pack_float`; raises on malformed input."""
+    if len(raw) != 8:
+        raise EncodingError(
+            f"packed float must be 8 bytes, got {len(raw)}"
+        )
+    return _struct.unpack(">d", raw)[0]
 
 
 def _decode_at(data: bytes, offset: int) -> tuple[Any, int]:

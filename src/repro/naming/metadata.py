@@ -118,17 +118,24 @@ class Metadata:
             raise SignatureError("metadata owner signature invalid")
 
     def to_wire(self) -> dict:
-        """Wire-encodable representation."""
+        """Wire-encodable representation.
+
+        ``properties`` is copied: the sim delivers PDUs by reference and
+        the tamper fault middleware corrupts payloads in place, so
+        handing out the live dict would let one tampered advertisement
+        permanently corrupt this endpoint's own identity (the values are
+        immutable bytes/str, so a shallow copy isolates fully).
+        """
         return {
             "kind": self.kind,
-            "properties": self.properties,
+            "properties": dict(self.properties),
             "signature": self.signature,
         }
 
     @classmethod
     def from_wire(cls, wire: Mapping[str, Any]) -> "Metadata":
         """Rebuild from a wire form; raises on malformed input."""
-        return cls(wire["kind"], wire["properties"], wire["signature"])
+        return cls(wire["kind"], dict(wire["properties"]), wire["signature"])
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Metadata):

@@ -16,6 +16,7 @@ from repro.routing.dht import KademliaDht, build_dht
 from repro.routing.domain import RoutingDomain
 from repro.routing.endpoint import Endpoint
 from repro.routing.glookup import GLookupService, RouteEntry
+from repro.routing.lease import LeaseRefreshDaemon
 from repro.routing.pdu import Pdu
 from repro.routing.router import GdpRouter
 
@@ -26,6 +27,7 @@ __all__ = [
     "GLookupService",
     "RouteEntry",
     "Endpoint",
+    "LeaseRefreshDaemon",
     "select_entry",
     "rank_entries",
     "KademliaDht",

@@ -32,11 +32,7 @@ def _distance(router: "GdpRouter", entry: RouteEntry) -> tuple[int, int]:
         return (2, 0)
     if entry.router == router.name:
         return (0, 0)
-    target = None
-    for candidate in router.domain.routers:
-        if candidate.name == entry.router:
-            target = candidate
-            break
+    target = router.domain.router_by_name(entry.router)
     if target is None:
         # Attachment router unknown (left the domain): rank last.
         return (3, 0)

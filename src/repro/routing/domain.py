@@ -16,6 +16,7 @@ from collections import deque
 from typing import TYPE_CHECKING, Callable
 
 from repro.errors import RoutingError
+from repro.naming.names import GdpName
 from repro.routing.glookup import GLookupService
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -48,6 +49,9 @@ class RoutingDomain:
             clock=clock or (parent.glookup._clock if parent else None),
         )
         self.routers: list["GdpRouter"] = []
+        #: name-keyed member index (FIB installs resolve attachment
+        #: routers by GdpName on the hot path; linear scans don't scale)
+        self._routers_by_name: dict[GdpName, "GdpRouter"] = {}
         #: this domain's router holding the uplink to the parent domain
         self.gateway: "GdpRouter | None" = None
         #: router *in the parent domain* at the other end of the uplink
@@ -61,7 +65,23 @@ class RoutingDomain:
     def add_router(self, router: "GdpRouter") -> None:
         """Register a router as a member of this domain."""
         self.routers.append(router)
+        self._routers_by_name[router.name] = router
         self.invalidate_routes()
+
+    def remove_router(self, router: "GdpRouter") -> None:
+        """Unregister a member router, keeping the name index and the
+        next-hop cache consistent."""
+        if router in self.routers:
+            self.routers.remove(router)
+        if self._routers_by_name.get(router.name) is router:
+            del self._routers_by_name[router.name]
+        self.invalidate_routes()
+
+    def router_by_name(self, name: "GdpName | None") -> "GdpRouter | None":
+        """O(1) member lookup by router self-name."""
+        if name is None:
+            return None
+        return self._routers_by_name.get(name)
 
     def attach_to_parent(
         self, gateway: "GdpRouter", parent_attachment: "GdpRouter"
@@ -180,6 +200,23 @@ class RoutingDomain:
         if src is child.parent_attachment:
             return child.gateway
         return self.next_hop_to_router(src, child.parent_attachment)
+
+    def purge_name(self, name: GdpName) -> None:
+        """Drop cached routes for *name* from every router in the whole
+        domain tree (climb to the root, then recurse down).
+
+        A withdrawal used to purge only the FIB of the router that heard
+        it, so sibling routers kept forwarding to the detached endpoint
+        until their TTL lapsed.  The GLookupService already unregisters
+        recursively; this is the matching cache-coherence sweep.
+        """
+        self.ancestry()[-1]._purge_name_down(name)
+
+    def _purge_name_down(self, name: GdpName) -> None:
+        for router in self.routers:
+            router.drop_route(name)
+        for child in self.children.values():
+            child._purge_name_down(name)
 
     def ancestry(self) -> list["RoutingDomain"]:
         """This domain and all ancestors, closest first."""

@@ -16,11 +16,12 @@ from __future__ import annotations
 
 from typing import Any
 
-from repro.errors import RoutingError, TransportError
+from repro.errors import RoutingError, TimeoutError_, TransportError
 from repro.naming.metadata import Metadata
 from repro.naming.names import GdpName
 from repro.crypto.keys import SigningKey
 from repro.routing import pdu as pdutypes
+from repro.routing.glookup import wire_expiry
 from repro.routing.pdu import Pdu
 from repro.routing.router import ADVERT_DOMAIN_TAG, GdpRouter
 from repro.runtime.dispatch import find_handler, on_ptype
@@ -39,6 +40,8 @@ class Endpoint(Node):
         node_id: str,
         metadata: Metadata,
         key: SigningKey,
+        *,
+        lease_ttl: float | None = None,
     ):
         super().__init__(network, node_id)
         self.metadata = metadata
@@ -46,6 +49,9 @@ class Endpoint(Node):
         self.name: GdpName = metadata.name
         self.pipeline = network.node_pipeline()
         self.router: GdpRouter | None = None
+        #: advertisements default to leases of this length (None keeps
+        #: the pre-lease behavior: advertise forever, age out by FIB TTL)
+        self.lease_ttl = lease_ttl
         self._pending_rpcs: dict[int, Future] = {}
         self._pending_adv: Future | None = None
         self._adv_catalog: list[dict] = []
@@ -86,11 +92,18 @@ class Endpoint(Node):
 
         *catalog* entries are ``{"chain": <ServiceChain wire>}`` dicts
         for each capsule this endpoint serves (servers only).
+
+        When *expires_at* is omitted and the endpoint has a
+        ``lease_ttl``, the advertisement carries a lease of that length
+        from now; re-advertising (the lease-refresh daemon's job)
+        extends it.
         """
         if self.router is None:
             raise RoutingError(f"{self.node_id} is not attached to a router")
         if self._pending_adv is not None and not self._pending_adv.done:
             raise RoutingError("advertisement already in progress")
+        if expires_at is None and self.lease_ttl is not None:
+            expires_at = self.sim.now + self.lease_ttl
         self._adv_catalog = list(catalog or [])
         self._adv_expires = expires_at
         self._pending_adv = self.sim.future()
@@ -118,6 +131,15 @@ class Endpoint(Node):
             self.router.name,
             expires_at=self._adv_expires,
         )
+        # Lease expiries travel as exact packed floats (the canonical
+        # encoding has no float tag); catalog entries without their own
+        # lease inherit the advertisement-wide one.
+        catalog = []
+        for raw_entry in self._adv_catalog:
+            entry = dict(raw_entry)
+            lease = entry.get("expires_at", self._adv_expires)
+            entry["expires_at"] = wire_expiry(lease)
+            catalog.append(entry)
         response = Pdu(
             self.name,
             self.router.name,
@@ -126,8 +148,8 @@ class Endpoint(Node):
                 "metadata": self.metadata.to_wire(),
                 "signature": signature,
                 "rtcert": rtcert.to_wire(),
-                "catalog": self._adv_catalog,
-                "expires_at": self._adv_expires,
+                "catalog": catalog,
+                "expires_at": wire_expiry(self._adv_expires),
             },
         )
         self.send_pdu(response)
@@ -155,6 +177,41 @@ class Endpoint(Node):
                 self.router.name,
                 pdutypes.T_ADV_WITHDRAW,
                 {"names": [name.raw for name in names]},
+            )
+        )
+
+    def abandon_advertisement(self) -> None:
+        """Give up on an in-flight handshake (a lost HELLO or ACK would
+        otherwise pin ``advertise()`` forever); the next ``advertise()``
+        starts fresh — the router re-issues a challenge on any HELLO."""
+        pending = self._pending_adv
+        if pending is not None and not pending.done:
+            pending.fail(
+                TimeoutError_("advertisement handshake abandoned")
+            )
+
+    def current_catalog(self) -> list[dict]:
+        """The catalog a re-advertisement should carry (the last one by
+        default; servers override with their live hosting table)."""
+        return list(self._adv_catalog)
+
+    def report_route_failure(
+        self, name: GdpName, principal: GdpName | None = None
+    ) -> None:
+        """Tell our router that the route it gave us for *name* went
+        dead (fire-and-forget failover hint; *principal* identifies the
+        replica to quarantine for anycast)."""
+        if self.router is None:
+            return
+        payload: dict = {"unreachable": name.raw}
+        if principal is not None:
+            payload["principal"] = principal.raw
+        self.send_pdu(
+            Pdu(
+                self.name,
+                self.router.name,
+                pdutypes.T_ROUTE_INVALIDATE,
+                payload,
             )
         )
 

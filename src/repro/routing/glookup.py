@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from typing import Callable, Iterable
 
+from repro import encoding
 from repro.delegation.certs import RtCert
 from repro.delegation.chain import ServiceChain, verify_routing_chain
 from repro.errors import AdvertisementError, ScopeViolationError
@@ -29,7 +30,34 @@ from repro.naming.metadata import Metadata
 from repro.naming.names import GdpName
 from repro.runtime.metrics import MetricsRegistry
 
-__all__ = ["RouteEntry", "GLookupService"]
+__all__ = ["RouteEntry", "GLookupService", "wire_expiry", "expiry_from_wire"]
+
+
+def wire_expiry(expires_at: float | None) -> bytes | None:
+    """Wire form of a lease expiry: ``None`` for "no expiry", else the
+    exact IEEE-754 bits.
+
+    The old format stored ``int(expires_at * 1000)`` with ``-1`` as the
+    no-expiry sentinel — a lossy round-trip that changed the expiry by
+    up to a millisecond (breaking byte-identical simtest replays through
+    the DHT tier) and a sentinel that collides with legitimate sub-zero
+    timestamps.  ``None`` is unambiguous and the packed float is exact.
+    """
+    return None if expires_at is None else encoding.pack_float(expires_at)
+
+
+def expiry_from_wire(raw) -> float | None:
+    """Inverse of :func:`wire_expiry`; also accepts the legacy int-ms
+    form (``-1`` sentinel) so pre-upgrade stored entries still decode."""
+    if raw is None:
+        return None
+    if isinstance(raw, bytes):
+        return encoding.unpack_float(raw)
+    if isinstance(raw, int):  # legacy millisecond form
+        return None if raw == -1 else raw / 1000
+    raise AdvertisementError(
+        f"malformed expiry wire form: {type(raw).__name__}"
+    )
 
 
 class RouteEntry:
@@ -123,8 +151,7 @@ class RouteEntry:
             "name": self.name.raw,
             "principal": self.principal.raw,
             "principal_metadata": self.principal_metadata.to_wire(),
-            "expires_at": -1 if self.expires_at is None
-            else int(self.expires_at * 1000),
+            "expires_at": wire_expiry(self.expires_at),
         }
         if self.router is not None:
             wire["router"] = self.router.raw
@@ -142,7 +169,6 @@ class RouteEntry:
     def from_wire(cls, wire: dict) -> "RouteEntry":
         """Rebuild from a wire form; raises on malformed input."""
         try:
-            raw_expiry = wire["expires_at"]
             return cls(
                 GdpName(wire["name"]),
                 router=GdpName(wire["router"]) if "router" in wire else None,
@@ -160,7 +186,7 @@ class RouteEntry:
                 router_metadata=Metadata.from_wire(wire["router_metadata"])
                 if "router_metadata" in wire
                 else None,
-                expires_at=None if raw_expiry == -1 else raw_expiry / 1000,
+                expires_at=expiry_from_wire(wire.get("expires_at")),
             )
         except (KeyError, TypeError) as exc:
             raise AdvertisementError(

@@ -43,6 +43,7 @@ T_ADV_RESPONSE = "adv_resp"
 T_ADV_ACK = "adv_ack"
 T_ADV_WITHDRAW = "adv_withdraw"
 T_NO_ROUTE = "no_route"    # network error back to source
+T_ROUTE_INVALIDATE = "route_inval"  # client -> router: cached route is dead
 T_SYNC = "sync"            # server <-> server anti-entropy
 
 _id_counter = itertools.count(1)

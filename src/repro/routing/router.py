@@ -35,7 +35,7 @@ from repro.naming.names import GdpName
 from repro.crypto.keys import SigningKey
 from repro.routing import pdu as pdutypes
 from repro.routing.domain import RoutingDomain
-from repro.routing.glookup import RouteEntry
+from repro.routing.glookup import RouteEntry, expiry_from_wire
 from repro.routing.pdu import Pdu
 from repro.runtime.dispatch import find_handler, on_ptype
 from repro.sim.net import Link, Node, SimNetwork
@@ -61,6 +61,8 @@ class GdpRouter(Node):
         service_time: float = DEFAULT_SERVICE_TIME,
         egress_bandwidth: float | None = None,
         fib_ttl: float = 3600.0,
+        neg_ttl: float = 1.0,
+        quarantine_ttl: float = 10.0,
     ):
         super().__init__(network, node_id)
         self.domain = domain
@@ -76,6 +78,10 @@ class GdpRouter(Node):
         #: models the router host's NIC; gives Fig. 6 its 1 Gbps ceiling
         self.egress_bandwidth = egress_bandwidth
         self.fib_ttl = fib_ttl
+        #: how long a full resolution miss is cached (negative cache)
+        self.neg_ttl = neg_ttl
+        #: how long a replica reported dead by a client is steered around
+        self.quarantine_ttl = quarantine_ttl
         self._busy_until = 0.0
         self._egress_busy_until = 0.0
         #: directly attached endpoints (advertisement bindings); these
@@ -83,6 +89,10 @@ class GdpRouter(Node):
         self.attached: dict[GdpName, Node] = {}
         #: name -> (next-hop node, expiry sim-time) — the route *cache*
         self.fib: dict[GdpName, tuple[Node, float]] = {}
+        #: name -> expiry sim-time of a cached resolution *miss*
+        self._neg_cache: dict[GdpName, float] = {}
+        #: principal -> expiry sim-time of a client-reported dead replica
+        self._quarantine: dict[GdpName, float] = {}
         self._pending_challenges: dict[GdpName, tuple[bytes, Node]] = {}
         self.pipeline = network.node_pipeline()
         metrics = network.metrics.node(node_id)
@@ -90,6 +100,9 @@ class GdpRouter(Node):
         self._c_bytes = metrics.counter("router.bytes")
         self._c_no_route = metrics.counter("router.no_route")
         self._c_verified_installs = metrics.counter("router.verified_installs")
+        self._c_ttl_expired = metrics.counter("router.ttl_expired")
+        self._c_failovers = metrics.counter("router.failovers")
+        self._c_negative_hits = metrics.counter("glookup.negative_hits")
         domain.add_router(self)
 
     # -- backwards-compatible counter views --------------------------------
@@ -113,6 +126,25 @@ class GdpRouter(Node):
     def stats_verified_installs(self) -> int:
         """Verified GLookup installs (registry: ``router.verified_installs``)."""
         return self._c_verified_installs.value
+
+    @property
+    def stats_ttl_expired(self) -> int:
+        """PDUs dropped for exhausted hop budget (registry:
+        ``router.ttl_expired``) — loop/black-hole symptom, counted
+        separately from resolution misses."""
+        return self._c_ttl_expired.value
+
+    @property
+    def stats_failovers(self) -> int:
+        """Client-reported route invalidations processed (registry:
+        ``router.failovers``)."""
+        return self._c_failovers.value
+
+    @property
+    def stats_negative_hits(self) -> int:
+        """Resolutions short-circuited by the negative cache (registry:
+        ``glookup.negative_hits``)."""
+        return self._c_negative_hits.value
 
     # -- link layer -------------------------------------------------------
 
@@ -182,9 +214,11 @@ class GdpRouter(Node):
             except Exception:
                 continue
             self.domain.glookup.unregister(name, pdu.src)
-            cached = self.fib.get(name)
-            if cached is not None and cached[0] is owner_node:
-                del self.fib[name]
+            # A withdrawal must take effect across the whole domain
+            # tree, not just this router — sibling routers holding a
+            # cached route to the withdrawn name would otherwise keep
+            # forwarding into a black hole until their FIB TTL lapsed.
+            self.domain.purge_name(name)
 
     @on_ptype(pdutypes.T_ADV_HELLO)
     def _on_adv_hello(self, pdu: Pdu, from_node: Node) -> None:
@@ -206,13 +240,22 @@ class GdpRouter(Node):
 
     @on_ptype(pdutypes.T_ADV_RESPONSE)
     def _on_adv_response(self, pdu: Pdu, from_node: Node) -> None:
-        pending = self._pending_challenges.pop(pdu.src, None)
+        pending = self._pending_challenges.get(pdu.src)
         if pending is None:
             return
         nonce, endpoint_node = pending
+        if from_node is not endpoint_node:
+            # The attachment binds to the link the HELLO arrived on; a
+            # signed response from any other link is ignored *without*
+            # consuming the pending challenge, so an attacker replaying
+            # the response elsewhere cannot break the honest handshake.
+            return
+        del self._pending_challenges[pdu.src]
         try:
-            accepted = self._verify_advertisement(pdu, nonce)
+            accepted, leases = self._verify_advertisement(pdu, nonce)
         except AdvertisementError:
+            # The nonce is spent, but a fresh HELLO re-issues a new
+            # challenge, so the endpoint can always retry.
             reply = pdu.response(
                 pdutypes.T_ADV_ACK, {"accepted": [], "error": "rejected"}
             )
@@ -224,17 +267,52 @@ class GdpRouter(Node):
         # replicas can age them out.
         if accepted:
             self.attached[accepted[0]] = endpoint_node
-        expiry = self.sim.now + self.fib_ttl
         for name in accepted[1:]:
-            self.fib[name] = (endpoint_node, expiry)
+            self._install(name, endpoint_node, lease=leases.get(name))
         reply = pdu.response(
             pdutypes.T_ADV_ACK, {"accepted": [n.raw for n in accepted]}
         )
         self._send_pdu(from_node, reply)
 
-    def _verify_advertisement(self, pdu: Pdu, nonce: bytes) -> list[GdpName]:
+    @on_ptype(pdutypes.T_ROUTE_INVALIDATE)
+    def _on_route_invalidate(self, pdu: Pdu, from_node: Node) -> None:
+        """A client reports that a cached route led nowhere (its request
+        timed out or bounced).  Authorization: the report must arrive
+        over the reporter's authenticated attachment link.  The named
+        route is dropped (forcing re-resolution) and, when the reporter
+        names the replica that went dark, that principal is quarantined
+        so anycast steers the retry elsewhere."""
+        if self.attached.get(pdu.src) is not from_node:
+            return  # not the authenticated attachment: ignore
+        payload = pdu.payload
+        for raw in payload.get("unreachable", []) if isinstance(
+            payload.get("unreachable"), list
+        ) else [payload.get("unreachable")]:
+            if raw is None:
+                continue
+            try:
+                name = GdpName(raw)
+            except Exception:
+                continue
+            self.fib.pop(name, None)
+        principal_raw = payload.get("principal")
+        if principal_raw is not None:
+            try:
+                principal = GdpName(principal_raw)
+            except Exception:
+                principal = None
+            if principal is not None:
+                self._quarantine[principal] = (
+                    self.sim.now + self.quarantine_ttl
+                )
+        self._c_failovers.inc()
+
+    def _verify_advertisement(
+        self, pdu: Pdu, nonce: bytes
+    ) -> tuple[list[GdpName], dict[GdpName, float | None]]:
         """Verify the challenge signature and each catalog entry; returns
-        the accepted names after registering them in the GLookupService."""
+        the accepted names (registered in the GLookupService) plus each
+        name's lease expiry."""
         payload = pdu.payload
         try:
             metadata = Metadata.from_wire(payload["metadata"])
@@ -248,6 +326,7 @@ class GdpRouter(Node):
         if not metadata.self_key.verify(challenge_preimage, signature):
             raise AdvertisementError("challenge-response signature invalid")
         accepted: list[GdpName] = []
+        leases: dict[GdpName, float | None] = {}
         now = self.sim.now
         # The endpoint's own name.
         from repro.delegation.certs import RtCert
@@ -257,6 +336,7 @@ class GdpRouter(Node):
             if payload.get("rtcert") is not None
             else None
         )
+        self_lease = expiry_from_wire(payload.get("expires_at"))
         self_entry = RouteEntry(
             metadata.name,
             router=self.name,
@@ -265,17 +345,19 @@ class GdpRouter(Node):
             rtcert=rtcert,
             chain=None,
             router_metadata=self.metadata,
-            expires_at=payload.get("expires_at"),
+            expires_at=self_lease,
         )
         self_entry.verify(now=now)
         self.domain.glookup.register(self_entry)
         accepted.append(metadata.name)
+        leases[metadata.name] = self_lease
         # Capsule catalog entries.
         from repro.delegation.chain import ServiceChain
 
         for raw_entry in payload.get("catalog", []):
             try:
                 chain = ServiceChain.from_wire(raw_entry["chain"])
+                lease = expiry_from_wire(raw_entry.get("expires_at"))
                 entry = RouteEntry(
                     chain.capsule,
                     router=self.name,
@@ -284,7 +366,7 @@ class GdpRouter(Node):
                     rtcert=rtcert,
                     chain=chain,
                     router_metadata=self.metadata,
-                    expires_at=raw_entry.get("expires_at"),
+                    expires_at=lease,
                 )
                 entry.verify(now=now)
                 if chain.server != metadata.name:
@@ -293,17 +375,26 @@ class GdpRouter(Node):
                     )
                 self.domain.glookup.register(entry)
                 accepted.append(chain.capsule)
+                leases[chain.capsule] = lease
             except Exception:
                 # One bad catalog entry must not sink the rest; the
                 # endpoint learns from the accepted list what stuck.
                 continue
-        return accepted
+        # A fresh advertisement is a liveness proof: lift any replica
+        # quarantine on the principal and forget cached misses for the
+        # names it just proved reachable.
+        self._quarantine.pop(metadata.name, None)
+        for name in accepted:
+            self._neg_cache.pop(name, None)
+        return accepted, leases
 
     # -- data plane: forwarding -------------------------------------------
 
     def _forward(self, pdu: Pdu, from_node: Node) -> None:
         if pdu.ttl <= 0:
-            self._c_no_route.inc()
+            # Exhausted hop budget is a loop/black-hole symptom, not a
+            # missing route — keep the diagnostics separable.
+            self._c_ttl_expired.inc()
             return
         next_hop = self._resolve_next_hop(pdu.dst)
         if next_hop is None:
@@ -317,11 +408,14 @@ class GdpRouter(Node):
     def _bounce_no_route(self, pdu: Pdu, from_node: Node) -> None:
         if pdu.ptype == pdutypes.T_NO_ROUTE:
             return  # never bounce a bounce
+        # The header's corr_id already correlates the bounce; repeating
+        # the raw counter in the payload would make the encoded size
+        # depend on process-lifetime PDU counts and break trace replay.
         error = Pdu(
             self.name,
             pdu.src,
             pdutypes.T_NO_ROUTE,
-            {"unreachable": pdu.dst.raw, "corr_id": pdu.corr_id},
+            {"unreachable": pdu.dst.raw},
             corr_id=pdu.corr_id,
         )
         back = self._resolve_next_hop(pdu.src)
@@ -342,19 +436,39 @@ class GdpRouter(Node):
             if self.sim.now <= expiry:
                 return node
             del self.fib[dst]
+        # 1b. Negative cache: a recent full miss short-circuits the
+        #     GLookup climb so dead names cannot cause per-PDU lookup
+        #     storms through the hierarchy.
+        neg = self._neg_cache.get(dst)
+        if neg is not None:
+            if self.sim.now <= neg:
+                self._c_negative_hits.inc()
+                return None
+            del self._neg_cache[dst]
         # 2. Local domain GLookupService.
         entries = self.domain.glookup.lookup(dst)
         if entries:
-            return self._install_from_entries(dst, entries)
+            hop = self._install_from_entries(dst, entries)
+            if hop is not None:
+                return hop
         # 3. Ancestors ("when a specific name cannot be found in the
         #    local GLookupService, such a name is queried in the
         #    GLookupService of the parent routing domain, and so on").
         if self.domain.parent is not None:
             _, remote = self.domain.parent.glookup.lookup_recursive(dst)
-            if remote:
+            # The remote GLookupService is no more trusted than the
+            # local one: re-verify before installing the upward route,
+            # and cap the cache lifetime at the evidence's lease.
+            for entry in remote:
+                try:
+                    entry.verify(now=self.sim.now)
+                except Exception:
+                    continue
+                self._c_verified_installs.inc()
                 hop = self.domain.next_hop_upward(self)
-                self._install(dst, hop)
+                self._install(dst, hop, lease=entry.expires_at)
                 return hop
+        self._neg_cache[dst] = self.sim.now + self.neg_ttl
         return None
 
     def _install_from_entries(
@@ -364,7 +478,11 @@ class GdpRouter(Node):
         local-domain GLookup answer."""
         from repro.routing.anycast import select_entry
 
-        choice = select_entry(self, entries)
+        # Steer around replicas under failover quarantine, unless they
+        # are all quarantined (a possibly-stale route beats no route).
+        now = self.sim.now
+        live = [e for e in entries if not self._is_quarantined(e.principal, now)]
+        choice = select_entry(self, live or entries)
         if choice is None:
             return None
         # Routers do not trust the GLookupService: re-verify evidence.
@@ -393,22 +511,44 @@ class GdpRouter(Node):
                     return (
                         self._install_from_entries(dst, rest) if rest else None
                     )
-                self._install(dst, endpoint)
+                self._install(dst, endpoint, lease=choice.expires_at)
                 return endpoint
             hop = self.domain.next_hop_to_router(self, attachment_router)
-        self._install(dst, hop)
+        self._install(dst, hop, lease=choice.expires_at)
         return hop
 
-    def _router_by_name(self, name: GdpName | None) -> "GdpRouter | None":
-        for router in self.domain.routers:
-            if router.name == name:
-                return router
-        return None
+    def _is_quarantined(self, principal: GdpName, now: float) -> bool:
+        expiry = self._quarantine.get(principal)
+        if expiry is None:
+            return False
+        if now > expiry:
+            del self._quarantine[principal]
+            return False
+        return True
 
-    def _install(self, dst: GdpName, hop: Node) -> None:
-        self.fib[dst] = (hop, self.sim.now + self.fib_ttl)
+    def _router_by_name(self, name: GdpName | None) -> "GdpRouter | None":
+        return self.domain.router_by_name(name)
+
+    def _install(
+        self, dst: GdpName, hop: Node, *, lease: float | None = None
+    ) -> None:
+        """Cache a route; the entry can never outlive its evidence — the
+        FIB expiry is capped at the advertisement lease."""
+        expiry = self.sim.now + self.fib_ttl
+        if lease is not None:
+            expiry = min(expiry, lease)
+        self.fib[dst] = (hop, expiry)
+        self._neg_cache.pop(dst, None)
+
+    def drop_route(self, dst: GdpName) -> None:
+        """Forget cached state for one name (route + negative cache);
+        direct attachments are ground truth and stay."""
+        self.fib.pop(dst, None)
+        self._neg_cache.pop(dst, None)
 
     def flush_fib(self) -> None:
-        """Drop all *cached* routes; direct attachments stay (they are
-        advertisement ground truth, not cache)."""
+        """Drop all *cached* routes (positive and negative); direct
+        attachments stay (they are advertisement ground truth, not
+        cache)."""
         self.fib.clear()
+        self._neg_cache.clear()

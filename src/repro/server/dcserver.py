@@ -107,12 +107,13 @@ class DataCapsuleServer(Endpoint):
         key: SigningKey | None = None,
         storage: StorageBackend | None = None,
         sign_responses: bool = True,
+        lease_ttl: float | None = None,
     ):
         key = key or SigningKey.from_seed(b"server:" + node_id.encode())
         metadata = make_server_metadata(
             key, key.public, extra={"node_id": node_id}
         )
-        super().__init__(network, node_id, metadata, key)
+        super().__init__(network, node_id, metadata, key, lease_ttl=lease_ttl)
         self.storage = storage if storage is not None else MemoryStore()
         self.sign_responses = sign_responses
         self.hosted: dict[GdpName, HostedCapsule] = {}
@@ -170,6 +171,11 @@ class DataCapsuleServer(Endpoint):
             for hosted in self.hosted.values()
         ]
 
+    def current_catalog(self) -> list[dict]:
+        """Re-advertisements (the lease-refresh daemon) always carry the
+        *live* hosting table, not the catalog of the last handshake."""
+        return self.catalog_entries()
+
     def crash(self) -> None:
         """Kill the process: stop responding and drop all in-memory
         session state (HMAC sessions, pending RPCs, subscriber lists
@@ -184,6 +190,9 @@ class DataCapsuleServer(Endpoint):
         self._sessions.clear()
         self._sign_anyway.clear()
         self._pending_rpcs.clear()
+        # A handshake caught mid-flight dies with the process; leaving
+        # it pending would block every post-restart re-advertisement.
+        self.abandon_advertisement()
 
     def restart(self) -> None:
         """Come back up with exactly what the storage backend kept.
@@ -203,6 +212,11 @@ class DataCapsuleServer(Endpoint):
             hosted.capsule = DataCapsule(hosted.capsule.metadata)
             hosted.subscribers.clear()
         self.recover_from_storage()
+        # Routes lapsed (or are about to) with the advertisement lease
+        # while we were down; re-advertise so the name heals promptly
+        # instead of waiting for the next refresh tick.
+        if self.router is not None:
+            self._schedule_readvertise()
 
     def recover_from_storage(self) -> int:
         """Reload records/heartbeats from the backend into any hosted

@@ -211,6 +211,23 @@ def _scenario(world: EpisodeWorld):
         if len(summaries) <= 1:
             break
         yield 2.0
+    # Post-heal reachability probe: run *before* the daemons stop, while
+    # leases are still being refreshed — this is the reachability
+    # oracle's evidence.  Subscriptions must re-attach to a live replica
+    # and a live anycast read of the capsule must succeed.
+    try:
+        world.probe["resubscribed"] = (
+            yield from world.client.resync_subscriptions()
+        )
+    except GdpError as exc:
+        world.probe["resubscribe_error"] = type(exc).__name__
+    try:
+        result = yield from world.client.read_latest(metadata.name)
+        world.probe["read_ok"] = True
+        world.probe["tip"] = 0 if result is None else result.record.seqno
+    except GdpError as exc:
+        world.probe["read_ok"] = False
+        world.probe["read_error"] = f"{type(exc).__name__}: {exc}"
     for daemon in world.daemons:
         daemon.stop()
 
@@ -220,10 +237,15 @@ def run_episode(
     *,
     faults_override: list[FaultEvent] | None = None,
     trace: bool = True,
+    profile: str = "default",
 ) -> EpisodeResult:
     """Run one complete episode; never raises for in-episode failures —
-    scenario crashes and oracle violations both land in the result."""
-    plan = build_plan(seed, faults_override=faults_override)
+    scenario crashes and oracle violations both land in the result.
+
+    ``profile`` selects a named fault schedule (see
+    :func:`repro.simtest.plan.build_plan`); ``"crash_bias"`` is the
+    routing-resilience soak mix."""
+    plan = build_plan(seed, faults_override=faults_override, profile=profile)
     world = build_world(plan)
     tracer = world.net.enable_tracing() if trace else None
     error = None

@@ -238,6 +238,66 @@ def check_fib_glookup(world) -> list[Violation]:
     return violations
 
 
+@oracle("reachability")
+def check_reachability(world) -> list[Violation]:
+    """Post-heal reachability (§VII: leases + client failover).
+
+    The one liveness property the routing plane does promise: after
+    every fault window closed and the fleet healed, the capsule must be
+    reachable again.  The evidence is the heal-phase probe recorded in
+    ``world.probe`` (taken while lease refresh was still running): a
+    live anycast read must have succeeded, every subscription must have
+    re-attached to a replica that is alive and hosting, and no
+    duplicate push may ever have reached the application callback —
+    duplicate *suppression* is the failover mechanism working, a
+    duplicate in ``world.pushes`` is it failing.
+    """
+    violations = []
+    probe = world.probe
+    if not probe:
+        # The scenario died before the heal finished; run_episode
+        # reports that crash itself — there is no probe to judge.
+        return violations
+    live_names = {
+        server.name
+        for server in world.live_servers()
+        if world.metadata.name in server.hosted
+    }
+    if live_names and not probe.get("read_ok"):
+        violations.append(Violation(
+            "reachability",
+            "episode",
+            f"post-heal read failed with live replicas up: "
+            f"{probe.get('read_error', 'no result recorded')}",
+        ))
+    subscriptions = getattr(world.client, "_subscriptions", {})
+    for capsule, sub in sorted(
+        subscriptions.items(), key=lambda item: item[0].raw
+    ):
+        if live_names and (
+            sub.server is None or sub.server not in live_names
+        ):
+            violations.append(Violation(
+                "reachability",
+                f"subscription/{capsule.human()}",
+                "subscription is not attached to a live hosting "
+                "replica after the heal",
+            ))
+    if len(world.pushes) != len(set(world.pushes)):
+        duplicated = sorted(
+            seqno
+            for seqno in set(world.pushes)
+            if world.pushes.count(seqno) > 1
+        )
+        violations.append(Violation(
+            "reachability",
+            "subscription/pushes",
+            f"duplicate deliveries reached the callback: "
+            f"seqnos {duplicated}",
+        ))
+    return violations
+
+
 @oracle("conservation")
 def check_conservation(world) -> list[Violation]:
     """Metrics conservation: on every link, at quiesce,

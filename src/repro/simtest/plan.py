@@ -19,7 +19,14 @@ from dataclasses import dataclass, field, replace
 
 from repro.sim.workload import op_schedule, record_sizes
 
-__all__ = ["FaultEvent", "EpisodePlan", "build_plan", "FAULT_KINDS"]
+__all__ = [
+    "FaultEvent",
+    "EpisodePlan",
+    "build_plan",
+    "crash_biased_faults",
+    "FAULT_KINDS",
+    "PROFILES",
+]
 
 #: every fault kind an episode can schedule; "partition" targets a
 #: backbone link, "crash" targets a server process, the rest arm a
@@ -130,13 +137,51 @@ def _draw_faults(
     return events
 
 
+def crash_biased_faults(
+    seed: int, span: float, n_links: int, n_servers: int
+) -> list[FaultEvent]:
+    """The routing-resilience soak schedule: mostly server crashes, with
+    windows sized against the episode lease (simtest.world.LEASE_TTL)
+    so advertisements actually *expire* while their server is down and
+    clients must fail over, not just wait out a blip.
+
+    Drawn from a dedicated RNG stream, so it never perturbs the default
+    :func:`build_plan` draw sequence (same-seed default episodes stay
+    byte-identical).
+    """
+    rng = random.Random(f"crash-bias:{seed}")
+    events: list[FaultEvent] = []
+    for _ in range(rng.randint(3, 6)):
+        kind = rng.choice(("crash", "crash", "crash", "partition"))
+        start = rng.uniform(0.3, max(1.0, span * 0.8))
+        # Longer than the 8s lease more often than not: the crashed
+        # server's routes lapse mid-window instead of surviving it.
+        duration = rng.uniform(4.0, 14.0)
+        if kind == "crash":
+            target = rng.randrange(n_servers)
+        else:
+            target = rng.randrange(n_links)
+        events.append(FaultEvent(kind, target, start, duration, 0.0))
+    return events
+
+
+#: named fault-schedule profiles accepted by :func:`build_plan`
+PROFILES = ("default", "crash_bias")
+
+
 def build_plan(
-    seed: int, *, faults_override: list[FaultEvent] | None = None
+    seed: int,
+    *,
+    faults_override: list[FaultEvent] | None = None,
+    profile: str = "default",
 ) -> EpisodePlan:
     """The pure seed -> plan function (see module docstring).
 
     ``faults_override`` replaces the fault schedule after every random
     draw has been made, leaving topology and workload untouched.
+    ``profile`` picks a named fault schedule the same way (post-draw
+    swap): ``"crash_bias"`` substitutes :func:`crash_biased_faults` for
+    the default mix — the nightly routing-resilience soak profile.
     """
     rng = random.Random(seed)
     n_domains = rng.randint(1, 3)
@@ -176,6 +221,12 @@ def build_plan(
         use_subscriber=use_subscriber,
         faults=faults,
     )
+    if profile not in PROFILES:
+        raise ValueError(f"unknown fault profile: {profile!r}")
+    if profile == "crash_bias":
+        plan.faults = crash_biased_faults(
+            seed, sum(gaps), n_links, n_servers
+        )
     if faults_override is not None:
         plan.faults = [replace(event) for event in faults_override]
     return plan

@@ -19,7 +19,9 @@ import random
 from dataclasses import dataclass, field
 
 from repro.client import GdpClient, OwnerConsole
+from repro.client.failover import SubscriptionMonitor
 from repro.crypto import SigningKey
+from repro.routing.lease import LeaseRefreshDaemon
 from repro.runtime.faults import (
     DelayFaults,
     DropFaults,
@@ -37,6 +39,14 @@ __all__ = ["EpisodeWorld", "build_world"]
 #: seconds long and must converge inside the quiesce deadline)
 SYNC_INTERVAL = 2.0
 
+#: server advertisement lease inside episodes — short enough that a
+#: crashed server's routes lapse mid-episode (exercising lease expiry),
+#: long enough that the half-lease refresh cadence keeps live servers up
+LEASE_TTL = 8.0
+
+#: subscription-monitor period (tip probe + stalled-push detection)
+MONITOR_INTERVAL = 4.0
+
 
 @dataclass
 class EpisodeWorld:
@@ -46,7 +56,7 @@ class EpisodeWorld:
     topo: Topology
     backbone_links: list[Link]
     servers: list[DataCapsuleServer]
-    daemons: list[AntiEntropyDaemon]
+    daemons: list  # anti-entropy + lease-refresh + subscription monitor
     client: GdpClient
     console: OwnerConsole
     writer_key: SigningKey
@@ -58,6 +68,9 @@ class EpisodeWorld:
     durable_seqnos: list[int] = field(default_factory=list)
     op_log: list[str] = field(default_factory=list)
     pushes: list[int] = field(default_factory=list)
+    #: the heal-phase reachability probe's findings (read outcome,
+    #: subscription resync count) — the reachability oracle's evidence
+    probe: dict = field(default_factory=dict)
 
     @property
     def net(self) -> SimNetwork:
@@ -97,9 +110,9 @@ def build_world(plan: EpisodePlan) -> EpisodeWorld:
         if node_id != "bb0"
     ]
     servers: list[DataCapsuleServer] = []
-    daemons: list[AntiEntropyDaemon] = []
+    daemons: list = []
     for i in range(plan.n_servers):
-        server = DataCapsuleServer(net, f"s{i}")
+        server = DataCapsuleServer(net, f"s{i}", lease_ttl=LEASE_TTL)
         server.attach(site_routers[i % len(site_routers)], latency=0.001)
         servers.append(server)
         # Seeded jitter desynchronizes the fleet (no sync storms) while
@@ -109,8 +122,21 @@ def build_world(plan: EpisodePlan) -> EpisodeWorld:
             interval=SYNC_INTERVAL,
             rng=random.Random(f"{plan.seed}:antientropy:{i}"),
         ))
+        # Live servers re-advertise inside the lease; crashed ones skip
+        # their turn, so their routes lapse (the lease doing its job).
+        daemons.append(LeaseRefreshDaemon(
+            server,
+            rng=random.Random(f"{plan.seed}:leaserefresh:{i}"),
+        ))
     client = GdpClient(net, "ep_client")
     client.attach(site_routers[0], latency=0.001)
+    # Notices a silently dead serving replica (tip advancing elsewhere,
+    # pushes stalled) and transparently re-subscribes.
+    daemons.append(SubscriptionMonitor(
+        client,
+        interval=MONITOR_INTERVAL,
+        rng=random.Random(f"{plan.seed}:submonitor"),
+    ))
     owner_key = SigningKey.from_seed(b"simtest-owner-%d" % plan.seed)
     writer_key = SigningKey.from_seed(b"simtest-writer-%d" % plan.seed)
     console = OwnerConsole(client, owner_key)

@@ -233,6 +233,61 @@ class TestCompromisedGLookup:
         assert g.run(scenario()) == b"true-data"
         assert g.server_edge.stats["reads"] == 1
 
+    def test_ancestor_path_reverifies_remote_entries(
+        self, mini_gdp, owner_keys
+    ):
+        """A forged entry planted only in a compromised *ancestor*
+        GLookupService must not be installed by a child-domain router
+        resolving through the hierarchy — the remote service is no more
+        trusted than the local one."""
+        from repro.delegation import AdCert, ServiceChain
+        from repro.errors import RoutingError, TimeoutError_
+        from repro.naming import make_capsule_metadata, make_server_metadata
+        from repro.routing.glookup import RouteEntry
+
+        g = mini_gdp
+        g.root_domain.glookup.verify_on_register = False
+
+        def scenario():
+            yield from g.bootstrap()
+            # A capsule that exists nowhere; the only "route" is forged.
+            ghost_md = make_capsule_metadata(
+                owner_keys(b"ghost-owner"), owner_keys(b"ghost-writer").public
+            )
+            rogue = owner_keys(b"rogue-ancestor")
+            rogue_md = make_server_metadata(rogue, rogue.public)
+            forged_adcert = AdCert.issue(rogue, ghost_md.name, rogue_md.name)
+            forged_chain = ServiceChain(ghost_md, forged_adcert, rogue_md)
+            forged_entry = RouteEntry(
+                ghost_md.name,
+                router=g.r_root.name,
+                principal=rogue_md.name,
+                principal_metadata=rogue_md,
+                rtcert=None,
+                chain=forged_chain,
+                router_metadata=g.r_root.metadata,
+            )
+            g.root_domain.glookup.register(forged_entry, propagate=False)
+            installs_before = g.r_edge.stats_verified_installs
+            # An edge-domain client resolves through the ancestor path.
+            corr_id, future = g.writer_client.request(
+                ghost_md.name,
+                {"op": "metadata", "capsule": ghost_md.name.raw},
+                timeout=3.0,
+            )
+            try:
+                yield future
+            except (RoutingError, TimeoutError_):
+                pass
+            else:
+                raise AssertionError("forged route produced an answer")
+            # The forged evidence never made it into the edge FIB.
+            assert ghost_md.name not in g.r_edge.fib
+            assert g.r_edge.stats_verified_installs == installs_before
+            return True
+
+        assert g.run(scenario())
+
 
 class TestEquivocatingWriter:
     def test_fork_is_cryptographically_attributable(self, capsule_factory, writer_key):

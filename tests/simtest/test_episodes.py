@@ -46,8 +46,35 @@ def test_episode_survives_heavy_fault_schedule():
     assert result.ok, result.report()
 
 
+@pytest.mark.tier1
+@pytest.mark.parametrize("seed", [3, 11])
+def test_crash_bias_episode_passes(seed):
+    """The crash-biased profile (faults skewed toward server crashes
+    and partitions long enough to outlive advertisement leases) must
+    still satisfy every oracle — including post-heal reachability."""
+    result = run_episode(seed, profile="crash_bias")
+    assert result.ok, result.report()
+
+
 @pytest.mark.soak
 @pytest.mark.parametrize("seed", range(SOAK_BASE_SEED, SOAK_BASE_SEED + SOAK_EPISODES))
 def test_soak_episode(seed):
     result = run_episode(seed)
+    assert result.ok, result.report()
+
+
+#: crash-bias sweep size; the routing-resilience acceptance bar is 200
+RESILIENCE_EPISODES = int(os.environ.get("SIMTEST_RESILIENCE_EPISODES", "200"))
+RESILIENCE_BASE_SEED = int(os.environ.get("SIMTEST_RESILIENCE_BASE_SEED", "5000"))
+
+
+@pytest.mark.soak
+@pytest.mark.parametrize(
+    "seed",
+    range(RESILIENCE_BASE_SEED, RESILIENCE_BASE_SEED + RESILIENCE_EPISODES),
+)
+def test_soak_crash_bias_episode(seed):
+    """Nightly reachability sweep: crash/partition-heavy fault windows
+    sized to lapse leases, judged by the reachability oracle."""
+    result = run_episode(seed, profile="crash_bias")
     assert result.ok, result.report()

@@ -24,6 +24,14 @@ Commands
                 ``--json PATH`` writes the BENCH_<suite>.json document,
                 ``--check BASELINE`` exits non-zero on a >30%
                 regression (the CI perf gate)
+``serve``       boot a real multi-process fleet over TCP
+                (``--fleet N`` shared-nothing processes, each one
+                router + one DataCapsule-server); Ctrl-C drains
+                gracefully and prints per-process shutdown summaries
+``loadgen``     drive a fleet with an open-loop workload and report
+                p50/p99/p999 append/read latency plus sustained PDU/s
+                per level; ``--json``/``--check`` mirror ``bench``
+                (the transport CI perf gate)
 """
 
 from __future__ import annotations
@@ -282,6 +290,111 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """The ``serve`` command: run a real socket-mode fleet until
+    interrupted, then drain gracefully."""
+    import signal
+    import tempfile
+    import time
+
+    from repro.fleet import FleetLauncher, FleetSpec
+
+    # SIGTERM (systemd stop, docker stop, a supervisor) must drain the
+    # fleet exactly like Ctrl-C; without this the supervisor dies and
+    # orphans its children mid-write.
+    def _terminate(signum, frame):
+        raise KeyboardInterrupt
+
+    signal.signal(signal.SIGTERM, _terminate)
+
+    rendezvous = args.rendezvous or tempfile.mkdtemp(prefix="gdp_fleet_")
+    spec = FleetSpec(
+        args.fleet,
+        rendezvous,
+        host=args.host,
+        storage_root=args.storage,
+        fsync=args.fsync,
+    )
+    launcher = FleetLauncher(spec)
+    launcher.start()
+    try:
+        try:
+            ports = launcher.wait_ready()
+        except TimeoutError as exc:
+            print(f"fleet failed to come up: {exc}")
+            return 2
+        print(f"fleet up: {args.fleet} processes on {args.host}")
+        for index, port in enumerate(ports):
+            print(
+                f"  [{index}] router {spec.router_node_id(index)} "
+                f"port {port}  server {spec.server_name(index).human()}"
+            )
+        print(f"rendezvous: {rendezvous}")
+        print("Ctrl-C to drain and stop")
+        while launcher.alive():
+            time.sleep(0.5)
+        print("fleet exited unexpectedly")
+        return 1
+    except KeyboardInterrupt:
+        print("\ndraining fleet ...")
+        summaries = launcher.stop()
+        for summary in summaries:
+            drain_ms = summary.get("drain_ms")
+            drained = (
+                f"{drain_ms:.1f} ms" if drain_ms is not None else "no drain"
+            )
+            print(
+                f"  [{summary.get('index')}] drain {drained}, "
+                f"appends {summary.get('appends', '?')}, "
+                f"replications {summary.get('replications', '?')}, "
+                f"reads {summary.get('reads', '?')}"
+            )
+        return 0
+    finally:
+        # Whatever path exits (startup timeout, a crash, an interrupt
+        # mid-wait_ready), never leave the children orphaned — the
+        # multiprocessing atexit join would hang the supervisor forever.
+        if launcher.alive():
+            launcher.stop()
+
+
+def cmd_loadgen(args: argparse.Namespace) -> int:
+    """The ``loadgen`` command: open-loop load against a real fleet."""
+    import json
+
+    from repro import loadgen
+
+    rates = tuple(int(r) for r in args.rates.split(",")) if args.rates \
+        else loadgen.DEFAULT_RATES
+    doc = loadgen.run_loadgen(
+        processes=args.processes,
+        rates=rates,
+        duration=args.duration,
+        progress=lambda msg: print(f"  ... {msg}", flush=True),
+    )
+    print()
+    print(loadgen.format_table(doc))
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"\nwrote {args.json}")
+    if args.check:
+        try:
+            baseline = loadgen.load_baseline(args.check)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"\nperf gate: cannot read baseline {args.check}: {exc}")
+            return 2
+        failures = loadgen.check_regression(doc, baseline)
+        if failures:
+            print(f"\nperf gate FAILED vs {args.check}:")
+            for failure in failures:
+                print(f"  - {failure}")
+            return 1
+        print(f"\nperf gate PASS vs {args.check}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
     parser = argparse.ArgumentParser(
@@ -338,6 +451,51 @@ def main(argv: list[str] | None = None) -> int:
         "--quick", action="store_true",
         help="skip the fig8 end-to-end run (primitives only)",
     )
+    serve = sub.add_parser(
+        "serve", help="boot a real multi-process fleet over TCP"
+    )
+    serve.add_argument(
+        "--fleet", type=int, default=3, metavar="N",
+        help="number of shared-nothing processes (default 3)",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default loopback)"
+    )
+    serve.add_argument(
+        "--rendezvous", default=None, metavar="DIR",
+        help="port/ready-file directory (default: a fresh temp dir)",
+    )
+    serve.add_argument(
+        "--storage", default=None, metavar="DIR",
+        help="FileStore root (default: in-memory storage)",
+    )
+    serve.add_argument(
+        "--fsync", action="store_true",
+        help="fsync every append (durable but slow)",
+    )
+    loadgen_cmd = sub.add_parser(
+        "loadgen", help="open-loop load against a real fleet"
+    )
+    loadgen_cmd.add_argument(
+        "--processes", type=int, default=3, metavar="N",
+        help="fleet size to spawn (default 3)",
+    )
+    loadgen_cmd.add_argument(
+        "--rates", default=None, metavar="R1,R2,...",
+        help="offered op rates per level (default 25,50,100)",
+    )
+    loadgen_cmd.add_argument(
+        "--duration", type=float, default=2.0, metavar="S",
+        help="seconds per level (default 2)",
+    )
+    loadgen_cmd.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="write the BENCH_transport.json document to PATH",
+    )
+    loadgen_cmd.add_argument(
+        "--check", metavar="BASELINE", default=None,
+        help="exit non-zero on perf-gate failure vs BASELINE",
+    )
     args = parser.parse_args(argv)
     commands = {
         "version": cmd_version,
@@ -347,6 +505,8 @@ def main(argv: list[str] | None = None) -> int:
         "inventory": cmd_inventory,
         "simtest": cmd_simtest,
         "bench": cmd_bench,
+        "serve": cmd_serve,
+        "loadgen": cmd_loadgen,
     }
     if args.command is None:
         parser.print_help()

@@ -83,7 +83,12 @@ class ScopeViolationError(RoutingError, SecurityError):
 
 
 class TransportError(GdpError):
-    """Simulated-network transport failure (drop, partition, timeout)."""
+    """Network transport failure (drop, partition, closed peer, timeout)."""
+
+
+class WireFormatError(TransportError, EncodingError):
+    """A binary frame or PDU failed to parse (truncated, oversized,
+    garbage, or unknown type code)."""
 
 
 class TimeoutError_(TransportError):

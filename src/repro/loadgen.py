@@ -1,0 +1,305 @@
+"""Open-loop load generator: the engine behind ``repro loadgen``.
+
+Drives a real (socket-mode) GDP fleet with an *open-loop* arrival
+process: operations are injected on a fixed schedule regardless of how
+fast earlier ones complete, so queueing delay shows up in the measured
+latency instead of silently throttling the offered load (the
+coordinated-omission trap of closed-loop generators).  Latency for op
+*k* is ``completion_time - scheduled_start``, where the scheduled start
+is ``k / rate`` — not the moment the op actually got to run.
+
+Each level offers a fixed rate for a fixed duration against a capsule
+replicated across two fleet processes, alternating appends and verified
+reads, and reports p50/p99/p999 per op kind plus sustained PDU/s from
+the client transport counters.  The machine-readable document
+(``BENCH_transport.json``) feeds the CI perf gate: generous absolute
+bounds plus a >30% regression comparison against the checked-in
+baseline (see ``check_regression``).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+__all__ = [
+    "run_loadgen",
+    "check_regression",
+    "format_table",
+    "load_baseline",
+    "GATED_FLOORS",
+    "GATED_CEILINGS",
+]
+
+#: throughput keys that must beat an absolute floor (values chosen far
+#: below any healthy run — they catch collapse, not hardware variance)
+GATED_FLOORS = {"pdus_per_sec": 100.0}
+
+#: latency keys that must stay under an absolute ceiling (ms)
+GATED_CEILINGS = {"append_p99_ms": 500.0, "read_p99_ms": 500.0}
+
+_REGRESSION_TOLERANCE = 0.30
+
+#: absolute slack (ms) added on top of the relative latency tolerance:
+#: near saturation a p99 in the tens of milliseconds can double from
+#: scheduler jitter alone, which is a 100% relative move on a tiny
+#: absolute base.  A regression only fails the gate when it clears both
+#: the 30% relative bound *and* this absolute margin.
+_LATENCY_SLACK_MS = 75.0
+
+#: default offered rates (ops/second) — three open-loop levels, the top
+#: one near the single-client saturation point so queueing is visible
+DEFAULT_RATES = (25, 50, 100)
+
+
+def _percentile(samples: list[float], q: float) -> float:
+    """Nearest-rank percentile of *samples* (q in [0, 1])."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def _latency_summary(samples_ms: list[float]) -> dict:
+    return {
+        "count": len(samples_ms),
+        "p50": round(_percentile(samples_ms, 0.50), 3),
+        "p99": round(_percentile(samples_ms, 0.99), 3),
+        "p999": round(_percentile(samples_ms, 0.999), 3),
+        "max": round(max(samples_ms), 3) if samples_ms else 0.0,
+    }
+
+
+def _run_level(ctx, client, writer, capsule_name, *, rate, duration):
+    """One open-loop level; returns the level's result dict."""
+    total_ops = max(2, int(rate * duration))
+    latencies: dict[str, list[float]] = {"append": [], "read": []}
+    state = {"completed": 0, "errors": 0}
+    done = ctx.future()
+    pdus_before = client.transport.sent + client.transport.delivered
+    wall_start = time.perf_counter()
+    level_start = ctx.now
+
+    def finish_one() -> None:
+        state["completed"] += 1
+        if state["completed"] == total_ops and not done.done:
+            done.resolve(None)
+
+    def op_process(kind: str, scheduled_start: float, seqno: int):
+        try:
+            if kind == "append":
+                yield from writer.append(b"loadgen-%d" % seqno)
+            else:
+                yield from client.read(capsule_name, seqno)
+        except Exception:  # noqa: BLE001 — tallied, not raised mid-level
+            state["errors"] += 1
+        else:
+            latencies[kind].append((ctx.now - scheduled_start) * 1000.0)
+        finish_one()
+
+    # Reads cycle over records seeded before the level started.
+    for k in range(total_ops):
+        scheduled_start = level_start + k / rate
+        kind = "read" if k % 2 else "append"
+        seqno = (k % 16) + 1 if kind == "read" else k
+        ctx.schedule(
+            max(0.0, scheduled_start - ctx.now),
+            ctx.spawn,
+            op_process(kind, scheduled_start, seqno),
+            f"op{k}",
+        )
+
+    def level_driver():
+        yield ctx.timeout(done, duration + 30.0, f"loadgen level {rate}/s")
+
+    ctx.run_process(level_driver(), f"level-{rate}")
+    wall_seconds = time.perf_counter() - wall_start
+    pdus = client.transport.sent + client.transport.delivered - pdus_before
+    return {
+        "target_rate": rate,
+        "offered_ops": total_ops,
+        "completed_ops": state["completed"],
+        "errors": state["errors"],
+        "duration_s": round(wall_seconds, 3),
+        "append_ms": _latency_summary(latencies["append"]),
+        "read_ms": _latency_summary(latencies["read"]),
+        "pdus_per_sec": round(pdus / wall_seconds, 1) if wall_seconds else 0.0,
+        "backpressure": client.transport.backpressure,
+    }
+
+
+def run_loadgen(
+    *,
+    processes: int = 3,
+    rates: tuple = DEFAULT_RATES,
+    duration: float = 2.0,
+    rendezvous: str | None = None,
+    progress=None,
+) -> dict:
+    """Boot a fleet, drive every load level, and return the
+    BENCH_transport.json document (dict)."""
+    import tempfile
+
+    from repro.client import GdpClient, OwnerConsole
+    from repro.crypto import SigningKey
+    from repro.fleet import FleetLauncher, FleetSpec
+    from repro.naming.names import GdpName
+    from repro.runtime.context import AsyncioContext
+    from repro.runtime.socketnet import SocketNetwork
+
+    def note(message: str) -> None:
+        if progress is not None:
+            progress(message)
+
+    workdir = rendezvous or tempfile.mkdtemp(prefix="gdp_loadgen_")
+    spec = FleetSpec(processes, workdir)
+    launcher = FleetLauncher(spec)
+    note(f"booting {processes}-process fleet")
+    launcher.start()
+    try:
+        ports = launcher.wait_ready()
+        ctx = AsyncioContext()
+        net = SocketNetwork(ctx, seed=7)
+        client = GdpClient(net, "loadgen_client")
+        channel = ctx.loop.run_until_complete(
+            client.transport.dial(spec.host, ports[0])
+        )
+        client.attach_channel(channel, GdpName(channel.remote_name_raw))
+
+        owner_key = SigningKey.from_seed(b"loadgen-owner")
+        writer_key = SigningKey.from_seed(b"loadgen-writer")
+        console = OwnerConsole(client, owner_key)
+        replicas = [spec.server_metadata(i) for i in range(min(2, processes))]
+
+        def setup():
+            yield client.advertise()
+            metadata = console.design_capsule(
+                writer_key.public, pointer_strategy="chain"
+            )
+            yield from console.place_capsule(metadata, replicas)
+            yield 0.5
+            writer = client.open_writer(metadata, writer_key)
+            # Seed the records the read side cycles over.
+            yield from writer.append_stream(
+                [b"seed-%d" % i for i in range(16)]
+            )
+            return metadata, writer
+
+        metadata, writer = ctx.run_process(setup(), "loadgen-setup")
+
+        levels = []
+        for rate in rates:
+            note(f"level: {rate} ops/s open-loop for {duration}s")
+            levels.append(
+                _run_level(
+                    ctx,
+                    client,
+                    writer,
+                    metadata.name,
+                    rate=rate,
+                    duration=duration,
+                )
+            )
+        summaries = launcher.stop()
+    finally:
+        if launcher.alive():
+            launcher.stop()
+
+    top = levels[-1]
+    doc = {
+        "schema": "gdp-bench-transport/1",
+        "fleet": {
+            "processes": processes,
+            "transport": "asyncio-tcp",
+            "replicas": len(replicas),
+        },
+        "levels": levels,
+        "drain_ms": [s.get("drain_ms") for s in summaries],
+        "gated": {
+            "pdus_per_sec": top["pdus_per_sec"],
+            "append_p99_ms": top["append_ms"]["p99"],
+            "read_p99_ms": top["read_ms"]["p99"],
+        },
+    }
+    return doc
+
+
+def check_regression(current: dict, baseline: dict) -> list[str]:
+    """Compare a fresh run against the checked-in baseline; returns a
+    list of failure strings (empty = gate passes).
+
+    Gated (from the top load level): ``pdus_per_sec`` must beat its
+    floor and stay within 30% of the baseline; ``append_p99_ms`` /
+    ``read_p99_ms`` must stay under their ceilings and within 30%
+    *above* the baseline (plus ``_LATENCY_SLACK_MS`` of absolute slack,
+    so jitter on a small base cannot flake the gate).  Per-level
+    absolute numbers are informational — they track runner hardware.
+    """
+    failures = []
+    cur = current.get("gated", {})
+    base = baseline.get("gated", {})
+    for key, floor in GATED_FLOORS.items():
+        if key not in cur:
+            failures.append(f"gated.{key}: missing from current run")
+            continue
+        if cur[key] < floor:
+            failures.append(
+                f"gated.{key}: {cur[key]:.1f} is below the "
+                f"{floor:.1f} acceptance floor"
+            )
+        if key in base and cur[key] < base[key] * (1 - _REGRESSION_TOLERANCE):
+            failures.append(
+                f"gated.{key}: {cur[key]:.1f} regressed >30% from "
+                f"baseline {base[key]:.1f}"
+            )
+    for key, ceiling in GATED_CEILINGS.items():
+        if key not in cur:
+            failures.append(f"gated.{key}: missing from current run")
+            continue
+        if cur[key] > ceiling:
+            failures.append(
+                f"gated.{key}: {cur[key]:.3f}ms exceeds the "
+                f"{ceiling:.0f}ms acceptance ceiling"
+            )
+        if key in base and base[key] > 0 and (
+            cur[key] > base[key] * (1 + _REGRESSION_TOLERANCE)
+            and cur[key] > base[key] + _LATENCY_SLACK_MS
+        ):
+            failures.append(
+                f"gated.{key}: {cur[key]:.3f}ms regressed >30% (and "
+                f">{_LATENCY_SLACK_MS:.0f}ms) from "
+                f"baseline {base[key]:.3f}ms"
+            )
+    return failures
+
+
+def format_table(doc: dict) -> str:
+    """Human-readable summary of a loadgen document."""
+    lines = [
+        "rate     append p50/p99/p999 (ms)     read p50/p99/p999 (ms)"
+        "     PDU/s    err",
+        "-" * 76,
+    ]
+    for level in doc.get("levels", []):
+        a, r = level["append_ms"], level["read_ms"]
+        lines.append(
+            f"{level['target_rate']:>4}/s "
+            f"{a['p50']:>8.2f} {a['p99']:>7.2f} {a['p999']:>8.2f}   "
+            f"{r['p50']:>8.2f} {r['p99']:>7.2f} {r['p999']:>8.2f}   "
+            f"{level['pdus_per_sec']:>8,.0f} "
+            f"{level['errors']:>5}"
+        )
+    drains = [d for d in doc.get("drain_ms", []) if d is not None]
+    if drains:
+        lines.append(
+            f"fleet drain: {len(drains)} processes, "
+            f"max {max(drains):.1f} ms"
+        )
+    return "\n".join(lines)
+
+
+def load_baseline(path: str) -> dict:
+    """Read a BENCH_transport.json document from *path*."""
+    with open(path) as fh:
+        return json.load(fh)

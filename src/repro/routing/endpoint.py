@@ -25,7 +25,7 @@ from repro.routing.glookup import wire_expiry
 from repro.routing.pdu import Pdu
 from repro.routing.router import ADVERT_DOMAIN_TAG, GdpRouter
 from repro.runtime.dispatch import find_handler, on_ptype
-from repro.sim.engine import Future
+from repro.runtime.context import Future
 from repro.sim.net import Link, Node, SimNetwork
 
 __all__ = ["Endpoint"]
@@ -48,7 +48,14 @@ class Endpoint(Node):
         self.key = key
         self.name: GdpName = metadata.name
         self.pipeline = network.node_pipeline()
+        self.transport = network.transport_for(self).bind(self.handle_message)
         self.router: GdpRouter | None = None
+        #: the flat name of our attachment router (known even when the
+        #: router is a remote process rather than an in-memory object)
+        self.router_name: GdpName | None = None
+        #: the transport peer handle toward the router (the router node
+        #: in sim mode; a channel in socket mode)
+        self._uplink: Any = None
         #: advertisements default to leases of this length (None keeps
         #: the pre-lease behavior: advertise forever, age out by FIB TTL)
         self.lease_ttl = lease_ttl
@@ -79,7 +86,16 @@ class Endpoint(Node):
             loss=loss,
         )
         self.router = router
+        self.router_name = router.name
+        self._uplink = router
         return link
+
+    def attach_channel(self, channel: Any, router_name: GdpName) -> None:
+        """Attach over an existing transport channel (socket mode): the
+        router is a remote process known only by name and connection."""
+        self.router = None
+        self.router_name = router_name
+        self._uplink = channel
 
     def advertise(
         self,
@@ -98,7 +114,7 @@ class Endpoint(Node):
         from now; re-advertising (the lease-refresh daemon's job)
         extends it.
         """
-        if self.router is None:
+        if self._uplink is None:
             raise RoutingError(f"{self.node_id} is not attached to a router")
         if self._pending_adv is not None and not self._pending_adv.done:
             raise RoutingError("advertisement already in progress")
@@ -109,7 +125,7 @@ class Endpoint(Node):
         self._pending_adv = self.sim.future()
         hello = Pdu(
             self.name,
-            self.router.name,
+            self.router_name,
             pdutypes.T_ADV_HELLO,
             {"metadata": self.metadata.to_wire()},
         )
@@ -121,14 +137,14 @@ class Endpoint(Node):
         from repro.delegation.certs import RtCert
 
         nonce = pdu.payload["nonce"]
-        assert self.router is not None
+        assert self.router_name is not None
         signature = self.key.sign(
-            ADVERT_DOMAIN_TAG + nonce + self.router.name.raw
+            ADVERT_DOMAIN_TAG + nonce + self.router_name.raw
         )
         rtcert = RtCert.issue(
             self.key,
             self.name,
-            self.router.name,
+            self.router_name,
             expires_at=self._adv_expires,
         )
         # Lease expiries travel as exact packed floats (the canonical
@@ -142,7 +158,7 @@ class Endpoint(Node):
             catalog.append(entry)
         response = Pdu(
             self.name,
-            self.router.name,
+            self.router_name,
             pdutypes.T_ADV_RESPONSE,
             {
                 "metadata": self.metadata.to_wire(),
@@ -169,12 +185,12 @@ class Endpoint(Node):
     def withdraw(self, names: "list[GdpName]") -> None:
         """Withdraw advertised names at our router (fire-and-forget;
         authorization is the authenticated attachment link)."""
-        if self.router is None:
+        if self._uplink is None:
             raise RoutingError(f"{self.node_id} is not attached")
         self.send_pdu(
             Pdu(
                 self.name,
-                self.router.name,
+                self.router_name,
                 pdutypes.T_ADV_WITHDRAW,
                 {"names": [name.raw for name in names]},
             )
@@ -201,7 +217,7 @@ class Endpoint(Node):
         """Tell our router that the route it gave us for *name* went
         dead (fire-and-forget failover hint; *principal* identifies the
         replica to quarantine for anycast)."""
-        if self.router is None:
+        if self._uplink is None:
             return
         payload: dict = {"unreachable": name.raw}
         if principal is not None:
@@ -209,7 +225,7 @@ class Endpoint(Node):
         self.send_pdu(
             Pdu(
                 self.name,
-                self.router.name,
+                self.router_name,
                 pdutypes.T_ROUTE_INVALIDATE,
                 payload,
             )
@@ -220,14 +236,14 @@ class Endpoint(Node):
     def send_pdu(self, pdu: Pdu) -> None:
         """Transmit a PDU via the attachment router (runs the outbound
         middleware chain first)."""
-        if self.router is None:
+        if self._uplink is None:
             raise RoutingError(f"{self.node_id} is not attached")
         if self.pipeline:
             out = self.pipeline.run_outbound(self, pdu)
             if out is None:
                 return
             pdu = out
-        self.send(self.router, pdu, pdu.size_bytes)
+        self.transport.send(self._uplink, pdu)
 
     def rpc(
         self,
@@ -252,7 +268,11 @@ class Endpoint(Node):
     # -- inbound dispatch ----------------------------------------------------
 
     def receive(self, message: Any, sender: Node, link: Link) -> None:
-        """Inbound message dispatch (overrides the base handler).
+        """Link-layer entry (sim mode): hand off to the transport."""
+        self.transport.deliver(message, sender)
+
+    def handle_message(self, message: Any, peer: Any) -> None:
+        """Transport-neutral inbound dispatch.
 
         PDU types map to handlers through the typed ``"ptype"`` dispatch
         registry (see :mod:`repro.runtime.dispatch`); unknown types are
@@ -262,7 +282,7 @@ class Endpoint(Node):
             raise TransportError(f"endpoint received non-PDU {message!r}")
         pdu = message
         if self.pipeline:
-            pdu = self.pipeline.run_inbound(self, pdu, sender)
+            pdu = self.pipeline.run_inbound(self, pdu, peer)
             if pdu is None:
                 return
         handler = find_handler(self, pdu.ptype, space="ptype")

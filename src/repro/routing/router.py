@@ -95,6 +95,13 @@ class GdpRouter(Node):
         self._quarantine: dict[GdpName, float] = {}
         self._pending_challenges: dict[GdpName, tuple[bytes, Node]] = {}
         self.pipeline = network.node_pipeline()
+        self.transport = network.transport_for(self).bind(self.handle_message)
+        #: learn reverse routes from traversing PDUs (source -> ingress
+        #: peer).  Off in sim mode — the GLookup hierarchy resolves
+        #: everything there and learning would perturb pinned traces; the
+        #: socket fleet turns it on so responses can cross processes that
+        #: share no GLookupService.
+        self.learn_source_routes = False
         metrics = network.metrics.node(node_id)
         self._c_forwarded = metrics.counter("router.forwarded")
         self._c_bytes = metrics.counter("router.bytes")
@@ -149,11 +156,15 @@ class GdpRouter(Node):
     # -- link layer -------------------------------------------------------
 
     def receive(self, message: Any, sender: Node, link: Link) -> None:
-        """Inbound message dispatch (overrides the base handler)."""
+        """Link-layer entry (sim mode): hand off to the transport."""
+        self.transport.deliver(message, sender)
+
+    def handle_message(self, message: Any, peer: Any) -> None:
+        """Transport-neutral inbound dispatch."""
         if not isinstance(message, Pdu):
             raise RoutingError(f"router received non-PDU {message!r}")
         if self.pipeline:
-            message = self.pipeline.run_inbound(self, message, sender)
+            message = self.pipeline.run_inbound(self, message, peer)
             if message is None:
                 return
         # Single-server processing queue: each PDU occupies the
@@ -161,7 +172,7 @@ class GdpRouter(Node):
         start = max(self.sim.now, self._busy_until)
         self._busy_until = start + self.service_time
         delay = self._busy_until - self.sim.now
-        self.sim.schedule(delay, self._process, message, sender)
+        self.sim.schedule(delay, self._process, message, peer)
 
     def _send_pdu(self, next_hop: Node, pdu: Pdu) -> None:
         if self.pipeline:
@@ -170,7 +181,7 @@ class GdpRouter(Node):
                 return
             pdu = out
         if self.egress_bandwidth is None:
-            self.send(next_hop, pdu, pdu.size_bytes)
+            self.transport.send(next_hop, pdu)
             return
         # Shared-NIC egress queue: transmissions serialize across all
         # output links at the aggregate line rate.
@@ -178,9 +189,9 @@ class GdpRouter(Node):
         self._egress_busy_until = start + pdu.size_bytes / self.egress_bandwidth
         delay = start - self.sim.now
         if delay <= 0:
-            self.send(next_hop, pdu, pdu.size_bytes)
+            self.transport.send(next_hop, pdu)
         else:
-            self.sim.schedule(delay, self.send, next_hop, pdu, pdu.size_bytes)
+            self.sim.schedule(delay, self.transport.send, next_hop, pdu)
 
     # -- control plane: secure advertisement ------------------------------
 
@@ -391,6 +402,12 @@ class GdpRouter(Node):
     # -- data plane: forwarding -------------------------------------------
 
     def _forward(self, pdu: Pdu, from_node: Node) -> None:
+        if self.learn_source_routes and from_node is not self:
+            # Transparent reverse-path learning (socket fleet): remember
+            # which peer PDUs from this source arrive through, so the
+            # response can retrace the path without a shared GLookup.
+            if pdu.src not in self.attached:
+                self._install(pdu.src, from_node)
         if pdu.ttl <= 0:
             # Exhausted hop budget is a loop/black-hole symptom, not a
             # missing route — keep the diagnostics separable.
@@ -539,6 +556,13 @@ class GdpRouter(Node):
             expiry = min(expiry, lease)
         self.fib[dst] = (hop, expiry)
         self._neg_cache.pop(dst, None)
+
+    def add_static_route(self, name: GdpName, peer: Any) -> None:
+        """Install a permanent next hop for *name* (fleet interconnect).
+
+        Like a direct attachment, this is configuration ground truth,
+        not cache: it survives FIB flushes and never expires."""
+        self.attached[name] = peer
 
     def drop_route(self, dst: GdpName) -> None:
         """Forget cached state for one name (route + negative cache);

@@ -161,7 +161,7 @@ class TamperFaults(_Fault):
             return value
 
         pdu.payload = corrupt(pdu.payload)
-        pdu._size = None
+        pdu._payload_bytes = None
 
 
 class ReplayFaults(_Fault):

@@ -123,7 +123,12 @@ class DataCapsuleServer(Endpoint):
         # itself: the client has no keys until it reads it).
         self._sign_anyway: set[tuple[GdpName, int]] = set()
         self.crashed = False
+        #: drain state: a draining server refuses new data ops, finishes
+        #: in-flight ones, and flushes storage before shutdown
+        self.draining = False
+        self._inflight = 0
         metrics = network.metrics.node(node_id)
+        self._h_drain_ms = metrics.histogram("server.drain_ms")
         self._c_appends = metrics.counter("server.appends")
         self._c_replications = metrics.counter("server.replications")
         self._c_reads = metrics.counter("server.reads")
@@ -215,7 +220,7 @@ class DataCapsuleServer(Endpoint):
         # Routes lapsed (or are about to) with the advertisement lease
         # while we were down; re-advertise so the name heals promptly
         # instead of waiting for the next refresh tick.
-        if self.router is not None:
+        if self._uplink is not None:
             self._schedule_readvertise()
 
     def recover_from_storage(self) -> int:
@@ -238,11 +243,30 @@ class DataCapsuleServer(Endpoint):
 
     # -- request handling ----------------------------------------------------
 
-    def receive(self, message: Any, sender, link) -> None:
+    def handle_message(self, message: Any, peer: Any) -> None:
         """Inbound message dispatch (overrides the base handler)."""
         if self.crashed:
             return  # a dead server is silence on the wire
-        super().receive(message, sender, link)
+        super().handle_message(message, peer)
+
+    def drain(self, poll: float = 0.01, max_wait: float = 30.0):
+        """Process body: graceful shutdown, losing no acked record.
+
+        Stops accepting new data ops (they get an ``unavailable``
+        error), waits for every in-flight op — an append is only acked
+        after its durability policy is satisfied, so waiting for the
+        in-flight set empties the set of acked-but-unpersisted records —
+        then flushes the storage backend.  Observes the wall time spent
+        in the ``server.drain_ms`` histogram and returns it.
+        """
+        start = self.ctx.now
+        self.draining = True
+        while self._inflight > 0 and self.ctx.now - start < max_wait:
+            yield poll
+        self.storage.sync()
+        drain_ms = (self.ctx.now - start) * 1000.0
+        self._h_drain_ms.observe(drain_ms)
+        return drain_ms
 
     def on_request(self, pdu: Pdu) -> Any:
         """Serve one application request (see class docstring).
@@ -254,14 +278,26 @@ class DataCapsuleServer(Endpoint):
         envelopes, which are then secure-wrapped like any response.
         """
         payload = pdu.payload
+        if self.draining:
+            return self._wrap(
+                pdu,
+                None,
+                {
+                    "ok": False,
+                    "error": "server is draining",
+                    "error_kind": "unavailable",
+                },
+            )
         result = dispatch_op(self, pdu, payload)
         if isinstance(result, dict) and result.get("error_kind"):
             return self._wrap(pdu, None, result)
         if isinstance(result, Future):
             wrapped = self.sim.future()
             capsule_name = self._capsule_of(payload)
+            self._inflight += 1
 
             def finish(fut: Future) -> None:
+                self._inflight -= 1
                 try:
                     body = fut.result()
                 except GdpError as exc:
@@ -327,7 +363,7 @@ class DataCapsuleServer(Endpoint):
     def _schedule_readvertise(self) -> None:
         """Re-advertise the full catalog, retrying while a previous
         handshake is still in flight."""
-        if self.router is None:
+        if self._uplink is None:
             return
         if self._pending_adv is not None and not self._pending_adv.done:
             self.sim.schedule(0.05, self._schedule_readvertise)
@@ -624,7 +660,7 @@ class DataCapsuleServer(Endpoint):
         del self.hosted[name]
         self.storage.delete_capsule(name)
         # Withdraw the route so traffic stops landing here.
-        if self.router is not None:
+        if self._uplink is not None:
             self.withdraw([name])
         return {"ok": True, "capsule": name.raw}
 

@@ -67,6 +67,10 @@ class StorageBackend(ABC):
     def delete_capsule(self, name: GdpName) -> None:
         """Remove all state for a capsule."""
 
+    def sync(self) -> None:
+        """Flush everything buffered to the durable medium (no-op for
+        backends that persist synchronously)."""
+
 
 class MemoryStore(StorageBackend):
     """Dict-backed storage for simulations and tests.
@@ -263,6 +267,14 @@ class FileStore(StorageBackend):
             os.unlink(self._path(name))
         except FileNotFoundError:
             pass
+
+    def sync(self) -> None:
+        """Flush and fsync every pooled append handle (the drain path:
+        even with ``fsync=False`` appends, nothing buffered survives in
+        volatile memory after a sync)."""
+        for fh in self._handles.values():
+            fh.flush()
+            os.fsync(fh.fileno())
 
     def close(self) -> None:
         """Close any pooled append handles (flushing buffered frames)."""

@@ -22,125 +22,20 @@ makes runs deterministic.
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Generator, Iterable
+from typing import Any, Callable, Generator
 
-from repro.errors import TimeoutError_
+from repro.runtime.context import Future, Process, RuntimeContext
 
 __all__ = ["Simulator", "Future", "Process"]
 
 
-class Future:
-    """A one-shot value a process can wait on."""
+class Simulator(RuntimeContext):
+    """The event loop: a priority queue over (time, seq) keys.
 
-    __slots__ = ("sim", "_value", "_error", "_done", "_waiters")
-
-    def __init__(self, sim: "Simulator"):
-        self.sim = sim
-        self._value: Any = None
-        self._error: BaseException | None = None
-        self._done = False
-        self._waiters: list[Callable[["Future"], None]] = []
-
-    @property
-    def done(self) -> bool:
-        """Whether the future has resolved or failed."""
-        return self._done
-
-    def result(self) -> Any:
-        """The resolved value; raises the stored error if failed."""
-        if not self._done:
-            raise RuntimeError("future is not resolved yet")
-        if self._error is not None:
-            raise self._error
-        return self._value
-
-    def resolve(self, value: Any = None) -> None:
-        """Resolve with *value* (idempotent; later calls ignored)."""
-        if self._done:
-            return
-        self._done = True
-        self._value = value
-        for waiter in self._waiters:
-            self.sim.schedule(0.0, waiter, self)
-        self._waiters.clear()
-
-    def fail(self, error: BaseException) -> None:
-        """Fail with *error* (idempotent; later calls ignored)."""
-        if self._done:
-            return
-        self._done = True
-        self._error = error
-        for waiter in self._waiters:
-            self.sim.schedule(0.0, waiter, self)
-        self._waiters.clear()
-
-    def add_callback(self, fn: Callable[["Future"], None]) -> None:
-        """Invoke *fn* with this future once it settles."""
-        if self._done:
-            self.sim.schedule(0.0, fn, self)
-        else:
-            self._waiters.append(fn)
-
-
-class Process:
-    """A generator coroutine driven by the simulator.
-
-    The generator may ``yield``:
-    - ``float | int`` — sleep that many simulated seconds;
-    - :class:`Future` — resume (with its value, or its exception thrown
-      in) when it resolves;
-    - ``None`` — yield the scheduler for one tick.
-
-    The process itself exposes a :class:`Future` (``.completion``)
-    resolving with the generator's return value.
+    ``Future``/``Process`` and the derived combinators (``timeout``,
+    ``gather``) live on :class:`~repro.runtime.context.RuntimeContext`;
+    this class supplies the virtual clock and the deterministic queue.
     """
-
-    __slots__ = ("sim", "generator", "completion", "name")
-
-    def __init__(self, sim: "Simulator", generator: Generator, name: str = ""):
-        self.sim = sim
-        self.generator = generator
-        self.completion = Future(sim)
-        self.name = name or getattr(generator, "__name__", "process")
-        sim.schedule(0.0, self._step, None, None)
-
-    def _step(self, send_value: Any, throw_error: BaseException | None) -> None:
-        try:
-            if throw_error is not None:
-                yielded = self.generator.throw(throw_error)
-            else:
-                yielded = self.generator.send(send_value)
-        except StopIteration as stop:
-            self.completion.resolve(stop.value)
-            return
-        except BaseException as exc:  # noqa: BLE001 — forwarded, not hidden
-            self.completion.fail(exc)
-            return
-        if yielded is None:
-            self.sim.schedule(0.0, self._step, None, None)
-        elif isinstance(yielded, (int, float)):
-            self.sim.schedule(float(yielded), self._step, None, None)
-        elif isinstance(yielded, Future):
-            yielded.add_callback(self._on_future)
-        else:
-            self.sim.schedule(
-                0.0,
-                self._step,
-                None,
-                TypeError(f"process yielded unsupported {yielded!r}"),
-            )
-
-    def _on_future(self, future: Future) -> None:
-        try:
-            value = future.result()
-        except BaseException as exc:  # noqa: BLE001 — forwarded into process
-            self._step(None, exc)
-            return
-        self._step(value, None)
-
-
-class Simulator:
-    """The event loop: a priority queue over (time, seq) keys."""
 
     def __init__(self):
         self._now = 0.0
@@ -158,68 +53,6 @@ class Simulator:
             raise ValueError(f"cannot schedule in the past (delay={delay})")
         self._seq += 1
         heapq.heappush(self._queue, (self._now + delay, self._seq, fn, args))
-
-    def future(self) -> Future:
-        """Create a new unresolved :class:`Future`."""
-        return Future(self)
-
-    def spawn(self, generator: Generator, name: str = "") -> Process:
-        """Start a process coroutine; returns the Process (await its
-        ``.completion``)."""
-        return Process(self, generator, name)
-
-    def timeout(self, future: Future, deadline: float, what: str = "") -> Future:
-        """A future that resolves like *future* but fails with
-        :class:`TimeoutError_` if *deadline* seconds pass first."""
-        wrapped = self.future()
-
-        def on_done(fut: Future) -> None:
-            if wrapped.done:
-                return
-            try:
-                wrapped.resolve(fut.result())
-            except BaseException as exc:  # noqa: BLE001
-                wrapped.fail(exc)
-
-        def on_deadline() -> None:
-            if not wrapped.done:
-                wrapped.fail(
-                    TimeoutError_(f"timed out after {deadline}s: {what}")
-                )
-
-        future.add_callback(on_done)
-        self.schedule(deadline, on_deadline)
-        return wrapped
-
-    def gather(self, futures: Iterable[Future]) -> Future:
-        """Future resolving with a list of all results (fails fast on the
-        first failure)."""
-        futures = list(futures)
-        combined = self.future()
-        if not futures:
-            combined.resolve([])
-            return combined
-        remaining = {"count": len(futures)}
-        results: list[Any] = [None] * len(futures)
-
-        def make_callback(index: int) -> Callable[[Future], None]:
-            def callback(fut: Future) -> None:
-                if combined.done:
-                    return
-                try:
-                    results[index] = fut.result()
-                except BaseException as exc:  # noqa: BLE001
-                    combined.fail(exc)
-                    return
-                remaining["count"] -= 1
-                if remaining["count"] == 0:
-                    combined.resolve(results)
-
-            return callback
-
-        for i, fut in enumerate(futures):
-            fut.add_callback(make_callback(i))
-        return combined
 
     def step(self) -> bool:
         """Execute the next event; returns False when the queue is empty."""

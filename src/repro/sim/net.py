@@ -54,6 +54,11 @@ class Node:
         """The owning simulator."""
         return self.network.sim
 
+    @property
+    def ctx(self) -> Simulator:
+        """The owning runtime context (the simulator, in sim mode)."""
+        return self.network.ctx
+
     def link_to(self, other: "Node") -> "Link | None":
         """The direct link to *other*, or None."""
         for link in self.links:
@@ -245,10 +250,23 @@ class SimNetwork:
         self.tracer: TraceStream | None = None
         self._node_middlewares: list[NodeMiddleware] = []
 
+    @property
+    def ctx(self) -> Simulator:
+        """The runtime context (the simulator itself in sim mode; see
+        :class:`~repro.runtime.context.RuntimeContext`)."""
+        return self.sim
+
     def _register(self, node: Node) -> None:
         if node.node_id in self.nodes:
             raise ValueError(f"duplicate node id {node.node_id!r}")
         self.nodes[node.node_id] = node
+
+    def transport_for(self, node: Node, **kwargs):
+        """A :class:`~repro.runtime.transport.SimTransport` for *node*
+        (peers are adjacent nodes; sends charge the duplex links)."""
+        from repro.runtime.transport import SimTransport
+
+        return SimTransport(node, **kwargs)
 
     def connect(
         self,

@@ -1,0 +1,94 @@
+"""Determinism guard: the transport refactor must not move a single
+byte of the simulator's pinned reference traces.
+
+Everything below the dispatch plane went transport-neutral (runtime
+contexts, transports, peer handles), and any accidental change there —
+an extra RNG draw, a reordered schedule call, a different PDU size —
+shows up as a different trace hash.  These pins are regenerated only
+when a PR *intentionally* changes simulation behavior, and that must be
+a visible, reviewed diff.
+"""
+
+from repro.naming import GdpName
+from repro.routing.pdu import Pdu
+from repro.sim.net import Node, SimNetwork
+from repro.simtest import run_episode
+
+#: (seed, episode-passes, trace sha256) — the reference episodes.  Seed
+#: 42's episode fails an oracle by construction (a known fault schedule
+#: the roadmap tracks); what this guard pins is that it fails the *same
+#: way*, byte for byte.
+REFERENCE_EPISODES = [
+    (7, True,
+     "ed2b6dfa721ba77dd75fe44e02b6d505d838c8ee9b7c1bff732e30c3546e9ab7"),
+    (42, False,
+     "cddd6213a638958e4251e404e3278cbfa8c8b2866412d901a96821f271e2f497"),
+]
+
+
+class TestReferenceTraces:
+    def test_reference_seeds_are_byte_identical(self):
+        for seed, expect_ok, expect_sha in REFERENCE_EPISODES:
+            result = run_episode(seed)
+            assert result.ok is expect_ok, (
+                f"seed {seed}: episode outcome flipped "
+                f"(ok={result.ok}, expected {expect_ok})"
+            )
+            assert result.trace_sha256 == expect_sha, (
+                f"seed {seed}: trace diverged from the pinned reference "
+                f"({result.trace_sha256} != {expect_sha}) — the change "
+                "altered simulation behavior; if intentional, update "
+                "REFERENCE_EPISODES in the same PR"
+            )
+
+    def test_repeated_runs_identical(self):
+        first = run_episode(7)
+        second = run_episode(7)
+        assert first.trace_sha256 == second.trace_sha256
+
+
+class _Echo(Node):
+    """Feeds arriving PDUs into its transport (recording them)."""
+
+    def __init__(self, network, node_id):
+        super().__init__(network, node_id)
+        self.inbox = []
+        self.transport = network.transport_for(self).bind(
+            lambda pdu, peer: self.inbox.append(pdu)
+        )
+
+    def receive(self, message, sender, link):
+        self.transport.deliver(message, sender)
+
+
+class TestNoNewRngDraws:
+    def test_loss_free_exchange_draws_nothing(self):
+        """SimTransport must not consume network RNG on a loss-free
+        link: loss draws are the only legitimate consumer down there,
+        and they only happen when loss > 0."""
+        net = SimNetwork(seed=1234)
+        a = _Echo(net, "a")
+        b = _Echo(net, "b")
+        net.connect(a, b, latency=0.001, bandwidth=1e6, loss=0.0)
+        state_before = net.rng.getstate()
+        src, dst = GdpName(b"\x01" * 32), GdpName(b"\x02" * 32)
+        for i in range(25):
+            a.transport.send(b, Pdu(src, dst, "data", {"i": i}))
+            b.transport.send(a, Pdu(dst, src, "resp", {"i": i}))
+        net.sim.run()
+        assert len(a.inbox) == len(b.inbox) == 25
+        assert net.rng.getstate() == state_before
+
+    def test_lossy_link_still_draws(self):
+        """Sanity check the guard itself: with loss > 0 the RNG *is*
+        consumed, so the loss-free assertion above has teeth."""
+        net = SimNetwork(seed=1234)
+        a = _Echo(net, "a")
+        b = _Echo(net, "b")
+        net.connect(a, b, latency=0.001, bandwidth=1e6, loss=0.1)
+        state_before = net.rng.getstate()
+        src, dst = GdpName(b"\x01" * 32), GdpName(b"\x02" * 32)
+        for i in range(10):
+            a.transport.send(b, Pdu(src, dst, "data", {"i": i}))
+        net.sim.run()
+        assert net.rng.getstate() != state_before

@@ -1,0 +1,97 @@
+"""Property tests: the binary PDU wire codec round-trips its domain and
+rejects everything else (truncation, garbage, unknown type codes)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import WireFormatError
+from repro.naming import GdpName
+from repro.routing import pdu as pdutypes
+from repro.routing.pdu import HEADER_BYTES, Pdu
+
+# The payload value domain the canonical encoding covers.
+payloads = st.recursive(
+    st.none()
+    | st.booleans()
+    | st.integers(min_value=-(2**64), max_value=2**64)
+    | st.binary(max_size=64)
+    | st.text(max_size=32),
+    lambda children: st.lists(children, max_size=4)
+    | st.dictionaries(st.text(max_size=8), children, max_size=4),
+    max_leaves=12,
+)
+
+names = st.binary(min_size=32, max_size=32).map(GdpName)
+ptypes = st.sampled_from(
+    [
+        pdutypes.T_DATA,
+        pdutypes.T_RESPONSE,
+        pdutypes.T_PUSH,
+        pdutypes.T_ADV_HELLO,
+        pdutypes.T_NO_ROUTE,
+        pdutypes.T_SYNC,
+    ]
+)
+
+pdus = st.builds(
+    Pdu,
+    src=names,
+    dst=names,
+    ptype=ptypes,
+    payload=payloads,
+    corr_id=st.integers(min_value=0, max_value=2**64 - 1),
+    ttl=st.integers(min_value=0, max_value=0xFFFF),
+)
+
+
+class TestWireCodecProperties:
+    @given(pdus)
+    @settings(max_examples=300)
+    def test_roundtrip(self, pdu):
+        decoded = Pdu.decode_wire(pdu.encode_wire())
+        assert decoded.src == pdu.src
+        assert decoded.dst == pdu.dst
+        assert decoded.ptype == pdu.ptype
+        assert decoded.corr_id == pdu.corr_id
+        assert decoded.ttl == pdu.ttl
+        assert decoded.payload == pdu.payload
+
+    @given(pdus)
+    @settings(max_examples=200)
+    def test_wire_length_is_size_bytes(self, pdu):
+        wire = pdu.encode_wire()
+        assert len(wire) == pdu.size_bytes
+        assert Pdu.decode_wire(wire).size_bytes == pdu.size_bytes
+
+    @given(pdus, st.integers(min_value=1))
+    @settings(max_examples=300)
+    def test_truncated_frames_rejected(self, pdu, cut):
+        wire = pdu.encode_wire()
+        cut = 1 + (cut % (len(wire) - 1))  # strict non-empty prefix
+        with pytest.raises(WireFormatError):
+            Pdu.decode_wire(wire[: len(wire) - cut])
+
+    @given(pdus, st.binary(min_size=1, max_size=16))
+    @settings(max_examples=200)
+    def test_trailing_garbage_rejected(self, pdu, junk):
+        with pytest.raises(WireFormatError):
+            Pdu.decode_wire(pdu.encode_wire() + junk)
+
+    @given(st.binary(max_size=200))
+    @settings(max_examples=300)
+    def test_garbage_never_crashes(self, data):
+        try:
+            decoded = Pdu.decode_wire(data)
+        except WireFormatError:
+            return
+        # Anything accepted must re-encode to the same bytes.
+        assert decoded.encode_wire() == data
+
+    @given(pdus)
+    @settings(max_examples=100)
+    def test_unknown_type_code_rejected(self, pdu):
+        wire = bytearray(pdu.encode_wire())
+        wire[74] = 0xEE  # no ptype registered anywhere near 238
+        with pytest.raises(WireFormatError):
+            Pdu.decode_wire(bytes(wire))

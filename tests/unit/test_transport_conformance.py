@@ -1,0 +1,255 @@
+"""Transport conformance: both implementations honor one contract.
+
+The same checks run against :class:`SimTransport` (simulated links) and
+:class:`AsyncioTransport` (length-prefixed frames over real loopback
+TCP): per-peer FIFO ordering, closed-transport errors plus reconnect,
+oversized-frame rejection, and backpressure accounting.  The asyncio
+cases are marked ``transport`` (they open real sockets) and run in the
+socket-smoke CI job; the sim cases are tier-1.
+"""
+
+import pytest
+
+from repro.errors import TransportError, WireFormatError
+from repro.naming import GdpName
+from repro.routing.pdu import Pdu
+from repro.sim.net import Node, SimNetwork
+
+SRC = GdpName(b"\x0a" * 32)
+DST = GdpName(b"\x0b" * 32)
+
+
+def make_pdu(i: int = 0, size: int = 0) -> Pdu:
+    return Pdu(SRC, DST, "data", {"i": i, "pad": b"\x00" * size})
+
+
+class _SimElement(Node):
+    """A bare node that feeds arriving messages into its transport."""
+
+    def __init__(self, network, node_id, **transport_kwargs):
+        super().__init__(network, node_id)
+        self.inbox: list[tuple[Pdu, object]] = []
+        self.transport = network.transport_for(
+            self, **transport_kwargs
+        ).bind(lambda pdu, peer: self.inbox.append((pdu, peer)))
+
+    def receive(self, message, sender, link):
+        self.transport.deliver(message, sender)
+
+
+class SimPair:
+    """Two linked sim elements; A sends to B."""
+
+    kind = "sim"
+
+    def __init__(self, **transport_kwargs):
+        self.net = SimNetwork(seed=3)
+        self.a = _SimElement(self.net, "a", **transport_kwargs)
+        self.b = _SimElement(self.net, "b", **transport_kwargs)
+        self.net.connect(
+            self.a, self.b, latency=0.001, bandwidth=1_000_000.0
+        )
+        self._kwargs = transport_kwargs
+        self._reconnects = 0
+
+    def send(self, pdu):
+        self.a.transport.send(self.b, pdu)
+
+    def pump(self):
+        self.net.sim.run()
+
+    def inbox(self):
+        return [pdu for pdu, _peer in self.b.inbox]
+
+    @property
+    def sender(self):
+        return self.a.transport
+
+    @property
+    def receiver(self):
+        return self.b.transport
+
+    def close_sender(self):
+        self.a.transport.close()
+
+    def reconnect(self):
+        self._reconnects += 1
+        self.a.transport = self.net.transport_for(
+            self.a, **self._kwargs
+        ).bind(lambda pdu, peer: self.a.inbox.append((pdu, peer)))
+
+    def teardown(self):
+        pass
+
+
+class AsyncioPair:
+    """A dialer (A) connected to a listener (B) over loopback TCP."""
+
+    kind = "asyncio"
+
+    def __init__(self, **transport_kwargs):
+        from repro.runtime.context import AsyncioContext
+        from repro.runtime.transport import AsyncioTransport
+
+        self._AsyncioTransport = AsyncioTransport
+        self.ctx = AsyncioContext()
+        self._kwargs = transport_kwargs
+        self.received: list[Pdu] = []
+        self.tb = AsyncioTransport(
+            self.ctx, label="b", name_raw=DST.raw, **transport_kwargs
+        ).bind(lambda pdu, peer: self.received.append(pdu))
+        _, self.port = self.ctx.loop.run_until_complete(
+            self.tb.listen("127.0.0.1", 0)
+        )
+        self.ta = None
+        self.channel = None
+        self.reconnect()
+
+    def reconnect(self):
+        self.ta = self._AsyncioTransport(
+            self.ctx, label="a", name_raw=SRC.raw, **self._kwargs
+        ).bind(lambda pdu, peer: None)
+        self.channel = self.ctx.loop.run_until_complete(
+            self.ta.dial("127.0.0.1", self.port)
+        )
+
+    def send(self, pdu):
+        self.ta.send(self.channel, pdu)
+
+    def throttle(self):
+        """Shrink the kernel send buffer so bursts hit the userspace
+        write buffer (and its high-water pause) instead of vanishing
+        into loopback buffering."""
+        import socket
+
+        sock = self.channel._proto.get_extra_info("socket")
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_SNDBUF, 4096)
+
+    def pump(self, min_count: int | None = None):
+        import asyncio
+
+        target = min_count
+
+        async def _pump():
+            deadline = self.ctx.loop.time() + 5.0
+            while self.ctx.loop.time() < deadline:
+                if target is not None and len(self.received) >= target:
+                    return
+                if target is None:
+                    await asyncio.sleep(0.05)
+                    return
+                await asyncio.sleep(0.005)
+            raise AssertionError(
+                f"pump timeout: {len(self.received)} < {target}"
+            )
+
+        self.ctx.loop.run_until_complete(_pump())
+
+    def inbox(self):
+        return list(self.received)
+
+    @property
+    def sender(self):
+        return self.ta
+
+    @property
+    def receiver(self):
+        return self.tb
+
+    def close_sender(self):
+        self.ta.close()
+
+    def teardown(self):
+        self.tb.close()
+        if self.ta is not None:
+            self.ta.close()
+        self.ctx.loop.run_until_complete(
+            self.ctx.loop.shutdown_asyncgens()
+        )
+        self.ctx.loop.close()
+
+
+PAIRS = [
+    pytest.param(SimPair, id="sim"),
+    pytest.param(AsyncioPair, id="asyncio", marks=pytest.mark.transport),
+]
+
+
+@pytest.fixture(params=PAIRS)
+def pair_cls(request):
+    return request.param
+
+
+def run_pair(pair_cls, **kwargs):
+    pair = pair_cls(**kwargs)
+    return pair
+
+
+class TestConformance:
+    def test_per_peer_fifo_ordering(self, pair_cls):
+        pair = run_pair(pair_cls)
+        try:
+            for i in range(20):
+                pair.send(make_pdu(i))
+            pair.pump(20) if pair.kind == "asyncio" else pair.pump()
+            got = [pdu.payload["i"] for pdu in pair.inbox()]
+            assert got == list(range(20))
+            assert pair.sender.sent == 20
+            assert pair.receiver.delivered == 20
+        finally:
+            pair.teardown()
+
+    def test_closed_transport_refuses_sends(self, pair_cls):
+        pair = run_pair(pair_cls)
+        try:
+            pair.send(make_pdu(0))
+            pair.close_sender()
+            with pytest.raises(TransportError):
+                pair.send(make_pdu(1))
+        finally:
+            pair.teardown()
+
+    def test_reconnect_after_close(self, pair_cls):
+        pair = run_pair(pair_cls)
+        try:
+            pair.close_sender()
+            with pytest.raises(TransportError):
+                pair.send(make_pdu(0))
+            pair.reconnect()
+            pair.send(make_pdu(7))
+            pair.pump(1) if pair.kind == "asyncio" else pair.pump()
+            assert [pdu.payload["i"] for pdu in pair.inbox()] == [7]
+        finally:
+            pair.teardown()
+
+    def test_oversized_frame_rejected(self, pair_cls):
+        pair = run_pair(pair_cls, max_frame=512)
+        try:
+            pair.send(make_pdu(0))  # small one is fine
+            with pytest.raises(WireFormatError):
+                pair.send(make_pdu(1, size=4096))
+            assert pair.sender.oversized == 1
+            # The oversized PDU never reached the wire.
+            pair.pump(1) if pair.kind == "asyncio" else pair.pump()
+            assert len(pair.inbox()) == 1
+        finally:
+            pair.teardown()
+
+    def test_backpressure_counter(self, pair_cls):
+        if pair_cls.kind == "sim":
+            pair = run_pair(pair_cls)
+        else:
+            pair = run_pair(pair_cls, write_high_water=256)
+        try:
+            # A burst far beyond one frame of line capacity (sim) or the
+            # kernel-plus-userspace write buffering (TCP loopback).
+            count = 50 if pair.kind == "sim" else 400
+            if pair.kind == "asyncio":
+                pair.throttle()
+            for i in range(count):
+                pair.send(make_pdu(i, size=8192))
+            assert pair.sender.backpressure > 0
+            pair.pump(count) if pair.kind == "asyncio" else pair.pump()
+            assert len(pair.inbox()) == count  # delayed, not dropped
+        finally:
+            pair.teardown()

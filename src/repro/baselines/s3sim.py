@@ -19,6 +19,7 @@ large objects in parts; each part pays the per-request overhead.
 
 from __future__ import annotations
 
+import os
 from typing import Any, Generator
 
 from repro.crypto.keys import SigningKey
@@ -29,7 +30,12 @@ from repro.routing.pdu import Pdu
 from repro.runtime.dispatch import dispatch_op, op, opt
 from repro.sim.net import SimNetwork
 
-__all__ = ["ObjectStoreServer", "ObjectStoreClient"]
+__all__ = [
+    "ObjectStoreServer",
+    "ObjectStoreClient",
+    "MemoryObjectTier",
+    "DirectoryObjectTier",
+]
 
 #: per-request service latency (request parse + TTFB), roughly S3-like
 DEFAULT_REQUEST_LATENCY = 0.030
@@ -94,6 +100,92 @@ class ObjectStoreServer(Endpoint):
         length = payload.get("length", len(data) - offset)
         self._c_gets.inc()
         return {"ok": True, "data": data[offset : offset + length]}
+
+
+class MemoryObjectTier:
+    """A synchronous flat key→blob object store — the PUT/GET/DELETE
+    surface of :class:`ObjectStoreServer` without the simulated network,
+    so the segmented storage engine can tier cold segments through it
+    inline.  Counters mirror the server's (``puts``/``gets``) plus the
+    bytes moved, which the storage bench reports."""
+
+    def __init__(self):
+        self.objects: dict[str, bytes] = {}
+        self.puts = 0
+        self.gets = 0
+        self.bytes_put = 0
+        self.bytes_got = 0
+
+    def put(self, key: str, data: bytes) -> None:
+        self.objects[key] = bytes(data)
+        self.puts += 1
+        self.bytes_put += len(data)
+
+    def get(self, key: str) -> bytes | None:
+        data = self.objects.get(key)
+        if data is not None:
+            self.gets += 1
+            self.bytes_got += len(data)
+        return data
+
+    def delete(self, key: str) -> None:
+        self.objects.pop(key, None)
+
+    def keys(self) -> list[str]:
+        return sorted(self.objects)
+
+
+class DirectoryObjectTier:
+    """A filesystem-backed object tier (one file per key under *root*),
+    the durable stand-in for a remote object service in the torture
+    suite and bench: PUTs are atomic (tmp + rename + fsync) so a crash
+    mid-upload never leaves a half object — the same guarantee S3's
+    single-request PUT gives."""
+
+    def __init__(self, root: str):
+        self.root = root
+        os.makedirs(root, exist_ok=True)
+        self.puts = 0
+        self.gets = 0
+        self.bytes_put = 0
+        self.bytes_got = 0
+
+    def _path(self, key: str) -> str:
+        # Keys look like "<capsule-hex>/seg-XXXXXXXX.seg"; flatten the
+        # separator so every object lives directly under root.
+        return os.path.join(self.root, key.replace("/", "_"))
+
+    def put(self, key: str, data: bytes) -> None:
+        path = self._path(key)
+        tmp = path + ".tmp"
+        with open(tmp, "wb") as fh:
+            fh.write(data)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+        self.puts += 1
+        self.bytes_put += len(data)
+
+    def get(self, key: str) -> bytes | None:
+        try:
+            with open(self._path(key), "rb") as fh:
+                data = fh.read()
+        except FileNotFoundError:
+            return None
+        self.gets += 1
+        self.bytes_got += len(data)
+        return data
+
+    def delete(self, key: str) -> None:
+        try:
+            os.unlink(self._path(key))
+        except FileNotFoundError:
+            pass
+
+    def keys(self) -> list[str]:
+        return sorted(
+            f for f in os.listdir(self.root) if not f.endswith(".tmp")
+        )
 
 
 class ObjectStoreClient:

@@ -412,6 +412,32 @@ class DataCapsule:
             self._sync_leaf_cache[seqno] = cached
         return cached
 
+    def seed_sync_leaves(self, leaves: dict[int, bytes]) -> tuple[int, int]:
+        """Prime the sync-leaf cache from a storage engine's persisted
+        per-segment index (``SegmentedStore.sync_leaves``), returning
+        ``(seeded, mismatched)``.
+
+        Every offered leaf is cross-checked against the records this
+        capsule actually holds at that seqno, so a stale or corrupt
+        persisted index can never poison :meth:`range_root` — a mismatch
+        instead *surfaces* divergence between the replayed log and its
+        sealed-segment index (e.g. a corrupt frame that recovery had to
+        skip), which the server reports as a recovery integrity event.
+        """
+        seeded = 0
+        mismatched = 0
+        for seqno, leaf in leaves.items():
+            digests = self._by_seqno.get(seqno)
+            expected = (
+                b"".join(sorted(digests)) if digests else _SYNC_HOLE_LEAF
+            )
+            if expected == leaf:
+                self._sync_leaf_cache.setdefault(seqno, leaf)
+                seeded += 1
+            else:
+                mismatched += 1
+        return seeded, mismatched
+
     def range_root(self, lo: int, hi: int) -> bytes:
         """Merkle root over the sync leaves of seqnos ``lo..hi``
         (inclusive).  O(span) to build, cached until the next insert —

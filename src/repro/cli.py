@@ -251,13 +251,21 @@ def cmd_simtest(args: argparse.Namespace) -> int:
 
 def cmd_bench(args: argparse.Namespace) -> int:
     """The ``bench`` command: hot-path op/s + speedups for the selected
-    suite (``crypto`` primitives or the ``replication`` plane)."""
+    suite (``crypto`` primitives, the ``replication`` plane, or the
+    ``storage`` engines)."""
     import json
 
     if args.suite == "replication":
         from repro import bench_replication as bench
 
         doc = bench.run_bench(
+            progress=lambda msg: print(f"  ... {msg}", flush=True),
+        )
+    elif args.suite == "storage":
+        from repro import bench_storage as bench
+
+        doc = bench.run_bench(
+            quick=args.quick,
             progress=lambda msg: print(f"  ... {msg}", flush=True),
         )
     else:
@@ -313,6 +321,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         rendezvous,
         host=args.host,
         storage_root=args.storage,
+        storage_engine=args.storage_engine,
         fsync=args.fsync,
     )
     launcher = FleetLauncher(spec)
@@ -436,7 +445,8 @@ def main(argv: list[str] | None = None) -> int:
         "bench", help="run a hot-path benchmark suite"
     )
     bench_cmd.add_argument(
-        "--suite", choices=("crypto", "replication"), default="crypto",
+        "--suite", choices=("crypto", "replication", "storage"),
+        default="crypto",
         help="which benchmark suite to run (default: crypto)",
     )
     bench_cmd.add_argument(
@@ -449,7 +459,8 @@ def main(argv: list[str] | None = None) -> int:
     )
     bench_cmd.add_argument(
         "--quick", action="store_true",
-        help="skip the fig8 end-to-end run (primitives only)",
+        help="smaller run: crypto skips the fig8 end-to-end pass, "
+        "storage builds 200k records instead of 10M",
     )
     serve = sub.add_parser(
         "serve", help="boot a real multi-process fleet over TCP"
@@ -467,11 +478,18 @@ def main(argv: list[str] | None = None) -> int:
     )
     serve.add_argument(
         "--storage", default=None, metavar="DIR",
-        help="FileStore root (default: in-memory storage)",
+        help="durable storage root (default: in-memory storage)",
+    )
+    serve.add_argument(
+        "--storage-engine", choices=("file", "segmented"), default="file",
+        help="durable backend: one append-only file per capsule, or "
+        "the segmented log with crash recovery + cold tiering "
+        "(default: file)",
     )
     serve.add_argument(
         "--fsync", action="store_true",
-        help="fsync every append (durable but slow)",
+        help="durable appends: file fsyncs every append, segmented "
+        "batches fsyncs (batch:65536)",
     )
     loadgen_cmd = sub.add_parser(
         "loadgen", help="open-loop load against a real fleet"

@@ -53,15 +53,19 @@ class FleetSpec:
         *,
         host: str = "127.0.0.1",
         storage_root: str | None = None,
+        storage_engine: str = "file",
         fsync: bool = False,
         seed: int = 0,
     ):
         if processes < 1:
             raise ValueError("a fleet needs at least one process")
+        if storage_engine not in ("file", "segmented"):
+            raise ValueError(f"unknown storage engine {storage_engine!r}")
         self.processes = processes
         self.rendezvous = rendezvous
         self.host = host
         self.storage_root = storage_root
+        self.storage_engine = storage_engine
         self.fsync = fsync
         self.seed = seed
 
@@ -155,6 +159,7 @@ class FleetSpec:
             "rendezvous": self.rendezvous,
             "host": self.host,
             "storage_root": self.storage_root,
+            "storage_engine": self.storage_engine,
             "fsync": self.fsync,
             "seed": self.seed,
         }
@@ -166,6 +171,7 @@ class FleetSpec:
             data["rendezvous"],
             host=data.get("host", "127.0.0.1"),
             storage_root=data.get("storage_root"),
+            storage_engine=data.get("storage_engine", "file"),
             fsync=data.get("fsync", False),
             seed=data.get("seed", 0),
         )
@@ -195,9 +201,18 @@ def serve_process(index: int, spec: FleetSpec) -> dict:
 
     storage = None
     if spec.storage_root is not None:
-        storage = FileStore(
-            os.path.join(spec.storage_root, f"s{index}"), fsync=spec.fsync
-        )
+        root = os.path.join(spec.storage_root, f"s{index}")
+        if spec.storage_engine == "segmented":
+            from repro.server.segmented import SegmentedStore
+
+            # Batched fsync: durability with bounded loss instead of
+            # one fsync per ack (ARCHITECTURE.md §14.2).
+            storage = SegmentedStore(
+                root,
+                fsync_policy="batch:65536" if spec.fsync else "drain",
+            )
+        else:
+            storage = FileStore(root, fsync=spec.fsync)
     server = DataCapsuleServer(
         net, spec.server_node_id(index), storage=storage
     )

@@ -2,7 +2,13 @@
 and leaderless anti-entropy replication."""
 
 from repro.server.dcserver import DataCapsuleServer, HostedCapsule
-from repro.server.durability import ALL, ANY, QUORUM, AckPolicy
+from repro.server.durability import ALL, ANY, QUORUM, AckPolicy, FsyncPolicy
+from repro.server.segmented import (
+    CRASH_POINTS,
+    SegmentedStore,
+    SegmentInfo,
+    SimulatedCrash,
+)
 from repro.server.replication import (
     AntiEntropyDaemon,
     SyncConfig,
@@ -30,9 +36,14 @@ __all__ = [
     "SyncSession",
     "sync_once",
     "full_sync_once",
+    "FsyncPolicy",
     "StorageBackend",
     "MemoryStore",
     "FileStore",
+    "SegmentedStore",
+    "SegmentInfo",
+    "SimulatedCrash",
+    "CRASH_POINTS",
     "sign_response",
     "verify_signed_response",
     "mac_response",

@@ -123,6 +123,14 @@ class DataCapsuleServer(Endpoint):
         # itself: the client has no keys until it reads it).
         self._sign_anyway: set[tuple[GdpName, int]] = set()
         self.crashed = False
+        #: last recover_from_storage() report: records replayed, sync
+        #: leaves seeded from the persisted segment index, and any
+        #: index-vs-log integrity mismatches it surfaced
+        self.last_recovery: dict = {
+            "records": 0,
+            "seeded_leaves": 0,
+            "index_mismatches": 0,
+        }
         #: drain state: a draining server refuses new data ops, finishes
         #: in-flight ones, and flushes storage before shutdown
         self.draining = False
@@ -225,8 +233,21 @@ class DataCapsuleServer(Endpoint):
 
     def recover_from_storage(self) -> int:
         """Reload records/heartbeats from the backend into any hosted
-        capsule; returns how many records were recovered."""
+        capsule; returns how many records were recovered.
+
+        Backends that persist the Merkle sync index per sealed segment
+        (:class:`~repro.server.segmented.SegmentedStore`) additionally
+        seed each capsule's sync-leaf cache — anti-entropy after a
+        restart starts from the persisted index instead of re-deriving
+        leaves from history — and the seeding doubles as an integrity
+        cross-check: a persisted leaf that disagrees with the replayed
+        records means a sealed segment silently lost or corrupted a
+        frame, which is surfaced in :attr:`last_recovery` instead of
+        being masked by matching roots.
+        """
         recovered = 0
+        report = {"records": 0, "seeded_leaves": 0, "index_mismatches": 0}
+        sync_leaves = getattr(self.storage, "sync_leaves", None)
         for name, hosted in self.hosted.items():
             capsule = hosted.capsule
             for tag, wire in self.storage.load_entries(name):
@@ -239,6 +260,17 @@ class DataCapsuleServer(Endpoint):
                         capsule.add_heartbeat(Heartbeat.from_wire(wire))
                 except GdpError:
                     continue  # corrupt frame: skip, do not crash recovery
+            if sync_leaves is not None:
+                try:
+                    leaves = sync_leaves(name)
+                except StorageError:
+                    leaves = {}
+                if leaves:
+                    seeded, mismatched = capsule.seed_sync_leaves(leaves)
+                    report["seeded_leaves"] += seeded
+                    report["index_mismatches"] += mismatched
+        report["records"] = recovered
+        self.last_recovery = report
         return recovered
 
     # -- request handling ----------------------------------------------------
@@ -370,19 +402,27 @@ class DataCapsuleServer(Endpoint):
             return
         self.advertise(self.catalog_entries())
 
+    def _note_checkpoint(self, hosted: HostedCapsule, record: Record) -> None:
+        """Tell a checkpoint-aware backend when a checkpoint record
+        lands — segments wholly below it become compactable."""
+        note = getattr(self.storage, "note_checkpoint", None)
+        if note is None:
+            return
+        is_checkpoint = getattr(
+            hosted.capsule.strategy, "is_checkpoint", None
+        )
+        if is_checkpoint is not None and is_checkpoint(record.seqno):
+            note(hosted.capsule.name, record.seqno)
+
     def _persist(self, hosted: HostedCapsule, record: Record, heartbeat: Heartbeat) -> bool:
         """Validate + store locally; returns True when the record is new."""
         new = hosted.capsule.insert(record, heartbeat)
         if new:
-            try:
-                self.storage.append_record(
-                    hosted.capsule.name, record.to_wire()
-                )
-                self.storage.append_heartbeat(
-                    hosted.capsule.name, heartbeat.to_wire()
-                )
-            except StorageError:
-                raise
+            self.storage.append_entries(
+                hosted.capsule.name,
+                [("r", record.to_wire()), ("h", heartbeat.to_wire())],
+            )
+            self._note_checkpoint(hosted, record)
         return new
 
     def _persist_batch(
@@ -392,7 +432,9 @@ class DataCapsuleServer(Endpoint):
         heartbeat: Heartbeat,
     ) -> list[Record]:
         """Validate + store a record run pinned by one tip heartbeat;
-        returns the records that were new."""
+        returns the records that were new.  The whole run goes to the
+        backend as one ``append_entries`` batch — one buffered write and
+        one fsync instead of a sync per frame."""
         tip = records[-1]
         if heartbeat.seqno != tip.seqno or heartbeat.digest != tip.digest:
             from repro.errors import IntegrityError
@@ -401,16 +443,17 @@ class DataCapsuleServer(Endpoint):
                 "batch heartbeat does not sign the batch tip"
             )
         new_records = []
+        entries: list[tuple[str, dict]] = []
         for record in records:
             if hosted.capsule.insert(record):
-                self.storage.append_record(
-                    hosted.capsule.name, record.to_wire()
-                )
+                entries.append(("r", record.to_wire()))
                 new_records.append(record)
         if hosted.capsule.add_heartbeat(heartbeat, matching_record=tip):
-            self.storage.append_heartbeat(
-                hosted.capsule.name, heartbeat.to_wire()
-            )
+            entries.append(("h", heartbeat.to_wire()))
+        if entries:
+            self.storage.append_entries(hosted.capsule.name, entries)
+        for record in new_records:
+            self._note_checkpoint(hosted, record)
         return new_records
 
     @op("append", capsule=bytes, record=dict, heartbeat=dict, acks=opt(str))

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from repro.errors import DurabilityError
 
-__all__ = ["AckPolicy", "ANY", "QUORUM", "ALL"]
+__all__ = ["AckPolicy", "FsyncPolicy", "ANY", "QUORUM", "ALL"]
 
 
 class AckPolicy:
@@ -60,6 +60,56 @@ class AckPolicy:
 
     def __repr__(self) -> str:
         return f"AckPolicy({self.spec!r})"
+
+
+class FsyncPolicy:
+    """When appended bytes must reach the durable medium.
+
+    The ack policy above decides *who* must persist an append before it
+    is acknowledged; this decides what "persist" means on each replica:
+
+    - ``"always"`` — fsync before every append returns (an acked record
+      survives power loss; the FileStore/SegmentedStore default).
+    - ``"batch:N"`` — fsync once at least N bytes are pending; bounds
+      the power-loss window to N bytes while amortizing the sync cost
+      over a run of appends.
+    - ``"drain"`` — never fsync on the append path; only an explicit
+      ``StorageBackend.sync()`` (the graceful-drain lifecycle) pushes
+      bytes down.  Matches ``fsync=False``: the caller has batched
+      durability elsewhere.
+    """
+
+    def __init__(self, spec: str):
+        self.spec = spec
+        self._batch = 0
+        if spec.startswith("batch:"):
+            try:
+                self._batch = int(spec[len("batch:") :])
+            except ValueError:
+                raise DurabilityError(f"bad fsync policy {spec!r}") from None
+            if self._batch < 1:
+                raise DurabilityError("batch fsync threshold must be >= 1")
+        elif spec not in ("always", "drain"):
+            raise DurabilityError(f"unknown fsync policy {spec!r}")
+
+    def should_fsync(self, pending_bytes: int) -> bool:
+        """Must the store fsync now, with *pending_bytes* not yet synced?"""
+        if self.spec == "always":
+            return True
+        if self._batch:
+            return pending_bytes >= self._batch
+        return False
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FsyncPolicy):
+            return NotImplemented
+        return self.spec == other.spec
+
+    def __hash__(self) -> int:
+        return hash(self.spec)
+
+    def __repr__(self) -> str:
+        return f"FsyncPolicy({self.spec!r})"
 
 
 ANY = AckPolicy("any")

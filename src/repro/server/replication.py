@@ -112,11 +112,12 @@ def _absorb(
     many records were new."""
     capsule_name = hosted.capsule.name
     fetched = 0
+    entries: list[tuple[str, dict]] = []
     for record_wire in body.get("records", []):
         try:
             record = Record.from_wire(capsule_name, record_wire)
             if hosted.capsule.insert(record, enforce_strategy=False):
-                server.storage.append_record(capsule_name, record.to_wire())
+                entries.append(("r", record.to_wire()))
                 fetched += 1
         except GdpError:
             continue  # a malicious sibling cannot poison us
@@ -124,13 +125,15 @@ def _absorb(
         try:
             heartbeat = Heartbeat.from_wire(heartbeat_wire)
             if hosted.capsule.add_heartbeat(heartbeat):
-                server.storage.append_heartbeat(
-                    capsule_name, heartbeat.to_wire()
-                )
+                entries.append(("h", heartbeat.to_wire()))
                 if session is not None:
                     session.heartbeats_fetched += 1
         except GdpError:
             continue
+    if entries:
+        # One buffered write (and one fsync) for the whole validated
+        # batch instead of a storage round trip per frame.
+        server.storage.append_entries(capsule_name, entries)
     return fetched
 
 

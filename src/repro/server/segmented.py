@@ -1,0 +1,1229 @@
+"""Segmented-log storage engine (ROADMAP item 3).
+
+The paper pitches DataCapsules as "cryptographically hardened bundles"
+holding entire application histories on federated edge infrastructure
+(§IV); :class:`~repro.server.storage.FileStore` — one flat frame-per-
+record log — stops scaling long before the billion-record capsules that
+vision implies.  :class:`SegmentedStore` keeps the same
+:class:`~repro.server.storage.StorageBackend` contract but organises
+each capsule as a sequence of *segments*:
+
+- The **active** (tail) segment absorbs appends through a user-space
+  buffer; every frame carries a CRC32 so a crash mid-write is detected
+  as a *torn frame* on reopen, and the tail is physically truncated back
+  to the last intact frame (logged once in :attr:`recovery_log`).
+- When the active segment reaches ``segment_bytes`` it is **sealed**:
+  fsynced, made immutable, and described by a sidecar ``.idx`` document
+  holding a sparse seqno→offset index (point reads without a scan) and
+  the per-seqno record digests that feed the PR-4 Merkle sync index —
+  so anti-entropy and restart never re-derive digests from history.
+- Sealed segments are **compacted** when they fall entirely below the
+  capsule's last *checkpoint* record (``note_checkpoint``): adjacent
+  segments merge into one and superseded heartbeats are dropped
+  (records are never dropped — the hash chain must re-verify).
+- Cold sealed segments beyond the ``hot_segments`` newest are
+  **tiered** to an object store (the ``baselines/s3sim`` shape: a
+  flat key→blob PUT/GET/DELETE service) and read back transparently
+  through an LRU byte-budgeted cache; the ``.idx`` stays local so point
+  reads know which cold object to fetch.
+
+Durability state machine (every mutation is crash-safe at each arrow;
+the torture suite in ``tests/torture/`` kills the store at every named
+crash point and asserts no acked record is lost):
+
+    append:  buffer → [flush → fsync per FsyncPolicy] → ack
+    seal:    fsync(seg) → write idx.tmp → rename idx → MANIFEST
+    tier:    PUT object → MANIFEST(tier=object) → unlink local seg
+    compact: write merged seg+idx (fresh id) → MANIFEST → unlink olds
+
+The ``MANIFEST`` (atomic tmp+rename) is the commit point for every
+multi-file transition: on open, any local segment whose id the manifest
+does not list is a crashed transaction's debris and is deleted; any
+segment the manifest says is tiered but still exists locally lost only
+its unlink and is re-unlinked.
+"""
+
+from __future__ import annotations
+
+import mmap
+import os
+import shutil
+import struct
+import zlib
+from collections import OrderedDict
+from typing import Callable, Iterator
+
+from repro import encoding
+from repro.crypto.hashing import hash_value, sha256
+from repro.errors import StorageError
+from repro.naming.names import GdpName
+from repro.server.durability import FsyncPolicy
+from repro.server.storage import (
+    _TAG_HEARTBEAT,
+    _TAG_METADATA,
+    _TAG_RECORD,
+    StorageBackend,
+)
+
+__all__ = ["SegmentedStore", "SegmentInfo", "SimulatedCrash", "CRASH_POINTS"]
+
+_MAGIC = b"GDPSEG1\n"
+_FRAME = struct.Struct(">BII")  # tag byte, payload length, crc32(payload)
+_MANIFEST = "MANIFEST"
+
+#: sidecar-index packing: (seqno, file offset) pairs and
+#: (seqno, digest count) leaf headers.  The sidecar carries one leaf
+#: entry per record, so these fields are packed ``struct`` runs instead
+#: of canonically-encoded lists — at bench scale (tens of thousands of
+#: records per segment) canonical encoding was the dominant seal cost.
+_IDX_PAIR = struct.Struct(">QQ")
+_IDX_LEAF = struct.Struct(">QH")
+_DIGEST_LEN = 32
+
+
+def _pack_pairs(pairs) -> bytes:
+    return b"".join(_IDX_PAIR.pack(s, o) for s, o in pairs)
+
+
+def _unpack_pairs(blob: bytes) -> list[tuple[int, int]]:
+    return [
+        _IDX_PAIR.unpack_from(blob, i)
+        for i in range(0, len(blob), _IDX_PAIR.size)
+    ]
+
+
+def _pack_leaves(leaves: dict[int, list[bytes]]) -> bytes:
+    out = bytearray()
+    for seqno in sorted(leaves):
+        digests = sorted(leaves[seqno])
+        out += _IDX_LEAF.pack(seqno, len(digests))
+        for digest in digests:
+            out += digest
+    return bytes(out)
+
+
+def _unpack_leaves(blob: bytes) -> list[tuple[int, list[bytes]]]:
+    leaves = []
+    offset = 0
+    size = len(blob)
+    while offset + _IDX_LEAF.size <= size:
+        seqno, count = _IDX_LEAF.unpack_from(blob, offset)
+        offset += _IDX_LEAF.size
+        digests = [
+            blob[offset + i * _DIGEST_LEN : offset + (i + 1) * _DIGEST_LEN]
+            for i in range(count)
+        ]
+        offset += count * _DIGEST_LEN
+        leaves.append((seqno, digests))
+    return leaves
+
+#: Every site where the torture harness may kill the store.  Names are
+#: ``<operation>.<boundary>``; ``append.torn`` additionally simulates a
+#: power loss mid-``write`` by leaving half a frame on disk.
+CRASH_POINTS = (
+    "append.before",
+    "append.torn",
+    "append.buffered",
+    "append.after",
+    "seal.before",
+    "seal.index_written",
+    "seal.pre_manifest",
+    "seal.post_manifest",
+    "tier.before",
+    "tier.uploaded",
+    "tier.pre_unlink",
+    "compact.before",
+    "compact.merged",
+    "compact.pre_cleanup",
+)
+
+
+class SimulatedCrash(Exception):
+    """Raised by a crash hook to kill the store at a crash point.
+
+    Deliberately *not* a :class:`~repro.errors.GdpError`: production
+    error handling must never swallow it, so torture schedules see the
+    crash exactly where it was injected.
+    """
+
+
+class SegmentInfo:
+    """Manifest entry for one segment (mutable while active)."""
+
+    __slots__ = ("id", "sealed", "tier", "records", "first", "last", "bytes")
+
+    def __init__(
+        self,
+        id: int,
+        *,
+        sealed: bool = False,
+        tier: str = "local",
+        records: int = 0,
+        first: int = 0,
+        last: int = 0,
+        bytes: int = len(_MAGIC),
+    ):
+        self.id = id
+        self.sealed = sealed
+        self.tier = tier
+        self.records = records
+        self.first = first
+        self.last = last
+        self.bytes = bytes
+
+    def to_wire(self) -> dict:
+        return {
+            "id": self.id,
+            "sealed": self.sealed,
+            "tier": self.tier,
+            "records": self.records,
+            "first": self.first,
+            "last": self.last,
+            "bytes": self.bytes,
+        }
+
+    @classmethod
+    def from_wire(cls, wire: dict) -> "SegmentInfo":
+        return cls(
+            wire["id"],
+            sealed=wire["sealed"],
+            tier=wire["tier"],
+            records=wire["records"],
+            first=wire["first"],
+            last=wire["last"],
+            bytes=wire["bytes"],
+        )
+
+    def __repr__(self) -> str:
+        state = "sealed" if self.sealed else "active"
+        return (
+            f"SegmentInfo(id={self.id}, {state}, tier={self.tier}, "
+            f"records={self.records}, seqnos=[{self.first},{self.last}])"
+        )
+
+
+class _CapsuleLog:
+    """In-memory state for one capsule's segment chain."""
+
+    __slots__ = (
+        "name",
+        "dir",
+        "metadata",
+        "checkpoint",
+        "segments",
+        "buffer",
+        "size",
+        "pending_fsync",
+        "sparse",
+        "extras",
+        "leaves",
+        "countdown",
+    )
+
+    def __init__(self, name: GdpName, directory: str):
+        self.name = name
+        self.dir = directory
+        self.metadata: dict | None = None
+        self.checkpoint = 0
+        self.segments: list[SegmentInfo] = []
+        self.buffer = bytearray()  # active-segment bytes not yet write()n
+        self.size = 0  # active file length incl. magic and buffer
+        self.pending_fsync = 0  # bytes written/buffered since last fsync
+        self.reset_active_index()
+
+    def reset_active_index(self) -> None:
+        self.sparse: list[tuple[int, int]] = []
+        self.extras: list[tuple[int, int]] = []
+        self.leaves: dict[int, list[bytes]] = {}
+        self.countdown = 0
+
+    @property
+    def active(self) -> SegmentInfo:
+        return self.segments[-1]
+
+    def manifest_wire(self) -> dict:
+        return {
+            "version": 1,
+            "metadata": self.metadata,
+            "checkpoint": self.checkpoint,
+            "segments": [seg.to_wire() for seg in self.segments],
+        }
+
+
+def record_wire_digest(name_raw: bytes, wire: dict) -> bytes:
+    """The digest of a record *wire form*, computed without constructing
+    a :class:`~repro.capsule.records.Record` (no keys, no signature
+    checks) — byte-identical to ``Record.digest`` because both reduce to
+    ``hash_value("gdp.record", [capsule, seqno, payload_hash, ptrs])``.
+
+    Deliberately bypasses the process-wide digest memo: hashing the
+    ~100-byte header outright is cheaper than building the memo's
+    content-frozen key, and the append hot path calls this once per
+    record."""
+    return hash_value(
+        "gdp.record",
+        [name_raw, wire["seqno"], sha256(wire["payload"]), wire["pointers"]],
+    )
+
+
+class SegmentedStore(StorageBackend):
+    """Segmented-log storage engine (see module docstring).
+
+    Layout under *root*::
+
+        <capsule-hex>/MANIFEST        commit point (atomic rewrite)
+        <capsule-hex>/seg-00000001.seg   frames (magic + tag/len/crc)
+        <capsule-hex>/seg-00000001.idx   sealed-segment sidecar index
+
+    ``fsync=True`` maps to :class:`FsyncPolicy` ``"always"`` (every
+    acked append is on disk), ``False`` to ``"drain"`` (fsync only at
+    seal/:meth:`sync`, matching FileStore's opt-out).
+    """
+
+    _MAX_HANDLES = 64
+    _MAX_MMAPS = 8
+    _MAX_INDEXES = 16
+
+    def __init__(
+        self,
+        root: str,
+        *,
+        fsync: bool = True,
+        fsync_policy: FsyncPolicy | str | None = None,
+        segment_bytes: int = 1 << 20,
+        sparse_every: int = 64,
+        flush_bytes: int = 64 * 1024,
+        hot_segments: int = 2,
+        tier=None,
+        tier_cache_bytes: int = 8 << 20,
+        sync_index: bool = True,
+        auto_compact: bool = True,
+        compact_min_segments: int = 4,
+        crash_hook: Callable[[str], None] | None = None,
+    ):
+        self.root = root
+        if fsync_policy is None:
+            fsync_policy = FsyncPolicy("always" if fsync else "drain")
+        elif isinstance(fsync_policy, str):
+            fsync_policy = FsyncPolicy(fsync_policy)
+        self.fsync_policy = fsync_policy
+        self.segment_bytes = segment_bytes
+        self.sparse_every = sparse_every
+        self.flush_bytes = flush_bytes
+        self.hot_segments = hot_segments
+        self.tier = tier
+        self.tier_cache_bytes = tier_cache_bytes
+        self.sync_index = sync_index
+        self.auto_compact = auto_compact
+        self.compact_min_segments = compact_min_segments
+        self.crash_hook = crash_hook
+        os.makedirs(root, exist_ok=True)
+        self._logs: dict[GdpName, _CapsuleLog] = {}
+        self._handles: "OrderedDict[GdpName, object]" = OrderedDict()
+        self._mmaps: "OrderedDict[tuple, mmap.mmap]" = OrderedDict()
+        self._indexes: "OrderedDict[tuple, dict]" = OrderedDict()
+        self._tier_cache: "OrderedDict[str, bytes]" = OrderedDict()
+        self._tier_cache_used = 0
+        #: recovery / integrity events observed by this instance, in
+        #: order: ``{"event": ..., "capsule": hex, ...}``
+        self.recovery_log: list[dict] = []
+        self._dead = False
+
+    # -- crash-point plumbing ------------------------------------------------
+
+    def _crashpoint(self, site: str) -> None:
+        hook = self.crash_hook
+        if hook is None:
+            return
+        try:
+            hook(site)
+        except SimulatedCrash:
+            # The process is "dead": user-space buffers are lost, only
+            # bytes already write()n survive.  Poison the instance so a
+            # test bug cannot keep using it as if nothing happened.
+            self._dead = True
+            raise
+
+    def _check_alive(self) -> None:
+        if self._dead:
+            raise StorageError("store has crashed (SimulatedCrash)")
+
+    # -- paths / low-level io ------------------------------------------------
+
+    def _dir(self, name: GdpName) -> str:
+        return os.path.join(self.root, name.hex())
+
+    @staticmethod
+    def _seg_path(directory: str, seg_id: int) -> str:
+        return os.path.join(directory, f"seg-{seg_id:08d}.seg")
+
+    @staticmethod
+    def _idx_path(directory: str, seg_id: int) -> str:
+        return os.path.join(directory, f"seg-{seg_id:08d}.idx")
+
+    def _tier_key(self, name: GdpName, seg_id: int) -> str:
+        return f"{name.hex()}/seg-{seg_id:08d}.seg"
+
+    @staticmethod
+    def _write_atomic(path: str, blob: bytes) -> None:
+        tmp = path + ".tmp"
+        with open(tmp, "wb") as fh:
+            fh.write(blob)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+        dir_fd = os.open(os.path.dirname(path), os.O_RDONLY)
+        try:
+            os.fsync(dir_fd)
+        finally:
+            os.close(dir_fd)
+
+    def _write_manifest(self, log: _CapsuleLog) -> None:
+        self._write_atomic(
+            os.path.join(log.dir, _MANIFEST),
+            encoding.encode(log.manifest_wire()),
+        )
+
+    def _handle(self, log: _CapsuleLog):
+        fh = self._handles.get(log.name)
+        if fh is not None:
+            self._handles.move_to_end(log.name)
+            return fh
+        path = self._seg_path(log.dir, log.active.id)
+        try:
+            fh = open(path, "ab", buffering=0)
+        except OSError as exc:
+            raise StorageError(f"open failed: {exc}") from exc
+        self._handles[log.name] = fh
+        while len(self._handles) > self._MAX_HANDLES:
+            old_name, old_fh = self._handles.popitem(last=False)
+            old_log = self._logs.get(old_name)
+            if old_log is not None and old_log.buffer:
+                old_fh.write(bytes(old_log.buffer))
+                old_log.buffer.clear()
+            old_fh.close()
+        return fh
+
+    def _release_handle(self, name: GdpName) -> None:
+        fh = self._handles.pop(name, None)
+        if fh is not None:
+            fh.close()
+
+    def _flush(self, log: _CapsuleLog) -> None:
+        if log.buffer:
+            self._handle(log).write(bytes(log.buffer))
+            log.buffer.clear()
+
+    def _fsync_active(self, log: _CapsuleLog) -> None:
+        self._flush(log)
+        if log.pending_fsync:
+            os.fsync(self._handle(log).fileno())
+            log.pending_fsync = 0
+
+    def _log_event(self, event: str, name: GdpName, **extra) -> None:
+        entry = {"event": event, "capsule": name.hex(), **extra}
+        self.recovery_log.append(entry)
+
+    # -- open / recovery -----------------------------------------------------
+
+    def _log_for(self, name: GdpName) -> _CapsuleLog | None:
+        log = self._logs.get(name)
+        if log is not None:
+            return log
+        directory = self._dir(name)
+        if not os.path.isdir(directory):
+            return None
+        if not os.path.exists(
+            os.path.join(directory, _MANIFEST)
+        ) and not self._local_segment_ids(directory):
+            return None  # empty dir: crash before anything durable
+        log = self._open_log(name, directory)
+        self._logs[name] = log
+        return log
+
+    def _require(self, name: GdpName) -> _CapsuleLog:
+        log = self._log_for(name)
+        if log is None:
+            raise StorageError(f"capsule {name.human()} is not hosted here")
+        return log
+
+    def _local_segment_ids(self, directory: str) -> dict[int, str]:
+        found = {}
+        for fname in os.listdir(directory):
+            if fname.startswith("seg-") and fname.endswith(".seg"):
+                try:
+                    found[int(fname[4:-4])] = os.path.join(directory, fname)
+                except ValueError:
+                    continue
+        return found
+
+    def _open_log(self, name: GdpName, directory: str) -> _CapsuleLog:
+        """Recover a capsule's segment chain from disk (the recovery
+        state machine: manifest → debris cleanup → tail replay)."""
+        log = _CapsuleLog(name, directory)
+        manifest_path = os.path.join(directory, _MANIFEST)
+        # Crashed atomic rewrites leave .tmp files; they lost the race.
+        for fname in os.listdir(directory):
+            if fname.endswith(".tmp"):
+                os.unlink(os.path.join(directory, fname))
+        local = self._local_segment_ids(directory)
+        if os.path.exists(manifest_path):
+            with open(manifest_path, "rb") as fh:
+                wire = encoding.decode(fh.read())
+            log.metadata = wire["metadata"]
+            log.checkpoint = wire["checkpoint"]
+            log.segments = [
+                SegmentInfo.from_wire(w) for w in wire["segments"]
+            ]
+        elif local:
+            # Crash between capsule creation and the first manifest
+            # write: adopt the lowest segment as the active tail and
+            # recover metadata from its first frame.
+            adopt = min(local)
+            for seg_id, path in local.items():
+                if seg_id != adopt:
+                    os.unlink(path)
+            log.segments = [SegmentInfo(adopt)]
+            self._log_event("manifest_rebuilt", name, segment=adopt)
+        else:
+            raise StorageError(
+                f"capsule dir {directory} has no manifest and no segments"
+            )
+        known = {seg.id for seg in log.segments}
+        for seg_id, path in local.items():
+            if seg_id not in known:
+                # Debris from a crashed seal/compact that never reached
+                # its manifest commit point.
+                os.unlink(path)
+                idx = self._idx_path(directory, seg_id)
+                if os.path.exists(idx):
+                    os.unlink(idx)
+                self._log_event("debris_removed", name, segment=seg_id)
+        for seg in log.segments:
+            if seg.tier == "object" and seg.id in local:
+                # Crash after PUT+manifest but before the local unlink.
+                os.unlink(local[seg.id])
+                self._log_event("tier_unlink_replayed", name, segment=seg.id)
+        if not log.segments or log.segments[-1].sealed:
+            # Crash between the seal's manifest commit and creating the
+            # next active file: open a fresh tail.
+            next_id = max((seg.id for seg in log.segments), default=0) + 1
+            log.segments.append(SegmentInfo(next_id))
+        active = log.active
+        stale_idx = self._idx_path(directory, active.id)
+        if os.path.exists(stale_idx):
+            # An interrupted seal wrote the index but never committed
+            # the manifest; the tail replay below recomputes it.
+            os.unlink(stale_idx)
+            self._log_event("stale_index_removed", name, segment=active.id)
+        self._replay_tail(log)
+        if log.metadata is None and log.segments:
+            log.metadata = self._metadata_from_frames(log)
+        return log
+
+    def _replay_tail(self, log: _CapsuleLog) -> None:
+        """Replay the active segment, truncating at the first torn or
+        corrupt frame, and rebuild its in-memory index."""
+        path = self._seg_path(log.dir, log.active.id)
+        if not os.path.exists(path):
+            with open(path, "wb") as fh:
+                fh.write(_MAGIC)
+                fh.flush()
+                os.fsync(fh.fileno())
+            log.size = len(_MAGIC)
+            return
+        with open(path, "rb") as fh:
+            data = fh.read()
+        good = len(_MAGIC)
+        active = log.active
+        log.reset_active_index()
+        active.records = 0
+        active.first = 0
+        active.last = 0
+        if data[: len(_MAGIC)] != _MAGIC:
+            good = 0  # torn creation: not even the magic survived
+        else:
+            offset = len(_MAGIC)
+            size = len(data)
+            while offset + _FRAME.size <= size:
+                tag, length, crc = _FRAME.unpack_from(data, offset)
+                end = offset + _FRAME.size + length
+                if end > size:
+                    break  # torn payload
+                payload = data[offset + _FRAME.size : end]
+                if zlib.crc32(payload) != crc:
+                    break  # corrupt frame: everything after is suspect
+                if chr(tag) == _TAG_RECORD:
+                    self._index_entry(
+                        log, _TAG_RECORD, encoding.decode(payload), offset
+                    )
+                offset = end
+                good = offset
+        if good < len(data):
+            dropped = len(data) - good
+            with open(path, "r+b") as fh:
+                fh.truncate(good)
+                if good == 0:
+                    fh.write(_MAGIC)
+                    good = len(_MAGIC)
+                fh.flush()
+                os.fsync(fh.fileno())
+            self._log_event(
+                "tail_truncated",
+                log.name,
+                segment=log.active.id,
+                dropped_bytes=dropped,
+                offset=good,
+            )
+        log.size = good
+        log.active.bytes = good
+        log.pending_fsync = 0
+
+    def _metadata_from_frames(self, log: _CapsuleLog) -> dict | None:
+        """Recover metadata from the first frame of the oldest segment
+        (used only when a creation-time crash lost the manifest)."""
+        buf = self._segment_buffer(log, log.segments[0])
+        for tag, payload, _ in _iter_frames(buf):
+            if tag == _TAG_METADATA:
+                return encoding.decode(payload)
+            break
+        return None
+
+    # -- StorageBackend contract ---------------------------------------------
+
+    def store_metadata(self, name: GdpName, metadata_wire: dict) -> None:
+        """Persist capsule metadata (idempotent); creates the capsule's
+        segment chain on first call."""
+        self._check_alive()
+        log = self._log_for(name)
+        if log is not None:
+            if log.metadata is None:
+                log.metadata = metadata_wire
+                self._write_manifest(log)
+            return
+        directory = self._dir(name)
+        os.makedirs(directory, exist_ok=True)
+        log = _CapsuleLog(name, directory)
+        log.metadata = metadata_wire
+        log.segments = [SegmentInfo(1)]
+        path = self._seg_path(directory, 1)
+        blob = encoding.encode(metadata_wire)
+        frame = _FRAME.pack(ord(_TAG_METADATA), len(blob), zlib.crc32(blob))
+        with open(path, "wb") as fh:
+            fh.write(_MAGIC + frame + blob)
+            fh.flush()
+            os.fsync(fh.fileno())
+        log.size = len(_MAGIC) + _FRAME.size + len(blob)
+        log.active.bytes = log.size
+        self._write_manifest(log)
+        self._logs[name] = log
+
+    def load_metadata(self, name: GdpName) -> dict | None:
+        """The stored metadata wire form, or None."""
+        log = self._log_for(name)
+        return None if log is None else log.metadata
+
+    def append_record(self, name: GdpName, record_wire: dict) -> None:
+        """Persist one record wire form."""
+        self._append_entries(name, [(_TAG_RECORD, record_wire)])
+
+    def append_heartbeat(self, name: GdpName, heartbeat_wire: dict) -> None:
+        """Persist one heartbeat wire form."""
+        self._append_entries(name, [(_TAG_HEARTBEAT, heartbeat_wire)])
+
+    def append_entries(
+        self, name: GdpName, entries: list[tuple[str, dict]]
+    ) -> int:
+        """Persist a run of ``(tag, wire)`` entries with one buffered
+        write and (under ``FsyncPolicy("always")``) one fsync — the
+        batched-append and anti-entropy fast path."""
+        for tag, _ in entries:
+            if tag not in (_TAG_RECORD, _TAG_HEARTBEAT):
+                raise StorageError(f"cannot batch-append tag {tag!r}")
+        return self._append_entries(name, entries)
+
+    def _append_entries(
+        self, name: GdpName, entries: list[tuple[str, dict]]
+    ) -> int:
+        self._check_alive()
+        log = self._require(name)
+        self._crashpoint("append.before")
+        chunk = bytearray()
+        appended = 0
+
+        def commit() -> None:
+            """Move the staged chunk into the active tail's buffer."""
+            nonlocal chunk
+            if not chunk:
+                return
+            log.buffer += chunk
+            log.size += len(chunk)
+            log.active.bytes = log.size
+            log.pending_fsync += len(chunk)
+            chunk = bytearray()
+
+        sync_index = self.sync_index
+        name_raw = name.raw
+        hooked = self.crash_hook is not None
+        segment_bytes = self.segment_bytes
+        for tag, wire in entries:
+            blob = encoding.encode(wire)
+            digest = None
+            if sync_index and tag == _TAG_RECORD:
+                bucket = log.leaves.get(wire["seqno"])
+                if bucket is not None:
+                    digest = record_wire_digest(name_raw, wire)
+                    if digest in bucket:
+                        continue  # duplicate already in the tail
+            frame = _FRAME.pack(ord(tag[0]), len(blob), zlib.crc32(blob))
+            offset = log.size + len(chunk)
+            if hooked:
+                try:
+                    self._crashpoint("append.torn")
+                except SimulatedCrash:
+                    # Power loss mid-write: whatever was buffered plus
+                    # half of this frame reaches the platter, then
+                    # lights out.
+                    fh = self._handle(log)
+                    if log.buffer:
+                        fh.write(bytes(log.buffer))
+                        log.buffer.clear()
+                    torn = (bytes(chunk) + frame + blob)[: len(chunk) + 7]
+                    fh.write(torn)
+                    raise
+            chunk += frame
+            chunk += blob
+            self._index_entry(log, tag, wire, offset, digest)
+            appended += 1
+            if log.size + len(chunk) >= segment_bytes:
+                # Roll over mid-batch: a replication burst pushed
+                # through append_entries must not grow one unbounded
+                # segment just because it arrived as a single call.
+                commit()
+                self._seal(log)
+        commit()
+        self._crashpoint("append.buffered")
+        policy = self.fsync_policy
+        if policy.should_fsync(log.pending_fsync):
+            self._fsync_active(log)
+        elif len(log.buffer) >= self.flush_bytes:
+            self._flush(log)
+        self._crashpoint("append.after")
+        return appended
+
+    def _index_entry(
+        self,
+        log: _CapsuleLog,
+        tag: str,
+        wire: dict,
+        offset: int,
+        digest: bytes | None = None,
+    ) -> None:
+        """Fold one record into the active segment's in-memory index
+        (shared by the append path and tail replay).  *digest* is the
+        record digest when the caller already computed it for the
+        duplicate check — hashing is the append path's largest
+        per-record cost, so it is never paid twice."""
+        if tag != _TAG_RECORD:
+            return
+        seqno = wire["seqno"]
+        active = log.active
+        active.records += 1
+        if active.first == 0 or seqno < active.first:
+            active.first = seqno
+        if seqno >= active.last:
+            if log.countdown == 0:
+                log.sparse.append((seqno, offset))
+                log.countdown = self.sparse_every
+            log.countdown -= 1
+            active.last = seqno
+        else:
+            log.extras.append((seqno, offset))
+        if self.sync_index:
+            if digest is None:
+                digest = record_wire_digest(log.name.raw, wire)
+            bucket = log.leaves.setdefault(seqno, [])
+            if digest not in bucket:
+                bucket.append(digest)
+
+    # -- sealing / tiering / compaction --------------------------------------
+
+    def _index_wire(self, log: _CapsuleLog) -> dict:
+        active = log.active
+        return {
+            "segment": active.id,
+            "records": active.records,
+            "first": active.first,
+            "last": active.last,
+            "bytes": log.size,
+            "sparse": _pack_pairs(log.sparse),
+            "extras": _pack_pairs(log.extras),
+            "leaves": _pack_leaves(log.leaves),
+        }
+
+    def _seal(self, log: _CapsuleLog) -> None:
+        """Seal the active segment and open a fresh tail (crash-safe:
+        the manifest rewrite is the commit point)."""
+        self._crashpoint("seal.before")
+        self._fsync_active(log)
+        active = log.active
+        idx_path = self._idx_path(log.dir, active.id)
+        self._write_atomic(idx_path, encoding.encode(self._index_wire(log)))
+        self._crashpoint("seal.index_written")
+        active.sealed = True
+        active.bytes = log.size
+        next_id = max(seg.id for seg in log.segments) + 1
+        log.segments.append(SegmentInfo(next_id))
+        self._crashpoint("seal.pre_manifest")
+        self._write_manifest(log)
+        self._crashpoint("seal.post_manifest")
+        self._release_handle(log.name)
+        path = self._seg_path(log.dir, next_id)
+        with open(path, "wb") as fh:
+            fh.write(_MAGIC)
+            fh.flush()
+            os.fsync(fh.fileno())
+        log.size = len(_MAGIC)
+        log.pending_fsync = 0
+        log.reset_active_index()
+        if self.auto_compact and log.checkpoint:
+            self._maybe_compact(log)
+        if self.tier is not None:
+            self._maybe_tier(log)
+
+    def _maybe_tier(self, log: _CapsuleLog) -> None:
+        sealed_local = [
+            seg
+            for seg in log.segments
+            if seg.sealed and seg.tier == "local"
+        ]
+        for seg in sealed_local[: -self.hot_segments or None]:
+            self._tier_segment(log, seg)
+
+    def _tier_segment(self, log: _CapsuleLog, seg: SegmentInfo) -> None:
+        self._crashpoint("tier.before")
+        path = self._seg_path(log.dir, seg.id)
+        with open(path, "rb") as fh:
+            blob = fh.read()
+        key = self._tier_key(log.name, seg.id)
+        self.tier.put(key, blob)
+        self._crashpoint("tier.uploaded")
+        seg.tier = "object"
+        self._write_manifest(log)
+        self._crashpoint("tier.pre_unlink")
+        self._drop_mmap(log.name, seg.id)
+        os.unlink(path)
+        self._log_event("segment_tiered", log.name, segment=seg.id)
+
+    def note_checkpoint(self, name: GdpName, seqno: int) -> None:
+        """Record that *seqno* is a checkpoint record: every segment
+        wholly below it is eligible for compaction.  Persisted lazily —
+        the next manifest rewrite carries it; losing it to a crash only
+        delays compaction."""
+        log = self._require(name)
+        if seqno > log.checkpoint:
+            log.checkpoint = seqno
+
+    def _compact_run(self, log: _CapsuleLog) -> list[SegmentInfo]:
+        """The first maximal *contiguous* run of sealed local segments
+        wholly below the checkpoint — contiguity keeps load_entries'
+        write order intact across the merge."""
+        run: list[SegmentInfo] = []
+        for seg in log.segments:
+            if (
+                seg.sealed
+                and seg.tier == "local"
+                and seg.last <= log.checkpoint
+                and seg.records > 0
+            ):
+                run.append(seg)
+            elif run:
+                break
+            elif seg.tier != "object":
+                break  # a non-eligible local segment ends any hope
+        return run
+
+    def _maybe_compact(self, log: _CapsuleLog) -> None:
+        run = self._compact_run(log)
+        if len(run) >= self.compact_min_segments:
+            self._compact(log, run)
+
+    def compact(self, name: GdpName) -> int:
+        """Merge the contiguous run of sealed local segments below the
+        last noted checkpoint into one; returns segments merged."""
+        self._check_alive()
+        log = self._require(name)
+        run = self._compact_run(log)
+        if len(run) < 2:
+            return 0
+        return self._compact(log, run)
+
+    def _compact(self, log: _CapsuleLog, eligible: list[SegmentInfo]) -> int:
+        """Merge *eligible* (sealed, local, all below the checkpoint)
+        into one fresh segment, dropping superseded heartbeats."""
+        self._crashpoint("compact.before")
+        merged_id = max(seg.id for seg in log.segments) + 1
+        frames = bytearray(_MAGIC)
+        merged = SegmentInfo(merged_id, sealed=True)
+        sparse: list[list[int]] = []
+        extras: list[list[int]] = []
+        leaves: dict[int, list[bytes]] = {}
+        countdown = 0
+        # Heartbeats below the checkpoint are superseded by the newest
+        # one among the merged segments: the chain strategies all build
+        # position proofs from any later heartbeat, so only the newest
+        # anchor needs to survive (records are never dropped).
+        scanned = []
+        for seg in eligible:
+            buf = self._segment_buffer(log, seg)
+            for tag, payload, _ in _iter_frames(buf):
+                scanned.append((tag, payload))
+        hb_indices = [
+            i for i, (tag, _) in enumerate(scanned) if tag == _TAG_HEARTBEAT
+        ]
+        last_hb_offset = hb_indices[-1] if hb_indices else None
+        for i, (tag, payload) in enumerate(scanned):
+            if tag == _TAG_HEARTBEAT and i != last_hb_offset:
+                continue
+            offset = len(frames)
+            frames += _FRAME.pack(ord(tag), len(payload), zlib.crc32(payload))
+            frames += payload
+            if tag != _TAG_RECORD:
+                continue
+            wire = encoding.decode(payload)
+            seqno = wire["seqno"]
+            merged.records += 1
+            if merged.first == 0 or seqno < merged.first:
+                merged.first = seqno
+            if seqno >= merged.last:
+                if countdown == 0:
+                    sparse.append([seqno, offset])
+                    countdown = self.sparse_every
+                countdown -= 1
+                merged.last = seqno
+            else:
+                extras.append([seqno, offset])
+            if self.sync_index:
+                digest = record_wire_digest(log.name.raw, wire)
+                bucket = leaves.setdefault(seqno, [])
+                if digest not in bucket:
+                    bucket.append(digest)
+        merged.bytes = len(frames)
+        seg_path = self._seg_path(log.dir, merged_id)
+        with open(seg_path, "wb") as fh:
+            fh.write(bytes(frames))
+            fh.flush()
+            os.fsync(fh.fileno())
+        idx_wire = {
+            "segment": merged_id,
+            "records": merged.records,
+            "first": merged.first,
+            "last": merged.last,
+            "bytes": merged.bytes,
+            "sparse": _pack_pairs(sparse),
+            "extras": _pack_pairs(extras),
+            "leaves": _pack_leaves(leaves),
+        }
+        self._write_atomic(
+            self._idx_path(log.dir, merged_id), encoding.encode(idx_wire)
+        )
+        self._crashpoint("compact.merged")
+        merged_ids = {seg.id for seg in eligible}
+        position = log.segments.index(eligible[0])
+        log.segments = [
+            seg for seg in log.segments if seg.id not in merged_ids
+        ]
+        log.segments.insert(position, merged)
+        self._write_manifest(log)
+        self._crashpoint("compact.pre_cleanup")
+        for seg_id in merged_ids:
+            self._drop_mmap(log.name, seg_id)
+            self._indexes.pop((log.name, seg_id), None)
+            for path in (
+                self._seg_path(log.dir, seg_id),
+                self._idx_path(log.dir, seg_id),
+            ):
+                if os.path.exists(path):
+                    os.unlink(path)
+        self._log_event(
+            "compacted",
+            log.name,
+            merged=sorted(merged_ids),
+            into=merged_id,
+            records=merged.records,
+        )
+        return len(merged_ids)
+
+    # -- reads ---------------------------------------------------------------
+
+    def _drop_mmap(self, name: GdpName, seg_id: int) -> None:
+        # Drop the cache reference only — never .close(): a live
+        # load_entries snapshot may still read through the mapping
+        # (valid even after the file is unlinked); the OS unmaps when
+        # the last reference is collected.
+        self._mmaps.pop((name, seg_id), None)
+
+    def _segment_buffer(self, log: _CapsuleLog, seg: SegmentInfo):
+        """The full byte content of a segment: mmap for local sealed
+        files, tier read-through (LRU byte-budget cache) for cold ones,
+        a flushed file read for the active tail."""
+        if not seg.sealed:
+            self._flush(log)
+            with open(self._seg_path(log.dir, seg.id), "rb") as fh:
+                return fh.read()
+        if seg.tier == "object":
+            key = self._tier_key(log.name, seg.id)
+            cached = self._tier_cache.get(key)
+            if cached is not None:
+                self._tier_cache.move_to_end(key)
+                return cached
+            blob = self.tier.get(key)
+            if blob is None:
+                raise StorageError(f"tiered segment missing: {key}")
+            self._tier_cache[key] = blob
+            self._tier_cache_used += len(blob)
+            while self._tier_cache_used > self.tier_cache_bytes and len(
+                self._tier_cache
+            ) > 1:
+                _, old = self._tier_cache.popitem(last=False)
+                self._tier_cache_used -= len(old)
+            return blob
+        cache_key = (log.name, seg.id)
+        mapped = self._mmaps.get(cache_key)
+        if mapped is not None:
+            self._mmaps.move_to_end(cache_key)
+            return mapped
+        with open(self._seg_path(log.dir, seg.id), "rb") as fh:
+            mapped = mmap.mmap(fh.fileno(), 0, access=mmap.ACCESS_READ)
+        self._mmaps[cache_key] = mapped
+        while len(self._mmaps) > self._MAX_MMAPS:
+            self._mmaps.popitem(last=False)  # GC unmaps; see _drop_mmap
+        return mapped
+
+    def load_entries(self, name: GdpName) -> Iterator[tuple[str, dict]]:
+        """Yield (tag, wire) entries in write order across segments.
+
+        Snapshot semantics: the segment list and every segment's bytes
+        are captured when this is *called* — appends racing the
+        iteration are not seen (sealed segments are immutable; the tail
+        is flushed and read once; an unlinked-under-us local file stays
+        readable through its mmap).  Decoding is lazy, so a 10M-record
+        capsule never materializes all wires at once.
+        """
+        log = self._log_for(name)
+        if log is None:
+            return iter(())
+        buffers = [
+            (seg.id, self._segment_buffer(log, seg))
+            for seg in list(log.segments)
+        ]
+
+        def entries() -> Iterator[tuple[str, dict]]:
+            for seg_id, buf in buffers:
+                for tag, payload, offset in _iter_frames(buf):
+                    if zlib.crc32(payload) != _crc_at(buf, offset):
+                        # Sealed-frame rot: stop this segment (the rest
+                        # is suspect) but keep later segments; the
+                        # recovery cross-check in the server surfaces
+                        # the gap as an integrity event.
+                        self._log_event(
+                            "corrupt_frame_skipped",
+                            name,
+                            segment=seg_id,
+                            offset=offset,
+                        )
+                        break
+                    yield tag, encoding.decode(payload)
+
+        return entries()
+
+    def read_record(self, name: GdpName, seqno: int) -> dict | None:
+        """Point-read one record wire by seqno (newest match wins):
+        sparse-index seek within the owning segment instead of a scan —
+        the ROADMAP's "random access via per-segment indexes"."""
+        log = self._log_for(name)
+        if log is None:
+            return None
+        for seg in reversed(log.segments):
+            if seg.records == 0 or not (seg.first <= seqno <= seg.last):
+                continue
+            if seg.sealed:
+                idx = self._segment_index(log, seg)
+                start = _sparse_seek(idx["sparse"], seqno)
+                extras = dict((s, o) for s, o in idx["extras"])
+            else:
+                start = _sparse_seek(log.sparse, seqno)
+                extras = dict(log.extras)
+            exact = extras.get(seqno)
+            buf = self._segment_buffer(log, seg)
+            if exact is not None:
+                wire = _decode_frame_at(buf, exact)
+                if wire is not None and wire.get("seqno") == seqno:
+                    return wire
+            if start is None:
+                continue
+            for tag, payload, _ in _iter_frames(buf, start):
+                if tag != _TAG_RECORD:
+                    continue
+                wire = encoding.decode(payload)
+                found = wire["seqno"]
+                if found == seqno:
+                    return wire
+                if found > seqno:
+                    break
+        return None
+
+    def _segment_index(self, log: _CapsuleLog, seg: SegmentInfo) -> dict:
+        key = (log.name, seg.id)
+        idx = self._indexes.get(key)
+        if idx is not None:
+            self._indexes.move_to_end(key)
+            return idx
+        path = self._idx_path(log.dir, seg.id)
+        try:
+            with open(path, "rb") as fh:
+                idx = encoding.decode(fh.read())
+        except OSError as exc:
+            raise StorageError(f"index read failed: {exc}") from exc
+        # Unpack the struct-packed fields once at load; consumers see
+        # plain (seqno, offset) pairs and (seqno, digests) leaves.
+        idx["sparse"] = _unpack_pairs(idx["sparse"])
+        idx["extras"] = _unpack_pairs(idx["extras"])
+        idx["leaves"] = _unpack_leaves(idx["leaves"])
+        self._indexes[key] = idx
+        while len(self._indexes) > self._MAX_INDEXES:
+            self._indexes.popitem(last=False)
+        return idx
+
+    def sync_leaves(self, name: GdpName) -> dict[int, bytes]:
+        """The persisted Merkle sync-index leaves for every seqno whose
+        records live wholly in sealed segments: ``seqno -> b"".join(``
+        sorted digests``)``, exactly :meth:`DataCapsule.sync_leaf`'s
+        value.  Seqnos with records still in the active tail are
+        omitted (the capsule computes those lazily), so a seeded cache
+        can never mask a tail divergence."""
+        log = self._log_for(name)
+        if log is None or not self.sync_index:
+            return {}
+        merged: dict[int, set[bytes]] = {}
+        for seg in log.segments:
+            if not seg.sealed or seg.records == 0:
+                continue
+            idx = self._segment_index(log, seg)
+            for seqno, digests in idx["leaves"]:
+                merged.setdefault(seqno, set()).update(digests)
+        for seqno in log.leaves:
+            merged.pop(seqno, None)
+        return {
+            seqno: b"".join(sorted(digests))
+            for seqno, digests in merged.items()
+        }
+
+    # -- misc contract -------------------------------------------------------
+
+    def list_capsules(self) -> list[GdpName]:
+        """Names of all capsules with stored state."""
+        names = []
+        for entry in sorted(os.listdir(self.root)):
+            if not os.path.isdir(os.path.join(self.root, entry)):
+                continue
+            try:
+                names.append(GdpName.from_hex(entry))
+            except Exception:
+                continue
+        return names
+
+    def delete_capsule(self, name: GdpName) -> None:
+        """Remove all state for a capsule, including tiered objects."""
+        self._check_alive()
+        log = self._logs.pop(name, None)
+        self._release_handle(name)
+        directory = self._dir(name)
+        segments = log.segments if log is not None else []
+        if log is None and os.path.isdir(directory):
+            try:
+                log = self._open_log(name, directory)
+                segments = log.segments
+            except StorageError:
+                segments = []
+        for seg in segments:
+            self._drop_mmap(name, seg.id)
+            self._indexes.pop((name, seg.id), None)
+            if seg.tier == "object" and self.tier is not None:
+                key = self._tier_key(name, seg.id)
+                self._tier_cache.pop(key, None)
+                self.tier.delete(key)
+        shutil.rmtree(directory, ignore_errors=True)
+
+    def segments(self, name: GdpName) -> list[SegmentInfo]:
+        """Snapshot of the capsule's segment chain (tests/bench)."""
+        log = self._require(name)
+        return list(log.segments)
+
+    def sync(self) -> None:
+        """Flush and fsync every open tail (the drain path: even under
+        ``FsyncPolicy("drain")`` nothing buffered survives in volatile
+        memory after a sync)."""
+        self._check_alive()
+        for log in self._logs.values():
+            if log.name in self._handles or log.buffer or log.pending_fsync:
+                self._fsync_active(log)
+
+    def close(self) -> None:
+        """Flush buffers and release every OS resource; the store can
+        keep being used (handles reopen lazily)."""
+        for log in self._logs.values():
+            if log.buffer:
+                self._flush(log)
+        for fh in self._handles.values():
+            fh.close()
+        self._handles.clear()
+        self._mmaps.clear()  # GC unmaps; see _drop_mmap
+
+
+def _iter_frames(buf, start: int = len(_MAGIC)):
+    """Yield ``(tag, payload, frame_offset)`` for intact frames; stops
+    at the first torn frame (CRC is *not* checked here — callers that
+    care verify it, keeping the sealed-segment hot path cheap)."""
+    size = len(buf)
+    offset = start
+    while offset + _FRAME.size <= size:
+        tag, length, _ = _FRAME.unpack_from(buf, offset)
+        end = offset + _FRAME.size + length
+        if end > size:
+            break
+        yield chr(tag), bytes(buf[offset + _FRAME.size : end]), offset
+        offset = end
+
+
+def _crc_at(buf, offset: int) -> int:
+    _, _, crc = _FRAME.unpack_from(buf, offset)
+    return crc
+
+
+def _decode_frame_at(buf, offset: int) -> dict | None:
+    if offset + _FRAME.size > len(buf):
+        return None
+    tag, length, crc = _FRAME.unpack_from(buf, offset)
+    end = offset + _FRAME.size + length
+    if end > len(buf):
+        return None
+    payload = bytes(buf[offset + _FRAME.size : end])
+    if zlib.crc32(payload) != crc:
+        return None
+    return encoding.decode(payload)
+
+
+def _sparse_seek(sparse, seqno: int) -> int | None:
+    """Offset of the last sparse entry at-or-below *seqno* (binary
+    search), or None when the segment's indexed range starts above."""
+    lo, hi = 0, len(sparse)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if sparse[mid][0] <= seqno:
+            lo = mid + 1
+        else:
+            hi = mid
+    if lo == 0:
+        return None
+    return sparse[lo - 1][1]

@@ -28,7 +28,7 @@ from repro import encoding
 from repro.errors import StorageError
 from repro.naming.names import GdpName
 
-__all__ = ["StorageBackend", "MemoryStore", "FileStore"]
+__all__ = ["StorageBackend", "MemoryStore", "FileStore", "SegmentedStore"]
 
 _TAG_METADATA = "m"
 _TAG_RECORD = "r"
@@ -54,10 +54,34 @@ class StorageBackend(ABC):
     def append_heartbeat(self, name: GdpName, heartbeat_wire: dict) -> None:
         """Persist one heartbeat."""
 
+    def append_entries(
+        self, name: GdpName, entries: list[tuple[str, dict]]
+    ) -> int:
+        """Persist a run of ``(tag, wire)`` entries ('r'/'h') in order;
+        returns how many were appended.  Backends with buffered frames
+        override this to coalesce the run into one write (and one fsync)
+        — the batched-append and anti-entropy fast path; the default is
+        a plain loop with identical semantics."""
+        for tag, wire in entries:
+            if tag == _TAG_RECORD:
+                self.append_record(name, wire)
+            elif tag == _TAG_HEARTBEAT:
+                self.append_heartbeat(name, wire)
+            else:
+                raise StorageError(f"cannot batch-append tag {tag!r}")
+        return len(entries)
+
     @abstractmethod
     def load_entries(self, name: GdpName) -> Iterator[tuple[str, dict]]:
         """Yield ``(tag, wire)`` for every stored entry of a capsule, in
-        write order; tags are 'm'/'r'/'h'."""
+        write order; tags are 'm'/'r'/'h'.
+
+        Conformance contract (asserted by the cross-backend suite):
+        write order is preserved even under interleaved branch appends
+        (two records at the same seqno come back in the order they were
+        appended), and the iterator is a *snapshot at call time* —
+        entries appended after ``load_entries`` returns are not seen by
+        that iterator."""
 
     @abstractmethod
     def list_capsules(self) -> list[GdpName]:
@@ -117,10 +141,12 @@ class MemoryStore(StorageBackend):
     def load_entries(self, name: GdpName) -> Iterator[tuple[str, dict]]:
         """Yield (tag, wire) entries in write order.
 
-        Returns an iterator over the stored tuples themselves — no
-        per-entry copies; recovery re-validates everything through
-        ``from_wire`` anyway, so sharing is safe."""
-        return iter(self._data.get(name, ()))
+        Returns an iterator over a snapshot *tuple* of the stored
+        entries — sharing the wire dicts (recovery re-validates through
+        ``from_wire``) but not the list, so appends racing the iteration
+        cannot leak into it (the cross-backend conformance contract;
+        previously this iterated the live list)."""
+        return iter(tuple(self._data.get(name, ())))
 
     def list_capsules(self) -> list[GdpName]:
         """Names of all capsules with stored state."""
@@ -225,8 +251,40 @@ class FileStore(StorageBackend):
             raise StorageError(f"capsule {name.human()} is not hosted here")
         self._append(name, _TAG_HEARTBEAT, heartbeat_wire)
 
+    def append_entries(
+        self, name: GdpName, entries: list[tuple[str, dict]]
+    ) -> int:
+        """Persist a run of entries as one buffered write and (with
+        ``fsync=True``) one disk sync, instead of a sync per frame."""
+        if not entries:
+            return 0
+        if not self._hosts(name):
+            raise StorageError(f"capsule {name.human()} is not hosted here")
+        chunk = bytearray()
+        for tag, wire in entries:
+            if tag not in (_TAG_RECORD, _TAG_HEARTBEAT):
+                raise StorageError(f"cannot batch-append tag {tag!r}")
+            blob = encoding.encode(wire)
+            chunk += tag.encode("ascii")
+            chunk += struct.pack(">I", len(blob))
+            chunk += blob
+        try:
+            fh = self._handle(name)
+            fh.write(bytes(chunk))
+            fh.flush()
+            if self.fsync:
+                os.fsync(fh.fileno())
+        except OSError as exc:
+            raise StorageError(f"write failed: {exc}") from exc
+        return len(entries)
+
     def load_entries(self, name: GdpName) -> Iterator[tuple[str, dict]]:
-        """Yield (tag, wire) entries in write order."""
+        """Yield (tag, wire) entries in write order.
+
+        The file bytes are read *now* (snapshot at call time — the
+        conformance contract; previously the read happened lazily at
+        the first ``next()``, so frames appended in between leaked into
+        the iteration); decoding stays lazy."""
         # An open append handle may hold buffered frames; push them to
         # the OS so this read sees everything written so far.
         fh = self._handles.get(name)
@@ -234,22 +292,26 @@ class FileStore(StorageBackend):
             fh.flush()
         path = self._path(name)
         if not os.path.exists(path):
-            return
+            return iter(())
         try:
             with open(path, "rb") as reader:
                 data = reader.read()
         except OSError as exc:
             raise StorageError(f"read failed: {exc}") from exc
-        offset = 0
-        size = len(data)
-        while offset + 5 <= size:
-            tag = chr(data[offset])
-            (length,) = struct.unpack_from(">I", data, offset + 1)
-            end = offset + 5 + length
-            if end > size:
-                break  # torn payload: crash mid-write; drop it
-            yield tag, encoding.decode(data[offset + 5 : end])
-            offset = end
+
+        def entries() -> Iterator[tuple[str, dict]]:
+            offset = 0
+            size = len(data)
+            while offset + 5 <= size:
+                tag = chr(data[offset])
+                (length,) = struct.unpack_from(">I", data, offset + 1)
+                end = offset + 5 + length
+                if end > size:
+                    break  # torn payload: crash mid-write; drop it
+                yield tag, encoding.decode(data[offset + 5 : end])
+                offset = end
+
+        return entries()
 
     def list_capsules(self) -> list[GdpName]:
         """Names of all capsules with stored state."""
@@ -281,3 +343,9 @@ class FileStore(StorageBackend):
         for fh in self._handles.values():
             fh.close()
         self._handles.clear()
+
+
+# The segmented-log engine lives in its own module (it is an order of
+# magnitude more machinery than the flat backends) but is part of this
+# package's public surface; the bottom-of-file import avoids a cycle.
+from repro.server.segmented import SegmentedStore  # noqa: E402

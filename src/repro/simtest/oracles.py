@@ -25,6 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Iterable
 
+from repro.capsule import DataCapsule, Heartbeat, Record
 from repro.capsule.proofs import build_position_proof
 from repro.errors import GdpError, HoleError, RecordNotFoundError
 
@@ -295,6 +296,54 @@ def check_reachability(world) -> list[Violation]:
             f"duplicate deliveries reached the callback: "
             f"seqnos {duplicated}",
         ))
+    return violations
+
+
+@oracle("storage_round_trip")
+def check_storage_round_trip(world) -> list[Violation]:
+    """Storage round-trip fidelity (ROADMAP item 3: the log *is* the
+    replica).
+
+    Every live replica's persisted log must rebuild — via
+    ``load_entries`` alone, the crash-recovery path — to exactly the
+    in-memory capsule state.  A record the server acknowledged but
+    never persisted, a frame that fails validation on replay, or a
+    stored phantom the capsule does not know about would all surface
+    here: after a real crash the storage rebuild *becomes* the replica,
+    so any drift between the two is silent data loss (or invention)
+    waiting for the next restart.
+    """
+    violations = []
+    for server, capsule in _hosted_capsules(world):
+        if server.crashed:
+            continue  # a dead replica's log is judged when it recovers
+        rebuilt = DataCapsule(capsule.metadata, verify_metadata=False)
+        try:
+            for tag, wire in server.storage.load_entries(capsule.name):
+                if tag == "r":
+                    rebuilt.insert(
+                        Record.from_wire(capsule.name, wire),
+                        enforce_strategy=False,
+                    )
+                elif tag == "h":
+                    rebuilt.add_heartbeat(Heartbeat.from_wire(wire))
+        except GdpError as exc:
+            violations.append(Violation(
+                "storage_round_trip",
+                server.node_id,
+                f"stored frame fails replay validation: "
+                f"{type(exc).__name__}: {exc}",
+            ))
+            continue
+        if rebuilt.canonical_summary() != capsule.canonical_summary():
+            violations.append(Violation(
+                "storage_round_trip",
+                server.node_id,
+                f"persisted log rebuilds to a different replica: "
+                f"{len(rebuilt.seqnos())} stored vs "
+                f"{len(capsule.seqnos())} in-memory seqnos, tips "
+                f"{rebuilt.last_seqno} vs {capsule.last_seqno}",
+            ))
     return violations
 
 

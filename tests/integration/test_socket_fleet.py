@@ -159,3 +159,59 @@ class TestSocketFleet:
         }
         missing = set(acked) - persisted
         assert not missing, f"acked records lost across drain: {missing}"
+
+    def test_segmented_engine_fleet_drains_durably(self, tmp_path):
+        """The same drain contract under ``--storage-engine segmented``
+        with batched fsync: everything acked must survive a cold reopen
+        of the segmented log."""
+        from repro.server.segmented import SegmentedStore
+
+        spec = FleetSpec(
+            2,
+            str(tmp_path / "rendezvous"),
+            storage_root=str(tmp_path / "data"),
+            storage_engine="segmented",
+            fsync=True,
+        )
+        launcher = FleetLauncher(spec)
+        launcher.start()
+        try:
+            ports = launcher.wait_ready()
+            ctx, client = connect_client(spec, ports[0])
+            owner_key = SigningKey.from_seed(b"smoke-owner-4")
+            writer_key = SigningKey.from_seed(b"smoke-writer-4")
+            console = OwnerConsole(client, owner_key)
+            replicas = [spec.server_metadata(0), spec.server_metadata(1)]
+
+            def scenario():
+                yield client.advertise()
+                metadata = console.design_capsule(
+                    writer_key.public, pointer_strategy="chain"
+                )
+                yield from console.place_capsule(metadata, replicas)
+                yield 0.5
+                writer = client.open_writer(metadata, writer_key)
+                acked = []
+                for i in range(10):
+                    receipt = yield from writer.append(
+                        b"segmented-%d" % i, acks="all"
+                    )
+                    acked.append(receipt.record.seqno)
+                return metadata, acked
+
+            metadata, acked = ctx.run_process(scenario(), "segmented")
+            summaries = launcher.stop()
+        finally:
+            if launcher.alive():
+                launcher.stop()
+        assert all(s.get("drain_ms") is not None for s in summaries)
+        store = SegmentedStore(os.path.join(spec.storage_root, "s0"))
+        persisted = {
+            wire["seqno"]
+            for tag, wire in store.load_entries(metadata.name)
+            if tag == "r"
+        }
+        store.close()
+        assert set(acked) <= persisted, (
+            f"acked records lost across drain: {set(acked) - persisted}"
+        )

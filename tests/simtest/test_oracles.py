@@ -168,6 +168,52 @@ class TestFibGlookupOracle:
         ), violations
 
 
+class TestStorageRoundTripOracle:
+    def test_fires_on_unpersisted_record(self, clean_world):
+        """A record the replica holds in memory but never wrote to its
+        log is exactly what a post-crash rebuild would silently lose."""
+        world = clean_world
+        victim = world.servers[0]
+        capsule = victim.hosted[world.metadata.name].capsule
+        seqno = max(capsule.seqnos())
+        for digest in capsule._by_seqno.pop(seqno):
+            capsule._by_digest.pop(digest)
+        capsule._heartbeats.pop(seqno, None)
+        capsule._sync_leaf_cache.pop(seqno, None)
+        violations = run_oracles(world, names=["storage_round_trip"])
+        assert any(
+            v.oracle == "storage_round_trip"
+            and v.subject == victim.node_id
+            and "different replica" in v.detail
+            for v in violations
+        ), violations
+
+    def test_fires_on_storage_only_phantom(self, clean_world):
+        """A frame sitting in the log that the replica never served is
+        data the next restart would invent."""
+        world = clean_world
+        victim = world.servers[1]
+        capsule = victim.hosted[world.metadata.name].capsule
+        wire = capsule.get(1).to_wire()
+        wire["payload"] = wire["payload"] + b"!phantom!"
+        victim.storage.append_record(world.metadata.name, wire)
+        violations = run_oracles(world, names=["storage_round_trip"])
+        assert violations and all(
+            v.oracle == "storage_round_trip" and v.subject == victim.node_id
+            for v in violations
+        ), violations
+
+    def test_skips_crashed_replicas(self, clean_world):
+        world = clean_world
+        victim = world.servers[0]
+        capsule = victim.hosted[world.metadata.name].capsule
+        wire = capsule.get(1).to_wire()
+        wire["payload"] = wire["payload"] + b"!phantom!"
+        victim.storage.append_record(world.metadata.name, wire)
+        victim.crashed = True
+        assert run_oracles(world, names=["storage_round_trip"]) == []
+
+
 class TestConservationOracle:
     def test_fires_on_unaccounted_message(self, clean_world):
         world = clean_world
@@ -187,7 +233,7 @@ class TestRegistry:
 
         assert {
             "hash_chain", "read_proof", "convergence",
-            "fib_glookup", "conservation",
+            "fib_glookup", "conservation", "storage_round_trip",
         } <= set(ORACLES)
 
     def test_run_oracles_is_sorted_and_selectable(self, clean_world):

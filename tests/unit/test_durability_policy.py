@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import DurabilityError
-from repro.server.durability import ALL, ANY, QUORUM, AckPolicy
+from repro.server.durability import ALL, ANY, QUORUM, AckPolicy, FsyncPolicy
 
 
 class TestAckPolicy:
@@ -40,3 +40,36 @@ class TestAckPolicy:
     def test_equality(self):
         assert AckPolicy("any") == ANY
         assert AckPolicy("all") != ANY
+
+
+class TestFsyncPolicy:
+    """When must appended bytes reach the durable medium (the other
+    half of durability: AckPolicy is *who*, FsyncPolicy is *when*)."""
+
+    def test_always(self):
+        policy = FsyncPolicy("always")
+        assert policy.should_fsync(0)
+        assert policy.should_fsync(1)
+
+    def test_drain_never_syncs_inline(self):
+        policy = FsyncPolicy("drain")
+        assert not policy.should_fsync(0)
+        assert not policy.should_fsync(10**9)
+
+    def test_batch_threshold(self):
+        policy = FsyncPolicy("batch:4096")
+        assert not policy.should_fsync(4095)
+        assert policy.should_fsync(4096)
+        assert policy.should_fsync(8192)
+
+    @pytest.mark.parametrize(
+        "spec", ["batch:", "batch:x", "batch:0", "batch:-1", "never", ""]
+    )
+    def test_bad_specs_rejected(self, spec):
+        with pytest.raises(DurabilityError):
+            FsyncPolicy(spec)
+
+    def test_equality_and_hash(self):
+        assert FsyncPolicy("always") == FsyncPolicy("always")
+        assert FsyncPolicy("batch:10") != FsyncPolicy("batch:11")
+        assert len({FsyncPolicy("drain"), FsyncPolicy("drain")}) == 1

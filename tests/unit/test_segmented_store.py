@@ -1,0 +1,331 @@
+"""SegmentedStore engine specifics: sealing, point reads, the persisted
+sync index, tiering read-through, checkpoint compaction, and recovery
+events.  (Cross-backend contract coverage lives in ``test_storage.py``;
+crash-point sweeps in ``tests/torture/``.)"""
+
+import os
+
+import pytest
+
+from repro.baselines.s3sim import MemoryObjectTier
+from repro.capsule import CapsuleWriter
+from repro.server.segmented import SegmentedStore
+
+
+@pytest.fixture()
+def filled(capsule_factory, writer_key):
+    """A 30-record capsule (checkpoint heartbeats every 8) plus its
+    (record, heartbeat) pairs."""
+    capsule = capsule_factory(strategy="checkpoint:8")
+    writer = CapsuleWriter(capsule, writer_key)
+    pairs = [writer.append(b"seg-%04d" % i * 4) for i in range(30)]
+    return capsule, pairs
+
+
+def fill_store(store, capsule, pairs):
+    store.store_metadata(capsule.name, capsule.metadata.to_wire())
+    entries = []
+    for record, heartbeat in pairs:
+        entries.append(("r", record.to_wire()))
+        entries.append(("h", heartbeat.to_wire()))
+    store.append_entries(capsule.name, entries)
+    return store
+
+
+class TestSealing:
+    def test_small_segments_roll_over(self, tmp_path, filled):
+        capsule, pairs = filled
+        store = SegmentedStore(str(tmp_path), segment_bytes=700)
+        fill_store(store, capsule, pairs)
+        segments = store.segments(capsule.name)
+        assert len(segments) > 3
+        assert all(seg.sealed for seg in segments[:-1])
+        assert not segments[-1].sealed  # active tail
+        # Sealed spans partition the seqno range in order.
+        sealed = [seg for seg in segments[:-1] if seg.records]
+        for prev, cur in zip(sealed, sealed[1:]):
+            assert prev.last < cur.first
+        store.close()
+
+    def test_single_big_segment_stays_active(self, tmp_path, filled):
+        capsule, pairs = filled
+        store = SegmentedStore(str(tmp_path))  # default 1 MiB
+        fill_store(store, capsule, pairs)
+        segments = store.segments(capsule.name)
+        assert len(segments) == 1 and not segments[0].sealed
+        assert segments[0].records == len(pairs)  # record frames only
+        store.close()
+
+    def test_reopen_preserves_entries_and_logs_nothing(
+        self, tmp_path, filled
+    ):
+        capsule, pairs = filled
+        store = SegmentedStore(str(tmp_path), segment_bytes=700)
+        fill_store(store, capsule, pairs)
+        store.close()
+        reopened = SegmentedStore(str(tmp_path), segment_bytes=700)
+        assert reopened.recovery_log == []  # clean shutdown: no repairs
+        seqnos = [
+            wire["seqno"]
+            for tag, wire in reopened.load_entries(capsule.name)
+            if tag == "r"
+        ]
+        assert seqnos == list(range(1, 31))
+        reopened.close()
+
+
+class TestPointReads:
+    def test_read_record_every_seqno(self, tmp_path, filled):
+        capsule, pairs = filled
+        store = SegmentedStore(str(tmp_path), segment_bytes=700)
+        fill_store(store, capsule, pairs)
+        for record, _ in pairs:
+            wire = store.read_record(capsule.name, record.seqno)
+            assert wire is not None and wire["payload"] == record.payload
+        assert store.read_record(capsule.name, 31) is None
+        assert store.read_record(capsule.name, 0) is None
+        store.close()
+
+    def test_read_record_sees_out_of_order_arrivals(
+        self, tmp_path, capsule_factory, writer_key
+    ):
+        capsule = capsule_factory()
+        writer = CapsuleWriter(capsule, writer_key)
+        pairs = [writer.append(b"ooo-%d" % i) for i in range(8)]
+        store = SegmentedStore(str(tmp_path), segment_bytes=500)
+        store.store_metadata(capsule.name, capsule.metadata.to_wire())
+        for index in (0, 4, 1, 6, 2, 7, 3, 5):  # replication-style order
+            store.append_record(capsule.name, pairs[index][0].to_wire())
+        for record, _ in pairs:
+            wire = store.read_record(capsule.name, record.seqno)
+            assert wire is not None and wire["seqno"] == record.seqno
+        store.close()
+
+
+class TestSyncIndex:
+    def test_sealed_leaves_match_capsule(self, tmp_path, filled):
+        capsule, pairs = filled
+        store = SegmentedStore(str(tmp_path), segment_bytes=700)
+        fill_store(store, capsule, pairs)
+        leaves = store.sync_leaves(capsule.name)
+        assert leaves, "sealed segments must persist their leaves"
+        for seqno, leaf in leaves.items():
+            assert leaf == capsule.sync_leaf(seqno)
+        # Seqnos still in the active tail are deliberately excluded —
+        # a seeded cache must never mask tail divergence.
+        tail = store.segments(capsule.name)[-1]
+        assert tail.records > 0
+        assert tail.last not in leaves
+        store.close()
+
+    def test_seed_sync_leaves_cross_checks(self, tmp_path, filled):
+        capsule, pairs = filled
+        store = SegmentedStore(str(tmp_path), segment_bytes=700)
+        fill_store(store, capsule, pairs)
+        leaves = store.sync_leaves(capsule.name)
+        seeded, mismatched = capsule.seed_sync_leaves(leaves)
+        assert seeded == len(leaves) and mismatched == 0
+        # A corrupted leaf is rejected, not cached.
+        bad = dict(leaves)
+        victim = next(iter(bad))
+        bad[victim] = b"\x00" * len(bad[victim])
+        seeded, mismatched = capsule.seed_sync_leaves({victim: bad[victim]})
+        assert seeded == 0 and mismatched == 1
+        store.close()
+
+    def test_sync_index_off_returns_no_leaves(self, tmp_path, filled):
+        capsule, pairs = filled
+        store = SegmentedStore(
+            str(tmp_path), segment_bytes=700, sync_index=False
+        )
+        fill_store(store, capsule, pairs)
+        assert store.sync_leaves(capsule.name) == {}
+        store.close()
+
+
+class TestTiering:
+    def test_cold_segments_move_to_object_store(self, tmp_path, filled):
+        capsule, pairs = filled
+        tier = MemoryObjectTier()
+        store = SegmentedStore(
+            str(tmp_path), segment_bytes=700, hot_segments=1, tier=tier
+        )
+        fill_store(store, capsule, pairs)
+        tiered = [
+            seg for seg in store.segments(capsule.name) if seg.tier == "object"
+        ]
+        assert len(tiered) >= 3
+        assert tier.puts == len(tiered)
+        # Local .seg files for tiered segments are gone; the sidecar
+        # indexes stay local (point reads seek without a download).
+        capsule_dir = os.path.join(str(tmp_path), capsule.name.hex())
+        for seg in tiered:
+            assert not os.path.exists(
+                os.path.join(capsule_dir, "seg-%08d.seg" % seg.id)
+            )
+            assert os.path.exists(
+                os.path.join(capsule_dir, "seg-%08d.idx" % seg.id)
+            )
+        store.close()
+
+    def test_read_through_and_cache(self, tmp_path, filled):
+        capsule, pairs = filled
+        tier = MemoryObjectTier()
+        store = SegmentedStore(
+            str(tmp_path), segment_bytes=700, hot_segments=1, tier=tier
+        )
+        fill_store(store, capsule, pairs)
+        seqnos = [
+            wire["seqno"]
+            for tag, wire in store.load_entries(capsule.name)
+            if tag == "r"
+        ]
+        assert seqnos == list(range(1, 31))
+        fetched = tier.gets
+        assert fetched > 0
+        # A second full read is served from the byte-budget cache.
+        assert sum(1 for _ in store.load_entries(capsule.name)) > 0
+        assert tier.gets == fetched
+        store.close()
+
+    def test_tiny_cache_budget_evicts_but_still_reads(
+        self, tmp_path, filled
+    ):
+        capsule, pairs = filled
+        tier = MemoryObjectTier()
+        store = SegmentedStore(
+            str(tmp_path),
+            segment_bytes=700,
+            hot_segments=1,
+            tier=tier,
+            tier_cache_bytes=1,  # at most one cached blob at a time
+        )
+        fill_store(store, capsule, pairs)
+        for _ in range(2):
+            count = sum(
+                1 for tag, _ in store.load_entries(capsule.name) if tag == "r"
+            )
+            assert count == 30
+        assert len(store._tier_cache) <= 1
+        store.close()
+
+    def test_delete_capsule_clears_tier_objects(self, tmp_path, filled):
+        capsule, pairs = filled
+        tier = MemoryObjectTier()
+        store = SegmentedStore(
+            str(tmp_path), segment_bytes=700, hot_segments=1, tier=tier
+        )
+        fill_store(store, capsule, pairs)
+        assert tier.keys()
+        store.delete_capsule(capsule.name)
+        assert tier.keys() == []
+        assert store.list_capsules() == []
+        store.close()
+
+
+class TestCompaction:
+    def test_checkpoint_compaction_merges_and_prunes(self, tmp_path, filled):
+        capsule, pairs = filled
+        store = SegmentedStore(
+            str(tmp_path), segment_bytes=700, auto_compact=False
+        )
+        fill_store(store, capsule, pairs)
+        before = store.segments(capsule.name)
+        store.note_checkpoint(capsule.name, 24)
+        merged = store.compact(capsule.name)
+        assert merged >= 2
+        after = store.segments(capsule.name)
+        assert len(after) == len(before) - merged + 1
+        # Every record survives; superseded heartbeats below the
+        # checkpoint are pruned down to the newest per merged span.
+        seqnos = [
+            wire["seqno"]
+            for tag, wire in store.load_entries(capsule.name)
+            if tag == "r"
+        ]
+        assert seqnos == list(range(1, 31))
+        heartbeat_count = sum(
+            1 for tag, _ in store.load_entries(capsule.name) if tag == "h"
+        )
+        assert heartbeat_count < len(pairs)
+        # Point reads still resolve through the merged index.
+        for record, _ in pairs:
+            assert store.read_record(capsule.name, record.seqno) is not None
+        event = next(
+            e for e in store.recovery_log if e["event"] == "compacted"
+        )
+        assert len(event["merged"]) == merged
+        store.close()
+
+    def test_compact_without_checkpoint_is_noop(self, tmp_path, filled):
+        capsule, pairs = filled
+        store = SegmentedStore(
+            str(tmp_path), segment_bytes=700, auto_compact=False
+        )
+        fill_store(store, capsule, pairs)
+        assert store.compact(capsule.name) == 0
+        store.close()
+
+
+class TestRecoveryEvents:
+    def test_debris_segment_removed_on_open(self, tmp_path, filled):
+        capsule, pairs = filled
+        root = str(tmp_path)
+        store = SegmentedStore(root, segment_bytes=700)
+        fill_store(store, capsule, pairs)
+        store.close()
+        # A seal crashed after creating the next segment file but before
+        # the manifest committed: the orphan file is debris.
+        capsule_dir = os.path.join(root, capsule.name.hex())
+        with open(os.path.join(capsule_dir, "seg-00000099.seg"), "wb") as fh:
+            fh.write(b"garbage")
+        reopened = SegmentedStore(root, segment_bytes=700)
+        list(reopened.load_entries(capsule.name))
+        events = [e["event"] for e in reopened.recovery_log]
+        assert "debris_removed" in events
+        assert not os.path.exists(
+            os.path.join(capsule_dir, "seg-00000099.seg")
+        )
+        reopened.close()
+
+    def test_torn_tail_truncated_exactly_once(self, tmp_path, filled):
+        capsule, pairs = filled
+        root = str(tmp_path)
+        store = SegmentedStore(root, segment_bytes=700)
+        fill_store(store, capsule, pairs)
+        store.close()
+        capsule_dir = os.path.join(root, capsule.name.hex())
+        active = max(
+            f for f in os.listdir(capsule_dir) if f.endswith(".seg")
+        )
+        path = os.path.join(capsule_dir, active)
+        with open(path, "r+b") as fh:
+            fh.truncate(os.path.getsize(path) - 3)
+        reopened = SegmentedStore(root, segment_bytes=700)
+        list(reopened.load_entries(capsule.name))
+        truncations = [
+            e for e in reopened.recovery_log if e["event"] == "tail_truncated"
+        ]
+        assert len(truncations) == 1
+        reopened.close()
+        again = SegmentedStore(root, segment_bytes=700)
+        list(again.load_entries(capsule.name))
+        assert not any(
+            e["event"] == "tail_truncated" for e in again.recovery_log
+        )
+        again.close()
+
+
+class TestActiveTailDedup:
+    def test_duplicate_record_suppressed(self, tmp_path, filled):
+        """Unlike FileStore, the segmented tail consults its in-memory
+        leaf index: a re-delivered record never lands twice on disk."""
+        capsule, pairs = filled
+        store = SegmentedStore(str(tmp_path))
+        store.store_metadata(capsule.name, capsule.metadata.to_wire())
+        wire = pairs[0][0].to_wire()
+        store.append_record(capsule.name, wire)
+        store.append_record(capsule.name, wire)
+        frames = [tag for tag, _ in store.load_entries(capsule.name)]
+        assert frames == ["m", "r"]
+        store.close()

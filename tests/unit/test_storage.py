@@ -4,14 +4,18 @@ import pytest
 
 from repro.capsule import CapsuleWriter, DataCapsule
 from repro.errors import StorageError
-from repro.server.storage import FileStore, MemoryStore
+from repro.server.storage import FileStore, MemoryStore, SegmentedStore
 
 
-@pytest.fixture(params=["memory", "file"])
+@pytest.fixture(params=["memory", "file", "segmented"])
 def store(request, tmp_path):
     if request.param == "memory":
         return MemoryStore()
-    return FileStore(str(tmp_path / "capsules"))
+    if request.param == "file":
+        return FileStore(str(tmp_path / "capsules"))
+    # Tiny segments: even the 5-record contract fixtures cross a seal
+    # boundary, so the contract is checked across sealed + active tail.
+    return SegmentedStore(str(tmp_path / "segments"), segment_bytes=600)
 
 
 @pytest.fixture()
@@ -86,6 +90,63 @@ class TestBackendContract:
                 rebuilt.add_heartbeat(Heartbeat.from_wire(wire))
         assert rebuilt.state_summary() == capsule.state_summary()
         assert rebuilt.verify_history() == 5
+
+    def test_append_entries_batch_equals_singles(self, store, capsule_with_data):
+        capsule, pairs = capsule_with_data
+        store.store_metadata(capsule.name, capsule.metadata.to_wire())
+        entries = []
+        for record, heartbeat in pairs:
+            entries.append(("r", record.to_wire()))
+            entries.append(("h", heartbeat.to_wire()))
+        assert store.append_entries(capsule.name, entries) == 10
+        tags = [tag for tag, _ in store.load_entries(capsule.name)]
+        assert tags == ["m"] + ["r", "h"] * 5
+
+    def test_append_entries_rejects_metadata_tag(self, store, capsule_with_data):
+        capsule, _ = capsule_with_data
+        store.store_metadata(capsule.name, capsule.metadata.to_wire())
+        with pytest.raises(StorageError):
+            store.append_entries(
+                capsule.name, [("m", capsule.metadata.to_wire())]
+            )
+
+
+class TestIterationOrderConformance:
+    """The load_entries contract every backend must honor: frames come
+    back in *write* order (not seqno order — replication absorbs branch
+    records out of order), and the iterator is a snapshot at call time."""
+
+    def test_write_order_preserved_under_out_of_order_appends(
+        self, store, capsule_factory, writer_key
+    ):
+        capsule = capsule_factory()
+        writer = CapsuleWriter(capsule, writer_key)
+        pairs = [writer.append(b"branchy-%d" % i) for i in range(6)]
+        # Arrival order a replica might see under interleaved branch
+        # sync: seqnos land 1, 4, 2, 6, 3, 5.
+        arrival = [0, 3, 1, 5, 2, 4]
+        store.store_metadata(capsule.name, capsule.metadata.to_wire())
+        for index in arrival:
+            store.append_record(capsule.name, pairs[index][0].to_wire())
+        seqnos = [
+            wire["seqno"]
+            for tag, wire in store.load_entries(capsule.name)
+            if tag == "r"
+        ]
+        assert seqnos == [index + 1 for index in arrival]
+
+    def test_load_entries_is_a_snapshot(self, store, capsule_with_data):
+        capsule, pairs = capsule_with_data
+        store.store_metadata(capsule.name, capsule.metadata.to_wire())
+        for record, _ in pairs[:3]:
+            store.append_record(capsule.name, record.to_wire())
+        snapshot = store.load_entries(capsule.name)
+        for record, _ in pairs[3:]:
+            store.append_record(capsule.name, record.to_wire())
+        assert sum(1 for tag, _ in snapshot if tag == "r") == 3
+        assert sum(
+            1 for tag, _ in store.load_entries(capsule.name) if tag == "r"
+        ) == 5
 
 
 class TestFileStoreSpecifics:
@@ -166,3 +227,98 @@ class TestFileStoreSpecifics:
         reopened = FileStore(root)
         tags = [tag for tag, _ in reopened.load_entries(capsule.name)]
         assert tags == ["m"] + ["r"] * 5
+
+    def test_zero_length_log_reopen(self, tmp_path, capsule_with_data):
+        """A crash between creating the log file and writing the
+        metadata frame leaves a zero-byte .dclog: the capsule must list,
+        read as empty, and be re-hostable — never crash the store."""
+        capsule, _ = capsule_with_data
+        root = str(tmp_path / "zero")
+        store = FileStore(root)
+        store.store_metadata(capsule.name, capsule.metadata.to_wire())
+        store.close()
+        with open(store._path(capsule.name), "wb"):
+            pass  # truncate to zero bytes
+        reopened = FileStore(root)
+        assert reopened.list_capsules() == [capsule.name]
+        assert reopened.load_metadata(capsule.name) is None
+        assert list(reopened.load_entries(capsule.name)) == []
+        reopened.store_metadata(capsule.name, capsule.metadata.to_wire())
+        tags = [tag for tag, _ in reopened.load_entries(capsule.name)]
+        assert tags == ["m"]
+        reopened.close()
+
+    def test_duplicate_seqno_frames_collapse_on_rebuild(
+        self, tmp_path, capsule_with_data
+    ):
+        """FileStore is a dumb log: a re-delivered record lands twice on
+        disk, and the capsule rebuild is what dedups it (insert returns
+        False for the known digest)."""
+        from repro.capsule import Record
+
+        capsule, pairs = capsule_with_data
+        store = FileStore(str(tmp_path / "dups"))
+        store.store_metadata(capsule.name, capsule.metadata.to_wire())
+        record_wire = pairs[0][0].to_wire()
+        store.append_record(capsule.name, record_wire)
+        store.append_record(capsule.name, record_wire)
+        frames = [tag for tag, _ in store.load_entries(capsule.name)]
+        assert frames == ["m", "r", "r"]
+        rebuilt = DataCapsule(capsule.metadata, verify_metadata=False)
+        outcomes = [
+            rebuilt.insert(Record.from_wire(capsule.name, wire))
+            for tag, wire in store.load_entries(capsule.name)
+            if tag == "r"
+        ]
+        assert outcomes == [True, False]
+        assert rebuilt.seqnos() == [1]
+        store.close()
+
+    def test_fsync_false_never_syncs_until_drain(
+        self, tmp_path, capsule_with_data, monkeypatch
+    ):
+        """With ``fsync=False`` the append path must issue zero fsyncs;
+        the drain lifecycle (``sync()``) is the only thing that pushes
+        bytes to the medium."""
+        import os as os_module
+
+        calls = []
+        real_fsync = os_module.fsync
+        monkeypatch.setattr(
+            os_module, "fsync", lambda fd: calls.append(fd) or real_fsync(fd)
+        )
+        capsule, pairs = capsule_with_data
+        store = FileStore(str(tmp_path / "drain"), fsync=False)
+        store.store_metadata(capsule.name, capsule.metadata.to_wire())
+        for record, heartbeat in pairs:
+            store.append_record(capsule.name, record.to_wire())
+            store.append_heartbeat(capsule.name, heartbeat.to_wire())
+        assert calls == []
+        store.sync()
+        assert len(calls) == 1  # one pooled handle, one sync
+        store.close()
+
+    def test_fsync_true_syncs_every_append(
+        self, tmp_path, capsule_with_data, monkeypatch
+    ):
+        import os as os_module
+
+        calls = []
+        real_fsync = os_module.fsync
+        monkeypatch.setattr(
+            os_module, "fsync", lambda fd: calls.append(fd) or real_fsync(fd)
+        )
+        capsule, pairs = capsule_with_data
+        store = FileStore(str(tmp_path / "sync"), fsync=True)
+        store.store_metadata(capsule.name, capsule.metadata.to_wire())
+        before = len(calls)
+        store.append_record(capsule.name, pairs[0][0].to_wire())
+        assert len(calls) == before + 1
+        # Batched appends amortize: one fsync for the whole run.
+        before = len(calls)
+        store.append_entries(
+            capsule.name,
+            [("r", record.to_wire()) for record, _ in pairs[1:]],
+        )
+        assert len(calls) == before + 1
+        store.close()

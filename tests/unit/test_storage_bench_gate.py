@@ -1,0 +1,67 @@
+"""The storage perf gate (``bench_storage.check_regression``): ratio
+floors, the 30% regression band, sustained-scenario shape checks, and
+the cold-read p99 ceiling."""
+
+from repro.bench_storage import GATED_RATIOS, check_regression
+
+
+def doc(durable=4.0, drain=0.45, tiered=24, p99=25.0):
+    return {
+        "ratios": {
+            "durable_append_ratio": durable,
+            "drain_append_ratio": drain,
+        },
+        "sustained": {
+            "records": 200_000,
+            "records_per_sec": 26_000.0,
+            "tiered_segments": tiered,
+            "cold_read": {"samples": 250, "p50_ms": 0.4, "p99_ms": p99},
+        },
+    }
+
+
+class TestGate:
+    def test_identical_runs_pass(self):
+        assert check_regression(doc(), doc()) == []
+
+    def test_durable_ratio_floor(self):
+        floor = GATED_RATIOS["durable_append_ratio"]
+        failures = check_regression(doc(durable=floor - 0.1), doc())
+        assert any("acceptance floor" in f for f in failures)
+
+    def test_drain_ratio_floor(self):
+        floor = GATED_RATIOS["drain_append_ratio"]
+        failures = check_regression(doc(drain=floor - 0.05), doc())
+        assert any("drain_append_ratio" in f for f in failures)
+
+    def test_regression_band_is_downward_only(self):
+        # 2x the baseline ratio is an improvement, never a failure.
+        assert check_regression(doc(durable=8.0), doc(durable=4.0)) == []
+        failures = check_regression(doc(durable=2.0), doc(durable=4.0))
+        assert any("regressed" in f for f in failures)
+
+    def test_within_band_passes(self):
+        # -25% is inside the 30% tolerance.
+        assert check_regression(doc(durable=3.0), doc(durable=4.0)) == []
+
+    def test_missing_ratio_fails(self):
+        current = doc()
+        del current["ratios"]["durable_append_ratio"]
+        failures = check_regression(current, doc())
+        assert any("missing" in f for f in failures)
+
+    def test_nothing_tiered_fails(self):
+        failures = check_regression(doc(tiered=0), doc())
+        assert any("nothing tiered" in f for f in failures)
+
+    def test_cold_read_ceiling(self):
+        failures = check_regression(doc(p99=900.0), doc())
+        assert any("p99_ms" in f and "ceiling" in f for f in failures)
+
+    def test_quick_run_compares_ratios_not_absolutes(self):
+        # The committed baseline is a full 10M-record run; a --quick CI
+        # run has far smaller sustained absolutes and must still pass.
+        baseline = doc()
+        baseline["sustained"]["records"] = 10_000_000
+        baseline["sustained"]["records_per_sec"] = 30_000.0
+        assert check_regression(doc(), baseline) == []

@@ -559,7 +559,10 @@ class SegmentedStore(StorageBackend):
                     )
                 offset = end
                 good = offset
-        if good < len(data):
+        if good < len(data) or len(data) < len(_MAGIC):
+            # The second clause catches a 0-byte (or sub-magic) active
+            # file — a crash between creation and the magic write —
+            # which must still get the header rewritten.
             dropped = len(data) - good
             with open(path, "r+b") as fh:
                 fh.truncate(good)
@@ -1151,7 +1154,9 @@ class SegmentedStore(StorageBackend):
             self._indexes.pop((name, seg.id), None)
             if seg.tier == "object" and self.tier is not None:
                 key = self._tier_key(name, seg.id)
-                self._tier_cache.pop(key, None)
+                old = self._tier_cache.pop(key, None)
+                if old is not None:
+                    self._tier_cache_used -= len(old)
                 self.tier.delete(key)
         shutil.rmtree(directory, ignore_errors=True)
 

@@ -222,6 +222,23 @@ class TestTiering:
         assert store.list_capsules() == []
         store.close()
 
+    def test_delete_capsule_releases_cache_budget(self, tmp_path, filled):
+        """Cached blobs evicted by delete_capsule must give their bytes
+        back to the LRU budget, or the read-through cache shrinks toward
+        one entry forever (regression)."""
+        capsule, pairs = filled
+        tier = MemoryObjectTier()
+        store = SegmentedStore(
+            str(tmp_path), segment_bytes=700, hot_segments=1, tier=tier
+        )
+        fill_store(store, capsule, pairs)
+        list(store.load_entries(capsule.name))  # warm the read-through cache
+        assert store._tier_cache_used > 0
+        store.delete_capsule(capsule.name)
+        assert not store._tier_cache
+        assert store._tier_cache_used == 0
+        store.close()
+
 
 class TestCompaction:
     def test_checkpoint_compaction_merges_and_prunes(self, tmp_path, filled):
@@ -314,6 +331,48 @@ class TestRecoveryEvents:
             e["event"] == "tail_truncated" for e in again.recovery_log
         )
         again.close()
+
+    def test_empty_active_tail_recovers_magic_header(self, tmp_path, filled):
+        """A crash between creating the active file and writing its magic
+        leaves a 0-byte tail.  Recovery must rewrite the header so that
+        appends acked after recovery survive the *next* reopen instead of
+        being wholesale-truncated by the magic check (regression)."""
+        capsule, pairs = filled
+        root = str(tmp_path)
+        store = SegmentedStore(root, segment_bytes=700)
+        fill_store(store, capsule, pairs)
+        store.close()
+        capsule_dir = os.path.join(root, capsule.name.hex())
+        active = max(
+            f for f in os.listdir(capsule_dir) if f.endswith(".seg")
+        )
+        with open(os.path.join(capsule_dir, active), "wb"):
+            pass  # truncate the tail to zero bytes
+        store = SegmentedStore(root, segment_bytes=700)
+        have = {
+            wire["seqno"]
+            for tag, wire in store.load_entries(capsule.name)
+            if tag == "r"
+        }
+        lost = [pair for pair in pairs if pair[0].seqno not in have]
+        assert lost  # the fabricated crash emptied a non-empty tail
+        entries = []
+        for record, heartbeat in lost:
+            entries.append(("r", record.to_wire()))
+            entries.append(("h", heartbeat.to_wire()))
+        store.append_entries(capsule.name, entries)
+        store.close()
+        reopened = SegmentedStore(root, segment_bytes=700)
+        assert not any(
+            e["event"] == "tail_truncated" for e in reopened.recovery_log
+        )
+        seqnos = sorted(
+            wire["seqno"]
+            for tag, wire in reopened.load_entries(capsule.name)
+            if tag == "r"
+        )
+        assert seqnos == list(range(1, 31))
+        reopened.close()
 
 
 class TestActiveTailDedup:

@@ -251,11 +251,18 @@ def cmd_simtest(args: argparse.Namespace) -> int:
 
 def cmd_bench(args: argparse.Namespace) -> int:
     """The ``bench`` command: hot-path op/s + speedups for the selected
-    suite (``crypto`` primitives, the ``replication`` plane, or the
-    ``storage`` engines)."""
+    suite (``crypto`` primitives, the ``replication`` plane, the
+    ``storage`` engines, or the ``routing`` fabric)."""
     import json
 
-    if args.suite == "replication":
+    if args.suite == "routing":
+        from repro import bench_routing as bench
+
+        doc = bench.run_bench(
+            quick=args.quick,
+            progress=lambda msg: print(f"  ... {msg}", flush=True),
+        )
+    elif args.suite == "replication":
         from repro import bench_replication as bench
 
         doc = bench.run_bench(
@@ -445,7 +452,7 @@ def main(argv: list[str] | None = None) -> int:
         "bench", help="run a hot-path benchmark suite"
     )
     bench_cmd.add_argument(
-        "--suite", choices=("crypto", "replication", "storage"),
+        "--suite", choices=("crypto", "replication", "storage", "routing"),
         default="crypto",
         help="which benchmark suite to run (default: crypto)",
     )

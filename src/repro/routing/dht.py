@@ -84,6 +84,10 @@ class KademliaDht:
         self.alpha = alpha
         self.nodes: dict[GdpName, DhtNode] = {}
         self.messages = 0
+        #: per-query accounting for the most recent put/get: iterative
+        #: lookup rounds (the O(log n)-bounded quantity) and RPCs sent
+        self.last_hops = 0
+        self.last_messages = 0
 
     #: how many top-end buckets a joining node refreshes (enough for
     #: networks up to ~2**16 nodes; Kademlia's join-time bucket refresh)
@@ -124,9 +128,11 @@ class KademliaDht:
         node names to *key*."""
         shortlist = set(origin.closest(key, self.k))
         shortlist.discard(origin.name)
+        self.last_hops = 0
         if not shortlist:
             return []
         queried: set[GdpName] = set()
+        hops = 0
         while True:
             to_query = heapq.nsmallest(
                 self.alpha,
@@ -135,6 +141,7 @@ class KademliaDht:
             )
             if not to_query:
                 break
+            hops += 1
             progressed = False
             for peer_name in to_query:
                 queried.add(peer_name)
@@ -152,6 +159,7 @@ class KademliaDht:
                         progressed = True
             if not progressed:
                 break
+        self.last_hops = hops
         return heapq.nsmallest(
             self.k,
             (n for n in shortlist if n in self.nodes),
@@ -162,12 +170,14 @@ class KademliaDht:
         """STORE *value* under *key*, entering the DHT at node *via*;
         returns how many replicas stored it."""
         origin = self.nodes[via]
+        before = self.messages
         targets = self._iterative_find(origin, key) or [via]
         stored = 0
         for target in targets:
             self.messages += 1
             self.nodes[target].put_local(key, value)
             stored += 1
+        self.last_messages = self.messages - before
         return stored
 
     def get(self, via: GdpName, key: GdpName) -> list[Any]:
@@ -178,6 +188,7 @@ class KademliaDht:
         and an individual replica may have seen only a subset).
         """
         origin = self.nodes[via]
+        before = self.messages
         merged: list[Any] = []
 
         def absorb(values: list[Any]) -> None:
@@ -189,6 +200,7 @@ class KademliaDht:
         for target in self._iterative_find(origin, key):
             self.messages += 1
             absorb(self.nodes[target].get_local(key))
+        self.last_messages = self.messages - before
         return merged
 
     def __len__(self) -> int:

@@ -59,6 +59,11 @@ class DhtGLookupService(GLookupService):
         # Local name index so names()/len() stay meaningful; contents
         # live in the DHT.
         self._names: set[GdpName] = set()
+        # Per-query DHT cost, surfaced through the metrics registry so
+        # bench/tests can assert the O(log n) hop bound (§VII).
+        self._c_dht_lookups = self._metrics.counter("dht.lookups")
+        self._c_dht_messages = self._metrics.counter("dht.messages")
+        self._h_dht_hops = self._metrics.histogram("dht.hops")
 
     def register(self, entry: RouteEntry, *, propagate: bool = True) -> None:
         """Verify (unless compromised) and store an entry."""
@@ -115,7 +120,11 @@ class DhtGLookupService(GLookupService):
         self._c_queries.inc()
         now = self.now
         entries = []
-        for wire in self.dht.get(self.home, name):
+        wires = self.dht.get(self.home, name)
+        self._c_dht_lookups.inc()
+        self._c_dht_messages.inc(self.dht.last_messages)
+        self._h_dht_hops.observe(self.dht.last_hops)
+        for wire in wires:
             try:
                 entry = RouteEntry.from_wire(wire)
             except Exception:
@@ -124,6 +133,17 @@ class DhtGLookupService(GLookupService):
                 entries.append(entry)
         if not entries:
             self._c_misses.inc()
+        return entries
+
+    def peek(self, name: GdpName) -> list[RouteEntry]:
+        """Diagnostic view: everything decodable stored for *name* —
+        no counters, no expiry culling (oracles judge staleness)."""
+        entries = []
+        for wire in self.dht.get(self.home, name):
+            try:
+                entries.append(RouteEntry.from_wire(wire))
+            except Exception:
+                continue  # undecodable garbage: routers skip it too
         return entries
 
     def names(self):

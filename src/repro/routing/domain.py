@@ -34,6 +34,7 @@ class RoutingDomain:
         parent: "RoutingDomain | None" = None,
         *,
         clock: Callable[[], float] | None = None,
+        glookup: GLookupService | None = None,
     ):
         if parent is not None and not name.startswith(parent.name + "."):
             raise RoutingError(
@@ -43,11 +44,18 @@ class RoutingDomain:
         self.name = name
         self.parent = parent
         self.children: dict[str, "RoutingDomain"] = {}
-        self.glookup = GLookupService(
-            name,
-            parent.glookup if parent is not None else None,
-            clock=clock or (parent.glookup._clock if parent else None),
-        )
+        if glookup is not None:
+            # Injected service (e.g. a DhtGLookupService global tier);
+            # wire it into the hierarchy if the caller hasn't.
+            if glookup.parent is None and parent is not None:
+                glookup.parent = parent.glookup
+            self.glookup = glookup
+        else:
+            self.glookup = GLookupService(
+                name,
+                parent.glookup if parent is not None else None,
+                clock=clock or (parent.glookup._clock if parent else None),
+            )
         self.routers: list["GdpRouter"] = []
         #: name-keyed member index (FIB installs resolve attachment
         #: routers by GdpName on the hot path; linear scans don't scale)

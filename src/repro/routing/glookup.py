@@ -16,10 +16,21 @@ corresponds roughly to a tier-1 service provider").  Propagation upward
 enforces the owner's AdCert scope policy: an entry whose scope excludes
 the parent domain is kept local (§VII: "this is where any policies for
 the scope of a DataCapsule are adhered to").
+
+Storage is packed for million-name namespaces: names live in a sorted
+:class:`~repro.routing.fib.PackedMap` (32-byte key + 12-byte sidecar
+per name), delegation evidence is interned in a refcounted pool — one
+record per distinct (where, principal, chain, certs) combination, not
+one per entry — and lease expirations ride an
+:class:`~repro.routing.fib.ExpiryWheel` so purging dead names costs
+O(expired), never O(table).  :class:`RouteEntry` objects are
+reconstructed at the lookup edge, so every consumer still sees the
+verified-entry API.
 """
 
 from __future__ import annotations
 
+import struct
 from typing import Callable, Iterable
 
 from repro import encoding
@@ -28,6 +39,8 @@ from repro.delegation.chain import ServiceChain, verify_routing_chain
 from repro.errors import AdvertisementError, ScopeViolationError
 from repro.naming.metadata import Metadata
 from repro.naming.names import GdpName
+from repro.routing.fib import ExpiryWheel, PackedMap
+from repro.routing.wirecache import decode_blob, encode_blob
 from repro.runtime.metrics import MetricsRegistry
 
 __all__ = ["RouteEntry", "GLookupService", "wire_expiry", "expiry_from_wire"]
@@ -58,6 +71,25 @@ def expiry_from_wire(raw) -> float | None:
     raise AdvertisementError(
         f"malformed expiry wire form: {type(raw).__name__}"
     )
+
+
+def _metadata_from_wire(value) -> Metadata:
+    """A Metadata sub-field: interned blob (bytes) or legacy dict."""
+    if isinstance(value, (bytes, bytearray)):
+        return decode_blob("metadata", value, Metadata.from_wire)
+    return Metadata.from_wire(value)
+
+
+def _rtcert_from_wire(value) -> RtCert:
+    if isinstance(value, (bytes, bytearray)):
+        return decode_blob("rtcert", value, RtCert.from_wire)
+    return RtCert.from_wire(value)
+
+
+def _chain_from_wire(value) -> ServiceChain:
+    if isinstance(value, (bytes, bytearray)):
+        return decode_blob("chain", value, ServiceChain.from_wire)
+    return ServiceChain.from_wire(value)
 
 
 class RouteEntry:
@@ -146,11 +178,20 @@ class RouteEntry:
                 self.rtcert.verify(self.principal_metadata.self_key, now=now)
 
     def to_wire(self) -> dict:
-        """Wire form for storage in distributed backends (the DHT tier)."""
+        """Wire form for storage in distributed backends (the DHT tier).
+
+        Evidence sub-fields are canonical encoded *blobs* interned per
+        live object (:mod:`repro.routing.wirecache`): a server's 10k
+        entries share one encoding of its metadata/RtCert instead of
+        re-serializing them per entry, and — bytes being immutable —
+        the shared blob cannot be corrupted through one entry's wire.
+        """
         wire: dict = {
             "name": self.name.raw,
             "principal": self.principal.raw,
-            "principal_metadata": self.principal_metadata.to_wire(),
+            "principal_metadata": encode_blob(
+                "metadata", self.principal_metadata
+            ),
             "expires_at": wire_expiry(self.expires_at),
         }
         if self.router is not None:
@@ -158,32 +199,39 @@ class RouteEntry:
         if self.via_child is not None:
             wire["via_child"] = self.via_child
         if self.rtcert is not None:
-            wire["rtcert"] = self.rtcert.to_wire()
+            wire["rtcert"] = encode_blob("rtcert", self.rtcert)
         if self.chain is not None:
-            wire["chain"] = self.chain.to_wire()
+            wire["chain"] = encode_blob("chain", self.chain)
         if self.router_metadata is not None:
-            wire["router_metadata"] = self.router_metadata.to_wire()
+            wire["router_metadata"] = encode_blob(
+                "metadata", self.router_metadata
+            )
         return wire
 
     @classmethod
     def from_wire(cls, wire: dict) -> "RouteEntry":
-        """Rebuild from a wire form; raises on malformed input."""
+        """Rebuild from a wire form; raises on malformed input.
+
+        Accepts both interned evidence blobs (bytes) and the legacy
+        nested-dict sub-fields, so pre-upgrade stored entries decode.
+        Repeated blobs decode to *shared* evidence objects.
+        """
         try:
             return cls(
                 GdpName(wire["name"]),
                 router=GdpName(wire["router"]) if "router" in wire else None,
                 via_child=wire.get("via_child"),
                 principal=GdpName(wire["principal"]),
-                principal_metadata=Metadata.from_wire(
+                principal_metadata=_metadata_from_wire(
                     wire["principal_metadata"]
                 ),
-                rtcert=RtCert.from_wire(wire["rtcert"])
+                rtcert=_rtcert_from_wire(wire["rtcert"])
                 if "rtcert" in wire
                 else None,
-                chain=ServiceChain.from_wire(wire["chain"])
+                chain=_chain_from_wire(wire["chain"])
                 if "chain" in wire
                 else None,
-                router_metadata=Metadata.from_wire(wire["router_metadata"])
+                router_metadata=_metadata_from_wire(wire["router_metadata"])
                 if "router_metadata" in wire
                 else None,
                 expires_at=expiry_from_wire(wire.get("expires_at")),
@@ -206,6 +254,21 @@ class RouteEntry:
             expires_at=self.expires_at,
         )
 
+    def __eq__(self, other: object) -> bool:
+        """Content equality over the full wire form (the packed store
+        reconstructs entries at the lookup edge, so identity equality
+        would make ``lookup(name) == [entry]`` meaningless)."""
+        if other is self:
+            return True
+        if not isinstance(other, RouteEntry):
+            return NotImplemented
+        return self.to_wire() == other.to_wire()
+
+    def __hash__(self) -> int:
+        return hash(
+            (self.name, self.principal, self.router, self.via_child)
+        )
+
     def __repr__(self) -> str:
         where = (
             f"router={self.router.human()}"
@@ -213,6 +276,115 @@ class RouteEntry:
             else f"via_child={self.via_child}"
         )
         return f"RouteEntry({self.name.human()}, {where})"
+
+
+# -- packed evidence storage ----------------------------------------------
+
+#: packed per-name sidecar: (evidence id u32, expiry f64)
+_VALUE = struct.Struct("<Id")
+#: evidence-id sentinel marking a multi-principal name (see ``_spill``)
+_SPILL = 0xFFFFFFFF
+#: expiry encoding of "no expiry" (entries without a lease never wheel)
+_NO_EXPIRY = float("inf")
+
+
+def _evidence_key(payload: tuple) -> tuple:
+    """Content identity of an evidence payload, built from component
+    signatures (deterministic ECDSA: same content <=> same signature).
+    Re-registering identical evidence — a parent storing each sibling's
+    propagated copy, a refresh re-presenting the same certs — interns to
+    the existing pool record instead of allocating another."""
+    router_raw, via_child, principal_raw, pm, rt, chain, rm = payload
+    return (
+        router_raw,
+        via_child,
+        principal_raw,
+        pm.signature,
+        rt.signature if rt is not None else None,
+        (
+            chain.capsule_metadata.signature,
+            chain.adcert.signature,
+            chain.server_metadata.signature,
+            chain.org_metadata.signature
+            if chain.org_metadata is not None
+            else None,
+            chain.membership.signature
+            if chain.membership is not None
+            else None,
+        )
+        if chain is not None
+        else None,
+        rm.signature if rm is not None else None,
+    )
+
+
+class _EvidencePool:
+    """Refcounted interning pool for delegation evidence payloads.
+
+    A payload is the 7-tuple ``(router_raw, via_child, principal_raw,
+    principal_metadata, rtcert, chain, router_metadata)``; the pool
+    hands out small integer ids for the packed sidecar and stores each
+    distinct payload once.
+    """
+
+    __slots__ = ("_records", "_free", "_by_key")
+
+    def __init__(self):
+        self._records: list[list | None] = []
+        self._free: list[int] = []
+        self._by_key: dict[tuple, int] = {}
+
+    def acquire(self, payload: tuple) -> int:
+        """Intern *payload*; returns its id (refcount incremented)."""
+        key = _evidence_key(payload)
+        idx = self._by_key.get(key)
+        if idx is not None:
+            self._records[idx][0] += 1  # type: ignore[index]
+            return idx
+        if self._free:
+            idx = self._free.pop()
+            self._records[idx] = [1, key, payload]
+        else:
+            idx = len(self._records)
+            self._records.append([1, key, payload])
+        self._by_key[key] = idx
+        return idx
+
+    def release(self, idx: int) -> None:
+        """Drop one reference; the record is freed at zero."""
+        record = self._records[idx]
+        record[0] -= 1  # type: ignore[index]
+        if record[0] <= 0:  # type: ignore[index]
+            del self._by_key[record[1]]  # type: ignore[index]
+            self._records[idx] = None
+            self._free.append(idx)
+
+    def payload(self, idx: int) -> tuple:
+        """The payload tuple behind *idx*."""
+        return self._records[idx][2]  # type: ignore[index]
+
+    def principal(self, idx: int) -> bytes:
+        """The principal raw name behind *idx* (replacement checks)."""
+        return self._records[idx][2][2]  # type: ignore[index]
+
+    def __len__(self) -> int:
+        return len(self._by_key)
+
+
+def _rebuild_entry(name: GdpName, payload: tuple, expiry: float) -> RouteEntry:
+    """Reconstruct the RouteEntry API object from pooled evidence."""
+    router_raw, via_child, principal_raw, pm, rtcert, chain, rm = payload
+    return RouteEntry(
+        name,
+        router=GdpName(router_raw) if router_raw is not None else None,
+        via_child=via_child,
+        principal=GdpName(principal_raw),
+        principal_metadata=pm,
+        rtcert=rtcert,
+        chain=chain,
+        router_metadata=rm,
+        expires_at=None if expiry == _NO_EXPIRY else expiry,
+    )
 
 
 class GLookupService:
@@ -233,19 +405,28 @@ class GLookupService:
         verify_on_register: bool = True,
         clock: Callable[[], float] | None = None,
         metrics: "MetricsRegistry | None" = None,
+        wheel_granularity: float = 1.0,
     ):
         self.domain_name = domain_name
         self.parent = parent
         self.verify_on_register = verify_on_register
         self._clock = clock or (lambda: 0.0)
-        self._entries: dict[GdpName, list[RouteEntry]] = {}
+        # Packed storage: name -> (evidence id, expiry); multi-principal
+        # names spill to a side dict (rare: anycast replica sets).
+        self._map = PackedMap(_VALUE.size)
+        self._spill: dict[bytes, list[tuple[int, float]]] = {}
+        self._pool = _EvidencePool()
+        self._wheel = ExpiryWheel(wheel_granularity)
+        #: names physically reclaimed by the lease wheel
+        self.purged = 0
         # Counters live in the supplied registry (scope
         # ``glookup:<domain>``) or a private one; ``stats_*`` stay as
         # read-only views.
         registry = metrics if metrics is not None else MetricsRegistry()
-        scoped = registry.node(f"glookup:{domain_name}")
-        self._c_queries = scoped.counter("glookup.queries")
-        self._c_misses = scoped.counter("glookup.misses")
+        self._metrics = registry.node(f"glookup:{domain_name}")
+        self._c_queries = self._metrics.counter("glookup.queries")
+        self._c_misses = self._metrics.counter("glookup.misses")
+        self._c_purged = self._metrics.counter("glookup.purged")
 
     @property
     def stats_queries(self) -> int:
@@ -262,6 +443,77 @@ class GLookupService:
         """Current (simulated) time."""
         return self._clock()
 
+    # -- packed-store internals ------------------------------------------
+
+    def _load(self, raw: bytes) -> list[tuple[int, float]]:
+        """All stored (evidence id, expiry) pairs for a raw name."""
+        packed = self._map.get(raw)
+        if packed is None:
+            return []
+        ev, expiry = _VALUE.unpack(packed)
+        if ev == _SPILL:
+            return list(self._spill.get(raw, []))
+        return [(ev, expiry)]
+
+    def _write(self, raw: bytes, pairs: list[tuple[int, float]]) -> None:
+        """Store the pair list for a raw name (collapsing the spill)."""
+        if not pairs:
+            self._map.delete(raw)
+            self._spill.pop(raw, None)
+        elif len(pairs) == 1:
+            self._spill.pop(raw, None)
+            self._map.set(raw, _VALUE.pack(*pairs[0]))
+        else:
+            self._spill[raw] = pairs
+            self._map.set(raw, _VALUE.pack(_SPILL, _NO_EXPIRY))
+
+    def _cull(self, raw: bytes, now: float) -> list[tuple[int, float]]:
+        """Drop expired pairs for a raw name; returns the live ones."""
+        pairs = self._load(raw)
+        if not pairs:
+            return []
+        live = [
+            (ev, expiry)
+            for ev, expiry in pairs
+            if not (expiry != _NO_EXPIRY and now > expiry)
+        ]
+        if len(live) != len(pairs):
+            survivors = {ev for ev, _ in live}
+            for ev, expiry in pairs:
+                if ev not in survivors:
+                    self._pool.release(ev)
+            self._write(raw, live)
+        return live
+
+    def _store(self, raw: bytes, entry: RouteEntry) -> None:
+        """File *entry*'s evidence under the raw key (no verification —
+        the callers decide trust)."""
+        payload = (
+            entry.router.raw if entry.router is not None else None,
+            entry.via_child,
+            entry.principal.raw,
+            entry.principal_metadata,
+            entry.rtcert,
+            entry.chain,
+            entry.router_metadata,
+        )
+        ev = self._pool.acquire(payload)
+        expiry = _NO_EXPIRY if entry.expires_at is None else entry.expires_at
+        principal_raw = entry.principal.raw
+        pairs = self._load(raw)
+        kept = []
+        for old_ev, old_expiry in pairs:
+            if self._pool.principal(old_ev) == principal_raw:
+                self._pool.release(old_ev)  # stale same-principal binding
+            else:
+                kept.append((old_ev, old_expiry))
+        kept.append((ev, expiry))
+        self._write(raw, kept)
+        if expiry != _NO_EXPIRY:
+            self._wheel.schedule(raw, expiry)
+
+    # -- public API -------------------------------------------------------
+
     def register(self, entry: RouteEntry, *, propagate: bool = True) -> None:
         """Verify (unless compromised) and store an entry; propagate to
         the parent when the scope policy allows."""
@@ -272,38 +524,58 @@ class GLookupService:
                     f"capsule {entry.name.human()} is not allowed in "
                     f"domain {self.domain_name!r}"
                 )
-        bucket = self._entries.setdefault(entry.name, [])
-        # Replace a stale binding for the same principal.
-        bucket[:] = [e for e in bucket if e.principal != entry.principal]
-        bucket.append(entry)
+        self._store(entry.name.raw, entry)
+        self.maybe_purge()
         if propagate and self.parent is not None:
             if entry.allows_domain(self.parent.domain_name):
                 self.parent.register(entry.child_copy(self.domain_name))
             # else: scope boundary — the name stays invisible above here.
 
+    def plant(self, name: GdpName, entry: RouteEntry) -> None:
+        """Adversary/test hook: file *entry*'s evidence under *name*
+        with no verification, no scope check, and no propagation —
+        modeling corrupted backing state in the untrusted store (the
+        oracles and routers must catch what comes back out)."""
+        self._store(name.raw, entry)
+
     def unregister(self, name: GdpName, principal: GdpName) -> None:
         """Remove the binding for (name, principal), recursively up."""
-        bucket = self._entries.get(name, [])
-        bucket[:] = [e for e in bucket if e.principal != principal]
-        if not bucket:
-            self._entries.pop(name, None)
+        raw = name.raw
+        principal_raw = principal.raw
+        pairs = self._load(raw)
+        kept = []
+        for ev, expiry in pairs:
+            if self._pool.principal(ev) == principal_raw:
+                self._pool.release(ev)
+            else:
+                kept.append((ev, expiry))
+        if len(kept) != len(pairs):
+            self._write(raw, kept)
         if self.parent is not None:
             self.parent.unregister(name, principal)
 
     def lookup(self, name: GdpName) -> list[RouteEntry]:
         """Local (this domain only) lookup; expired entries are culled."""
         self._c_queries.inc()
-        now = self.now
-        bucket = self._entries.get(name, [])
-        live = [e for e in bucket if not e.is_expired(now)]
-        if len(live) != len(bucket):
-            if live:
-                self._entries[name] = live
-            else:
-                self._entries.pop(name, None)
-        if not live:
+        pool = self._pool
+        live = self._cull(name.raw, self.now)
+        entries = [
+            _rebuild_entry(name, pool.payload(ev), expiry)
+            for ev, expiry in live
+        ]
+        if not entries:
             self._c_misses.inc()
-        return list(live)
+        return entries
+
+    def peek(self, name: GdpName) -> list[RouteEntry]:
+        """Diagnostic view of everything stored under *name* — no
+        counters, no culling, expired entries included (the simtest
+        oracles judge staleness themselves)."""
+        pool = self._pool
+        return [
+            _rebuild_entry(name, pool.payload(ev), expiry)
+            for ev, expiry in self._load(name.raw)
+        ]
 
     def lookup_recursive(
         self, name: GdpName
@@ -319,15 +591,47 @@ class GLookupService:
             service = service.parent
         return None, []
 
+    # -- lease-wheel purge -------------------------------------------------
+
+    def maybe_purge(self, now: float | None = None) -> int:
+        """O(1) head check; purges only when the earliest wheel bucket
+        has elapsed (run amortized from registration activity)."""
+        if now is None:
+            now = self.now
+        deadline = self._wheel.next_deadline()
+        if deadline is None or deadline > now:
+            return 0
+        return self.purge_expired(now)
+
+    def purge_expired(self, now: float | None = None) -> int:
+        """Reclaim every expired binding the wheel has due; cost is
+        proportional to the tokens processed, never the table size."""
+        if now is None:
+            now = self.now
+        reclaimed = 0
+        for token in self._wheel.expired(now):
+            before = self._load(token)
+            if not before:
+                continue  # name already dropped: stale token
+            reclaimed += len(before) - len(self._cull(token, now))
+        self.purged += reclaimed
+        self._c_purged.inc(reclaimed)
+        return reclaimed
+
     def names(self) -> Iterable[GdpName]:
-        """All names with live entries."""
-        return self._entries.keys()
+        """All names with stored entries."""
+        return (GdpName(raw) for raw in self._map.keys())
+
+    def memory_bytes(self) -> int:
+        """Approximate resident bytes of the packed name table + wheel
+        (evidence objects excluded — they are shared, not per-name)."""
+        return self._map.memory_bytes() + self._wheel.memory_bytes()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        return len(self._map)
 
     def __repr__(self) -> str:
         return (
             f"GLookupService(domain={self.domain_name!r}, "
-            f"names={len(self._entries)})"
+            f"names={len(self._map)})"
         )

@@ -35,6 +35,7 @@ from repro.naming.names import GdpName
 from repro.crypto.keys import SigningKey
 from repro.routing import pdu as pdutypes
 from repro.routing.domain import RoutingDomain
+from repro.routing.fib import CompactFib
 from repro.routing.glookup import RouteEntry, expiry_from_wire
 from repro.routing.pdu import Pdu
 from repro.runtime.dispatch import find_handler, on_ptype
@@ -87,8 +88,9 @@ class GdpRouter(Node):
         #: directly attached endpoints (advertisement bindings); these
         #: are ground truth, not cache, and survive FIB flushes
         self.attached: dict[GdpName, Node] = {}
-        #: name -> (next-hop node, expiry sim-time) — the route *cache*
-        self.fib: dict[GdpName, tuple[Node, float]] = {}
+        #: name -> (next-hop node, expiry sim-time) — the route *cache*,
+        #: packed (44 bytes/route) with lease-wheel reclamation
+        self.fib = CompactFib(clock=lambda: self.sim.now)
         #: name -> expiry sim-time of a cached resolution *miss*
         self._neg_cache: dict[GdpName, float] = {}
         #: principal -> expiry sim-time of a client-reported dead replica
@@ -452,7 +454,9 @@ class GdpRouter(Node):
             node, expiry = cached
             if self.sim.now <= expiry:
                 return node
-            del self.fib[dst]
+            # Expired: treat as a miss.  Physical reclamation is the
+            # lease wheel's job, not this lookup's.
+            self.fib.maybe_purge()
         # 1b. Negative cache: a recent full miss short-circuits the
         #     GLookup climb so dead names cannot cause per-PDU lookup
         #     storms through the hierarchy.
@@ -555,6 +559,7 @@ class GdpRouter(Node):
         if lease is not None:
             expiry = min(expiry, lease)
         self.fib[dst] = (hop, expiry)
+        self.fib.maybe_purge()
         self._neg_cache.pop(dst, None)
 
     def add_static_route(self, name: GdpName, peer: Any) -> None:

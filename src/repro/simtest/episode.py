@@ -238,15 +238,18 @@ def run_episode(
     faults_override: list[FaultEvent] | None = None,
     trace: bool = True,
     profile: str = "default",
+    dht_root: bool = False,
 ) -> EpisodeResult:
     """Run one complete episode; never raises for in-episode failures —
     scenario crashes and oracle violations both land in the result.
 
     ``profile`` selects a named fault schedule (see
     :func:`repro.simtest.plan.build_plan`); ``"crash_bias"`` is the
-    routing-resilience soak mix."""
+    routing-resilience soak mix.  ``dht_root`` runs the episode with
+    the Kademlia-backed global GLookup tier (see
+    :func:`repro.simtest.world.build_world`)."""
     plan = build_plan(seed, faults_override=faults_override, profile=profile)
-    world = build_world(plan)
+    world = build_world(plan, dht_root=dht_root)
     tracer = world.net.enable_tracing() if trace else None
     error = None
     try:

@@ -25,9 +25,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Iterable
 
+from repro import encoding
 from repro.capsule import DataCapsule, Heartbeat, Record
 from repro.capsule.proofs import build_position_proof
 from repro.errors import GdpError, HoleError, RecordNotFoundError
+from repro.routing.dht_glookup import DhtGLookupService
+from repro.routing.glookup import RouteEntry
 
 __all__ = ["Violation", "ORACLES", "oracle", "run_oracles"]
 
@@ -216,7 +219,7 @@ def check_fib_glookup(world) -> list[Violation]:
     for domain_name in sorted(world.topo.domains):
         glookup = world.topo.domains[domain_name].glookup
         for name in sorted(glookup.names(), key=lambda n: n.raw):
-            for entry in glookup._entries.get(name, []):
+            for entry in glookup.peek(name):
                 if entry.is_expired(now):
                     continue
                 if entry.name != name:
@@ -235,6 +238,49 @@ def check_fib_glookup(world) -> list[Violation]:
                         f"glookup:{domain_name}/{name.human()}",
                         f"unverifiable route entry: "
                         f"{type(exc).__name__}: {exc}",
+                    ))
+        if isinstance(glookup, DhtGLookupService):
+            violations.extend(
+                _check_dht_tier(domain_name, glookup, now)
+            )
+    return violations
+
+
+def _check_dht_tier(
+    domain_name: str, glookup: "DhtGLookupService", now: float
+) -> list[Violation]:
+    """The DHT backing a global GLookup tier is untrusted key-value
+    state (§VII) — but after an episode its *surviving* contents must
+    still be the kind of garbage verification catches, never a
+    well-formed entry that verifies under the wrong name.  Undecodable
+    values and forged entries are tolerated in storage (routers skip
+    them); an entry that decodes, verifies, and is filed under a key
+    other than its own name would be silently routable and is flagged.
+    """
+    violations = []
+    seen: set[bytes] = set()
+    for node_name in sorted(glookup.dht.nodes, key=lambda n: n.raw):
+        node = glookup.dht.nodes[node_name]
+        for key in sorted(node.store, key=lambda n: n.raw):
+            for wire in node.store[key]:
+                blob = encoding.encode(wire)
+                if blob in seen:
+                    continue  # replica copy already judged
+                seen.add(blob)
+                try:
+                    entry = RouteEntry.from_wire(wire)
+                except Exception:  # noqa: BLE001 — undecodable: skipped
+                    continue
+                try:
+                    entry.verify(now=now)
+                except Exception:  # noqa: BLE001 — forged: skipped
+                    continue
+                if entry.name != key and not entry.is_expired(now):
+                    violations.append(Violation(
+                        "fib_glookup",
+                        f"dht:{domain_name}/{key.human()}",
+                        f"verified DHT entry filed under the wrong "
+                        f"name ({entry.name.human()})",
                     ))
     return violations
 

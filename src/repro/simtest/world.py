@@ -19,6 +19,7 @@ import random
 from dataclasses import dataclass, field
 
 from repro.client import GdpClient, OwnerConsole
+from repro.naming.names import GdpName
 from repro.client.failover import SubscriptionMonitor
 from repro.crypto import SigningKey
 from repro.routing.lease import LeaseRefreshDaemon
@@ -87,11 +88,16 @@ class EpisodeWorld:
         return [server for server in self.servers if not server.crashed]
 
 
-def build_world(plan: EpisodePlan) -> EpisodeWorld:
+def build_world(plan: EpisodePlan, *, dht_root: bool = False) -> EpisodeWorld:
     """Materialize the plan: topology, servers, client, disarmed faults.
 
     Identical plans build identical worlds — node ids, key seeds, and
     fault RNG seeds are all derived from ``plan.seed``.
+
+    ``dht_root`` swaps the global domain's GLookupService for a
+    Kademlia-backed :class:`DhtGLookupService` tier (§VII's scalable
+    top level).  Opt-in: the pinned determinism traces cover the
+    default world, and the DHT tier must not perturb them.
     """
     topo = federated_campus(
         plan.n_domains,
@@ -101,6 +107,30 @@ def build_world(plan: EpisodePlan) -> EpisodeWorld:
         routers_per_domain=plan.routers_per_domain,
     )
     net = topo.net
+    if dht_root:
+        import hashlib
+
+        from repro.routing.dht import KademliaDht
+        from repro.routing.dht_glookup import DhtGLookupService
+
+        dht = KademliaDht(k=4)
+        dht_names = [
+            GdpName(
+                hashlib.sha256(
+                    b"simtest-dht:%d:%d" % (plan.seed, i)
+                ).digest()
+            )
+            for i in range(8)
+        ]
+        for dht_name in dht_names:
+            dht.join(dht_name)
+        root = topo.domains["global"]
+        root.glookup = DhtGLookupService(
+            "global", dht, dht_names[0], clock=lambda: net.sim.now
+        )
+        for domain in topo.domains.values():
+            if domain is not root:
+                domain.glookup.parent = root.glookup
     # The inter-router fabric built so far is the partition target set;
     # endpoint attachment links created below stay out of it.
     backbone_links = list(net.links)

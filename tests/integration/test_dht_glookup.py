@@ -140,3 +140,67 @@ class TestDhtBackedGlobalTier:
         net.sim.run_process(scenario())
         for entry in w["root"].glookup.lookup(w["server"].name):
             entry.verify(now=net.sim.now)  # survived the DHT round trip
+
+    def test_forged_but_wellformed_entry_rejected(self, dht_world, owner_keys):
+        """A compromised DHT node plants a *decodable* entry whose
+        evidence doesn't actually cover the name (a forged binding, not
+        mere garbage).  The resolving router re-verifies before FIB
+        install and must refuse it."""
+        w = dht_world
+        net = w["net"]
+
+        def scenario():
+            for endpoint in (w["server"], w["writer_client"], w["reader_client"]):
+                yield endpoint.advertise()
+            metadata = w["console"].design_capsule(w["writer_key"].public)
+            yield from w["console"].place_capsule(
+                metadata, [w["server"].metadata]
+            )
+            yield 0.5
+            writer = w["writer_client"].open_writer(metadata, w["writer_key"])
+            yield from writer.append(b"authentic")
+            # Forge: take the server's real (verifiable) self-entry
+            # wire, but re-file it claiming to cover the capsule name.
+            real = w["root"].glookup.peek(w["server"].name)[0]
+            forged = real.to_wire()
+            forged["name"] = metadata.name.raw
+            for node in w["dht"].nodes.values():
+                if metadata.name in node.store:
+                    node.store[metadata.name].insert(0, forged)
+            for router in (w["r_root"], w["r_edge"]):
+                router.flush_fib()
+            record = yield from w["reader_client"].read(metadata.name, 1)
+            return record.payload
+
+        assert net.sim.run_process(scenario()) == b"authentic"
+
+    def test_domain_glookup_injection(self, dht_world):
+        """RoutingDomain(glookup=...) installs the supplied service and
+        wires it into the hierarchy."""
+        w = dht_world
+        clock = lambda: w["net"].sim.now  # noqa: E731
+        injected = DhtGLookupService(
+            "global.alt", w["dht"], dht_name(1), clock=clock
+        )
+        alt = RoutingDomain("global.alt", w["root"], glookup=injected)
+        assert alt.glookup is injected
+        assert alt.glookup.parent is w["root"].glookup
+
+    def test_dht_query_metrics_recorded(self, dht_world):
+        w = dht_world
+        net = w["net"]
+        glookup = w["root"].glookup
+
+        def scenario():
+            yield w["server"].advertise()
+            return True
+
+        net.sim.run_process(scenario())
+        before = glookup._c_dht_lookups.value
+        glookup.lookup(w["server"].name)
+        assert glookup._c_dht_lookups.value == before + 1
+        assert glookup._c_dht_messages.value >= 1
+        hops = glookup._h_dht_hops
+        assert hops.count >= 1
+        # 16-node ring: every lookup must be within the log bound.
+        assert hops.max <= 6

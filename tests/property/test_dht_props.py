@@ -42,3 +42,21 @@ class TestDhtProperties:
             1 for node in dht.nodes.values() if key in node.store
         )
         assert holders == stored >= 2
+
+    @given(st.integers(20_000, 30_000), st.integers(0, 47))
+    @settings(max_examples=60, deadline=None)
+    def test_lookup_hops_within_log_bound(self, dht, key_id, via):
+        """Kademlia's core complexity claim: an iterative lookup
+        converges in O(log n) rounds.  Each round queries the alpha
+        closest unqueried nodes, so round count — not message count —
+        is the bounded quantity; allow a +2 constant for the final
+        no-progress round and bucket imperfection."""
+        import math
+
+        key = name("hopkey", key_id)
+        dht.get(name("node", via), key)
+        bound = math.ceil(math.log2(len(dht.nodes))) + 2
+        assert 1 <= dht.last_hops <= bound, (
+            f"lookup took {dht.last_hops} rounds, bound {bound}"
+        )
+        assert dht.last_messages >= 1

@@ -47,6 +47,18 @@ def test_episode_survives_heavy_fault_schedule():
 
 
 @pytest.mark.tier1
+@pytest.mark.parametrize("seed", [4, 9])
+def test_dht_root_episode_passes(seed):
+    """Chaos episodes with the Kademlia-backed global GLookup tier:
+    every oracle — including the DHT-store consistency extension of
+    ``fib_glookup`` — must hold with routing state living in the
+    untrusted DHT."""
+    result = run_episode(seed, dht_root=True)
+    assert result.ok, result.report()
+    assert result.op_log, "episode ran no operations"
+
+
+@pytest.mark.tier1
 @pytest.mark.parametrize("seed", [3, 11])
 def test_crash_bias_episode_passes(seed):
     """The crash-biased profile (faults skewed toward server crashes

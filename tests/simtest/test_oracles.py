@@ -147,23 +147,24 @@ class TestFibGlookupOracle:
         ), violations
 
     def test_fires_on_misfiled_glookup_entry(self, clean_world):
+        """Evidence planted under a name its chain doesn't cover (a
+        corrupted backing store — the GLookupService is untrusted) must
+        surface as unverifiable routing state."""
         world = clean_world
         planted = False
         for domain in world.topo.domains.values():
-            entries = domain.glookup._entries.get(world.metadata.name)
+            entries = domain.glookup.peek(world.metadata.name)
             if entries:
                 entry = entries[0]
                 entry.expires_at = None  # keep it live at quiesce
-                domain.glookup._entries.setdefault(
-                    world.servers[0].name, []
-                ).append(entry)
+                domain.glookup.plant(world.servers[0].name, entry)
                 planted = True
                 break
         assert planted, "no GLookup entry to misfile"
         violations = run_oracles(world, names=["fib_glookup"])
         assert any(
-            "entry filed under the wrong name" in v.detail
-            and world.metadata.name.human() in v.detail
+            "unverifiable route entry" in v.detail
+            and world.servers[0].name.human() in v.subject
             for v in violations
         ), violations
 

@@ -74,8 +74,9 @@ def main():
                 submit_update(tech, service.name, ledger, note),
                 name=f"submit:{tech.node_id}",
             ).completion)
-        seqnos = yield net.sim.gather(futures)
-        print(f"4 concurrent submissions serialized to seqnos {sorted(seqnos)}")
+        receipts = yield net.sim.gather(futures)
+        seqnos = sorted(receipt.seqno for receipt in receipts)
+        print(f"4 concurrent submissions serialized to seqnos {seqnos}")
 
         # An unauthorized writer is refused at the ACL.
         try:
@@ -89,16 +90,17 @@ def main():
         # The auditor replays the totally ordered ledger with provenance.
         yield 1.0
         latest = yield from auditor.read_latest(ledger)
-        records = yield from auditor.read_range(ledger, 1, latest.seqno)
+        tip = latest.record.seqno
+        result = yield from auditor.read_range(ledger, 1, tip)
         key_names = {
             tech.key.public.to_bytes(): tech.node_id for tech in technicians
         }
         print("audited ledger (verified, totally ordered):")
-        for record in records:
+        for record in result.records:
             submitter, note = read_committed(record.payload)
             who = key_names.get(submitter, "unknown")
             print(f"  #{record.seqno} [{who}] {note.decode()}")
-        assert latest.seqno == 4
+        assert tip == 4
         return True
 
     net.sim.run_process(scenario())

@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import Callable, Generator, Sequence
 
 from repro import encoding
+from repro.caapi.base import create_backed_capsule
 from repro.capsule.heartbeat import Heartbeat
 from repro.capsule.records import Record
 from repro.client.client import ClientWriter, GdpClient
@@ -58,7 +59,14 @@ class AggregationService(GdpClient):
         self.combine = combine or _default_combine
         self._writer: ClientWriter | None = None
         self._append_chain: Future | None = None
-        self.stats_aggregated = 0
+        self._c_aggregated = network.metrics.node(node_id).counter(
+            "aggregate.records"
+        )
+
+    @property
+    def stats_aggregated(self) -> int:
+        """Registry counter ``aggregate.records`` (back-compat name)."""
+        return self._c_aggregated.value
 
     def create_output(
         self,
@@ -66,19 +74,21 @@ class AggregationService(GdpClient):
         server_metadatas: Sequence[Metadata],
         *,
         scopes: Sequence[str] = (),
+        acks: str = "any",
     ) -> Generator:
         """Create the output capsule (this service is its writer)."""
-        metadata = console.design_capsule(
-            self.key.public,
+        metadata, writer = yield from create_backed_capsule(
+            self,
+            console,
+            server_metadatas,
+            writer_key=self.key,
             pointer_strategy="chain",
             label="caapi.aggregate",
             extra={"caapi": "aggregate"},
+            scopes=scopes,
+            acks=acks,
         )
-        yield from console.place_capsule(
-            metadata, server_metadatas, scopes=scopes
-        )
-        self._writer = self.open_writer(metadata, self.key)
-        yield 0.2
+        self._writer = writer
         return metadata.name
 
     @property
@@ -116,7 +126,7 @@ class AggregationService(GdpClient):
             def done(fut: Future) -> None:
                 try:
                     fut.result()
-                    self.stats_aggregated += 1
+                    self._c_aggregated.inc()
                 except Exception:  # noqa: BLE001 — aggregation is lossy-ok
                     pass
                 slot.resolve(None)

@@ -26,8 +26,9 @@ from __future__ import annotations
 from typing import Generator, Sequence
 
 from repro import encoding
+from repro.caapi.base import CapsuleApp
 from repro.capsule.proofs import PositionProof
-from repro.client.client import ClientWriter, GdpClient
+from repro.client.client import GdpClient
 from repro.client.owner import OwnerConsole
 from repro.crypto.keys import SigningKey
 from repro.crypto.merkle import MerkleTree
@@ -89,8 +90,14 @@ def _parse_summary(payload: bytes) -> dict | None:
     return {"count": wire["count"], "root": wire["root"]}
 
 
-class AuditedLog:
-    """An append-only log with periodic Merkle summaries."""
+class AuditedLog(CapsuleApp):
+    """An append-only log with periodic Merkle summaries.
+
+    Skip-list pointers so summary records are O(log n) to pin."""
+
+    CAAPI_KIND = "audit"
+    CAAPI_LABEL = "caapi.audit"
+    WRITER_SEED = b"auditwriter:"
 
     def __init__(
         self,
@@ -101,47 +108,29 @@ class AuditedLog:
         writer_key: SigningKey | None = None,
         summary_interval: int = 16,
         scopes: Sequence[str] = (),
+        acks: str = "any",
     ):
         if summary_interval < 2:
             raise CapsuleError("summary_interval must be >= 2")
-        self.client = client
-        self.console = console
-        self.servers = list(server_metadatas)
-        self.writer_key = writer_key or SigningKey.from_seed(
-            b"auditwriter:" + client.node_id.encode()
+        super().__init__(
+            client,
+            console,
+            server_metadatas,
+            writer_key=writer_key,
+            scopes=scopes,
+            acks=acks,
         )
         self.summary_interval = summary_interval
-        self.scopes = tuple(scopes)
-        self._writer: ClientWriter | None = None
-        self._name: GdpName | None = None
         self._tree = MerkleTree()  # payload hashes of data records
         self._entries = 0
 
-    @property
-    def name(self) -> GdpName:
-        """The backing capsule's name."""
-        if self._name is None:
-            raise CapsuleError("log not created yet")
-        return self._name
+    def _pointer_strategy(self) -> str:
+        return "skiplist"
+
+    def _design_extra(self) -> dict:
+        return {"summary_interval": self.summary_interval}
 
     # -- writer side -----------------------------------------------------
-
-    def create(self) -> Generator:
-        """Create the backing capsule (skip-list pointers so summary
-        records are O(log n) to pin); returns its name."""
-        metadata = self.console.design_capsule(
-            self.writer_key.public,
-            pointer_strategy="skiplist",
-            label="caapi.audit",
-            extra={"caapi": "audit", "summary_interval": self.summary_interval},
-        )
-        yield from self.console.place_capsule(
-            metadata, self.servers, scopes=self.scopes
-        )
-        self._writer = self.client.open_writer(metadata, self.writer_key)
-        self._name = metadata.name
-        yield 0.2
-        return metadata.name
 
     def append(self, payload: bytes) -> Generator:
         """Append one entry; a summary follows automatically every

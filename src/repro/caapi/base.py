@@ -1,0 +1,141 @@
+"""The shared CAAPI lifecycle: one base class instead of six copies.
+
+Every CAAPI ("Common Access API", §V-B) fronts one capsule with the
+same bootstrap dance: design metadata with an owner console, place it
+on a server set, open the single writer, let the re-advertisements
+land.  Before this module each CAAPI re-implemented those ~40 lines
+with drifting signatures (``stream`` had no ``acks=``, ``audit`` no
+``mount()``...).  :class:`CapsuleApp` is the one copy: subclasses
+declare their capsule shape (label, pointer strategy, metadata extras)
+and inherit a uniform ``create()`` / ``mount()`` / ``name`` surface
+with consistent ``writer_key=`` / ``scopes=`` / ``acks=`` kwargs.
+
+Service-side CAAPIs (commit shards, aggregation) are themselves
+:class:`~repro.client.client.GdpClient` endpoints rather than wrappers
+around one; they share the same bootstrap through
+:func:`create_backed_capsule`.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Sequence
+
+from repro.client.client import ClientWriter, GdpClient
+from repro.client.owner import OwnerConsole
+from repro.crypto.keys import SigningKey
+from repro.errors import CapsuleError
+from repro.naming.metadata import Metadata
+from repro.naming.names import GdpName
+
+__all__ = ["CapsuleApp", "create_backed_capsule"]
+
+#: settle time after placement: lets the servers' capsule
+#: re-advertisements land before the first operation routes by name
+SETTLE_SECONDS = 0.2
+
+
+def create_backed_capsule(
+    client: GdpClient,
+    console: OwnerConsole,
+    server_metadatas: Sequence[Metadata],
+    *,
+    writer_key: SigningKey,
+    pointer_strategy: str,
+    label: str,
+    extra: dict | None = None,
+    scopes: Sequence[str] = (),
+    acks: str = "any",
+) -> Generator:
+    """The one capsule-bootstrap sequence every CAAPI shares: design,
+    place, open the writer, settle.  Returns ``(metadata, writer)``."""
+    metadata = console.design_capsule(
+        writer_key.public,
+        pointer_strategy=pointer_strategy,
+        label=label,
+        extra=dict(extra or {}),
+    )
+    yield from console.place_capsule(
+        metadata, server_metadatas, scopes=scopes
+    )
+    writer = client.open_writer(metadata, writer_key, acks=acks)
+    yield SETTLE_SECONDS
+    return metadata, writer
+
+
+class CapsuleApp:
+    """Base class for client-side CAAPIs backed by one capsule.
+
+    Subclasses set :attr:`CAAPI_KIND` / :attr:`CAAPI_LABEL` /
+    :attr:`WRITER_SEED` and override :meth:`_pointer_strategy` /
+    :meth:`_design_extra` to describe their capsule; the lifecycle
+    (``create`` / ``mount`` / ``name``) comes from here.
+    """
+
+    #: value of the ``caapi`` metadata extra (subsystem discriminator)
+    CAAPI_KIND = "app"
+    #: human-facing capsule label
+    CAAPI_LABEL = "caapi.app"
+    #: seed prefix for the default per-client writer key
+    WRITER_SEED = b"appwriter:"
+
+    def __init__(
+        self,
+        client: GdpClient,
+        console: OwnerConsole,
+        server_metadatas: Sequence[Metadata],
+        *,
+        writer_key: SigningKey | None = None,
+        scopes: Sequence[str] = (),
+        acks: str = "any",
+    ):
+        self.client = client
+        self.console = console
+        self.servers = list(server_metadatas)
+        self.writer_key = writer_key or SigningKey.from_seed(
+            self.WRITER_SEED + client.node_id.encode()
+        )
+        self.scopes = tuple(scopes)
+        self.acks = acks
+        self._writer: ClientWriter | None = None
+        self._name: GdpName | None = None
+
+    @property
+    def name(self) -> GdpName:
+        """The flat GDP name of this object."""
+        if self._name is None:
+            raise CapsuleError(
+                f"{type(self).__name__} not created/mounted yet"
+            )
+        return self._name
+
+    def _pointer_strategy(self) -> str:
+        """The backing capsule's pointer strategy."""
+        return "chain"
+
+    def _design_extra(self) -> dict:
+        """Extra metadata properties beyond the ``caapi`` kind tag."""
+        return {}
+
+    def create(self) -> Generator:
+        """Create the backing capsule (this app is its single writer);
+        returns its name."""
+        metadata, writer = yield from create_backed_capsule(
+            self.client,
+            self.console,
+            self.servers,
+            writer_key=self.writer_key,
+            pointer_strategy=self._pointer_strategy(),
+            label=self.CAAPI_LABEL,
+            extra={"caapi": self.CAAPI_KIND, **self._design_extra()},
+            scopes=self.scopes,
+            acks=self.acks,
+        )
+        self._writer = writer
+        self._name = metadata.name
+        return metadata.name
+
+    def mount(self, name: GdpName) -> Generator:
+        """Attach read-only to an existing instance by name."""
+        yield from self.client.fetch_metadata(name)
+        self._name = name
+        return name

@@ -30,8 +30,9 @@ from __future__ import annotations
 
 from typing import Any, Generator
 
+from repro.caapi.commit_service import CommitClient
 from repro.client.client import GdpClient
-from repro.errors import GdpError
+from repro.errors import CommitConflictError, GdpError
 from repro.naming.names import GdpName
 from repro.runtime.dispatch import handles, resolve_route
 from repro.sim.net import Link, Node, SimNetwork
@@ -51,10 +52,20 @@ class GatewayService(GdpClient):
     def __init__(self, network: SimNetwork, node_id: str, **kwargs):
         super().__init__(network, node_id, **kwargs)
         self._ws_subscribers: dict[GdpName, list[Node]] = {}
+        self._commit: CommitClient | None = None
         metrics = network.metrics.node(node_id)
         self._c_http_ok = metrics.counter("gateway.http_ok")
         self._c_http_errors = metrics.counter("gateway.http_errors")
         self._c_pushes = metrics.counter("gateway.pushes")
+        self._c_commits = metrics.counter("gateway.commits")
+
+    def attach_commit(self, commit: CommitClient) -> None:
+        """Expose a commit plane to legacy clients via
+        ``POST /commit/submit/<key>`` (body: ``{"data_hex", and optional
+        "expect_seqno"}``).  Submissions are signed with the *gateway's*
+        key — the legacy client trusts its terminator, exactly as for
+        reads — so the gateway's key must be on the shards' write ACL."""
+        self._commit = commit
 
     @property
     def stats_http(self) -> dict:
@@ -100,6 +111,9 @@ class GatewayService(GdpClient):
         method = request.get("method", "GET")
         parts = [p for p in str(request.get("path", "")).split("/") if p]
         try:
+            if parts and parts[0] == "commit":
+                yield from self._serve_commit(client, request, method, parts)
+                return
             if len(parts) >= 2 and parts[0] == "capsule":
                 name = GdpName.from_hex(parts[1])
                 route = resolve_route(self, method, parts[2:])
@@ -113,6 +127,49 @@ class GatewayService(GdpClient):
                 client, request, 502,
                 {"error": f"{type(exc).__name__}: {exc}"},
             )
+
+    def _serve_commit(
+        self, client: Node, request: dict, method: str, parts: list
+    ) -> Generator:
+        """``POST /commit/submit/<key...>`` — submit through the
+        attached commit plane (409 on a CAS conflict, carrying the
+        winning seqno so the legacy client can rebase)."""
+        if self._commit is None:
+            self._reply(
+                client, request, 404, {"error": "no commit plane attached"}
+            )
+            return
+        if method != "POST" or len(parts) < 2 or parts[1] != "submit":
+            self._reply(client, request, 404, {"error": "no such route"})
+            return
+        key = "/".join(parts[2:]) or None
+        body = request.get("body") or {}
+        data = bytes.fromhex(str(body.get("data_hex", "")))
+        expect = body.get("expect_seqno")
+        try:
+            receipt = yield from self._commit.submit(
+                data, key=key, expect_seqno=expect
+            )
+        except CommitConflictError as exc:
+            self._reply(
+                client, request, 409,
+                {
+                    "conflict": True,
+                    "key": exc.key,
+                    "winning_seqno": exc.winning_seqno,
+                    "expected": exc.expected,
+                },
+            )
+            return
+        self._c_commits.inc()
+        self._reply(
+            client, request, 200,
+            {
+                "seqno": receipt.seqno,
+                "shard": receipt.shard,
+                "acks": receipt.acks,
+            },
+        )
 
     # -- handlers ---------------------------------------------------------------
 
@@ -190,7 +247,7 @@ class LegacyHttpClient(Node):
         self.network.connect(self, gateway, **defaults)
         self.gateway = gateway
 
-    def request(self, method: str, path: str):
+    def request(self, method: str, path: str, body: Any = None):
         """Send a request; returns a future of ``{"status", "body"}``."""
         if self.gateway is None:
             raise RuntimeError("not connected to a gateway")
@@ -199,7 +256,11 @@ class LegacyHttpClient(Node):
         future = self.sim.future()
         self._pending[request_id] = future
         message = {"method": method, "path": path, "id": request_id}
-        self.send(self.gateway, message, 200 + len(path))
+        if body is not None:
+            message["body"] = body
+        self.send(
+            self.gateway, message, 200 + len(path) + len(repr(body or ""))
+        )
         return self.sim.timeout(future, 30.0, f"{method} {path}")
 
     def receive(self, message: Any, sender: Node, link: Link) -> None:

@@ -18,9 +18,10 @@ from __future__ import annotations
 from typing import Callable, Generator, Sequence
 
 from repro import encoding
+from repro.caapi.base import CapsuleApp
 from repro.capsule.heartbeat import Heartbeat
 from repro.capsule.records import Record
-from repro.client.client import ClientWriter, GdpClient
+from repro.client.client import GdpClient
 from repro.client.owner import OwnerConsole
 from repro.crypto.keys import SigningKey
 from repro.errors import CapsuleError, GdpError
@@ -58,8 +59,12 @@ class Frame:
         return f"Frame(#{self.index}{kind}, {len(self.data)}B)"
 
 
-class StreamPublisher:
+class StreamPublisher(CapsuleApp):
     """The single writer of a stream capsule."""
+
+    CAAPI_KIND = "stream"
+    CAAPI_LABEL = "caapi.stream"
+    WRITER_SEED = b"streamwriter:"
 
     def __init__(
         self,
@@ -71,42 +76,25 @@ class StreamPublisher:
         window: int = 4,
         gop: int = 12,
         scopes: Sequence[str] = (),
+        acks: str = "any",
     ):
-        self.client = client
-        self.console = console
-        self.servers = list(server_metadatas)
-        self.writer_key = writer_key or SigningKey.from_seed(
-            b"streamwriter:" + client.node_id.encode()
+        super().__init__(
+            client,
+            console,
+            server_metadatas,
+            writer_key=writer_key,
+            scopes=scopes,
+            acks=acks,
         )
         self.window = window
         self.gop = gop  # keyframe every `gop` frames
-        self.scopes = tuple(scopes)
-        self._writer: ClientWriter | None = None
-        self._name: GdpName | None = None
         self._frame_index = 0
 
-    @property
-    def name(self) -> GdpName:
-        """The flat GDP name of this object."""
-        if self._name is None:
-            raise CapsuleError("stream not created yet")
-        return self._name
+    def _pointer_strategy(self) -> str:
+        return f"stream:{self.window}"
 
-    def create(self) -> Generator:
-        """Construct and sign (see class docstring)."""
-        metadata = self.console.design_capsule(
-            self.writer_key.public,
-            pointer_strategy=f"stream:{self.window}",
-            label="caapi.stream",
-            extra={"caapi": "stream", "gop": self.gop},
-        )
-        yield from self.console.place_capsule(
-            metadata, self.servers, scopes=self.scopes
-        )
-        self._writer = self.client.open_writer(metadata, self.writer_key)
-        self._name = metadata.name
-        yield 0.2
-        return metadata.name
+    def _design_extra(self) -> dict:
+        return {"gop": self.gop}
 
     def publish(self, data: bytes) -> Generator:
         """Append the next frame; returns the :class:`Frame`."""
@@ -118,8 +106,8 @@ class StreamPublisher:
             data,
         )
         self._frame_index += 1
-        record, _ = yield from self._writer.append(frame.encode())
-        frame.seqno = record.seqno
+        receipt = yield from self._writer.append(frame.encode())
+        frame.seqno = receipt.seqno
         return frame
 
 

@@ -13,17 +13,13 @@ the paper's *time-shift* property.
 
 from __future__ import annotations
 
-from typing import Callable, Generator, Sequence
+from typing import Callable, Generator
 
 from repro import encoding
+from repro.caapi.base import CapsuleApp
 from repro.capsule.heartbeat import Heartbeat
 from repro.capsule.records import Record
-from repro.client.client import ClientWriter, GdpClient
-from repro.client.owner import OwnerConsole
-from repro.crypto.keys import SigningKey
 from repro.errors import CapsuleError
-from repro.naming.metadata import Metadata
-from repro.naming.names import GdpName
 
 __all__ = ["TimeSeriesLog", "Sample"]
 
@@ -48,61 +44,18 @@ class Sample:
         return f"Sample(t={self.timestamp}, v={self.value}, #{self.seqno})"
 
 
-class TimeSeriesLog:
-    """An append-only measurement log over one DataCapsule."""
+class TimeSeriesLog(CapsuleApp):
+    """An append-only measurement log over one DataCapsule.
 
-    def __init__(
-        self,
-        client: GdpClient,
-        console: OwnerConsole,
-        server_metadatas: Sequence[Metadata],
-        *,
-        writer_key: SigningKey | None = None,
-        scopes: Sequence[str] = (),
-        acks: str = "any",
-    ):
-        self.client = client
-        self.console = console
-        self.servers = list(server_metadatas)
-        self.writer_key = writer_key or SigningKey.from_seed(
-            b"tswriter:" + client.node_id.encode()
-        )
-        self.scopes = tuple(scopes)
-        self.acks = acks
-        self._writer: ClientWriter | None = None
-        self._name: GdpName | None = None
+    Skip-list pointers: point lookups inside long histories are the
+    common read."""
 
-    @property
-    def name(self) -> GdpName:
-        """The flat GDP name of this object."""
-        if self._name is None:
-            raise CapsuleError("log not created/mounted yet")
-        return self._name
+    CAAPI_KIND = "timeseries"
+    CAAPI_LABEL = "caapi.timeseries"
+    WRITER_SEED = b"tswriter:"
 
-    def create(self) -> Generator:
-        """Create the backing capsule (skip-list pointers: point lookups
-        inside long histories are the common read)."""
-        metadata = self.console.design_capsule(
-            self.writer_key.public,
-            pointer_strategy="skiplist",
-            label="caapi.timeseries",
-            extra={"caapi": "timeseries"},
-        )
-        yield from self.console.place_capsule(
-            metadata, self.servers, scopes=self.scopes
-        )
-        self._writer = self.client.open_writer(
-            metadata, self.writer_key, acks=self.acks
-        )
-        self._name = metadata.name
-        yield 0.2
-        return metadata.name
-
-    def mount(self, name: GdpName) -> Generator:
-        """Attach read-only to an existing instance by name."""
-        yield from self.client.fetch_metadata(name)
-        self._name = name
-        return name
+    def _pointer_strategy(self) -> str:
+        return "skiplist"
 
     # -- writes ---------------------------------------------------------------
 
@@ -114,8 +67,8 @@ class TimeSeriesLog:
         payload = encoding.encode(
             {"t": int(round(timestamp * 1000)), "v": int(round(value * 1000))}
         )
-        record, _ = yield from self._writer.append(payload)
-        return record.seqno
+        receipt = yield from self._writer.append(payload)
+        return receipt.seqno
 
     # -- reads ----------------------------------------------------------------
 

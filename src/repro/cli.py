@@ -227,7 +227,7 @@ def cmd_simtest(args: argparse.Namespace) -> int:
     failures = 0
     for i in range(args.episodes):
         seed = args.seed + i
-        result = run_episode(seed)
+        result = run_episode(seed, profile=args.profile)
         if result.ok:
             print(
                 f"episode seed={seed}: PASS "
@@ -239,7 +239,12 @@ def cmd_simtest(args: argparse.Namespace) -> int:
         failures += 1
         print(result.report())
         if args.shrink:
-            shrunk = shrink_episode(seed)
+            import functools
+
+            shrunk = shrink_episode(
+                seed,
+                run=functools.partial(run_episode, profile=args.profile),
+            )
             for line in shrunk.describe():
                 print(line)
     print(
@@ -252,10 +257,18 @@ def cmd_simtest(args: argparse.Namespace) -> int:
 def cmd_bench(args: argparse.Namespace) -> int:
     """The ``bench`` command: hot-path op/s + speedups for the selected
     suite (``crypto`` primitives, the ``replication`` plane, the
-    ``storage`` engines, or the ``routing`` fabric)."""
+    ``storage`` engines, the ``routing`` fabric, or the sharded
+    ``commit`` plane)."""
     import json
 
-    if args.suite == "routing":
+    if args.suite == "commit":
+        from repro import bench_commit as bench
+
+        doc = bench.run_bench(
+            quick=args.quick,
+            progress=lambda msg: print(f"  ... {msg}", flush=True),
+        )
+    elif args.suite == "routing":
         from repro import bench_routing as bench
 
         doc = bench.run_bench(
@@ -448,11 +461,19 @@ def main(argv: list[str] | None = None) -> int:
         "--shrink", action="store_true",
         help="greedily minimize the fault schedule of failing episodes",
     )
+    simtest.add_argument(
+        "--profile", choices=("default", "crash_bias", "commit"),
+        default="default",
+        help="episode variant: crash_bias biases faults toward crashes, "
+        "commit attaches a sharded commit plane with racing CAS "
+        "submitters (default: default)",
+    )
     bench_cmd = sub.add_parser(
         "bench", help="run a hot-path benchmark suite"
     )
     bench_cmd.add_argument(
-        "--suite", choices=("crypto", "replication", "storage", "routing"),
+        "--suite",
+        choices=("crypto", "replication", "storage", "routing", "commit"),
         default="crypto",
         help="which benchmark suite to run (default: crypto)",
     )
@@ -467,7 +488,8 @@ def main(argv: list[str] | None = None) -> int:
     bench_cmd.add_argument(
         "--quick", action="store_true",
         help="smaller run: crypto skips the fig8 end-to-end pass, "
-        "storage builds 200k records instead of 10M",
+        "storage builds 200k records instead of 10M, commit runs "
+        "only the gated cells",
     )
     serve = sub.add_parser(
         "serve", help="boot a real multi-process fleet over TCP"

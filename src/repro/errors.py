@@ -66,6 +66,21 @@ class WriterStateError(CapsuleError):
     """The writer's persistent state is missing or inconsistent."""
 
 
+class CommitConflictError(CapsuleError):
+    """An optimistic (compare-seqno) submission lost the race: the key
+    advanced past the submitted precondition.  Carries enough context to
+    rebase and retry."""
+
+    def __init__(self, key: str, winning_seqno: int, expected: int):
+        super().__init__(
+            f"commit conflict on key {key!r}: expected seqno {expected}, "
+            f"key is at {winning_seqno}"
+        )
+        self.key = key
+        self.winning_seqno = winning_seqno
+        self.expected = expected
+
+
 class RoutingError(GdpError):
     """Base class for GDP-network routing failures."""
 

@@ -23,6 +23,7 @@ carries its own one-line repro command.
 from __future__ import annotations
 
 import hashlib
+import random
 from dataclasses import dataclass, field
 
 from repro.errors import GdpError
@@ -126,6 +127,46 @@ def _fault_window(world: EpisodeWorld, event: FaultEvent):
     close()
 
 
+def _commit_submitter(world: EpisodeWorld, index: int, commit_client):
+    """One racing multi-writer: keyed CAS submissions against the
+    sharded commit plane, mostly on the shared hot keys (manufacturing
+    conflicts), rebasing and retrying through ``submit_cas``.
+
+    Faults make individual submissions fail (timeouts, unreachable
+    shards, exhausted retries) — that is availability loss and is only
+    logged.  What the ``commit_order`` oracle later checks is that
+    every *acknowledged* receipt exists in its shard's log and that the
+    committed CAS chains are linearizable.
+    """
+    spec = world.plan.commit_plane
+    rng = random.Random(f"{world.plan.seed}:commitops:{index}")
+    for op in range(spec["ops_per_submitter"]):
+        if rng.random() < spec["hot_frac"]:
+            key = rng.choice(spec["hot_keys"])
+        else:
+            key = f"sub{index}/k{rng.randint(0, 3)}"
+        payload = b"commit:%d:%d:%s" % (index, op, key.encode())
+        try:
+            receipt = yield from commit_client.submit_cas(
+                key, lambda expect: payload, attempts=12
+            )
+            world.commit_receipts.append({
+                "submitter": index,
+                "key": key,
+                "seqno": receipt.seqno,
+                "shard": receipt.shard,
+            })
+            world.op_log.append(
+                f"commit{index}.{op} {key} seq={receipt.seqno} "
+                f"shard={receipt.shard}"
+            )
+        except GdpError as exc:
+            world.op_log.append(
+                f"commit{index}.{op} {key} failed: {type(exc).__name__}"
+            )
+        yield rng.uniform(0.05, 0.4)
+
+
 def _scenario(world: EpisodeWorld):
     """The episode's main sim process (see module docstring)."""
     plan = world.plan
@@ -151,12 +192,29 @@ def _scenario(world: EpisodeWorld):
             )
         except GdpError as exc:
             world.op_log.append(f"subscribe failed: {type(exc).__name__}")
+    if world.commit_shards:
+        for shard in world.commit_shards:
+            yield shard.advertise()
+        yield world.commit_front.advertise()
+        for commit_client in world.commit_clients:
+            yield commit_client.client.advertise()
+        yield from world.commit_front.create(
+            world.console, [server.metadata for server in world.servers]
+        )
+        yield 0.5  # let the shard-capsule advertisements land
     # -- phase 2: workload under the fault schedule ---------------------
     workload_start = net.sim.now
     for event in plan.faults:
         net.sim.spawn(
             _fault_window(world, event), name=f"fault:{event.kind}"
         )
+    commit_procs = [
+        net.sim.spawn(
+            _commit_submitter(world, i, commit_client),
+            name=f"commit:sub{i}",
+        )
+        for i, commit_client in enumerate(world.commit_clients)
+    ]
     for i, op in enumerate(plan.ops):
         try:
             if op == "append":
@@ -185,6 +243,10 @@ def _scenario(world: EpisodeWorld):
         except GdpError as exc:
             world.op_log.append(f"op{i} {op} failed: {type(exc).__name__}")
         yield plan.gaps[i]
+    # The racing submitters must finish before the heal is judged: a
+    # commit acknowledged mid-chaos is part of the oracle's evidence.
+    for proc in commit_procs:
+        yield proc.completion
     # -- phase 3: heal --------------------------------------------------
     # Outwait any fault window still open (workload ops can finish early
     # when gaps are short and faults were drawn near the span's tail).
@@ -243,9 +305,11 @@ def run_episode(
     """Run one complete episode; never raises for in-episode failures —
     scenario crashes and oracle violations both land in the result.
 
-    ``profile`` selects a named fault schedule (see
+    ``profile`` selects a named episode variant (see
     :func:`repro.simtest.plan.build_plan`); ``"crash_bias"`` is the
-    routing-resilience soak mix.  ``dht_root`` runs the episode with
+    routing-resilience soak mix, ``"commit"`` attaches a sharded
+    commit plane with racing CAS submitters judged by the
+    ``commit_order`` oracle.  ``dht_root`` runs the episode with
     the Kademlia-backed global GLookup tier (see
     :func:`repro.simtest.world.build_world`)."""
     plan = build_plan(seed, faults_override=faults_override, profile=profile)

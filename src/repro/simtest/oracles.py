@@ -26,9 +26,19 @@ from dataclasses import dataclass
 from typing import Callable, Iterable
 
 from repro import encoding
+from repro.caapi.commit_service import (
+    NO_PRECONDITION,
+    read_committed_entry,
+    shard_of,
+)
 from repro.capsule import DataCapsule, Heartbeat, Record
 from repro.capsule.proofs import build_position_proof
-from repro.errors import GdpError, HoleError, RecordNotFoundError
+from repro.errors import (
+    BranchError,
+    GdpError,
+    HoleError,
+    RecordNotFoundError,
+)
 from repro.routing.dht_glookup import DhtGLookupService
 from repro.routing.glookup import RouteEntry
 
@@ -107,8 +117,8 @@ def check_hash_chain(world) -> list[Violation]:
             continue  # empty or holed replica: nothing to chain-walk
         try:
             capsule.verify_history()
-        except (HoleError, RecordNotFoundError):
-            continue  # tip record itself missing: availability loss
+        except (HoleError, RecordNotFoundError, BranchError):
+            continue  # tip missing or branched: availability loss
         except GdpError as exc:
             violations.append(Violation(
                 "hash_chain",
@@ -131,6 +141,16 @@ def check_read_proof(world) -> list[Violation]:
                 proof.verify_record(capsule.get(seqno), capsule.writer_key)
             except (HoleError, RecordNotFoundError):
                 continue  # proof path crosses a hole: cannot serve, ok
+            except BranchError:
+                # A tampered sync reply can plant an unattested sibling
+                # (absorbed by design — see replication._absorb); the
+                # replica then refuses linear serving of that seqno
+                # (§VI-C branches: readers fall back to the branch API
+                # and its deterministic resolution).  Detected
+                # availability loss, never silently-wrong data — the
+                # chain walk in hash_chain still covers the attested
+                # history.
+                continue
             except GdpError as exc:
                 violations.append(Violation(
                     "read_proof",
@@ -390,6 +410,130 @@ def check_storage_round_trip(world) -> list[Violation]:
                 f"{len(capsule.seqnos())} in-memory seqnos, tips "
                 f"{rebuilt.last_seqno} vs {capsule.last_seqno}",
             ))
+    return violations
+
+
+@oracle("commit_order")
+def check_commit_order(world) -> list[Violation]:
+    """Per-shard commit linearizability on the sharded commit plane
+    (§V-A: the multi-writer serialization point).
+
+    Only episodes with a commit plane (the ``"commit"`` profile) are
+    judged; everything else returns clean.  Faults may make individual
+    submissions *fail* — that is availability loss — but every commit a
+    shard **acknowledged** must satisfy, at quiesce:
+
+    - shard-log seqnos are strictly increasing (one serial order);
+    - every keyed commit landed in the shard that owns its key;
+    - every CAS precondition equals the seqno it overwrote — judged in
+      commit order, the compare-and-swap register's linearizability;
+    - the version cache agrees with the log tip per key, and the
+      committed counter with the log length;
+    - every receipt a client was handed exists in the owning shard's
+      log (no phantom acknowledgments), and every logged commit is
+      stored on at least one replica with a matching provenance
+      wrapper (no acknowledged-then-lost updates).
+    """
+    shards = getattr(world, "commit_shards", None)
+    if not shards:
+        return []
+    violations = []
+    n_shards = len(shards)
+    for shard in shards:
+        log = shard.commit_log
+        seqnos = [entry["seqno"] for entry in log]
+        if any(b <= a for a, b in zip(seqnos, seqnos[1:])):
+            violations.append(Violation(
+                "commit_order",
+                shard.node_id,
+                f"shard-log seqnos are not strictly increasing: {seqnos}",
+            ))
+        versions: dict[str, int] = {}
+        for entry in log:
+            key = entry["key"]
+            if key is None:
+                continue
+            owner = shard_of(key, n_shards)
+            if n_shards > 1 and owner != shard.shard_index:
+                violations.append(Violation(
+                    "commit_order",
+                    f"{shard.node_id}/record{entry['seqno']}",
+                    f"key {key!r} committed in shard "
+                    f"{shard.shard_index}, owned by shard {owner}",
+                ))
+            if entry["expect"] != NO_PRECONDITION:
+                overwritten = versions.get(key, 0)
+                if entry["expect"] != overwritten:
+                    violations.append(Violation(
+                        "commit_order",
+                        f"{shard.node_id}/record{entry['seqno']}",
+                        f"CAS on {key!r} carried precondition "
+                        f"{entry['expect']} but overwrote version "
+                        f"{overwritten} (lost update)",
+                    ))
+            versions[key] = entry["seqno"]
+        for key in sorted(versions):
+            if shard.version_of(key) != versions[key]:
+                violations.append(Violation(
+                    "commit_order",
+                    f"{shard.node_id}/{key}",
+                    f"version cache says {shard.version_of(key)}, "
+                    f"log tip for the key is {versions[key]}",
+                ))
+        if shard.stats_committed != len(log):
+            violations.append(Violation(
+                "commit_order",
+                shard.node_id,
+                f"committed counter {shard.stats_committed} != "
+                f"{len(log)} logged commits",
+            ))
+    logged = {
+        (shard.shard_index, entry["seqno"], entry["key"])
+        for shard in shards
+        for entry in shard.commit_log
+    }
+    for receipt in world.commit_receipts:
+        if (receipt["shard"], receipt["seqno"], receipt["key"]) not in logged:
+            violations.append(Violation(
+                "commit_order",
+                f"receipt/sub{receipt['submitter']}",
+                f"acknowledged receipt (shard {receipt['shard']} "
+                f"seqno {receipt['seqno']} key {receipt['key']!r}) "
+                f"is missing from the shard log",
+            ))
+    for shard in shards:
+        if shard._writer is None:
+            continue  # plane never finished setup: nothing durable yet
+        replicas = [
+            server.hosted[shard.capsule_name].capsule
+            for server in world.servers
+            if shard.capsule_name in server.hosted
+        ]
+        for entry in shard.commit_log:
+            # A failed-then-retried append can leave branch siblings at
+            # the same seqno (QSW divergence); the acknowledged commit
+            # survives as long as *some* stored record at its seqno
+            # carries the matching provenance wrapper.
+            found = False
+            for capsule in replicas:
+                for record in capsule.get_all(entry["seqno"]):
+                    try:
+                        wrapped = read_committed_entry(record.payload)
+                    except Exception:  # noqa: BLE001 — sibling garbage
+                        continue
+                    if (wrapped["key"] == entry["key"]
+                            and wrapped["submitter"] == entry["submitter"]):
+                        found = True
+                        break
+                if found:
+                    break
+            if not found:
+                violations.append(Violation(
+                    "commit_order",
+                    f"{shard.node_id}/record{entry['seqno']}",
+                    "acknowledged commit is on no replica "
+                    "(acknowledged-then-lost update)",
+                ))
     return violations
 
 

@@ -23,6 +23,7 @@ __all__ = [
     "FaultEvent",
     "EpisodePlan",
     "build_plan",
+    "commit_plane_spec",
     "crash_biased_faults",
     "FAULT_KINDS",
     "PROFILES",
@@ -83,6 +84,9 @@ class EpisodePlan:
     use_subscriber: bool
     # fault schedule
     faults: list[FaultEvent] = field(default_factory=list)
+    #: sharded-commit-plane workload spec (the ``"commit"`` profile);
+    #: ``None`` means the episode runs without a commit plane
+    commit_plane: dict | None = None
 
     @property
     def workload_span(self) -> float:
@@ -107,6 +111,15 @@ class EpisodePlan:
             f"faults: {len(self.faults)}",
         ]
         lines.extend(f"  - {event.describe()}" for event in self.faults)
+        if self.commit_plane is not None:
+            spec = self.commit_plane
+            lines.append(
+                f"commit plane: shards={spec['n_shards']} "
+                f"submitters={spec['n_submitters']} "
+                f"ops/submitter={spec['ops_per_submitter']} "
+                f"hot_keys={len(spec['hot_keys'])} "
+                f"hot_frac={spec['hot_frac']:.2f}"
+            )
         return lines
 
 
@@ -165,8 +178,30 @@ def crash_biased_faults(
     return events
 
 
-#: named fault-schedule profiles accepted by :func:`build_plan`
-PROFILES = ("default", "crash_bias")
+def commit_plane_spec(seed: int) -> dict:
+    """The ``"commit"`` profile's multi-writer workload: shard count,
+    submitter fleet size, per-submitter CAS op budget, and the hot-key
+    mix that manufactures write-write conflicts.
+
+    Drawn from a dedicated RNG stream (like :func:`crash_biased_faults`)
+    so enabling the profile never perturbs the default draw sequence —
+    same-seed default episodes stay byte-identical.
+    """
+    rng = random.Random(f"commit:{seed}")
+    n_shards = rng.choice((1, 2, 4))
+    return {
+        "n_shards": n_shards,
+        "n_submitters": rng.randint(2, 4),
+        "ops_per_submitter": rng.randint(3, 6),
+        # 1-2 hot keys concentrate CAS races; the rest of the ops spread
+        # over per-submitter private keys (exercising shard routing).
+        "hot_keys": [f"hot/{i}" for i in range(rng.randint(1, 2))],
+        "hot_frac": round(rng.uniform(0.5, 0.9), 3),
+    }
+
+
+#: named episode profiles accepted by :func:`build_plan`
+PROFILES = ("default", "crash_bias", "commit")
 
 
 def build_plan(
@@ -179,9 +214,12 @@ def build_plan(
 
     ``faults_override`` replaces the fault schedule after every random
     draw has been made, leaving topology and workload untouched.
-    ``profile`` picks a named fault schedule the same way (post-draw
-    swap): ``"crash_bias"`` substitutes :func:`crash_biased_faults` for
-    the default mix — the nightly routing-resilience soak profile.
+    ``profile`` picks a named variant the same way (post-draw swap):
+    ``"crash_bias"`` substitutes :func:`crash_biased_faults` for the
+    default mix — the nightly routing-resilience soak profile — and
+    ``"commit"`` attaches a sharded commit plane with racing CAS
+    submitters (:func:`commit_plane_spec`), keeping the default fault
+    schedule so the multi-writer path is judged under the full chaos mix.
     """
     rng = random.Random(seed)
     n_domains = rng.randint(1, 3)
@@ -227,6 +265,8 @@ def build_plan(
         plan.faults = crash_biased_faults(
             seed, sum(gaps), n_links, n_servers
         )
+    if profile == "commit":
+        plan.commit_plane = commit_plane_spec(seed)
     if faults_override is not None:
         plan.faults = [replace(event) for event in faults_override]
     return plan

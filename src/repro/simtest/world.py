@@ -69,6 +69,13 @@ class EpisodeWorld:
     durable_seqnos: list[int] = field(default_factory=list)
     op_log: list[str] = field(default_factory=list)
     pushes: list[int] = field(default_factory=list)
+    #: sharded commit plane (the "commit" profile; empty otherwise)
+    commit_front: object | None = None
+    commit_shards: list = field(default_factory=list)
+    commit_clients: list = field(default_factory=list)
+    #: client-side ground truth: every CommitReceipt a submitter was
+    #: handed — the commit_order oracle's "no phantom ack" evidence
+    commit_receipts: list[dict] = field(default_factory=list)
     #: the heal-phase reachability probe's findings (read outcome,
     #: subscription resync count) — the reachability oracle's evidence
     probe: dict = field(default_factory=dict)
@@ -170,6 +177,40 @@ def build_world(plan: EpisodePlan, *, dht_root: bool = False) -> EpisodeWorld:
     owner_key = SigningKey.from_seed(b"simtest-owner-%d" % plan.seed)
     writer_key = SigningKey.from_seed(b"simtest-writer-%d" % plan.seed)
     console = OwnerConsole(client, owner_key)
+    commit_front = None
+    commit_shards: list = []
+    commit_clients: list = []
+    if plan.commit_plane is not None:
+        from repro.caapi.commit_service import (
+            CommitClient,
+            CommitShard,
+            ShardedCommitService,
+        )
+
+        spec = plan.commit_plane
+        for i in range(spec["n_shards"]):
+            shard = CommitShard(net, f"cshard{i}")
+            shard.attach(site_routers[i % len(site_routers)], latency=0.001)
+            commit_shards.append(shard)
+        commit_front = ShardedCommitService(net, "cfront", commit_shards)
+        commit_front.attach(site_routers[-1], latency=0.001)
+        for i in range(spec["n_submitters"]):
+            submitter = GdpClient(
+                net,
+                f"csub{i}",
+                key=SigningKey.from_seed(
+                    b"simtest-submitter-%d-%d" % (plan.seed, i)
+                ),
+            )
+            submitter.attach(
+                site_routers[i % len(site_routers)], latency=0.001
+            )
+            commit_clients.append(CommitClient(
+                submitter,
+                commit_front.name,
+                coordinator_key=commit_front.key.public,
+                rng=random.Random(f"{plan.seed}:casretry:{i}"),
+            ))
     base = plan.seed * 31
     faults = {
         "drop": DropFaults(net, rng=random.Random(base + 1)).install(),
@@ -191,4 +232,7 @@ def build_world(plan: EpisodePlan, *, dht_root: bool = False) -> EpisodeWorld:
         console=console,
         writer_key=writer_key,
         faults=faults,
+        commit_front=commit_front,
+        commit_shards=commit_shards,
+        commit_clients=commit_clients,
     )

@@ -68,6 +68,21 @@ def test_crash_bias_episode_passes(seed):
     assert result.ok, result.report()
 
 
+@pytest.mark.tier1
+@pytest.mark.parametrize("seed", [5, 12])
+def test_commit_episode_passes(seed):
+    """The commit profile attaches a sharded commit plane (PR 9) and
+    races CAS submitters against it mid-chaos; the ``commit_order``
+    oracle must confirm per-shard linearizability, no phantom acks, and
+    no lost updates."""
+    result = run_episode(seed, profile="commit")
+    assert result.ok, result.report()
+    assert result.plan.commit_plane is not None
+    assert any("commit" in line for line in result.op_log), (
+        "commit submitters ran no operations"
+    )
+
+
 @pytest.mark.soak
 @pytest.mark.parametrize("seed", range(SOAK_BASE_SEED, SOAK_BASE_SEED + SOAK_EPISODES))
 def test_soak_episode(seed):
@@ -89,4 +104,22 @@ def test_soak_crash_bias_episode(seed):
     """Nightly reachability sweep: crash/partition-heavy fault windows
     sized to lapse leases, judged by the reachability oracle."""
     result = run_episode(seed, profile="crash_bias")
+    assert result.ok, result.report()
+
+
+#: commit-plane sweep size; the sharded-commit acceptance bar is 200
+COMMIT_EPISODES = int(os.environ.get("SIMTEST_COMMIT_EPISODES", "200"))
+COMMIT_BASE_SEED = int(os.environ.get("SIMTEST_COMMIT_BASE_SEED", "9000"))
+
+
+@pytest.mark.soak
+@pytest.mark.parametrize(
+    "seed",
+    range(COMMIT_BASE_SEED, COMMIT_BASE_SEED + COMMIT_EPISODES),
+)
+def test_soak_commit_episode(seed):
+    """Nightly commit-order sweep: racing CAS submitters against the
+    sharded commit plane under chaos, judged by the ``commit_order``
+    oracle (linearizable per-shard logs, zero lost updates)."""
+    result = run_episode(seed, profile="commit")
     assert result.ok, result.report()

@@ -1,0 +1,81 @@
+"""The unified CAAPI surface: one lifecycle base, consistent kwargs."""
+
+import inspect
+
+import pytest
+
+from repro.caapi import (
+    AuditedLog,
+    CapsuleApp,
+    CapsuleFileSystem,
+    CapsuleKVStore,
+    StreamPublisher,
+    TimeSeriesLog,
+)
+from repro.crypto.keys import SigningKey
+from repro.errors import CapsuleError
+
+APPS = [
+    CapsuleKVStore,
+    CapsuleFileSystem,
+    StreamPublisher,
+    TimeSeriesLog,
+    AuditedLog,
+]
+
+
+class _StubClient:
+    node_id = "stub_client"
+
+
+class TestUnifiedSurface:
+    @pytest.mark.parametrize("cls", APPS, ids=lambda c: c.__name__)
+    def test_subclasses_capsule_app(self, cls):
+        assert issubclass(cls, CapsuleApp)
+
+    @pytest.mark.parametrize("cls", APPS, ids=lambda c: c.__name__)
+    def test_uniform_kwargs(self, cls):
+        """Every CAAPI accepts the shared keyword surface."""
+        params = inspect.signature(cls.__init__).parameters
+        for kwarg in ("writer_key", "scopes", "acks"):
+            assert kwarg in params, f"{cls.__name__} lost {kwarg}="
+            assert params[kwarg].kind is inspect.Parameter.KEYWORD_ONLY
+
+    @pytest.mark.parametrize("cls", APPS, ids=lambda c: c.__name__)
+    def test_uniform_lifecycle(self, cls):
+        for method in ("create", "mount"):
+            assert inspect.isgeneratorfunction(getattr(cls, method))
+        assert isinstance(
+            inspect.getattr_static(cls, "name"), property
+        )
+
+    def test_kind_tags_are_distinct(self):
+        kinds = [cls.CAAPI_KIND for cls in APPS]
+        assert len(set(kinds)) == len(kinds)
+        seeds = [cls.WRITER_SEED for cls in APPS]
+        assert len(set(seeds)) == len(seeds)
+
+    def test_name_raises_before_create(self):
+        app = CapsuleApp(_StubClient(), console=None, server_metadatas=[])
+        with pytest.raises(CapsuleError, match="not created/mounted"):
+            app.name
+
+    def test_default_writer_key_is_deterministic_per_node(self):
+        one = CapsuleApp(_StubClient(), console=None, server_metadatas=[])
+        two = CapsuleApp(_StubClient(), console=None, server_metadatas=[])
+        assert one.writer_key.public.to_bytes() == two.writer_key.public.to_bytes()
+        # ...and namespaced by subsystem: a kvstore's derived key never
+        # collides with a filesystem's on the same node.
+        kv_seed = CapsuleKVStore.WRITER_SEED + b"stub_client"
+        fs_seed = CapsuleFileSystem.WRITER_SEED + b"stub_client"
+        assert (
+            SigningKey.from_seed(kv_seed).public.to_bytes()
+            != SigningKey.from_seed(fs_seed).public.to_bytes()
+        )
+
+    def test_explicit_writer_key_wins(self):
+        key = SigningKey.from_seed(b"explicit")
+        app = CapsuleApp(
+            _StubClient(), console=None, server_metadatas=[], writer_key=key
+        )
+        assert app.writer_key is key

@@ -25,6 +25,10 @@ stack: packed FIB hit + pipeline + delivery).
 sampled put/get traffic; per-query iterative rounds must stay within
 the O(log n) bound (ceil(log2 n) + 2).
 
+**DHT churn** (gated).  Store keys in a 64-node ring, crash up to k-1
+of each key's replica holders, and resolve through a surviving access
+point: every get must still return the value.
+
 **Purge scaling** (gated).  Lease-wheel reclamation with 1% of names
 live: the per-expired-entry cost at the largest level must be within
 5x of the 10k-name cost — O(expired), not O(table).
@@ -66,6 +70,8 @@ COLD_SAMPLES = 64
 DHT_RINGS = (32, 64, 128)
 DHT_RINGS_QUICK = (32,)
 DHT_OPS_PER_RING = 64
+DHT_CHURN_NODES = 64
+DHT_CHURN_KEYS = 32
 FORWARD_READS = 1_500
 FORWARD_READS_QUICK = 200
 #: fraction of names whose lease is still live in the purge scenario
@@ -339,6 +345,66 @@ def _bench_dht_ring(n_nodes: int) -> dict:
     }
 
 
+def _bench_dht_churn() -> dict:
+    """The churn cell: store keys, crash up to k-1 of each key's holder
+    nodes, and resolve through a surviving access point — every get must
+    still return the value (k-replica durability is the design point,
+    not luck).  Crashed holders restart between keys so churn windows
+    stay at exactly k-1 dark replicas."""
+    from repro.naming.names import GdpName
+    from repro.routing.dht import build_dht
+
+    n_nodes = DHT_CHURN_NODES
+    ring = build_dht(
+        [
+            GdpName(
+                hashlib.sha256(b"bench-dht-churn:%d" % i).digest()
+            )
+            for i in range(n_nodes)
+        ],
+        k=8,
+    )
+    vias = sorted(ring.nodes)
+    survived = 0
+    max_killed = 0
+    hops = []
+    for i in range(DHT_CHURN_KEYS):
+        key = GdpName(
+            hashlib.sha256(b"bench-dht-churn-key:%d" % i).digest()
+        )
+        value = b"churn%d" % i
+        ring.put(vias[i % len(vias)], key, value)
+        # God-mode holder census (bench harness, not protocol code).
+        holders = [
+            name
+            for name in vias
+            if ring.nodes[name].store.get(key)
+        ]
+        killed = []
+        for holder in holders[: ring.k - 1]:
+            node = ring.nodes[holder]
+            if not node.crashed:
+                node.crash()
+                killed.append(node)
+        max_killed = max(max_killed, len(killed))
+        dark = {node.name for node in killed}
+        via = next(name for name in vias if name not in dark)
+        values = ring.get(via, key)
+        hops.append(ring.last_hops)
+        if value in values:
+            survived += 1
+        for node in killed:
+            node.restart()
+    return {
+        "nodes": n_nodes,
+        "keys": DHT_CHURN_KEYS,
+        "replicas_killed_per_key": max_killed,
+        "survived": survived,
+        "mean_hops": round(sum(hops) / len(hops), 2),
+        "survival": survived == DHT_CHURN_KEYS,
+    }
+
+
 def _bench_purge_level(n: int, server_md) -> dict:
     """Lease-wheel reclamation with PURGE_LIVE_FRACTION of names still
     live: wall time and per-expired-entry cost."""
@@ -400,6 +466,8 @@ def run_bench(*, quick: bool = False, progress=None) -> dict:
     for n_nodes in rings:
         note(f"dht ring: {n_nodes} nodes")
         ring_docs.append(_bench_dht_ring(n_nodes))
+    note(f"dht churn: kill k-1 holders per key, {DHT_CHURN_KEYS} keys")
+    churn = _bench_dht_churn()
     note("purge scaling: lease wheel with 1% live names")
     purge_small = _bench_purge_level(levels[0], server_md)
     purge_large = (
@@ -415,6 +483,7 @@ def run_bench(*, quick: bool = False, progress=None) -> dict:
         "dht_hops_within_bound": all(
             ring["max_hops"] <= ring["hop_bound"] for ring in ring_docs
         ),
+        "dht_churn_survival": churn["survival"],
         "purge_cost_ratio": round(
             purge_large["us_per_expired"]
             / max(purge_small["us_per_expired"], 1e-9),
@@ -428,6 +497,7 @@ def run_bench(*, quick: bool = False, progress=None) -> dict:
         "cold_resolution": cold,
         "forwarding": forwarding,
         "dht": ring_docs,
+        "dht_churn": churn,
         "purge": {
             "live_fraction": PURGE_LIVE_FRACTION,
             "small": purge_small,
@@ -466,6 +536,11 @@ def check_regression(current: dict, baseline: dict) -> list[str]:
         failures.append(
             "gates.dht_hops_within_bound: a DHT lookup exceeded "
             "ceil(log2 n) + 2 iterative rounds"
+        )
+    if not gates.get("dht_churn_survival", False):
+        failures.append(
+            "gates.dht_churn_survival: a get failed after k-1 replica "
+            "holders crashed"
         )
     base_levels = {
         doc.get("names"): doc for doc in baseline.get("levels", [])
@@ -536,6 +611,13 @@ def format_table(doc: dict) -> str:
             f"{ring['nodes']:>5} {ring['mean_hops']:>11.2f} "
             f"{ring['max_hops']:>10} {ring['hop_bound']:>7} "
             f"{ring['mean_messages']:>11.1f}"
+        )
+    churn = doc.get("dht_churn")
+    if churn:
+        lines.append(
+            f"churn: {churn['survived']}/{churn['keys']} gets survived "
+            f"{churn['replicas_killed_per_key']} dark holders "
+            f"({churn['nodes']} nodes, mean {churn['mean_hops']:.2f} hops)"
         )
     lines += [
         "",

@@ -462,11 +462,13 @@ def main(argv: list[str] | None = None) -> int:
         help="greedily minimize the fault schedule of failing episodes",
     )
     simtest.add_argument(
-        "--profile", choices=("default", "crash_bias", "commit"),
+        "--profile",
+        choices=("default", "crash_bias", "commit", "dht_churn"),
         default="default",
         help="episode variant: crash_bias biases faults toward crashes, "
         "commit attaches a sharded commit plane with racing CAS "
-        "submitters (default: default)",
+        "submitters, dht_churn crashes Kademlia overlay nodes under the "
+        "DHT-backed global tier (default: default)",
     )
     bench_cmd = sub.add_parser(
         "bench", help="run a hot-path benchmark suite"

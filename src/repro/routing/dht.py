@@ -5,35 +5,236 @@ required to be trusted; existing technologies such as distributed hash
 tables (DHTs) can be used to implement a highly distributed and scalable
 GLookupService."
 
-This is a faithful, self-contained Kademlia over the 256-bit flat name
-space: k-buckets, XOR metric, iterative lookups with per-query message
-accounting (so tests/benches can check the O(log n) hop bound).  Because
-GLookup entries are *independently verifiable* (they carry delegation
-chains), the DHT nodes never need to be trusted — a node returning a
-forged entry fails the verifier exactly like a compromised
+This is a *message-level* Kademlia over the 256-bit flat name space:
+every FIND_NODE / FIND_VALUE / STORE / PING is a real
+:class:`~repro.routing.pdu.Pdu` through the transport abstraction, so
+the same node code runs under :class:`~repro.runtime.transport.SimTransport`
+(deterministic chaos — drops, tampering, delays, replays, crashes all
+apply to DHT traffic) and over asyncio TCP.  Liveness is discovered the
+only way a distributed system can: per-RPC timeout + retry, with
+unreachable peers demoted from their k-bucket and replaced from a
+per-bucket replacement cache.
+
+Churn tolerance:
+
+- **records are TTL'd and versioned** — per-principal, newest-wins on
+  merge, with tombstones for deletion; an :class:`~repro.routing.fib.ExpiryWheel`
+  per node reclaims dead records lazily;
+- **re-replication** — a lookup that observes fewer than k live holders
+  re-stores the merged records on the closest responsive non-holders
+  (Kademlia caching as repair), and STOREs report *acked* replica
+  counts so under-replication is measured, never assumed away;
+- **leave/crash** — a leaving node hands its records to its closest
+  peers; a crashed node simply stops answering and the demotion +
+  republish machinery routes around it.
+
+Because GLookup entries are *independently verifiable* (they carry
+delegation chains), the DHT nodes never need to be trusted — a node
+returning a forged entry fails the verifier exactly like a compromised
 GLookupService does.
 """
 
 from __future__ import annotations
 
+import hashlib
 import heapq
-from typing import Any, Iterable
+from typing import Any, Callable, Iterable
 
+from repro import encoding
+from repro.errors import TimeoutError_, TransportError, WireFormatError
 from repro.naming.names import GdpName
+from repro.routing.fib import ExpiryWheel
+from repro.routing.pdu import (
+    Pdu,
+    T_DHT_FIND_NODE,
+    T_DHT_FIND_VALUE,
+    T_DHT_NODES,
+    T_DHT_PING,
+    T_DHT_PONG,
+    T_DHT_STORE,
+    T_DHT_STORE_ACK,
+    T_DHT_VALUES,
+)
+from repro.sim.net import Node
 
-__all__ = ["DhtNode", "KademliaDht"]
+__all__ = ["DhtNode", "KademliaDht", "DhtStats", "LookupResult", "build_dht"]
 
 KEY_BITS = 256
 
+#: one RPC attempt's deadline (simulated seconds)
+RPC_TIMEOUT = 1.0
+#: extra attempts after the first before a peer is demoted
+RPC_RETRIES = 1
+#: default lifetime of a stored record (republish must beat this)
+RECORD_TTL = 30.0
+#: don't ping a bucket head seen more recently than this (Kademlia's
+#: "recently seen nodes are almost certainly alive" optimization)
+PING_STALENESS = 30.0
+#: point-to-point overlay link shape (full mesh; loss stays 0 so the
+#: DHT draws nothing from the network RNG — determinism by construction)
+LINK_LATENCY = 0.0005
+LINK_BANDWIDTH = 10e9
 
-class DhtNode:
-    """One DHT participant: a routing table (k-buckets) + local store."""
+_REPLY_TYPES = frozenset((T_DHT_NODES, T_DHT_VALUES, T_DHT_STORE_ACK, T_DHT_PONG))
 
-    def __init__(self, name: GdpName, k: int = 8):
+
+class DhtStats:
+    """Shared RPC accounting across one DHT's nodes.
+
+    ``messages`` counts lookup-plane RPCs (FIND_NODE / FIND_VALUE /
+    STORE) for the O(log n) complexity assertions; maintenance pings are
+    tracked separately so background bucket upkeep doesn't pollute the
+    per-operation cost numbers.
+    """
+
+    __slots__ = ("messages", "pings", "timeouts", "demotions", "under_replicated")
+
+    def __init__(self):
+        self.messages = 0
+        self.pings = 0
+        self.timeouts = 0
+        self.demotions = 0
+        self.under_replicated = 0
+
+
+class LookupResult:
+    """What one iterative lookup learned."""
+
+    __slots__ = (
+        "key", "hops", "closest", "responded", "failed", "holders",
+        "records", "values",
+    )
+
+    def __init__(self, key: GdpName):
+        self.key = key
+        #: iterative rounds (the O(log n)-bounded quantity)
+        self.hops = 0
+        #: k closest *responsive* peers, nearest first
+        self.closest: list[GdpName] = []
+        self.responded: set[GdpName] = set()
+        self.failed: set[GdpName] = set()
+        #: responsive peers that returned at least one record
+        self.holders: set[GdpName] = set()
+        #: merged records, principal raw -> newest record
+        self.records: dict[bytes, dict] = {}
+        #: live non-tombstone record payloads (filled by the get path)
+        self.values: list[Any] = []
+
+
+def make_record(
+    principal: bytes, version: int, value: Any, expires_at: float,
+    *, tombstone: bool = False,
+) -> dict:
+    """Build one wire record: per-principal versioned TTL'd value."""
+    record = {
+        "p": bytes(principal),
+        "v": int(version),
+        "d": value,
+        "e": encoding.pack_float(expires_at),
+    }
+    if tombstone:
+        record["t"] = 1
+    return record
+
+
+def record_expiry(record: dict) -> float:
+    """The absolute expiry of a (validated) record."""
+    return encoding.unpack_float(record["e"])
+
+
+def _valid_record(record: Any) -> bool:
+    """Shape check for records arriving from untrusted peers."""
+    return (
+        isinstance(record, dict)
+        and isinstance(record.get("p"), (bytes, bytearray))
+        and isinstance(record.get("v"), int)
+        and "d" in record
+        and isinstance(record.get("e"), (bytes, bytearray))
+        and len(record["e"]) == 8
+    )
+
+
+def value_principal(value: Any) -> bytes:
+    """Content identity for anonymous values (the generic put path):
+    distinct values coexist under one key, identical re-puts merge."""
+    return hashlib.sha256(encoding.encode(value)).digest()
+
+
+class DhtNode(Node):
+    """One DHT participant: k-buckets + a versioned TTL'd record store,
+    speaking FIND_NODE / FIND_VALUE / STORE / PING over a transport.
+
+    Detached construction (``network=None``) keeps the routing-table
+    data structures testable without a simulator; such a node cannot
+    send RPCs (ping-before-evict degrades to keep-the-oldest, which is
+    Kademlia's behaviour for an unreachable prober too).
+    """
+
+    def __init__(
+        self,
+        name: GdpName,
+        k: int = 8,
+        *,
+        alpha: int = 3,
+        network=None,
+        stats: DhtStats | None = None,
+    ):
         self.name = name
         self.k = k
+        self.alpha = alpha
+        self.stats = stats if stats is not None else DhtStats()
         self.buckets: list[list[GdpName]] = [[] for _ in range(KEY_BITS)]
-        self.store: dict[GdpName, list[Any]] = {}
+        #: per-bucket candidates waiting for a ping-before-evict verdict
+        self.replacements: dict[int, list[GdpName]] = {}
+        #: peer -> transport address (underlay label, not liveness)
+        self.addrs: dict[GdpName, str] = {}
+        self.last_seen: dict[GdpName, float] = {}
+        #: key -> principal raw -> record (versioned, TTL'd, tombstoned)
+        self.store: dict[GdpName, dict[bytes, dict]] = {}
+        self.wheel = ExpiryWheel(1.0)
+        self.crashed = False
+        self._pending: dict[int, Any] = {}
+        self._pinging: set[int] = set()
+        self._op_messages = 0
+        #: addr -> peer handle; overridden for non-sim transports
+        self.resolve_peer: Callable[[str], Any] | None = None
+        if network is not None:
+            super().__init__(network, f"dht:{name.raw.hex()[:16]}")
+            self.transport = network.transport_for(self).bind(self._on_pdu)
+        else:
+            self.network = None
+            self.node_id = f"dht:{name.raw.hex()[:16]}"
+            self.links = []
+            self.transport = None
+
+    # -- clock / wiring ----------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        return self.ctx.now if self.network is not None else 0.0
+
+    def contact(self) -> dict:
+        """This node's wire contact (name + transport address)."""
+        return {"n": self.name.raw, "a": self.node_id}
+
+    def receive(self, message: Any, sender: Node, link) -> None:
+        """Link-layer delivery: hand PDUs to the transport; a crashed
+        node swallows them (the link already counted the delivery, so
+        the conservation oracle's ledger stays balanced)."""
+        if self.crashed or not isinstance(message, Pdu):
+            return
+        self.transport.deliver(message, sender)
+
+    def crash(self) -> None:
+        """Fail-stop: stop answering and originating (store retained)."""
+        self.crashed = True
+
+    def restart(self) -> None:
+        """Come back up with the pre-crash store (republish and lookup
+        repair reconcile whatever changed while down)."""
+        self.crashed = False
+
+    # -- k-buckets ---------------------------------------------------------
 
     def _bucket_index(self, other: GdpName) -> int:
         distance = self.name.distance(other)
@@ -41,16 +242,77 @@ class DhtNode:
             return 0
         return distance.bit_length() - 1
 
-    def observe(self, other: GdpName) -> None:
-        """Insert/refresh a peer in its k-bucket (LRU eviction)."""
+    def observe(self, other: GdpName, addr: str | None = None) -> None:
+        """Insert/refresh a peer in its k-bucket.
+
+        A full bucket never evicts blindly: the candidate waits in the
+        replacement cache while the least-recently-seen resident is
+        pinged; only a ping timeout makes room (Kademlia §2.2 — stable
+        long-lived peers beat churned-in newcomers).
+        """
         if other == self.name:
             return
-        bucket = self.buckets[self._bucket_index(other)]
+        if addr is not None:
+            self.addrs[other] = addr
+        now = self.now
+        index = self._bucket_index(other)
+        bucket = self.buckets[index]
+        self.last_seen[other] = now
         if other in bucket:
             bucket.remove(other)
-        bucket.append(other)
-        if len(bucket) > self.k:
-            bucket.pop(0)
+            bucket.append(other)
+            return
+        if len(bucket) < self.k:
+            bucket.append(other)
+            return
+        cache = self.replacements.setdefault(index, [])
+        if other in cache:
+            cache.remove(other)
+        cache.append(other)
+        if len(cache) > self.k:
+            cache.pop(0)
+        oldest = bucket[0]
+        if (
+            self.transport is not None
+            and not self.crashed
+            and index not in self._pinging
+            and now - self.last_seen.get(oldest, float("-inf")) > PING_STALENESS
+        ):
+            self._pinging.add(index)
+            self.ctx.spawn(
+                self._probe_oldest(index), name=f"dht-ping:{self.node_id}"
+            )
+
+    def _probe_oldest(self, index: int):
+        """Ping-before-evict: the bucket head answers -> it stays (moved
+        to the tail); it times out -> ``_demote`` already evicted it and
+        promoted a replacement-cache candidate."""
+        try:
+            bucket = self.buckets[index]
+            if not bucket:
+                return
+            oldest = bucket[0]
+            reply = yield from self._rpc(oldest, T_DHT_PING, {}, ping=True)
+            if reply is not None and bucket and bucket[0] == oldest:
+                bucket.remove(oldest)
+                bucket.append(oldest)
+        finally:
+            self._pinging.discard(index)
+
+    def _demote(self, peer: GdpName) -> None:
+        """Drop an unresponsive peer; promote the freshest replacement."""
+        self.stats.demotions += 1
+        index = self._bucket_index(peer)
+        bucket = self.buckets[index]
+        if peer not in bucket:
+            return
+        bucket.remove(peer)
+        cache = self.replacements.get(index)
+        while cache:
+            candidate = cache.pop()
+            if candidate != peer and candidate not in bucket:
+                bucket.append(candidate)
+                break
 
     def closest(self, key: GdpName, count: int) -> list[GdpName]:
         """The *count* known peers closest to *key* (including self)."""
@@ -61,147 +323,578 @@ class DhtNode:
             count, candidates, key=lambda n: n.distance(key)
         )
 
-    def put_local(self, key: GdpName, value: Any) -> None:
-        """Store a value in this node's local bucket."""
-        bucket = self.store.setdefault(key, [])
-        if value not in bucket:
-            bucket.append(value)
+    def _contacts_wire(self, key: GdpName, count: int) -> list[dict]:
+        contacts = []
+        for peer in self.closest(key, count):
+            if peer == self.name:
+                contacts.append(self.contact())
+            else:
+                addr = self.addrs.get(peer)
+                if addr is not None:
+                    contacts.append({"n": peer.raw, "a": addr})
+        return contacts
+
+    # -- the record store --------------------------------------------------
+
+    def merge_record(self, key: GdpName, record: dict) -> bool:
+        """Newest-wins merge of one record; returns whether it landed.
+
+        Same-version re-merges (republish) extend the TTL in place, so a
+        record's lifetime is ``last republish + RECORD_TTL``, not its
+        first arrival.
+        """
+        if not _valid_record(record):
+            return False
+        now = self.now
+        expiry = record_expiry(record)
+        if expiry <= now:
+            return False
+        principal = bytes(record["p"])
+        slot = self.store.get(key)
+        if slot is None:
+            slot = self.store[key] = {}
+        old = slot.get(principal)
+        if old is not None:
+            if record["v"] < old["v"]:
+                return False
+            if record["v"] == old["v"] and expiry <= record_expiry(old):
+                return True  # identical or staler copy: already merged
+        slot[principal] = dict(record)
+        self.wheel.schedule(key.raw, expiry)
+        return True
+
+    def records_for(self, key: GdpName) -> list[dict]:
+        """Live records under *key* (tombstones included — they must
+        propagate so deletes win over stale copies elsewhere)."""
+        self.cull_expired()
+        slot = self.store.get(key)
+        if not slot:
+            return []
+        return [dict(record) for record in slot.values()]
+
+    def live_values(self, key: GdpName) -> list[Any]:
+        """Locally stored live, non-tombstone payloads for *key*."""
+        return [
+            record["d"]
+            for record in self.records_for(key)
+            if not record.get("t")
+        ]
+
+    def cull_expired(self, now: float | None = None) -> int:
+        """Reclaim records whose TTL elapsed (wheel-driven, O(expired));
+        keys left empty are deleted, never parked as ``[]`` husks."""
+        if now is None:
+            now = self.now
+        reclaimed = 0
+        for token in self.wheel.expired(now):
+            key = GdpName(token)
+            slot = self.store.get(key)
+            if not slot:
+                continue
+            live = {
+                principal: record
+                for principal, record in slot.items()
+                if record_expiry(record) > now
+            }
+            reclaimed += len(slot) - len(live)
+            if live:
+                self.store[key] = live
+            else:
+                del self.store[key]
+        return reclaimed
+
+    # -- legacy local helpers (tests / seeding) ----------------------------
+
+    def put_local(
+        self, key: GdpName, value: Any, *, expires_at: float | None = None
+    ) -> None:
+        """Store a value locally (no replication)."""
+        expiry = expires_at if expires_at is not None else self.now + RECORD_TTL
+        self.merge_record(
+            key, make_record(value_principal(value), 0, value, expiry)
+        )
 
     def get_local(self, key: GdpName) -> list[Any]:
         """Values stored locally under *key*."""
-        return list(self.store.get(key, []))
+        return self.live_values(key)
+
+    # -- the RPC plane -----------------------------------------------------
+
+    def _peer_for(self, peer_name: GdpName):
+        addr = self.addrs.get(peer_name)
+        if addr is None:
+            return None
+        if self.resolve_peer is not None:
+            return self.resolve_peer(addr)
+        if self.network is not None:
+            return self.network.nodes.get(addr)
+        return None
+
+    def _rpc(self, peer_name: GdpName, ptype: str, payload: dict, *,
+             ping: bool = False):
+        """One request/reply exchange with timeout + retry; an exhausted
+        peer is demoted.  Returns the reply payload or None — never
+        raises, so lookup rounds degrade instead of aborting."""
+        for _attempt in range(1 + RPC_RETRIES):
+            if self.crashed or self.transport is None:
+                return None
+            peer = self._peer_for(peer_name)
+            if peer is None:
+                break
+            request = dict(payload)
+            request["s"] = self.contact()
+            pdu = Pdu(self.name, peer_name, ptype, request)
+            future = self.ctx.future()
+            self._pending[pdu.corr_id] = future
+            if ping:
+                self.stats.pings += 1
+            else:
+                self.stats.messages += 1
+                self._op_messages += 1
+            try:
+                self.transport.send(peer, pdu)
+            except (TransportError, WireFormatError):
+                self._pending.pop(pdu.corr_id, None)
+                break
+            try:
+                reply = yield self.ctx.timeout(
+                    future, RPC_TIMEOUT, f"{ptype}->{peer_name.human()}"
+                )
+            except TimeoutError_:
+                self._pending.pop(pdu.corr_id, None)
+                self.stats.timeouts += 1
+                continue
+            return reply if isinstance(reply, dict) else None
+        self._demote(peer_name)
+        return None
+
+    def _on_pdu(self, pdu: Pdu, peer: Any) -> None:
+        """Transport delivery: resolve pending replies, serve requests.
+
+        Handlers are idempotent and validation is defensive — replayed
+        duplicates and tampered payloads from the chaos middlewares must
+        degrade to drops, never crashes.  Stale/duplicate replies miss
+        the pending table and are discarded.
+        """
+        if self.crashed:
+            return
+        if pdu.ptype in _REPLY_TYPES:
+            future = self._pending.pop(pdu.corr_id, None)
+            if future is not None and not future.done:
+                future.resolve(pdu.payload)
+            return
+        try:
+            self._serve(pdu, peer)
+        except Exception:
+            return  # malformed request from an untrusted peer: drop
+
+    def _serve(self, pdu: Pdu, peer: Any) -> None:
+        payload = pdu.payload
+        if not isinstance(payload, dict):
+            return
+        sender = payload.get("s")
+        if (
+            isinstance(sender, dict)
+            and isinstance(sender.get("n"), (bytes, bytearray))
+            and len(sender["n"]) == 32
+            and isinstance(sender.get("a"), str)
+        ):
+            self.observe(GdpName(bytes(sender["n"])), addr=sender["a"])
+        if pdu.ptype == T_DHT_PING:
+            self._reply(pdu, peer, T_DHT_PONG, {})
+            return
+        if pdu.ptype == T_DHT_STORE:
+            key_raw = payload.get("k")
+            if not isinstance(key_raw, (bytes, bytearray)) or len(key_raw) != 32:
+                return
+            key = GdpName(bytes(key_raw))
+            stored = 0
+            records = payload.get("r")
+            if isinstance(records, list):
+                for record in records:
+                    if self.merge_record(key, record):
+                        stored += 1
+            self._reply(pdu, peer, T_DHT_STORE_ACK, {"ok": 1, "n": stored})
+            return
+        if pdu.ptype in (T_DHT_FIND_NODE, T_DHT_FIND_VALUE):
+            key_raw = payload.get("k")
+            if not isinstance(key_raw, (bytes, bytearray)) or len(key_raw) != 32:
+                return
+            key = GdpName(bytes(key_raw))
+            reply: dict = {"c": self._contacts_wire(key, self.k)}
+            if pdu.ptype == T_DHT_FIND_VALUE:
+                reply["r"] = self.records_for(key)
+                self._reply(pdu, peer, T_DHT_VALUES, reply)
+            else:
+                self._reply(pdu, peer, T_DHT_NODES, reply)
+
+    def _reply(self, pdu: Pdu, peer: Any, ptype: str, payload: dict) -> None:
+        try:
+            self.transport.send(peer, pdu.response(ptype, payload))
+        except (TransportError, WireFormatError):
+            pass  # requester's timeout covers a reply we cannot ship
+
+    # -- iterative lookup --------------------------------------------------
+
+    def iter_find(self, key: GdpName, *, want_value: bool = False):
+        """Iterative Kademlia lookup from this node (a sim process).
+
+        Each round queries the alpha closest unqueried candidates among
+        the current k closest; unresponsive peers drop out of the
+        candidate window, pulling the next-closest in — which is exactly
+        what makes lookups land on live replicas under churn.  The loop
+        ends once every candidate in the window has been queried.
+        """
+        result = LookupResult(key)
+        shortlist: set[GdpName] = set(self.closest(key, self.k))
+        shortlist.discard(self.name)
+        while True:
+            candidates = heapq.nsmallest(
+                self.k,
+                (n for n in shortlist if n not in result.failed),
+                key=lambda n: n.distance(key),
+            )
+            to_query = [
+                n for n in candidates
+                if n not in result.responded and n not in result.failed
+            ][: self.alpha]
+            if not to_query:
+                break
+            result.hops += 1
+            ptype = T_DHT_FIND_VALUE if want_value else T_DHT_FIND_NODE
+            procs = [
+                self.ctx.spawn(
+                    self._rpc(peer, ptype, {"k": key.raw}),
+                    name=f"dht-rpc:{self.node_id}",
+                )
+                for peer in to_query
+            ]
+            for peer, proc in zip(to_query, procs):
+                reply = yield proc.completion
+                if reply is None:
+                    result.failed.add(peer)
+                    continue
+                result.responded.add(peer)
+                self.observe(peer)
+                contacts = reply.get("c")
+                if isinstance(contacts, list):
+                    for contact in contacts:
+                        if not (
+                            isinstance(contact, dict)
+                            and isinstance(contact.get("n"), (bytes, bytearray))
+                            and len(contact["n"]) == 32
+                            and isinstance(contact.get("a"), str)
+                        ):
+                            continue
+                        learned = GdpName(bytes(contact["n"]))
+                        if learned == self.name:
+                            continue
+                        self.observe(learned, addr=contact["a"])
+                        shortlist.add(learned)
+                if want_value:
+                    records = reply.get("r")
+                    got_record = False
+                    for record in records if isinstance(records, list) else []:
+                        if not _valid_record(record):
+                            continue
+                        got_record = True
+                        principal = bytes(record["p"])
+                        best = result.records.get(principal)
+                        if (
+                            best is None
+                            or record["v"] > best["v"]
+                            or (
+                                record["v"] == best["v"]
+                                and record_expiry(record) > record_expiry(best)
+                            )
+                        ):
+                            result.records[principal] = dict(record)
+                    if got_record:
+                        result.holders.add(peer)
+        result.closest = heapq.nsmallest(
+            self.k, result.responded, key=lambda n: n.distance(key)
+        )
+        return result
 
 
 class KademliaDht:
-    """The whole DHT (an in-process collective of :class:`DhtNode`).
+    """The DHT fabric: membership wiring plus entry-point facades.
 
-    ``alpha`` is the lookup parallelism; ``messages`` counts simulated
-    RPCs (FIND_NODE / STORE / FIND_VALUE) for complexity assertions.
+    ``nodes`` exists for wiring, benchmarks, and oracles — the put/get
+    protocol paths never read it for routing or liveness (the grep-guard
+    test in ``tests/unit/test_dht_message_level.py`` enforces that);
+    the one sanctioned protocol use is :meth:`_entry_node`, resolving
+    the *caller's own* access point.
+
+    By default the DHT runs on a private :class:`SimNetwork` (unit
+    tests, benches); pass ``network=`` to overlay it on a shared chaos
+    network, where the fault middlewares apply to DHT RPCs like any
+    other traffic.
     """
-
-    def __init__(self, k: int = 8, alpha: int = 3):
-        self.k = k
-        self.alpha = alpha
-        self.nodes: dict[GdpName, DhtNode] = {}
-        self.messages = 0
-        #: per-query accounting for the most recent put/get: iterative
-        #: lookup rounds (the O(log n)-bounded quantity) and RPCs sent
-        self.last_hops = 0
-        self.last_messages = 0
 
     #: how many top-end buckets a joining node refreshes (enough for
     #: networks up to ~2**16 nodes; Kademlia's join-time bucket refresh)
     JOIN_REFRESH_BUCKETS = 16
 
+    def __init__(self, k: int = 8, alpha: int = 3, *, network=None):
+        if network is None:
+            from repro.sim.net import SimNetwork
+
+            network = SimNetwork(seed=0xD47)
+        self.net = network
+        self.k = k
+        self.alpha = alpha
+        self.stats = DhtStats()
+        self.nodes: dict[GdpName, DhtNode] = {}
+        #: per-query accounting for the most recent put/get: iterative
+        #: lookup rounds (the O(log n)-bounded quantity) and RPCs sent
+        self.last_hops = 0
+        self.last_messages = 0
+
+    # -- message counters (legacy surface) ---------------------------------
+
+    @property
+    def messages(self) -> int:
+        """Lookup-plane RPCs sent across the whole DHT."""
+        return self.stats.messages
+
+    @messages.setter
+    def messages(self, value: int) -> None:
+        self.stats.messages = value
+
+    @property
+    def under_replicated(self) -> int:
+        """Puts that landed on fewer replicas than requested."""
+        return self.stats.under_replicated
+
+    # -- membership --------------------------------------------------------
+
     def join(self, name: GdpName) -> DhtNode:
-        """Add a node and integrate it: bootstrap contact, self-lookup,
-        and refresh of the distant buckets (without the refreshes, a
-        node's far half of the id space stays dark and lookups from
-        different entry points can converge on disjoint node sets)."""
-        node = DhtNode(name, self.k)
-        if self.nodes:
-            # Bootstrap: learn from an arbitrary (deterministic) contact.
-            seed = min(self.nodes)
-            node.observe(seed)
-            for peer in self._iterative_find(node, name):
-                node.observe(peer)
+        """Add a node and integrate it: full-mesh underlay links, a
+        bootstrap contact, a self-lookup, and refreshes of the distant
+        buckets — all through RPCs (peers learn of the newcomer from the
+        sender contact its lookups carry)."""
+        node = DhtNode(
+            name, self.k, alpha=self.alpha, network=self.net, stats=self.stats
+        )
+        bootstrap = min(self.nodes) if self.nodes else None
+        for other in self.nodes.values():
+            self.net.connect(
+                node, other, latency=LINK_LATENCY, bandwidth=LINK_BANDWIDTH
+            )
         self.nodes[name] = node
-        # Bucket refresh: probe an id in each of the top buckets so the
-        # whole id space is reachable from this node.
-        if len(self.nodes) > 1:
-            node_int = name.as_int()
-            for bit in range(
-                KEY_BITS - self.JOIN_REFRESH_BUCKETS, KEY_BITS
-            ):
-                probe = GdpName((node_int ^ (1 << bit)).to_bytes(32, "big"))
-                for peer in self._iterative_find(node, probe):
-                    node.observe(peer)
-        # Existing nodes learn of the newcomer lazily through lookups;
-        # seed a few for liveness.
-        for peer_name in node.closest(name, self.k):
-            if peer_name in self.nodes:
-                self.nodes[peer_name].observe(name)
+        if bootstrap is not None:
+            node.observe(bootstrap, addr=self.nodes[bootstrap].node_id)
+            self._drive_or_spawn(self._join_proc(node), f"dht-join:{node.node_id}")
         return node
 
-    def _iterative_find(self, origin: DhtNode, key: GdpName) -> list[GdpName]:
-        """Iterative FIND_NODE from *origin*; returns the k closest live
-        node names to *key*."""
-        shortlist = set(origin.closest(key, self.k))
-        shortlist.discard(origin.name)
-        self.last_hops = 0
-        if not shortlist:
-            return []
-        queried: set[GdpName] = set()
-        hops = 0
-        while True:
-            to_query = heapq.nsmallest(
-                self.alpha,
-                (n for n in shortlist if n not in queried and n in self.nodes),
-                key=lambda n: n.distance(key),
+    def _join_proc(self, node: DhtNode):
+        yield from node.iter_find(node.name)
+        node_int = node.name.as_int()
+        for bit in range(KEY_BITS - self.JOIN_REFRESH_BUCKETS, KEY_BITS):
+            probe = GdpName((node_int ^ (1 << bit)).to_bytes(32, "big"))
+            yield from node.iter_find(probe)
+
+    def leave(self, name: GdpName) -> None:
+        """Graceful departure: hand every stored record to the closest
+        known peers, then go dark (the node object stays wired so
+        in-flight RPCs toward it time out realistically)."""
+        node = self.nodes.get(name)
+        if node is None or node.crashed:
+            return
+        self._drive_or_spawn(self._leave_proc(node), f"dht-leave:{node.node_id}")
+
+    def _leave_proc(self, node: DhtNode):
+        for key in list(node.store):
+            records = node.records_for(key)
+            if not records:
+                continue
+            targets = [n for n in node.closest(key, self.k) if n != node.name]
+            procs = [
+                self.net.ctx.spawn(
+                    node._rpc(
+                        peer,
+                        T_DHT_STORE,
+                        {"k": key.raw, "r": [dict(r) for r in records]},
+                    ),
+                    name=f"dht-handoff:{node.node_id}",
+                )
+                for peer in targets
+            ]
+            for proc in procs:
+                yield proc.completion
+        node.crash()
+        self.nodes.pop(node.name, None)
+
+    def _entry_node(self, via: GdpName) -> DhtNode:
+        """The caller-designated entry point — the one place the
+        protocol path maps a name to a local node handle (addressing
+        your own access point, not reading remote state)."""
+        return self.nodes[via]
+
+    # -- put / get ---------------------------------------------------------
+
+    def put_proc(
+        self,
+        via: GdpName,
+        key: GdpName,
+        value: Any,
+        *,
+        principal: bytes | None = None,
+        version: int = 0,
+        expires_at: float | None = None,
+        tombstone: bool = False,
+    ):
+        """STORE *value* under *key* from entry node *via* (a process);
+        returns the **acked** replica count — an unreachable replica is
+        not durability, so it is not counted."""
+        origin = self._entry_node(via)
+        if principal is None:
+            principal = value_principal(value)
+        record = make_record(
+            principal,
+            version,
+            value,
+            expires_at if expires_at is not None else origin.now + RECORD_TTL,
+            tombstone=tombstone,
+        )
+        acked = yield from self.put_records_proc(via, key, [record])
+        return acked
+
+    def put_records_proc(self, via: GdpName, key: GdpName, records: list[dict]):
+        """Replicate prepared *records* to the k closest live nodes;
+        returns the acked replica count (the republish entry point)."""
+        origin = self._entry_node(via)
+        origin._op_messages = 0
+        result = yield from origin.iter_find(key)
+        targets = result.closest
+        acked = 0
+        # Kademlia stores on the k closest nodes *including the caller*:
+        # when the origin is itself inside the k-closest set (peers'
+        # top-k replies list it, shrinking the remote target list), its
+        # own replica is one of the k and must be written and counted.
+        key_int = key.as_int()
+        origin_dist = origin.name.as_int() ^ key_int
+        if len(targets) < self.k or any(
+            origin_dist < (peer.as_int() ^ key_int) for peer in targets
+        ):
+            stored = all(
+                origin.merge_record(key, record) for record in records
             )
-            if not to_query:
-                break
-            hops += 1
-            progressed = False
-            for peer_name in to_query:
-                queried.add(peer_name)
-                self.messages += 1
-                peer = self.nodes[peer_name]
-                peer.observe(origin.name)
-                for learned in peer.closest(key, self.k):
-                    # Both sides learn: the origin refreshes its own
-                    # buckets from lookup traffic (without this, node
-                    # views drift apart and puts/gets from different
-                    # entry points can converge on disjoint node sets).
-                    origin.observe(learned)
-                    if learned not in shortlist and learned != origin.name:
-                        shortlist.add(learned)
-                        progressed = True
-            if not progressed:
-                break
-        self.last_hops = hops
-        return heapq.nsmallest(
-            self.k,
-            (n for n in shortlist if n in self.nodes),
-            key=lambda n: n.distance(key),
+            if stored or origin.store.get(key):
+                acked += 1
+        if targets:
+            procs = [
+                origin.ctx.spawn(
+                    origin._rpc(
+                        peer,
+                        T_DHT_STORE,
+                        {"k": key.raw, "r": [dict(r) for r in records]},
+                    ),
+                    name=f"dht-store:{origin.node_id}",
+                )
+                for peer in targets
+            ]
+            for proc in procs:
+                reply = yield proc.completion
+                if isinstance(reply, dict) and reply.get("ok"):
+                    acked += 1
+        if acked == 0:
+            # Nobody reachable: keep the origin's own replica and say so
+            # honestly — one acked copy, not a fabricated k.
+            for record in records:
+                origin.merge_record(key, record)
+            acked = 1 if origin.store.get(key) else 0
+        # The replication target is k (or the whole ring when it is
+        # smaller) — judged against membership, not against however few
+        # peers happened to respond, so a put that lands short because
+        # holders are dark is *counted*, never silently absorbed.
+        if acked < min(self.k, max(len(self.nodes), 1)):
+            self.stats.under_replicated += 1
+        self.last_hops = result.hops
+        self.last_messages = origin._op_messages
+        return acked
+
+    def get_proc(self, via: GdpName, key: GdpName):
+        """FIND_VALUE for *key* from entry node *via* (a process);
+        returns a :class:`LookupResult` with merged live values.
+
+        A lookup that observes under-replication re-stores the merged
+        records on the closest responsive non-holders (Kademlia caching
+        doubling as churn repair).
+        """
+        origin = self._entry_node(via)
+        origin._op_messages = 0
+        result = yield from origin.iter_find(key, want_value=True)
+        # The origin's own replica participates like any other holder.
+        for record in origin.records_for(key):
+            principal = bytes(record["p"])
+            best = result.records.get(principal)
+            if (
+                best is None
+                or record["v"] > best["v"]
+                or (
+                    record["v"] == best["v"]
+                    and record_expiry(record) > record_expiry(best)
+                )
+            ):
+                result.records[principal] = dict(record)
+        now = origin.now
+        live = [
+            record
+            for record in result.records.values()
+            if record_expiry(record) > now
+        ]
+        result.values = [r["d"] for r in live if not r.get("t")]
+        if live:
+            want = min(self.k, len(result.closest))
+            holders = sum(1 for n in result.closest if n in result.holders)
+            if holders < want:
+                repairs = [
+                    n for n in result.closest if n not in result.holders
+                ][: want - holders]
+                procs = [
+                    origin.ctx.spawn(
+                        origin._rpc(
+                            peer,
+                            T_DHT_STORE,
+                            {"k": key.raw, "r": [dict(r) for r in live]},
+                        ),
+                        name=f"dht-repair:{origin.node_id}",
+                    )
+                    for peer in repairs
+                ]
+                for proc in procs:
+                    yield proc.completion
+        self.last_hops = result.hops
+        self.last_messages = origin._op_messages
+        return result
+
+    # -- synchronous facades ----------------------------------------------
+
+    def _drive_or_spawn(self, generator, name: str):
+        """Run a DHT process to completion when the simulation is
+        quiescent (tests, benches, build time); raise if called mid-run
+        — in-simulation callers must use the ``*_proc`` generators."""
+        sim = self.net.sim
+        if getattr(sim, "running", False):
+            raise RuntimeError(
+                "DHT sync facade called while the simulation is running; "
+                "use the *_proc generator API from sim processes"
+            )
+        return sim.run_process(generator, name)
+
+    def put(self, via: GdpName, key: GdpName, value: Any, **kwargs) -> int:
+        """Synchronous STORE (drives the private/quiescent simulation);
+        returns the acked replica count."""
+        return self._drive_or_spawn(
+            self.put_proc(via, key, value, **kwargs), "dht-put"
         )
 
-    def put(self, via: GdpName, key: GdpName, value: Any) -> int:
-        """STORE *value* under *key*, entering the DHT at node *via*;
-        returns how many replicas stored it."""
-        origin = self.nodes[via]
-        before = self.messages
-        targets = self._iterative_find(origin, key) or [via]
-        stored = 0
-        for target in targets:
-            self.messages += 1
-            self.nodes[target].put_local(key, value)
-            stored += 1
-        self.last_messages = self.messages - before
-        return stored
-
     def get(self, via: GdpName, key: GdpName) -> list[Any]:
-        """FIND_VALUE for *key* starting at *via*.
-
-        Values are merged across the k closest replicas (a key can hold
-        several values — e.g. several RouteEntries for one capsule —
-        and an individual replica may have seen only a subset).
-        """
-        origin = self.nodes[via]
-        before = self.messages
-        merged: list[Any] = []
-
-        def absorb(values: list[Any]) -> None:
-            for value in values:
-                if value not in merged:
-                    merged.append(value)
-
-        absorb(origin.get_local(key))
-        for target in self._iterative_find(origin, key):
-            self.messages += 1
-            absorb(self.nodes[target].get_local(key))
-        self.last_messages = self.messages - before
-        return merged
+        """Synchronous FIND_VALUE; returns merged live values."""
+        result = self._drive_or_spawn(self.get_proc(via, key), "dht-get")
+        return result.values
 
     def __len__(self) -> int:
         return len(self.nodes)

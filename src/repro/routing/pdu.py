@@ -74,6 +74,18 @@ T_NO_ROUTE = "no_route"    # network error back to source
 T_ROUTE_INVALIDATE = "route_inval"  # client -> router: cached route is dead
 T_SYNC = "sync"            # server <-> server anti-entropy
 
+# DHT RPC plane (§VII Kademlia tier): request/reply pairs matched by
+# correlation id.  Payloads carry the sender's contact so both sides of
+# every RPC refresh their k-buckets from live traffic.
+T_DHT_FIND_NODE = "dht_find_node"    # {k: key raw, s: contact}
+T_DHT_NODES = "dht_nodes"            # {c: [contact...]}
+T_DHT_FIND_VALUE = "dht_find_value"  # {k: key raw, s: contact}
+T_DHT_VALUES = "dht_values"          # {c: [contact...], r: [record...]}
+T_DHT_STORE = "dht_store"            # {k: key raw, r: [record...], s: contact}
+T_DHT_STORE_ACK = "dht_store_ack"    # {ok: 1, n: stored count}
+T_DHT_PING = "dht_ping"              # {s: contact}
+T_DHT_PONG = "dht_pong"              # {}
+
 # -- ptype <-> wire code registry ------------------------------------------
 #
 # The header carries the type as one byte; the registry is append-only so
@@ -132,6 +144,15 @@ for _i, _ptype in enumerate(
         T_ROUTE_INVALIDATE, T_SYNC,
     ),
     start=1,
+):
+    register_ptype(_ptype, _i)
+
+for _i, _ptype in enumerate(
+    (
+        T_DHT_FIND_NODE, T_DHT_NODES, T_DHT_FIND_VALUE, T_DHT_VALUES,
+        T_DHT_STORE, T_DHT_STORE_ACK, T_DHT_PING, T_DHT_PONG,
+    ),
+    start=12,
 ):
     register_ptype(_ptype, _i)
 

@@ -48,6 +48,13 @@ ADVERT_DOMAIN_TAG = b"gdp.advertise"
 #: default per-PDU service time ~ the paper's 120k PDU/s plateau (Fig. 6)
 DEFAULT_SERVICE_TIME = 1.0 / 120_000.0
 
+#: resolution verdict for an asynchronous GLookup tier (the DHT): the
+#: answer is in flight, park the PDU instead of bouncing it
+_PENDING = object()
+
+#: ceiling on PDUs parked per destination while its resolution runs
+MAX_PARKED_PER_DST = 64
+
 
 class GdpRouter(Node):
     """A flat-namespace router inside one routing domain."""
@@ -93,6 +100,9 @@ class GdpRouter(Node):
         self.fib = CompactFib(clock=lambda: self.sim.now)
         #: name -> expiry sim-time of a cached resolution *miss*
         self._neg_cache: dict[GdpName, float] = {}
+        #: name -> PDUs parked while an asynchronous (DHT) resolution
+        #: is in flight; one fetch per name, late arrivals pile on
+        self._parked: dict[GdpName, list[tuple[Pdu, Node]]] = {}
         #: principal -> expiry sim-time of a client-reported dead replica
         self._quarantine: dict[GdpName, float] = {}
         self._pending_challenges: dict[GdpName, tuple[bytes, Node]] = {}
@@ -112,6 +122,7 @@ class GdpRouter(Node):
         self._c_ttl_expired = metrics.counter("router.ttl_expired")
         self._c_failovers = metrics.counter("router.failovers")
         self._c_negative_hits = metrics.counter("glookup.negative_hits")
+        self._c_parked = metrics.counter("router.parked")
         domain.add_router(self)
 
     # -- backwards-compatible counter views --------------------------------
@@ -416,6 +427,9 @@ class GdpRouter(Node):
             self._c_ttl_expired.inc()
             return
         next_hop = self._resolve_next_hop(pdu.dst)
+        if next_hop is _PENDING:
+            self._park_for_resolution(pdu, from_node)
+            return
         if next_hop is None:
             self._c_no_route.inc()
             self._bounce_no_route(pdu, from_node)
@@ -438,9 +452,11 @@ class GdpRouter(Node):
             corr_id=pdu.corr_id,
         )
         back = self._resolve_next_hop(pdu.src)
-        if back is not None:
+        if back is not None and back is not _PENDING:
             self._send_pdu(back, error)
         elif from_node is not self:
+            # A pending async resolution toward the *source* is not
+            # worth parking an error for: retrace the arrival link.
             self._send_pdu(from_node, error)
 
     def _resolve_next_hop(self, dst: GdpName) -> Node | None:
@@ -466,7 +482,12 @@ class GdpRouter(Node):
                 self._c_negative_hits.inc()
                 return None
             del self._neg_cache[dst]
-        # 2. Local domain GLookupService.
+        # 2. Local domain GLookupService.  An *asynchronous* service
+        #    (the message-level DHT tier) cannot answer inline — its
+        #    lookup is RPCs on the simulated clock — so the verdict is
+        #    "pending": the caller parks the PDU and a fetch resolves it.
+        if getattr(self.domain.glookup, "asynchronous", False):
+            return _PENDING
         entries = self.domain.glookup.lookup(dst)
         if entries:
             hop = self._install_from_entries(dst, entries)
@@ -475,8 +496,16 @@ class GdpRouter(Node):
         # 3. Ancestors ("when a specific name cannot be found in the
         #    local GLookupService, such a name is queried in the
         #    GLookupService of the parent routing domain, and so on").
-        if self.domain.parent is not None:
-            _, remote = self.domain.parent.glookup.lookup_recursive(dst)
+        #    The walk stops at the first asynchronous tier the same way.
+        service = (
+            self.domain.parent.glookup
+            if self.domain.parent is not None
+            else None
+        )
+        while service is not None:
+            if getattr(service, "asynchronous", False):
+                return _PENDING
+            remote = service.lookup(dst)
             # The remote GLookupService is no more trusted than the
             # local one: re-verify before installing the upward route,
             # and cap the cache lifetime at the evidence's lease.
@@ -489,8 +518,91 @@ class GdpRouter(Node):
                 hop = self.domain.next_hop_upward(self)
                 self._install(dst, hop, lease=entry.expires_at)
                 return hop
+            service = service.parent
         self._neg_cache[dst] = self.sim.now + self.neg_ttl
         return None
+
+    def _first_async_service(self):
+        """The first asynchronous GLookup tier the resolution walk hits;
+        returns ``(service, is_local_domain)`` or ``(None, False)``."""
+        if getattr(self.domain.glookup, "asynchronous", False):
+            return self.domain.glookup, True
+        service = (
+            self.domain.parent.glookup
+            if self.domain.parent is not None
+            else None
+        )
+        while service is not None:
+            if getattr(service, "asynchronous", False):
+                return service, False
+            service = service.parent
+        return None, False
+
+    def _park_for_resolution(self, pdu: Pdu, from_node: Node) -> None:
+        """Hold *pdu* while the asynchronous (DHT) tier resolves its
+        destination; the first parker per name triggers the fetch, late
+        arrivals ride the same resolution."""
+        waiters = self._parked.get(pdu.dst)
+        if waiters is not None:
+            if len(waiters) >= MAX_PARKED_PER_DST:
+                self._c_no_route.inc()
+                self._bounce_no_route(pdu, from_node)
+                return
+            waiters.append((pdu, from_node))
+            self._c_parked.inc()
+            return
+        service, local = self._first_async_service()
+        if service is None:  # resolution raced a domain re-parent: miss
+            self._c_no_route.inc()
+            self._bounce_no_route(pdu, from_node)
+            return
+        self._parked[pdu.dst] = [(pdu, from_node)]
+        self._c_parked.inc()
+        dst = pdu.dst
+        future = service.fetch(dst)
+        if future.done:
+            # The service resolved synchronously (overlay on its own
+            # quiescent simulator): its ctx won't run our callback.
+            self._resolution_done(dst, local, future)
+        else:
+            future.add_callback(
+                lambda future: self._resolution_done(dst, local, future)
+            )
+
+    def _resolution_done(self, dst: GdpName, local: bool, future) -> None:
+        """The DHT answered (or failed): install the route and release
+        every parked PDU — forwarded on success, bounced on a miss."""
+        waiters = self._parked.pop(dst, [])
+        try:
+            entries = future.result()
+        except Exception:
+            entries = []
+        hop = None
+        if entries:
+            if local:
+                hop = self._install_from_entries(dst, entries)
+            else:
+                # Upward install, same trust stance as the sync walk:
+                # verify before caching, lease-capped.
+                for entry in entries:
+                    try:
+                        entry.verify(now=self.sim.now)
+                    except Exception:
+                        continue
+                    self._c_verified_installs.inc()
+                    hop = self.domain.next_hop_upward(self)
+                    self._install(dst, hop, lease=entry.expires_at)
+                    break
+        if hop is None:
+            self._neg_cache[dst] = self.sim.now + self.neg_ttl
+            for pdu, from_node in waiters:
+                self._c_no_route.inc()
+                self._bounce_no_route(pdu, from_node)
+            return
+        for pdu, from_node in waiters:
+            self._c_forwarded.inc()
+            self._c_bytes.inc(pdu.size_bytes)
+            self._send_pdu(hop, pdu.decremented())
 
     def _install_from_entries(
         self, dst: GdpName, entries: list[RouteEntry]

@@ -101,6 +101,25 @@ def _apply_fault(world: EpisodeWorld, event: FaultEvent):
                     router.flush_fib()
 
         return close if was_up else (lambda: None)
+    if event.kind == "dht_crash":
+        nodes = world.dht_nodes
+        if len(nodes) < 2:
+            return lambda: None
+        # Never the home node (index 0: the glookup's access point) and
+        # never more than k-1 concurrent deaths — with k replicas per
+        # record, k-1 dark holders is the design point resolution must
+        # survive; beyond it, data loss is expected, not a finding.
+        node = nodes[1:][event.target % (len(nodes) - 1)]
+        crashed = sum(1 for n in nodes if n.crashed)
+        if node.crashed or crashed >= world.dht.k - 1:
+            return lambda: None
+        node.crash()
+
+        def close() -> None:
+            if node.crashed:
+                node.restart()
+
+        return close
     if event.kind == "crash":
         server = world.servers[event.target % len(world.servers)]
         # Never kill the last live server: an all-dead fleet makes every
@@ -290,6 +309,18 @@ def _scenario(world: EpisodeWorld):
     except GdpError as exc:
         world.probe["read_ok"] = False
         world.probe["read_error"] = f"{type(exc).__name__}: {exc}"
+    if world.dht_glookup is not None:
+        # One forced republish pass stands in for "wait one republish
+        # interval": every surviving record re-lands on the currently
+        # closest live holders, then the replication snapshot is taken
+        # for the fib_glookup oracle's replication-factor judgment.
+        try:
+            yield from world.dht_glookup.republish_proc()
+            world.probe["dht_replication"] = (
+                world.dht_glookup.replication_report()
+            )
+        except Exception as exc:  # noqa: BLE001 — probe evidence only
+            world.probe["dht_replication_error"] = type(exc).__name__
     for daemon in world.daemons:
         daemon.stop()
 
@@ -313,7 +344,8 @@ def run_episode(
     the Kademlia-backed global GLookup tier (see
     :func:`repro.simtest.world.build_world`)."""
     plan = build_plan(seed, faults_override=faults_override, profile=profile)
-    world = build_world(plan, dht_root=dht_root)
+    # The churn profile is *about* the DHT tier: it implies dht_root.
+    world = build_world(plan, dht_root=dht_root or profile == "dht_churn")
     tracer = world.net.enable_tracing() if trace else None
     error = None
     try:

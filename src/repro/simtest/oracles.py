@@ -261,13 +261,16 @@ def check_fib_glookup(world) -> list[Violation]:
                     ))
         if isinstance(glookup, DhtGLookupService):
             violations.extend(
-                _check_dht_tier(domain_name, glookup, now)
+                _check_dht_tier(domain_name, glookup, now, world.probe)
             )
     return violations
 
 
 def _check_dht_tier(
-    domain_name: str, glookup: "DhtGLookupService", now: float
+    domain_name: str,
+    glookup: "DhtGLookupService",
+    now: float,
+    probe: dict,
 ) -> list[Violation]:
     """The DHT backing a global GLookup tier is untrusted key-value
     state (§VII) — but after an episode its *surviving* contents must
@@ -276,13 +279,34 @@ def _check_dht_tier(
     values and forged entries are tolerated in storage (routers skip
     them); an entry that decodes, verifies, and is filed under a key
     other than its own name would be silently routable and is flagged.
+
+    Two structural invariants ride along: unregister/expiry must never
+    leave an empty record slot behind (the per-principal merge deletes
+    drained keys), and the heal-phase replication snapshot (taken after
+    one republish pass, while every overlay node was back up) must show
+    every published name on at least ``min(k, live_nodes)`` holders —
+    re-replication after churn actually happened, k-replica durability
+    wasn't luck.
     """
     violations = []
     seen: set[bytes] = set()
     for node_name in sorted(glookup.dht.nodes, key=lambda n: n.raw):
         node = glookup.dht.nodes[node_name]
         for key in sorted(node.store, key=lambda n: n.raw):
-            for wire in node.store[key]:
+            slot = node.store[key]
+            if not slot:
+                violations.append(Violation(
+                    "fib_glookup",
+                    f"dht:{domain_name}/{key.human()}",
+                    f"empty record slot left behind on "
+                    f"{node.node_id}",
+                ))
+                continue
+            for principal in sorted(slot):
+                record = slot[principal]
+                if record.get("t"):
+                    continue  # tombstone: carries no routable value
+                wire = record.get("d")
                 blob = encoding.encode(wire)
                 if blob in seen:
                     continue  # replica copy already judged
@@ -302,6 +326,17 @@ def _check_dht_tier(
                         f"verified DHT entry filed under the wrong "
                         f"name ({entry.name.human()})",
                     ))
+    report = probe.get("dht_replication") if probe else None
+    if report:
+        want = min(report["k"], report["live_nodes"])
+        for name_hex, holders in sorted(report["names"].items()):
+            if holders < want:
+                violations.append(Violation(
+                    "fib_glookup",
+                    f"dht:{domain_name}/{name_hex[:16]}",
+                    f"published name under-replicated after heal: "
+                    f"{holders} holders < {want}",
+                ))
     return violations
 
 

@@ -25,6 +25,7 @@ __all__ = [
     "build_plan",
     "commit_plane_spec",
     "crash_biased_faults",
+    "dht_churn_faults",
     "FAULT_KINDS",
     "PROFILES",
 ]
@@ -33,6 +34,11 @@ __all__ = [
 #: backbone link, "crash" targets a server process, the rest arm a
 #: network-wide delivery-fault middleware (see repro.runtime.faults)
 FAULT_KINDS = ("partition", "crash", "drop", "tamper", "delay", "replay")
+
+#: profile-only fault kind: crashes a node of the Kademlia overlay
+#: backing the global GLookup tier (never drawn by the default mix —
+#: adding it to FAULT_KINDS would perturb the pinned default episodes)
+DHT_FAULT_KIND = "dht_crash"
 
 _MIDDLEWARE_KINDS = frozenset({"drop", "tamper", "delay", "replay"})
 
@@ -178,6 +184,39 @@ def crash_biased_faults(
     return events
 
 
+def dht_churn_faults(
+    seed: int, span: float, n_links: int, n_servers: int
+) -> list[FaultEvent]:
+    """The DHT-churn soak schedule: windows of overlay-node crashes
+    (the episode runner caps concurrent DHT deaths at ``k - 1`` and
+    never kills the home node, so resolution must keep succeeding while
+    up to ``k - 1`` replica holders are dark), with an occasional
+    network-wide drop window stressing the per-RPC timeout/retry path.
+
+    Drawn from a dedicated RNG stream, like :func:`crash_biased_faults`,
+    so the default draw sequence stays byte-identical.
+    """
+    rng = random.Random(f"dht-churn:{seed}")
+    events: list[FaultEvent] = []
+    for _ in range(rng.randint(3, 5)):
+        start = rng.uniform(0.3, max(1.0, span * 0.8))
+        # Longer than the record TTL's republish cadence more often than
+        # not: re-replication (not luck) must carry the lookups.
+        duration = rng.uniform(6.0, 16.0)
+        events.append(FaultEvent(
+            DHT_FAULT_KIND, rng.randrange(16), start, duration, 0.0
+        ))
+    if rng.random() < 0.5:
+        events.append(FaultEvent(
+            "drop",
+            -1,
+            rng.uniform(0.3, max(1.0, span * 0.5)),
+            rng.uniform(0.5, max(1.0, span * 0.4)),
+            rng.uniform(0.05, 0.2),
+        ))
+    return events
+
+
 def commit_plane_spec(seed: int) -> dict:
     """The ``"commit"`` profile's multi-writer workload: shard count,
     submitter fleet size, per-submitter CAS op budget, and the hot-key
@@ -201,7 +240,7 @@ def commit_plane_spec(seed: int) -> dict:
 
 
 #: named episode profiles accepted by :func:`build_plan`
-PROFILES = ("default", "crash_bias", "commit")
+PROFILES = ("default", "crash_bias", "commit", "dht_churn")
 
 
 def build_plan(
@@ -267,6 +306,8 @@ def build_plan(
         )
     if profile == "commit":
         plan.commit_plane = commit_plane_spec(seed)
+    if profile == "dht_churn":
+        plan.faults = dht_churn_faults(seed, sum(gaps), n_links, n_servers)
     if faults_override is not None:
         plan.faults = [replace(event) for event in faults_override]
     return plan

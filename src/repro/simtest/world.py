@@ -79,6 +79,10 @@ class EpisodeWorld:
     #: the heal-phase reachability probe's findings (read outcome,
     #: subscription resync count) — the reachability oracle's evidence
     probe: dict = field(default_factory=dict)
+    #: the Kademlia overlay backing the global tier (dht_root worlds)
+    dht: object | None = None
+    dht_nodes: list = field(default_factory=list)
+    dht_glookup: object | None = None
 
     @property
     def net(self) -> SimNetwork:
@@ -114,13 +118,27 @@ def build_world(plan: EpisodePlan, *, dht_root: bool = False) -> EpisodeWorld:
         routers_per_domain=plan.routers_per_domain,
     )
     net = topo.net
+    # The inter-router fabric built so far is the partition target set;
+    # endpoint attachment links created below (and the DHT overlay mesh)
+    # stay out of it.
+    backbone_links = list(net.links)
+    dht = None
+    dht_nodes: list = []
+    dht_glookup = None
     if dht_root:
         import hashlib
 
         from repro.routing.dht import KademliaDht
-        from repro.routing.dht_glookup import DhtGLookupService
+        from repro.routing.dht_glookup import (
+            DhtGLookupService,
+            DhtRepublishDaemon,
+        )
 
-        dht = KademliaDht(k=4)
+        # The overlay shares the episode's network/clock: DHT RPCs ride
+        # the same simulated links (and the same fault middlewares), and
+        # record TTLs tick on episode time.  Join traffic runs at build
+        # time, before tracing starts.
+        dht = KademliaDht(k=4, network=net)
         dht_names = [
             GdpName(
                 hashlib.sha256(
@@ -131,16 +149,15 @@ def build_world(plan: EpisodePlan, *, dht_root: bool = False) -> EpisodeWorld:
         ]
         for dht_name in dht_names:
             dht.join(dht_name)
+        dht_nodes = [dht._entry_node(dht_name) for dht_name in dht_names]
         root = topo.domains["global"]
         root.glookup = DhtGLookupService(
             "global", dht, dht_names[0], clock=lambda: net.sim.now
         )
+        dht_glookup = root.glookup
         for domain in topo.domains.values():
             if domain is not root:
                 domain.glookup.parent = root.glookup
-    # The inter-router fabric built so far is the partition target set;
-    # endpoint attachment links created below stay out of it.
-    backbone_links = list(net.links)
     site_routers = [
         router
         for node_id, router in topo.routers.items()
@@ -165,6 +182,9 @@ def build_world(plan: EpisodePlan, *, dht_root: bool = False) -> EpisodeWorld:
             server,
             rng=random.Random(f"{plan.seed}:leaserefresh:{i}"),
         ))
+    if dht_glookup is not None:
+        # Republish-on-expiry / re-replication after DHT holder churn.
+        daemons.append(DhtRepublishDaemon(dht_glookup))
     client = GdpClient(net, "ep_client")
     client.attach(site_routers[0], latency=0.001)
     # Notices a silently dead serving replica (tip advancing elsewhere,
@@ -235,4 +255,7 @@ def build_world(plan: EpisodePlan, *, dht_root: bool = False) -> EpisodeWorld:
         commit_front=commit_front,
         commit_shards=commit_shards,
         commit_clients=commit_clients,
+        dht=dht,
+        dht_nodes=dht_nodes,
+        dht_glookup=dht_glookup,
     )

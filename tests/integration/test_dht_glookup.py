@@ -4,7 +4,7 @@ import pytest
 
 from repro.naming import GdpName
 from repro.routing import GdpRouter, RoutingDomain
-from repro.routing.dht import KademliaDht
+from repro.routing.dht import KademliaDht, make_record
 from repro.routing.dht_glookup import DhtGLookupService
 from repro.server import DataCapsuleServer
 from repro.client import GdpClient, OwnerConsole
@@ -105,10 +105,15 @@ class TestDhtBackedGlobalTier:
             yield 0.5
             writer = w["writer_client"].open_writer(metadata, w["writer_key"])
             yield from writer.append(b"still-true")
-            # Poison every DHT replica holding the capsule key with junk.
+            # Poison every DHT replica holding the capsule key with a
+            # well-formed record whose payload is junk (test-side
+            # tampering — protocol code never reaches into stores).
+            poison = make_record(
+                b"\xee" * 32, 10**6, {"garbage": 1}, net.sim.now + 300.0
+            )
             for node in w["dht"].nodes.values():
                 if metadata.name in node.store:
-                    node.store[metadata.name].insert(0, {"garbage": True})
+                    node.store[metadata.name][b"\xee" * 32] = dict(poison)
             for router in (w["r_root"], w["r_edge"]):
                 router.flush_fib()
             record = yield from w["reader_client"].read(metadata.name, 1)
@@ -164,9 +169,12 @@ class TestDhtBackedGlobalTier:
             real = w["root"].glookup.peek(w["server"].name)[0]
             forged = real.to_wire()
             forged["name"] = metadata.name.raw
+            planted = make_record(
+                b"\xbb" * 32, 10**6, forged, net.sim.now + 300.0
+            )
             for node in w["dht"].nodes.values():
                 if metadata.name in node.store:
-                    node.store[metadata.name].insert(0, forged)
+                    node.store[metadata.name][b"\xbb" * 32] = dict(planted)
             for router in (w["r_root"], w["r_edge"]):
                 router.flush_fib()
             record = yield from w["reader_client"].read(metadata.name, 1)

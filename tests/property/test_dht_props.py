@@ -43,6 +43,25 @@ class TestDhtProperties:
         )
         assert holders == stored >= 2
 
+    @given(st.integers(40_000, 50_000), st.integers(1, 7))
+    @settings(max_examples=25, deadline=None)
+    def test_churn_kill_f_holders_get_still_succeeds(self, dht, key_id, f):
+        """The churn-tolerance contract: put lands on k replicas, so a
+        value survives any f < k holder crashes — the lookup routes
+        around dark peers (demoting them) and still returns it."""
+        key = name("churn", key_id)
+        via = name("node", key_id % 48)
+        dht.put(via, key, "survivor")
+        holders = [n for n in dht.nodes.values() if key in n.store]
+        killed = [n for n in holders if n.name != via][: min(f, dht.k - 1)]
+        for node in killed:
+            node.crash()
+        try:
+            assert "survivor" in dht.get(via, key)
+        finally:
+            for node in killed:
+                node.restart()
+
     @given(st.integers(20_000, 30_000), st.integers(0, 47))
     @settings(max_examples=60, deadline=None)
     def test_lookup_hops_within_log_bound(self, dht, key_id, via):

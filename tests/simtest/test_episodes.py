@@ -83,6 +83,21 @@ def test_commit_episode_passes(seed):
     )
 
 
+@pytest.mark.tier1
+@pytest.mark.parametrize("seed", [6, 13])
+def test_dht_churn_episode_passes(seed):
+    """The DHT-churn profile kills up to k-1 overlay nodes per window
+    (the design-point replica loss) while the workload keeps resolving
+    through the DHT-backed global tier; the ``fib_glookup`` oracle's
+    replication-factor judgment must confirm every published name healed
+    back to ``min(k, live_nodes)`` holders."""
+    result = run_episode(seed, profile="dht_churn")
+    assert result.ok, result.report()
+    assert any(
+        event.kind == "dht_crash" for event in result.plan.faults
+    ), "churn profile drew no dht_crash windows"
+
+
 @pytest.mark.soak
 @pytest.mark.parametrize("seed", range(SOAK_BASE_SEED, SOAK_BASE_SEED + SOAK_EPISODES))
 def test_soak_episode(seed):
@@ -122,4 +137,25 @@ def test_soak_commit_episode(seed):
     sharded commit plane under chaos, judged by the ``commit_order``
     oracle (linearizable per-shard logs, zero lost updates)."""
     result = run_episode(seed, profile="commit")
+    assert result.ok, result.report()
+
+
+#: DHT-churn sweep size; the churn-tolerance acceptance bar is 200
+DHT_CHURN_EPISODES = int(os.environ.get("SIMTEST_DHT_CHURN_EPISODES", "200"))
+DHT_CHURN_BASE_SEED = int(
+    os.environ.get("SIMTEST_DHT_CHURN_BASE_SEED", "13000")
+)
+
+
+@pytest.mark.soak
+@pytest.mark.parametrize(
+    "seed",
+    range(DHT_CHURN_BASE_SEED, DHT_CHURN_BASE_SEED + DHT_CHURN_EPISODES),
+)
+def test_soak_dht_churn_episode(seed):
+    """Nightly DHT-churn sweep: overlay-node crash windows (capped at
+    k-1 concurrent) against the message-level Kademlia tier, judged by
+    the replication-factor extension of ``fib_glookup`` plus post-heal
+    reachability."""
+    result = run_episode(seed, profile="dht_churn")
     assert result.ok, result.report()

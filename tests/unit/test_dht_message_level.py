@@ -1,0 +1,388 @@
+"""The message-level DHT tier: churn tolerance, the god-mode bugfix
+sweep regressions, and the grep-guard keeping protocol paths honest.
+
+Regression targets (PR 10's bugfix sweep):
+
+1. ``DhtGLookupService.register/unregister`` used to wipe the whole
+   store slot for a name across every node; now replacement is
+   per-principal and versioned, deletion is a published tombstone, and
+   no node is ever left holding an empty ``[]``/``{}`` husk.
+2. ``DhtNode.observe`` used to evict the LRU bucket resident
+   unconditionally; now a full bucket pings the oldest resident first
+   and only a timeout makes room (Kademlia ping-before-evict).
+3. ``KademliaDht.put`` used to count unacked replicas as durable; now
+   it returns the *acked* count and under-replication is measured.
+"""
+
+import inspect
+
+import pytest
+
+from repro.naming.names import GdpName
+from repro.routing.dht import (
+    DhtNode,
+    KademliaDht,
+    build_dht,
+    make_record,
+    record_expiry,
+)
+from repro.routing.dht_glookup import DhtGLookupService
+
+
+def name(i: int) -> GdpName:
+    import hashlib
+
+    return GdpName(hashlib.sha256(b"dht-msg:%d" % i).digest())
+
+
+def key_of(i: int) -> GdpName:
+    import hashlib
+
+    return GdpName(hashlib.sha256(b"dht-msg-key:%d" % i).digest())
+
+
+def holders_of(dht: KademliaDht, key: GdpName) -> list:
+    """God-mode holder census (test harness, not protocol code)."""
+    return [
+        node for node in dht.nodes.values() if node.store.get(key)
+    ]
+
+
+@pytest.fixture()
+def ring():
+    return build_dht([name(i) for i in range(8)], k=4)
+
+
+class TestMessageLevelProtocol:
+    def test_put_get_travels_as_pdus(self, ring):
+        """put/get cost real lookup-plane RPCs, not dict reads."""
+        ring.messages = 0
+        via = sorted(ring.nodes)[0]
+        ring.put(via, key_of(1), b"payload")
+        assert ring.messages > 0
+        sent = ring.messages
+        values = ring.get(sorted(ring.nodes)[3], key_of(1))
+        assert b"payload" in values
+        assert ring.messages > sent
+
+    def test_put_replicates_to_k_holders(self, ring):
+        via = sorted(ring.nodes)[0]
+        acked = ring.put(via, key_of(2), b"replicated")
+        assert acked >= ring.k
+        assert len(holders_of(ring, key_of(2))) >= ring.k
+
+    def test_get_survives_k_minus_1_holder_crashes(self, ring):
+        via = sorted(ring.nodes)[0]
+        ring.put(via, key_of(3), b"durable")
+        killed = []
+        for node in holders_of(ring, key_of(3)):
+            if node.name != via and len(killed) < ring.k - 1:
+                node.crash()
+                killed.append(node)
+        assert len(killed) == ring.k - 1
+        assert b"durable" in ring.get(via, key_of(3))
+        for node in killed:
+            node.restart()
+
+    def test_lookup_repairs_under_replication(self, ring):
+        """A get that observes missing holders re-stores on the closest
+        responsive non-holders (Kademlia caching as churn repair)."""
+        via = sorted(ring.nodes)[0]
+        ring.put(via, key_of(4), b"repairable")
+        victims = [n for n in holders_of(ring, key_of(4)) if n.name != via]
+        survivor_count = len(holders_of(ring, key_of(4))) - len(victims[:2])
+        for node in victims[:2]:
+            node.store.pop(key_of(4))  # silent data loss, not a crash
+        assert b"repairable" in ring.get(via, key_of(4))
+        assert len(holders_of(ring, key_of(4))) > survivor_count
+
+    def test_unresponsive_peer_demoted_after_timeout(self, ring):
+        via = sorted(ring.nodes)[0]
+        victim = sorted(ring.nodes)[5]
+        ring.nodes[victim].crash()
+        before = ring.stats.demotions
+        ring.get(via, key_of(5))
+        assert ring.stats.timeouts > 0
+        assert ring.stats.demotions > before
+        ring.nodes[victim].restart()
+
+    def test_graceful_leave_hands_records_off(self, ring):
+        via = sorted(ring.nodes)[0]
+        ring.put(via, key_of(6), b"handed-off")
+        leaver = next(
+            n for n in holders_of(ring, key_of(6)) if n.name != via
+        )
+        survivors_before = {
+            node.name for node in holders_of(ring, key_of(6))
+        } - {leaver.name}
+        ring.leave(leaver.name)
+        assert leaver.name not in ring.nodes
+        after = {node.name for node in holders_of(ring, key_of(6))}
+        assert after >= survivors_before
+        assert b"handed-off" in ring.get(via, key_of(6))
+
+
+class TestRegisterUnregisterVersioned:
+    """Bugfix 1: per-principal versioned records, no store wipe."""
+
+    def test_tombstone_masks_only_its_principal(self, ring):
+        via = sorted(ring.nodes)[0]
+        key = key_of(10)
+        ring.put(via, key, b"alice-v1", principal=b"\xaa" * 32, version=1)
+        ring.put(via, key, b"bob-v1", principal=b"\xbb" * 32, version=1)
+        assert sorted(ring.get(via, key)) == [b"alice-v1", b"bob-v1"]
+        # Unregister alice: a higher-version tombstone, not a wipe.
+        ring.put(
+            via, key, b"", principal=b"\xaa" * 32, version=2,
+            tombstone=True,
+        )
+        assert ring.get(via, key) == [b"bob-v1"]
+
+    def test_replacement_is_newest_wins(self, ring):
+        via = sorted(ring.nodes)[0]
+        key = key_of(11)
+        ring.put(via, key, b"v1", principal=b"\xcc" * 32, version=1)
+        ring.put(via, key, b"v2", principal=b"\xcc" * 32, version=2)
+        assert ring.get(via, key) == [b"v2"]
+        # A stale replayed v1 must not resurrect anywhere.
+        ring.put(via, key, b"v1", principal=b"\xcc" * 32, version=1)
+        assert ring.get(via, key) == [b"v2"]
+
+    def test_no_empty_husk_after_expiry(self):
+        node = DhtNode(name(0))  # detached: local store semantics
+        key = key_of(12)
+        node.merge_record(
+            key, make_record(b"\xdd" * 32, 1, b"short-lived", 5.0)
+        )
+        assert node.store[key]
+        node.cull_expired(now=100.0)
+        assert key not in node.store  # deleted, not parked as {} husk
+
+    def test_service_unregister_leaves_other_principals(self, ring):
+        """The DhtGLookupService path: unregistering one principal's
+        binding publishes a tombstone for *that* principal only."""
+        home = sorted(ring.nodes)[0]
+        service = DhtGLookupService(
+            "global", ring, home,
+            verify_on_register=False,
+            clock=lambda: ring.net.sim.now,
+        )
+        capsule = key_of(13)
+        a, b = GdpName(b"\xa1" * 32), GdpName(b"\xb2" * 32)
+        for principal in (a, b):
+            record = make_record(
+                principal.raw,
+                service._version + 1,
+                {"who": principal.raw},
+                service.now + service.record_ttl,
+            )
+            service._version += 1
+            service._published.setdefault(capsule, {})[
+                principal.raw
+            ] = record
+            service._names.add(capsule)
+            service._home_node().merge_record(capsule, dict(record))
+            service._publish(capsule, [dict(record)])
+        service.unregister(capsule, a)
+        for node in holders_of(ring, capsule):
+            slot = node.store[capsule]
+            assert slot, "empty slot husk left behind"
+            if a.raw in slot:
+                assert slot[a.raw].get("t"), "principal a not tombstoned"
+            if b.raw in slot:
+                assert not slot[b.raw].get("t"), "principal b wiped"
+        assert any(
+            b.raw in node.store[capsule]
+            and not node.store[capsule][b.raw].get("t")
+            for node in holders_of(ring, capsule)
+        )
+
+
+class TestPingBeforeEvict:
+    """Bugfix 2: a full bucket pings the oldest resident; only a
+    timeout makes room."""
+
+    def _crowd(self, observer: GdpName, index: int, count: int):
+        """Names landing in *observer*'s bucket ``index``."""
+        base = int.from_bytes(observer.raw, "big")
+        lo = 1 << index
+        return [
+            GdpName((base ^ (lo + i)).to_bytes(32, "big"))
+            for i in range(count)
+        ]
+
+    def test_detached_node_keeps_oldest(self):
+        node = DhtNode(name(0), k=2)
+        crowd = self._crowd(node.name, 5, 3)
+        for peer in crowd:
+            node.observe(peer)
+        bucket = node.buckets[5]
+        assert bucket == crowd[:2], "oldest resident was blindly evicted"
+        assert crowd[2] in node.replacements[5]
+
+    def test_live_oldest_survives_ping(self):
+        dht = build_dht([name(i) for i in range(4)], k=8)
+        observer = dht.nodes[sorted(dht.nodes)[0]]
+        index, bucket, crowd = self._full_bucket(dht, observer)
+        oldest = bucket[0]
+        observer.last_seen[oldest] = -1e9  # stale enough to ping
+        newcomer = crowd[-1]
+        observer.observe(newcomer, addr=dht.nodes[sorted(dht.nodes)[1]].node_id)
+        dht.net.sim.run(until=dht.net.sim.now + 5.0)
+        assert oldest in observer.buckets[index], (
+            "responsive oldest resident was evicted"
+        )
+        assert newcomer not in observer.buckets[index]
+
+    def test_dead_oldest_evicted_and_replaced(self):
+        dht = build_dht([name(i) for i in range(4)], k=8)
+        observer = dht.nodes[sorted(dht.nodes)[0]]
+        index, bucket, crowd = self._full_bucket(dht, observer)
+        oldest = bucket[0]
+        dead = dht.nodes.get(oldest)
+        if dead is not None:
+            dead.crash()
+        observer.last_seen[oldest] = -1e9
+        newcomer = crowd[-1]
+        observer.observe(newcomer, addr=observer.node_id)
+        dht.net.sim.run(until=dht.net.sim.now + 5.0)
+        assert oldest not in observer.buckets[index]
+        assert newcomer in observer.buckets[index], (
+            "replacement-cache candidate not promoted"
+        )
+        if dead is not None:
+            dead.restart()
+
+    def _full_bucket(self, dht, observer):
+        """Stuff one real peer's bucket full of synthetic residents so
+        the next observe overflows it; returns (index, bucket, crowd)."""
+        peer = dht.nodes[sorted(dht.nodes)[1]]
+        index = observer._bucket_index(peer.name)
+        crowd = [peer.name] + [
+            n
+            for n in self._crowd(observer.name, index, observer.k + 4)
+            if observer._bucket_index(n) == index and n != peer.name
+        ]
+        for resident in crowd[: observer.k]:
+            observer.observe(resident, addr=peer.node_id)
+        bucket = observer.buckets[index]
+        assert len(bucket) == observer.k
+        # Make the real (answerable) peer the LRU resident.
+        bucket.remove(peer.name)
+        bucket.insert(0, peer.name)
+        # Point every synthetic resident's address at the real peer so
+        # pings have somewhere to go; the *oldest* is what matters.
+        return index, bucket, crowd
+
+
+class TestAckedReplicaCounting:
+    """Bugfix 3: put returns acked replicas; under-replication is a
+    counted metric, never silently absorbed."""
+
+    def test_healthy_put_acks_k(self, ring):
+        before = ring.under_replicated
+        acked = ring.put(sorted(ring.nodes)[0], key_of(20), b"healthy")
+        assert acked >= ring.k
+        assert ring.under_replicated == before
+
+    def test_lonely_put_reports_one_honest_replica(self, ring):
+        via = sorted(ring.nodes)[0]
+        for other, node in ring.nodes.items():
+            if other != via:
+                node.crash()
+        before = ring.under_replicated
+        acked = ring.put(via, key_of(21), b"lonely")
+        assert acked == 1, "unacked replicas were counted as durable"
+        assert ring.under_replicated == before + 1
+        for node in ring.nodes.values():
+            node.restart()
+
+
+class TestGrepGuard:
+    """Zero god-mode reads on protocol paths: put/get/register/serve
+    never reach into other nodes' state through ``dht.nodes``.  The one
+    sanctioned use is ``_entry_node`` (the caller's own access point).
+    """
+
+    PROTOCOL = [
+        KademliaDht.put_records_proc,
+        KademliaDht.put_proc,
+        KademliaDht.get_proc,
+        DhtNode._on_pdu,
+        DhtNode._serve,
+        DhtNode.iter_find,
+        DhtNode._rpc,
+        DhtNode.observe,
+        DhtNode.merge_record,
+        DhtGLookupService.register,
+        DhtGLookupService.unregister,
+        DhtGLookupService.lookup,
+        DhtGLookupService.fetch,
+        DhtGLookupService.republish_proc,
+    ]
+
+    FORBIDDEN = ("self.nodes[", "dht.nodes", ".nodes.values()", ".nodes.items()")
+
+    def test_no_god_mode_reads(self):
+        for fn in self.PROTOCOL:
+            source = inspect.getsource(fn)
+            for needle in self.FORBIDDEN:
+                assert needle not in source, (
+                    f"{fn.__qualname__} reads global DHT state "
+                    f"({needle!r}) on a protocol path"
+                )
+
+    def test_entry_node_is_the_only_sanctioned_access(self):
+        source = inspect.getsource(KademliaDht._entry_node)
+        assert "self.nodes[via]" in source
+
+
+class TestOracleReplicationInvariant:
+    """Self-test for the fib_glookup oracle's DHT extensions."""
+
+    def _service(self):
+        dht = build_dht([name(i) for i in range(4)], k=2)
+        home = sorted(dht.nodes)[0]
+        return DhtGLookupService(
+            "global", dht, home,
+            verify_on_register=False,
+            clock=lambda: dht.net.sim.now,
+        )
+
+    def test_under_replicated_report_flagged(self):
+        from repro.simtest.oracles import _check_dht_tier
+
+        service = self._service()
+        probe = {
+            "dht_replication": {
+                "k": 2,
+                "live_nodes": 4,
+                "names": {"ab" * 32: 1},
+            }
+        }
+        violations = _check_dht_tier("global", service, 0.0, probe)
+        assert any(
+            "under-replicated" in v.detail for v in violations
+        )
+
+    def test_healthy_report_passes(self):
+        from repro.simtest.oracles import _check_dht_tier
+
+        service = self._service()
+        probe = {
+            "dht_replication": {
+                "k": 2,
+                "live_nodes": 4,
+                "names": {"ab" * 32: 2, "cd" * 32: 3},
+            }
+        }
+        assert _check_dht_tier("global", service, 0.0, probe) == []
+
+    def test_empty_slot_husk_flagged(self):
+        from repro.simtest.oracles import _check_dht_tier
+
+        service = self._service()
+        node = next(iter(service.dht.nodes.values()))
+        node.store[key_of(30)] = {}
+        violations = _check_dht_tier("global", service, 0.0, {})
+        assert any("empty record slot" in v.detail for v in violations)

@@ -21,7 +21,8 @@ def level(n, fib_bytes=80.0, gl_p99=0.03):
     }
 
 
-def doc(fib_bytes=80.0, p99=0.03, hops_ok=True, purge_ratio=1.2):
+def doc(fib_bytes=80.0, p99=0.03, hops_ok=True, purge_ratio=1.2,
+        churn_ok=True):
     return {
         "levels": [level(10_000), level(1_000_000, fib_bytes, p99)],
         "dht": [
@@ -31,6 +32,7 @@ def doc(fib_bytes=80.0, p99=0.03, hops_ok=True, purge_ratio=1.2):
             "fib_bytes_per_entry": fib_bytes,
             "warm_resolution_p99_ms": p99,
             "dht_hops_within_bound": hops_ok,
+            "dht_churn_survival": churn_ok,
             "purge_cost_ratio": purge_ratio,
         },
     }
@@ -53,6 +55,10 @@ class TestGate:
     def test_dht_hop_bound(self):
         failures = check_regression(doc(hops_ok=False), doc())
         assert any("dht_hops_within_bound" in f for f in failures)
+
+    def test_dht_churn_survival_gate(self):
+        failures = check_regression(doc(churn_ok=False), doc())
+        assert any("dht_churn_survival" in f for f in failures)
 
     def test_purge_ratio_ceiling(self):
         limit = GATED_LIMITS["purge_cost_ratio"]
